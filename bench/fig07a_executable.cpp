@@ -1,0 +1,38 @@
+// Experiment 1 (paper Fig 7a): overheads vs task executable.
+//
+// SuperMIC, one pipeline with one stage of 16 tasks, 300 s tasks; the
+// executables are Gromacs `mdrun` (with its input staging: 3 links +
+// 550 KB configuration) and `sleep`. Expected shape: every overhead is
+// essentially identical across executables — EnTK is executable-agnostic —
+// and Task Execution Time ~ 300 s for both.
+#include <cstdio>
+
+#include "bench/util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace entk::bench;
+  const int tasks = static_cast<int>(flag_int(argc, argv, "--tasks", 16));
+  const double duration = flag_double(argc, argv, "--duration", 300.0);
+
+  std::printf("Experiment 1 (Fig 7a): overheads vs task executable\n");
+  std::printf("CI xsede.supermic, PST (1,1,%d), duration %.0fs\n\n", tasks,
+              duration);
+  print_report_header("executable");
+
+  for (const bool mdrun : {true, false}) {
+    EnsembleSpec spec;
+    spec.tasks = tasks;
+    spec.duration_s = duration;
+    spec.executable = mdrun ? "mdrun" : "sleep";
+    spec.mdrun_staging = mdrun;
+    const entk::OverheadReport r = run_ensemble(
+        experiment_config("xsede.supermic", tasks), make_ensemble(spec));
+    print_report_row(spec.executable, r);
+  }
+
+  std::printf(
+      "\nPaper shape: EnTK setup ~0.1s, management ~10s, tear-downs and RTS\n"
+      "overhead independent of the executable; exec time ~%.0fs for both.\n",
+      duration);
+  return 0;
+}

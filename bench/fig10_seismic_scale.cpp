@@ -1,0 +1,82 @@
+// Fig 10: seismic forward simulations at scale on Titan.
+//
+// 32 earthquakes, each forward-simulated by a 384-node (6,144-core) task,
+// executed with pilot widths allowing 2^0 .. 2^5 concurrent tasks — the
+// paper's way of trading concurrency for walltime without re-entering
+// Titan's queue. At 2^5 concurrent tasks (12,288 nodes) the shared
+// filesystem overloads: 50% of tasks fail, and EnTK automatically
+// resubmits them until the ensemble completes.
+//
+// Expected shape: Task Execution Time falls ~linearly with concurrency
+// down to a single-generation minimum; zero failures up to 2^4; at 2^5 a
+// surge of failures with total attempts well above the 32 tasks, and a
+// completion time comparable to the 2^4 run despite the extra width.
+#include <cstdio>
+
+#include "bench/util.hpp"
+#include "src/seismic/campaign.hpp"
+
+int main(int argc, char** argv) {
+  using namespace entk::bench;
+  using entk::seismic::ForwardCampaignSpec;
+
+  const long earthquakes = flag_int(argc, argv, "--earthquakes", 32);
+  const int nodes_per_task =
+      static_cast<int>(flag_int(argc, argv, "--nodes-per-task", 384));
+  const int overload_threshold =
+      static_cast<int>(flag_int(argc, argv, "--overload-threshold", 32));
+
+  std::printf(
+      "Fig 10: %ld forward simulations (384 nodes each) on Titan at\n"
+      "concurrency 2^0..2^5; filesystem overload at %d concurrent tasks\n\n",
+      earthquakes, overload_threshold);
+  std::printf("%-22s %12s %12s %8s %14s %10s\n", "concurrency/nodes",
+              "exec time(s)", "staging(s)", "done", "failed attempts",
+              "attempts");
+
+  for (int conc = 1; conc <= 32; conc *= 2) {
+    ForwardCampaignSpec campaign;
+    campaign.earthquakes = static_cast<int>(earthquakes);
+    campaign.nodes_per_task = nodes_per_task;
+
+    entk::AppManagerConfig config;
+    config.resource.resource = "ornl.titan";
+    config.resource.nodes = conc * nodes_per_task;
+    config.resource.walltime_s = 48 * 3600;
+    config.clock_scale = 1e-3;
+    config.task_retry_limit = 100;  // resubmit until success (paper §IV-C-1)
+    // Overload regime: while >= threshold tasks execute concurrently, the
+    // shared filesystem is overloaded and tasks fail with p = 0.5; the
+    // degradation is sticky until concurrency halves (the paper saw
+    // failures persist through resubmission waves: 157 attempts for 32
+    // tasks at 2^5).
+    config.resource.failure.concurrency_threshold = overload_threshold;
+    config.resource.failure.overload_probability = 0.5;
+    config.resource.failure.sticky = true;
+    config.resource.failure.recovery_threshold = overload_threshold / 2;
+    config.resource.failure.seed = 1234;
+
+    entk::AppManager appman(config);
+    appman.add_pipelines({entk::seismic::build_forward_campaign(campaign)});
+    appman.run();
+    const entk::OverheadReport r = appman.overheads();
+
+    char label[40];
+    std::snprintf(label, sizeof(label), "2^%d = %d / %d",
+                  conc == 1 ? 0 : (conc == 2 ? 1 : (conc == 4 ? 2 : (conc == 8 ? 3 : (conc == 16 ? 4 : 5)))),
+                  conc, conc * nodes_per_task);
+    // "failed attempts" = every execution that ended in failure, whether
+    // or not the task eventually succeeded after resubmission.
+    std::printf("%-22s %12.1f %12.1f %8zu %14zu %10zu\n", label,
+                r.task_exec_s, r.staging_s, r.tasks_done,
+                r.tasks_failed + r.resubmissions,
+                r.tasks_done + r.tasks_failed + r.resubmissions);
+  }
+
+  std::printf(
+      "\nPaper shape: exec time ~4000s at 2^0 falling linearly to ~180s at\n"
+      "full concurrency; 0 failures through 2^4; at 2^5, ~50%% of executing\n"
+      "tasks fail and EnTK resubmits until done (157 attempts for 32 tasks),\n"
+      "landing near the 2^4 completion time.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Fig 11: adaptive (AUA) vs random analog-location selection.
+//
+// Repeats the paper's §IV-C-2 experiment: both methods get the same
+// location budget (paper: 1,800 of 262,972 pixels) and the same initial
+// random locations; the prediction maps are interpolated from the
+// unstructured grids and compared against the (known, synthetic) truth.
+// The error distributions over the repetitions are reported as box plots
+// — the paper's Fig 11(d) — plus coarse ASCII renderings of the truth and
+// both prediction maps for one repetition (Fig 11 a-c).
+//
+// Defaults are sized for a laptop run (192x192 domain = 36,864 pixels,
+// 12 repetitions); use --width/--height 512 --reps 30 for the full-size
+// experiment.
+#include <cstdio>
+
+#include "bench/util.hpp"
+#include "src/anen/aua.hpp"
+#include "src/anen/stats.hpp"
+
+namespace {
+
+void print_ascii_map(const char* title, const std::vector<double>& field,
+                     int width, int height) {
+  // Downsample to a 44x22 character map.
+  const char* shades = " .:-=+*#%@";
+  std::printf("%s\n", title);
+  double lo = field[0], hi = field[0];
+  for (double v : field) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double range = hi > lo ? hi - lo : 1.0;
+  const int cols = 44, rows = 22;
+  for (int r = 0; r < rows; ++r) {
+    std::putchar(' ');
+    for (int c = 0; c < cols; ++c) {
+      const int x = c * width / cols;
+      const int y = r * height / rows;
+      const double v = field[static_cast<std::size_t>(y) * width + x];
+      const int shade =
+          std::min(9, static_cast<int>((v - lo) / range * 9.999));
+      std::putchar(shades[shade]);
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace entk::bench;
+  using namespace entk::anen;
+
+  AuaSpec base;
+  base.domain.width = static_cast<int>(flag_int(argc, argv, "--width", 192));
+  base.domain.height = static_cast<int>(flag_int(argc, argv, "--height", 192));
+  base.domain.history_days =
+      static_cast<int>(flag_int(argc, argv, "--history", 90));
+  base.domain.variables = static_cast<int>(flag_int(argc, argv, "--vars", 5));
+  base.budget = static_cast<int>(flag_int(argc, argv, "--budget", 1800));
+  base.initial_points = base.budget / 9;
+  base.points_per_iteration = base.budget / 9;
+  const long reps = flag_int(argc, argv, "--reps", 12);
+
+  std::printf(
+      "Fig 11: AUA vs random location selection\n"
+      "domain %dx%d (%d pixels), %d-day archive, %d variables,\n"
+      "budget %d locations, %ld repetitions\n\n",
+      base.domain.width, base.domain.height,
+      base.domain.width * base.domain.height, base.domain.history_days,
+      base.domain.variables, base.budget, reps);
+
+  std::vector<double> adaptive_rmse, random_rmse;
+  AuaResult sample_adaptive, sample_random;
+  for (long rep = 0; rep < reps; ++rep) {
+    AuaSpec spec = base;
+    spec.seed = 1000 + static_cast<std::uint64_t>(rep);
+    // Both methods start from the same initial random locations (same
+    // seed), as in the paper.
+    const AuaResult a = run_adaptive(spec);
+    const AuaResult r = run_random(spec);
+    adaptive_rmse.push_back(a.final_rmse);
+    random_rmse.push_back(r.final_rmse);
+    if (rep == 0) {
+      sample_adaptive = a;
+      sample_random = r;
+    }
+    std::printf("  rep %2ld: adaptive %.4f   random %.4f\n", rep,
+                a.final_rmse, r.final_rmse);
+  }
+
+  std::printf("\nFig 11(d) — error distribution over %ld repetitions:\n",
+              reps);
+  std::printf("  adaptive: %s\n", to_string(box_stats(adaptive_rmse)).c_str());
+  std::printf("  random:   %s\n", to_string(box_stats(random_rmse)).c_str());
+
+  const std::vector<double> truth =
+      truth_field(base.domain, base.domain.history_days);
+  std::printf("\nFig 11(a-c) — one repetition, coarse rendering:\n");
+  print_ascii_map("(a) truth", truth, base.domain.width, base.domain.height);
+  print_ascii_map("(b) random selection", sample_random.final_field,
+                  base.domain.width, base.domain.height);
+  print_ascii_map("(c) AUA", sample_adaptive.final_field, base.domain.width,
+                  base.domain.height);
+
+  std::printf(
+      "\nPaper shape: with the same budget, the AUA map resolves the sharp-\n"
+      "gradient regions better and its error distribution sits below the\n"
+      "random baseline's.\n");
+  return 0;
+}

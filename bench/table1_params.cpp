@@ -1,0 +1,29 @@
+// Table I of the paper: the parameters of Experiments 1-4 (Fig 7).
+// This binary prints the parameter table exactly as the benches below it
+// consume them, so the harness and the paper can be compared line by line.
+#include <cstdio>
+
+int main() {
+  std::printf(
+      "TABLE I: Parameters of the experiments plotted in Figure 7\n"
+      "%-3s %-38s %-24s %-14s %-22s %-8s\n",
+      "ID", "Computing Infrastructure (CI)", "Pipeline,Stage,Task",
+      "Executable", "Task Duration", "Data");
+  std::printf(
+      "%-3s %-38s %-24s %-14s %-22s %-8s\n", "1", "SuperMIC", "(1,1,16)",
+      "mdrun, sleep", "300s", "550KB");
+  std::printf(
+      "%-3s %-38s %-24s %-14s %-22s %-8s\n", "2", "SuperMIC", "(1,1,16)",
+      "sleep", "1s, 10s, 100s, 1000s", "None");
+  std::printf(
+      "%-3s %-38s %-24s %-14s %-22s %-8s\n", "3",
+      "SuperMIC, Stampede, Comet, Titan", "(1,1,16)", "sleep", "100s",
+      "None");
+  std::printf(
+      "%-3s %-38s %-24s %-14s %-22s %-8s\n", "4", "SuperMIC",
+      "(16,1,1), (1,16,1), (1,1,16)", "sleep", "100s", "None");
+  std::printf(
+      "\nBench targets: fig07a_executable, fig07b_duration, fig07c_ci, "
+      "fig07d_structure\n");
+  return 0;
+}

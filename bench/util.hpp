@@ -1,0 +1,51 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/core/app_manager.hpp"
+
+namespace entk::bench {
+
+/// Parse "--name value" style flags; returns fallback when absent.
+long flag_int(int argc, char** argv, const std::string& name, long fallback);
+double flag_double(int argc, char** argv, const std::string& name,
+                   double fallback);
+bool flag_present(int argc, char** argv, const std::string& name);
+
+/// Build an application of `pipelines` x `stages` x `tasks` modeled tasks.
+struct EnsembleSpec {
+  int pipelines = 1;
+  int stages = 1;
+  int tasks = 16;
+  double duration_s = 100.0;
+  std::string executable = "sleep";
+  int cores_per_task = 1;
+  /// When true, each task stages 3 soft links (130 B) in and copies one
+  /// 550 KB input file — the Gromacs mdrun pattern of the scaling runs.
+  bool mdrun_staging = false;
+  /// When > 0, each task instead copies one input of this many bytes
+  /// (heavy-staging workloads, e.g. restart files).
+  std::uint64_t staging_bytes = 0;
+};
+
+std::vector<PipelinePtr> make_ensemble(const EnsembleSpec& spec);
+
+/// AppManager config for overhead experiments on a named CI. Queue wait is
+/// zero (the paper's overhead analysis excludes it).
+AppManagerConfig experiment_config(const std::string& ci, int cores);
+
+/// Run and return the report (convenience wrapper).
+OverheadReport run_ensemble(AppManagerConfig config,
+                            std::vector<PipelinePtr> pipelines);
+
+/// Print one labelled overhead row set, paper-style.
+void print_report_header(const std::string& sweep_name);
+void print_report_row(const std::string& label, const OverheadReport& r);
+
+/// Current process RSS / peak RSS in MB (from /proc/self/status).
+double rss_mb();
+double peak_rss_mb();
+
+}  // namespace entk::bench

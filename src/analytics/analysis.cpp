@@ -1,0 +1,136 @@
+#include "src/analytics/analysis.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace entk::analytics {
+
+double TaskTimeline::queue_wait() const {
+  if (received < 0 || exec_start < received) return 0.0;
+  double wait = exec_start - received;
+  if (stage_in_start >= 0 && stage_in_stop >= stage_in_start) {
+    wait -= stage_in_stop - stage_in_start;
+  }
+  return std::max(0.0, wait);
+}
+
+RunAnalysis RunAnalysis::from_profiler(const Profiler& profiler) {
+  RunAnalysis out;
+  std::map<std::string, TaskTimeline> by_uid;
+  for (const ProfileEvent& e : profiler.events()) {
+    if (e.virtual_s < 0 || e.uid.empty()) continue;
+    // Only the agent's per-unit events describe task timelines.
+    if (e.event.rfind("unit_", 0) != 0) continue;
+    TaskTimeline& t = by_uid[e.uid];
+    t.uid = e.uid;
+    const double v = e.virtual_s;
+    if (e.event == "unit_received") t.received = v;
+    else if (e.event == "unit_stage_in_start") t.stage_in_start = v;
+    else if (e.event == "unit_stage_in_stop") t.stage_in_stop = v;
+    else if (e.event == "unit_exec_start") t.exec_start = v;
+    else if (e.event == "unit_exec_stop") t.exec_end = v;
+    else if (e.event == "unit_stage_out_start") t.stage_out_start = v;
+    else if (e.event == "unit_stage_out_stop") t.stage_out_stop = v;
+    else if (e.event == "unit_done") t.done = v;
+  }
+  out.tasks_.reserve(by_uid.size());
+  for (auto& [uid, t] : by_uid) {
+    (void)uid;
+    out.tasks_.push_back(std::move(t));
+  }
+  return out;
+}
+
+double RunAnalysis::makespan() const {
+  double first = -1, last = -1;
+  for (const TaskTimeline& t : tasks_) {
+    if (t.exec_start < 0) continue;
+    if (first < 0 || t.exec_start < first) first = t.exec_start;
+    if (t.exec_end > last) last = t.exec_end;
+  }
+  return first >= 0 && last >= first ? last - first : 0.0;
+}
+
+std::vector<ConcurrencyPoint> RunAnalysis::concurrency_curve() const {
+  std::vector<std::pair<double, int>> deltas;
+  for (const TaskTimeline& t : tasks_) {
+    if (t.exec_start < 0 || t.exec_end < t.exec_start) continue;
+    deltas.emplace_back(t.exec_start, +1);
+    deltas.emplace_back(t.exec_end, -1);
+  }
+  std::sort(deltas.begin(), deltas.end());
+  std::vector<ConcurrencyPoint> curve;
+  int executing = 0;
+  for (const auto& [t, d] : deltas) {
+    executing += d;
+    if (!curve.empty() && curve.back().t == t) {
+      curve.back().executing = executing;
+    } else {
+      curve.push_back({t, executing});
+    }
+  }
+  return curve;
+}
+
+int RunAnalysis::peak_concurrency() const {
+  int peak = 0;
+  for (const ConcurrencyPoint& p : concurrency_curve()) {
+    peak = std::max(peak, p.executing);
+  }
+  return peak;
+}
+
+double RunAnalysis::core_utilization(
+    int total_cores, const std::map<std::string, int>& cores_of,
+    int default_cores) const {
+  const double span = makespan();
+  if (span <= 0 || total_cores <= 0) return 0.0;
+  double busy = 0.0;
+  for (const TaskTimeline& t : tasks_) {
+    const auto it = cores_of.find(t.uid);
+    const int cores = it != cores_of.end() ? it->second : default_cores;
+    busy += t.exec_duration() * cores;
+  }
+  return busy / (static_cast<double>(total_cores) * span);
+}
+
+double RunAnalysis::mean_queue_wait() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const TaskTimeline& t : tasks_) {
+    if (t.exec_start < 0) continue;
+    sum += t.queue_wait();
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double RunAnalysis::total_staging() const {
+  double total = 0.0;
+  for (const TaskTimeline& t : tasks_) {
+    if (t.stage_in_start >= 0 && t.stage_in_stop >= t.stage_in_start) {
+      total += t.stage_in_stop - t.stage_in_start;
+    }
+    if (t.stage_out_start >= 0 && t.stage_out_stop >= t.stage_out_start) {
+      total += t.stage_out_stop - t.stage_out_start;
+    }
+  }
+  return total;
+}
+
+std::string RunAnalysis::summary(int total_cores) const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  tasks executed        %10zu\n"
+                "  makespan              %10.2f s\n"
+                "  peak concurrency      %10d\n"
+                "  core utilization      %9.1f %% (of %d cores)\n"
+                "  mean queue wait       %10.2f s\n"
+                "  total staging         %10.2f s\n",
+                task_count(), makespan(), peak_concurrency(),
+                100.0 * core_utilization(total_cores), total_cores,
+                mean_queue_wait(), total_staging());
+  return buf;
+}
+
+}  // namespace entk::analytics

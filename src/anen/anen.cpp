@@ -1,0 +1,96 @@
+#include "src/anen/anen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace entk::anen {
+
+std::vector<double> forecast_stddevs(const ForecastArchive& archive, int x,
+                                     int y) {
+  const DomainSpec& spec = archive.spec();
+  std::vector<double> out(static_cast<std::size_t>(spec.variables), 1.0);
+  for (int v = 0; v < spec.variables; ++v) {
+    double sum = 0.0, sum2 = 0.0;
+    for (int t = 0; t < spec.history_days; ++t) {
+      const double f = archive.forecast(v, t, x, y);
+      sum += f;
+      sum2 += f * f;
+    }
+    const double n = static_cast<double>(spec.history_days);
+    const double var = std::max(1e-12, sum2 / n - (sum / n) * (sum / n));
+    out[static_cast<std::size_t>(v)] = std::sqrt(var);
+  }
+  return out;
+}
+
+double similarity(const ForecastArchive& archive, const AnEnConfig& config,
+                  const std::vector<double>& stddevs, int target_day, int t,
+                  int x, int y) {
+  const DomainSpec& spec = archive.spec();
+  double total = 0.0;
+  for (int v = 0; v < spec.variables; ++v) {
+    double acc = 0.0;
+    for (int dt = -config.half_window; dt <= config.half_window; ++dt) {
+      const double d = archive.forecast(v, t + dt, x, y) -
+                       archive.forecast(v, target_day + dt, x, y);
+      acc += d * d;
+    }
+    total += std::sqrt(acc) / stddevs[static_cast<std::size_t>(v)];
+  }
+  return total;
+}
+
+AnalogPrediction compute_analogs(const ForecastArchive& archive,
+                                 const AnEnConfig& config, int target_day,
+                                 int x, int y) {
+  if (config.analogs <= 0) {
+    throw ValueError("compute_analogs: analogs must be positive");
+  }
+  const int first = config.half_window;
+  const int last = target_day - 1 - config.half_window;
+  if (last < first) {
+    throw ValueError("compute_analogs: archive too short for target day");
+  }
+  const std::vector<double> stddevs = forecast_stddevs(archive, x, y);
+
+  std::vector<std::pair<double, int>> scored;
+  scored.reserve(static_cast<std::size_t>(last - first + 1));
+  for (int t = first; t <= last; ++t) {
+    scored.emplace_back(
+        similarity(archive, config, stddevs, target_day, t, x, y), t);
+  }
+  const std::size_t k =
+      std::min<std::size_t>(static_cast<std::size_t>(config.analogs),
+                            scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + static_cast<long>(k),
+                    scored.end());
+
+  AnalogPrediction out;
+  double sum = 0.0, sum2 = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const int day = scored[i].second;
+    out.analog_days.push_back(day);
+    const double obs = archive.observation(day, x, y);
+    sum += obs;
+    sum2 += obs * obs;
+  }
+  const double n = static_cast<double>(k);
+  out.value = sum / n;
+  out.spread = std::sqrt(std::max(0.0, sum2 / n - out.value * out.value));
+  return out;
+}
+
+std::vector<double> analog_ensemble_values(const ForecastArchive& archive,
+                                           const AnalogPrediction& prediction,
+                                           int x, int y) {
+  std::vector<double> out;
+  out.reserve(prediction.analog_days.size());
+  for (int day : prediction.analog_days) {
+    out.push_back(archive.observation(day, x, y));
+  }
+  return out;
+}
+
+}  // namespace entk::anen

@@ -1,0 +1,52 @@
+// Analog Ensemble core (paper §III-B, refs [10][13]).
+//
+// For a prediction location and target day, find the k historical days
+// whose multi-variable forecasts are most similar to the target forecast
+// (Delle Monache similarity metric: per-variable standard-deviation-
+// normalized L2 distance over a short temporal window) and predict with
+// the ensemble of observations associated with those days.
+#pragma once
+
+#include <vector>
+
+#include "src/anen/synthetic.hpp"
+
+namespace entk::anen {
+
+struct AnEnConfig {
+  int analogs = 9;        ///< ensemble members (k)
+  int half_window = 1;    ///< temporal window ±w days around the target
+  int target_variable = 0;
+};
+
+struct AnalogPrediction {
+  double value = 0.0;              ///< ensemble mean
+  double spread = 0.0;             ///< ensemble standard deviation
+  std::vector<int> analog_days;    ///< selected historical days
+};
+
+/// Per-variable forecast standard deviation at (x, y) over the archive
+/// (used to normalize the similarity metric).
+std::vector<double> forecast_stddevs(const ForecastArchive& archive, int x,
+                                     int y);
+
+/// Similarity (lower = more similar) between historical day `t` and the
+/// target day, at cell (x, y). `stddevs` from forecast_stddevs.
+double similarity(const ForecastArchive& archive, const AnEnConfig& config,
+                  const std::vector<double>& stddevs, int target_day, int t,
+                  int x, int y);
+
+/// Compute the analog-ensemble prediction for `target_day` at (x, y),
+/// searching the archive days [half_window, target_day - 1 - half_window].
+AnalogPrediction compute_analogs(const ForecastArchive& archive,
+                                 const AnEnConfig& config, int target_day,
+                                 int x, int y);
+
+/// The ensemble member values behind a prediction: the observations
+/// associated with the selected analog days (used by the probabilistic
+/// verification metrics in verification.hpp).
+std::vector<double> analog_ensemble_values(const ForecastArchive& archive,
+                                           const AnalogPrediction& prediction,
+                                           int x, int y);
+
+}  // namespace entk::anen

@@ -1,0 +1,104 @@
+// Adaptive Unstructured Analog (AUA) algorithm (paper §III-B, Fig 5) and
+// the status-quo random-selection baseline (paper §IV-C-2, Fig 11).
+//
+// AUA iteratively chooses WHERE to compute analogs: starting from a random
+// set of locations, each iteration interpolates the current predictions,
+// finds the regions of drastic gradient change, and concentrates the next
+// batch of analog computations there — so high resolution is spent only
+// where the field demands it. The baseline adds random locations instead.
+#pragma once
+
+#include <memory>
+#include <random>
+
+#include "src/anen/anen.hpp"
+#include "src/anen/grid.hpp"
+#include "src/core/pipeline.hpp"
+
+namespace entk::anen {
+
+struct AuaSpec {
+  DomainSpec domain;
+  AnEnConfig anen;
+  int target_day = -1;           ///< -1 = domain.history_days
+  int initial_points = 200;
+  int points_per_iteration = 160;
+  int budget = 1800;             ///< total analog locations (paper: 1,800)
+  double error_threshold = 0.0;  ///< stop early when RMSE improvement/iter
+                                 ///< drops below this (0 = run to budget)
+  int interpolation_k = 8;
+  int subregions = 8;            ///< EnTK tasks per compute stage
+  std::uint64_t seed = 7;
+};
+
+struct AuaResult {
+  std::vector<GridPoint> points;
+  std::vector<double> final_field;
+  std::vector<double> rmse_history;  ///< after each iteration
+  double final_rmse = 0.0;
+  double final_mae = 0.0;
+  int iterations = 0;
+};
+
+/// Truth field of the target variable for `day`, full raster.
+std::vector<double> truth_field(const DomainSpec& domain, double day);
+
+/// Shared machinery for both selection strategies. Drives the archive,
+/// the point set and the error accounting; selection differs per method.
+class AuaRunner {
+ public:
+  explicit AuaRunner(AuaSpec spec);
+
+  const AuaSpec& spec() const { return spec_; }
+  const ForecastArchive& archive() const { return archive_; }
+  UnstructuredGrid& grid() { return grid_; }
+
+  /// Random unoccupied locations (both methods start this way).
+  std::vector<GridPoint> select_random(int n);
+
+  /// Locations sampled proportionally to the gradient magnitude of the
+  /// current interpolated field (the AUA refinement criterion).
+  std::vector<GridPoint> select_adaptive(int n);
+
+  /// Run the AnEn at each location (fills point values); this is the
+  /// computational payload of the "Compute AnEn for subregion" tasks.
+  void compute_points(std::vector<GridPoint>& points) const;
+
+  /// Partition points into contiguous x-slab subregions for task fan-out.
+  static std::vector<std::vector<GridPoint>> partition(
+      const std::vector<GridPoint>& points, int subregions);
+
+  /// Interpolate current points to the full raster and record the RMSE
+  /// against the truth. Returns the RMSE.
+  double aggregate_and_error();
+
+  /// True when the iteration loop should stop (budget exhausted or error
+  /// improvement below threshold — Fig 5's decision diamond).
+  bool converged() const;
+
+  AuaResult result() const;
+  int target_day() const { return target_day_; }
+
+ private:
+  AuaSpec spec_;
+  ForecastArchive archive_;
+  UnstructuredGrid grid_;
+  std::mt19937_64 rng_;
+  int target_day_;
+  std::vector<double> truth_;
+  std::vector<double> last_field_;
+  std::vector<double> rmse_history_;
+};
+
+/// Direct (in-process) runs of the two methods; used by tests and as the
+/// reference the EnTK-driven runs must match.
+AuaResult run_adaptive(const AuaSpec& spec);
+AuaResult run_random(const AuaSpec& spec);
+
+/// PST encoding of Fig 5: initialize -> preprocess -> [compute-subregions
+/// -> aggregate+error]* (extended at runtime by the post-exec hook until
+/// converged) -> postprocess. The runner must outlive the pipeline.
+PipelinePtr build_aua_pipeline(std::shared_ptr<AuaRunner> runner,
+                               bool adaptive);
+
+}  // namespace entk::anen

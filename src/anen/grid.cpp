@@ -1,0 +1,167 @@
+#include "src/anen/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace entk::anen {
+
+UnstructuredGrid::UnstructuredGrid(int width, int height)
+    : width_(width),
+      height_(height),
+      bin_size_(std::max(8, width / 16)),
+      bins_x_((width + bin_size_ - 1) / bin_size_),
+      bins_y_((height + bin_size_ - 1) / bin_size_),
+      bins_(static_cast<std::size_t>(bins_x_) * bins_y_),
+      occupancy_(static_cast<std::size_t>(width) * height, 0) {
+  if (width <= 0 || height <= 0) {
+    throw ValueError("UnstructuredGrid: positive dimensions required");
+  }
+}
+
+int UnstructuredGrid::bin_of(int x, int y) const {
+  const int bx = std::clamp(x / bin_size_, 0, bins_x_ - 1);
+  const int by = std::clamp(y / bin_size_, 0, bins_y_ - 1);
+  return by * bins_x_ + bx;
+}
+
+void UnstructuredGrid::add_point(GridPoint p) {
+  p.x = std::clamp(p.x, 0, width_ - 1);
+  p.y = std::clamp(p.y, 0, height_ - 1);
+  const std::size_t idx =
+      static_cast<std::size_t>(p.y) * width_ + static_cast<std::size_t>(p.x);
+  occupancy_[idx] = 1;
+  bins_[static_cast<std::size_t>(bin_of(p.x, p.y))].push_back(points_.size());
+  points_.push_back(p);
+}
+
+void UnstructuredGrid::add_points(const std::vector<GridPoint>& pts) {
+  for (const GridPoint& p : pts) add_point(p);
+}
+
+bool UnstructuredGrid::occupied(int x, int y) const {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) return false;
+  return occupancy_[static_cast<std::size_t>(y) * width_ +
+                    static_cast<std::size_t>(x)] != 0;
+}
+
+std::vector<std::size_t> UnstructuredGrid::neighbors(int x, int y,
+                                                     std::size_t k) const {
+  // Expand rings of bins until at least k candidates are gathered, then
+  // keep the k nearest by exact distance.
+  std::vector<std::size_t> candidates;
+  const int bx = std::clamp(x / bin_size_, 0, bins_x_ - 1);
+  const int by = std::clamp(y / bin_size_, 0, bins_y_ - 1);
+  const int max_ring = std::max(bins_x_, bins_y_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    const std::size_t before = candidates.size();
+    for (int dy = -ring; dy <= ring; ++dy) {
+      for (int dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+        const int nbx = bx + dx;
+        const int nby = by + dy;
+        if (nbx < 0 || nby < 0 || nbx >= bins_x_ || nby >= bins_y_) continue;
+        const auto& bin = bins_[static_cast<std::size_t>(nby) * bins_x_ + nbx];
+        candidates.insert(candidates.end(), bin.begin(), bin.end());
+      }
+    }
+    // One extra ring after reaching k, so near-boundary bins cannot hide a
+    // closer point in the next ring.
+    if (before >= k && candidates.size() >= k) break;
+  }
+  if (candidates.size() > k) {
+    // Tie-break equal distances by coordinates so the selected neighbor
+    // set is independent of point insertion order (batch-wise EnTK runs
+    // must reproduce the direct in-process runs bit-for-bit).
+    std::partial_sort(
+        candidates.begin(), candidates.begin() + static_cast<long>(k),
+        candidates.end(), [&](std::size_t a, std::size_t b) {
+          const int da = (points_[a].x - x) * (points_[a].x - x) +
+                         (points_[a].y - y) * (points_[a].y - y);
+          const int db = (points_[b].x - x) * (points_[b].x - x) +
+                         (points_[b].y - y) * (points_[b].y - y);
+          if (da != db) return da < db;
+          if (points_[a].x != points_[b].x) return points_[a].x < points_[b].x;
+          return points_[a].y < points_[b].y;
+        });
+    candidates.resize(k);
+  }
+  return candidates;
+}
+
+std::vector<double> UnstructuredGrid::interpolate(int k, double power) const {
+  if (points_.empty()) {
+    throw ValueError("UnstructuredGrid::interpolate: no points");
+  }
+  std::vector<double> out(static_cast<std::size_t>(width_) * height_, 0.0);
+  const auto kk = static_cast<std::size_t>(std::max(1, k));
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const std::vector<std::size_t> nn = neighbors(x, y, kk);
+      double wsum = 0.0, vsum = 0.0;
+      bool exact = false;
+      for (std::size_t idx : nn) {
+        const GridPoint& p = points_[idx];
+        const double d2 = static_cast<double>((p.x - x) * (p.x - x) +
+                                              (p.y - y) * (p.y - y));
+        if (d2 == 0.0) {
+          out[static_cast<std::size_t>(y) * width_ + x] = p.value;
+          exact = true;
+          break;
+        }
+        const double w = 1.0 / std::pow(d2, power / 2.0);
+        wsum += w;
+        vsum += w * p.value;
+      }
+      if (!exact) {
+        out[static_cast<std::size_t>(y) * width_ + x] =
+            wsum > 0 ? vsum / wsum : 0.0;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> UnstructuredGrid::gradient_magnitude(
+    const std::vector<double>& field, int width, int height) {
+  std::vector<double> out(field.size(), 0.0);
+  for (int y = 1; y < height - 1; ++y) {
+    for (int x = 1; x < width - 1; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * width + x;
+      const double gx = (field[i + 1] - field[i - 1]) * 0.5;
+      const double gy = (field[i + static_cast<std::size_t>(width)] -
+                         field[i - static_cast<std::size_t>(width)]) *
+                        0.5;
+      out[i] = std::sqrt(gx * gx + gy * gy);
+    }
+  }
+  return out;
+}
+
+double rmse(const std::vector<double>& field,
+            const std::vector<double>& reference) {
+  if (field.size() != reference.size() || field.empty()) {
+    throw ValueError("rmse: non-conformant fields");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    const double d = field[i] - reference[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(field.size()));
+}
+
+double mae(const std::vector<double>& field,
+           const std::vector<double>& reference) {
+  if (field.size() != reference.size() || field.empty()) {
+    throw ValueError("mae: non-conformant fields");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    s += std::abs(field[i] - reference[i]);
+  }
+  return s / static_cast<double>(field.size());
+}
+
+}  // namespace entk::anen

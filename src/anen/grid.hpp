@@ -1,0 +1,66 @@
+// Unstructured grid of analog locations + interpolation to the full
+// domain (paper §III-B: "interpolates the analogs using an unstructured
+// grid ... avoiding computing analogs at every available location").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace entk::anen {
+
+struct GridPoint {
+  int x = 0;
+  int y = 0;
+  double value = 0.0;
+};
+
+/// Inverse-distance-weighted interpolation from scattered points onto the
+/// full width x height raster, using the k nearest points found through a
+/// uniform spatial hash (O(cells * k) in practice).
+class UnstructuredGrid {
+ public:
+  UnstructuredGrid(int width, int height);
+
+  void add_point(GridPoint p);
+  void add_points(const std::vector<GridPoint>& pts);
+  std::size_t point_count() const { return points_.size(); }
+  const std::vector<GridPoint>& points() const { return points_; }
+
+  /// True when some point already occupies (x, y).
+  bool occupied(int x, int y) const;
+
+  /// Interpolate onto the full raster (row-major y*width+x).
+  /// k: neighbors used; power: IDW exponent.
+  std::vector<double> interpolate(int k = 8, double power = 2.0) const;
+
+  /// Magnitude of the spatial gradient of `field` (central differences),
+  /// same layout. Used by the AUA refinement criterion.
+  static std::vector<double> gradient_magnitude(const std::vector<double>& field,
+                                                int width, int height);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+ private:
+  std::vector<std::size_t> neighbors(int x, int y, std::size_t k) const;
+  int bin_of(int x, int y) const;
+
+  const int width_;
+  const int height_;
+  const int bin_size_;
+  const int bins_x_;
+  const int bins_y_;
+  std::vector<GridPoint> points_;
+  std::vector<std::vector<std::size_t>> bins_;
+  std::vector<std::uint8_t> occupancy_;
+};
+
+/// Root-mean-square error between a field and a reference.
+double rmse(const std::vector<double>& field,
+            const std::vector<double>& reference);
+
+/// Mean absolute error.
+double mae(const std::vector<double>& field,
+           const std::vector<double>& reference);
+
+}  // namespace entk::anen

@@ -1,0 +1,50 @@
+#include "src/anen/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/error.hpp"
+
+namespace entk::anen {
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) throw ValueError("percentile: empty sample");
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - std::floor(rank);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+BoxStats box_stats(const std::vector<double>& values) {
+  if (values.empty()) throw ValueError("box_stats: empty sample");
+  BoxStats s;
+  s.n = values.size();
+  s.min = percentile(values, 0);
+  s.q1 = percentile(values, 25);
+  s.median = percentile(values, 50);
+  s.q3 = percentile(values, 75);
+  s.max = percentile(values, 100);
+  double sum = 0.0, sum2 = 0.0;
+  for (double v : values) {
+    sum += v;
+    sum2 += v * v;
+  }
+  const double n = static_cast<double>(values.size());
+  s.mean = sum / n;
+  s.stddev = std::sqrt(std::max(0.0, sum2 / n - s.mean * s.mean));
+  return s;
+}
+
+std::string to_string(const BoxStats& s) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "min %.4f  q1 %.4f  med %.4f  q3 %.4f  max %.4f  "
+                "(mean %.4f +- %.4f, n=%zu)",
+                s.min, s.q1, s.median, s.q3, s.max, s.mean, s.stddev, s.n);
+  return buf;
+}
+
+}  // namespace entk::anen

@@ -1,0 +1,29 @@
+// Small statistics helpers for the experiment harnesses (box plots,
+// summaries over repeated runs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace entk::anen {
+
+struct BoxStats {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::size_t n = 0;
+};
+
+/// Linear-interpolated percentile (p in [0, 100]) of a sample.
+double percentile(std::vector<double> values, double p);
+
+BoxStats box_stats(const std::vector<double>& values);
+
+/// "min q1 median q3 max (mean +- sd, n=N)" one-liner for reports.
+std::string to_string(const BoxStats& s);
+
+}  // namespace entk::anen

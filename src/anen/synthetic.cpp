@@ -1,0 +1,88 @@
+#include "src/anen/synthetic.hpp"
+
+#include <cmath>
+
+namespace entk::anen {
+namespace {
+
+/// SplitMix64: cheap deterministic per-coordinate noise.
+std::uint64_t splitmix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform in [-1, 1] from a coordinate tuple.
+double hash_noise(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                  std::uint64_t c, std::uint64_t d) {
+  std::uint64_t h = splitmix(seed ^ splitmix(a ^ splitmix(b ^ splitmix(c ^ d))));
+  return (static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0)) * 2.0 -
+         1.0;
+}
+
+}  // namespace
+
+double truth_value(const DomainSpec& spec, double t, int x, int y) {
+  const double W = spec.width;
+  const double H = spec.height;
+  const double fx = x / W;
+  const double fy = y / H;
+
+  // Large-scale smooth pattern drifting with time.
+  double v = 10.0 + 6.0 * std::sin(2.0 * M_PI * (fx + 0.03 * t)) *
+                        std::cos(2.0 * M_PI * (fy - 0.02 * t));
+
+  // Two drifting warm/cold blobs.
+  const double cx1 = 0.3 + 0.1 * std::sin(0.21 * t);
+  const double cy1 = 0.4 + 0.1 * std::cos(0.17 * t);
+  const double d1 = (fx - cx1) * (fx - cx1) + (fy - cy1) * (fy - cy1);
+  v += 8.0 * std::exp(-d1 / 0.02);
+  const double cx2 = 0.7 + 0.08 * std::cos(0.13 * t);
+  const double cy2 = 0.65 + 0.09 * std::sin(0.19 * t);
+  const double d2 = (fx - cx2) * (fx - cx2) + (fy - cy2) * (fy - cy2);
+  v -= 6.0 * std::exp(-d2 / 0.03);
+
+  // A sharp curved front: the region of drastic gradient change where the
+  // AUA algorithm should concentrate its analog locations (paper §III-B:
+  // "the highest resolution ... is required only at specific regions,
+  // where drastic gradient changes occur").
+  const double front = fy - (0.55 + 0.12 * std::sin(3.0 * fx + 0.11 * t));
+  v += 9.0 * std::tanh(front / 0.015);
+
+  // Seasonal cycle.
+  v += 3.0 * std::sin(2.0 * M_PI * t / 365.25);
+  return v;
+}
+
+ForecastArchive::ForecastArchive(const DomainSpec& spec) : spec_(spec) {
+  bias_.resize(static_cast<std::size_t>(spec_.variables));
+  noise_amp_.resize(static_cast<std::size_t>(spec_.variables));
+  phase_.resize(static_cast<std::size_t>(spec_.variables));
+  for (int v = 0; v < spec_.variables; ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    bias_[i] = 0.4 * hash_noise(spec_.seed, 1, static_cast<std::uint64_t>(v), 0, 0);
+    noise_amp_[i] =
+        0.6 + 0.3 * std::abs(hash_noise(spec_.seed, 2, static_cast<std::uint64_t>(v), 0, 0));
+    phase_[i] = 0.15 * static_cast<double>(v);
+  }
+}
+
+double ForecastArchive::forecast(int v, int t, int x, int y) const {
+  const auto i = static_cast<std::size_t>(v);
+  // Each variable is a phase-shifted view of the same atmosphere plus a
+  // variable-specific bias and autocorrelation-free measurement noise.
+  const double base = truth_value(spec_, t + phase_[i], x, y);
+  const double noise =
+      noise_amp_[i] * hash_noise(spec_.seed, static_cast<std::uint64_t>(v) + 10,
+                                 static_cast<std::uint64_t>(t),
+                                 static_cast<std::uint64_t>(x),
+                                 static_cast<std::uint64_t>(y));
+  return base + bias_[i] + noise;
+}
+
+double ForecastArchive::observation(int t, int x, int y) const {
+  return truth_value(spec_, t, x, y);
+}
+
+}  // namespace entk::anen

@@ -1,0 +1,55 @@
+// Synthetic forecast/analysis archive standing in for the NAM/WRF data
+// (paper §III-B: 13 variables, years 2015–2016, NCAR archive).
+//
+// We cannot redistribute NAM data, so we generate a deterministic synthetic
+// truth field — smooth multi-scale structure drifting over time with
+// region-dependent gradients — plus a forecast archive derived from the
+// truth with per-variable bias and autocorrelated noise. The AnEn method
+// only relies on "similar past forecasts have similar errors", which the
+// construction preserves; prediction error is exactly measurable because
+// the truth is known everywhere.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace entk::anen {
+
+struct DomainSpec {
+  int width = 256;       ///< grid cells (paper domain: 262,972 pixels)
+  int height = 256;
+  int history_days = 90; ///< training archive length
+  int variables = 5;     ///< forecast variables (paper: 13)
+  std::uint64_t seed = 2015;
+};
+
+/// Value of the truth ("analysis") field for day `t` at cell (x, y).
+/// Deterministic function of (spec.seed, t, x, y); day is continuous so
+/// lead times interpolate naturally.
+double truth_value(const DomainSpec& spec, double t, int x, int y);
+
+/// A forecast archive: forecasts[v][t] is variable v's forecast field for
+/// day t, stored row-major (y * width + x).
+class ForecastArchive {
+ public:
+  explicit ForecastArchive(const DomainSpec& spec);
+
+  const DomainSpec& spec() const { return spec_; }
+
+  /// Forecast of variable `v` for day `t` at cell (x, y).
+  double forecast(int v, int t, int x, int y) const;
+
+  /// Observed (analysis) value of the target variable for day t.
+  double observation(int t, int x, int y) const;
+
+  int days() const { return spec_.history_days; }
+
+ private:
+  DomainSpec spec_;
+  // Per-variable bias/noise parameters (deterministic from seed).
+  std::vector<double> bias_;
+  std::vector<double> noise_amp_;
+  std::vector<double> phase_;
+};
+
+}  // namespace entk::anen

@@ -1,0 +1,86 @@
+#include "src/anen/verification.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace entk::anen {
+
+double crps(const std::vector<double>& ensemble, double observation) {
+  if (ensemble.empty()) throw ValueError("crps: empty ensemble");
+  const double n = static_cast<double>(ensemble.size());
+  double term1 = 0.0;
+  for (double x : ensemble) term1 += std::abs(x - observation);
+  term1 /= n;
+  double term2 = 0.0;
+  for (double a : ensemble) {
+    for (double b : ensemble) term2 += std::abs(a - b);
+  }
+  term2 /= 2.0 * n * n;
+  return term1 - term2;
+}
+
+double mean_crps(const std::vector<std::vector<double>>& ensembles,
+                 const std::vector<double>& observations) {
+  if (ensembles.size() != observations.size() || ensembles.empty()) {
+    throw ValueError("mean_crps: non-conformant inputs");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < ensembles.size(); ++i) {
+    total += crps(ensembles[i], observations[i]);
+  }
+  return total / static_cast<double>(ensembles.size());
+}
+
+std::vector<int> rank_histogram(
+    const std::vector<std::vector<double>>& ensembles,
+    const std::vector<double>& observations) {
+  if (ensembles.size() != observations.size() || ensembles.empty()) {
+    throw ValueError("rank_histogram: non-conformant inputs");
+  }
+  const std::size_t members = ensembles[0].size();
+  std::vector<int> counts(members + 1, 0);
+  for (std::size_t i = 0; i < ensembles.size(); ++i) {
+    if (ensembles[i].size() != members) {
+      throw ValueError("rank_histogram: ragged ensembles");
+    }
+    std::vector<double> sorted = ensembles[i];
+    std::sort(sorted.begin(), sorted.end());
+    std::size_t rank = 0;
+    while (rank < members && observations[i] > sorted[rank]) ++rank;
+    ++counts[rank];
+  }
+  return counts;
+}
+
+SpreadSkill spread_skill(const std::vector<std::vector<double>>& ensembles,
+                         const std::vector<double>& observations) {
+  if (ensembles.size() != observations.size() || ensembles.empty()) {
+    throw ValueError("spread_skill: non-conformant inputs");
+  }
+  double spread_sum = 0.0;
+  double err2_sum = 0.0;
+  for (std::size_t i = 0; i < ensembles.size(); ++i) {
+    const std::vector<double>& e = ensembles[i];
+    if (e.empty()) throw ValueError("spread_skill: empty ensemble");
+    double mean = 0.0;
+    for (double x : e) mean += x;
+    mean /= static_cast<double>(e.size());
+    double var = 0.0;
+    for (double x : e) var += (x - mean) * (x - mean);
+    // Unbiased ensemble variance; 0 for single-member ensembles.
+    var = e.size() > 1 ? var / static_cast<double>(e.size() - 1) : 0.0;
+    spread_sum += std::sqrt(var);
+    const double err = mean - observations[i];
+    err2_sum += err * err;
+  }
+  SpreadSkill out;
+  const double n = static_cast<double>(ensembles.size());
+  out.mean_spread = spread_sum / n;
+  out.rmse = std::sqrt(err2_sum / n);
+  out.ratio = out.rmse > 0 ? out.mean_spread / out.rmse : 0.0;
+  return out;
+}
+
+}  // namespace entk::anen

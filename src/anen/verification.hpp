@@ -1,0 +1,42 @@
+// Probabilistic-forecast verification metrics.
+//
+// The AnEn method (paper §III-B) produces *probabilistic* forecasts: the
+// analog ensemble is a predictive distribution, not just its mean. These
+// are the standard metrics used to verify such forecasts:
+//   - CRPS: the continuous ranked probability score of an ensemble
+//     against the verifying observation (lower is better; reduces to MAE
+//     for a single-member ensemble);
+//   - rank histogram: where observations fall within the sorted ensemble
+//     (flat = statistically calibrated ensemble);
+//   - spread/skill: ensemble spread vs RMSE of the ensemble mean
+//     (ratio ~1 for a reliable ensemble).
+#pragma once
+
+#include <vector>
+
+namespace entk::anen {
+
+/// CRPS of one ensemble vs one observation, using the fair sample form:
+///   CRPS = mean|x_i - y| - (1 / (2 n^2)) * sum_ij |x_i - x_j|.
+double crps(const std::vector<double>& ensemble, double observation);
+
+/// Mean CRPS over a set of (ensemble, observation) cases.
+double mean_crps(const std::vector<std::vector<double>>& ensembles,
+                 const std::vector<double>& observations);
+
+/// Rank histogram: counts[r] = number of observations falling between
+/// sorted ensemble members r-1 and r (n+1 bins for n members).
+std::vector<int> rank_histogram(
+    const std::vector<std::vector<double>>& ensembles,
+    const std::vector<double>& observations);
+
+struct SpreadSkill {
+  double mean_spread = 0.0;  ///< average ensemble standard deviation
+  double rmse = 0.0;         ///< RMSE of the ensemble mean
+  double ratio = 0.0;        ///< spread / rmse (~1 = reliable)
+};
+
+SpreadSkill spread_skill(const std::vector<std::vector<double>>& ensembles,
+                         const std::vector<double>& observations);
+
+}  // namespace entk::anen

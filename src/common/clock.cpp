@@ -1,0 +1,43 @@
+#include "src/common/clock.hpp"
+
+#include <thread>
+
+namespace entk {
+namespace {
+
+WallClock::time_point process_epoch() {
+  static const WallClock::time_point epoch = WallClock::now();
+  return epoch;
+}
+
+}  // namespace
+
+std::int64_t wall_now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             WallClock::now() - process_epoch())
+      .count();
+}
+
+double wall_now_s() { return static_cast<double>(wall_now_us()) * 1e-6; }
+
+double RealClock::now() const { return wall_now_s(); }
+
+void RealClock::sleep_for(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+ScaledClock::ScaledClock(double wall_per_virtual)
+    : wall_per_virtual_(wall_per_virtual), epoch_s_(wall_now_s()) {}
+
+double ScaledClock::now() const {
+  return (wall_now_s() - epoch_s_) / wall_per_virtual_;
+}
+
+void ScaledClock::sleep_for(double seconds) {
+  if (seconds <= 0) return;
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(seconds * wall_per_virtual_));
+}
+
+}  // namespace entk

@@ -1,0 +1,61 @@
+// Exception hierarchy for the EnTK toolkit.
+//
+// Mirrors the error taxonomy of the reference implementation: user-facing
+// description errors (ValueError, TypeError, MissingError) raised while
+// validating PST descriptions, and runtime errors (EnTKError and subclasses)
+// raised by components during execution.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace entk {
+
+/// Base class for all toolkit errors.
+class EnTKError : public std::runtime_error {
+ public:
+  explicit EnTKError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A description attribute has an invalid value.
+class ValueError : public EnTKError {
+ public:
+  ValueError(const std::string& obj, const std::string& attribute,
+             const std::string& expected)
+      : EnTKError(obj + ": invalid value for '" + attribute + "', expected " +
+                  expected) {}
+  explicit ValueError(const std::string& what) : EnTKError(what) {}
+};
+
+/// A description attribute has the wrong type.
+class TypeError : public EnTKError {
+ public:
+  explicit TypeError(const std::string& what) : EnTKError(what) {}
+};
+
+/// A required description attribute is missing.
+class MissingError : public EnTKError {
+ public:
+  MissingError(const std::string& obj, const std::string& attribute)
+      : EnTKError(obj + ": missing required attribute '" + attribute + "'") {}
+};
+
+/// An object was asked to perform an invalid state transition.
+class StateError : public EnTKError {
+ public:
+  explicit StateError(const std::string& what) : EnTKError(what) {}
+};
+
+/// The runtime system failed or became unresponsive.
+class RtsError : public EnTKError {
+ public:
+  explicit RtsError(const std::string& what) : EnTKError(what) {}
+};
+
+/// The messaging substrate failed (closed queue, broker shut down, ...).
+class MqError : public EnTKError {
+ public:
+  explicit MqError(const std::string& what) : EnTKError(what) {}
+};
+
+}  // namespace entk

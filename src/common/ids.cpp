@@ -1,0 +1,52 @@
+#include "src/common/ids.hpp"
+
+#include <cstdio>
+#include <mutex>
+#include <unordered_map>
+
+namespace entk {
+namespace {
+
+std::mutex g_mutex;
+std::unordered_map<std::string, std::uint64_t>& counters() {
+  static std::unordered_map<std::string, std::uint64_t> c;
+  return c;
+}
+
+}  // namespace
+
+std::string generate_uid(const std::string& prefix) {
+  std::uint64_t n;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    n = counters()[prefix]++;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), ".%04llu", static_cast<unsigned long long>(n));
+  return prefix + buf;
+}
+
+void reset_uid_counters() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  counters().clear();
+}
+
+std::string uid_prefix(const std::string& uid) {
+  const auto pos = uid.rfind('.');
+  if (pos == std::string::npos) return uid;
+  return uid.substr(0, pos);
+}
+
+std::int64_t uid_number(const std::string& uid) {
+  const auto pos = uid.rfind('.');
+  if (pos == std::string::npos || pos + 1 >= uid.size()) return -1;
+  std::int64_t value = 0;
+  for (std::size_t i = pos + 1; i < uid.size(); ++i) {
+    const char c = uid[i];
+    if (c < '0' || c > '9') return -1;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+}  // namespace entk

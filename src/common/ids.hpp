@@ -1,0 +1,27 @@
+// Unique-identifier generation for tasks, stages, pipelines, pilots and
+// components. Uids follow the reference implementation's convention of
+// "<prefix>.<counter>" (e.g. "task.0042", "pipeline.0001") with a
+// process-wide atomic counter per prefix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace entk {
+
+/// Generate the next uid for `prefix`, formatted as "<prefix>.NNNN".
+/// Thread-safe; counters are monotonic per prefix within the process.
+std::string generate_uid(const std::string& prefix);
+
+/// Reset all uid counters to zero. Intended for tests that assert on
+/// deterministic uid values; not used by production code paths.
+void reset_uid_counters();
+
+/// Split a uid of the form "<prefix>.NNNN" back into its prefix.
+/// Returns the whole string when there is no '.' separator.
+std::string uid_prefix(const std::string& uid);
+
+/// Numeric suffix of a uid; returns -1 when the uid has no numeric suffix.
+std::int64_t uid_number(const std::string& uid);
+
+}  // namespace entk

@@ -1,0 +1,80 @@
+#include "src/common/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/error.hpp"
+
+namespace entk {
+namespace {
+
+void check_dims(const std::vector<double>& values, int width, int height) {
+  if (width <= 0 || height <= 0 ||
+      values.size() != static_cast<std::size_t>(width) * height) {
+    throw ValueError("image writer: values size does not match dimensions");
+  }
+}
+
+}  // namespace
+
+void write_pgm(const std::string& path, const std::vector<double>& values,
+               int width, int height) {
+  check_dims(values, width, height);
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  const double range = hi > lo ? hi - lo : 1.0;
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw EnTKError("write_pgm: cannot open " + path);
+  std::fprintf(f, "P5\n%d %d\n255\n", width, height);
+  std::vector<unsigned char> row(static_cast<std::size_t>(width));
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double v = values[static_cast<std::size_t>(y) * width + x];
+      row[static_cast<std::size_t>(x)] =
+          static_cast<unsigned char>(std::lround((v - lo) / range * 255.0));
+    }
+    std::fwrite(row.data(), 1, row.size(), f);
+  }
+  std::fclose(f);
+}
+
+void write_diverging_ppm(const std::string& path,
+                         const std::vector<double>& values, int width,
+                         int height) {
+  check_dims(values, width, height);
+  double amax = 0.0;
+  for (double v : values) amax = std::max(amax, std::abs(v));
+  if (amax == 0.0) amax = 1.0;
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) throw EnTKError("write_diverging_ppm: cannot open " + path);
+  std::fprintf(f, "P6\n%d %d\n255\n", width, height);
+  std::vector<unsigned char> row(static_cast<std::size_t>(width) * 3);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double t =
+          std::clamp(values[static_cast<std::size_t>(y) * width + x] / amax,
+                     -1.0, 1.0);
+      unsigned char r, g, b;
+      if (t >= 0) {  // white -> red
+        r = 255;
+        g = b = static_cast<unsigned char>(std::lround(255.0 * (1.0 - t)));
+      } else {  // white -> blue
+        b = 255;
+        r = g = static_cast<unsigned char>(std::lround(255.0 * (1.0 + t)));
+      }
+      row[static_cast<std::size_t>(x) * 3 + 0] = r;
+      row[static_cast<std::size_t>(x) * 3 + 1] = g;
+      row[static_cast<std::size_t>(x) * 3 + 2] = b;
+    }
+    std::fwrite(row.data(), 1, row.size(), f);
+  }
+  std::fclose(f);
+}
+
+}  // namespace entk

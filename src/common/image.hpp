@@ -1,0 +1,23 @@
+// Minimal image writers (binary PGM/PPM) used by the examples and benches
+// to emit the paper's visual artifacts: velocity models and sensitivity
+// kernels (seismic use case), prediction/truth maps (AnEn use case).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace entk {
+
+/// Write `values` (row-major, width x height) as an 8-bit grayscale PGM,
+/// linearly mapping [min, max] -> [0, 255]. Throws EnTKError on I/O error.
+void write_pgm(const std::string& path, const std::vector<double>& values,
+               int width, int height);
+
+/// Write a diverging blue-white-red PPM: negative values blue, zero white,
+/// positive red, scaled symmetrically by max |value|. Good for kernels and
+/// anomaly fields.
+void write_diverging_ppm(const std::string& path,
+                         const std::vector<double>& values, int width,
+                         int height);
+
+}  // namespace entk

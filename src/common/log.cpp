@@ -1,0 +1,54 @@
+#include "src/common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "src/common/clock.hpp"
+
+namespace entk {
+namespace {
+
+std::atomic<int> g_level{[] {
+  const char* env = std::getenv("ENTK_LOG");
+  if (env == nullptr) return static_cast<int>(LogLevel::Warn);
+  return static_cast<int>(log_level_from_string(env));
+}()};
+
+std::mutex g_emit_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+LogLevel log_level_from_string(const std::string& s) {
+  if (s == "debug") return LogLevel::Debug;
+  if (s == "info") return LogLevel::Info;
+  if (s == "warn") return LogLevel::Warn;
+  if (s == "error") return LogLevel::Error;
+  if (s == "off") return LogLevel::Off;
+  return LogLevel::Warn;
+}
+
+void log_emit(LogLevel level, const std::string& component,
+              const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "%10.4f %-5s [%s] %s\n", wall_now_s(),
+               level_name(level), component.c_str(), message.c_str());
+}
+
+}  // namespace entk

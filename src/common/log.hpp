@@ -1,0 +1,54 @@
+// Minimal thread-safe leveled logger.
+//
+// Components log with a component tag; the global level gates emission.
+// Default level is Warn so tests and benches stay quiet unless asked
+// (set ENTK_LOG=debug|info|warn|error or call set_log_level).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace entk {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "debug"/"info"/"warn"/"error"/"off"; unknown strings map to Warn.
+LogLevel log_level_from_string(const std::string& s);
+
+/// Emit one line: "<wall_s> <LEVEL> [component] message".
+void log_emit(LogLevel level, const std::string& component,
+              const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() { log_emit(level_, component_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define ENTK_LOG(level, component)                      \
+  if (static_cast<int>(level) < static_cast<int>(::entk::log_level())) { \
+  } else                                                \
+    ::entk::detail::LogLine(level, component)
+
+#define ENTK_DEBUG(component) ENTK_LOG(::entk::LogLevel::Debug, component)
+#define ENTK_INFO(component) ENTK_LOG(::entk::LogLevel::Info, component)
+#define ENTK_WARN(component) ENTK_LOG(::entk::LogLevel::Warn, component)
+#define ENTK_ERROR(component) ENTK_LOG(::entk::LogLevel::Error, component)
+
+}  // namespace entk

@@ -1,0 +1,105 @@
+#include "src/common/profiler.hpp"
+
+#include <cstdio>
+#include <map>
+
+#include "src/common/clock.hpp"
+#include "src/common/error.hpp"
+
+namespace entk {
+
+void Profiler::record(const std::string& component, const std::string& event,
+                      const std::string& uid, double virtual_s) {
+  ProfileEvent e;
+  e.wall_us = wall_now_us();
+  e.virtual_s = virtual_s;
+  e.component = component;
+  e.event = event;
+  e.uid = uid;
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(e));
+}
+
+std::vector<ProfileEvent> Profiler::events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_;
+}
+
+std::size_t Profiler::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::optional<std::int64_t> Profiler::first_us(const std::string& event) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : events_) {
+    if (e.event == event) return e.wall_us;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> Profiler::last_us(const std::string& event) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<std::int64_t> out;
+  for (const auto& e : events_) {
+    if (e.event == event) out = e.wall_us;
+  }
+  return out;
+}
+
+double Profiler::span_s(const std::string& start_event,
+                        const std::string& end_event) const {
+  const auto a = first_us(start_event);
+  const auto b = last_us(end_event);
+  if (!a || !b) return 0.0;
+  return static_cast<double>(*b - *a) * 1e-6;
+}
+
+double Profiler::paired_sum_s(const std::string& start_event,
+                              const std::string& end_event) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::int64_t> starts;
+  double total = 0.0;
+  for (const auto& e : events_) {
+    if (e.event == start_event) {
+      // Keep the first start per uid.
+      starts.emplace(e.uid, e.wall_us);
+    } else if (e.event == end_event) {
+      const auto it = starts.find(e.uid);
+      if (it != starts.end()) {
+        total += static_cast<double>(e.wall_us - it->second) * 1e-6;
+        starts.erase(it);
+      }
+    }
+  }
+  return total;
+}
+
+std::size_t Profiler::count(const std::string& event) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.event == event) ++n;
+  }
+  return n;
+}
+
+void Profiler::dump_csv(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) throw EnTKError("Profiler: cannot open " + path);
+  std::fprintf(f, "wall_us,virtual_s,component,event,uid\n");
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& e : events_) {
+    std::fprintf(f, "%lld,%.6f,%s,%s,%s\n",
+                 static_cast<long long>(e.wall_us), e.virtual_s,
+                 e.component.c_str(), e.event.c_str(), e.uid.c_str());
+  }
+  std::fclose(f);
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+}  // namespace entk

@@ -1,0 +1,69 @@
+// Event profiler used to derive the paper's overhead categories.
+//
+// Every component records named events with a wall-clock microsecond
+// timestamp (and, where meaningful, a virtual-time annotation). The
+// OverheadReport in src/core then derives durations such as "EnTK Setup
+// Overhead" or "RTS Tear-Down Overhead" as differences between the first and
+// last occurrence of well-known event names — the same methodology the
+// reference implementation applies to its profiler traces.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace entk {
+
+struct ProfileEvent {
+  std::int64_t wall_us = 0;   ///< wall time of the event (process epoch)
+  double virtual_s = -1.0;    ///< virtual time, or -1 when not applicable
+  std::string component;      ///< emitting component, e.g. "wfprocessor"
+  std::string event;          ///< event name, e.g. "enqueue_task"
+  std::string uid;            ///< subject uid, may be empty
+};
+
+/// Thread-safe append-only event recorder.
+class Profiler {
+ public:
+  void record(const std::string& component, const std::string& event,
+              const std::string& uid = "", double virtual_s = -1.0);
+
+  /// Snapshot of all recorded events, in record order.
+  std::vector<ProfileEvent> events() const;
+
+  /// Number of recorded events.
+  std::size_t size() const;
+
+  /// Wall time of the first/last occurrence of `event`, if any.
+  std::optional<std::int64_t> first_us(const std::string& event) const;
+  std::optional<std::int64_t> last_us(const std::string& event) const;
+
+  /// last_us(end_event) - first_us(start_event), in seconds.
+  /// Returns 0 when either event is missing.
+  double span_s(const std::string& start_event,
+                const std::string& end_event) const;
+
+  /// Sum over matching pairs: for each uid, last(end) - first(start).
+  /// Used for per-task aggregates such as total staging time.
+  double paired_sum_s(const std::string& start_event,
+                      const std::string& end_event) const;
+
+  /// Count occurrences of `event`.
+  std::size_t count(const std::string& event) const;
+
+  /// Write all events as CSV ("wall_us,virtual_s,component,event,uid").
+  void dump_csv(const std::string& path) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<ProfileEvent> events_;
+};
+
+using ProfilerPtr = std::shared_ptr<Profiler>;
+
+}  // namespace entk

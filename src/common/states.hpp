@@ -1,0 +1,77 @@
+// State machines for tasks, stages and pipelines (PST model, paper §II-B-3).
+//
+// The toolkit tracks every PST object through an explicit linear lifecycle
+// plus three terminal states. All state changes flow through the
+// Synchronizer, which validates them against the transition tables defined
+// here before committing them to the AppManager's state store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace entk {
+
+/// Lifecycle of a Task. Mirrors the reference implementation:
+/// the WFProcessor moves tasks Described -> Scheduling -> Scheduled when
+/// enqueueing; the ExecManager moves them Submitting -> Submitted ->
+/// Executed while the RTS runs them; the Dequeue subcomponent resolves them
+/// to Done / Failed / Canceled from the RTS return code.
+enum class TaskState : std::uint8_t {
+  Described = 0,
+  Scheduling,
+  Scheduled,
+  Submitting,
+  Submitted,
+  Executed,
+  Done,
+  Failed,
+  Canceled,
+};
+
+/// Lifecycle of a Stage: a stage is Scheduled when its tasks have been
+/// queued for execution and Done/Failed when all its tasks have resolved.
+enum class StageState : std::uint8_t {
+  Described = 0,
+  Scheduling,
+  Scheduled,
+  Done,
+  Failed,
+  Canceled,
+};
+
+/// Lifecycle of a Pipeline: Scheduling while any of its stages still has
+/// work, then a terminal state.
+enum class PipelineState : std::uint8_t {
+  Described = 0,
+  Scheduling,
+  Done,
+  Failed,
+  Canceled,
+};
+
+const char* to_string(TaskState s);
+const char* to_string(StageState s);
+const char* to_string(PipelineState s);
+
+TaskState task_state_from_string(const std::string& s);
+StageState stage_state_from_string(const std::string& s);
+PipelineState pipeline_state_from_string(const std::string& s);
+
+/// True when `s` is Done, Failed or Canceled.
+bool is_final(TaskState s);
+bool is_final(StageState s);
+bool is_final(PipelineState s);
+
+/// Transition validity. The machines are linear with three terminal states;
+/// Failed tasks may additionally be re-described (Failed -> Described) to
+/// support resubmission without restarting completed work (paper §II-A),
+/// and any non-final state may transition to Canceled.
+bool is_valid_transition(TaskState from, TaskState to);
+bool is_valid_transition(StageState from, StageState to);
+bool is_valid_transition(PipelineState from, PipelineState to);
+
+/// All states reachable from `from` in one hop, in enum order.
+std::vector<TaskState> next_states(TaskState from);
+
+}  // namespace entk

@@ -1,0 +1,188 @@
+#include "src/core/app_manager.hpp"
+
+#include "src/common/error.hpp"
+#include "src/common/ids.hpp"
+#include "src/common/log.hpp"
+#include "src/rts/pilot_rts.hpp"
+#include "src/sim/cluster.hpp"
+
+namespace entk {
+
+AppManager::AppManager(AppManagerConfig config)
+    : config_(std::move(config)),
+      uid_(generate_uid("appmanager")),
+      clock_(std::make_shared<ScaledClock>(config_.clock_scale)),
+      profiler_(std::make_shared<Profiler>()) {
+  if (config_.host.factor < 0) {
+    config_.host.factor =
+        sim::cluster_by_name(config_.resource.resource).entk_host_factor;
+  }
+  if (!config_.rts_factory) config_.rts_factory = default_rts_factory();
+}
+
+AppManager::~AppManager() = default;
+
+rts::RtsFactory AppManager::default_rts_factory() {
+  // Copy what the factory needs by value: it outlives individual RTS
+  // instances and is re-invoked after an RTS failure.
+  const ResourceDescription res = config_.resource;
+  ClockPtr clock = clock_;
+  ProfilerPtr profiler = profiler_;
+  return [res, clock, profiler]() -> rts::RtsPtr {
+    rts::PilotRtsConfig cfg;
+    cfg.pilot.resource = res.resource;
+    cfg.pilot.cores = res.cpus;
+    cfg.pilot.nodes = res.nodes;
+    cfg.pilot.walltime_s = res.walltime_s;
+    cfg.pilot.project = res.project;
+    cfg.agent = res.agent;
+    cfg.failure = res.failure;
+    cfg.teardown_base_s = res.rts_teardown_base_s;
+    cfg.teardown_per_unit_s = res.rts_teardown_per_unit_s;
+    return std::make_shared<rts::PilotRts>(cfg, clock, profiler);
+  };
+}
+
+void AppManager::add_pipelines(std::vector<PipelinePtr> pipelines) {
+  if (ran_) throw StateError(uid_ + ": cannot add pipelines after run()");
+  for (PipelinePtr& p : pipelines) {
+    if (!p) throw ValueError(uid_, "pipeline", "non-null pipeline");
+    p->validate();
+    pipelines_.push_back(std::move(p));
+  }
+}
+
+void AppManager::run() {
+  if (ran_) throw StateError(uid_ + ": run() may only be called once");
+  ran_ = true;
+  if (pipelines_.empty()) throw MissingError(uid_, "pipelines");
+
+  // ---------------------------------------------------------- EnTK setup
+  profiler_->record("amgr", "amgr_setup_start");
+  const double setup_t0 = wall_now_s();
+
+  const std::string journal_dir = config_.journal_dir;
+  broker_ = std::make_shared<mq::Broker>(uid_, journal_dir);
+  broker_->declare_queue("q.pending");
+  broker_->declare_queue("q.completed");
+  broker_->declare_queue("q.states");
+
+  store_ = std::make_unique<StateStore>(
+      journal_dir.empty() ? "" : journal_dir + "/" + uid_ + ".states");
+
+  for (const PipelinePtr& p : pipelines_) registry_.add_pipeline(p);
+
+  synchronizer_ = std::make_unique<Synchronizer>(
+      broker_, "q.states", &registry_, store_.get(), profiler_);
+  synchronizer_->start();
+
+  WfConfig wf_cfg;
+  wf_cfg.default_task_retry_limit = config_.task_retry_limit;
+  if (!config_.resume_journal.empty()) {
+    StateStore previous;
+    previous.recover(config_.resume_journal);
+    for (const PipelinePtr& p : pipelines_) {
+      for (const StagePtr& stage : p->stages()) {
+        for (const TaskPtr& task : stage->tasks()) {
+          if (previous.state_of(task->uid()) == "DONE") {
+            task->set_state(TaskState::Done);
+            wf_cfg.recovered_done.insert(task->uid());
+            store_->commit(task->uid(), "task", "DESCRIBED", "DONE",
+                           "recovery");
+            profiler_->record("amgr", "task_recovered", task->uid());
+          }
+        }
+      }
+    }
+    ENTK_INFO(uid_) << "resume: recovered " << wf_cfg.recovered_done.size()
+                    << " completed task(s) from " << config_.resume_journal;
+  }
+  wfprocessor_ = std::make_unique<WFProcessor>(wf_cfg, broker_, &registry_,
+                                               "q.pending", "q.completed",
+                                               "q.states", profiler_);
+
+  ExecConfig exec_cfg;
+  exec_cfg.rts_restart_limit = config_.rts_restart_limit;
+  exec_cfg.heartbeat_interval_s = config_.heartbeat_interval_s;
+  exec_manager_ = std::make_unique<ExecManager>(
+      exec_cfg, broker_, &registry_, "q.pending", "q.completed", "q.states",
+      config_.rts_factory, profiler_);
+  exec_manager_->set_fatal_handler(
+      [this](const std::string& reason) { wfprocessor_->abort(reason); });
+
+  const double setup_wall = wall_now_s() - setup_t0;
+  profiler_->record("amgr", "amgr_setup_stop");
+
+  // ----------------------------------------------- resource acquisition
+  exec_manager_->acquire_resources();
+
+  // ------------------------------------------------------------ execute
+  profiler_->record("amgr", "amgr_run_start");
+  exec_manager_->start();
+  wfprocessor_->start();
+  wfprocessor_->wait_completion();
+  profiler_->record("amgr", "amgr_run_stop");
+
+  // ----------------------------------------------------------- teardown
+  profiler_->record("amgr", "amgr_teardown_start");
+  const double teardown_t0 = wall_now_s();
+  wfprocessor_->stop();
+  const double rts_terminate_wall = exec_manager_->stop();
+  synchronizer_->stop();
+  broker_->close();
+  const double teardown_wall =
+      wall_now_s() - teardown_t0 - rts_terminate_wall;
+  profiler_->record("amgr", "amgr_teardown_stop");
+
+  // ------------------------------------------------------------- report
+  OverheadInputs inputs;
+  inputs.setup_wall_s = setup_wall;
+  inputs.mgmt_wall_s = wfprocessor_->enqueue_busy().total_s() +
+                       wfprocessor_->dequeue_busy().total_s() +
+                       exec_manager_->emgr_busy().total_s() +
+                       synchronizer_->busy().total_s();
+  inputs.teardown_wall_s = teardown_wall;
+  inputs.tasks_processed =
+      wfprocessor_->tasks_done() + wfprocessor_->tasks_failed() +
+      wfprocessor_->resubmissions();
+  inputs.host = config_.host;
+  report_ = compute_overheads(*profiler_, inputs);
+  report_.tasks_done = wfprocessor_->tasks_done();
+  report_.tasks_failed = wfprocessor_->tasks_failed();
+  report_.resubmissions = wfprocessor_->resubmissions();
+  report_.rts_restarts = exec_manager_->rts_restarts();
+
+  ENTK_INFO(uid_) << "run complete: " << report_.tasks_done << " done, "
+                  << report_.tasks_failed << " failed, "
+                  << report_.resubmissions << " resubmissions";
+}
+
+void AppManager::inject_rts_failure() {
+  if (exec_manager_) exec_manager_->inject_rts_failure();
+}
+
+void AppManager::cancel() {
+  if (wfprocessor_) wfprocessor_->cancel();
+}
+
+std::size_t AppManager::tasks_done() const {
+  return wfprocessor_ ? wfprocessor_->tasks_done() : 0;
+}
+
+std::size_t AppManager::tasks_failed() const {
+  return wfprocessor_ ? wfprocessor_->tasks_failed() : 0;
+}
+
+std::size_t AppManager::resubmissions() const {
+  return wfprocessor_ ? wfprocessor_->resubmissions() : 0;
+}
+
+std::size_t AppManager::tasks_recovered() const {
+  return wfprocessor_ ? wfprocessor_->tasks_recovered() : 0;
+}
+
+int AppManager::rts_restarts() const {
+  return exec_manager_ ? exec_manager_->rts_restarts() : 0;
+}
+
+}  // namespace entk

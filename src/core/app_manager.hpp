@@ -1,0 +1,119 @@
+// AppManager (paper Fig 2): the master component of EnTK.
+//
+// Holds the application description and all global state; creates the
+// communication infrastructure (broker queues), spawns the Synchronizer,
+// instantiates WFProcessor and ExecManager, and orchestrates the run:
+//   users describe an application as pipelines of stages of tasks, hand it
+//   to AppManager together with a resource description, and call run().
+// AppManager is the single stateful component: every state change flows
+// through its Synchronizer into the transactional StateStore.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.hpp"
+#include "src/common/profiler.hpp"
+#include "src/core/exec_manager.hpp"
+#include "src/core/overheads.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/core/resource.hpp"
+#include "src/core/state_store.hpp"
+#include "src/core/sync.hpp"
+#include "src/core/wfprocessor.hpp"
+#include "src/mq/broker.hpp"
+#include "src/rts/rts.hpp"
+
+namespace entk {
+
+struct AppManagerConfig {
+  ResourceDescription resource;
+
+  /// Host-emulation model; factor < 0 -> use the CI catalog's factor.
+  HostModel host{.factor = -1.0};
+
+  int task_retry_limit = 0;   ///< default resubmission budget per task
+  int rts_restart_limit = 1;  ///< RTS restarts per run (user-configurable)
+
+  /// Wall seconds per virtual second for the simulated CI (1e-3 runs
+  /// simulated workloads 1000x faster than real time).
+  double clock_scale = 1e-3;
+
+  /// Directory for the broker journal and the transactional state journal
+  /// ("" = in-memory only).
+  std::string journal_dir;
+
+  /// Path to the state journal of a previous attempt of the SAME
+  /// application description (matching uids). Tasks whose last committed
+  /// state is DONE are recovered and not re-executed: the paper's restart
+  /// semantics ("reacquire upon restarting information about the state of
+  /// the execution up to the latest successful transaction", §II-B-4).
+  std::string resume_journal;
+
+  /// Override the runtime system (default: PilotRts on `resource`). The
+  /// factory is invoked again after an RTS failure.
+  rts::RtsFactory rts_factory;
+
+  double heartbeat_interval_s = 0.02;
+};
+
+class AppManager {
+ public:
+  explicit AppManager(AppManagerConfig config);
+  ~AppManager();
+
+  AppManager(const AppManager&) = delete;
+  AppManager& operator=(const AppManager&) = delete;
+
+  /// Assign the application workflow. Must be called before run().
+  void add_pipelines(std::vector<PipelinePtr> pipelines);
+
+  /// Execute the application to completion (blocking). Throws EnTKError
+  /// when the application cannot start; individual task/pipeline failures
+  /// are reported through states and the overhead report instead.
+  void run();
+
+  /// Inject a hard RTS failure (fault-tolerance tests/examples).
+  void inject_rts_failure();
+
+  /// Cancel the running application from another thread: live tasks,
+  /// stages and pipelines move to Canceled and run() returns after clean
+  /// teardown. Results of units still executing in the RTS are discarded.
+  void cancel();
+
+  // --- introspection ------------------------------------------------------
+  const std::string& uid() const { return uid_; }
+  OverheadReport overheads() const { return report_; }
+  ProfilerPtr profiler() { return profiler_; }
+  ClockPtr clock() { return clock_; }
+  StateStore* state_store() { return store_.get(); }
+  const std::vector<PipelinePtr>& pipelines() const { return pipelines_; }
+  std::size_t tasks_done() const;
+  std::size_t tasks_failed() const;
+  std::size_t resubmissions() const;
+  std::size_t tasks_recovered() const;
+  int rts_restarts() const;
+
+ private:
+  rts::RtsFactory default_rts_factory();
+
+  AppManagerConfig config_;
+  std::string uid_;
+  ClockPtr clock_;
+  ProfilerPtr profiler_;
+
+  std::vector<PipelinePtr> pipelines_;
+
+  mq::BrokerPtr broker_;
+  std::unique_ptr<StateStore> store_;
+  ObjectRegistry registry_;
+  std::unique_ptr<Synchronizer> synchronizer_;
+  std::unique_ptr<WFProcessor> wfprocessor_;
+  std::unique_ptr<ExecManager> exec_manager_;
+
+  OverheadReport report_;
+  bool ran_ = false;
+};
+
+}  // namespace entk

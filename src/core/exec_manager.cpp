@@ -1,0 +1,227 @@
+#include "src/core/exec_manager.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/log.hpp"
+
+namespace entk {
+
+ExecManager::ExecManager(ExecConfig config, mq::BrokerPtr broker,
+                         ObjectRegistry* registry, std::string pending_queue,
+                         std::string done_queue, std::string states_queue,
+                         rts::RtsFactory rts_factory, ProfilerPtr profiler)
+    : config_(config),
+      broker_(std::move(broker)),
+      registry_(registry),
+      pending_queue_(std::move(pending_queue)),
+      done_queue_(std::move(done_queue)),
+      states_queue_(std::move(states_queue)),
+      rts_factory_(std::move(rts_factory)),
+      profiler_(std::move(profiler)) {}
+
+ExecManager::~ExecManager() {
+  stopping_ = true;
+  if (emgr_thread_.joinable()) emgr_thread_.join();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+}
+
+void ExecManager::acquire_resources() {
+  profiler_->record("rmgr", "resource_acquire_start");
+  rts::RtsPtr rts = rts_factory_();
+  {
+    std::lock_guard<std::mutex> lock(rts_mutex_);
+    rts_ = std::move(rts);
+  }
+  attach_callback();
+  rts_->initialize();
+  profiler_->record("rmgr", "resource_acquire_stop");
+}
+
+void ExecManager::attach_callback() {
+  // RTS Callback subcomponent: forward completions to the Done queue
+  // (paper Fig 2, message 4).
+  std::lock_guard<std::mutex> lock(rts_mutex_);
+  rts_->set_completion_callback([this](const rts::UnitResult& result) {
+    json::Value msg;
+    msg["uid"] = result.uid;
+    msg["outcome"] = rts::to_string(result.outcome);
+    msg["exit_code"] = result.exit_code;
+    msg["exec_start_t"] = result.exec_start_t;
+    msg["exec_end_t"] = result.exec_end_t;
+    msg["staging_in_s"] = result.staging_in_s;
+    msg["staging_out_s"] = result.staging_out_s;
+    try {
+      broker_->publish(done_queue_, mq::Message::json_body(done_queue_, msg));
+    } catch (const MqError&) {
+      // AppManager broker is gone: we are shutting down.
+    }
+    profiler_->record("rts_callback", "unit_completed", result.uid);
+  });
+}
+
+void ExecManager::start() {
+  stopping_ = false;
+  emgr_thread_ = std::thread(&ExecManager::emgr_loop, this);
+  heartbeat_thread_ = std::thread(&ExecManager::heartbeat_loop, this);
+  profiler_->record("exec_manager", "emgr_start");
+}
+
+double ExecManager::stop() {
+  stopping_ = true;
+  if (emgr_thread_.joinable()) emgr_thread_.join();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  const double t0 = wall_now_s();
+  {
+    std::lock_guard<std::mutex> lock(rts_mutex_);
+    if (rts_) rts_->terminate();
+  }
+  profiler_->record("exec_manager", "emgr_stop");
+  return wall_now_s() - t0;
+}
+
+void ExecManager::inject_rts_failure() {
+  std::lock_guard<std::mutex> lock(rts_mutex_);
+  if (rts_) rts_->kill();
+}
+
+void ExecManager::set_fatal_handler(
+    std::function<void(const std::string&)> handler) {
+  fatal_handler_ = std::move(handler);
+}
+
+rts::RtsStats ExecManager::rts_stats() const {
+  std::lock_guard<std::mutex> lock(rts_mutex_);
+  return rts_ ? rts_->stats() : rts::RtsStats{};
+}
+
+rts::TaskUnit ExecManager::translate(const TaskPtr& task) const {
+  rts::TaskUnit unit;
+  unit.uid = task->uid();
+  unit.name = task->name;
+  unit.executable = task->executable;
+  unit.arguments = task->arguments;
+  unit.cores = task->cpu_reqs.total();
+  unit.gpus = task->gpu_reqs.total();
+  unit.exclusive_nodes = task->exclusive_nodes;
+  unit.duration_s = task->duration_s;
+  unit.callable = task->function;
+  unit.input_staging = task->input_staging;
+  unit.output_staging = task->output_staging;
+  unit.metadata = task->metadata;
+  return unit;
+}
+
+void ExecManager::emgr_loop() {
+  SyncClient sync(broker_, "emgr", states_queue_, "q.ack.emgr");
+  while (!stopping_.load()) {
+    // Batch: drain whatever is pending, up to submit_batch.
+    std::vector<rts::TaskUnit> batch;
+    std::vector<std::string> uids;
+    auto first = broker_->get(pending_queue_, config_.poll_timeout_s);
+    if (!first) continue;
+    BusyScope busy(emgr_busy_);
+    auto take = [&](const mq::Delivery& delivery) {
+      json::Value msg;
+      try {
+        msg = delivery.message.body_json();
+      } catch (const json::ParseError&) {
+        return;
+      }
+      const std::string uid = msg.get_string("uid", "");
+      TaskPtr task = registry_->task(uid);
+      if (!task) {
+        ENTK_WARN("emgr") << "pending message for unknown task " << uid;
+        return;
+      }
+      sync.sync(uid, "task", "SCHEDULED", "SUBMITTING", false);
+      batch.push_back(translate(task));
+      uids.push_back(uid);
+    };
+    take(*first);
+    broker_->ack(pending_queue_, first->delivery_tag);
+    while (batch.size() < config_.submit_batch) {
+      auto more = broker_->get(pending_queue_, 0.0);
+      if (!more) break;
+      take(*more);
+      broker_->ack(pending_queue_, more->delivery_tag);
+    }
+    if (batch.empty()) continue;
+    // Publish the Submitted transitions BEFORE handing the units to the
+    // RTS: a very short task could otherwise complete and have Dequeue's
+    // Executed transition reach the Synchronizer first.
+    for (const std::string& uid : uids) {
+      sync.sync(uid, "task", "SUBMITTING", "SUBMITTED", false);
+    }
+    try {
+      std::lock_guard<std::mutex> lock(rts_mutex_);
+      if (!rts_ || !rts_->is_healthy()) {
+        throw RtsError("emgr: no healthy RTS");
+      }
+      rts_->submit(std::move(batch));
+    } catch (const RtsError& e) {
+      // The heartbeat will deal with the RTS; requeue by re-describing is
+      // unnecessary — units stay tracked as in flight by uid below.
+      ENTK_WARN("emgr") << e.what();
+    }
+    for (const std::string& uid : uids) {
+      profiler_->record("emgr", "task_submitted", uid);
+    }
+  }
+}
+
+void ExecManager::heartbeat_loop() {
+  while (!stopping_.load()) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(config_.heartbeat_interval_s));
+    if (stopping_.load()) return;
+    bool healthy;
+    {
+      std::lock_guard<std::mutex> lock(rts_mutex_);
+      healthy = rts_ && rts_->is_healthy();
+    }
+    if (healthy) continue;
+    profiler_->record("heartbeat", "rts_unhealthy");
+    if (restarts_.load() >= config_.rts_restart_limit) {
+      ENTK_ERROR("heartbeat") << "RTS lost and restart budget exhausted";
+      if (fatal_handler_) fatal_handler_("RTS failed permanently");
+      return;
+    }
+    restart_rts();
+  }
+}
+
+void ExecManager::restart_rts() {
+  ++restarts_;
+  ENTK_WARN("heartbeat") << "restarting failed RTS (attempt "
+                         << restarts_.load() << ")";
+  profiler_->record("heartbeat", "rts_restart_start");
+
+  // Units in execution at the time of the failure are lost (paper
+  // §II-B-4); capture them from the dead instance for resubmission.
+  std::vector<std::string> lost;
+  {
+    std::lock_guard<std::mutex> lock(rts_mutex_);
+    if (rts_) lost = rts_->in_flight_units();
+    rts_ = rts_factory_();
+  }
+  attach_callback();
+  rts_->initialize();
+
+  std::vector<rts::TaskUnit> units;
+  units.reserve(lost.size());
+  for (const std::string& uid : lost) {
+    TaskPtr task = registry_->task(uid);
+    if (task) units.push_back(translate(task));
+  }
+  if (!units.empty()) {
+    ENTK_WARN("heartbeat") << "resubmitting " << units.size()
+                           << " lost units";
+    std::lock_guard<std::mutex> lock(rts_mutex_);
+    rts_->submit(std::move(units));
+  }
+  profiler_->record("heartbeat", "rts_restart_stop");
+}
+
+}  // namespace entk

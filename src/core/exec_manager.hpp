@@ -1,0 +1,92 @@
+// ExecManager (paper Fig 2): the workload-management component.
+//
+// Rmgr acquires resources through the RTS (pilot submission); Emgr pulls
+// tasks from the Pending queue (message 2), translates them into
+// RTS-specific units and submits them for execution (message 3); the RTS
+// Callback subcomponent pushes completed units to the Done queue
+// (message 4); Heartbeat monitors RTS health and — because the RTS is a
+// black box — handles full RTS failure by tearing it down, starting a new
+// instance with fresh pilot resources, and resubmitting only the units
+// that were in flight at the time of failure (paper §II-B-4).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/common/profiler.hpp"
+#include "src/core/sync.hpp"
+#include "src/mq/broker.hpp"
+#include "src/rts/rts.hpp"
+
+namespace entk {
+
+struct ExecConfig {
+  int rts_restart_limit = 1;         ///< restarts of a failed RTS per run
+  double heartbeat_interval_s = 0.02;  ///< wall seconds between probes
+  double poll_timeout_s = 0.002;
+  std::size_t submit_batch = 64;     ///< max units per RTS submission
+};
+
+class ExecManager {
+ public:
+  ExecManager(ExecConfig config, mq::BrokerPtr broker,
+              ObjectRegistry* registry, std::string pending_queue,
+              std::string done_queue, std::string states_queue,
+              rts::RtsFactory rts_factory, ProfilerPtr profiler);
+  ~ExecManager();
+
+  /// Rmgr: create the RTS and acquire resources (blocking).
+  void acquire_resources();
+
+  /// Start Emgr and Heartbeat threads.
+  void start();
+
+  /// Stop threads and terminate the RTS gracefully. Returns the wall
+  /// seconds spent inside Rts::terminate (so AppManager can report EnTK
+  /// and RTS tear-down separately).
+  double stop();
+
+  /// Fault injection for tests/examples: hard-kill the current RTS.
+  void inject_rts_failure();
+
+  /// Set the handler invoked when the RTS is lost and the restart budget
+  /// is exhausted.
+  void set_fatal_handler(std::function<void(const std::string&)> handler);
+
+  int rts_restarts() const { return restarts_.load(); }
+  rts::RtsStats rts_stats() const;
+
+  BusyAccumulator& emgr_busy() { return emgr_busy_; }
+
+ private:
+  void emgr_loop();
+  void heartbeat_loop();
+  void attach_callback();
+  rts::TaskUnit translate(const TaskPtr& task) const;
+  void restart_rts();
+
+  const ExecConfig config_;
+  mq::BrokerPtr broker_;
+  ObjectRegistry* registry_;
+  const std::string pending_queue_;
+  const std::string done_queue_;
+  const std::string states_queue_;
+  rts::RtsFactory rts_factory_;
+  ProfilerPtr profiler_;
+
+  mutable std::mutex rts_mutex_;
+  rts::RtsPtr rts_;
+
+  std::function<void(const std::string&)> fatal_handler_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> restarts_{0};
+  BusyAccumulator emgr_busy_;
+
+  std::thread emgr_thread_;
+  std::thread heartbeat_thread_;
+};
+
+}  // namespace entk

@@ -1,0 +1,153 @@
+#include "src/core/overheads.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+namespace entk {
+namespace {
+
+struct VirtualSpans {
+  double rts_init = 0.0;
+  double rts_teardown = 0.0;
+  double exec_span = 0.0;       // first exec start -> last exec end
+  double staging_total = 0.0;   // sum of per-unit staging durations
+  double staging_span = 0.0;    // first staging start -> last staging stop
+  double lead_in = 0.0;         // avg unit wait: received -> exec start,
+                                // staging excluded
+  double lead_out = 0.0;        // avg unit wait: exec end -> done,
+                                // staging excluded
+};
+
+VirtualSpans scan(const Profiler& profiler) {
+  VirtualSpans out;
+  double rts_init_start = -1, rts_init_stop = -1;
+  double first_stage = -1, last_stage = -1;
+  double rts_td_start = -1, rts_td_stop = -1;
+  double first_exec = -1, last_exec = -1;
+
+  struct UnitTimes {
+    double received = -1, exec_start = -1, exec_end = -1, done = -1;
+    double stage_in = 0, stage_out = 0;
+    double stage_in_start = -1, stage_out_start = -1;
+  };
+  std::map<std::string, UnitTimes> units;
+
+  for (const ProfileEvent& e : profiler.events()) {
+    const double v = e.virtual_s;
+    if (v < 0) continue;  // wall-only event
+    if (e.event == "rts_init_start" && rts_init_start < 0) rts_init_start = v;
+    else if (e.event == "rts_init_stop") rts_init_stop = v;
+    else if (e.event == "rts_teardown_start" && rts_td_start < 0) rts_td_start = v;
+    else if (e.event == "rts_teardown_stop") rts_td_stop = v;
+    else if (e.event == "unit_received") units[e.uid].received = v;
+    else if (e.event == "unit_exec_start") {
+      if (first_exec < 0 || v < first_exec) first_exec = v;
+      units[e.uid].exec_start = v;
+    } else if (e.event == "unit_exec_stop") {
+      if (v > last_exec) last_exec = v;
+      units[e.uid].exec_end = v;
+    } else if (e.event == "unit_done") {
+      units[e.uid].done = v;
+    } else if (e.event == "unit_stage_in_start") {
+      units[e.uid].stage_in_start = v;
+      if (first_stage < 0 || v < first_stage) first_stage = v;
+    } else if (e.event == "unit_stage_in_stop") {
+      UnitTimes& u = units[e.uid];
+      if (u.stage_in_start >= 0) u.stage_in += v - u.stage_in_start;
+      if (v > last_stage) last_stage = v;
+    } else if (e.event == "unit_stage_out_start") {
+      units[e.uid].stage_out_start = v;
+      if (first_stage < 0 || v < first_stage) first_stage = v;
+    } else if (e.event == "unit_stage_out_stop") {
+      UnitTimes& u = units[e.uid];
+      if (u.stage_out_start >= 0) u.stage_out += v - u.stage_out_start;
+      if (v > last_stage) last_stage = v;
+    }
+  }
+
+  if (rts_init_start >= 0 && rts_init_stop >= rts_init_start)
+    out.rts_init = rts_init_stop - rts_init_start;
+  if (rts_td_start >= 0 && rts_td_stop >= rts_td_start)
+    out.rts_teardown = rts_td_stop - rts_td_start;
+  if (first_exec >= 0 && last_exec >= first_exec)
+    out.exec_span = last_exec - first_exec;
+  if (first_stage >= 0 && last_stage >= first_stage)
+    out.staging_span = last_stage - first_stage;
+
+  // Lead-in uses the FIRST unit only: later units may legitimately queue
+  // for cores (strong scaling runs multiple generations), and that wait is
+  // workload time, not RTS overhead. The first unit of a run never waits.
+  double first_received = -1;
+  double lead_out_sum = 0;
+  std::size_t n_out = 0;
+  for (const auto& [uid, u] : units) {
+    (void)uid;
+    out.staging_total += u.stage_in + u.stage_out;
+    if (u.received >= 0 && u.exec_start >= u.received &&
+        (first_received < 0 || u.received < first_received)) {
+      first_received = u.received;
+      out.lead_in = std::max(0.0, u.exec_start - u.received - u.stage_in);
+    }
+    if (u.exec_end >= 0 && u.done >= u.exec_end) {
+      lead_out_sum += std::max(0.0, u.done - u.exec_end - u.stage_out);
+      ++n_out;
+    }
+  }
+  if (n_out > 0) out.lead_out = lead_out_sum / static_cast<double>(n_out);
+  return out;
+}
+
+}  // namespace
+
+OverheadReport compute_overheads(const Profiler& profiler,
+                                 const OverheadInputs& in) {
+  OverheadReport r;
+  const VirtualSpans v = scan(profiler);
+
+  r.entk_setup_measured_s = in.setup_wall_s;
+  r.entk_mgmt_measured_s = in.mgmt_wall_s;
+  r.entk_teardown_measured_s = in.teardown_wall_s;
+
+  r.entk_setup_model_s = in.host.factor * in.host.setup_c;
+  r.entk_mgmt_model_s =
+      in.host.factor *
+      (in.host.mgmt_c0 +
+       in.host.mgmt_c1 * static_cast<double>(in.tasks_processed));
+  r.entk_teardown_model_s = in.host.factor * in.host.teardown_c;
+
+  r.entk_setup_s = r.entk_setup_measured_s + r.entk_setup_model_s;
+  r.entk_mgmt_s = r.entk_mgmt_measured_s + r.entk_mgmt_model_s;
+  r.entk_teardown_s = r.entk_teardown_measured_s + r.entk_teardown_model_s;
+
+  // RTS overhead: resource acquisition/bootstrap plus the average per-unit
+  // submission/dispatch latencies the RTS adds around execution.
+  r.rts_overhead_s = v.rts_init + v.lead_in + v.lead_out;
+  r.rts_teardown_s = v.rts_teardown;
+  r.staging_s = v.staging_total;
+  r.staging_span_s = v.staging_span;
+  r.task_exec_s = v.exec_span;
+  return r;
+}
+
+std::string OverheadReport::to_table() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  EnTK Setup Overhead      %10.3f s  (measured %.4f + model %.3f)\n"
+      "  EnTK Management Overhead %10.3f s  (measured %.4f + model %.3f)\n"
+      "  EnTK Tear-Down Overhead  %10.3f s  (measured %.4f + model %.3f)\n"
+      "  RTS Overhead             %10.3f s\n"
+      "  RTS Tear-Down Overhead   %10.3f s\n"
+      "  Data Staging Time        %10.3f s\n"
+      "  Task Execution Time      %10.3f s\n"
+      "  tasks done/failed/resub  %zu/%zu/%zu  rts restarts %d\n",
+      entk_setup_s, entk_setup_measured_s, entk_setup_model_s, entk_mgmt_s,
+      entk_mgmt_measured_s, entk_mgmt_model_s, entk_teardown_s,
+      entk_teardown_measured_s, entk_teardown_model_s, rts_overhead_s,
+      rts_teardown_s, staging_s, task_exec_s, tasks_done, tasks_failed,
+      resubmissions, rts_restarts);
+  return buf;
+}
+
+}  // namespace entk

@@ -1,0 +1,72 @@
+// Pipeline: a list of stages where stage i executes only after stage i-1
+// has resolved (paper §II-B-1). All pipelines of an application execute
+// concurrently.
+//
+// Pipelines support runtime extension (add_stage while executing) under an
+// internal lock, enabling adaptive applications whose stage count is not
+// known before execution — the paper's AUA use case iterates "until the
+// available resources are exhausted or the prediction error is below a
+// given threshold".
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/states.hpp"
+#include "src/core/stage.hpp"
+
+namespace entk {
+
+class Pipeline {
+ public:
+  Pipeline();
+  explicit Pipeline(std::string name);
+
+  std::string name;
+
+  /// Append a stage. Legal while Described and, for adaptive workflows,
+  /// while Scheduling (typically from a stage post_exec hook); illegal
+  /// once the pipeline reached a final state.
+  void add_stage(StagePtr stage);
+
+  const std::string& uid() const { return uid_; }
+  PipelineState state() const { return state_; }
+
+  /// Snapshot accessors (thread-safe).
+  std::size_t stage_count() const;
+  StagePtr stage_at(std::size_t index) const;
+  std::vector<StagePtr> stages() const;
+  std::size_t current_stage_index() const;
+  StagePtr current_stage() const;  ///< nullptr when exhausted
+
+  /// Total tasks across current stages (snapshot).
+  std::size_t task_count() const;
+
+  void validate() const;
+  json::Value to_json() const;
+
+  /// Reset the pipeline (and its stages and tasks) to Described for a new
+  /// execution attempt, preserving uids — the second half of the paper's
+  /// restart semantics: re-run the same description, and let the
+  /// AppManager's resume_journal skip what already completed.
+  void reset_for_resume();
+
+  // Internal (WFProcessor/Synchronizer).
+  void set_state(PipelineState s) { state_ = s; }
+  /// Move to the next stage; returns the new current stage or nullptr when
+  /// the pipeline is exhausted.
+  StagePtr advance();
+
+ private:
+  std::string uid_;
+  PipelineState state_ = PipelineState::Described;
+  mutable std::mutex mutex_;
+  std::vector<StagePtr> stages_;
+  std::size_t current_ = 0;
+};
+
+using PipelinePtr = std::shared_ptr<Pipeline>;
+
+}  // namespace entk

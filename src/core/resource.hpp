@@ -1,0 +1,48 @@
+// Resource description: what the user tells AppManager about the CI
+// (paper §II-B-3: "instantiate the AppManager component with information
+// about the available CIs").
+#pragma once
+
+#include <string>
+
+#include "src/rts/agent.hpp"
+#include "src/sim/failure.hpp"
+
+namespace entk {
+
+struct ResourceDescription {
+  std::string resource = "local.localhost";  ///< CI name (sim catalog)
+  int cpus = 8;           ///< total cores to acquire
+  int nodes = 0;          ///< alternative: whole nodes (wins when > 0)
+  double walltime_s = 7200.0;
+  std::string project;
+
+  // Simulation knobs surfaced to benches/tests.
+  rts::AgentConfig agent;
+  sim::FailureSpec failure;
+  double rts_teardown_base_s = 3.0;
+  double rts_teardown_per_unit_s = 0.005;
+};
+
+/// Host-emulation model for EnTK's own overheads.
+//
+// The reference toolkit is Python: its setup / management / tear-down
+// overheads are dominated by interpreter and process-handling costs on the
+// host EnTK runs on (a shared TACC VM for XSEDE runs, a faster ORNL login
+// node for Titan runs — paper §IV-A-2). The C++ control path measured here
+// is orders of magnitude faster, so to compare *shapes* with the paper we
+// additionally report a documented host model:
+//   setup     = factor * setup_c
+//   management= factor * (mgmt_c0 + mgmt_c1 * tasks_processed)
+//   tear-down = factor * teardown_c
+// with factor taken from the CI catalog (1.0 = TACC VM, 0.3 = ORNL login).
+// OverheadReport carries both the measured and the modeled values.
+struct HostModel {
+  double factor = 1.0;
+  double setup_c = 0.1;      ///< s; paper: ~0.1 s on the VM, ~0.05 on Titan
+  double mgmt_c0 = 9.5;      ///< s; paper: ~10 s on the VM, ~3 s on Titan
+  double mgmt_c1 = 0.0005;   ///< s/task; growth at O(10^3) concurrent tasks
+  double teardown_c = 5.0;   ///< s; paper: 1–10 s (process/thread teardown)
+};
+
+}  // namespace entk

@@ -1,0 +1,78 @@
+// Transactional state store (paper §II-B-4).
+//
+// "All state updates in EnTK are transactional, hence any EnTK component
+// that fails can be restarted at runtime without losing information about
+// ongoing execution." Every committed transition is appended as one JSONL
+// record and flushed before the commit returns; recovery replays the
+// journal to the last complete record. Hooks for an external database are
+// modeled by the pluggable sink.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/json/json.hpp"
+
+namespace entk {
+
+struct StateTransaction {
+  std::uint64_t seq = 0;
+  double wall_s = 0.0;
+  std::string uid;        ///< subject (task/stage/pipeline uid)
+  std::string kind;       ///< "task" | "stage" | "pipeline"
+  std::string from_state;
+  std::string to_state;
+  std::string component;  ///< who requested the transition
+};
+
+class StateStore {
+ public:
+  /// `journal_path` empty -> in-memory only (no durability).
+  explicit StateStore(std::string journal_path = "");
+  ~StateStore();
+
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  /// Commit a transition; the record is on disk when this returns.
+  /// Returns the transaction sequence number.
+  std::uint64_t commit(const std::string& uid, const std::string& kind,
+                       const std::string& from_state,
+                       const std::string& to_state,
+                       const std::string& component);
+
+  /// Latest committed state of `uid` ("" when unknown).
+  std::string state_of(const std::string& uid) const;
+
+  /// All transactions, in commit order.
+  std::vector<StateTransaction> history() const;
+  std::size_t transaction_count() const;
+
+  /// Optional external sink (the "hooks ... to use an external database"):
+  /// invoked after each durable commit.
+  void set_external_sink(std::function<void(const StateTransaction&)> sink);
+
+  /// Replay a journal into this (fresh) store; stops at the first torn
+  /// record. Returns the number of transactions recovered.
+  std::size_t recover(const std::string& journal_path);
+
+  const std::string& journal_path() const { return journal_path_; }
+
+ private:
+  void append_locked(const StateTransaction& t);
+
+  const std::string journal_path_;
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t next_seq_ = 1;
+  std::map<std::string, std::string> latest_;
+  std::vector<StateTransaction> history_;
+  std::function<void(const StateTransaction&)> sink_;
+};
+
+}  // namespace entk

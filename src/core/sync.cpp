@@ -1,0 +1,226 @@
+#include "src/core/sync.hpp"
+
+#include "src/common/error.hpp"
+#include "src/common/log.hpp"
+#include "src/core/state_store.hpp"
+
+namespace entk {
+
+// --------------------------------------------------------- ObjectRegistry
+
+void ObjectRegistry::add_pipeline(const PipelinePtr& pipeline) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  pipelines_[pipeline->uid()] = pipeline;
+  for (const StagePtr& stage : pipeline->stages()) {
+    stages_[stage->uid()] = stage;
+    for (const TaskPtr& task : stage->tasks()) tasks_[task->uid()] = task;
+  }
+}
+
+void ObjectRegistry::add_stage(const StagePtr& stage) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stages_[stage->uid()] = stage;
+  for (const TaskPtr& task : stage->tasks()) tasks_[task->uid()] = task;
+}
+
+TaskPtr ObjectRegistry::task(const std::string& uid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = tasks_.find(uid);
+  return it == tasks_.end() ? nullptr : it->second;
+}
+
+StagePtr ObjectRegistry::stage(const std::string& uid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = stages_.find(uid);
+  return it == stages_.end() ? nullptr : it->second;
+}
+
+PipelinePtr ObjectRegistry::pipeline(const std::string& uid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = pipelines_.find(uid);
+  return it == pipelines_.end() ? nullptr : it->second;
+}
+
+std::size_t ObjectRegistry::task_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+std::vector<PipelinePtr> ObjectRegistry::pipelines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PipelinePtr> out;
+  out.reserve(pipelines_.size());
+  for (const auto& [uid, p] : pipelines_) {
+    (void)uid;
+    out.push_back(p);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- SyncClient
+
+SyncClient::SyncClient(mq::BrokerPtr broker, std::string component,
+                       std::string states_queue, std::string ack_queue)
+    : broker_(std::move(broker)),
+      component_(std::move(component)),
+      states_queue_(std::move(states_queue)),
+      ack_queue_(std::move(ack_queue)) {
+  broker_->declare_queue(ack_queue_);
+}
+
+bool SyncClient::sync(const std::string& uid, const std::string& kind,
+                      const std::string& from_state,
+                      const std::string& to_state, bool await_ack) {
+  json::Value msg;
+  msg["uid"] = uid;
+  msg["kind"] = kind;
+  msg["from"] = from_state;
+  msg["to"] = to_state;
+  msg["component"] = component_;
+  if (await_ack) msg["reply_to"] = ack_queue_;
+  try {
+    broker_->publish(states_queue_, mq::Message::json_body(states_queue_, msg));
+  } catch (const MqError&) {
+    return false;  // broker shutting down
+  }
+  if (!await_ack) return true;
+  // Acks for this component arrive in request order (single synchronizer,
+  // single blocked requester per ack queue).
+  for (int spins = 0; spins < 2000; ++spins) {
+    auto delivery = broker_->get(ack_queue_, 0.005);
+    if (!delivery) {
+      if (broker_->closed()) return false;
+      continue;
+    }
+    broker_->ack(ack_queue_, delivery->delivery_tag);
+    json::Value ack;
+    try {
+      ack = delivery->message.body_json();
+    } catch (const json::ParseError&) {
+      continue;
+    }
+    if (ack.get_string("uid", "") != uid ||
+        ack.get_string("to", "") != to_state) {
+      ENTK_WARN(component_) << "out-of-order ack for " << ack.get_string("uid", "?");
+      continue;
+    }
+    return ack.get_bool("ok", false);
+  }
+  return false;
+}
+
+// ----------------------------------------------------------- Synchronizer
+
+Synchronizer::Synchronizer(mq::BrokerPtr broker, std::string states_queue,
+                           ObjectRegistry* registry, StateStore* store,
+                           ProfilerPtr profiler)
+    : broker_(std::move(broker)),
+      states_queue_(std::move(states_queue)),
+      registry_(registry),
+      store_(store),
+      profiler_(std::move(profiler)) {}
+
+Synchronizer::~Synchronizer() { stop(); }
+
+void Synchronizer::start() {
+  stopping_ = false;
+  thread_ = std::thread(&Synchronizer::loop, this);
+}
+
+void Synchronizer::stop() {
+  stopping_ = true;
+  if (thread_.joinable()) thread_.join();
+}
+
+void Synchronizer::loop() {
+  profiler_->record("synchronizer", "sync_start");
+  while (true) {
+    auto delivery = broker_->get(states_queue_, 0.002);
+    if (!delivery) {
+      if (stopping_.load()) break;
+      continue;
+    }
+    BusyScope busy(busy_);
+    json::Value msg;
+    bool ok = false;
+    try {
+      msg = delivery->message.body_json();
+      ok = apply(msg);
+    } catch (const EnTKError& e) {
+      ENTK_WARN("synchronizer") << "rejecting message: " << e.what();
+    }
+    if (ok) {
+      ++processed_;
+    } else {
+      ++rejected_;
+    }
+    broker_->ack(states_queue_, delivery->delivery_tag);
+    const std::string reply_to = msg.get_string("reply_to", "");
+    if (!reply_to.empty()) {
+      json::Value ack;
+      ack["uid"] = msg.get_string("uid", "");
+      ack["to"] = msg.get_string("to", "");
+      ack["ok"] = ok;
+      try {
+        broker_->publish(reply_to, mq::Message::json_body(reply_to, ack));
+      } catch (const MqError&) {
+        // Requester is gone; nothing to do.
+      }
+    }
+  }
+  profiler_->record("synchronizer", "sync_stop");
+}
+
+bool Synchronizer::apply(const json::Value& msg) {
+  const std::string uid = msg.get_string("uid", "");
+  const std::string kind = msg.get_string("kind", "");
+  const std::string from = msg.get_string("from", "");
+  const std::string to = msg.get_string("to", "");
+  const std::string component = msg.get_string("component", "?");
+
+  if (kind == "task") {
+    TaskPtr task = registry_->task(uid);
+    if (!task) return false;
+    const TaskState from_s = task_state_from_string(from);
+    const TaskState to_s = task_state_from_string(to);
+    if (task->state() != from_s || !is_valid_transition(from_s, to_s)) {
+      ENTK_WARN("synchronizer")
+          << component << ": invalid task transition " << from << "->" << to
+          << " (current " << to_string(task->state()) << ") for " << uid;
+      return false;
+    }
+    task->set_state(to_s);
+  } else if (kind == "stage") {
+    StagePtr stage = registry_->stage(uid);
+    if (!stage) return false;
+    const StageState from_s = stage_state_from_string(from);
+    const StageState to_s = stage_state_from_string(to);
+    if (stage->state() != from_s || !is_valid_transition(from_s, to_s)) {
+      ENTK_WARN("synchronizer")
+          << component << ": invalid stage transition " << from << "->" << to
+          << " for " << uid;
+      return false;
+    }
+    stage->set_state(to_s);
+  } else if (kind == "pipeline") {
+    PipelinePtr pipeline = registry_->pipeline(uid);
+    if (!pipeline) return false;
+    const PipelineState from_s = pipeline_state_from_string(from);
+    const PipelineState to_s = pipeline_state_from_string(to);
+    if (pipeline->state() != from_s || !is_valid_transition(from_s, to_s)) {
+      ENTK_WARN("synchronizer")
+          << component << ": invalid pipeline transition " << from << "->"
+          << to << " for " << uid;
+      return false;
+    }
+    pipeline->set_state(to_s);
+  } else {
+    return false;
+  }
+
+  store_->commit(uid, kind, from, to, component);
+  profiler_->record("synchronizer", "state_commit", uid);
+  return true;
+}
+
+}  // namespace entk

@@ -1,0 +1,131 @@
+// State-synchronization protocol (paper Fig 2, messages 6 and 7).
+//
+// Every component that wants to advance a task/stage/pipeline state pushes
+// a transition message to the AppManager's "states" queue; the Synchronizer
+// (a subcomponent of AppManager) validates it against the transition
+// tables, applies it to the live object, commits it to the transactional
+// StateStore, and — when the requester asked for one — acknowledges on the
+// requester's private ack queue. This makes AppManager the only stateful
+// component: everyone else only holds queue handles and local bookkeeping.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "src/common/clock.hpp"
+#include "src/common/profiler.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/mq/channel.hpp"
+
+namespace entk {
+
+/// uid -> live object maps; owned by AppManager, shared with components.
+class ObjectRegistry {
+ public:
+  void add_pipeline(const PipelinePtr& pipeline);
+
+  TaskPtr task(const std::string& uid) const;
+  StagePtr stage(const std::string& uid) const;
+  PipelinePtr pipeline(const std::string& uid) const;
+
+  std::size_t task_count() const;
+  std::vector<PipelinePtr> pipelines() const;
+
+  /// Register objects of a stage added at runtime (adaptive pipelines).
+  void add_stage(const StagePtr& stage);
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, TaskPtr> tasks_;
+  std::map<std::string, StagePtr> stages_;
+  std::map<std::string, PipelinePtr> pipelines_;
+};
+
+/// Wall-clock busy-time accumulator (nanoseconds), used to measure the
+/// management overhead each component actually spends processing.
+class BusyAccumulator {
+ public:
+  void add_s(double seconds) {
+    ns_.fetch_add(static_cast<std::int64_t>(seconds * 1e9));
+  }
+  double total_s() const { return static_cast<double>(ns_.load()) * 1e-9; }
+
+ private:
+  std::atomic<std::int64_t> ns_{0};
+};
+
+/// RAII busy-time scope.
+class BusyScope {
+ public:
+  explicit BusyScope(BusyAccumulator& acc) : acc_(acc), start_(wall_now_us()) {}
+  ~BusyScope() {
+    acc_.add_s(static_cast<double>(wall_now_us() - start_) * 1e-6);
+  }
+
+ private:
+  BusyAccumulator& acc_;
+  std::int64_t start_;
+};
+
+class StateStore;
+
+/// Component-side client of the sync protocol.
+class SyncClient {
+ public:
+  /// `ack_queue` must be unique per component; it is declared on demand.
+  SyncClient(mq::BrokerPtr broker, std::string component,
+             std::string states_queue, std::string ack_queue);
+
+  /// Request a transition. With `await_ack`, blocks until the Synchronizer
+  /// confirms the commit (or the broker closes); returns false when the
+  /// transition was rejected or the confirmation never arrived.
+  bool sync(const std::string& uid, const std::string& kind,
+            const std::string& from_state, const std::string& to_state,
+            bool await_ack = false);
+
+ private:
+  mq::BrokerPtr broker_;
+  const std::string component_;
+  const std::string states_queue_;
+  const std::string ack_queue_;
+};
+
+/// AppManager-side synchronizer thread.
+class Synchronizer {
+ public:
+  Synchronizer(mq::BrokerPtr broker, std::string states_queue,
+               ObjectRegistry* registry, StateStore* store,
+               ProfilerPtr profiler);
+  ~Synchronizer();
+
+  void start();
+  void stop();
+
+  BusyAccumulator& busy() { return busy_; }
+  std::size_t processed() const { return processed_.load(); }
+  std::size_t rejected() const { return rejected_.load(); }
+
+ private:
+  void loop();
+  /// Apply one transition; returns false when invalid.
+  bool apply(const json::Value& msg);
+
+  mq::BrokerPtr broker_;
+  const std::string states_queue_;
+  ObjectRegistry* registry_;
+  StateStore* store_;
+  ProfilerPtr profiler_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> processed_{0};
+  std::atomic<std::size_t> rejected_{0};
+  BusyAccumulator busy_;
+  std::thread thread_;
+};
+
+}  // namespace entk

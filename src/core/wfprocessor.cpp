@@ -1,0 +1,304 @@
+#include "src/core/wfprocessor.hpp"
+
+#include "src/common/error.hpp"
+#include "src/common/log.hpp"
+
+namespace entk {
+
+WFProcessor::WFProcessor(WfConfig config, mq::BrokerPtr broker,
+                         ObjectRegistry* registry, std::string pending_queue,
+                         std::string done_queue, std::string states_queue,
+                         ProfilerPtr profiler)
+    : config_(config),
+      broker_(std::move(broker)),
+      registry_(registry),
+      pending_queue_(std::move(pending_queue)),
+      done_queue_(std::move(done_queue)),
+      states_queue_(std::move(states_queue)),
+      profiler_(std::move(profiler)) {}
+
+WFProcessor::~WFProcessor() { stop(); }
+
+void WFProcessor::start() {
+  stopping_ = false;
+  profiler_->record("wfprocessor", "wfp_start");
+  enqueue_thread_ = std::thread(&WFProcessor::enqueue_loop, this);
+  dequeue_thread_ = std::thread(&WFProcessor::dequeue_loop, this);
+}
+
+void WFProcessor::stop() {
+  stopping_ = true;
+  work_cv_.notify_all();
+  if (enqueue_thread_.joinable()) enqueue_thread_.join();
+  if (dequeue_thread_.joinable()) dequeue_thread_.join();
+  profiler_->record("wfprocessor", "wfp_stop");
+}
+
+bool WFProcessor::all_pipelines_final() const {
+  for (const PipelinePtr& p : registry_->pipelines()) {
+    if (!is_final(p->state())) return false;
+  }
+  return true;
+}
+
+void WFProcessor::wait_completion() {
+  std::unique_lock<std::mutex> lock(done_mutex_);
+  done_cv_.wait(lock, [this] { return aborted_ || all_pipelines_final(); });
+}
+
+void WFProcessor::abort(const std::string& reason) {
+  ENTK_ERROR("wfprocessor") << "aborting workflow: " << reason;
+  SyncClient sync(broker_, "wfp.abort", states_queue_, "q.ack.wfp.abort");
+  for (const PipelinePtr& p : registry_->pipelines()) {
+    if (!is_final(p->state())) {
+      // Described pipelines must pass through Scheduling to fail.
+      if (p->state() == PipelineState::Described) {
+        sync.sync(p->uid(), "pipeline", "DESCRIBED", "SCHEDULING", true);
+      }
+      sync.sync(p->uid(), "pipeline", to_string(p->state()), "FAILED", true);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(done_mutex_);
+    aborted_ = true;
+  }
+  done_cv_.notify_all();
+}
+
+void WFProcessor::cancel() {
+  ENTK_INFO("wfprocessor") << "canceling workflow";
+  canceling_ = true;
+  SyncClient sync(broker_, "wfp.cancel", states_queue_, "q.ack.wfp.cancel");
+  for (const PipelinePtr& p : registry_->pipelines()) {
+    if (is_final(p->state())) continue;
+    for (const StagePtr& stage : p->stages()) {
+      for (const TaskPtr& task : stage->tasks()) {
+        if (!is_final(task->state())) {
+          sync.sync(task->uid(), "task", to_string(task->state()), "CANCELED",
+                    true);
+        }
+      }
+      if (!is_final(stage->state())) {
+        sync.sync(stage->uid(), "stage", to_string(stage->state()),
+                  "CANCELED", true);
+      }
+    }
+    sync.sync(p->uid(), "pipeline", to_string(p->state()), "CANCELED", true);
+  }
+  done_cv_.notify_all();
+}
+
+// ------------------------------------------------------------- Enqueue --
+
+void WFProcessor::enqueue_loop() {
+  SyncClient sync(broker_, "wfp.enqueue", states_queue_, "q.ack.wfp.enq");
+  while (!stopping_.load()) {
+    std::deque<std::string> retries;
+    {
+      std::unique_lock<std::mutex> lock(work_mutex_);
+      work_cv_.wait_for(lock, std::chrono::milliseconds(2), [this] {
+        return stopping_.load() || work_available_ || !retry_uids_.empty();
+      });
+      if (stopping_.load()) return;
+      work_available_ = false;
+      retries.swap(retry_uids_);
+    }
+
+    BusyScope busy(enqueue_busy_);
+
+    // Resubmissions first: failed tasks that were re-described.
+    for (const std::string& uid : retries) {
+      TaskPtr task = registry_->task(uid);
+      if (task) enqueue_task(task, sync);
+    }
+
+    if (canceling_.load()) continue;
+    // Walk pipelines looking for schedulable stages.
+    for (const PipelinePtr& pipeline : registry_->pipelines()) {
+      if (is_final(pipeline->state())) continue;
+      if (pipeline->state() == PipelineState::Described) {
+        sync.sync(pipeline->uid(), "pipeline", "DESCRIBED", "SCHEDULING",
+                  true);
+      }
+      StagePtr stage = pipeline->current_stage();
+      if (!stage || stage->state() != StageState::Described) continue;
+      schedule_stage(pipeline, stage, sync);
+    }
+  }
+}
+
+void WFProcessor::schedule_stage(const PipelinePtr& pipeline,
+                                 const StagePtr& stage, SyncClient& sync) {
+  profiler_->record("wfprocessor", "stage_schedule_start", stage->uid());
+  sync.sync(stage->uid(), "stage", "DESCRIBED", "SCHEDULING", true);
+  std::size_t recovered = 0;
+  for (const TaskPtr& task : stage->tasks()) {
+    if (config_.recovered_done.count(task->uid()) > 0) {
+      // Completed in a previous attempt: skip execution entirely.
+      ++recovered;
+      ++tasks_recovered_;
+      profiler_->record("wfprocessor", "task_recovered", task->uid());
+      continue;
+    }
+    enqueue_task(task, sync);
+  }
+  sync.sync(stage->uid(), "stage", "SCHEDULING", "SCHEDULED", true);
+  profiler_->record("wfprocessor", "stage_schedule_stop", stage->uid());
+  if (recovered > 0) {
+    bool stage_complete = false;
+    {
+      std::lock_guard<std::mutex> lock(book_mutex_);
+      StageBook& book = stage_books_[stage->uid()];
+      book.resolved += recovered;
+      stage_complete = book.resolved >= stage->task_count();
+    }
+    if (stage_complete) {
+      finish_stage(pipeline, stage, /*stage_failed=*/false, sync);
+    }
+  }
+}
+
+void WFProcessor::enqueue_task(const TaskPtr& task, SyncClient& sync) {
+  sync.sync(task->uid(), "task", "DESCRIBED", "SCHEDULING", false);
+  // The Scheduled transition is confirmed before the task becomes runnable:
+  // the state store must know about the task before the RTS can see it.
+  sync.sync(task->uid(), "task", "SCHEDULING", "SCHEDULED", true);
+  json::Value msg;
+  msg["uid"] = task->uid();
+  broker_->publish(pending_queue_, mq::Message::json_body(pending_queue_, msg));
+  profiler_->record("wfprocessor", "task_enqueued", task->uid());
+}
+
+// ------------------------------------------------------------- Dequeue --
+
+void WFProcessor::dequeue_loop() {
+  SyncClient sync(broker_, "wfp.dequeue", states_queue_, "q.ack.wfp.deq");
+  while (!stopping_.load()) {
+    auto delivery = broker_->get(done_queue_, config_.poll_timeout_s);
+    if (!delivery) continue;
+    BusyScope busy(dequeue_busy_);
+    json::Value result;
+    try {
+      result = delivery->message.body_json();
+    } catch (const json::ParseError&) {
+      broker_->ack(done_queue_, delivery->delivery_tag);
+      continue;
+    }
+    broker_->ack(done_queue_, delivery->delivery_tag);
+    try {
+      resolve_task(result, sync);
+    } catch (const EnTKError& e) {
+      ENTK_ERROR("wfprocessor") << "failed to resolve task result: "
+                                << e.what();
+    }
+  }
+}
+
+void WFProcessor::resolve_task(const json::Value& result, SyncClient& sync) {
+  const std::string uid = result.get_string("uid", "");
+  TaskPtr task = registry_->task(uid);
+  if (!task) {
+    ENTK_WARN("wfprocessor") << "result for unknown task " << uid;
+    return;
+  }
+  if (canceling_.load() || task->state() == TaskState::Canceled) {
+    // Result of a unit that outlived cancellation: ignore it.
+    return;
+  }
+  const std::string outcome = result.get_string("outcome", "DONE");
+  const int exit_code = static_cast<int>(result.get_int("exit_code", 0));
+  task->set_exit_code(exit_code);
+
+  sync.sync(uid, "task", "SUBMITTED", "EXECUTED", false);
+  profiler_->record("wfprocessor", "task_dequeued", uid);
+
+  StagePtr stage = registry_->stage(task->parent_stage());
+  PipelinePtr pipeline = registry_->pipeline(task->parent_pipeline());
+  if (!stage || !pipeline) {
+    throw EnTKError("task " + uid + " has no registered parents");
+  }
+
+  const bool failed = outcome != "DONE";
+  if (failed) {
+    sync.sync(uid, "task", "EXECUTED", "FAILED", true);
+    int limit = task->retry_limit >= 0 ? task->retry_limit
+                                       : config_.default_task_retry_limit;
+    if (task->attempts() < limit) {
+      // Resubmission: re-describe and hand back to Enqueue (paper §II-A:
+      // failed tasks are resubmitted without restarting completed tasks).
+      task->bump_attempts();
+      sync.sync(uid, "task", "FAILED", "DESCRIBED", true);
+      ++resubmissions_;
+      profiler_->record("wfprocessor", "task_resubmit", uid);
+      {
+        std::lock_guard<std::mutex> lock(work_mutex_);
+        retry_uids_.push_back(uid);
+      }
+      work_cv_.notify_all();
+      return;
+    }
+    ++tasks_failed_;
+  } else {
+    sync.sync(uid, "task", "EXECUTED", "DONE", true);
+    ++tasks_done_;
+  }
+
+  bool stage_complete = false;
+  bool stage_failed = false;
+  {
+    std::lock_guard<std::mutex> lock(book_mutex_);
+    StageBook& book = stage_books_[stage->uid()];
+    ++book.resolved;
+    if (failed) ++book.failed;
+    stage_complete = book.resolved >= stage->task_count();
+    stage_failed = book.failed > 0;
+  }
+  if (!stage_complete) return;
+
+  finish_stage(pipeline, stage, stage_failed, sync);
+}
+
+void WFProcessor::finish_stage(const PipelinePtr& pipeline,
+                               const StagePtr& stage, bool stage_failed,
+                               SyncClient& sync) {
+  if (stage_failed) {
+    sync.sync(stage->uid(), "stage", "SCHEDULED", "FAILED", true);
+    sync.sync(pipeline->uid(), "pipeline", "SCHEDULING", "FAILED", true);
+    ENTK_WARN("wfprocessor") << "pipeline " << pipeline->uid()
+                             << " failed at stage " << stage->uid();
+    done_cv_.notify_all();
+    return;
+  }
+
+  sync.sync(stage->uid(), "stage", "SCHEDULED", "DONE", true);
+  profiler_->record("wfprocessor", "stage_done", stage->uid());
+
+  // Post-execution hook: may extend the pipeline (adaptivity/branching).
+  if (stage->post_exec) {
+    try {
+      stage->post_exec();
+    } catch (const std::exception& e) {
+      ENTK_ERROR("wfprocessor") << "post_exec of " << stage->uid()
+                                << " threw: " << e.what();
+    }
+    // Register any stages the hook appended.
+    for (const StagePtr& s : pipeline->stages()) {
+      if (!registry_->stage(s->uid())) registry_->add_stage(s);
+    }
+  }
+
+  StagePtr next = pipeline->advance();
+  if (next) {
+    {
+      std::lock_guard<std::mutex> lock(work_mutex_);
+      work_available_ = true;
+    }
+    work_cv_.notify_all();
+  } else {
+    sync.sync(pipeline->uid(), "pipeline", "SCHEDULING", "DONE", true);
+    profiler_->record("wfprocessor", "pipeline_done", pipeline->uid());
+    done_cv_.notify_all();
+  }
+}
+
+}  // namespace entk

@@ -1,0 +1,125 @@
+// WFProcessor (paper Fig 2): the workflow-management component.
+//
+// Enqueue walks the application's pipelines, tags schedulable tasks and
+// pushes them to the Pending queue (message 1). Dequeue pulls completed
+// tasks from the Done queue (message 5) and tags them done, failed or
+// canceled based on the RTS return code — driving stage completion,
+// pipeline advancement, post-exec hooks (branching/adaptivity) and
+// task-level fault tolerance (resubmission of failed tasks up to a retry
+// budget, without restarting completed work).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "src/common/profiler.hpp"
+#include "src/core/sync.hpp"
+#include "src/mq/broker.hpp"
+
+namespace entk {
+
+struct WfConfig {
+  int default_task_retry_limit = 0;
+  double poll_timeout_s = 0.002;  ///< wall s queue polls
+
+  /// Tasks already DONE in a previous attempt (recovered from the state
+  /// journal): they are tagged resolved without re-execution, so resumed
+  /// applications only run the work that is still missing (paper §II-A:
+  /// "executed on multiple attempts, without restarting completed tasks").
+  std::set<std::string> recovered_done;
+};
+
+class WFProcessor {
+ public:
+  WFProcessor(WfConfig config, mq::BrokerPtr broker, ObjectRegistry* registry,
+              std::string pending_queue, std::string done_queue,
+              std::string states_queue, ProfilerPtr profiler);
+  ~WFProcessor();
+
+  void start();
+  void stop();
+
+  /// Block until every pipeline reached a final state (or abort()).
+  void wait_completion();
+
+  /// Abort: mark all live pipelines Failed and wake waiters (used when the
+  /// RTS is irrecoverably gone).
+  void abort(const std::string& reason);
+
+  /// User-requested cancellation: every live task, stage and pipeline is
+  /// moved to Canceled (clean termination, paper §II-A); in-flight units
+  /// finish in the RTS but their results are ignored.
+  void cancel();
+
+  /// Tasks resolved Done / finally Failed; total resubmission attempts;
+  /// tasks skipped because a previous attempt already completed them.
+  std::size_t tasks_done() const { return tasks_done_.load(); }
+  std::size_t tasks_failed() const { return tasks_failed_.load(); }
+  std::size_t resubmissions() const { return resubmissions_.load(); }
+  std::size_t tasks_recovered() const { return tasks_recovered_.load(); }
+
+  BusyAccumulator& enqueue_busy() { return enqueue_busy_; }
+  BusyAccumulator& dequeue_busy() { return dequeue_busy_; }
+
+ private:
+  struct StageBook {
+    std::size_t resolved = 0;
+    std::size_t failed = 0;
+  };
+
+  void enqueue_loop();
+  void dequeue_loop();
+  void schedule_stage(const PipelinePtr& pipeline, const StagePtr& stage,
+                      SyncClient& sync);
+  void enqueue_task(const TaskPtr& task, SyncClient& sync);
+  void resolve_task(const json::Value& result, SyncClient& sync);
+  void finish_stage(const PipelinePtr& pipeline, const StagePtr& stage,
+                    bool stage_failed, SyncClient& sync);
+  bool all_pipelines_final() const;
+
+  const WfConfig config_;
+  mq::BrokerPtr broker_;
+  ObjectRegistry* registry_;
+  const std::string pending_queue_;
+  const std::string done_queue_;
+  const std::string states_queue_;
+  ProfilerPtr profiler_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> canceling_{false};
+
+  // Enqueue wake-up: new work exists (initial stages, advanced stages,
+  // retries).
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::deque<std::string> retry_uids_;
+  bool work_available_ = true;
+
+  // Completion signaling.
+  mutable std::mutex done_mutex_;
+  std::condition_variable done_cv_;
+  bool aborted_ = false;
+
+  std::mutex book_mutex_;  // stage books: touched by Enqueue (recovery)
+                           // and Dequeue (completions)
+  std::map<std::string, StageBook> stage_books_;
+
+  std::atomic<std::size_t> tasks_done_{0};
+  std::atomic<std::size_t> tasks_recovered_{0};
+  std::atomic<std::size_t> tasks_failed_{0};
+  std::atomic<std::size_t> resubmissions_{0};
+
+  BusyAccumulator enqueue_busy_;
+  BusyAccumulator dequeue_busy_;
+
+  std::thread enqueue_thread_;
+  std::thread dequeue_thread_;
+};
+
+}  // namespace entk

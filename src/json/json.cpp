@@ -1,0 +1,519 @@
+#include "src/json/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace entk::json {
+
+// ---------------------------------------------------------------- Object
+
+Value& Object::operator[](const std::string& key) {
+  for (auto& [k, v] : items_) {
+    if (k == key) return v;
+  }
+  items_.emplace_back(key, Value());
+  return items_.back().second;
+}
+
+const Value& Object::at(const std::string& key) const {
+  for (const auto& [k, v] : items_) {
+    if (k == key) return v;
+  }
+  throw MissingError("json::Object", key);
+}
+
+bool Object::contains(const std::string& key) const {
+  for (const auto& [k, v] : items_) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+void Object::erase(const std::string& key) {
+  for (auto it = items_.begin(); it != items_.end(); ++it) {
+    if (it->first == key) {
+      items_.erase(it);
+      return;
+    }
+  }
+}
+
+bool Object::operator==(const Object& other) const {
+  if (items_.size() != other.items_.size()) return false;
+  // Order-insensitive comparison: same keys, equal values.
+  for (const auto& [k, v] : items_) {
+    if (!other.contains(k) || !(other.at(k) == v)) return false;
+  }
+  return true;
+}
+
+// ----------------------------------------------------------------- Value
+
+Type Value::type() const {
+  switch (data_.index()) {
+    case 0: return Type::Null;
+    case 1: return Type::Bool;
+    case 2: return Type::Int;
+    case 3: return Type::Double;
+    case 4: return Type::String;
+    case 5: return Type::Array;
+    default: return Type::Object;
+  }
+}
+
+namespace {
+const char* type_name(Type t) {
+  switch (t) {
+    case Type::Null: return "null";
+    case Type::Bool: return "bool";
+    case Type::Int: return "int";
+    case Type::Double: return "double";
+    case Type::String: return "string";
+    case Type::Array: return "array";
+    case Type::Object: return "object";
+  }
+  return "?";
+}
+[[noreturn]] void type_mismatch(Type want, Type got) {
+  throw TypeError(std::string("json: expected ") + type_name(want) + ", got " +
+                  type_name(got));
+}
+}  // namespace
+
+bool Value::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&data_)) return *b;
+  type_mismatch(Type::Bool, type());
+}
+
+std::int64_t Value::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&data_)) return *i;
+  if (const auto* d = std::get_if<double>(&data_)) {
+    if (std::floor(*d) == *d) return static_cast<std::int64_t>(*d);
+  }
+  type_mismatch(Type::Int, type());
+}
+
+double Value::as_double() const {
+  if (const auto* d = std::get_if<double>(&data_)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&data_))
+    return static_cast<double>(*i);
+  type_mismatch(Type::Double, type());
+}
+
+const std::string& Value::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&data_)) return *s;
+  type_mismatch(Type::String, type());
+}
+
+const Array& Value::as_array() const {
+  if (const auto* a = std::get_if<Array>(&data_)) return *a;
+  type_mismatch(Type::Array, type());
+}
+
+Array& Value::as_array() {
+  if (auto* a = std::get_if<Array>(&data_)) return *a;
+  type_mismatch(Type::Array, type());
+}
+
+const Object& Value::as_object() const {
+  if (const auto* o = std::get_if<Object>(&data_)) return *o;
+  type_mismatch(Type::Object, type());
+}
+
+Object& Value::as_object() {
+  if (auto* o = std::get_if<Object>(&data_)) return *o;
+  type_mismatch(Type::Object, type());
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (is_null()) data_ = Object{};
+  return as_object()[key];
+}
+
+const Value& Value::at(const std::string& key) const {
+  return as_object().at(key);
+}
+
+bool Value::contains(const std::string& key) const {
+  return is_object() && as_object().contains(key);
+}
+
+std::int64_t Value::get_int(const std::string& key,
+                            std::int64_t fallback) const {
+  if (!contains(key)) return fallback;
+  const Value& v = at(key);
+  return v.is_number() ? v.as_int() : fallback;
+}
+
+double Value::get_double(const std::string& key, double fallback) const {
+  if (!contains(key)) return fallback;
+  const Value& v = at(key);
+  return v.is_number() ? v.as_double() : fallback;
+}
+
+std::string Value::get_string(const std::string& key,
+                              const std::string& fallback) const {
+  if (!contains(key)) return fallback;
+  const Value& v = at(key);
+  return v.is_string() ? v.as_string() : fallback;
+}
+
+bool Value::get_bool(const std::string& key, bool fallback) const {
+  if (!contains(key)) return fallback;
+  const Value& v = at(key);
+  return v.is_bool() ? v.as_bool() : fallback;
+}
+
+void Value::push_back(Value v) {
+  if (is_null()) data_ = Array{};
+  as_array().push_back(std::move(v));
+}
+
+std::size_t Value::size() const {
+  if (is_array()) return as_array().size();
+  if (is_object()) return as_object().size();
+  return 0;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (is_number() && other.is_number()) {
+    if (is_int() && other.is_int()) return as_int() == other.as_int();
+    return as_double() == other.as_double();
+  }
+  if (type() != other.type()) return false;
+  switch (type()) {
+    case Type::Null: return true;
+    case Type::Bool: return as_bool() == other.as_bool();
+    case Type::String: return as_string() == other.as_string();
+    case Type::Array: return as_array() == other.as_array();
+    case Type::Object: return as_object() == other.as_object();
+    default: return false;  // unreachable: numbers handled above
+  }
+}
+
+// ---------------------------------------------------------------- writer
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void dump_value(const Value& v, std::string& out, int indent, int depth);
+
+void newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+void dump_value(const Value& v, std::string& out, int indent, int depth) {
+  switch (v.type()) {
+    case Type::Null:
+      out += "null";
+      break;
+    case Type::Bool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Type::Int: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%lld",
+                    static_cast<long long>(v.as_int()));
+      out += buf;
+      break;
+    }
+    case Type::Double: {
+      const double d = v.as_double();
+      if (std::isnan(d)) {
+        out += "null";  // JSON has no NaN; degrade to null
+        break;
+      }
+      if (std::isinf(d)) {
+        out += d > 0 ? "1e999" : "-1e999";
+        break;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", d);
+      out += buf;
+      break;
+    }
+    case Type::String:
+      out += '"';
+      out += escape(v.as_string());
+      out += '"';
+      break;
+    case Type::Array: {
+      const Array& a = v.as_array();
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& item : a) {
+        if (!first) out += indent < 0 ? "," : ",";
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        dump_value(item, out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::Object: {
+      const Object& o = v.as_object();
+      if (o.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, item] : o) {
+        if (!first) out += ",";
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        out += '"';
+        out += escape(k);
+        out += indent < 0 ? "\":" : "\": ";
+        dump_value(item, out, indent, depth + 1);
+      }
+      newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_value(*this, out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------- parser
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, std::size_t pos) : text_(text), pos_(pos) {}
+
+  Value parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't': expect_word("true"); return Value(true);
+      case 'f': expect_word("false"); return Value(false);
+      case 'n': expect_word("null"); return Value(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::size_t pos() const { return pos_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw ParseError(what, pos_);
+  }
+
+  void expect_word(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) {
+      if (pos_ >= text_.size() || text_[pos_] != *p)
+        fail(std::string("expected '") + word + "'");
+      ++pos_;
+    }
+  }
+
+  char next() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  Value parse_object() {
+    ++pos_;  // '{'
+    Object obj;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        fail("expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      if (next() != ':') fail("expected ':' after key");
+      obj[key] = parse_value();
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+    return Value(std::move(obj));
+  }
+
+  Value parse_array() {
+    ++pos_;  // '['
+    Array arr;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+    return Value(std::move(arr));
+  }
+
+  std::string parse_string() {
+    ++pos_;  // '"'
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') break;
+      if (c == '\\') {
+        const char esc = next();
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("invalid \\u escape");
+            }
+            // Encode as UTF-8 (no surrogate-pair handling; BMP only).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default: fail("invalid escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      } else {
+        out += c;
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    bool any_digit = false;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        any_digit = true;
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_double = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (!any_digit) fail("invalid number");
+    const std::string token = text_.substr(start, pos_ - start);
+    if (is_double) {
+      return Value(std::strtod(token.c_str(), nullptr));
+    }
+    errno = 0;
+    char* end = nullptr;
+    const long long v = std::strtoll(token.c_str(), &end, 10);
+    if (errno == ERANGE || end == token.c_str() || *end != '\0') {
+      // Out-of-range integers degrade to double.
+      return Value(std::strtod(token.c_str(), nullptr));
+    }
+    return Value(static_cast<std::int64_t>(v));
+  }
+
+  const std::string& text_;
+  std::size_t pos_;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) {
+  Parser p(text, 0);
+  Value v = p.parse_value();
+  p.skip_ws();
+  if (p.pos() != text.size())
+    throw ParseError("trailing characters after document", p.pos());
+  return v;
+}
+
+Value parse_prefix(const std::string& text, std::size_t& pos) {
+  Parser p(text, pos);
+  Value v = p.parse_value();
+  pos = p.pos();
+  return v;
+}
+
+}  // namespace entk::json

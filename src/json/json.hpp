@@ -1,0 +1,135 @@
+// Small JSON library used across the toolkit for message payloads, the
+// broker journal, the transactional state store and configuration files.
+//
+// Design: a single variant-backed Value type with checked accessors, a
+// strict recursive-descent parser and a compact/pretty writer. Object keys
+// preserve insertion order (important for stable journals and diffs).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace entk::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+
+/// Insertion-ordered string->Value map.
+class Object {
+ public:
+  Value& operator[](const std::string& key);
+  const Value& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  void erase(const std::string& key);
+
+  auto begin() { return items_.begin(); }
+  auto end() { return items_.end(); }
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+  bool operator==(const Object& other) const;
+
+ private:
+  std::vector<std::pair<std::string, Value>> items_;
+};
+
+enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+class ParseError : public EnTKError {
+ public:
+  ParseError(const std::string& what, std::size_t offset)
+      : EnTKError("json parse error at offset " + std::to_string(offset) +
+                  ": " + what),
+        offset(offset) {}
+  std::size_t offset;
+};
+
+/// A JSON value. Integers and doubles are kept distinct so that task counts
+/// and byte sizes round-trip exactly.
+class Value {
+ public:
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(int i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(long i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(long long i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned long i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(unsigned long long i) : data_(static_cast<std::int64_t>(i)) {}
+  Value(double d) : data_(d) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  Type type() const;
+  bool is_null() const { return type() == Type::Null; }
+  bool is_bool() const { return type() == Type::Bool; }
+  bool is_int() const { return type() == Type::Int; }
+  bool is_double() const { return type() == Type::Double; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::String; }
+  bool is_array() const { return type() == Type::Array; }
+  bool is_object() const { return type() == Type::Object; }
+
+  /// Checked accessors; throw TypeError on mismatch.
+  bool as_bool() const;
+  std::int64_t as_int() const;       ///< also accepts integral doubles
+  double as_double() const;          ///< accepts ints
+  const std::string& as_string() const;
+  const Array& as_array() const;
+  Array& as_array();
+  const Object& as_object() const;
+  Object& as_object();
+
+  /// Object sugar: value["key"] creates the key on a (null-coerced) object.
+  Value& operator[](const std::string& key);
+  const Value& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  /// Lookup with default; returns `fallback` when `this` is not an object
+  /// or the key is absent.
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const;
+  bool get_bool(const std::string& key, bool fallback) const;
+
+  /// Array sugar.
+  void push_back(Value v);
+  std::size_t size() const;  ///< array/object size, 0 otherwise
+
+  bool operator==(const Value& other) const;
+
+  /// Serialize. `indent` < 0 -> compact single line.
+  std::string dump(int indent = -1) const;
+
+ private:
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      data_;
+};
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+Value parse(const std::string& text);
+
+/// Parse one value starting at `pos`; advances `pos` past it. Used by the
+/// JSONL journal readers.
+Value parse_prefix(const std::string& text, std::size_t& pos);
+
+/// Escape a string for embedding in JSON output (without quotes).
+std::string escape(const std::string& s);
+
+}  // namespace entk::json

@@ -1,0 +1,117 @@
+// In-process message broker standing in for the RabbitMQ server.
+//
+// The paper (§II-C) relies on three properties of a server-based broker:
+//   (1) producers and consumers need not be topology-aware — they only talk
+//       to the broker by queue name;
+//   (2) messages survive component failures — durable queues journal every
+//       publish/ack to disk and a new broker can recover the backlog;
+//   (3) production and consumption are decoupled — the broker buffers.
+// This class provides all three inside one process: queues are owned by the
+// broker, looked up by name, and optionally journaled as JSONL records.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/mq/exchange.hpp"
+#include "src/mq/queue.hpp"
+
+namespace entk::mq {
+
+struct BrokerStats {
+  std::size_t queues = 0;
+  std::size_t published = 0;
+  std::size_t delivered = 0;
+  std::size_t acked = 0;
+};
+
+class Broker {
+ public:
+  /// `journal_dir`: when non-empty, durable queues append their operations
+  /// to "<journal_dir>/<broker_name>.journal".
+  explicit Broker(std::string name = "broker", std::string journal_dir = "");
+  ~Broker();
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Idempotent declare; re-declaring with different options is an error.
+  std::shared_ptr<Queue> declare_queue(const std::string& queue,
+                                       QueueOptions options = {});
+
+  /// Lookup; throws MqError when the queue does not exist.
+  std::shared_ptr<Queue> queue(const std::string& queue) const;
+  bool has_queue(const std::string& queue) const;
+  std::vector<std::string> queue_names() const;
+
+  /// Publish to a declared queue. Assigns the broker sequence number and,
+  /// for durable queues, journals the message before it becomes visible.
+  /// Returns the assigned sequence number; throws MqError on unknown queue.
+  std::uint64_t publish(const std::string& queue, Message msg);
+
+  /// Consume one message (see Queue::get).
+  std::optional<Delivery> get(const std::string& queue, double timeout_s);
+
+  /// Ack/nack a delivery obtained from `queue`.
+  bool ack(const std::string& queue, std::uint64_t delivery_tag);
+  bool nack(const std::string& queue, std::uint64_t delivery_tag,
+            bool requeue);
+
+  /// Delete a queue (closing it first).
+  void delete_queue(const std::string& queue);
+
+  /// Declare an exchange; re-declaring with a different type is an error.
+  std::shared_ptr<Exchange> declare_exchange(const std::string& exchange,
+                                             ExchangeType type);
+  std::shared_ptr<Exchange> exchange(const std::string& exchange) const;
+
+  /// Bind a declared queue to a declared exchange.
+  void bind_queue(const std::string& exchange, const std::string& queue,
+                  const std::string& binding_key = "");
+
+  /// Publish via an exchange: the message is copied to every queue the
+  /// exchange routes the key to. Returns the number of deliveries.
+  std::size_t publish_to_exchange(const std::string& exchange,
+                                  const std::string& routing_key, Message msg);
+
+  /// Close all queues and stop accepting publishes.
+  void close();
+  bool closed() const;
+
+  BrokerStats stats() const;
+
+  /// Rebuild broker state from a journal written by a previous (durable)
+  /// broker with the same name: every published-but-unacked message is
+  /// restored to its queue, preserving order. Queues are re-declared as
+  /// durable. Returns the number of restored messages.
+  std::size_t recover(const std::string& journal_path);
+
+  /// Path of the journal this broker writes ("" when journaling is off).
+  std::string journal_path() const;
+
+ private:
+  void journal_append(const json::Value& record);
+
+  const std::string name_;
+  const std::string journal_dir_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Queue>> queues_;
+  std::map<std::string, std::shared_ptr<Exchange>> exchanges_;
+  std::uint64_t next_seq_ = 1;
+  bool closed_ = false;
+
+  std::mutex journal_mutex_;
+  std::FILE* journal_file_ = nullptr;
+};
+
+using BrokerPtr = std::shared_ptr<Broker>;
+
+}  // namespace entk::mq

@@ -1,0 +1,9 @@
+#include "src/mq/channel.hpp"
+
+namespace entk::mq {
+
+std::unique_ptr<Channel> Connection::open_channel() {
+  return std::make_unique<Channel>(broker_);
+}
+
+}  // namespace entk::mq

@@ -1,0 +1,92 @@
+// AMQP-shaped client facade over the in-process broker.
+//
+// Components in the toolkit talk to the broker exclusively through a
+// Connection/Channel pair, mirroring how the reference implementation uses
+// pika against RabbitMQ. Keeping this shape means the broker could be
+// swapped for a networked AMQP client without touching component code.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/mq/broker.hpp"
+
+namespace entk::mq {
+
+class Channel;
+
+/// A logical connection to one broker. Cheap to copy via shared ownership.
+class Connection {
+ public:
+  explicit Connection(BrokerPtr broker) : broker_(std::move(broker)) {}
+
+  std::unique_ptr<Channel> open_channel();
+  BrokerPtr broker() const { return broker_; }
+  bool is_open() const { return broker_ != nullptr && !broker_->closed(); }
+
+ private:
+  BrokerPtr broker_;
+};
+
+/// A channel multiplexed on a connection. Not thread-safe (like AMQP
+/// channels); each component thread opens its own.
+class Channel {
+ public:
+  explicit Channel(BrokerPtr broker) : broker_(std::move(broker)) {}
+
+  void queue_declare(const std::string& queue, QueueOptions options = {}) {
+    broker_->declare_queue(queue, options);
+  }
+  void exchange_declare(const std::string& exchange, ExchangeType type) {
+    broker_->declare_exchange(exchange, type);
+  }
+  void queue_bind(const std::string& queue, const std::string& exchange,
+                  const std::string& binding_key = "") {
+    broker_->bind_queue(exchange, queue, binding_key);
+  }
+  /// Publish through an exchange; returns the number of queues reached.
+  std::size_t exchange_publish(const std::string& exchange,
+                               const std::string& routing_key,
+                               const json::Value& payload) {
+    return broker_->publish_to_exchange(
+        exchange, routing_key, Message::json_body(routing_key, payload));
+  }
+  void queue_delete(const std::string& queue) { broker_->delete_queue(queue); }
+  void queue_purge(const std::string& queue) { broker_->queue(queue)->purge(); }
+
+  /// Publish `payload` (as JSON text) to `queue`.
+  std::uint64_t basic_publish(const std::string& queue,
+                              const json::Value& payload,
+                              json::Value headers = json::Value()) {
+    return broker_->publish(queue,
+                            Message::json_body(queue, payload, std::move(headers)));
+  }
+
+  std::uint64_t basic_publish_raw(const std::string& queue, std::string body) {
+    Message m;
+    m.body = std::move(body);
+    return broker_->publish(queue, std::move(m));
+  }
+
+  /// Blocking get with timeout; nullopt on timeout/closed queue.
+  std::optional<Delivery> basic_get(const std::string& queue,
+                                    double timeout_s = 0.0) {
+    return broker_->get(queue, timeout_s);
+  }
+
+  bool basic_ack(const std::string& queue, std::uint64_t delivery_tag) {
+    return broker_->ack(queue, delivery_tag);
+  }
+  bool basic_nack(const std::string& queue, std::uint64_t delivery_tag,
+                  bool requeue = true) {
+    return broker_->nack(queue, delivery_tag, requeue);
+  }
+
+  bool is_open() const { return !broker_->closed(); }
+
+ private:
+  BrokerPtr broker_;
+};
+
+}  // namespace entk::mq

@@ -1,0 +1,100 @@
+#include "src/mq/exchange.hpp"
+
+#include <algorithm>
+
+namespace entk::mq {
+
+const char* to_string(ExchangeType t) {
+  switch (t) {
+    case ExchangeType::Direct: return "direct";
+    case ExchangeType::Fanout: return "fanout";
+    case ExchangeType::Topic: return "topic";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::string> split_words(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t dot = s.find('.', start);
+    if (dot == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, dot - start));
+    start = dot + 1;
+  }
+  return out;
+}
+
+bool match_words(const std::vector<std::string>& pattern, std::size_t pi,
+                 const std::vector<std::string>& key, std::size_t ki) {
+  while (pi < pattern.size()) {
+    if (pattern[pi] == "#") {
+      // '#' matches zero or more words: try every split point.
+      if (pi + 1 == pattern.size()) return true;
+      for (std::size_t skip = ki; skip <= key.size(); ++skip) {
+        if (match_words(pattern, pi + 1, key, skip)) return true;
+      }
+      return false;
+    }
+    if (ki >= key.size()) return false;
+    if (pattern[pi] != "*" && pattern[pi] != key[ki]) return false;
+    ++pi;
+    ++ki;
+  }
+  return ki == key.size();
+}
+
+}  // namespace
+
+bool topic_matches(const std::string& pattern, const std::string& key) {
+  return match_words(split_words(pattern), 0, split_words(key), 0);
+}
+
+Exchange::Exchange(std::string name, ExchangeType type)
+    : name_(std::move(name)), type_(type) {}
+
+void Exchange::bind(const std::string& queue, const std::string& binding_key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto entry = std::make_pair(binding_key, queue);
+  if (std::find(bindings_.begin(), bindings_.end(), entry) ==
+      bindings_.end()) {
+    bindings_.push_back(entry);
+  }
+}
+
+void Exchange::unbind(const std::string& queue,
+                      const std::string& binding_key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto entry = std::make_pair(binding_key, queue);
+  bindings_.erase(std::remove(bindings_.begin(), bindings_.end(), entry),
+                  bindings_.end());
+}
+
+std::vector<std::string> Exchange::route(const std::string& routing_key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [key, queue] : bindings_) {
+    bool match = false;
+    switch (type_) {
+      case ExchangeType::Direct: match = key == routing_key; break;
+      case ExchangeType::Fanout: match = true; break;
+      case ExchangeType::Topic: match = topic_matches(key, routing_key); break;
+    }
+    if (match && std::find(out.begin(), out.end(), queue) == out.end()) {
+      out.push_back(queue);
+    }
+  }
+  return out;
+}
+
+std::size_t Exchange::binding_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bindings_.size();
+}
+
+}  // namespace entk::mq

@@ -1,0 +1,53 @@
+// AMQP-style exchanges: routed publish on top of the broker's queues.
+//
+// EnTK's own queue topology is point-to-point, but the broker substrate is
+// a general building block (paper §V: avoid framework lock-in, compose
+// middleware from reusable components). Exchanges add the three classic
+// AMQP routing disciplines:
+//   direct — message goes to queues bound with exactly the routing key;
+//   fanout — message goes to every bound queue;
+//   topic  — keys are dot-separated words; bindings may use '*' (exactly
+//            one word) and '#' (zero or more words).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace entk::mq {
+
+enum class ExchangeType { Direct, Fanout, Topic };
+
+const char* to_string(ExchangeType t);
+
+/// True when topic `pattern` matches `key` under AMQP topic rules.
+bool topic_matches(const std::string& pattern, const std::string& key);
+
+/// Routing table of one exchange. The broker owns instances and resolves
+/// bound queue names to queues at publish time.
+class Exchange {
+ public:
+  Exchange(std::string name, ExchangeType type);
+
+  const std::string& name() const { return name_; }
+  ExchangeType type() const { return type_; }
+
+  /// Bind `queue` with `binding_key` (ignored for fanout). Idempotent.
+  void bind(const std::string& queue, const std::string& binding_key = "");
+  void unbind(const std::string& queue, const std::string& binding_key = "");
+
+  /// Queue names a message with `routing_key` must be delivered to
+  /// (deduplicated, in binding order).
+  std::vector<std::string> route(const std::string& routing_key) const;
+
+  std::size_t binding_count() const;
+
+ private:
+  const std::string name_;
+  const ExchangeType type_;
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::string>> bindings_;  // (key, queue)
+};
+
+}  // namespace entk::mq

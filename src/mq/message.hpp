@@ -1,0 +1,43 @@
+// Message type transported by the in-process broker.
+//
+// Mirrors the slice of AMQP the toolkit relies on: an opaque body plus
+// structured headers, a routing key naming the destination queue, and a
+// broker-assigned sequence number used for at-least-once delivery
+// accounting and journal recovery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "src/json/json.hpp"
+
+namespace entk::mq {
+
+struct Message {
+  std::uint64_t seq = 0;       ///< broker-assigned, unique per broker
+  std::string routing_key;     ///< destination queue name
+  json::Value headers;         ///< structured metadata (object or null)
+  std::string body;            ///< opaque payload (usually JSON text)
+
+  /// Convenience: build a message whose body is `payload.dump()`.
+  static Message json_body(std::string routing_key, const json::Value& payload,
+                           json::Value headers = json::Value()) {
+    Message m;
+    m.routing_key = std::move(routing_key);
+    m.headers = std::move(headers);
+    m.body = payload.dump();
+    return m;
+  }
+
+  /// Parse the body back into JSON; throws json::ParseError on garbage.
+  json::Value body_json() const { return json::parse(body); }
+};
+
+/// A delivered message plus the tag needed to ack/nack it.
+struct Delivery {
+  std::uint64_t delivery_tag = 0;
+  Message message;
+};
+
+}  // namespace entk::mq

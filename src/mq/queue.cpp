@@ -1,0 +1,122 @@
+#include "src/mq/queue.hpp"
+
+#include <chrono>
+
+namespace entk::mq {
+
+Queue::Queue(std::string name, QueueOptions options)
+    : name_(std::move(name)), options_(options) {}
+
+bool Queue::publish(Message msg) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (options_.capacity > 0) {
+    cv_capacity_.wait(lock, [this] {
+      return closed_ || ready_.size() < options_.capacity;
+    });
+  }
+  if (closed_) return false;
+  ready_.push_back(std::move(msg));
+  ++stats_.published;
+  stats_.ready = ready_.size();
+  cv_ready_.notify_one();
+  return true;
+}
+
+std::optional<Delivery> Queue::get(double timeout_s) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            std::chrono::duration<double>(timeout_s));
+  cv_ready_.wait_until(lock, deadline,
+                       [this] { return closed_ || !ready_.empty(); });
+  if (ready_.empty()) return std::nullopt;
+  Delivery d;
+  d.delivery_tag = next_tag_++;
+  d.message = std::move(ready_.front());
+  ready_.pop_front();
+  unacked_.emplace(d.delivery_tag, d.message);
+  ++stats_.delivered;
+  stats_.ready = ready_.size();
+  stats_.unacked = unacked_.size();
+  cv_capacity_.notify_one();
+  return d;
+}
+
+std::optional<Delivery> Queue::try_get() { return get(0.0); }
+
+std::optional<std::uint64_t> Queue::ack(std::uint64_t delivery_tag) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = unacked_.find(delivery_tag);
+  if (it == unacked_.end()) return std::nullopt;
+  const std::uint64_t seq = it->second.seq;
+  unacked_.erase(it);
+  ++stats_.acked;
+  stats_.unacked = unacked_.size();
+  return seq;
+}
+
+std::optional<std::uint64_t> Queue::nack(std::uint64_t delivery_tag,
+                                         bool requeue) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = unacked_.find(delivery_tag);
+  if (it == unacked_.end()) return std::nullopt;
+  const std::uint64_t seq = it->second.seq;
+  if (requeue) {
+    ready_.push_front(std::move(it->second));
+    ++stats_.requeued;
+    cv_ready_.notify_one();
+  }
+  unacked_.erase(it);
+  stats_.ready = ready_.size();
+  stats_.unacked = unacked_.size();
+  return seq;
+}
+
+std::size_t Queue::requeue_unacked() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = unacked_.size();
+  // Requeue in delivery order (map is keyed by monotonically increasing tag)
+  // so redelivery preserves the original relative order.
+  for (auto it = unacked_.rbegin(); it != unacked_.rend(); ++it) {
+    ready_.push_front(std::move(it->second));
+  }
+  unacked_.clear();
+  stats_.requeued += n;
+  stats_.ready = ready_.size();
+  stats_.unacked = 0;
+  if (n > 0) cv_ready_.notify_all();
+  return n;
+}
+
+std::size_t Queue::purge() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t n = ready_.size();
+  ready_.clear();
+  stats_.ready = 0;
+  cv_capacity_.notify_all();
+  return n;
+}
+
+void Queue::close() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  closed_ = true;
+  cv_ready_.notify_all();
+  cv_capacity_.notify_all();
+}
+
+bool Queue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+QueueStats Queue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t Queue::ready_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return ready_.size();
+}
+
+}  // namespace entk::mq

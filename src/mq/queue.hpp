@@ -1,0 +1,91 @@
+// A single broker queue: FIFO, optionally bounded, with unacked-message
+// tracking and requeue-on-nack semantics (the at-least-once slice of AMQP
+// the toolkit depends on).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/mq/message.hpp"
+
+namespace entk::mq {
+
+struct QueueOptions {
+  bool durable = false;        ///< journal messages for recovery
+  std::size_t capacity = 0;    ///< 0 = unbounded; publishers block when full
+};
+
+struct QueueStats {
+  std::size_t published = 0;   ///< total messages ever published
+  std::size_t delivered = 0;   ///< total deliveries (includes redeliveries)
+  std::size_t acked = 0;
+  std::size_t requeued = 0;
+  std::size_t ready = 0;       ///< currently waiting for delivery
+  std::size_t unacked = 0;     ///< delivered but not yet acked
+};
+
+/// Thread-safe FIFO queue. All waits honor a timeout so components can
+/// poll their shutdown flags; a closed queue wakes all waiters.
+class Queue {
+ public:
+  Queue(std::string name, QueueOptions options);
+
+  const std::string& name() const { return name_; }
+  const QueueOptions& options() const { return options_; }
+
+  /// Enqueue. Blocks while the queue is at capacity. Returns false if the
+  /// queue was closed (message dropped).
+  bool publish(Message msg);
+
+  /// Dequeue one message, waiting up to `timeout_s` (virtual = wall here;
+  /// the broker is control plane). The message stays unacked until
+  /// ack()/nack() with its delivery tag. Returns nullopt on timeout or
+  /// close.
+  std::optional<Delivery> get(double timeout_s);
+
+  /// Non-blocking dequeue.
+  std::optional<Delivery> try_get();
+
+  /// Acknowledge a delivery; the message is forgotten. Returns the broker
+  /// sequence number of the acked message, or nullopt for unknown tags
+  /// (double-ack).
+  std::optional<std::uint64_t> ack(std::uint64_t delivery_tag);
+
+  /// Negative-acknowledge: with `requeue`, the message goes back to the
+  /// head of the queue for redelivery; otherwise it is dropped. Returns
+  /// the message's sequence number, or nullopt for unknown tags.
+  std::optional<std::uint64_t> nack(std::uint64_t delivery_tag, bool requeue);
+
+  /// Return all unacked messages to the queue (consumer died).
+  std::size_t requeue_unacked();
+
+  /// Drop all ready messages; returns how many were purged.
+  std::size_t purge();
+
+  /// Close: wake all blocked publishers/consumers; further publishes fail.
+  void close();
+  bool closed() const;
+
+  QueueStats stats() const;
+  std::size_t ready_count() const;
+
+ private:
+  const std::string name_;
+  const QueueOptions options_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_ready_;     // consumers wait here
+  std::condition_variable cv_capacity_;  // publishers wait here
+  std::deque<Message> ready_;
+  std::map<std::uint64_t, Message> unacked_;
+  std::uint64_t next_tag_ = 1;
+  bool closed_ = false;
+  QueueStats stats_;
+};
+
+}  // namespace entk::mq

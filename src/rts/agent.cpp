@@ -1,0 +1,419 @@
+#include "src/rts/agent.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "src/common/error.hpp"
+#include "src/common/log.hpp"
+
+namespace entk::rts {
+
+// ----------------------------------------------------------- UnitRegistry
+
+void UnitRegistry::put(TaskUnit unit) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  units_[unit.uid] = std::move(unit);
+}
+
+TaskUnit UnitRegistry::take(const std::string& uid,
+                            const json::Value& from_wire) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = units_.find(uid);
+    if (it != units_.end()) {
+      TaskUnit u = std::move(it->second);
+      units_.erase(it);
+      return u;
+    }
+  }
+  return TaskUnit::from_json(from_wire);
+}
+
+std::size_t UnitRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return units_.size();
+}
+
+// ------------------------------------------------------------------ Agent
+
+Agent::Agent(std::string uid, AgentConfig config, sim::NodeMap* node_map,
+             sim::SharedFilesystem* filesystem,
+             sim::FailureModel* failure_model, double compute_factor,
+             ClockPtr clock, ProfilerPtr profiler, mq::BrokerPtr broker,
+             std::string in_queue, std::string out_queue,
+             std::shared_ptr<UnitRegistry> registry)
+    : uid_(std::move(uid)),
+      config_(config),
+      node_map_(node_map),
+      filesystem_(filesystem),
+      failure_model_(failure_model),
+      compute_factor_(compute_factor),
+      clock_(std::move(clock)),
+      profiler_(std::move(profiler)),
+      broker_(std::move(broker)),
+      in_queue_(std::move(in_queue)),
+      out_queue_(std::move(out_queue)),
+      registry_(std::move(registry)) {}
+
+Agent::~Agent() { kill(); }
+
+void Agent::start() {
+  if (running_.exchange(true)) return;
+  stopping_ = false;
+  killed_ = false;
+  next_dispatch_v_ = clock_->now();
+  stager_free_v_.assign(
+      static_cast<std::size_t>(std::max(1, config_.stager_workers)),
+      clock_->now());
+  profiler_->record(uid_, "agent_start", "", clock_->now());
+  threads_.emplace_back(&Agent::intake_loop, this);
+  threads_.emplace_back(&Agent::executor_loop, this);
+  for (int i = 0; i < config_.callable_workers; ++i) {
+    threads_.emplace_back(&Agent::worker_loop, this);
+  }
+}
+
+void Agent::stop() {
+  if (!running_.load()) return;
+  stopping_ = true;
+  // Wait until everything in flight has drained or been canceled.
+  while (true) {
+    {
+      // Cancel units that have not been placed on cores yet.
+      std::lock_guard<std::mutex> lock(exec_mutex_);
+      for (CtxPtr& ctx : pending_) {
+        finalize_unit(ctx, UnitOutcome::Canceled);
+      }
+      pending_.clear();
+    }
+    {
+      std::lock_guard<std::mutex> lock(flight_mutex_);
+      if (in_flight_.empty()) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  killed_ = true;  // signal threads to exit their loops
+  exec_cv_.notify_all();
+  worker_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  running_ = false;
+  profiler_->record(uid_, "agent_stop", "", clock_->now());
+}
+
+void Agent::kill() {
+  if (!running_.load()) return;
+  killed_ = true;
+  stopping_ = true;
+  exec_cv_.notify_all();
+  worker_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+  {
+    // In-flight units are lost: no results, allocations dropped.
+    std::lock_guard<std::mutex> lock(flight_mutex_);
+    in_flight_.clear();
+  }
+  running_ = false;
+  profiler_->record(uid_, "agent_killed", "", clock_->now());
+}
+
+std::vector<std::string> Agent::in_flight() const {
+  std::lock_guard<std::mutex> lock(flight_mutex_);
+  std::vector<std::string> out;
+  out.reserve(in_flight_.size());
+  for (const auto& [uid, ctx] : in_flight_) {
+    (void)ctx;
+    out.push_back(uid);
+  }
+  return out;
+}
+
+std::pair<double, double> Agent::charge_staging(
+    const std::vector<saga::StagingDirective>& directives) {
+  double charge = 0.0;
+  for (const saga::StagingDirective& d : directives) {
+    sim::FsOp op = sim::FsOp::Copy;
+    if (d.action == saga::StagingAction::Link) op = sim::FsOp::Link;
+    if (d.action == saga::StagingAction::Transfer) op = sim::FsOp::Transfer;
+    charge += filesystem_->charge(op, d.bytes);
+  }
+  std::lock_guard<std::mutex> lock(stage_mutex_);
+  auto it = std::min_element(stager_free_v_.begin(), stager_free_v_.end());
+  const double start_v = std::max(*it, clock_->now());
+  const double end_v = start_v + charge;
+  *it = end_v;
+  return {start_v, end_v};
+}
+
+void Agent::schedule_event_locked(double at_v, Phase phase, CtxPtr ctx) {
+  events_.push(Event{at_v, phase, std::move(ctx)});
+  exec_cv_.notify_all();
+}
+
+void Agent::intake_loop() {
+  while (!killed_.load()) {
+    auto delivery = broker_->get(in_queue_, config_.poll_timeout_s);
+    if (!delivery) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    json::Value wire;
+    try {
+      wire = delivery->message.body_json();
+    } catch (const json::ParseError&) {
+      broker_->ack(in_queue_, delivery->delivery_tag);
+      ENTK_WARN(uid_) << "dropping malformed unit message";
+      continue;
+    }
+    const std::string uid = wire.get_string("uid", "");
+    auto ctx = std::make_shared<UnitCtx>();
+    ctx->unit = registry_->take(uid, wire);
+    ctx->result.uid = ctx->unit.uid;
+    ctx->result.name = ctx->unit.name;
+    ctx->result.metadata = ctx->unit.metadata;
+    ctx->result.submit_t = clock_->now();
+    profiler_->record(uid_, "unit_received", uid, ctx->result.submit_t);
+    {
+      std::lock_guard<std::mutex> lock(flight_mutex_);
+      in_flight_[uid] = ctx;
+    }
+    broker_->ack(in_queue_, delivery->delivery_tag);
+    if (ctx->unit.input_staging.empty()) {
+      enqueue_pending(std::move(ctx));
+    } else {
+      const auto [start_v, end_v] = charge_staging(ctx->unit.input_staging);
+      ctx->result.staging_in_s = end_v - start_v;
+      profiler_->record(uid_, "unit_stage_in_start", uid, start_v);
+      profiler_->record(uid_, "unit_stage_in_stop", uid, end_v);
+      std::lock_guard<std::mutex> lock(exec_mutex_);
+      schedule_event_locked(end_v, Phase::StageInDone, std::move(ctx));
+    }
+  }
+}
+
+void Agent::enqueue_pending(CtxPtr ctx) {
+  {
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    pending_.push_back(std::move(ctx));
+  }
+  exec_cv_.notify_all();
+}
+
+void Agent::try_place_pending_locked() {
+  // FIFO placement: stop at the first unit that does not fit, preserving
+  // submission order (head-of-line blocking, like RP's agent scheduler).
+  while (!pending_.empty()) {
+    CtxPtr ctx = pending_.front();
+    sim::SlotRequest req;
+    req.cores = ctx->unit.cores;
+    req.gpus = ctx->unit.gpus;
+    req.exclusive_nodes = ctx->unit.exclusive_nodes;
+    if (!node_map_->fits_capacity(req)) {
+      // Can never run on this pilot: fail immediately.
+      pending_.pop_front();
+      ctx->result.exit_code = -1;
+      ctx->will_fail = true;
+      finalize_unit(std::move(ctx), UnitOutcome::Failed);
+      continue;
+    }
+    auto alloc = node_map_->try_allocate(req);
+    if (!alloc) return;  // wait for a completion to free resources
+    pending_.pop_front();
+
+    ctx->alloc_id = alloc->id;
+    const double now_v = clock_->now();
+    ctx->result.sched_t = now_v;
+    // Bounded spawn rate: units dispatch one-by-one through the executor.
+    const double start_v = std::max(now_v, next_dispatch_v_);
+    next_dispatch_v_ = start_v + 1.0 / config_.dispatch_rate_per_s;
+    ctx->result.exec_start_t = start_v;
+
+    ++executing_;
+    const double duration = ctx->unit.duration_s * compute_factor_;
+    const double end_v = start_v + config_.env_setup_s + duration;
+    ctx->result.exec_end_t = end_v;
+    profiler_->record(uid_, "unit_exec_start", ctx->unit.uid, start_v);
+
+    if (ctx->unit.callable) {
+      // Real-compute units decide failure from their exit code (plus the
+      // injection model, evaluated now).
+      ctx->will_fail = failure_model_ != nullptr &&
+                       failure_model_->should_fail(executing_);
+      if (ctx->will_fail) {
+        ctx->result.exit_code = 1;
+        const double fail_v = start_v + config_.env_setup_s +
+                              duration * config_.failed_unit_fraction;
+        ctx->result.exec_end_t = fail_v;
+        schedule_event_locked(fail_v, Phase::ExecDone, std::move(ctx));
+      } else {
+        std::lock_guard<std::mutex> lock(worker_mutex_);
+        worker_jobs_.push_back(std::move(ctx));
+        worker_cv_.notify_one();
+      }
+    } else {
+      // Modeled units: the overload failure decision happens once the
+      // whole placement wave is executing (mid environment-setup), so a
+      // unit placed early in a 32-wide burst sees the full concurrency —
+      // matching the paper's filesystem-overload regime.
+      if (failure_model_ != nullptr) {
+        schedule_event_locked(start_v + 0.5 * config_.env_setup_s,
+                              Phase::FailureCheck, ctx);
+      }
+      schedule_event_locked(end_v, Phase::ExecDone, std::move(ctx));
+    }
+  }
+}
+
+void Agent::executor_loop() {
+  std::unique_lock<std::mutex> lock(exec_mutex_);
+  while (!killed_.load()) {
+    try_place_pending_locked();
+    if (events_.empty()) {
+      exec_cv_.wait_for(lock, std::chrono::milliseconds(2));
+      continue;
+    }
+    const double next_at_v = events_.top().at_v;
+    const double now_v = clock_->now();
+    if (now_v < next_at_v) {
+      // Sleep toward the ABSOLUTE deadline (bounded so kill() stays
+      // responsive); overshoot cannot accumulate across events.
+      const double wall_wait = (next_at_v - now_v) * clock_->scale();
+      exec_cv_.wait_for(lock, std::chrono::duration<double>(
+                                  std::min(wall_wait, 0.05)));
+      continue;
+    }
+    Event event = events_.top();
+    events_.pop();
+    lock.unlock();
+    switch (event.phase) {
+      case Phase::StageInDone:
+        enqueue_pending(std::move(event.ctx));
+        break;
+      case Phase::FailureCheck:
+        handle_failure_check(std::move(event.ctx));
+        break;
+      case Phase::ExecDone:
+        handle_exec_done(std::move(event.ctx));
+        break;
+      case Phase::StageOutDone: {
+        const UnitOutcome outcome =
+            event.ctx->will_fail ? UnitOutcome::Failed : UnitOutcome::Done;
+        finalize_unit(std::move(event.ctx), outcome);
+        break;
+      }
+    }
+    lock.lock();
+  }
+}
+
+void Agent::worker_loop() {
+  while (!killed_.load()) {
+    CtxPtr ctx;
+    {
+      std::unique_lock<std::mutex> lock(worker_mutex_);
+      worker_cv_.wait_for(lock, std::chrono::milliseconds(2), [this] {
+        return killed_.load() || !worker_jobs_.empty();
+      });
+      if (killed_.load()) return;
+      if (worker_jobs_.empty()) continue;
+      ctx = std::move(worker_jobs_.front());
+      worker_jobs_.pop_front();
+    }
+    int exit_code = 0;
+    try {
+      exit_code = ctx->unit.callable();
+    } catch (const std::exception& e) {
+      ENTK_WARN(uid_) << "unit " << ctx->unit.uid
+                      << " callable threw: " << e.what();
+      exit_code = 255;
+    }
+    ctx->result.exit_code = exit_code;
+    if (exit_code != 0) ctx->will_fail = true;
+    // Completion is the later of the modeled end time and the callable
+    // returning: wait out any remaining modeled duration (absolute
+    // deadline, so overshoot does not accumulate).
+    const double remaining = ctx->result.exec_end_t - clock_->now();
+    if (remaining > 0) clock_->sleep_for(remaining);
+    ctx->result.exec_end_t = std::max(ctx->result.exec_end_t, clock_->now());
+    handle_exec_done(std::move(ctx));
+  }
+}
+
+void Agent::handle_failure_check(CtxPtr ctx) {
+  if (ctx->exec_done_fired) return;
+  int concurrent;
+  {
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    concurrent = executing_;
+  }
+  if (failure_model_ == nullptr || !failure_model_->should_fail(concurrent)) {
+    return;
+  }
+  // The unit dies partway through: pull its completion forward.
+  ctx->will_fail = true;
+  ctx->result.exit_code = 1;
+  const double fail_v =
+      ctx->result.exec_start_t + config_.env_setup_s +
+      ctx->unit.duration_s * compute_factor_ * config_.failed_unit_fraction;
+  ctx->result.exec_end_t = std::min(ctx->result.exec_end_t, fail_v);
+  const double end_v = ctx->result.exec_end_t;
+  std::lock_guard<std::mutex> lock(exec_mutex_);
+  schedule_event_locked(end_v, Phase::ExecDone, std::move(ctx));
+}
+
+void Agent::handle_exec_done(CtxPtr ctx) {
+  if (ctx->exec_done_fired) return;  // a failure check superseded this event
+  ctx->exec_done_fired = true;
+  profiler_->record(uid_, "unit_exec_stop", ctx->unit.uid,
+                    ctx->result.exec_end_t);
+  node_map_->release(ctx->alloc_id);
+  {
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    --executing_;
+  }
+  exec_cv_.notify_all();
+  const bool failed = ctx->will_fail || ctx->result.exit_code != 0;
+  if (!failed && !ctx->unit.output_staging.empty()) {
+    const auto [start_v, end_v] = charge_staging(ctx->unit.output_staging);
+    ctx->result.staging_out_s = end_v - start_v;
+    profiler_->record(uid_, "unit_stage_out_start", ctx->unit.uid, start_v);
+    profiler_->record(uid_, "unit_stage_out_stop", ctx->unit.uid, end_v);
+    std::lock_guard<std::mutex> lock(exec_mutex_);
+    schedule_event_locked(end_v, Phase::StageOutDone, std::move(ctx));
+    return;
+  }
+  finalize_unit(std::move(ctx),
+                failed ? UnitOutcome::Failed : UnitOutcome::Done);
+}
+
+void Agent::finalize_unit(CtxPtr ctx, UnitOutcome outcome) {
+  ctx->result.outcome = outcome;
+  ctx->result.done_t = clock_->now();
+  if (outcome == UnitOutcome::Failed && ctx->result.exit_code == 0) {
+    ctx->result.exit_code = 1;
+  }
+  profiler_->record(uid_, "unit_done", ctx->unit.uid, ctx->result.done_t);
+  {
+    std::lock_guard<std::mutex> lock(flight_mutex_);
+    in_flight_.erase(ctx->unit.uid);
+  }
+  if (outcome == UnitOutcome::Done) {
+    ++completed_;
+  } else if (outcome == UnitOutcome::Failed) {
+    ++failed_;
+  }
+  try {
+    broker_->publish(out_queue_, mq::Message::json_body(
+                                     out_queue_, ctx->result.to_json()));
+  } catch (const MqError&) {
+    // Broker shut down while we were finishing: result is lost, which is
+    // exactly the paper's semantics for a dying RTS.
+  }
+}
+
+}  // namespace entk::rts

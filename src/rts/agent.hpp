@@ -1,0 +1,187 @@
+// RTS Agent (paper §II-D, Fig 3).
+//
+// The Agent bootstraps on a pilot's compute nodes and executes units:
+//   - it pulls unit descriptions from its input queue (the stand-in for
+//     RP's MongoDB-backed agent queue),
+//   - its *stager* charges input/output staging against the CI's shared
+//     filesystem model on a sequential staging timeline (RP ships with one
+//     stager, which is what makes staging time grow linearly with task
+//     count in the weak-scaling experiment; more stager workers =
+//     parallel timelines),
+//   - its *scheduler* places units onto concrete cores/nodes (first-fit
+//     over the pilot's NodeMap, FIFO),
+//   - its *executor* charges per-unit environment-setup time and a bounded
+//     spawn rate (modeling ORTE/aprun dispatch, the cause of non-ideal
+//     weak scaling the paper observes), then completes the unit after its
+//     modeled duration on the virtual clock — or after its real callable
+//     returns, for units carrying actual computation.
+//
+// Timing discipline: every modeled duration becomes an ABSOLUTE virtual
+// deadline in one event heap; the executor thread sleeps until the next
+// deadline. Absolute deadlines mean OS sleep overshoot never accumulates,
+// so thousands of sub-millisecond staging charges stay exact.
+//
+// Failure injection: modeled units consult the CI FailureModel once the
+// placement wave is fully executing (so a 32-wide burst sees concurrency
+// 32, the paper's overload regime); a failing unit consumes half its
+// modeled duration and exits non-zero.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.hpp"
+#include "src/common/profiler.hpp"
+#include "src/mq/broker.hpp"
+#include "src/rts/unit.hpp"
+#include "src/saga/stager.hpp"
+#include "src/sim/failure.hpp"
+#include "src/sim/node_map.hpp"
+
+namespace entk::rts {
+
+struct AgentConfig {
+  double env_setup_s = 4.0;          ///< virtual s to set up a unit's env
+  double dispatch_rate_per_s = 25.0; ///< max unit spawns per virtual second
+  int stager_workers = 1;            ///< parallel staging timelines
+  int callable_workers = 4;          ///< threads for real-compute units
+  double poll_timeout_s = 0.002;     ///< wall s for queue polls
+  double failed_unit_fraction = 0.5; ///< fraction of duration a failing
+                                     ///< unit consumes before dying
+};
+
+/// Shared uid -> TaskUnit registry. Units travel through the broker as
+/// JSON, but callables cannot be serialized; the UnitManager parks the
+/// full unit here and the Agent picks it up by uid.
+class UnitRegistry {
+ public:
+  void put(TaskUnit unit);
+  /// Remove and return the unit for `uid`; falls back to `from_wire` when
+  /// the registry has no entry (cross-process transport).
+  TaskUnit take(const std::string& uid, const json::Value& from_wire);
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, TaskUnit> units_;
+};
+
+class Agent {
+ public:
+  /// `in_queue`/`out_queue` must already be declared on `broker`.
+  Agent(std::string uid, AgentConfig config, sim::NodeMap* node_map,
+        sim::SharedFilesystem* filesystem, sim::FailureModel* failure_model,
+        double compute_factor, ClockPtr clock, ProfilerPtr profiler,
+        mq::BrokerPtr broker, std::string in_queue, std::string out_queue,
+        std::shared_ptr<UnitRegistry> registry);
+  ~Agent();
+
+  Agent(const Agent&) = delete;
+  Agent& operator=(const Agent&) = delete;
+
+  /// Spawn the intake/executor/worker threads.
+  void start();
+
+  /// Graceful stop: drain nothing further from the input queue, cancel
+  /// units not yet executing, wait for executing units to finish.
+  void stop();
+
+  /// Hard failure: all threads die immediately; in-flight units are lost
+  /// (no results are emitted for them).
+  void kill();
+
+  bool running() const { return running_.load(); }
+
+  /// Units accepted but not yet finalized.
+  std::vector<std::string> in_flight() const;
+
+  std::size_t completed() const { return completed_.load(); }
+  std::size_t failed() const { return failed_.load(); }
+
+ private:
+  enum class Phase { StageInDone, FailureCheck, ExecDone, StageOutDone };
+
+  struct UnitCtx {
+    TaskUnit unit;
+    UnitResult result;
+    std::uint64_t alloc_id = 0;
+    bool will_fail = false;
+    bool exec_done_fired = false;  ///< guards duplicate ExecDone events
+  };
+  using CtxPtr = std::shared_ptr<UnitCtx>;
+
+  struct Event {
+    double at_v = 0.0;
+    Phase phase = Phase::ExecDone;
+    CtxPtr ctx;
+    bool operator>(const Event& other) const { return at_v > other.at_v; }
+  };
+
+  void intake_loop();
+  void executor_loop();
+  void worker_loop();
+
+  /// Charge `directives` on the earliest-free staging timeline; returns
+  /// {start_v, end_v} of the staging window. Thread-safe.
+  std::pair<double, double> charge_staging(
+      const std::vector<saga::StagingDirective>& directives);
+
+  void schedule_event_locked(double at_v, Phase phase, CtxPtr ctx);
+  void enqueue_pending(CtxPtr ctx);
+  void try_place_pending_locked();
+  void handle_failure_check(CtxPtr ctx);
+  void handle_exec_done(CtxPtr ctx);
+  void finalize_unit(CtxPtr ctx, UnitOutcome outcome);
+
+  const std::string uid_;
+  const AgentConfig config_;
+  sim::NodeMap* node_map_;
+  sim::SharedFilesystem* filesystem_;
+  sim::FailureModel* failure_model_;
+  const double compute_factor_;
+  ClockPtr clock_;
+  ProfilerPtr profiler_;
+  mq::BrokerPtr broker_;
+  const std::string in_queue_;
+  const std::string out_queue_;
+  std::shared_ptr<UnitRegistry> registry_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};   // graceful
+  std::atomic<bool> killed_{false};     // hard
+
+  // Sequential staging timelines (virtual time when each stager frees up).
+  std::mutex stage_mutex_;
+  std::vector<double> stager_free_v_;
+
+  // Executor state: pending placements + the absolute-deadline event heap.
+  std::mutex exec_mutex_;
+  std::condition_variable exec_cv_;
+  std::deque<CtxPtr> pending_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  double next_dispatch_v_ = 0.0;
+  int executing_ = 0;
+
+  // Callable worker pool.
+  std::mutex worker_mutex_;
+  std::condition_variable worker_cv_;
+  std::deque<CtxPtr> worker_jobs_;
+
+  // In-flight accounting.
+  mutable std::mutex flight_mutex_;
+  std::map<std::string, CtxPtr> in_flight_;
+
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> failed_{0};
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace entk::rts

@@ -1,0 +1,69 @@
+// LocalRts: a minimal thread-pool runtime behind the same Rts interface.
+//
+// Demonstrates the building-blocks composability claim (paper §V): EnTK is
+// agnostic to the RTS below it, so a completely different runtime — here a
+// plain worker pool running units on the local machine in (clock-scaled)
+// time, with no pilots, agents or staging — drops in without any change to
+// the workflow layer. Used by unit tests and the quickstart example.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.hpp"
+#include "src/common/profiler.hpp"
+#include "src/rts/rts.hpp"
+
+namespace entk::rts {
+
+struct LocalRtsConfig {
+  int workers = 4;
+  /// Probability that a unit fails (exit code 1); deterministic per seed.
+  double failure_probability = 0.0;
+  std::uint64_t seed = 17;
+};
+
+class LocalRts final : public Rts {
+ public:
+  LocalRts(LocalRtsConfig config, ClockPtr clock, ProfilerPtr profiler);
+  ~LocalRts() override;
+
+  void initialize() override;
+  void set_completion_callback(
+      std::function<void(const UnitResult&)> callback) override;
+  void submit(std::vector<TaskUnit> units) override;
+  bool is_healthy() const override;
+  void terminate() override;
+  void kill() override;
+  RtsStats stats() const override;
+  std::vector<std::string> in_flight_units() const override;
+
+ private:
+  void worker_loop(std::uint64_t worker_seed);
+
+  LocalRtsConfig config_;
+  ClockPtr clock_;
+  ProfilerPtr profiler_;
+  std::string uid_;
+
+  std::function<void(const UnitResult&)> callback_;
+  std::atomic<bool> healthy_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<TaskUnit> queue_;
+  std::set<std::string> in_flight_;
+  std::vector<std::thread> workers_;
+
+  std::atomic<std::size_t> submitted_{0};
+  std::atomic<std::size_t> completed_{0};
+  std::atomic<std::size_t> failed_{0};
+};
+
+}  // namespace entk::rts

@@ -1,0 +1,130 @@
+#include "src/rts/multi_pilot_rts.hpp"
+
+#include "src/common/error.hpp"
+#include "src/common/ids.hpp"
+#include "src/common/log.hpp"
+
+namespace entk::rts {
+
+MultiPilotRts::MultiPilotRts(MultiPilotRtsConfig config, ClockPtr clock,
+                             ProfilerPtr profiler)
+    : config_(std::move(config)),
+      clock_(std::move(clock)),
+      profiler_(std::move(profiler)),
+      uid_(generate_uid("rts.multi")) {
+  if (config_.pilots.empty()) {
+    throw ValueError("MultiPilotRts: at least one pilot required");
+  }
+}
+
+void MultiPilotRts::initialize() {
+  profiler_->record(uid_, "rts_init_start", "", clock_->now());
+  for (const PilotRtsConfig& pilot_cfg : config_.pilots) {
+    members_.push_back(
+        std::make_shared<PilotRts>(pilot_cfg, clock_, profiler_));
+  }
+  for (auto& member : members_) {
+    member->set_completion_callback([this](const UnitResult& result) {
+      if (callback_) callback_(result);
+    });
+    member->initialize();
+  }
+  healthy_ = true;
+  profiler_->record(uid_, "rts_init_stop", "", clock_->now());
+}
+
+void MultiPilotRts::set_completion_callback(
+    std::function<void(const UnitResult&)> callback) {
+  callback_ = std::move(callback);
+}
+
+int MultiPilotRts::route(const TaskUnit& unit) const {
+  int best = -1;
+  int best_free = -1;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    Pilot* pilot = const_cast<PilotRts&>(*members_[i]).pilot();
+    if (pilot == nullptr) continue;
+    sim::SlotRequest req;
+    req.cores = unit.cores;
+    req.gpus = unit.gpus;
+    req.exclusive_nodes = unit.exclusive_nodes;
+    if (!pilot->node_map().fits_capacity(req)) continue;
+    const int free = pilot->node_map().free_cores();
+    if (free > best_free) {
+      best_free = free;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+void MultiPilotRts::submit(std::vector<TaskUnit> units) {
+  if (!healthy_.load()) throw RtsError(uid_ + ": submit on unhealthy RTS");
+  // Group per member to keep one submit call per pilot.
+  std::vector<std::vector<TaskUnit>> batches(members_.size());
+  for (TaskUnit& unit : units) {
+    const int target = route(unit);
+    if (target < 0) {
+      // No pilot can ever run this unit: route to the widest pilot, whose
+      // agent will fail it with the standard infeasibility path.
+      std::size_t widest = 0;
+      for (std::size_t i = 1; i < members_.size(); ++i) {
+        if (members_[i]->pilot()->cores() >
+            members_[widest]->pilot()->cores()) {
+          widest = i;
+        }
+      }
+      ENTK_WARN(uid_) << "unit " << unit.uid
+                      << " fits no pilot; failing via "
+                      << members_[widest]->pilot()->uid();
+      batches[widest].push_back(std::move(unit));
+      continue;
+    }
+    profiler_->record(uid_, "unit_routed", unit.uid, clock_->now());
+    batches[static_cast<std::size_t>(target)].push_back(std::move(unit));
+  }
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (!batches[i].empty()) members_[i]->submit(std::move(batches[i]));
+  }
+}
+
+bool MultiPilotRts::is_healthy() const {
+  if (!healthy_.load()) return false;
+  for (const auto& member : members_) {
+    if (!member->is_healthy()) return false;
+  }
+  return true;
+}
+
+void MultiPilotRts::terminate() {
+  healthy_ = false;
+  for (auto& member : members_) member->terminate();
+}
+
+void MultiPilotRts::kill() {
+  healthy_ = false;
+  for (auto& member : members_) member->kill();
+}
+
+RtsStats MultiPilotRts::stats() const {
+  RtsStats total;
+  for (const auto& member : members_) {
+    const RtsStats s = member->stats();
+    total.units_submitted += s.units_submitted;
+    total.units_completed += s.units_completed;
+    total.units_failed += s.units_failed;
+    total.units_in_flight += s.units_in_flight;
+  }
+  return total;
+}
+
+std::vector<std::string> MultiPilotRts::in_flight_units() const {
+  std::vector<std::string> out;
+  for (const auto& member : members_) {
+    const std::vector<std::string> part = member->in_flight_units();
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace entk::rts

@@ -1,0 +1,56 @@
+// Multi-pilot RTS (paper §II-D / Fig 3: RP's concurrent components
+// "enable RP to manage multiple pilots and tasks at the same time", and
+// §III-A: simulation tasks need leadership-class systems while data
+// processing fits moderately sized clusters).
+//
+// Composes several PilotRts instances behind the single Rts interface and
+// routes each unit to a pilot that can hold it: among the pilots whose
+// total capacity fits the unit's resource request, the one with the most
+// free cores wins (late binding). Units that fit no pilot fail
+// immediately, mirroring the agent's infeasibility rule.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/rts/pilot_rts.hpp"
+
+namespace entk::rts {
+
+struct MultiPilotRtsConfig {
+  std::vector<PilotRtsConfig> pilots;
+};
+
+class MultiPilotRts final : public Rts {
+ public:
+  MultiPilotRts(MultiPilotRtsConfig config, ClockPtr clock,
+                ProfilerPtr profiler);
+
+  void initialize() override;
+  void set_completion_callback(
+      std::function<void(const UnitResult&)> callback) override;
+  void submit(std::vector<TaskUnit> units) override;
+  bool is_healthy() const override;
+  void terminate() override;
+  void kill() override;
+  RtsStats stats() const override;
+  std::vector<std::string> in_flight_units() const override;
+
+  std::size_t pilot_count() const { return members_.size(); }
+  PilotRts* member(std::size_t i) { return members_[i].get(); }
+
+  /// Routing decision used by submit(); exposed for tests. Returns the
+  /// member index, or -1 when no pilot can ever hold the unit.
+  int route(const TaskUnit& unit) const;
+
+ private:
+  MultiPilotRtsConfig config_;
+  ClockPtr clock_;
+  ProfilerPtr profiler_;
+  std::string uid_;
+  std::vector<std::shared_ptr<PilotRts>> members_;
+  std::function<void(const UnitResult&)> callback_;
+  std::atomic<bool> healthy_{false};
+};
+
+}  // namespace entk::rts

@@ -1,0 +1,102 @@
+#include "src/rts/pilot.hpp"
+
+#include "src/common/error.hpp"
+#include "src/common/ids.hpp"
+
+namespace entk::rts {
+
+const char* to_string(PilotState s) {
+  switch (s) {
+    case PilotState::New: return "NEW";
+    case PilotState::Queued: return "QUEUED";
+    case PilotState::Active: return "ACTIVE";
+    case PilotState::Done: return "DONE";
+    case PilotState::Failed: return "FAILED";
+    case PilotState::Canceled: return "CANCELED";
+  }
+  return "?";
+}
+
+Pilot::Pilot(std::string uid, PilotDescription description,
+             sim::ClusterSpec cluster, saga::JobPtr job, ClockPtr clock)
+    : uid_(std::move(uid)),
+      description_(std::move(description)),
+      cluster_(std::move(cluster)),
+      job_(std::move(job)),
+      clock_(std::move(clock)) {
+  nodes_ = description_.nodes;
+  if (nodes_ <= 0) {
+    nodes_ = (description_.cores + cluster_.cores_per_node - 1) /
+             cluster_.cores_per_node;
+  }
+  if (nodes_ <= 0) nodes_ = 1;
+  node_map_ = std::make_unique<sim::NodeMap>(nodes_, cluster_.cores_per_node,
+                                             cluster_.gpus_per_node);
+  filesystem_ = std::make_unique<sim::SharedFilesystem>(cluster_.filesystem);
+}
+
+PilotState Pilot::state() const {
+  switch (job_->state()) {
+    case saga::JobState::New: return PilotState::New;
+    case saga::JobState::Pending: return PilotState::Queued;
+    case saga::JobState::Active:
+      return bootstrapped_ ? PilotState::Active : PilotState::Queued;
+    case saga::JobState::Done: return PilotState::Done;
+    case saga::JobState::Failed: return PilotState::Failed;
+    case saga::JobState::Canceled: return PilotState::Canceled;
+  }
+  return PilotState::New;
+}
+
+void Pilot::wait_bootstrapped() {
+  job_->wait_active();
+  if (job_->state() == saga::JobState::Failed) {
+    throw RtsError("pilot " + uid_ + ": job failed (requested " +
+                   std::to_string(nodes_) + " nodes on " + cluster_.name +
+                   " with " + std::to_string(cluster_.nodes) + ")");
+  }
+  if (!bootstrapped_) {
+    clock_->sleep_for(cluster_.agent_bootstrap_s);
+    bootstrapped_ = true;
+  }
+}
+
+void Pilot::cancel() {
+  if (agent_) agent_->stop();
+  job_->cancel();
+}
+
+PilotManager::PilotManager(ClockPtr clock, ProfilerPtr profiler,
+                           std::uint64_t seed)
+    : clock_(std::move(clock)), profiler_(std::move(profiler)), seed_(seed) {}
+
+PilotPtr PilotManager::submit(const PilotDescription& description) {
+  const sim::ClusterSpec cluster = sim::cluster_by_name(description.resource);
+  saga::JobService* service = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = services_.find(cluster.name);
+    if (it == services_.end()) {
+      it = services_
+               .emplace(cluster.name, std::make_unique<saga::JobService>(
+                                          cluster, clock_, seed_))
+               .first;
+    }
+    service = it->second.get();
+  }
+  const std::string uid = generate_uid("pilot");
+  saga::JobDescription jd;
+  jd.name = uid;
+  jd.nodes = description.nodes > 0
+                 ? description.nodes
+                 : (description.cores + cluster.cores_per_node - 1) /
+                       cluster.cores_per_node;
+  jd.walltime_s = description.walltime_s;
+  jd.project = description.project;
+  profiler_->record("pmgr", "pilot_submit", uid, clock_->now());
+  auto job = service->submit(jd);
+  return std::make_shared<Pilot>(uid, description, cluster, std::move(job),
+                                 clock_);
+}
+
+}  // namespace entk::rts

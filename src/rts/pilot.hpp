@@ -1,0 +1,97 @@
+// Pilot and PilotManager (paper §II-D, Fig 3).
+//
+// A pilot is a placeholder job: the PilotManager submits it to the CI via
+// the SAGA job adapter, it waits in the batch queue, and once active it
+// bootstraps an Agent on its nodes. Tasks then execute inside the pilot
+// without further queue round-trips — the mechanism that lets EnTK vary
+// ensemble concurrency freely (e.g. the seismic use case trading pilot
+// width for walltime, Fig 10).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/common/clock.hpp"
+#include "src/common/profiler.hpp"
+#include "src/mq/broker.hpp"
+#include "src/rts/agent.hpp"
+#include "src/saga/job_service.hpp"
+#include "src/sim/cluster.hpp"
+#include "src/sim/failure.hpp"
+#include "src/sim/filesystem.hpp"
+#include "src/sim/node_map.hpp"
+
+namespace entk::rts {
+
+struct PilotDescription {
+  std::string resource;     ///< CI name, e.g. "ornl.titan"
+  int cores = 0;            ///< total cores requested (rounded up to nodes)
+  int nodes = 0;            ///< alternative: whole nodes (wins when > 0)
+  double walltime_s = 7200; ///< virtual seconds
+  std::string project;
+};
+
+enum class PilotState { New, Queued, Active, Done, Failed, Canceled };
+
+const char* to_string(PilotState s);
+
+/// A live pilot: the CI job plus the simulated resources (NodeMap, shared
+/// filesystem) and the Agent bootstrapped on them.
+class Pilot {
+ public:
+  Pilot(std::string uid, PilotDescription description,
+        sim::ClusterSpec cluster, saga::JobPtr job, ClockPtr clock);
+
+  const std::string& uid() const { return uid_; }
+  const PilotDescription& description() const { return description_; }
+  const sim::ClusterSpec& cluster() const { return cluster_; }
+  PilotState state() const;
+
+  int nodes() const { return nodes_; }
+  int cores() const { return nodes_ * cluster_.cores_per_node; }
+
+  sim::NodeMap& node_map() { return *node_map_; }
+  sim::SharedFilesystem& filesystem() { return *filesystem_; }
+
+  /// Block until the CI job is active, then charge agent bootstrap time.
+  /// Throws RtsError when the job failed (e.g. infeasible request).
+  void wait_bootstrapped();
+
+  void set_agent(std::unique_ptr<Agent> agent) { agent_ = std::move(agent); }
+  Agent* agent() { return agent_.get(); }
+
+  void cancel();
+
+ private:
+  const std::string uid_;
+  const PilotDescription description_;
+  const sim::ClusterSpec cluster_;
+  saga::JobPtr job_;
+  ClockPtr clock_;
+  int nodes_ = 0;
+  bool bootstrapped_ = false;
+  std::unique_ptr<sim::NodeMap> node_map_;
+  std::unique_ptr<sim::SharedFilesystem> filesystem_;
+  std::unique_ptr<Agent> agent_;
+};
+
+using PilotPtr = std::shared_ptr<Pilot>;
+
+/// Submits pilots as jobs through the SAGA adapter of the target CI.
+class PilotManager {
+ public:
+  PilotManager(ClockPtr clock, ProfilerPtr profiler, std::uint64_t seed = 7);
+
+  /// Submit a pilot to its CI. Non-blocking: the returned pilot is Queued;
+  /// call Pilot::wait_bootstrapped() to block until it is usable.
+  PilotPtr submit(const PilotDescription& description);
+
+ private:
+  ClockPtr clock_;
+  ProfilerPtr profiler_;
+  std::uint64_t seed_;
+  std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<saga::JobService>> services_;
+};
+
+}  // namespace entk::rts

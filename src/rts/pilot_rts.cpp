@@ -1,0 +1,127 @@
+#include "src/rts/pilot_rts.hpp"
+
+#include "src/common/error.hpp"
+#include "src/common/ids.hpp"
+#include "src/common/log.hpp"
+
+namespace entk::rts {
+
+PilotRts::PilotRts(PilotRtsConfig config, ClockPtr clock, ProfilerPtr profiler)
+    : config_(std::move(config)),
+      clock_(std::move(clock)),
+      profiler_(std::move(profiler)),
+      uid_(generate_uid("rts")) {}
+
+PilotRts::~PilotRts() {
+  if (healthy_.load()) kill();
+}
+
+void PilotRts::initialize() {
+  profiler_->record(uid_, "rts_init_start", "", clock_->now());
+
+  broker_ = std::make_shared<mq::Broker>(uid_ + ".broker");
+  const std::string agent_queue = uid_ + ".units";
+  const std::string done_queue = uid_ + ".done";
+  broker_->declare_queue(agent_queue);
+  broker_->declare_queue(done_queue);
+  registry_ = std::make_shared<UnitRegistry>();
+
+  pilot_manager_ = std::make_unique<PilotManager>(clock_, profiler_);
+  pilot_ = pilot_manager_->submit(config_.pilot);
+  pilot_->wait_bootstrapped();
+
+  failure_model_ = std::make_unique<sim::FailureModel>(config_.failure);
+  auto agent = std::make_unique<Agent>(
+      uid_ + ".agent", config_.agent, &pilot_->node_map(),
+      &pilot_->filesystem(), failure_model_.get(),
+      pilot_->cluster().compute_factor, clock_, profiler_, broker_,
+      agent_queue, done_queue, registry_);
+  agent->start();
+  pilot_->set_agent(std::move(agent));
+
+  unit_manager_ = std::make_unique<UnitManager>(uid_ + ".umgr", clock_,
+                                                profiler_, broker_,
+                                                agent_queue, done_queue,
+                                                registry_);
+  unit_manager_->set_callback([this](const UnitResult& result) {
+    {
+      std::lock_guard<std::mutex> lock(flight_mutex_);
+      in_flight_.erase(result.uid);
+    }
+    if (result.outcome == UnitOutcome::Failed) {
+      ++failed_;
+    } else if (result.outcome == UnitOutcome::Done) {
+      ++completed_;
+    }
+    if (callback_) callback_(result);
+  });
+  unit_manager_->start();
+
+  healthy_ = true;
+  profiler_->record(uid_, "rts_init_stop", "", clock_->now());
+}
+
+void PilotRts::set_completion_callback(
+    std::function<void(const UnitResult&)> callback) {
+  callback_ = std::move(callback);
+}
+
+void PilotRts::submit(std::vector<TaskUnit> units) {
+  if (!healthy_.load()) throw RtsError(uid_ + ": submit on unhealthy RTS");
+  {
+    std::lock_guard<std::mutex> lock(flight_mutex_);
+    for (const TaskUnit& u : units) in_flight_.insert(u.uid);
+  }
+  submitted_ += units.size();
+  unit_manager_->submit(std::move(units));
+}
+
+bool PilotRts::is_healthy() const { return healthy_.load(); }
+
+void PilotRts::terminate() {
+  if (terminated_.exchange(true)) return;
+  profiler_->record(uid_, "rts_teardown_start", "", clock_->now());
+  healthy_ = false;
+  if (pilot_ && pilot_->agent() != nullptr) pilot_->agent()->stop();
+  if (unit_manager_) unit_manager_->stop();
+  if (pilot_) pilot_->cancel();
+  // Modeled tear-down cost: the reference RTS spends seconds to tens of
+  // seconds terminating its many processes and threads.
+  const double teardown =
+      config_.teardown_base_s +
+      config_.teardown_per_unit_s * static_cast<double>(submitted_.load());
+  clock_->sleep_for(teardown);
+  if (broker_) broker_->close();
+  profiler_->record(uid_, "rts_teardown_stop", "", clock_->now());
+}
+
+void PilotRts::kill() {
+  if (terminated_.exchange(true)) return;
+  healthy_ = false;
+  profiler_->record(uid_, "rts_killed", "", clock_->now());
+  // Hard death: agent dies with its in-flight units; the unit manager and
+  // broker vanish. in_flight_ keeps the lost uids so EnTK can resubmit.
+  if (pilot_ && pilot_->agent() != nullptr) pilot_->agent()->kill();
+  if (unit_manager_) unit_manager_->stop();
+  if (broker_) broker_->close();
+  if (pilot_) pilot_->cancel();
+}
+
+RtsStats PilotRts::stats() const {
+  RtsStats s;
+  s.units_submitted = submitted_.load();
+  s.units_completed = completed_.load();
+  s.units_failed = failed_.load();
+  {
+    std::lock_guard<std::mutex> lock(flight_mutex_);
+    s.units_in_flight = in_flight_.size();
+  }
+  return s;
+}
+
+std::vector<std::string> PilotRts::in_flight_units() const {
+  std::lock_guard<std::mutex> lock(flight_mutex_);
+  return {in_flight_.begin(), in_flight_.end()};
+}
+
+}  // namespace entk::rts

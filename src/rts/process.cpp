@@ -1,0 +1,48 @@
+#include "src/rts/process.hpp"
+
+#include <fcntl.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+extern char** environ;
+
+namespace entk::rts {
+
+bool is_spawnable(const std::string& executable) {
+  return !executable.empty() && executable[0] == '/';
+}
+
+int run_process(const std::string& executable,
+                const std::vector<std::string>& arguments) {
+  std::vector<char*> argv;
+  argv.reserve(arguments.size() + 2);
+  argv.push_back(const_cast<char*>(executable.c_str()));
+  for (const std::string& a : arguments) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_addopen(&actions, STDOUT_FILENO, "/dev/null",
+                                   O_WRONLY, 0);
+  posix_spawn_file_actions_addopen(&actions, STDERR_FILENO, "/dev/null",
+                                   O_WRONLY, 0);
+
+  pid_t pid = -1;
+  const int rc = posix_spawn(&pid, executable.c_str(), &actions, nullptr,
+                             argv.data(), environ);
+  posix_spawn_file_actions_destroy(&actions);
+  if (rc != 0) return 127;
+
+  int status = 0;
+  if (waitpid(pid, &status, 0) < 0) return 127;
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return 127;
+}
+
+}  // namespace entk::rts

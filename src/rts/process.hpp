@@ -1,0 +1,25 @@
+// Real process execution for units whose executable is an absolute path.
+//
+// The paper's tasks are stand-alone executables (sleep, Gromacs mdrun,
+// Specfem, Canalogs). The simulated agents model their duration; the
+// LocalRts can additionally *really* launch them, which is what makes the
+// toolkit usable for actual local workloads and not just simulations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace entk::rts {
+
+/// True when `executable` denotes a real program to spawn (absolute path).
+bool is_spawnable(const std::string& executable);
+
+/// Spawn `executable` with `arguments`, wait for it, and return its exit
+/// code. stdout/stderr are redirected to /dev/null. Returns:
+///   the child's exit status on normal exit,
+///   128 + signal for signal death,
+///   127 when the executable cannot be spawned.
+int run_process(const std::string& executable,
+                const std::vector<std::string>& arguments);
+
+}  // namespace entk::rts

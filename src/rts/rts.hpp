@@ -1,0 +1,66 @@
+// Abstract runtime-system interface.
+//
+// EnTK treats the RTS as a black box (paper §II-B-2): the workload layer
+// submits units, receives completion callbacks, monitors health, and can
+// tear the RTS down and bring a fresh instance back after a failure,
+// losing only in-flight units. Everything behind this interface —
+// pilots, agents, schedulers — is invisible to EnTK, which is what makes
+// the toolkit composable with different runtimes (building-blocks design).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/rts/unit.hpp"
+
+namespace entk::rts {
+
+struct RtsStats {
+  std::size_t units_submitted = 0;
+  std::size_t units_completed = 0;
+  std::size_t units_failed = 0;
+  std::size_t units_in_flight = 0;
+};
+
+class Rts {
+ public:
+  virtual ~Rts() = default;
+
+  /// Acquire resources (submit the pilot and wait until its agent is up).
+  /// Blocking; throws RtsError when the resource request is infeasible.
+  virtual void initialize() = 0;
+
+  /// Register the completion callback. Must be called before submit().
+  /// The callback runs on an RTS thread; it must not block for long.
+  virtual void set_completion_callback(
+      std::function<void(const UnitResult&)> callback) = 0;
+
+  /// Submit units for execution. Non-blocking.
+  virtual void submit(std::vector<TaskUnit> units) = 0;
+
+  /// Health probe used by EnTK's heartbeat subcomponent.
+  virtual bool is_healthy() const = 0;
+
+  /// Graceful shutdown: stop accepting work, drain components, release the
+  /// pilot. In-flight units are canceled.
+  virtual void terminate() = 0;
+
+  /// Simulated hard failure: the RTS dies, losing all in-flight units and
+  /// pilot resources (paper failure model §II-B-4). After kill() the RTS is
+  /// unhealthy and unusable; EnTK must create a fresh instance.
+  virtual void kill() = 0;
+
+  virtual RtsStats stats() const = 0;
+
+  /// Uids of units submitted but not yet resolved (used by EnTK to decide
+  /// what to resubmit after an RTS failure).
+  virtual std::vector<std::string> in_flight_units() const = 0;
+};
+
+using RtsPtr = std::shared_ptr<Rts>;
+
+/// Factory so EnTK can restart a failed RTS with identical configuration.
+using RtsFactory = std::function<RtsPtr()>;
+
+}  // namespace entk::rts

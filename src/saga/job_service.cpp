@@ -1,0 +1,117 @@
+#include "src/saga/job_service.hpp"
+
+#include <cstdio>
+
+#include "src/common/error.hpp"
+
+namespace entk::saga {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::New: return "NEW";
+    case JobState::Pending: return "PENDING";
+    case JobState::Active: return "ACTIVE";
+    case JobState::Done: return "DONE";
+    case JobState::Failed: return "FAILED";
+    case JobState::Canceled: return "CANCELED";
+  }
+  return "?";
+}
+
+namespace {
+
+class SimJob final : public Job {
+ public:
+  SimJob(std::string id, JobDescription description, ClockPtr clock,
+         double queue_wait_s, bool failed)
+      : id_(std::move(id)),
+        description_(std::move(description)),
+        clock_(std::move(clock)),
+        submit_t_(clock_->now()),
+        queue_wait_s_(queue_wait_s),
+        failed_(failed) {}
+
+  const std::string& id() const override { return id_; }
+  const JobDescription& description() const override { return description_; }
+
+  JobState state() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_locked();
+  }
+
+  void wait_active() override {
+    while (true) {
+      JobState s = state();
+      if (s != JobState::Pending && s != JobState::New) return;
+      const double remaining = (submit_t_ + queue_wait_s_) - clock_->now();
+      clock_->sleep_for(remaining > 0 ? remaining : 1e-4);
+    }
+  }
+
+  void cancel() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (state_locked() == JobState::Active ||
+        state_locked() == JobState::Pending) {
+      canceled_ = true;
+      cancel_t_ = clock_->now();
+    }
+  }
+
+  double start_time() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (clock_->now() < submit_t_ + queue_wait_s_) return -1.0;
+    return submit_t_ + queue_wait_s_;
+  }
+
+ private:
+  JobState state_locked() const {
+    if (failed_) return JobState::Failed;
+    const double now = clock_->now();
+    const double start = submit_t_ + queue_wait_s_;
+    if (canceled_ && cancel_t_ < start) return JobState::Canceled;
+    if (now < start) return JobState::Pending;
+    if (canceled_) return JobState::Canceled;
+    if (now >= start + description_.walltime_s) return JobState::Done;
+    return JobState::Active;
+  }
+
+  const std::string id_;
+  const JobDescription description_;
+  ClockPtr clock_;
+  const double submit_t_;
+  const double queue_wait_s_;
+  const bool failed_;
+
+  mutable std::mutex mutex_;
+  bool canceled_ = false;
+  double cancel_t_ = 0.0;
+};
+
+}  // namespace
+
+JobService::JobService(sim::ClusterSpec cluster, ClockPtr clock,
+                       std::uint64_t seed)
+    : cluster_(std::move(cluster)),
+      clock_(std::move(clock)),
+      batch_queue_(cluster_.batch_queue, seed) {}
+
+JobPtr JobService::submit(const JobDescription& description) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  char idbuf[64];
+  std::snprintf(idbuf, sizeof(idbuf), "[%s]-job.%04d", cluster_.name.c_str(),
+                next_job_number_++);
+  const bool failed = description.nodes > cluster_.nodes;
+  const double wait =
+      failed ? 0.0 : batch_queue_.sample_wait(description.nodes);
+  auto job =
+      std::make_shared<SimJob>(idbuf, description, clock_, wait, failed);
+  jobs_.push_back(job);
+  return job;
+}
+
+std::size_t JobService::submitted_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+}  // namespace entk::saga

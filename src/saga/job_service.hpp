@@ -1,0 +1,37 @@
+// Job service adapter for the simulated CI.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/common/clock.hpp"
+#include "src/saga/job.hpp"
+#include "src/sim/batch_queue.hpp"
+#include "src/sim/cluster.hpp"
+
+namespace entk::saga {
+
+/// One JobService per CI endpoint, like a SAGA adapter instance.
+class JobService {
+ public:
+  JobService(sim::ClusterSpec cluster, ClockPtr clock,
+             std::uint64_t seed = 1234);
+
+  /// Submit a job; it becomes Active after a sampled batch-queue wait.
+  /// Jobs requesting more nodes than the machine has fail immediately.
+  JobPtr submit(const JobDescription& description);
+
+  const sim::ClusterSpec& cluster() const { return cluster_; }
+  std::size_t submitted_count() const;
+
+ private:
+  const sim::ClusterSpec cluster_;
+  ClockPtr clock_;
+  sim::BatchQueue batch_queue_;
+  mutable std::mutex mutex_;
+  std::vector<JobPtr> jobs_;
+  int next_job_number_ = 0;
+};
+
+}  // namespace entk::saga

@@ -1,0 +1,44 @@
+#include "src/saga/stager.hpp"
+
+namespace entk::saga {
+
+const char* to_string(StagingAction a) {
+  switch (a) {
+    case StagingAction::Copy: return "copy";
+    case StagingAction::Link: return "link";
+    case StagingAction::Transfer: return "transfer";
+  }
+  return "?";
+}
+
+DataStager::DataStager(sim::SharedFilesystem* filesystem, ClockPtr clock)
+    : filesystem_(filesystem), clock_(std::move(clock)) {}
+
+double DataStager::stage(const StagingDirective& directive) {
+  sim::FsOp op = sim::FsOp::Copy;
+  if (directive.action == StagingAction::Link) op = sim::FsOp::Link;
+  if (directive.action == StagingAction::Transfer) op = sim::FsOp::Transfer;
+
+  const double duration = filesystem_->begin_op(op, directive.bytes);
+  clock_->sleep_for(duration);
+  filesystem_->end_op();
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.directives;
+  stats_.bytes += directive.bytes;
+  stats_.total_virtual_s += duration;
+  return duration;
+}
+
+double DataStager::stage_all(const std::vector<StagingDirective>& directives) {
+  double total = 0.0;
+  for (const StagingDirective& d : directives) total += stage(d);
+  return total;
+}
+
+StagerStats DataStager::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace entk::saga

@@ -1,0 +1,56 @@
+// Data staging verbs (paper §II-D: cp, soft links, remote transfer).
+//
+// Tasks carry staging directives; the RTS Agent's stager executes them
+// against the CI's shared filesystem model. Durations depend on data size,
+// bandwidth and contention — independent of RTS performance, as the paper
+// notes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.hpp"
+#include "src/sim/filesystem.hpp"
+
+namespace entk::saga {
+
+enum class StagingAction { Copy, Link, Transfer };
+
+const char* to_string(StagingAction a);
+
+struct StagingDirective {
+  std::string source;
+  std::string target;
+  StagingAction action = StagingAction::Copy;
+  std::uint64_t bytes = 0;
+};
+
+struct StagerStats {
+  std::uint64_t directives = 0;
+  std::uint64_t bytes = 0;
+  double total_virtual_s = 0.0;
+};
+
+/// Executes staging directives, advancing the scaled clock by the charged
+/// duration of each filesystem operation.
+class DataStager {
+ public:
+  DataStager(sim::SharedFilesystem* filesystem, ClockPtr clock);
+
+  /// Stage one directive; returns the virtual seconds it took.
+  double stage(const StagingDirective& directive);
+
+  /// Stage a list sequentially; returns total virtual seconds.
+  double stage_all(const std::vector<StagingDirective>& directives);
+
+  StagerStats stats() const;
+
+ private:
+  sim::SharedFilesystem* filesystem_;
+  ClockPtr clock_;
+  mutable std::mutex mutex_;
+  StagerStats stats_;
+};
+
+}  // namespace entk::saga

@@ -1,0 +1,260 @@
+#include "src/seismic/campaign.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace entk::seismic {
+
+PipelinePtr build_forward_campaign(const ForwardCampaignSpec& spec) {
+  auto pipeline = std::make_shared<Pipeline>("seismic.forward-ensemble");
+  auto stage = std::make_shared<Stage>("forward-simulations");
+  for (int eq = 0; eq < spec.earthquakes; ++eq) {
+    auto task = std::make_shared<Task>("forward-eq" + std::to_string(eq));
+    task->executable = "specfem3d_globe";
+    // 384 whole nodes per earthquake (16 cores/node on Titan).
+    task->cpu_reqs.processes = spec.nodes_per_task * 16;
+    task->exclusive_nodes = true;
+    task->duration_s = spec.sim_duration_s;
+    task->input_staging.push_back(saga::StagingDirective{
+        "mesh_eq" + std::to_string(eq), "sandbox/", saga::StagingAction::Copy,
+        spec.input_bytes});
+    task->output_staging.push_back(saga::StagingDirective{
+        "sandbox/seismograms", "scratch/", saga::StagingAction::Copy,
+        spec.output_bytes});
+    if (spec.real_kernel) {
+      const int nx = spec.kernel_nx;
+      const int nt = spec.kernel_nt;
+      const int eq_ix = 8 + (eq * 7) % (nx - 16);
+      task->function = [nx, nt, eq_ix] {
+        ModelSpec ms;
+        ms.nx = nx;
+        ms.nz = nx;
+        SolverSpec ss;
+        ss.nt = nt;
+        const Field2D model = true_model(ms);
+        SourceSpec src{eq_ix, 6, 8.0, 0.15};
+        std::vector<ReceiverSpec> recv;
+        for (int r = 8; r < nx - 8; r += 8) recv.push_back({r, 4});
+        const SeismogramSet s = forward(model, ms.dx, ss, src, recv);
+        return s.l2_norm() > 0 ? 0 : 1;  // sanity: waves reached receivers
+      };
+    }
+    stage->add_task(task);
+  }
+  pipeline->add_stage(stage);
+  return pipeline;
+}
+
+std::shared_ptr<InversionState> make_inversion_state(const InversionSpec& spec,
+                                                     std::uint64_t seed) {
+  auto state = std::make_shared<InversionState>();
+  state->observed_model = true_model(spec.model, 3, 250.0, seed);
+  state->current_model = background_model(spec.model);
+
+  const int nx = spec.model.nx;
+  for (int eq = 0; eq < spec.earthquakes; ++eq) {
+    const int ix = nx / (spec.earthquakes + 1) * (eq + 1);
+    state->sources.push_back(SourceSpec{ix, 8, 8.0, 0.15});
+  }
+  for (int r = 0; r < spec.receivers; ++r) {
+    const int ix = 10 + r * (nx - 20) / std::max(1, spec.receivers - 1);
+    state->receivers.push_back(ReceiverSpec{ix, 5});
+  }
+
+  const std::size_t n = static_cast<std::size_t>(spec.earthquakes);
+  state->observed.resize(n);
+  state->synthetic.resize(n);
+  state->adjoint_sources.resize(n);
+  state->wavefields.resize(n);
+  state->kernels.resize(n);
+
+  // The "field campaign": observed seismograms from the true earth.
+  for (int eq = 0; eq < spec.earthquakes; ++eq) {
+    state->observed[static_cast<std::size_t>(eq)] =
+        forward(state->observed_model, spec.model.dx, spec.solver,
+                state->sources[static_cast<std::size_t>(eq)],
+                state->receivers);
+  }
+  return state;
+}
+
+std::vector<PipelinePtr> build_inversion_iteration(
+    const InversionSpec& spec, std::shared_ptr<InversionState> state) {
+  std::vector<PipelinePtr> pipelines;
+  for (int eq = 0; eq < spec.earthquakes; ++eq) {
+    const auto i = static_cast<std::size_t>(eq);
+    auto pipeline =
+        std::make_shared<Pipeline>("inversion-eq" + std::to_string(eq));
+
+    // Stage 1: forward simulation through the current model.
+    auto s_forward = std::make_shared<Stage>("forward");
+    auto t_forward = std::make_shared<Task>("forward-eq" + std::to_string(eq));
+    t_forward->duration_s = 10.0;
+    t_forward->function = [spec, state, i] {
+      ForwardWavefield wf = forward_with_wavefield(
+          state->current_model, spec.model.dx, spec.solver,
+          state->sources[i], state->receivers);
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->synthetic[i] = wf.seismograms;
+      state->wavefields[i] = std::move(wf);
+      return 0;
+    };
+    s_forward->add_task(t_forward);
+    pipeline->add_stage(s_forward);
+
+    // Stage 2: data processing of observed and synthetic traces.
+    auto s_process = std::make_shared<Stage>("data-processing");
+    auto t_process = std::make_shared<Task>("process-eq" + std::to_string(eq));
+    t_process->duration_s = 2.0;
+    t_process->function = [state, i] {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      // Demean only (smoothing = 0): the demean projection is
+      // self-adjoint, so the L2 adjoint source of the processed residual
+      // stays a correct gradient source without implementing the adjoint
+      // of a causal filter.
+      state->synthetic[i] = process(state->synthetic[i], 0.0);
+      return 0;
+    };
+    s_process->add_task(t_process);
+    pipeline->add_stage(s_process);
+
+    // Stage 3: adjoint-source creation from the misfit.
+    auto s_adjsrc = std::make_shared<Stage>("adjoint-source");
+    auto t_adjsrc = std::make_shared<Task>("adjsrc-eq" + std::to_string(eq));
+    t_adjsrc->duration_s = 1.0;
+    t_adjsrc->function = [state, i] {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      const SeismogramSet processed_obs = process(state->observed[i], 0.0);
+      state->adjoint_sources[i] =
+          adjoint_source(state->synthetic[i], processed_obs);
+      return 0;
+    };
+    s_adjsrc->add_task(t_adjsrc);
+    pipeline->add_stage(s_adjsrc);
+
+    // Stage 4: adjoint simulation accumulating the sensitivity kernel.
+    auto s_adjoint = std::make_shared<Stage>("adjoint");
+    auto t_adjoint = std::make_shared<Task>("adjoint-eq" + std::to_string(eq));
+    t_adjoint->duration_s = 10.0;
+    t_adjoint->function = [spec, state, i] {
+      SeismogramSet adj;
+      ForwardWavefield wf;
+      {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        adj = state->adjoint_sources[i];
+        wf = state->wavefields[i];
+      }
+      Field2D kernel = adjoint_kernel(state->current_model, spec.model.dx,
+                                      spec.solver, state->receivers, adj, wf);
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->kernels[i] = std::move(kernel);
+      return 0;
+    };
+    s_adjoint->add_task(t_adjoint);
+    pipeline->add_stage(s_adjoint);
+
+    pipelines.push_back(std::move(pipeline));
+  }
+  return pipelines;
+}
+
+Field2D precondition_kernel(const Field2D& kernel,
+                            const std::vector<SourceSpec>& sources,
+                            const std::vector<ReceiverSpec>& receivers,
+                            double mute_radius, int smooth_passes,
+                            int smooth_radius) {
+  const int nx = kernel.nx();
+  const int nz = kernel.nz();
+  Field2D out = kernel;
+
+  // Mute: taper to zero near every source and receiver, where the raw
+  // cross-correlation kernel is singular.
+  auto mute_at = [&](int cx, int cz) {
+    const int reach = static_cast<int>(3 * mute_radius);
+    for (int ix = std::max(0, cx - reach); ix < std::min(nx, cx + reach + 1);
+         ++ix) {
+      for (int iz = std::max(0, cz - reach);
+           iz < std::min(nz, cz + reach + 1); ++iz) {
+        const double d2 = static_cast<double>((ix - cx) * (ix - cx) +
+                                              (iz - cz) * (iz - cz));
+        out.at(ix, iz) *=
+            1.0 - std::exp(-d2 / (2.0 * mute_radius * mute_radius));
+      }
+    }
+  };
+  for (const SourceSpec& s : sources) mute_at(s.ix, s.iz);
+  for (const ReceiverSpec& r : receivers) mute_at(r.ix, r.iz);
+
+  // Smooth: repeated box blur approximates a Gaussian.
+  for (int pass = 0; pass < smooth_passes; ++pass) {
+    Field2D next(nx, nz);
+    for (int ix = 0; ix < nx; ++ix) {
+      for (int iz = 0; iz < nz; ++iz) {
+        double sum = 0.0;
+        int n = 0;
+        for (int dx = -smooth_radius; dx <= smooth_radius; ++dx) {
+          for (int dz = -smooth_radius; dz <= smooth_radius; ++dz) {
+            const int jx = ix + dx;
+            const int jz = iz + dz;
+            if (jx < 0 || jz < 0 || jx >= nx || jz >= nz) continue;
+            sum += out.at(jx, jz);
+            ++n;
+          }
+        }
+        next.at(ix, iz) = sum / n;
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+Field2D sum_kernels_and_update(const InversionSpec& spec,
+                               InversionState& state) {
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.kernels.empty()) throw ValueError("no kernels to sum");
+  Field2D total(spec.model.nx, spec.model.nz);
+  double misfit = 0.0;
+  for (std::size_t i = 0; i < state.kernels.size(); ++i) {
+    if (state.kernels[i].size() == total.size()) {
+      total.axpy(1.0, state.kernels[i]);
+    }
+    const SeismogramSet processed_obs = process(state.observed[i], 0.0);
+    misfit += l2_misfit(state.synthetic[i], processed_obs);
+  }
+  state.misfit_history.push_back(misfit);
+
+  total = precondition_kernel(total, state.sources, state.receivers);
+
+  // Steepest descent with backtracking (the Fig-4 "Optimization Routine"):
+  // start from a max_update_mps-normalized step and halve until the misfit
+  // decreases. Each trial re-runs the forward simulations.
+  const double kmax = std::max(std::abs(total.max()), std::abs(total.min()));
+  if (kmax > 0) {
+    auto evaluate = [&](const Field2D& model) {
+      double chi = 0.0;
+      for (std::size_t i = 0; i < state.observed.size(); ++i) {
+        const SeismogramSet syn =
+            process(forward(model, spec.model.dx, spec.solver,
+                            state.sources[i], state.receivers),
+                    0.0);
+        chi += l2_misfit(syn, process(state.observed[i], 0.0));
+      }
+      return chi;
+    };
+    double alpha = spec.max_update_mps / kmax;
+    for (int trial = 0; trial < 5; ++trial) {
+      Field2D candidate = state.current_model;
+      candidate.axpy(-alpha, total);
+      if (evaluate(candidate) < misfit) {
+        state.current_model = std::move(candidate);
+        break;
+      }
+      alpha *= 0.5;
+    }
+  }
+  return total;
+}
+
+}  // namespace entk::seismic

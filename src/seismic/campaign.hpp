@@ -1,0 +1,91 @@
+// PST encodings of the seismic tomography workflow (paper §III-A, Fig 4,
+// and the at-scale forward-simulation campaign of §IV-C-1 / Fig 10).
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/pipeline.hpp"
+#include "src/seismic/misfit.hpp"
+#include "src/seismic/solver.hpp"
+
+namespace entk::seismic {
+
+/// Parameters of the Fig-10 campaign: ensembles of forward simulations,
+/// one earthquake per task, each requesting `nodes_per_task` whole nodes.
+struct ForwardCampaignSpec {
+  int earthquakes = 32;
+  int nodes_per_task = 384;     ///< paper: 384 nodes / 6,144 cores each
+  double sim_duration_s = 130;  ///< modeled duration of one forward run
+  std::uint64_t input_bytes = 40ull * 1000 * 1000;  ///< 40 MB input each
+  std::uint64_t output_bytes = 150ull * 1000 * 1000; ///< >= 0.15 GB/seismogram
+  bool real_kernel = false;     ///< also run the small real FD solve
+  int kernel_nx = 72;           ///< grid for the real kernel, when enabled
+  int kernel_nt = 240;
+};
+
+/// Build the ensemble: one pipeline with one stage of `earthquakes`
+/// concurrent forward-simulation tasks.
+PipelinePtr build_forward_campaign(const ForwardCampaignSpec& spec);
+
+/// Parameters of one full inversion iteration (Fig 4): per-earthquake
+/// pipelines of forward simulation -> data processing -> adjoint-source
+/// creation -> adjoint simulation, followed by kernel summation and a
+/// model update. Runs the real 2-D solver inside the tasks.
+struct InversionSpec {
+  int earthquakes = 4;
+  int receivers = 12;
+  ModelSpec model;
+  SolverSpec solver;
+  int iterations = 3;
+  /// Gradient-descent step, expressed as the maximum velocity update per
+  /// iteration in m/s (the summed kernel is normalized to this scale —
+  /// the "optimization routine" of Fig 4 step 5 in its simplest form).
+  double max_update_mps = 60.0;
+};
+
+/// State shared between inversion tasks (the stand-in for files on the
+/// shared filesystem).
+struct InversionState {
+  Field2D observed_model;   ///< the true earth (generates observed data)
+  Field2D current_model;    ///< the model being updated
+  std::vector<SourceSpec> sources;
+  std::vector<ReceiverSpec> receivers;
+
+  // Per-earthquake intermediate products, indexed by earthquake.
+  std::vector<SeismogramSet> observed;
+  std::vector<SeismogramSet> synthetic;
+  std::vector<SeismogramSet> adjoint_sources;
+  std::vector<ForwardWavefield> wavefields;
+  std::vector<Field2D> kernels;
+
+  std::vector<double> misfit_history;
+  std::mutex mutex;
+};
+
+/// Precompute observed data for every earthquake (the field campaign).
+std::shared_ptr<InversionState> make_inversion_state(const InversionSpec& spec,
+                                                     std::uint64_t seed = 11);
+
+/// Build the per-iteration pipelines: one pipeline per earthquake with the
+/// four Fig-4 stages, plus one reduction pipeline (kernel summation +
+/// model update) gated by a post-exec hook. Returns pipelines for ONE
+/// iteration; callers re-run per iteration (as production does).
+std::vector<PipelinePtr> build_inversion_iteration(
+    const InversionSpec& spec, std::shared_ptr<InversionState> state);
+
+/// Kernel pre-conditioning (Fig 4, step 4: "Pre-conditioning,
+/// Regularization"): mute the singular contributions near sources and
+/// receivers, then smooth. Without this, the normalized model update is
+/// spent on station-side artifacts instead of earth structure.
+Field2D precondition_kernel(const Field2D& kernel,
+                            const std::vector<SourceSpec>& sources,
+                            const std::vector<ReceiverSpec>& receivers,
+                            double mute_radius = 6.0, int smooth_passes = 3,
+                            int smooth_radius = 2);
+
+/// Sum per-earthquake kernels, pre-condition, and apply a gradient-descent
+/// update to state->current_model. Returns the preconditioned kernel.
+Field2D sum_kernels_and_update(const InversionSpec& spec,
+                               InversionState& state);
+
+}  // namespace entk::seismic

@@ -1,0 +1,60 @@
+#include "src/seismic/misfit.hpp"
+
+#include "src/common/error.hpp"
+
+namespace entk::seismic {
+
+double l2_misfit(const SeismogramSet& synthetic,
+                 const SeismogramSet& observed) {
+  if (synthetic.traces.size() != observed.traces.size() ||
+      synthetic.nt != observed.nt) {
+    throw ValueError("l2_misfit: seismogram sets are not conformant");
+  }
+  double chi = 0.0;
+  for (std::size_t r = 0; r < synthetic.traces.size(); ++r) {
+    for (int it = 0; it < synthetic.nt; ++it) {
+      const double d = synthetic.traces[r][static_cast<std::size_t>(it)] -
+                       observed.traces[r][static_cast<std::size_t>(it)];
+      chi += d * d;
+    }
+  }
+  return 0.5 * chi * synthetic.dt;
+}
+
+SeismogramSet adjoint_source(const SeismogramSet& synthetic,
+                             const SeismogramSet& observed) {
+  if (synthetic.traces.size() != observed.traces.size() ||
+      synthetic.nt != observed.nt) {
+    throw ValueError("adjoint_source: seismogram sets are not conformant");
+  }
+  SeismogramSet out;
+  out.nt = synthetic.nt;
+  out.dt = synthetic.dt;
+  out.traces.resize(synthetic.traces.size());
+  for (std::size_t r = 0; r < synthetic.traces.size(); ++r) {
+    out.traces[r].resize(static_cast<std::size_t>(synthetic.nt));
+    for (int it = 0; it < synthetic.nt; ++it) {
+      const auto i = static_cast<std::size_t>(it);
+      out.traces[r][i] = synthetic.traces[r][i] - observed.traces[r][i];
+    }
+  }
+  return out;
+}
+
+SeismogramSet process(const SeismogramSet& raw, double smoothing) {
+  SeismogramSet out = raw;
+  for (auto& trace : out.traces) {
+    if (trace.empty()) continue;
+    double mean = 0.0;
+    for (double v : trace) mean += v;
+    mean /= static_cast<double>(trace.size());
+    double state = 0.0;
+    for (double& v : trace) {
+      state = smoothing * state + (1.0 - smoothing) * (v - mean);
+      v = state;
+    }
+  }
+  return out;
+}
+
+}  // namespace entk::seismic

@@ -1,0 +1,20 @@
+// Waveform misfit, data processing and adjoint-source creation
+// (paper Fig 4, step 2): the pieces between forward and adjoint runs.
+#pragma once
+
+#include "src/seismic/solver.hpp"
+
+namespace entk::seismic {
+
+/// 0.5 * sum over receivers and samples of (syn - obs)^2 * dt.
+double l2_misfit(const SeismogramSet& synthetic, const SeismogramSet& observed);
+
+/// Adjoint source for the L2 waveform misfit: residual = syn - obs.
+SeismogramSet adjoint_source(const SeismogramSet& synthetic,
+                             const SeismogramSet& observed);
+
+/// Simple data processing: demean + one-pole low-pass smoothing of each
+/// trace (stands in for the windowing/filtering production pipelines do).
+SeismogramSet process(const SeismogramSet& raw, double smoothing = 0.3);
+
+}  // namespace entk::seismic

@@ -1,0 +1,66 @@
+#include "src/seismic/model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace entk::seismic {
+
+void Field2D::axpy(double s, const Field2D& b) {
+  const std::size_t n = std::min(data_.size(), b.data_.size());
+  for (std::size_t i = 0; i < n; ++i) data_[i] += s * b.data_[i];
+}
+
+double Field2D::min() const {
+  double m = data_.empty() ? 0.0 : data_[0];
+  for (double v : data_) m = std::min(m, v);
+  return m;
+}
+
+double Field2D::max() const {
+  double m = data_.empty() ? 0.0 : data_[0];
+  for (double v : data_) m = std::max(m, v);
+  return m;
+}
+
+double Field2D::l2_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+Field2D background_model(const ModelSpec& spec) {
+  Field2D m(spec.nx, spec.nz);
+  for (int ix = 0; ix < spec.nx; ++ix) {
+    for (int iz = 0; iz < spec.nz; ++iz) {
+      m.at(ix, iz) = spec.v_background + spec.v_gradient * iz;
+    }
+  }
+  return m;
+}
+
+Field2D true_model(const ModelSpec& spec, int anomalies, double amplitude,
+                   std::uint64_t seed) {
+  Field2D m = background_model(spec);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> ux(0.2, 0.8);
+  std::uniform_real_distribution<double> uz(0.25, 0.75);
+  std::uniform_real_distribution<double> usign(0.0, 1.0);
+  std::uniform_real_distribution<double> uwidth(0.05, 0.12);
+  for (int a = 0; a < anomalies; ++a) {
+    const double cx = ux(rng) * spec.nx;
+    const double cz = uz(rng) * spec.nz;
+    const double w = uwidth(rng) * spec.nx;
+    const double amp = (usign(rng) < 0.5 ? -1.0 : 1.0) * amplitude;
+    for (int ix = 0; ix < spec.nx; ++ix) {
+      for (int iz = 0; iz < spec.nz; ++iz) {
+        const double dx = ix - cx;
+        const double dz = iz - cz;
+        m.at(ix, iz) += amp * std::exp(-(dx * dx + dz * dz) / (2 * w * w));
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace entk::seismic

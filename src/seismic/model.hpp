@@ -1,0 +1,70 @@
+// Velocity models for the 2-D acoustic stand-in for Specfem.
+//
+// The paper's seismic use case runs Specfem3D_Globe forward/adjoint
+// simulations; we substitute a 2-D acoustic finite-difference solver that
+// exercises the same workflow shape (forward simulation -> data processing
+// -> adjoint simulation -> kernel summation -> model update) with real
+// numerics at laptop scale. A "true" layered-plus-anomaly earth generates
+// the observed data; inversion starts from the smooth background.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace entk::seismic {
+
+/// Dense 2-D field with (nx, nz) grid points, row-major in z-fast order.
+class Field2D {
+ public:
+  Field2D() = default;
+  Field2D(int nx, int nz, double fill = 0.0)
+      : nx_(nx), nz_(nz), data_(static_cast<std::size_t>(nx) * nz, fill) {}
+
+  int nx() const { return nx_; }
+  int nz() const { return nz_; }
+  std::size_t size() const { return data_.size(); }
+
+  double& at(int ix, int iz) {
+    return data_[static_cast<std::size_t>(ix) * nz_ + iz];
+  }
+  double at(int ix, int iz) const {
+    return data_[static_cast<std::size_t>(ix) * nz_ + iz];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Element-wise a += s * b (used by optimization updates).
+  void axpy(double s, const Field2D& b);
+
+  double min() const;
+  double max() const;
+  double l2_norm() const;
+
+ private:
+  int nx_ = 0;
+  int nz_ = 0;
+  std::vector<double> data_;
+};
+
+struct ModelSpec {
+  int nx = 160;
+  int nz = 160;
+  double dx = 25.0;          ///< meters
+  double v_background = 2500.0;
+  double v_gradient = 6.0;    ///< m/s per grid row (velocity grows with depth)
+};
+
+/// Smooth background model (the inversion starting point).
+Field2D background_model(const ModelSpec& spec);
+
+/// "True earth": the background plus `anomalies` Gaussian velocity
+/// perturbations (deterministic per seed) — what the forward simulations
+/// of the observed data use.
+Field2D true_model(const ModelSpec& spec, int anomalies = 3,
+                   double amplitude = 250.0, std::uint64_t seed = 11);
+
+}  // namespace entk::seismic

@@ -1,0 +1,196 @@
+#include "src/seismic/solver.hpp"
+
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace entk::seismic {
+
+double SeismogramSet::l2_norm() const {
+  double s = 0.0;
+  for (const auto& trace : traces) {
+    for (double v : trace) s += v * v;
+  }
+  return std::sqrt(s);
+}
+
+bool cfl_stable(const Field2D& velocity, double dx, const SolverSpec& spec) {
+  // 4th-order 2-D stencil stability bound: v*dt/dx <= sqrt(3/8) ~ 0.61.
+  const double vmax = velocity.max();
+  return vmax * spec.dt / dx <= 0.61;
+}
+
+double ricker(double t, double f, double delay) {
+  const double a = M_PI * f * (t - delay);
+  const double a2 = a * a;
+  return (1.0 - 2.0 * a2) * std::exp(-a2);
+}
+
+namespace {
+
+/// One 4th-order Laplacian-update time step over the interior.
+void step(const Field2D& v2dt2, Field2D& u, Field2D& u_prev, double inv_dx2) {
+  const int nx = u.nx();
+  const int nz = u.nz();
+  constexpr double c0 = -5.0 / 2.0, c1 = 4.0 / 3.0, c2 = -1.0 / 12.0;
+  for (int ix = 2; ix < nx - 2; ++ix) {
+    for (int iz = 2; iz < nz - 2; ++iz) {
+      const double lap =
+          (2.0 * c0 * u.at(ix, iz) +
+           c1 * (u.at(ix - 1, iz) + u.at(ix + 1, iz) + u.at(ix, iz - 1) +
+                 u.at(ix, iz + 1)) +
+           c2 * (u.at(ix - 2, iz) + u.at(ix + 2, iz) + u.at(ix, iz - 2) +
+                 u.at(ix, iz + 2))) *
+          inv_dx2;
+      const double next =
+          2.0 * u.at(ix, iz) - u_prev.at(ix, iz) + v2dt2.at(ix, iz) * lap;
+      u_prev.at(ix, iz) = next;  // u_prev becomes u_next; swapped by caller
+    }
+  }
+}
+
+// Damping applies to the left/right/bottom boundaries only: the top
+// (z = 0) is a free surface, as in seismic practice, so sources and
+// receivers can sit near the surface without being absorbed.
+void apply_sponge(Field2D& u, Field2D& u_prev, int width, double strength) {
+  const int nx = u.nx();
+  const int nz = u.nz();
+  for (int ix = 0; ix < nx; ++ix) {
+    for (int iz = 0; iz < nz; ++iz) {
+      const int d =
+          std::min(std::min(ix, nx - 1 - ix), nz - 1 - iz);
+      if (d < width) {
+        const double taper =
+            std::exp(-strength * strength * (width - d) * (width - d));
+        u.at(ix, iz) *= taper;
+        u_prev.at(ix, iz) *= taper;
+      }
+    }
+  }
+}
+
+Field2D precompute_v2dt2(const Field2D& velocity, const SolverSpec& spec) {
+  Field2D out(velocity.nx(), velocity.nz());
+  for (int ix = 0; ix < velocity.nx(); ++ix) {
+    for (int iz = 0; iz < velocity.nz(); ++iz) {
+      const double v = velocity.at(ix, iz);
+      out.at(ix, iz) = v * v * spec.dt * spec.dt;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SeismogramSet forward(const Field2D& velocity, double dx,
+                      const SolverSpec& spec, const SourceSpec& source,
+                      const std::vector<ReceiverSpec>& receivers) {
+  return forward_with_wavefield(velocity, dx, spec, source, receivers,
+                                /*snapshot_stride=*/0)
+      .seismograms;
+}
+
+ForwardWavefield forward_with_wavefield(
+    const Field2D& velocity, double dx, const SolverSpec& spec,
+    const SourceSpec& source, const std::vector<ReceiverSpec>& receivers,
+    int snapshot_stride) {
+  if (!cfl_stable(velocity, dx, spec)) {
+    throw ValueError("seismic::forward: CFL condition violated (reduce dt)");
+  }
+  const int nx = velocity.nx();
+  const int nz = velocity.nz();
+  const Field2D v2dt2 = precompute_v2dt2(velocity, spec);
+  const double inv_dx2 = 1.0 / (dx * dx);
+
+  ForwardWavefield out;
+  out.stride = snapshot_stride;
+  out.seismograms.nt = spec.nt;
+  out.seismograms.dt = spec.dt;
+  out.seismograms.traces.assign(receivers.size(),
+                                std::vector<double>(spec.nt, 0.0));
+
+  Field2D u(nx, nz);
+  Field2D u_prev(nx, nz);
+  for (int it = 0; it < spec.nt; ++it) {
+    const double t = it * spec.dt;
+    u.at(source.ix, source.iz) +=
+        ricker(t, source.peak_frequency_hz, source.delay_s) * spec.dt *
+        spec.dt;
+    step(v2dt2, u, u_prev, inv_dx2);
+    std::swap(u, u_prev);
+    apply_sponge(u, u_prev, spec.sponge_width, spec.sponge_strength);
+
+    for (std::size_t r = 0; r < receivers.size(); ++r) {
+      out.seismograms.traces[r][static_cast<std::size_t>(it)] =
+          u.at(receivers[r].ix, receivers[r].iz);
+    }
+    if (snapshot_stride > 0 && it % snapshot_stride == 0) {
+      out.snapshots.push_back(u);
+    }
+  }
+  return out;
+}
+
+Field2D adjoint_kernel(const Field2D& velocity, double dx,
+                       const SolverSpec& spec,
+                       const std::vector<ReceiverSpec>& receivers,
+                       const SeismogramSet& adjoint_sources,
+                       const ForwardWavefield& forward_field) {
+  if (forward_field.stride <= 0 || forward_field.snapshots.empty()) {
+    throw ValueError("seismic::adjoint_kernel: forward wavefield required");
+  }
+  const int nx = velocity.nx();
+  const int nz = velocity.nz();
+  const Field2D v2dt2 = precompute_v2dt2(velocity, spec);
+  const double inv_dx2 = 1.0 / (dx * dx);
+  const int stride = forward_field.stride;
+
+  Field2D lambda(nx, nz);
+  Field2D lambda_prev(nx, nz);
+  Field2D kernel(nx, nz);
+
+  // Back-propagation: step adjoint time tau = T - t forward while reading
+  // the residual traces time-reversed.
+  for (int it = spec.nt - 1; it >= 0; --it) {
+    for (std::size_t r = 0; r < receivers.size(); ++r) {
+      lambda.at(receivers[r].ix, receivers[r].iz) +=
+          adjoint_sources.traces[r][static_cast<std::size_t>(it)] * spec.dt *
+          spec.dt;
+    }
+    step(v2dt2, lambda, lambda_prev, inv_dx2);
+    std::swap(lambda, lambda_prev);
+    apply_sponge(lambda, lambda_prev, spec.sponge_width,
+                 spec.sponge_strength);
+
+    // Correlate with the forward field's second time derivative at the
+    // matching snapshot (interior snapshots only).
+    if (it % stride == 0) {
+      const std::size_t k = static_cast<std::size_t>(it / stride);
+      if (k >= 1 && k + 1 < forward_field.snapshots.size()) {
+        const Field2D& sm = forward_field.snapshots[k - 1];
+        const Field2D& s0 = forward_field.snapshots[k];
+        const Field2D& sp = forward_field.snapshots[k + 1];
+        const double inv_sdt2 =
+            1.0 / (stride * spec.dt * stride * spec.dt);
+        for (int ix = 0; ix < nx; ++ix) {
+          for (int iz = 0; iz < nz; ++iz) {
+            const double utt =
+                (sp.at(ix, iz) - 2.0 * s0.at(ix, iz) + sm.at(ix, iz)) *
+                inv_sdt2;
+            const double v = velocity.at(ix, iz);
+            // Discrete gradient of the scheme u_{t+1} = 2u - u_prev +
+            // v^2 dt^2 lap(u) + s dt^2, with the residual injected x dt^2:
+            // dchi/dv = (2/v) * sum_t lambda * u_tt * dt. Sign and scale
+            // validated against a finite-difference directional derivative
+            // (tests/test_seismic.cpp, Adjoint.GradientMatchesFiniteDifference).
+            kernel.at(ix, iz) +=
+                2.0 / v * lambda.at(ix, iz) * utt * stride * spec.dt;
+          }
+        }
+      }
+    }
+  }
+  return kernel;
+}
+
+}  // namespace entk::seismic

@@ -1,0 +1,77 @@
+// 2-D acoustic finite-difference wave solver (forward + adjoint).
+//
+// Second-order in time, fourth-order in space, with a sponge absorbing
+// layer. Sources inject a Ricker wavelet; receivers record the pressure
+// field, producing seismograms. The adjoint pass back-propagates residual
+// seismograms and accumulates the zero-lag cross-correlation sensitivity
+// kernel used by adjoint tomography (paper Fig 4, steps 1 and 3).
+#pragma once
+
+#include <vector>
+
+#include "src/seismic/model.hpp"
+
+namespace entk::seismic {
+
+struct SourceSpec {
+  int ix = 0;
+  int iz = 0;
+  double peak_frequency_hz = 8.0;
+  double delay_s = 0.15;
+};
+
+struct ReceiverSpec {
+  int ix = 0;
+  int iz = 0;
+};
+
+struct SolverSpec {
+  int nt = 900;       ///< time steps
+  double dt = 2.5e-3; ///< seconds; must satisfy CFL for the model
+  int sponge_width = 16;
+  double sponge_strength = 0.015;
+};
+
+/// One trace per receiver, nt samples each.
+struct SeismogramSet {
+  int nt = 0;
+  double dt = 0.0;
+  std::vector<std::vector<double>> traces;
+
+  double l2_norm() const;
+};
+
+/// Check the CFL stability condition for (model, spec).
+bool cfl_stable(const Field2D& velocity, double dx, const SolverSpec& spec);
+
+/// Ricker wavelet value at time t.
+double ricker(double t, double peak_frequency_hz, double delay_s);
+
+/// Forward-propagate and record seismograms at the receivers.
+SeismogramSet forward(const Field2D& velocity, double dx,
+                      const SolverSpec& spec, const SourceSpec& source,
+                      const std::vector<ReceiverSpec>& receivers);
+
+/// Forward pass that also returns the wavefield history (every `stride`
+/// steps) for kernel computation.
+struct ForwardWavefield {
+  SeismogramSet seismograms;
+  int stride = 1;
+  std::vector<Field2D> snapshots;  ///< u at steps 0, stride, 2*stride, ...
+};
+
+ForwardWavefield forward_with_wavefield(
+    const Field2D& velocity, double dx, const SolverSpec& spec,
+    const SourceSpec& source, const std::vector<ReceiverSpec>& receivers,
+    int snapshot_stride = 4);
+
+/// Back-propagate adjoint sources (residual traces injected at receiver
+/// positions, time-reversed) and accumulate the cross-correlation kernel
+/// dchi/dv against the stored forward wavefield.
+Field2D adjoint_kernel(const Field2D& velocity, double dx,
+                       const SolverSpec& spec,
+                       const std::vector<ReceiverSpec>& receivers,
+                       const SeismogramSet& adjoint_sources,
+                       const ForwardWavefield& forward_field);
+
+}  // namespace entk::seismic

@@ -1,0 +1,21 @@
+#include "src/sim/batch_queue.hpp"
+
+#include <algorithm>
+
+namespace entk::sim {
+
+BatchQueue::BatchQueue(BatchQueueSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {}
+
+double BatchQueue::sample_wait(int nodes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const double mean =
+      spec_.base_wait_s + spec_.per_node_wait_s * static_cast<double>(nodes);
+  if (mean <= 0.0) return 0.0;
+  if (spec_.jitter_frac <= 0.0) return mean;
+  std::uniform_real_distribution<double> dist(1.0 - spec_.jitter_frac,
+                                              1.0 + spec_.jitter_frac);
+  return std::max(0.0, mean * dist(rng_));
+}
+
+}  // namespace entk::sim

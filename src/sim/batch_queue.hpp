@@ -1,0 +1,31 @@
+// Batch-queue wait model for pilot jobs.
+//
+// A pilot submitted to a CI waits in the machine's batch queue until its
+// resources become available (paper §II-D). The paper's overhead analysis
+// explicitly *excludes* queue waiting time, so benches configure zero wait;
+// the model exists so examples and fault-tolerance tests can exercise
+// realistic pilot lifecycles.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <random>
+
+#include "src/sim/cluster.hpp"
+
+namespace entk::sim {
+
+class BatchQueue {
+ public:
+  explicit BatchQueue(BatchQueueSpec spec, std::uint64_t seed = 1234);
+
+  /// Virtual seconds a pilot requesting `nodes` nodes waits in the queue.
+  double sample_wait(int nodes);
+
+ private:
+  const BatchQueueSpec spec_;
+  std::mutex mutex_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace entk::sim

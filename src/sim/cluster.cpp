@@ -1,0 +1,90 @@
+#include "src/sim/cluster.hpp"
+
+namespace entk::sim {
+namespace {
+
+ClusterSpec make_supermic() {
+  ClusterSpec c;
+  c.name = "xsede.supermic";
+  c.nodes = 360;
+  c.cores_per_node = 20;
+  c.gpus_per_node = 0;
+  c.entk_host_factor = 1.0;  // EnTK runs on the shared TACC VM
+  c.compute_factor = 1.0;
+  c.agent_bootstrap_s = 22.0;
+  return c;
+}
+
+ClusterSpec make_stampede() {
+  ClusterSpec c;
+  c.name = "xsede.stampede";
+  c.nodes = 6400;
+  c.cores_per_node = 16;
+  c.gpus_per_node = 0;
+  c.entk_host_factor = 1.0;
+  c.compute_factor = 1.05;
+  c.agent_bootstrap_s = 28.0;
+  return c;
+}
+
+ClusterSpec make_comet() {
+  ClusterSpec c;
+  c.name = "xsede.comet";
+  c.nodes = 1944;
+  c.cores_per_node = 24;
+  c.gpus_per_node = 0;
+  c.entk_host_factor = 1.0;
+  c.compute_factor = 0.95;
+  c.agent_bootstrap_s = 18.0;
+  return c;
+}
+
+ClusterSpec make_titan() {
+  ClusterSpec c;
+  c.name = "ornl.titan";
+  c.nodes = 18688;
+  c.cores_per_node = 16;
+  c.gpus_per_node = 1;
+  // EnTK runs on an ORNL login node with faster memory and CPU than the
+  // TACC VM (paper §IV-A-2): setup ~0.05s vs ~0.1s, management ~3s vs ~10s.
+  c.entk_host_factor = 0.3;
+  c.compute_factor = 1.0;
+  c.agent_bootstrap_s = 35.0;
+  // OLCF Lustre ("atlas"): high bandwidth, metadata-bound small ops.
+  c.filesystem.latency_s = 8e-3;
+  c.filesystem.bandwidth_bps = 1e9;
+  c.filesystem.link_latency_s = 4e-3;
+  c.filesystem.contention_free_ops = 8;
+  return c;
+}
+
+}  // namespace
+
+ClusterSpec cluster_by_name(const std::string& name) {
+  for (const ClusterSpec& c : cluster_catalog()) {
+    if (c.name == name) return c;
+  }
+  // Accept short aliases.
+  if (name == "supermic") return make_supermic();
+  if (name == "stampede") return make_stampede();
+  if (name == "comet") return make_comet();
+  if (name == "titan") return make_titan();
+  if (name == "local" || name == "local.localhost") {
+    ClusterSpec c;
+    c.name = "local.localhost";
+    c.nodes = 4;
+    c.cores_per_node = 8;
+    c.gpus_per_node = 0;
+    c.entk_host_factor = 0.0;  // no synthetic host delay for local runs
+    c.agent_bootstrap_s = 0.0;
+    c.batch_queue.base_wait_s = 0.0;
+    return c;
+  }
+  throw ValueError("cluster_by_name: unknown CI '" + name + "'");
+}
+
+std::vector<ClusterSpec> cluster_catalog() {
+  return {make_supermic(), make_stampede(), make_comet(), make_titan()};
+}
+
+}  // namespace entk::sim

@@ -1,0 +1,35 @@
+#include "src/sim/failure.hpp"
+
+namespace entk::sim {
+
+FailureModel::FailureModel(FailureSpec spec) : spec_(spec), rng_(spec.seed) {}
+
+bool FailureModel::should_fail(int concurrent_tasks) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double p = spec_.base_probability;
+  if (spec_.concurrency_threshold > 0) {
+    if (concurrent_tasks >= spec_.concurrency_threshold) {
+      overloaded_ = true;
+    } else if (spec_.sticky) {
+      const int recovery = spec_.recovery_threshold > 0
+                               ? spec_.recovery_threshold
+                               : spec_.concurrency_threshold / 2;
+      if (concurrent_tasks < recovery) overloaded_ = false;
+    } else {
+      overloaded_ = false;
+    }
+    if (overloaded_) p = spec_.overload_probability;
+  }
+  if (p <= 0.0) return false;
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  const bool fail = dist(rng_) < p;
+  if (fail) ++injected_;
+  return fail;
+}
+
+std::uint64_t FailureModel::injected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+}  // namespace entk::sim

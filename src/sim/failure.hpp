@@ -1,0 +1,53 @@
+// Failure injection for simulated task execution.
+//
+// Models the two failure regimes the paper reports:
+//   - a (usually zero) base per-task failure probability, and
+//   - a concurrency-dependent regime: when the number of concurrently
+//     executing tasks reaches `concurrency_threshold`, the per-task failure
+//     probability jumps to `overload_probability`. This reproduces the
+//     seismic use case (Fig 10), where runs with up to 2^4 concurrent
+//     384-node simulations saw no failures while 2^5 concurrent simulations
+//     overloaded the shared filesystem and 50% of tasks failed.
+// Deterministic given the seed.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <random>
+
+namespace entk::sim {
+
+struct FailureSpec {
+  double base_probability = 0.0;
+  int concurrency_threshold = 0;     ///< 0 = no overload regime
+  double overload_probability = 0.0;
+  /// Sticky overload: once the threshold has been hit, the elevated
+  /// failure probability persists (a degraded shared filesystem does not
+  /// recover instantly) until concurrency drops below recovery_threshold.
+  bool sticky = false;
+  int recovery_threshold = 0;        ///< 0 = threshold / 2
+  std::uint64_t seed = 42;
+};
+
+class FailureModel {
+ public:
+  explicit FailureModel(FailureSpec spec = {});
+
+  /// Decide whether a task starting while `concurrent_tasks` (including
+  /// itself) are executing should fail. Thread-safe.
+  bool should_fail(int concurrent_tasks);
+
+  /// Number of failures injected so far.
+  std::uint64_t injected() const;
+
+  const FailureSpec& spec() const { return spec_; }
+
+ private:
+  const FailureSpec spec_;
+  mutable std::mutex mutex_;
+  std::mt19937_64 rng_;
+  std::uint64_t injected_ = 0;
+  bool overloaded_ = false;
+};
+
+}  // namespace entk::sim

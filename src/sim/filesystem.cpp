@@ -1,0 +1,48 @@
+#include "src/sim/filesystem.hpp"
+
+#include <algorithm>
+
+namespace entk::sim {
+
+SharedFilesystem::SharedFilesystem(FilesystemSpec spec) : spec_(spec) {}
+
+double SharedFilesystem::duration_locked(FsOp op, std::uint64_t bytes) const {
+  if (op == FsOp::Link) return spec_.link_latency_s;
+  const int active = std::max(1, stats_.in_flight);
+  const double slowdown =
+      active <= spec_.contention_free_ops
+          ? 1.0
+          : static_cast<double>(active) / spec_.contention_free_ops;
+  const double transfer =
+      static_cast<double>(bytes) / spec_.bandwidth_bps * slowdown;
+  return spec_.latency_s + transfer;
+}
+
+double SharedFilesystem::begin_op(FsOp op, std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.in_flight;
+  stats_.max_in_flight = std::max(stats_.max_in_flight, stats_.in_flight);
+  const double d = duration_locked(op, bytes);
+  ++stats_.ops;
+  stats_.bytes += bytes;
+  stats_.busy_virtual_s += d;
+  return d;
+}
+
+void SharedFilesystem::end_op() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stats_.in_flight > 0) --stats_.in_flight;
+}
+
+double SharedFilesystem::charge(FsOp op, std::uint64_t bytes) {
+  const double d = begin_op(op, bytes);
+  end_op();
+  return d;
+}
+
+FilesystemStats SharedFilesystem::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace entk::sim

@@ -1,0 +1,58 @@
+// Shared-filesystem staging model (Lustre-like).
+//
+// The RTS stages task input/output through the CI's shared filesystem
+// (paper §II-D: POSIX cp and soft links via SAGA verbs). The model charges
+// each operation a fixed metadata latency plus bytes/bandwidth, where the
+// effective bandwidth degrades once more than `contention_free_ops`
+// operations are in flight — capturing the linear growth of staging time
+// with task count observed in the weak-scaling experiment (Fig 8) and the
+// I/O-overload regime of the seismic use case (Fig 10).
+//
+// Durations are *virtual seconds*; callers sleep on their scaled clock.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/sim/cluster.hpp"
+
+namespace entk::sim {
+
+enum class FsOp { Copy, Link, Transfer };
+
+struct FilesystemStats {
+  std::uint64_t ops = 0;
+  std::uint64_t bytes = 0;
+  int in_flight = 0;
+  int max_in_flight = 0;
+  double busy_virtual_s = 0.0;  ///< sum of charged durations
+};
+
+class SharedFilesystem {
+ public:
+  explicit SharedFilesystem(FilesystemSpec spec);
+
+  /// Begin an operation: returns the virtual duration to charge. The
+  /// operation stays "in flight" (contending) until end_op() is called.
+  double begin_op(FsOp op, std::uint64_t bytes);
+
+  /// Mark an operation complete (releases its contention share).
+  void end_op();
+
+  /// One-shot helper: charge and immediately release; returns duration.
+  /// Only correct for sequential stagers (the default configuration).
+  double charge(FsOp op, std::uint64_t bytes);
+
+  FilesystemStats stats() const;
+  const FilesystemSpec& spec() const { return spec_; }
+
+ private:
+  double duration_locked(FsOp op, std::uint64_t bytes) const;
+
+  const FilesystemSpec spec_;
+  mutable std::mutex mutex_;
+  FilesystemStats stats_;
+};
+
+}  // namespace entk::sim

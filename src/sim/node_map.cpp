@@ -1,0 +1,113 @@
+#include "src/sim/node_map.hpp"
+
+namespace entk::sim {
+
+NodeMap::NodeMap(int nodes, int cores_per_node, int gpus_per_node)
+    : cores_per_node_(cores_per_node),
+      gpus_per_node_(gpus_per_node),
+      free_cores_per_node_(static_cast<std::size_t>(nodes), cores_per_node),
+      free_gpus_per_node_(static_cast<std::size_t>(nodes), gpus_per_node) {
+  stats_.total_cores = nodes * cores_per_node;
+  stats_.total_gpus = nodes * gpus_per_node;
+}
+
+bool NodeMap::fits_capacity(const SlotRequest& request) const {
+  if (request.exclusive_nodes) {
+    const int nodes_needed =
+        (request.cores + cores_per_node_ - 1) / cores_per_node_;
+    return nodes_needed <= nodes();
+  }
+  return request.cores <= stats_.total_cores &&
+         request.gpus <= stats_.total_gpus;
+}
+
+std::optional<Allocation> NodeMap::try_allocate(const SlotRequest& request) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Held held;
+  Allocation alloc;
+
+  if (request.exclusive_nodes) {
+    // Whole-node placement: need ceil(cores / cores_per_node) empty nodes.
+    int nodes_needed = (request.cores + cores_per_node_ - 1) / cores_per_node_;
+    if (nodes_needed == 0) nodes_needed = 1;
+    for (std::size_t n = 0;
+         n < free_cores_per_node_.size() && nodes_needed > 0; ++n) {
+      if (free_cores_per_node_[n] == cores_per_node_ &&
+          free_gpus_per_node_[n] == gpus_per_node_) {
+        held.cores_per_node.emplace_back(static_cast<int>(n), cores_per_node_);
+        held.gpus_per_node.emplace_back(static_cast<int>(n), gpus_per_node_);
+        alloc.node_ids.push_back(static_cast<int>(n));
+        --nodes_needed;
+      }
+    }
+    if (nodes_needed > 0) {
+      ++stats_.rejections;
+      return std::nullopt;
+    }
+    for (const auto& [n, c] : held.cores_per_node) free_cores_per_node_[static_cast<std::size_t>(n)] -= c;
+    for (const auto& [n, g] : held.gpus_per_node) free_gpus_per_node_[static_cast<std::size_t>(n)] -= g;
+    alloc.cores = static_cast<int>(alloc.node_ids.size()) * cores_per_node_;
+    alloc.gpus = static_cast<int>(alloc.node_ids.size()) * gpus_per_node_;
+  } else {
+    // Core-level placement: first fit, spilling across nodes.
+    int cores_left = request.cores;
+    int gpus_left = request.gpus;
+    for (std::size_t n = 0;
+         n < free_cores_per_node_.size() && (cores_left > 0 || gpus_left > 0);
+         ++n) {
+      const int take_c = std::min(cores_left, free_cores_per_node_[n]);
+      const int take_g = std::min(gpus_left, free_gpus_per_node_[n]);
+      if (take_c > 0 || take_g > 0) {
+        if (take_c > 0)
+          held.cores_per_node.emplace_back(static_cast<int>(n), take_c);
+        if (take_g > 0)
+          held.gpus_per_node.emplace_back(static_cast<int>(n), take_g);
+        alloc.node_ids.push_back(static_cast<int>(n));
+        cores_left -= take_c;
+        gpus_left -= take_g;
+      }
+    }
+    if (cores_left > 0 || gpus_left > 0) {
+      ++stats_.rejections;
+      return std::nullopt;
+    }
+    for (const auto& [n, c] : held.cores_per_node) free_cores_per_node_[static_cast<std::size_t>(n)] -= c;
+    for (const auto& [n, g] : held.gpus_per_node) free_gpus_per_node_[static_cast<std::size_t>(n)] -= g;
+    alloc.cores = request.cores;
+    alloc.gpus = request.gpus;
+  }
+
+  alloc.id = next_id_++;
+  stats_.used_cores += alloc.cores;
+  stats_.used_gpus += alloc.gpus;
+  ++stats_.allocations;
+  held_.emplace(alloc.id, std::move(held));
+  return alloc;
+}
+
+void NodeMap::release(std::uint64_t allocation_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = held_.find(allocation_id);
+  if (it == held_.end()) return;
+  for (const auto& [n, c] : it->second.cores_per_node) {
+    free_cores_per_node_[static_cast<std::size_t>(n)] += c;
+    stats_.used_cores -= c;
+  }
+  for (const auto& [n, g] : it->second.gpus_per_node) {
+    free_gpus_per_node_[static_cast<std::size_t>(n)] += g;
+    stats_.used_gpus -= g;
+  }
+  held_.erase(it);
+}
+
+NodeMapStats NodeMap::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+int NodeMap::free_cores() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.total_cores - stats_.used_cores;
+}
+
+}  // namespace entk::sim

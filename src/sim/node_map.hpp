@@ -1,0 +1,78 @@
+// Core/GPU allocator over a pilot's set of simulated compute nodes.
+//
+// The RTS Agent's scheduler places each task onto concrete cores. Two
+// request shapes cover the paper's workloads: core-level requests (N cores,
+// may share nodes — the 1-core Gromacs tasks of the scaling runs) and
+// node-level requests (N whole nodes — the 384-node Specfem forward
+// simulations). First-fit placement; thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace entk::sim {
+
+struct SlotRequest {
+  int cores = 1;
+  int gpus = 0;
+  bool exclusive_nodes = false;  ///< true: allocate whole nodes
+};
+
+struct Allocation {
+  std::uint64_t id = 0;
+  std::vector<int> node_ids;  ///< nodes touched by this allocation
+  int cores = 0;
+  int gpus = 0;
+};
+
+struct NodeMapStats {
+  int total_cores = 0;
+  int total_gpus = 0;
+  int used_cores = 0;
+  int used_gpus = 0;
+  std::uint64_t allocations = 0;  ///< total successful allocations ever
+  std::uint64_t rejections = 0;   ///< try_allocate calls that found no room
+};
+
+class NodeMap {
+ public:
+  NodeMap(int nodes, int cores_per_node, int gpus_per_node);
+
+  /// Attempt placement; nullopt when the request does not fit right now.
+  /// Requests larger than the whole machine also return nullopt (and count
+  /// as rejections) — callers must validate against capacity() first if
+  /// they need to distinguish "busy" from "impossible".
+  std::optional<Allocation> try_allocate(const SlotRequest& request);
+
+  /// Release a previous allocation; unknown ids are ignored.
+  void release(std::uint64_t allocation_id);
+
+  NodeMapStats stats() const;
+  int free_cores() const;
+  int nodes() const { return static_cast<int>(free_cores_per_node_.size()); }
+  int cores_per_node() const { return cores_per_node_; }
+
+  /// Whole-machine capacity check (ignoring current occupancy).
+  bool fits_capacity(const SlotRequest& request) const;
+
+ private:
+  struct Held {
+    std::vector<std::pair<int, int>> cores_per_node;  // (node, cores)
+    std::vector<std::pair<int, int>> gpus_per_node;   // (node, gpus)
+  };
+
+  const int cores_per_node_;
+  const int gpus_per_node_;
+
+  mutable std::mutex mutex_;
+  std::vector<int> free_cores_per_node_;
+  std::vector<int> free_gpus_per_node_;
+  std::map<std::uint64_t, Held> held_;
+  std::uint64_t next_id_ = 1;
+  NodeMapStats stats_;
+};
+
+}  // namespace entk::sim

@@ -1,0 +1,116 @@
+// Tests for the post-mortem run analysis (timelines, concurrency,
+// utilization), both on synthetic traces and on a real AppManager run.
+#include <gtest/gtest.h>
+
+#include "src/analytics/analysis.hpp"
+#include "src/core/app_manager.hpp"
+
+namespace entk::analytics {
+namespace {
+
+void fill_synthetic_trace(Profiler& p) {
+  // Two tasks, partially overlapping, with staging on the first.
+  p.record("agent", "unit_received", "t1", 0.0);
+  p.record("agent", "unit_stage_in_start", "t1", 0.0);
+  p.record("agent", "unit_stage_in_stop", "t1", 2.0);
+  p.record("agent", "unit_exec_start", "t1", 5.0);
+  p.record("agent", "unit_exec_stop", "t1", 15.0);
+  p.record("agent", "unit_done", "t1", 15.5);
+  p.record("agent", "unit_received", "t2", 1.0);
+  p.record("agent", "unit_exec_start", "t2", 10.0);
+  p.record("agent", "unit_exec_stop", "t2", 30.0);
+  p.record("agent", "unit_done", "t2", 30.0);
+  // Wall-only events (no virtual time) must be ignored.
+  p.record("amgr", "amgr_setup_start");
+}
+
+RunAnalysis synthetic_analysis() {
+  Profiler p;
+  fill_synthetic_trace(p);
+  return RunAnalysis::from_profiler(p);
+}
+
+TEST(RunAnalysisTest, TimelinesParsed) {
+  const RunAnalysis a = synthetic_analysis();
+  ASSERT_EQ(a.task_count(), 2u);
+  const TaskTimeline& t1 = a.tasks()[0];
+  EXPECT_EQ(t1.uid, "t1");
+  EXPECT_DOUBLE_EQ(t1.received, 0.0);
+  EXPECT_DOUBLE_EQ(t1.exec_duration(), 10.0);
+  // Queue wait of t1: 5.0 total minus 2.0 staging = 3.0.
+  EXPECT_DOUBLE_EQ(t1.queue_wait(), 3.0);
+  const TaskTimeline& t2 = a.tasks()[1];
+  EXPECT_DOUBLE_EQ(t2.queue_wait(), 9.0);
+}
+
+TEST(RunAnalysisTest, MakespanAndConcurrency) {
+  const RunAnalysis a = synthetic_analysis();
+  EXPECT_DOUBLE_EQ(a.makespan(), 25.0);  // 5 .. 30
+  EXPECT_EQ(a.peak_concurrency(), 2);
+  const auto curve = a.concurrency_curve();
+  // 5: +t1 -> 1; 10: +t2 -> 2; 15: -t1 -> 1; 30: -t2 -> 0.
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve[0].t, 5.0);
+  EXPECT_EQ(curve[0].executing, 1);
+  EXPECT_EQ(curve[1].executing, 2);
+  EXPECT_EQ(curve[2].executing, 1);
+  EXPECT_EQ(curve[3].executing, 0);
+}
+
+TEST(RunAnalysisTest, UtilizationAccountsForCores) {
+  const RunAnalysis a = synthetic_analysis();
+  // Busy core-time with 1 core each: 10 + 20 = 30; 2 cores x 25 s span.
+  EXPECT_NEAR(a.core_utilization(2), 30.0 / 50.0, 1e-12);
+  // t1 uses 4 cores: busy = 40 + 20 = 60 over 4 x 25.
+  EXPECT_NEAR(a.core_utilization(4, {{"t1", 4}}), 60.0 / 100.0, 1e-12);
+}
+
+TEST(RunAnalysisTest, StagingTotals) {
+  const RunAnalysis a = synthetic_analysis();
+  EXPECT_DOUBLE_EQ(a.total_staging(), 2.0);
+}
+
+TEST(RunAnalysisTest, EmptyTraceIsSafe) {
+  Profiler p;
+  const RunAnalysis a = RunAnalysis::from_profiler(p);
+  EXPECT_EQ(a.task_count(), 0u);
+  EXPECT_DOUBLE_EQ(a.makespan(), 0.0);
+  EXPECT_EQ(a.peak_concurrency(), 0);
+  EXPECT_DOUBLE_EQ(a.core_utilization(16), 0.0);
+  EXPECT_DOUBLE_EQ(a.mean_queue_wait(), 0.0);
+  EXPECT_FALSE(a.summary(16).empty());
+}
+
+TEST(RunAnalysisTest, RealRunProducesConsistentNumbers) {
+  AppManagerConfig cfg;
+  cfg.resource.resource = "local.localhost";
+  cfg.resource.cpus = 8;
+  cfg.resource.agent.env_setup_s = 0.5;
+  cfg.resource.agent.dispatch_rate_per_s = 1000;
+  cfg.resource.rts_teardown_base_s = 0.01;
+  cfg.clock_scale = 1e-4;
+  AppManager amgr(cfg);
+  auto pipeline = std::make_shared<Pipeline>("p");
+  auto stage = std::make_shared<Stage>("s");
+  for (int i = 0; i < 8; ++i) {
+    auto t = std::make_shared<Task>("t");
+    t->duration_s = 10.0;
+    stage->add_task(t);
+  }
+  pipeline->add_stage(stage);
+  amgr.add_pipelines({pipeline});
+  amgr.run();
+
+  const RunAnalysis a = RunAnalysis::from_profiler(*amgr.profiler());
+  EXPECT_EQ(a.task_count(), 8u);
+  // 8 single-core tasks on 8 cores, fully concurrent.
+  EXPECT_EQ(a.peak_concurrency(), 8);
+  EXPECT_GE(a.makespan(), 10.0);
+  // Utilization is high: every core busy for ~the whole span.
+  EXPECT_GT(a.core_utilization(8), 0.75);
+  // Consistent with the overhead report's exec span.
+  EXPECT_NEAR(a.makespan(), amgr.overheads().task_exec_s, 1e-9);
+}
+
+}  // namespace
+}  // namespace entk::analytics

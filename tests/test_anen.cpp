@@ -1,0 +1,396 @@
+// Tests for the Analog Ensemble use case: synthetic archive, AnEn core,
+// unstructured-grid interpolation, statistics, the AUA algorithm and its
+// PST encoding.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/anen/aua.hpp"
+#include "src/anen/stats.hpp"
+#include "src/core/app_manager.hpp"
+
+namespace entk::anen {
+namespace {
+
+DomainSpec small_domain() {
+  DomainSpec d;
+  d.width = 64;
+  d.height = 64;
+  d.history_days = 60;
+  d.variables = 3;
+  return d;
+}
+
+TEST(Synthetic, TruthDeterministicAndSmoothInTime) {
+  const DomainSpec d = small_domain();
+  EXPECT_DOUBLE_EQ(truth_value(d, 10.0, 5, 7), truth_value(d, 10.0, 5, 7));
+  // One hour apart: nearly identical; one month apart: different.
+  EXPECT_NEAR(truth_value(d, 10.0, 5, 7), truth_value(d, 10.04, 5, 7), 0.5);
+  EXPECT_GT(std::abs(truth_value(d, 10.0, 5, 7) - truth_value(d, 40.0, 5, 7)),
+            1e-3);
+}
+
+TEST(Synthetic, FrontCreatesSharpGradientRegion) {
+  const DomainSpec d = small_domain();
+  const std::vector<double> field = truth_field(d, 30.0);
+  const std::vector<double> grad =
+      UnstructuredGrid::gradient_magnitude(field, d.width, d.height);
+  // The max gradient must be much larger than the median gradient: the
+  // domain has localized sharp structure for AUA to find.
+  std::vector<double> g(grad.begin(), grad.end());
+  const double max_g = percentile(g, 100);
+  const double med_g = percentile(g, 50);
+  EXPECT_GT(max_g, 5.0 * med_g);
+}
+
+TEST(Synthetic, ForecastTracksTruthWithNoise) {
+  const DomainSpec d = small_domain();
+  ForecastArchive archive(d);
+  double err = 0.0;
+  int n = 0;
+  for (int t = 2; t < 50; t += 5) {
+    for (int x = 4; x < 60; x += 13) {
+      err += std::abs(archive.forecast(0, t, x, 20) -
+                      archive.observation(t, x, 20));
+      ++n;
+    }
+  }
+  // Forecast error is bounded (bias + noise ~ O(1)), not unbounded.
+  EXPECT_LT(err / n, 3.0);
+  EXPECT_GT(err / n, 0.0);
+}
+
+TEST(Synthetic, VariablesDiffer) {
+  const DomainSpec d = small_domain();
+  ForecastArchive archive(d);
+  EXPECT_NE(archive.forecast(0, 10, 5, 5), archive.forecast(1, 10, 5, 5));
+  EXPECT_NE(archive.forecast(1, 10, 5, 5), archive.forecast(2, 10, 5, 5));
+}
+
+TEST(AnEnCore, StddevsPositive) {
+  const DomainSpec d = small_domain();
+  ForecastArchive archive(d);
+  const std::vector<double> s = forecast_stddevs(archive, 10, 10);
+  ASSERT_EQ(s.size(), 3u);
+  for (double v : s) EXPECT_GT(v, 0.0);
+}
+
+TEST(AnEnCore, SimilarityIsZeroForSameDay) {
+  const DomainSpec d = small_domain();
+  ForecastArchive archive(d);
+  AnEnConfig cfg;
+  const auto stddevs = forecast_stddevs(archive, 10, 10);
+  EXPECT_DOUBLE_EQ(similarity(archive, cfg, stddevs, 30, 30, 10, 10), 0.0);
+  EXPECT_GT(similarity(archive, cfg, stddevs, 30, 10, 10, 10), 0.0);
+}
+
+TEST(AnEnCore, AnalogsAreValidAndSorted) {
+  const DomainSpec d = small_domain();
+  ForecastArchive archive(d);
+  AnEnConfig cfg;
+  cfg.analogs = 7;
+  const AnalogPrediction p = compute_analogs(archive, cfg, d.history_days, 8, 8);
+  ASSERT_EQ(p.analog_days.size(), 7u);
+  const auto stddevs = forecast_stddevs(archive, 8, 8);
+  double prev = -1;
+  for (int day : p.analog_days) {
+    EXPECT_GE(day, cfg.half_window);
+    EXPECT_LE(day, d.history_days - 1 - cfg.half_window);
+    const double s =
+        similarity(archive, cfg, stddevs, d.history_days, day, 8, 8);
+    EXPECT_GE(s, prev);  // best-first
+    prev = s;
+  }
+  EXPECT_GE(p.spread, 0.0);
+}
+
+TEST(AnEnCore, PredictionBeatsClimatology) {
+  // The AnEn ensemble mean should track the truth better than the plain
+  // historical mean (climatology) at the same location.
+  const DomainSpec d = small_domain();
+  ForecastArchive archive(d);
+  AnEnConfig cfg;
+  double anen_err = 0, clim_err = 0;
+  int n = 0;
+  for (int x = 6; x < 60; x += 9) {
+    for (int y = 6; y < 60; y += 9) {
+      const double truth = archive.observation(d.history_days, x, y);
+      const AnalogPrediction p =
+          compute_analogs(archive, cfg, d.history_days, x, y);
+      double clim = 0;
+      for (int t = 0; t < d.history_days; ++t)
+        clim += archive.observation(t, x, y);
+      clim /= d.history_days;
+      anen_err += std::abs(p.value - truth);
+      clim_err += std::abs(clim - truth);
+      ++n;
+    }
+  }
+  EXPECT_LT(anen_err / n, clim_err / n);
+}
+
+TEST(AnEnCore, GuardsAgainstBadInput) {
+  const DomainSpec d = small_domain();
+  ForecastArchive archive(d);
+  AnEnConfig cfg;
+  cfg.analogs = 0;
+  EXPECT_THROW(compute_analogs(archive, cfg, d.history_days, 1, 1),
+               ValueError);
+  cfg.analogs = 5;
+  EXPECT_THROW(compute_analogs(archive, cfg, /*target_day=*/1, 1, 1),
+               ValueError);
+}
+
+TEST(Grid, InterpolationExactAtPoints) {
+  UnstructuredGrid g(32, 32);
+  g.add_point({5, 5, 1.0});
+  g.add_point({20, 20, 3.0});
+  const std::vector<double> f = g.interpolate(4);
+  EXPECT_DOUBLE_EQ(f[5 * 32 + 5], 1.0);
+  EXPECT_DOUBLE_EQ(f[20 * 32 + 20], 3.0);
+}
+
+TEST(Grid, ConstantFieldInterpolatesConstant) {
+  UnstructuredGrid g(24, 24);
+  for (int i = 0; i < 10; ++i) g.add_point({i * 2 + 1, (i * 7) % 24, 4.2});
+  for (double v : g.interpolate(4)) EXPECT_NEAR(v, 4.2, 1e-12);
+}
+
+TEST(Grid, InterpolationBetweenTwoValuesIsBounded) {
+  UnstructuredGrid g(16, 16);
+  g.add_point({0, 8, 0.0});
+  g.add_point({15, 8, 10.0});
+  const std::vector<double> f = g.interpolate(2);
+  for (double v : f) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 10.0);
+  }
+  // Closer to the right point -> closer to its value.
+  EXPECT_GT(f[8 * 16 + 13], f[8 * 16 + 2]);
+}
+
+TEST(Grid, OccupancyAndErrors) {
+  UnstructuredGrid g(8, 8);
+  EXPECT_THROW(g.interpolate(), ValueError);
+  EXPECT_FALSE(g.occupied(3, 3));
+  g.add_point({3, 3, 1.0});
+  EXPECT_TRUE(g.occupied(3, 3));
+  EXPECT_FALSE(g.occupied(-1, 0));
+  EXPECT_EQ(g.point_count(), 1u);
+  EXPECT_THROW(UnstructuredGrid(0, 5), ValueError);
+}
+
+TEST(Grid, GradientOfLinearRampIsConstant) {
+  const int w = 16, h = 16;
+  std::vector<double> ramp(static_cast<std::size_t>(w) * h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) ramp[static_cast<std::size_t>(y) * w + x] = 2.0 * x;
+  }
+  const std::vector<double> g = UnstructuredGrid::gradient_magnitude(ramp, w, h);
+  for (int y = 1; y < h - 1; ++y) {
+    for (int x = 1; x < w - 1; ++x) {
+      EXPECT_NEAR(g[static_cast<std::size_t>(y) * w + x], 2.0, 1e-12);
+    }
+  }
+}
+
+TEST(Grid, ErrorMetrics) {
+  std::vector<double> a{1, 2, 3, 4};
+  std::vector<double> b{1, 2, 3, 8};
+  EXPECT_DOUBLE_EQ(rmse(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(rmse(a, b), 2.0);  // sqrt(16/4)
+  EXPECT_DOUBLE_EQ(mae(a, b), 1.0);
+  EXPECT_THROW(rmse(a, std::vector<double>{1.0}), ValueError);
+  EXPECT_THROW(mae(std::vector<double>{}, std::vector<double>{}), ValueError);
+}
+
+TEST(Stats, PercentilesAndBox) {
+  std::vector<double> v{4, 1, 3, 2, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  const BoxStats s = box_stats(v);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_FALSE(to_string(s).empty());
+  EXPECT_THROW(percentile({}, 50), ValueError);
+  EXPECT_THROW(box_stats({}), ValueError);
+}
+
+TEST(Aua, PartitionBalancedAndComplete) {
+  std::vector<GridPoint> pts;
+  for (int i = 0; i < 37; ++i) pts.push_back({i % 13, i % 7, 0.0});
+  const auto parts = AuaRunner::partition(pts, 5);
+  ASSERT_EQ(parts.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& p : parts) {
+    total += p.size();
+    EXPECT_LE(p.size(), 9u);  // ceil(37/5)=8, allow slack on the tail
+  }
+  EXPECT_EQ(total, 37u);
+}
+
+TEST(Aua, SelectRandomAvoidsOccupiedAndDuplicates) {
+  AuaSpec spec;
+  spec.domain = small_domain();
+  AuaRunner runner(spec);
+  auto first = runner.select_random(40);
+  EXPECT_EQ(first.size(), 40u);
+  runner.compute_points(first);
+  runner.grid().add_points(first);
+  auto second = runner.select_random(40);
+  for (const GridPoint& p : second) {
+    EXPECT_FALSE(runner.grid().occupied(p.x, p.y));
+  }
+}
+
+TEST(Aua, AdaptiveSamplingConcentratesOnGradients) {
+  AuaSpec spec;
+  spec.domain = small_domain();
+  spec.initial_points = 120;
+  AuaRunner runner(spec);
+  auto initial = runner.select_random(spec.initial_points);
+  runner.compute_points(initial);
+  runner.grid().add_points(initial);
+  runner.aggregate_and_error();
+
+  // Average truth-gradient at adaptively selected points must exceed the
+  // average over uniformly random points.
+  const std::vector<double> truth = truth_field(spec.domain, runner.target_day());
+  const std::vector<double> grad = UnstructuredGrid::gradient_magnitude(
+      truth, spec.domain.width, spec.domain.height);
+  auto avg_gradient = [&](const std::vector<GridPoint>& pts) {
+    double s = 0;
+    for (const GridPoint& p : pts) {
+      s += grad[static_cast<std::size_t>(p.y) * spec.domain.width + p.x];
+    }
+    return s / static_cast<double>(pts.size());
+  };
+  const auto adaptive = runner.select_adaptive(120);
+  const auto random = runner.select_random(120);
+  EXPECT_GT(avg_gradient(adaptive), avg_gradient(random));
+}
+
+TEST(Aua, RunToBudgetRecordsHistory) {
+  AuaSpec spec;
+  spec.domain = small_domain();
+  spec.initial_points = 60;
+  spec.points_per_iteration = 60;
+  spec.budget = 240;
+  const AuaResult r = run_adaptive(spec);
+  EXPECT_EQ(r.points.size(), 240u);
+  EXPECT_EQ(r.iterations, 4);  // 60 + 3*60
+  EXPECT_EQ(r.rmse_history.size(), 4u);
+  EXPECT_GT(r.final_rmse, 0.0);
+  EXPECT_GT(r.final_mae, 0.0);
+  EXPECT_EQ(r.final_field.size(),
+            static_cast<std::size_t>(spec.domain.width) * spec.domain.height);
+}
+
+TEST(Aua, ErrorThresholdStopsEarly) {
+  AuaSpec spec;
+  spec.domain = small_domain();
+  spec.initial_points = 60;
+  spec.points_per_iteration = 30;
+  spec.budget = 2000;
+  spec.error_threshold = 1e6;  // any improvement is "too small"
+  const AuaResult r = run_adaptive(spec);
+  EXPECT_EQ(r.iterations, 2);  // initial + one iteration, then stop
+  EXPECT_LT(r.points.size(), 2000u);
+}
+
+TEST(Aua, AdaptiveBeatsRandomOnAverage) {
+  // Fig 11's claim: with an equal location budget, AUA converges to lower
+  // error than random selection. Average over a few seeds.
+  AuaSpec base;
+  base.domain = small_domain();
+  base.initial_points = 80;
+  base.points_per_iteration = 80;
+  base.budget = 480;
+  double adaptive_sum = 0, random_sum = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    AuaSpec spec = base;
+    spec.seed = seed;
+    adaptive_sum += run_adaptive(spec).final_rmse;
+    random_sum += run_random(spec).final_rmse;
+  }
+  EXPECT_LT(adaptive_sum, random_sum);
+}
+
+TEST(Aua, MoreBudgetLowersError) {
+  AuaSpec small;
+  small.domain = small_domain();
+  small.initial_points = 60;
+  small.points_per_iteration = 60;
+  small.budget = 120;
+  AuaSpec large = small;
+  large.budget = 600;
+  EXPECT_LT(run_adaptive(large).final_rmse, run_adaptive(small).final_rmse);
+}
+
+TEST(AuaPipeline, RunsUnderEnTKToBudget) {
+  AuaSpec spec;
+  spec.domain = small_domain();
+  spec.initial_points = 60;
+  spec.points_per_iteration = 60;
+  spec.budget = 240;
+  spec.subregions = 4;
+  auto runner = std::make_shared<AuaRunner>(spec);
+
+  AppManagerConfig cfg;
+  cfg.resource.resource = "local.localhost";
+  cfg.resource.cpus = 16;
+  cfg.resource.agent.env_setup_s = 0.05;
+  cfg.resource.agent.dispatch_rate_per_s = 1000;
+  cfg.resource.rts_teardown_base_s = 0.01;
+  cfg.clock_scale = 1e-4;
+  AppManager amgr(cfg);
+  amgr.add_pipelines({build_aua_pipeline(runner, /*adaptive=*/true)});
+  amgr.run();
+
+  EXPECT_EQ(amgr.pipelines()[0]->state(), PipelineState::Done);
+  const AuaResult r = runner->result();
+  EXPECT_EQ(r.points.size(), 240u);
+  EXPECT_EQ(r.iterations, 4);
+  // 2 fixed stages + 3 iterations x 2 stages.
+  EXPECT_EQ(amgr.pipelines()[0]->stage_count(), 8u);
+  EXPECT_GT(r.final_rmse, 0.0);
+}
+
+TEST(AuaPipeline, MatchesDirectRunExactly) {
+  // The EnTK-driven execution must be a faithful encoding: same seeds,
+  // same arithmetic, same final error as the direct in-process loop.
+  AuaSpec spec;
+  spec.domain = small_domain();
+  spec.initial_points = 50;
+  spec.points_per_iteration = 50;
+  spec.budget = 150;
+  spec.subregions = 3;
+
+  const AuaResult direct = run_adaptive(spec);
+
+  auto runner = std::make_shared<AuaRunner>(spec);
+  AppManagerConfig cfg;
+  cfg.resource.resource = "local.localhost";
+  cfg.resource.cpus = 8;
+  cfg.resource.agent.env_setup_s = 0.05;
+  cfg.resource.agent.dispatch_rate_per_s = 1000;
+  cfg.resource.rts_teardown_base_s = 0.01;
+  cfg.clock_scale = 1e-4;
+  AppManager amgr(cfg);
+  amgr.add_pipelines({build_aua_pipeline(runner, true)});
+  amgr.run();
+  const AuaResult via_entk = runner->result();
+
+  EXPECT_EQ(via_entk.points.size(), direct.points.size());
+  EXPECT_EQ(via_entk.iterations, direct.iterations);
+  ASSERT_EQ(via_entk.rmse_history.size(), direct.rmse_history.size());
+  for (std::size_t i = 0; i < direct.rmse_history.size(); ++i) {
+    EXPECT_NEAR(via_entk.rmse_history[i], direct.rmse_history[i], 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace entk::anen

@@ -1,0 +1,118 @@
+// Coverage for public-API corners not exercised elsewhere: JSON views of
+// PST objects, broker introspection, filesystem statistics, report
+// rendering.
+#include <gtest/gtest.h>
+
+#include "src/core/overheads.hpp"
+#include "src/core/pipeline.hpp"
+#include "src/mq/broker.hpp"
+#include "src/sim/filesystem.hpp"
+
+namespace entk {
+namespace {
+
+TEST(JsonViews, TaskSerializationFlagsFunctionPresence) {
+  Task plain("plain");
+  plain.executable = "sleep";
+  EXPECT_FALSE(plain.to_json().get_bool("has_function", true));
+  Task coded("coded");
+  coded.function = [] { return 0; };
+  EXPECT_TRUE(coded.to_json().get_bool("has_function", false));
+}
+
+TEST(JsonViews, StageAndPipelineSerializeTree) {
+  auto pipeline = std::make_shared<Pipeline>("tree");
+  auto stage = std::make_shared<Stage>("leafs");
+  auto t1 = std::make_shared<Task>("a");
+  t1->duration_s = 1;
+  auto t2 = std::make_shared<Task>("b");
+  t2->duration_s = 2;
+  stage->add_task(t1);
+  stage->add_task(t2);
+  pipeline->add_stage(stage);
+
+  const json::Value v = pipeline->to_json();
+  EXPECT_EQ(v.at("name").as_string(), "tree");
+  EXPECT_EQ(v.at("state").as_string(), "DESCRIBED");
+  EXPECT_EQ(v.at("current_stage").as_int(), 0);
+  ASSERT_EQ(v.at("stages").size(), 1u);
+  const json::Value& sv = v.at("stages").as_array()[0];
+  EXPECT_EQ(sv.at("parent_pipeline").as_string(), pipeline->uid());
+  ASSERT_EQ(sv.at("tasks").size(), 2u);
+  EXPECT_EQ(sv.at("tasks").as_array()[0].at("parent_stage").as_string(),
+            stage->uid());
+  // Round-trippable as a document.
+  EXPECT_NO_THROW(json::parse(v.dump(2)));
+}
+
+TEST(BrokerIntrospection, QueueNamesSorted) {
+  mq::Broker b;
+  b.declare_queue("zeta");
+  b.declare_queue("alpha");
+  b.declare_queue("mid");
+  EXPECT_EQ(b.queue_names(),
+            (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
+TEST(QueueStatsCounters, TrackLifecycle) {
+  mq::Queue q("q", {});
+  mq::Message m;
+  m.body = "x";
+  q.publish(m);
+  q.publish(m);
+  auto d = q.try_get();
+  q.nack(d->delivery_tag, true);  // requeued
+  d = q.try_get();
+  q.ack(d->delivery_tag);
+  const mq::QueueStats s = q.stats();
+  EXPECT_EQ(s.published, 2u);
+  EXPECT_EQ(s.delivered, 2u);
+  EXPECT_EQ(s.acked, 1u);
+  EXPECT_EQ(s.requeued, 1u);
+  EXPECT_EQ(s.ready, 1u);
+  EXPECT_EQ(s.unacked, 0u);
+}
+
+TEST(FilesystemStats, AccumulateBusyTime) {
+  sim::FilesystemSpec spec;
+  spec.latency_s = 0.5;
+  spec.bandwidth_bps = 1e9;
+  sim::SharedFilesystem fs(spec);
+  fs.charge(sim::FsOp::Copy, 0);
+  fs.charge(sim::FsOp::Copy, 0);
+  const sim::FilesystemStats s = fs.stats();
+  EXPECT_EQ(s.ops, 2u);
+  EXPECT_NEAR(s.busy_virtual_s, 1.0, 1e-9);
+  EXPECT_EQ(s.in_flight, 0);
+}
+
+TEST(OverheadRendering, TableContainsAllCategories) {
+  OverheadReport r;
+  r.entk_setup_s = 0.1;
+  r.entk_mgmt_s = 9.5;
+  r.rts_overhead_s = 25.0;
+  r.task_exec_s = 300.0;
+  r.tasks_done = 16;
+  const std::string table = r.to_table();
+  for (const char* needle :
+       {"EnTK Setup Overhead", "EnTK Management Overhead",
+        "EnTK Tear-Down Overhead", "RTS Overhead", "RTS Tear-Down Overhead",
+        "Data Staging Time", "Task Execution Time"}) {
+    EXPECT_NE(table.find(needle), std::string::npos) << needle;
+  }
+  EXPECT_NE(table.find("16/0/0"), std::string::npos);
+}
+
+TEST(ResourceDefaults, HostModelMatchesPaperCalibration) {
+  const HostModel host;
+  // Defaults documented in resource.hpp: the paper's VM-host values.
+  EXPECT_DOUBLE_EQ(host.setup_c, 0.1);
+  EXPECT_DOUBLE_EQ(host.mgmt_c0, 9.5);
+  EXPECT_DOUBLE_EQ(host.teardown_c, 5.0);
+  const ResourceDescription res;
+  EXPECT_EQ(res.resource, "local.localhost");
+  EXPECT_GT(res.walltime_s, 0.0);
+}
+
+}  // namespace
+}  // namespace entk

@@ -1,0 +1,144 @@
+// Tests for the AMQP-style exchange layer (direct / fanout / topic).
+#include <gtest/gtest.h>
+
+#include "src/mq/channel.hpp"
+
+namespace entk::mq {
+namespace {
+
+Message text(const std::string& body) {
+  Message m;
+  m.body = body;
+  return m;
+}
+
+TEST(TopicMatch, ExactAndWildcards) {
+  EXPECT_TRUE(topic_matches("a.b.c", "a.b.c"));
+  EXPECT_FALSE(topic_matches("a.b.c", "a.b"));
+  EXPECT_FALSE(topic_matches("a.b", "a.b.c"));
+  // '*' = exactly one word.
+  EXPECT_TRUE(topic_matches("a.*.c", "a.b.c"));
+  EXPECT_FALSE(topic_matches("a.*.c", "a.b.b.c"));
+  EXPECT_TRUE(topic_matches("*", "anything"));
+  EXPECT_FALSE(topic_matches("*", "two.words"));
+  // '#' = zero or more words.
+  EXPECT_TRUE(topic_matches("#", ""));
+  EXPECT_TRUE(topic_matches("#", "a.b.c"));
+  EXPECT_TRUE(topic_matches("a.#", "a"));
+  EXPECT_TRUE(topic_matches("a.#", "a.b.c"));
+  EXPECT_FALSE(topic_matches("a.#", "b.a"));
+  EXPECT_TRUE(topic_matches("a.#.z", "a.z"));
+  EXPECT_TRUE(topic_matches("a.#.z", "a.b.c.z"));
+  EXPECT_FALSE(topic_matches("a.#.z", "a.b.c"));
+  EXPECT_TRUE(topic_matches("#.task.#", "entk.task.done"));
+}
+
+TEST(ExchangeUnit, DirectRoutesOnExactKey) {
+  Exchange ex("e", ExchangeType::Direct);
+  ex.bind("q1", "red");
+  ex.bind("q2", "blue");
+  ex.bind("q3", "red");
+  EXPECT_EQ(ex.route("red"), (std::vector<std::string>{"q1", "q3"}));
+  EXPECT_EQ(ex.route("blue"), (std::vector<std::string>{"q2"}));
+  EXPECT_TRUE(ex.route("green").empty());
+}
+
+TEST(ExchangeUnit, FanoutRoutesEverywhereOnce) {
+  Exchange ex("e", ExchangeType::Fanout);
+  ex.bind("q1");
+  ex.bind("q2");
+  ex.bind("q1");  // duplicate binding ignored
+  EXPECT_EQ(ex.binding_count(), 2u);
+  EXPECT_EQ(ex.route("whatever"), (std::vector<std::string>{"q1", "q2"}));
+}
+
+TEST(ExchangeUnit, UnbindRemoves) {
+  Exchange ex("e", ExchangeType::Direct);
+  ex.bind("q1", "k");
+  ex.unbind("q1", "k");
+  EXPECT_TRUE(ex.route("k").empty());
+}
+
+TEST(ExchangeBroker, PublishToDirectExchange) {
+  Broker b;
+  b.declare_queue("sim");
+  b.declare_queue("ana");
+  b.declare_exchange("work", ExchangeType::Direct);
+  b.bind_queue("work", "sim", "simulation");
+  b.bind_queue("work", "ana", "analysis");
+
+  EXPECT_EQ(b.publish_to_exchange("work", "simulation", text("s1")), 1u);
+  EXPECT_EQ(b.publish_to_exchange("work", "analysis", text("a1")), 1u);
+  EXPECT_EQ(b.publish_to_exchange("work", "unknown", text("dropped")), 0u);
+
+  auto d = b.get("sim", 0.0);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->message.body, "s1");
+  d = b.get("ana", 0.0);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->message.body, "a1");
+}
+
+TEST(ExchangeBroker, FanoutCopiesToAllQueues) {
+  Broker b;
+  b.declare_queue("q1");
+  b.declare_queue("q2");
+  b.declare_queue("q3");
+  b.declare_exchange("events", ExchangeType::Fanout);
+  for (const char* q : {"q1", "q2", "q3"}) b.bind_queue("events", q);
+  EXPECT_EQ(b.publish_to_exchange("events", "", text("broadcast")), 3u);
+  for (const char* q : {"q1", "q2", "q3"}) {
+    auto d = b.get(q, 0.0);
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->message.body, "broadcast");
+  }
+}
+
+TEST(ExchangeBroker, TopicSelectsBySubscription) {
+  Broker b;
+  b.declare_queue("all_tasks");
+  b.declare_queue("failures");
+  b.declare_exchange("states", ExchangeType::Topic);
+  b.bind_queue("states", "all_tasks", "task.#");
+  b.bind_queue("states", "failures", "*.failed");
+
+  EXPECT_EQ(b.publish_to_exchange("states", "task.done", text("d")), 1u);
+  EXPECT_EQ(b.publish_to_exchange("states", "task.failed", text("f")), 2u);
+  EXPECT_EQ(b.publish_to_exchange("states", "stage.failed", text("sf")), 1u);
+
+  EXPECT_EQ(b.queue("all_tasks")->ready_count(), 2u);
+  EXPECT_EQ(b.queue("failures")->ready_count(), 2u);
+}
+
+TEST(ExchangeBroker, DeclarationRules) {
+  Broker b;
+  b.declare_exchange("e", ExchangeType::Direct);
+  EXPECT_NO_THROW(b.declare_exchange("e", ExchangeType::Direct));
+  EXPECT_THROW(b.declare_exchange("e", ExchangeType::Fanout), MqError);
+  EXPECT_THROW(b.exchange("nope"), MqError);
+  EXPECT_THROW(b.bind_queue("e", "missing_queue"), MqError);
+  EXPECT_THROW(b.bind_queue("missing_ex", "q"), MqError);
+}
+
+TEST(ExchangeChannel, SugarWorksEndToEnd) {
+  auto broker = std::make_shared<Broker>();
+  Channel ch(broker);
+  ch.queue_declare("log");
+  ch.exchange_declare("topic_ex", ExchangeType::Topic);
+  ch.queue_bind("log", "topic_ex", "app.#");
+  json::Value payload;
+  payload["msg"] = "hello";
+  EXPECT_EQ(ch.exchange_publish("topic_ex", "app.start", payload), 1u);
+  auto d = ch.basic_get("log", 0.0);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->message.body_json().at("msg").as_string(), "hello");
+}
+
+TEST(ExchangeTypeNames, Strings) {
+  EXPECT_STREQ(to_string(ExchangeType::Direct), "direct");
+  EXPECT_STREQ(to_string(ExchangeType::Fanout), "fanout");
+  EXPECT_STREQ(to_string(ExchangeType::Topic), "topic");
+}
+
+}  // namespace
+}  // namespace entk::mq

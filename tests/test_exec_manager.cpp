@@ -1,0 +1,167 @@
+// Direct component tests of the ExecManager: Emgr batching and
+// translation, RTS-callback forwarding, heartbeat-driven restarts with a
+// counting factory — without a WFProcessor in the loop.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/core/exec_manager.hpp"
+#include "src/core/state_store.hpp"
+#include "src/rts/local_rts.hpp"
+
+namespace entk {
+namespace {
+
+class ExecFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    broker_ = std::make_shared<mq::Broker>("exec_test");
+    broker_->declare_queue("q.pending");
+    broker_->declare_queue("q.completed");
+    broker_->declare_queue("q.states");
+    profiler_ = std::make_shared<Profiler>();
+    clock_ = std::make_shared<ScaledClock>(1e-4);
+    synchronizer_ = std::make_unique<Synchronizer>(
+        broker_, "q.states", &registry_, &store_, profiler_);
+    synchronizer_->start();
+  }
+
+  void TearDown() override {
+    if (emgr_) emgr_->stop();
+    synchronizer_->stop();
+    broker_->close();
+  }
+
+  void start_exec(ExecConfig cfg = {}) {
+    cfg.heartbeat_interval_s = 0.005;
+    rts::RtsFactory factory = [this]() -> rts::RtsPtr {
+      ++rts_instances_;
+      return std::make_shared<rts::LocalRts>(rts::LocalRtsConfig{.workers = 2},
+                                             clock_, profiler_);
+    };
+    emgr_ = std::make_unique<ExecManager>(cfg, broker_, &registry_,
+                                          "q.pending", "q.completed",
+                                          "q.states", factory, profiler_);
+    emgr_->acquire_resources();
+    emgr_->start();
+  }
+
+  /// Register a task and push its uid to the Pending queue, pre-advanced
+  /// to SCHEDULED (the WFProcessor's job).
+  TaskPtr submit_task(double duration = 0.5,
+                      std::function<int()> fn = nullptr) {
+    auto pipeline = std::make_shared<Pipeline>("p");
+    auto stage = std::make_shared<Stage>("s");
+    auto task = std::make_shared<Task>("t");
+    task->duration_s = duration;
+    task->function = std::move(fn);
+    stage->add_task(task);
+    pipeline->add_stage(stage);
+    registry_.add_pipeline(pipeline);
+    task->set_state(TaskState::Scheduled);
+    json::Value msg;
+    msg["uid"] = task->uid();
+    broker_->publish("q.pending", mq::Message::json_body("q.pending", msg));
+    return task;
+  }
+
+  /// Wait for n completion messages on the Done queue.
+  std::vector<json::Value> collect(std::size_t n, double timeout_s = 5.0) {
+    std::vector<json::Value> out;
+    const double deadline = wall_now_s() + timeout_s;
+    while (out.size() < n && wall_now_s() < deadline) {
+      auto d = broker_->get("q.completed", 0.01);
+      if (!d) continue;
+      broker_->ack("q.completed", d->delivery_tag);
+      out.push_back(d->message.body_json());
+    }
+    return out;
+  }
+
+  mq::BrokerPtr broker_;
+  ObjectRegistry registry_;
+  StateStore store_;
+  ProfilerPtr profiler_;
+  ClockPtr clock_;
+  std::unique_ptr<Synchronizer> synchronizer_;
+  std::unique_ptr<ExecManager> emgr_;
+  std::atomic<int> rts_instances_{0};
+};
+
+TEST_F(ExecFixture, SubmitsAndForwardsCompletions) {
+  start_exec();
+  TaskPtr task = submit_task(0.5);
+  const auto results = collect(1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].get_string("uid", ""), task->uid());
+  EXPECT_EQ(results[0].get_string("outcome", ""), "DONE");
+  // Emgr advanced the task through Submitting to Submitted.
+  EXPECT_EQ(task->state(), TaskState::Submitted);
+  EXPECT_EQ(rts_instances_.load(), 1);
+}
+
+TEST_F(ExecFixture, CallableExitCodeTravelsInCompletion) {
+  start_exec();
+  submit_task(0.1, [] { return 9; });
+  const auto results = collect(1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].get_string("outcome", ""), "FAILED");
+  EXPECT_EQ(results[0].get_int("exit_code", 0), 9);
+}
+
+TEST_F(ExecFixture, HeartbeatRestartsDeadRtsAndResubmits) {
+  ExecConfig cfg;
+  cfg.rts_restart_limit = 1;
+  start_exec(cfg);
+  // Long-running task: 20,000 virtual s = 2 s wall at 1e-4.
+  TaskPtr task = submit_task(20000.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  emgr_->inject_rts_failure();
+  // Restart resubmits the lost unit; LocalRts restarts it from scratch,
+  // which would take another 2 s — instead verify the restart happened
+  // and the unit is in flight on the new instance.
+  // restarts_ increments before the factory runs: wait on the instance
+  // count, which is the last step of the restart we care about.
+  for (int spin = 0; spin < 1000 && rts_instances_.load() < 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(emgr_->rts_restarts(), 1);
+  EXPECT_EQ(rts_instances_.load(), 2);
+  for (int spin = 0; spin < 500 && emgr_->rts_stats().units_in_flight == 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(emgr_->rts_stats().units_in_flight, 1u);
+  (void)task;
+}
+
+TEST_F(ExecFixture, FatalHandlerFiresWhenBudgetExhausted) {
+  ExecConfig cfg;
+  cfg.rts_restart_limit = 0;
+  start_exec(cfg);
+  std::atomic<bool> fatal{false};
+  emgr_->set_fatal_handler([&fatal](const std::string&) { fatal = true; });
+  submit_task(20000.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  emgr_->inject_rts_failure();
+  for (int spin = 0; spin < 500 && !fatal.load(); ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(fatal.load());
+  EXPECT_EQ(emgr_->rts_restarts(), 0);
+}
+
+TEST_F(ExecFixture, PendingMessagesForUnknownTasksAreDropped) {
+  start_exec();
+  json::Value msg;
+  msg["uid"] = "task.77777x";
+  broker_->publish("q.pending", mq::Message::json_body("q.pending", msg));
+  // Nothing arrives on the Done queue; a real task still works after.
+  TaskPtr task = submit_task(0.2);
+  const auto results = collect(1);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].get_string("uid", ""), task->uid());
+}
+
+}  // namespace
+}  // namespace entk

@@ -1,0 +1,252 @@
+// Fault-tolerance integration tests (paper §II-B-4): RTS failure and
+// restart with resubmission of lost units, restart-budget exhaustion,
+// task retry limits, and recovery journals.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "src/core/app_manager.hpp"
+#include "src/rts/local_rts.hpp"
+
+namespace entk {
+namespace {
+
+AppManagerConfig fast_config() {
+  AppManagerConfig cfg;
+  cfg.resource.resource = "local.localhost";
+  cfg.resource.cpus = 16;
+  cfg.resource.agent.env_setup_s = 0.1;
+  cfg.resource.agent.dispatch_rate_per_s = 1000;
+  cfg.resource.rts_teardown_base_s = 0.01;
+  cfg.resource.rts_teardown_per_unit_s = 0.0;
+  cfg.clock_scale = 1e-4;
+  cfg.heartbeat_interval_s = 0.005;
+  return cfg;
+}
+
+PipelinePtr long_pipeline(int tasks, double duration_s) {
+  auto p = std::make_shared<Pipeline>("p");
+  auto s = std::make_shared<Stage>("s");
+  for (int i = 0; i < tasks; ++i) {
+    auto t = std::make_shared<Task>("t" + std::to_string(i));
+    t->executable = "sleep";
+    t->duration_s = duration_s;
+    s->add_task(t);
+  }
+  p->add_stage(s);
+  return p;
+}
+
+TEST(FaultTolerance, RtsFailureIsRecoveredAndTasksComplete) {
+  AppManagerConfig cfg = fast_config();
+  cfg.rts_restart_limit = 2;
+  AppManager amgr(cfg);
+  // Tasks long enough (in wall time) that the kill lands mid-execution:
+  // 2000 virtual s at 1e-4 scale = 200 ms.
+  amgr.add_pipelines({long_pipeline(4, 2000.0)});
+
+  std::thread killer([&amgr] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    amgr.inject_rts_failure();
+  });
+  amgr.run();
+  killer.join();
+
+  EXPECT_EQ(amgr.tasks_done(), 4u);
+  EXPECT_EQ(amgr.tasks_failed(), 0u);
+  EXPECT_EQ(amgr.rts_restarts(), 1);
+  EXPECT_EQ(amgr.pipelines()[0]->state(), PipelineState::Done);
+}
+
+TEST(FaultTolerance, RestartBudgetExhaustionAbortsWorkflow) {
+  AppManagerConfig cfg = fast_config();
+  cfg.rts_restart_limit = 0;  // no restarts allowed
+  AppManager amgr(cfg);
+  amgr.add_pipelines({long_pipeline(2, 5000.0)});
+  std::thread killer([&amgr] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    amgr.inject_rts_failure();
+  });
+  amgr.run();  // must return (aborted), not hang
+  killer.join();
+  EXPECT_EQ(amgr.pipelines()[0]->state(), PipelineState::Failed);
+  EXPECT_EQ(amgr.tasks_done(), 0u);
+}
+
+TEST(FaultTolerance, DoubleFailureWithinBudgetStillCompletes) {
+  AppManagerConfig cfg = fast_config();
+  cfg.rts_restart_limit = 3;
+  AppManager amgr(cfg);
+  amgr.add_pipelines({long_pipeline(2, 1500.0)});
+  std::thread killer([&amgr] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    amgr.inject_rts_failure();
+    std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    amgr.inject_rts_failure();
+  });
+  amgr.run();
+  killer.join();
+  EXPECT_EQ(amgr.tasks_done(), 2u);
+  EXPECT_GE(amgr.rts_restarts(), 1);
+  EXPECT_LE(amgr.rts_restarts(), 3);
+}
+
+TEST(FaultTolerance, PerTaskRetryLimitOverridesDefault) {
+  AppManagerConfig cfg = fast_config();
+  cfg.task_retry_limit = 0;
+  AppManager amgr(cfg);
+  auto p = std::make_shared<Pipeline>("p");
+  auto s = std::make_shared<Stage>("s");
+  auto stubborn = std::make_shared<Task>("stubborn");
+  auto tries = std::make_shared<std::atomic<int>>(0);
+  stubborn->retry_limit = 4;  // per-task override
+  stubborn->duration_s = 0.5;
+  stubborn->function = [tries] { return ++*tries < 4 ? 1 : 0; };
+  s->add_task(stubborn);
+  p->add_stage(s);
+  amgr.add_pipelines({p});
+  amgr.run();
+  EXPECT_EQ(tries->load(), 4);
+  EXPECT_EQ(amgr.tasks_done(), 1u);
+  EXPECT_EQ(amgr.resubmissions(), 3u);
+}
+
+TEST(FaultTolerance, RetryExhaustionFailsStage) {
+  AppManagerConfig cfg = fast_config();
+  cfg.task_retry_limit = 2;
+  AppManager amgr(cfg);
+  auto p = std::make_shared<Pipeline>("p");
+  auto s = std::make_shared<Stage>("s");
+  auto hopeless = std::make_shared<Task>("hopeless");
+  auto tries = std::make_shared<std::atomic<int>>(0);
+  hopeless->duration_s = 0.2;
+  hopeless->function = [tries] {
+    ++*tries;
+    return 1;
+  };
+  s->add_task(hopeless);
+  // A healthy sibling task must still complete before the stage resolves.
+  auto ok = std::make_shared<Task>("ok");
+  ok->duration_s = 0.2;
+  ok->function = [] { return 0; };
+  s->add_task(ok);
+  p->add_stage(s);
+  amgr.add_pipelines({p});
+  amgr.run();
+  EXPECT_EQ(tries->load(), 3);  // initial + 2 retries
+  EXPECT_EQ(amgr.tasks_failed(), 1u);
+  EXPECT_EQ(amgr.tasks_done(), 1u);
+  EXPECT_EQ(p->state(), PipelineState::Failed);
+  EXPECT_EQ(amgr.overheads().resubmissions, 2u);
+}
+
+TEST(FaultTolerance, LaterStagesSkippedAfterStageFailure) {
+  AppManagerConfig cfg = fast_config();
+  AppManager amgr(cfg);
+  auto p = std::make_shared<Pipeline>("p");
+  auto s1 = std::make_shared<Stage>("s1");
+  auto bad = std::make_shared<Task>("bad");
+  bad->duration_s = 0.2;
+  bad->function = [] { return 1; };
+  s1->add_task(bad);
+  p->add_stage(s1);
+  auto s2 = std::make_shared<Stage>("s2");
+  auto never = std::make_shared<std::atomic<bool>>(false);
+  auto t2 = std::make_shared<Task>("never");
+  t2->duration_s = 0.2;
+  t2->function = [never] {
+    *never = true;
+    return 0;
+  };
+  s2->add_task(t2);
+  p->add_stage(s2);
+  amgr.add_pipelines({p});
+  amgr.run();
+  EXPECT_FALSE(never->load());
+  EXPECT_EQ(s2->state(), StageState::Described);  // never scheduled
+  EXPECT_EQ(p->state(), PipelineState::Failed);
+}
+
+TEST(FaultTolerance, OtherPipelinesContinueWhenOneFails) {
+  AppManagerConfig cfg = fast_config();
+  AppManager amgr(cfg);
+  auto bad_pipeline = std::make_shared<Pipeline>("bad");
+  auto bs = std::make_shared<Stage>("bs");
+  auto bad = std::make_shared<Task>("bad");
+  bad->duration_s = 0.2;
+  bad->function = [] { return 1; };
+  bs->add_task(bad);
+  bad_pipeline->add_stage(bs);
+
+  PipelinePtr good_pipeline = long_pipeline(3, 1.0);
+  amgr.add_pipelines({bad_pipeline, good_pipeline});
+  amgr.run();
+  EXPECT_EQ(bad_pipeline->state(), PipelineState::Failed);
+  EXPECT_EQ(good_pipeline->state(), PipelineState::Done);
+  EXPECT_EQ(amgr.tasks_done(), 3u);
+}
+
+TEST(FaultTolerance, CustomRtsFactorySupportsRestart) {
+  // Demonstrate RTS-agnosticism: the same failure protocol drives the
+  // thread-pool LocalRts.
+  AppManagerConfig cfg = fast_config();
+  cfg.rts_restart_limit = 1;
+  auto clock = std::make_shared<ScaledClock>(1e-4);
+  auto profiler = std::make_shared<Profiler>();
+  int instances = 0;
+  cfg.rts_factory = [&instances, clock, profiler]() -> rts::RtsPtr {
+    ++instances;
+    return std::make_shared<rts::LocalRts>(rts::LocalRtsConfig{.workers = 4},
+                                           clock, profiler);
+  };
+  AppManager amgr(cfg);
+  amgr.add_pipelines({long_pipeline(3, 2000.0)});
+  std::thread killer([&amgr] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    amgr.inject_rts_failure();
+  });
+  amgr.run();
+  killer.join();
+  EXPECT_EQ(instances, 2);
+  EXPECT_EQ(amgr.tasks_done(), 3u);
+}
+
+TEST(FaultTolerance, JournalsSurviveForPostMortem) {
+  const std::string dir = ::testing::TempDir() + "/entk_fault_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(wall_now_us());
+  std::filesystem::create_directories(dir);
+  AppManagerConfig cfg = fast_config();
+  cfg.journal_dir = dir;
+  cfg.task_retry_limit = 3;
+  AppManager amgr(cfg);
+  auto p = std::make_shared<Pipeline>("p");
+  auto s = std::make_shared<Stage>("s");
+  auto flaky = std::make_shared<Task>("flaky");
+  auto tries = std::make_shared<std::atomic<int>>(0);
+  flaky->duration_s = 0.2;
+  flaky->function = [tries] { return ++*tries < 2 ? 1 : 0; };
+  s->add_task(flaky);
+  p->add_stage(s);
+  amgr.add_pipelines({p});
+  amgr.run();
+
+  // The journal must contain the FAILED -> DESCRIBED resubmission arc.
+  StateStore recovered;
+  recovered.recover(amgr.state_store()->journal_path());
+  bool saw_failed = false, saw_redescribed = false;
+  for (const StateTransaction& t : recovered.history()) {
+    if (t.uid == flaky->uid() && t.to_state == "FAILED") saw_failed = true;
+    if (t.uid == flaky->uid() && t.from_state == "FAILED" &&
+        t.to_state == "DESCRIBED") {
+      saw_redescribed = true;
+    }
+  }
+  EXPECT_TRUE(saw_failed);
+  EXPECT_TRUE(saw_redescribed);
+  EXPECT_EQ(recovered.state_of(flaky->uid()), "DONE");
+}
+
+}  // namespace
+}  // namespace entk

@@ -1,0 +1,305 @@
+// Unit tests for the in-process message broker (queues, ack/nack,
+// capacity, journaling and recovery, concurrency).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <thread>
+
+#include "src/common/clock.hpp"
+#include "src/mq/channel.hpp"
+
+namespace entk::mq {
+namespace {
+
+Message text_message(const std::string& body) {
+  Message m;
+  m.body = body;
+  return m;
+}
+
+std::string fresh_dir() {
+  const std::string dir = ::testing::TempDir() + "/entk_mq_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(entk::wall_now_us());
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(Queue, FifoOrder) {
+  Queue q("q", {});
+  for (int i = 0; i < 5; ++i) q.publish(text_message(std::to_string(i)));
+  for (int i = 0; i < 5; ++i) {
+    auto d = q.try_get();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->message.body, std::to_string(i));
+    EXPECT_TRUE(q.ack(d->delivery_tag).has_value());
+  }
+  EXPECT_FALSE(q.try_get().has_value());
+}
+
+TEST(Queue, GetTimesOutOnEmpty) {
+  Queue q("q", {});
+  const double t0 = wall_now_s();
+  EXPECT_FALSE(q.get(0.02).has_value());
+  EXPECT_GE(wall_now_s() - t0, 0.015);
+}
+
+TEST(Queue, AckRemovesNackRequeues) {
+  Queue q("q", {});
+  q.publish(text_message("a"));
+  auto d = q.try_get();
+  ASSERT_TRUE(d);
+  EXPECT_EQ(q.stats().unacked, 1u);
+  // Nack with requeue puts it back at the head.
+  EXPECT_TRUE(q.nack(d->delivery_tag, true).has_value());
+  EXPECT_EQ(q.stats().unacked, 0u);
+  auto d2 = q.try_get();
+  ASSERT_TRUE(d2);
+  EXPECT_EQ(d2->message.body, "a");
+  // Double ack fails.
+  EXPECT_TRUE(q.ack(d2->delivery_tag).has_value());
+  EXPECT_FALSE(q.ack(d2->delivery_tag).has_value());
+}
+
+TEST(Queue, NackWithoutRequeueDrops) {
+  Queue q("q", {});
+  q.publish(text_message("a"));
+  auto d = q.try_get();
+  ASSERT_TRUE(d);
+  EXPECT_TRUE(q.nack(d->delivery_tag, false).has_value());
+  EXPECT_FALSE(q.try_get().has_value());
+}
+
+TEST(Queue, RequeueUnackedPreservesOrder) {
+  Queue q("q", {});
+  for (int i = 0; i < 3; ++i) q.publish(text_message(std::to_string(i)));
+  auto a = q.try_get();
+  auto b = q.try_get();
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(q.requeue_unacked(), 2u);
+  for (int i = 0; i < 3; ++i) {
+    auto d = q.try_get();
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->message.body, std::to_string(i));
+  }
+}
+
+TEST(Queue, CapacityBlocksPublisher) {
+  Queue q("q", QueueOptions{.durable = false, .capacity = 2});
+  q.publish(text_message("1"));
+  q.publish(text_message("2"));
+  std::atomic<bool> published{false};
+  std::thread t([&] {
+    q.publish(text_message("3"));
+    published = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(published.load());
+  auto d = q.try_get();
+  ASSERT_TRUE(d);
+  t.join();
+  EXPECT_TRUE(published.load());
+}
+
+TEST(Queue, CloseWakesBlockedConsumer) {
+  Queue q("q", {});
+  std::atomic<bool> woke{false};
+  std::thread t([&] {
+    q.get(5.0);
+    woke = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  t.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_FALSE(q.publish(text_message("x")));
+}
+
+TEST(Queue, PurgeDropsReady) {
+  Queue q("q", {});
+  for (int i = 0; i < 4; ++i) q.publish(text_message("x"));
+  EXPECT_EQ(q.purge(), 4u);
+  EXPECT_EQ(q.ready_count(), 0u);
+}
+
+TEST(Broker, DeclareLookupAndPublish) {
+  Broker b;
+  b.declare_queue("alpha");
+  EXPECT_TRUE(b.has_queue("alpha"));
+  EXPECT_FALSE(b.has_queue("beta"));
+  EXPECT_THROW(b.queue("beta"), MqError);
+  EXPECT_THROW(b.publish("beta", text_message("x")), MqError);
+
+  const std::uint64_t s1 = b.publish("alpha", text_message("1"));
+  const std::uint64_t s2 = b.publish("alpha", text_message("2"));
+  EXPECT_LT(s1, s2);  // broker-wide monotonic sequence
+
+  auto d = b.get("alpha", 0.0);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->message.seq, s1);
+  EXPECT_EQ(d->message.routing_key, "alpha");
+  EXPECT_TRUE(b.ack("alpha", d->delivery_tag));
+}
+
+TEST(Broker, RedeclareSameOptionsIdempotent) {
+  Broker b;
+  b.declare_queue("q", {.durable = false, .capacity = 5});
+  EXPECT_NO_THROW(b.declare_queue("q", {.durable = false, .capacity = 5}));
+  EXPECT_THROW(b.declare_queue("q", {.durable = true, .capacity = 5}),
+               MqError);
+}
+
+TEST(Broker, StatsAggregate) {
+  Broker b;
+  b.declare_queue("a");
+  b.declare_queue("b");
+  b.publish("a", text_message("1"));
+  b.publish("b", text_message("2"));
+  auto d = b.get("a", 0.0);
+  b.ack("a", d->delivery_tag);
+  const BrokerStats s = b.stats();
+  EXPECT_EQ(s.queues, 2u);
+  EXPECT_EQ(s.published, 2u);
+  EXPECT_EQ(s.delivered, 1u);
+  EXPECT_EQ(s.acked, 1u);
+}
+
+TEST(Broker, CloseStopsPublishes) {
+  Broker b;
+  b.declare_queue("q");
+  b.close();
+  EXPECT_TRUE(b.closed());
+  EXPECT_THROW(b.publish("q", text_message("x")), MqError);
+  EXPECT_THROW(b.declare_queue("r"), MqError);
+}
+
+TEST(Broker, DeleteQueue) {
+  Broker b;
+  b.declare_queue("q");
+  b.delete_queue("q");
+  EXPECT_FALSE(b.has_queue("q"));
+  b.delete_queue("q");  // idempotent
+}
+
+TEST(Broker, JournalRecoversUnackedMessages) {
+  const std::string dir = fresh_dir();
+  std::string journal;
+  {
+    Broker b("jb", dir);
+    journal = b.journal_path();
+    b.declare_queue("durable", {.durable = true});
+    b.declare_queue("volatile", {.durable = false});
+    for (int i = 0; i < 5; ++i) {
+      b.publish("durable", text_message("d" + std::to_string(i)));
+    }
+    b.publish("volatile", text_message("gone"));
+    // Consume and ack two of the durable messages.
+    for (int i = 0; i < 2; ++i) {
+      auto d = b.get("durable", 0.0);
+      ASSERT_TRUE(d);
+      b.ack("durable", d->delivery_tag);
+    }
+    // Broker "dies" here: unacked/undelivered messages d2..d4 remain.
+  }
+  Broker recovered("jb2");
+  EXPECT_EQ(recovered.recover(journal), 3u);
+  EXPECT_TRUE(recovered.has_queue("durable"));
+  EXPECT_FALSE(recovered.has_queue("volatile"));  // not journaled
+  for (int i = 2; i < 5; ++i) {
+    auto d = recovered.get("durable", 0.0);
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->message.body, "d" + std::to_string(i));
+  }
+  EXPECT_FALSE(recovered.get("durable", 0.0).has_value());
+}
+
+TEST(Broker, JournalSkipsTornTailRecord) {
+  const std::string dir = fresh_dir();
+  std::string journal;
+  {
+    Broker b("torn", dir);
+    journal = b.journal_path();
+    b.declare_queue("q", {.durable = true});
+    b.publish("q", text_message("ok"));
+  }
+  // Simulate a crash mid-append.
+  {
+    std::FILE* f = std::fopen(journal.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"op\":\"pub\",\"q\":\"q\",\"se", f);
+    std::fclose(f);
+  }
+  Broker recovered("torn2");
+  EXPECT_EQ(recovered.recover(journal), 1u);
+  auto d = recovered.get("q", 0.0);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->message.body, "ok");
+}
+
+TEST(Broker, ConcurrentProducersConsumersLoseNothing) {
+  Broker b;
+  b.declare_queue("work");
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&b, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        b.publish("work", text_message(std::to_string(p * 10000 + i)));
+      }
+    });
+  }
+  for (int c = 0; c < 3; ++c) {
+    threads.emplace_back([&b, &consumed] {
+      while (consumed.load() < kProducers * kPerProducer) {
+        auto d = b.get("work", 0.001);
+        if (d) {
+          b.ack("work", d->delivery_tag);
+          ++consumed;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(consumed.load(), kProducers * kPerProducer);
+  EXPECT_EQ(b.queue("work")->stats().unacked, 0u);
+}
+
+TEST(Channel, AmqpShapedFacade) {
+  auto broker = std::make_shared<Broker>();
+  Connection conn(broker);
+  EXPECT_TRUE(conn.is_open());
+  auto ch = conn.open_channel();
+  ch->queue_declare("q");
+  json::Value payload;
+  payload["k"] = 7;
+  ch->basic_publish("q", payload);
+  auto d = ch->basic_get("q", 0.0);
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->message.body_json().at("k").as_int(), 7);
+  EXPECT_TRUE(ch->basic_ack("q", d->delivery_tag));
+  ch->basic_publish_raw("q", "raw-bytes");
+  auto d2 = ch->basic_get("q", 0.0);
+  ASSERT_TRUE(d2);
+  EXPECT_EQ(d2->message.body, "raw-bytes");
+  EXPECT_TRUE(ch->basic_nack("q", d2->delivery_tag, false));
+  ch->queue_purge("q");
+  ch->queue_delete("q");
+  EXPECT_FALSE(broker->has_queue("q"));
+}
+
+TEST(Message, JsonBodyHelper) {
+  json::Value payload;
+  payload["x"] = 1;
+  Message m = Message::json_body("route", payload);
+  EXPECT_EQ(m.routing_key, "route");
+  EXPECT_EQ(m.body_json().at("x").as_int(), 1);
+  Message bad;
+  bad.body = "{not json";
+  EXPECT_THROW(bad.body_json(), json::ParseError);
+}
+
+}  // namespace
+}  // namespace entk::mq

@@ -1,0 +1,346 @@
+// Unit/integration tests for the runtime system: unit serialization,
+// agent execution semantics, pilot lifecycle, PilotRts and LocalRts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "src/rts/local_rts.hpp"
+#include "src/rts/pilot_rts.hpp"
+
+namespace entk::rts {
+namespace {
+
+ClockPtr fast_clock() { return std::make_shared<ScaledClock>(1e-4); }
+
+/// Collects completion callbacks and lets tests wait for N of them.
+class ResultSink {
+ public:
+  void operator()(const UnitResult& r) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    results_.push_back(r);
+    cv_.notify_all();
+  }
+
+  std::function<void(const UnitResult&)> callback() {
+    return [this](const UnitResult& r) { (*this)(r); };
+  }
+
+  bool wait_for(std::size_t n, double timeout_s = 10.0) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    return cv_.wait_for(lock, std::chrono::duration<double>(timeout_s),
+                        [&] { return results_.size() >= n; });
+  }
+
+  std::vector<UnitResult> results() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return results_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<UnitResult> results_;
+};
+
+TaskUnit simple_unit(const std::string& uid, double duration) {
+  TaskUnit u;
+  u.uid = uid;
+  u.name = uid;
+  u.executable = "sleep";
+  u.duration_s = duration;
+  return u;
+}
+
+PilotRtsConfig fast_pilot_config(int cores = 16) {
+  PilotRtsConfig cfg;
+  cfg.pilot.resource = "local.localhost";
+  cfg.pilot.cores = cores;
+  cfg.agent.env_setup_s = 0.05;
+  cfg.agent.dispatch_rate_per_s = 1000;
+  cfg.teardown_base_s = 0.01;
+  cfg.teardown_per_unit_s = 0.0;
+  return cfg;
+}
+
+TEST(UnitSerialization, RoundTrip) {
+  TaskUnit u = simple_unit("task.0001", 12.5);
+  u.cores = 4;
+  u.gpus = 1;
+  u.exclusive_nodes = true;
+  u.input_staging.push_back({"in", "sandbox/", saga::StagingAction::Copy, 1024});
+  u.output_staging.push_back({"out", "home/", saga::StagingAction::Transfer, 2048});
+  u.metadata["key"] = "value";
+
+  TaskUnit round = TaskUnit::from_json(u.to_json());
+  EXPECT_EQ(round.uid, u.uid);
+  EXPECT_EQ(round.cores, 4);
+  EXPECT_EQ(round.gpus, 1);
+  EXPECT_TRUE(round.exclusive_nodes);
+  EXPECT_DOUBLE_EQ(round.duration_s, 12.5);
+  ASSERT_EQ(round.input_staging.size(), 1u);
+  EXPECT_EQ(round.input_staging[0].bytes, 1024u);
+  ASSERT_EQ(round.output_staging.size(), 1u);
+  EXPECT_EQ(round.output_staging[0].action, saga::StagingAction::Transfer);
+  EXPECT_EQ(round.metadata.at("key").as_string(), "value");
+}
+
+TEST(UnitSerialization, ResultRoundTrip) {
+  UnitResult r;
+  r.uid = "task.0002";
+  r.outcome = UnitOutcome::Failed;
+  r.exit_code = 42;
+  r.exec_start_t = 1.5;
+  r.exec_end_t = 2.5;
+  r.staging_in_s = 0.25;
+  UnitResult round = UnitResult::from_json(r.to_json());
+  EXPECT_EQ(round.uid, r.uid);
+  EXPECT_EQ(round.outcome, UnitOutcome::Failed);
+  EXPECT_EQ(round.exit_code, 42);
+  EXPECT_DOUBLE_EQ(round.exec_start_t, 1.5);
+  EXPECT_DOUBLE_EQ(round.staging_in_s, 0.25);
+}
+
+TEST(PilotRtsTest, ExecutesUnitsAndReportsTimes) {
+  PilotRts rts(fast_pilot_config(), fast_clock(),
+               std::make_shared<Profiler>());
+  ResultSink sink;
+  rts.set_completion_callback(sink.callback());
+  rts.initialize();
+  EXPECT_TRUE(rts.is_healthy());
+
+  rts.submit({simple_unit("u.0", 5.0), simple_unit("u.1", 5.0)});
+  ASSERT_TRUE(sink.wait_for(2));
+  for (const UnitResult& r : sink.results()) {
+    EXPECT_EQ(r.outcome, UnitOutcome::Done);
+    EXPECT_GE(r.exec_end_t - r.exec_start_t, 5.0);
+    EXPECT_LE(r.exec_start_t, r.exec_end_t);
+    EXPECT_LE(r.submit_t, r.exec_start_t);
+  }
+  const RtsStats s = rts.stats();
+  EXPECT_EQ(s.units_submitted, 2u);
+  EXPECT_EQ(s.units_completed, 2u);
+  EXPECT_EQ(s.units_in_flight, 0u);
+  rts.terminate();
+  EXPECT_FALSE(rts.is_healthy());
+}
+
+TEST(PilotRtsTest, CoreContentionSerializesGenerations) {
+  auto clock = fast_clock();
+  PilotRts rts(fast_pilot_config(8), clock, std::make_shared<Profiler>());
+  ResultSink sink;
+  rts.set_completion_callback(sink.callback());
+  rts.initialize();
+  // 16 single-core 10 s units on 8 cores: two generations.
+  std::vector<TaskUnit> units;
+  for (int i = 0; i < 16; ++i) {
+    units.push_back(simple_unit("g." + std::to_string(i), 10.0));
+  }
+  rts.submit(std::move(units));
+  ASSERT_TRUE(sink.wait_for(16));
+  double first_start = 1e18, last_end = 0;
+  for (const UnitResult& r : sink.results()) {
+    first_start = std::min(first_start, r.exec_start_t);
+    last_end = std::max(last_end, r.exec_end_t);
+  }
+  EXPECT_GE(last_end - first_start, 20.0);  // at least 2 generations
+  EXPECT_LE(last_end - first_start, 40.0);  // but not serialized 16x
+  rts.terminate();
+}
+
+TEST(PilotRtsTest, CallableUnitsRun) {
+  PilotRts rts(fast_pilot_config(), fast_clock(),
+               std::make_shared<Profiler>());
+  ResultSink sink;
+  rts.set_completion_callback(sink.callback());
+  rts.initialize();
+  std::atomic<int> ran{0};
+  TaskUnit u = simple_unit("c.0", 0.5);
+  u.callable = [&ran] {
+    ++ran;
+    return 0;
+  };
+  TaskUnit bad = simple_unit("c.1", 0.5);
+  bad.callable = [] { return 9; };
+  rts.submit({std::move(u), std::move(bad)});
+  ASSERT_TRUE(sink.wait_for(2));
+  EXPECT_EQ(ran.load(), 1);
+  int done = 0, failed = 0;
+  for (const UnitResult& r : sink.results()) {
+    if (r.outcome == UnitOutcome::Done) ++done;
+    if (r.outcome == UnitOutcome::Failed) {
+      ++failed;
+      EXPECT_EQ(r.exit_code, 9);
+    }
+  }
+  EXPECT_EQ(done, 1);
+  EXPECT_EQ(failed, 1);
+  rts.terminate();
+}
+
+TEST(PilotRtsTest, ThrowingCallableFailsUnit) {
+  PilotRts rts(fast_pilot_config(), fast_clock(),
+               std::make_shared<Profiler>());
+  ResultSink sink;
+  rts.set_completion_callback(sink.callback());
+  rts.initialize();
+  TaskUnit u = simple_unit("t.0", 0.1);
+  u.callable = []() -> int { throw std::runtime_error("boom"); };
+  rts.submit({std::move(u)});
+  ASSERT_TRUE(sink.wait_for(1));
+  EXPECT_EQ(sink.results()[0].outcome, UnitOutcome::Failed);
+  EXPECT_EQ(sink.results()[0].exit_code, 255);
+  rts.terminate();
+}
+
+TEST(PilotRtsTest, InfeasibleUnitFailsImmediately) {
+  PilotRts rts(fast_pilot_config(8), fast_clock(),
+               std::make_shared<Profiler>());
+  ResultSink sink;
+  rts.set_completion_callback(sink.callback());
+  rts.initialize();
+  TaskUnit huge = simple_unit("huge", 1.0);
+  huge.cores = 10000;  // larger than the pilot
+  rts.submit({std::move(huge)});
+  ASSERT_TRUE(sink.wait_for(1));
+  EXPECT_EQ(sink.results()[0].outcome, UnitOutcome::Failed);
+  rts.terminate();
+}
+
+TEST(PilotRtsTest, StagingChargedAndReported) {
+  PilotRts rts(fast_pilot_config(), fast_clock(),
+               std::make_shared<Profiler>());
+  ResultSink sink;
+  rts.set_completion_callback(sink.callback());
+  rts.initialize();
+  TaskUnit u = simple_unit("s.0", 1.0);
+  u.input_staging.push_back({"in", "t/", saga::StagingAction::Copy, 5000000});
+  u.output_staging.push_back({"o", "h/", saga::StagingAction::Copy, 5000000});
+  rts.submit({std::move(u)});
+  ASSERT_TRUE(sink.wait_for(1));
+  const UnitResult r = sink.results()[0];
+  EXPECT_GT(r.staging_in_s, 0.0);
+  EXPECT_GT(r.staging_out_s, 0.0);
+  rts.terminate();
+}
+
+TEST(PilotRtsTest, FailureModelInjectsFailures) {
+  PilotRtsConfig cfg = fast_pilot_config(64);
+  cfg.pilot.resource = "xsede.comet";  // local.localhost has only 32 cores
+  cfg.failure.concurrency_threshold = 32;
+  cfg.failure.overload_probability = 1.0;
+  PilotRts rts(cfg, fast_clock(), std::make_shared<Profiler>());
+  ResultSink sink;
+  rts.set_completion_callback(sink.callback());
+  rts.initialize();
+  std::vector<TaskUnit> units;
+  // Long enough (2,000 virtual s = 0.2 s wall) that the whole batch is
+  // still executing when the last unit's overload check fires, even if
+  // intake is briefly preempted on a loaded machine.
+  for (int i = 0; i < 40; ++i) {
+    units.push_back(simple_unit("f." + std::to_string(i), 2000.0));
+  }
+  rts.submit(std::move(units));
+  ASSERT_TRUE(sink.wait_for(40));
+  int failed = 0;
+  for (const UnitResult& r : sink.results()) {
+    if (r.outcome == UnitOutcome::Failed) ++failed;
+  }
+  // Units 32..40 started while >= 32 units were executing.
+  EXPECT_GE(failed, 8);
+  rts.terminate();
+}
+
+TEST(PilotRtsTest, KillLosesInFlightUnits) {
+  auto clock = fast_clock();
+  PilotRts rts(fast_pilot_config(), clock, std::make_shared<Profiler>());
+  ResultSink sink;
+  rts.set_completion_callback(sink.callback());
+  rts.initialize();
+  rts.submit({simple_unit("k.0", 1000.0), simple_unit("k.1", 1000.0)});
+  // Let them enter execution, then kill the RTS.
+  clock->sleep_for(5.0);
+  rts.kill();
+  EXPECT_FALSE(rts.is_healthy());
+  const std::vector<std::string> lost = rts.in_flight_units();
+  EXPECT_EQ(lost.size(), 2u);
+  EXPECT_THROW(rts.submit({simple_unit("k.2", 1.0)}), RtsError);
+}
+
+TEST(PilotRtsTest, OversizedPilotThrowsOnInitialize) {
+  PilotRtsConfig cfg = fast_pilot_config();
+  cfg.pilot.resource = "local.localhost";
+  cfg.pilot.nodes = 100000;
+  PilotRts rts(cfg, fast_clock(), std::make_shared<Profiler>());
+  EXPECT_THROW(rts.initialize(), RtsError);
+}
+
+TEST(LocalRtsTest, ExecutesAndReports) {
+  LocalRts rts(LocalRtsConfig{.workers = 2}, fast_clock(),
+               std::make_shared<Profiler>());
+  ResultSink sink;
+  rts.set_completion_callback(sink.callback());
+  rts.initialize();
+  std::atomic<int> ran{0};
+  TaskUnit u = simple_unit("l.0", 0.5);
+  u.callable = [&ran] {
+    ++ran;
+    return 0;
+  };
+  rts.submit({std::move(u)});
+  ASSERT_TRUE(sink.wait_for(1));
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_EQ(sink.results()[0].outcome, UnitOutcome::Done);
+  rts.terminate();
+  EXPECT_FALSE(rts.is_healthy());
+}
+
+TEST(LocalRtsTest, InjectedFailureProbability) {
+  LocalRts rts(LocalRtsConfig{.workers = 2, .failure_probability = 1.0},
+               fast_clock(), std::make_shared<Profiler>());
+  ResultSink sink;
+  rts.set_completion_callback(sink.callback());
+  rts.initialize();
+  rts.submit({simple_unit("f.0", 0.1)});
+  ASSERT_TRUE(sink.wait_for(1));
+  EXPECT_EQ(sink.results()[0].outcome, UnitOutcome::Failed);
+  rts.kill();
+}
+
+TEST(PilotLifecycle, StatesProgress) {
+  auto clock = fast_clock();
+  auto profiler = std::make_shared<Profiler>();
+  PilotManager pmgr(clock, profiler);
+  PilotDescription pd;
+  pd.resource = "local.localhost";
+  pd.cores = 8;
+  PilotPtr pilot = pmgr.submit(pd);
+  pilot->wait_bootstrapped();
+  EXPECT_EQ(pilot->state(), PilotState::Active);
+  EXPECT_EQ(pilot->cores(), 8);
+  EXPECT_GT(pilot->nodes(), 0);
+  pilot->cancel();
+  EXPECT_EQ(pilot->state(), PilotState::Canceled);
+}
+
+TEST(PilotLifecycle, CoresRoundUpToWholeNodes) {
+  auto clock = fast_clock();
+  PilotManager pmgr(clock, std::make_shared<Profiler>());
+  PilotDescription pd;
+  pd.resource = "local.localhost";  // 8 cores/node
+  pd.cores = 9;
+  PilotPtr pilot = pmgr.submit(pd);
+  EXPECT_EQ(pilot->nodes(), 2);
+  EXPECT_EQ(pilot->cores(), 16);
+}
+
+TEST(UnitOutcomeNames, Strings) {
+  EXPECT_STREQ(to_string(UnitOutcome::Done), "DONE");
+  EXPECT_STREQ(to_string(UnitOutcome::Failed), "FAILED");
+  EXPECT_STREQ(to_string(UnitOutcome::Canceled), "CANCELED");
+  EXPECT_STREQ(to_string(UnitOutcome::Lost), "LOST");
+}
+
+}  // namespace
+}  // namespace entk::rts

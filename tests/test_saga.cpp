@@ -1,0 +1,142 @@
+// Unit tests for the SAGA adapter layer (simulated job service + stager).
+#include <gtest/gtest.h>
+
+#include "src/saga/job_service.hpp"
+#include "src/saga/stager.hpp"
+
+namespace entk::saga {
+namespace {
+
+ClockPtr fast_clock() { return std::make_shared<entk::ScaledClock>(1e-4); }
+
+TEST(JobService, ImmediateActivationWithZeroQueueWait) {
+  sim::ClusterSpec cluster = sim::cluster_by_name("local");
+  JobService service(cluster, fast_clock());
+  JobDescription jd;
+  jd.name = "pilot";
+  jd.nodes = 2;
+  JobPtr job = service.submit(jd);
+  job->wait_active();
+  EXPECT_EQ(job->state(), JobState::Active);
+  EXPECT_GE(job->start_time(), 0.0);
+  EXPECT_EQ(service.submitted_count(), 1u);
+}
+
+TEST(JobService, QueueWaitDelaysActivation) {
+  sim::ClusterSpec cluster = sim::cluster_by_name("local");
+  cluster.batch_queue.base_wait_s = 50.0;  // virtual seconds
+  auto clock = fast_clock();
+  JobService service(cluster, clock);
+  JobPtr job = service.submit({.name = "pilot", .nodes = 1});
+  EXPECT_EQ(job->state(), JobState::Pending);
+  job->wait_active();
+  EXPECT_EQ(job->state(), JobState::Active);
+  EXPECT_GE(clock->now(), 50.0);
+}
+
+TEST(JobService, OversizedRequestFails) {
+  sim::ClusterSpec cluster = sim::cluster_by_name("local");  // 4 nodes
+  JobService service(cluster, fast_clock());
+  JobPtr job = service.submit({.name = "huge", .nodes = 100});
+  EXPECT_EQ(job->state(), JobState::Failed);
+  job->wait_active();  // returns immediately on failed jobs
+  EXPECT_EQ(job->state(), JobState::Failed);
+}
+
+TEST(JobService, WalltimeExpiryReachesDone) {
+  sim::ClusterSpec cluster = sim::cluster_by_name("local");
+  auto clock = fast_clock();
+  JobService service(cluster, clock);
+  JobPtr job = service.submit({.name = "short", .nodes = 1, .walltime_s = 10});
+  job->wait_active();
+  EXPECT_EQ(job->state(), JobState::Active);
+  clock->sleep_for(11.0);
+  EXPECT_EQ(job->state(), JobState::Done);
+}
+
+TEST(JobService, CancelActiveJob) {
+  sim::ClusterSpec cluster = sim::cluster_by_name("local");
+  JobService service(cluster, fast_clock());
+  JobPtr job = service.submit({.name = "c", .nodes = 1});
+  job->wait_active();
+  job->cancel();
+  EXPECT_EQ(job->state(), JobState::Canceled);
+}
+
+TEST(JobService, JobIdsEncodeResourceAndCount) {
+  sim::ClusterSpec cluster = sim::cluster_by_name("titan");
+  cluster.batch_queue = {};  // no wait
+  JobService service(cluster, fast_clock());
+  JobPtr a = service.submit({.name = "a", .nodes = 1});
+  JobPtr b = service.submit({.name = "b", .nodes = 1});
+  EXPECT_NE(a->id(), b->id());
+  EXPECT_NE(a->id().find("ornl.titan"), std::string::npos);
+}
+
+TEST(Stager, ActionsMapToFilesystemOps) {
+  sim::FilesystemSpec spec;
+  spec.latency_s = 0.01;
+  spec.bandwidth_bps = 1e6;
+  spec.link_latency_s = 0.002;
+  sim::SharedFilesystem fs(spec);
+  auto clock = fast_clock();
+  DataStager stager(&fs, clock);
+
+  const double link_d =
+      stager.stage({"src", "dst", StagingAction::Link, 999999});
+  EXPECT_DOUBLE_EQ(link_d, 0.002);  // size-independent
+
+  const double copy_d =
+      stager.stage({"src", "dst", StagingAction::Copy, 1000000});
+  EXPECT_NEAR(copy_d, 0.01 + 1.0, 1e-9);
+
+  const double xfer_d =
+      stager.stage({"src", "dst", StagingAction::Transfer, 500000});
+  EXPECT_NEAR(xfer_d, 0.01 + 0.5, 1e-9);
+
+  const StagerStats s = stager.stats();
+  EXPECT_EQ(s.directives, 3u);
+  EXPECT_EQ(s.bytes, 999999u + 1000000u + 500000u);
+  EXPECT_NEAR(s.total_virtual_s, link_d + copy_d + xfer_d, 1e-9);
+}
+
+TEST(Stager, StageAllIsSequentialSum) {
+  sim::FilesystemSpec spec;
+  spec.latency_s = 0.005;
+  spec.bandwidth_bps = 1e9;
+  spec.link_latency_s = 0.001;
+  sim::SharedFilesystem fs(spec);
+  auto clock = fast_clock();
+  DataStager stager(&fs, clock);
+
+  // The weak-scaling staging pattern: 3 links + 1 copy of 550 KB per task
+  // (paper §IV-B-1).
+  std::vector<StagingDirective> directives = {
+      {"a", "t/", StagingAction::Link, 130},
+      {"b", "t/", StagingAction::Link, 130},
+      {"c", "t/", StagingAction::Link, 130},
+      {"in", "t/", StagingAction::Copy, 550000},
+  };
+  const double total = stager.stage_all(directives);
+  EXPECT_NEAR(total, 3 * 0.001 + 0.005 + 550000 / 1e9, 1e-9);
+}
+
+TEST(Stager, AdvancesVirtualClock) {
+  sim::FilesystemSpec spec;
+  spec.latency_s = 1.0;  // big, to be visible
+  sim::SharedFilesystem fs(spec);
+  auto clock = fast_clock();
+  DataStager stager(&fs, clock);
+  const double v0 = clock->now();
+  stager.stage({"a", "b", StagingAction::Copy, 0});
+  EXPECT_GE(clock->now() - v0, 0.9);
+}
+
+TEST(StagingAction, Names) {
+  EXPECT_STREQ(to_string(StagingAction::Copy), "copy");
+  EXPECT_STREQ(to_string(StagingAction::Link), "link");
+  EXPECT_STREQ(to_string(StagingAction::Transfer), "transfer");
+}
+
+}  // namespace
+}  // namespace entk::saga

@@ -1,0 +1,303 @@
+// Tests for the seismic use case: solver physics sanity, misfit/adjoint
+// machinery, gradient correctness (finite-difference check), and the PST
+// campaign builders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/seismic/campaign.hpp"
+
+namespace entk::seismic {
+namespace {
+
+ModelSpec small_model() {
+  ModelSpec ms;
+  ms.nx = 80;
+  ms.nz = 80;
+  return ms;
+}
+
+SolverSpec small_solver() {
+  SolverSpec ss;
+  ss.nt = 400;
+  return ss;
+}
+
+TEST(Field2DTest, Basics) {
+  Field2D f(4, 3, 1.5);
+  EXPECT_EQ(f.nx(), 4);
+  EXPECT_EQ(f.nz(), 3);
+  EXPECT_EQ(f.size(), 12u);
+  EXPECT_DOUBLE_EQ(f.at(2, 1), 1.5);
+  f.at(2, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(f.max(), 7.0);
+  EXPECT_DOUBLE_EQ(f.min(), 1.5);
+  Field2D g(4, 3, 2.0);
+  f.axpy(0.5, g);
+  EXPECT_DOUBLE_EQ(f.at(0, 0), 2.5);
+  EXPECT_GT(f.l2_norm(), 0.0);
+}
+
+TEST(Models, BackgroundIncreasesWithDepth) {
+  const ModelSpec ms = small_model();
+  const Field2D m = background_model(ms);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), ms.v_background);
+  EXPECT_GT(m.at(0, ms.nz - 1), m.at(0, 0));
+  // Laterally homogeneous.
+  EXPECT_DOUBLE_EQ(m.at(0, 10), m.at(ms.nx - 1, 10));
+}
+
+TEST(Models, TrueModelDeterministicPerturbation) {
+  const ModelSpec ms = small_model();
+  const Field2D a = true_model(ms, 3, 250.0, 11);
+  const Field2D b = true_model(ms, 3, 250.0, 11);
+  const Field2D c = true_model(ms, 3, 250.0, 12);
+  double diff_ab = 0, diff_ac = 0;
+  for (int ix = 0; ix < ms.nx; ++ix) {
+    for (int iz = 0; iz < ms.nz; ++iz) {
+      diff_ab += std::abs(a.at(ix, iz) - b.at(ix, iz));
+      diff_ac += std::abs(a.at(ix, iz) - c.at(ix, iz));
+    }
+  }
+  EXPECT_DOUBLE_EQ(diff_ab, 0.0);
+  EXPECT_GT(diff_ac, 1.0);
+}
+
+TEST(Solver, CflGuard) {
+  const ModelSpec ms = small_model();
+  const Field2D m = background_model(ms);
+  SolverSpec ok = small_solver();
+  EXPECT_TRUE(cfl_stable(m, ms.dx, ok));
+  SolverSpec bad = ok;
+  bad.dt = 0.1;  // way over the limit
+  EXPECT_FALSE(cfl_stable(m, ms.dx, bad));
+  EXPECT_THROW(forward(m, ms.dx, bad, SourceSpec{40, 40}, {}), ValueError);
+}
+
+TEST(Solver, RickerShape) {
+  // Peak at the delay, symmetric, near-zero far away.
+  EXPECT_DOUBLE_EQ(ricker(0.15, 8.0, 0.15), 1.0);
+  EXPECT_NEAR(ricker(0.15 - 0.01, 8.0, 0.15), ricker(0.15 + 0.01, 8.0, 0.15),
+              1e-12);
+  EXPECT_NEAR(ricker(1.0, 8.0, 0.15), 0.0, 1e-6);
+}
+
+TEST(Solver, WavesReachReceivers) {
+  // Odd width so the domain is exactly mirror-symmetric about the source
+  // column (edge/sponge effects would otherwise break the symmetry check).
+  ModelSpec ms = small_model();
+  ms.nx = 81;
+  const Field2D m = background_model(ms);
+  const SolverSpec ss = small_solver();
+  const SourceSpec src{40, 10};
+  std::vector<ReceiverSpec> recv{{20, 5}, {60, 5}};
+  const SeismogramSet s = forward(m, ms.dx, ss, src, recv);
+  ASSERT_EQ(s.traces.size(), 2u);
+  EXPECT_EQ(s.nt, ss.nt);
+  EXPECT_GT(s.l2_norm(), 1e-12);
+  // Symmetric receivers around the source in a laterally homogeneous
+  // medium record (nearly) identical traces.
+  double diff = 0, norm = 0;
+  for (int it = 0; it < ss.nt; ++it) {
+    diff += std::abs(s.traces[0][static_cast<std::size_t>(it)] -
+                     s.traces[1][static_cast<std::size_t>(it)]);
+    norm += std::abs(s.traces[0][static_cast<std::size_t>(it)]);
+  }
+  EXPECT_LT(diff, 1e-6 * std::max(norm, 1e-30));
+}
+
+TEST(Solver, CausalityCloserReceiverArrivesFirst) {
+  const ModelSpec ms = small_model();
+  const Field2D m = background_model(ms);
+  const SolverSpec ss = small_solver();
+  const SourceSpec src{20, 20};
+  std::vector<ReceiverSpec> recv{{30, 20}, {70, 20}};
+  const SeismogramSet s = forward(m, ms.dx, ss, src, recv);
+  auto first_arrival = [&](std::size_t r) {
+    double peak = 0;
+    for (double v : s.traces[r]) peak = std::max(peak, std::abs(v));
+    for (int it = 0; it < ss.nt; ++it) {
+      if (std::abs(s.traces[r][static_cast<std::size_t>(it)]) > 0.05 * peak)
+        return it;
+    }
+    return ss.nt;
+  };
+  EXPECT_LT(first_arrival(0), first_arrival(1));
+}
+
+TEST(Solver, SpongeAbsorbsEnergy) {
+  // After the wave has left the source, total recorded energy late in the
+  // trace should be far smaller than around the direct arrival (no strong
+  // boundary reflections).
+  const ModelSpec ms = small_model();
+  const Field2D m = background_model(ms);
+  SolverSpec ss = small_solver();
+  ss.nt = 800;
+  const SourceSpec src{40, 40};
+  std::vector<ReceiverSpec> recv{{40, 30}};
+  const SeismogramSet s = forward(m, ms.dx, ss, src, recv);
+  double early = 0, late = 0;
+  for (int it = 0; it < 300; ++it)
+    early += std::abs(s.traces[0][static_cast<std::size_t>(it)]);
+  for (int it = 500; it < 800; ++it)
+    late += std::abs(s.traces[0][static_cast<std::size_t>(it)]);
+  EXPECT_LT(late, 0.2 * early);
+}
+
+TEST(Misfit, ZeroForIdenticalData) {
+  const ModelSpec ms = small_model();
+  const Field2D m = background_model(ms);
+  const SolverSpec ss = small_solver();
+  const SeismogramSet s =
+      forward(m, ms.dx, ss, SourceSpec{40, 10}, {{20, 5}});
+  EXPECT_DOUBLE_EQ(l2_misfit(s, s), 0.0);
+  const SeismogramSet adj = adjoint_source(s, s);
+  EXPECT_DOUBLE_EQ(adj.l2_norm(), 0.0);
+}
+
+TEST(Misfit, PositiveForDifferentModels) {
+  const ModelSpec ms = small_model();
+  const SolverSpec ss = small_solver();
+  const SourceSpec src{40, 10};
+  std::vector<ReceiverSpec> recv{{20, 5}, {60, 5}};
+  const SeismogramSet obs =
+      forward(true_model(ms), ms.dx, ss, src, recv);
+  const SeismogramSet syn =
+      forward(background_model(ms), ms.dx, ss, src, recv);
+  EXPECT_GT(l2_misfit(syn, obs), 0.0);
+}
+
+TEST(Misfit, ConformanceChecked) {
+  SeismogramSet a, b;
+  a.nt = 10;
+  a.traces.resize(1, std::vector<double>(10));
+  b.nt = 10;
+  b.traces.resize(2, std::vector<double>(10));
+  EXPECT_THROW(l2_misfit(a, b), ValueError);
+  EXPECT_THROW(adjoint_source(a, b), ValueError);
+}
+
+TEST(Misfit, ProcessingDemeansTraces) {
+  SeismogramSet s;
+  s.nt = 100;
+  s.dt = 0.01;
+  s.traces.push_back(std::vector<double>(100, 5.0));  // pure DC
+  const SeismogramSet p = process(s);
+  double sum = 0;
+  for (double v : p.traces[0]) sum += std::abs(v);
+  EXPECT_LT(sum, 1e-9);  // constant offset removed entirely
+}
+
+TEST(Adjoint, GradientMatchesFiniteDifference) {
+  // The adjoint kernel integrated against a model perturbation must agree
+  // in sign and rough magnitude with the finite-difference directional
+  // derivative of the misfit. This validates the whole forward/adjoint
+  // pair as a gradient engine.
+  ModelSpec ms;
+  ms.nx = 60;
+  ms.nz = 60;
+  SolverSpec ss;
+  ss.nt = 300;
+  const SourceSpec src{30, 8};
+  std::vector<ReceiverSpec> recv{{15, 5}, {30, 5}, {45, 5}};
+
+  const Field2D m_true = true_model(ms, 2, 150.0, 5);
+  const Field2D m0 = background_model(ms);
+  const SeismogramSet obs = forward(m_true, ms.dx, ss, src, recv);
+
+  ForwardWavefield wf =
+      forward_with_wavefield(m0, ms.dx, ss, src, recv, 2);
+  const double chi0 = l2_misfit(wf.seismograms, obs);
+  const SeismogramSet adj = adjoint_source(wf.seismograms, obs);
+  const Field2D kernel = adjoint_kernel(m0, ms.dx, ss, recv, adj, wf);
+
+  // Directional derivative along a smooth bump perturbation placed on the
+  // source-receiver wavepath, where the kernel has real sensitivity.
+  Field2D direction(ms.nx, ms.nz);
+  for (int ix = 0; ix < ms.nx; ++ix) {
+    for (int iz = 0; iz < ms.nz; ++iz) {
+      const double dx = (ix - 40.0) / 8.0;
+      const double dz = (iz - 12.0) / 6.0;
+      direction.at(ix, iz) = std::exp(-(dx * dx + dz * dz));
+    }
+  }
+  double predicted = 0.0;
+  for (int ix = 0; ix < ms.nx; ++ix) {
+    for (int iz = 0; iz < ms.nz; ++iz) {
+      predicted += kernel.at(ix, iz) * direction.at(ix, iz);
+    }
+  }
+  const double eps = 1.0;  // 1 m/s perturbation
+  Field2D m1 = m0;
+  m1.axpy(eps, direction);
+  const double chi1 = l2_misfit(forward(m1, ms.dx, ss, src, recv), obs);
+  const double fd = (chi1 - chi0) / eps;
+
+  ASSERT_NE(fd, 0.0);
+  EXPECT_GT(predicted * fd, 0.0);  // same sign (a descent direction)
+  // Right scale: the snapshot-strided cross-correlation kernel is an
+  // approximation, so require agreement within a factor of ~3.
+  const double ratio = predicted / fd;
+  EXPECT_GT(ratio, 0.3);
+  EXPECT_LT(ratio, 3.0);
+}
+
+TEST(Campaign, ForwardCampaignShape) {
+  ForwardCampaignSpec spec;
+  spec.earthquakes = 8;
+  const PipelinePtr p = build_forward_campaign(spec);
+  ASSERT_EQ(p->stage_count(), 1u);
+  const StagePtr stage = p->stage_at(0);
+  EXPECT_EQ(stage->task_count(), 8u);
+  for (const TaskPtr& t : stage->tasks()) {
+    EXPECT_TRUE(t->exclusive_nodes);
+    EXPECT_EQ(t->cpu_reqs.total(), 384 * 16);
+    EXPECT_EQ(t->input_staging.size(), 1u);
+    EXPECT_EQ(t->output_staging.size(), 1u);
+    EXPECT_NO_THROW(t->validate());
+  }
+}
+
+TEST(Campaign, RealKernelTasksExecute) {
+  ForwardCampaignSpec spec;
+  spec.earthquakes = 1;
+  spec.real_kernel = true;
+  spec.kernel_nx = 48;
+  spec.kernel_nt = 120;
+  const PipelinePtr p = build_forward_campaign(spec);
+  const TaskPtr task = p->stage_at(0)->tasks()[0];
+  ASSERT_TRUE(task->function);
+  EXPECT_EQ(task->function(), 0);
+}
+
+TEST(Campaign, InversionIterationReducesMisfit) {
+  InversionSpec spec;
+  spec.earthquakes = 2;
+  spec.receivers = 8;
+  spec.model.nx = 60;
+  spec.model.nz = 60;
+  spec.solver.nt = 300;
+  spec.iterations = 2;
+  auto state = make_inversion_state(spec, 5);
+  ASSERT_EQ(state->observed.size(), 2u);
+
+  std::vector<double> misfits;
+  for (int iter = 0; iter < spec.iterations; ++iter) {
+    // Run the stages synchronously (the EnTK-driven path is exercised by
+    // the example; here we validate the numerics).
+    for (const PipelinePtr& p : build_inversion_iteration(spec, state)) {
+      for (const StagePtr& s : p->stages()) {
+        for (const TaskPtr& t : s->tasks()) {
+          ASSERT_EQ(t->function(), 0);
+        }
+      }
+    }
+    sum_kernels_and_update(spec, *state);
+    misfits.push_back(state->misfit_history.back());
+  }
+  ASSERT_EQ(misfits.size(), 2u);
+  EXPECT_LT(misfits[1], misfits[0]);  // the model moved toward the truth
+}
+
+}  // namespace
+}  // namespace entk::seismic

@@ -1,0 +1,246 @@
+// Unit tests for the simulated-CI substrate: cluster catalog, node map,
+// shared filesystem, failure injection, batch queue, clocks.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "src/common/clock.hpp"
+#include "src/sim/batch_queue.hpp"
+#include "src/sim/cluster.hpp"
+#include "src/sim/failure.hpp"
+#include "src/sim/filesystem.hpp"
+#include "src/sim/node_map.hpp"
+
+namespace entk::sim {
+namespace {
+
+TEST(Cluster, CatalogHasTheFourPaperCIs) {
+  const auto catalog = cluster_catalog();
+  ASSERT_EQ(catalog.size(), 4u);
+  EXPECT_EQ(catalog[0].name, "xsede.supermic");
+  EXPECT_EQ(catalog[1].name, "xsede.stampede");
+  EXPECT_EQ(catalog[2].name, "xsede.comet");
+  EXPECT_EQ(catalog[3].name, "ornl.titan");
+}
+
+TEST(Cluster, TitanShape) {
+  const ClusterSpec titan = cluster_by_name("titan");
+  EXPECT_EQ(titan.nodes, 18688);
+  EXPECT_EQ(titan.cores_per_node, 16);
+  EXPECT_EQ(titan.gpus_per_node, 1);
+  // EnTK runs on the faster ORNL login node (paper §IV-A-2).
+  EXPECT_LT(titan.entk_host_factor, cluster_by_name("supermic").entk_host_factor);
+}
+
+TEST(Cluster, AliasesAndErrors) {
+  EXPECT_EQ(cluster_by_name("xsede.comet").name, "xsede.comet");
+  EXPECT_EQ(cluster_by_name("comet").name, "xsede.comet");
+  EXPECT_EQ(cluster_by_name("local").name, "local.localhost");
+  EXPECT_THROW(cluster_by_name("nonexistent"), ValueError);
+}
+
+TEST(NodeMap, CoreLevelAllocationSpansNodes) {
+  NodeMap nm(2, 4, 0);
+  auto a = nm.try_allocate({.cores = 6});
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->cores, 6);
+  EXPECT_EQ(a->node_ids.size(), 2u);  // 4 + 2 across two nodes
+  EXPECT_EQ(nm.free_cores(), 2);
+  nm.release(a->id);
+  EXPECT_EQ(nm.free_cores(), 8);
+}
+
+TEST(NodeMap, RejectsWhenFullThenRecovers) {
+  NodeMap nm(1, 4, 0);
+  auto a = nm.try_allocate({.cores = 4});
+  ASSERT_TRUE(a);
+  EXPECT_FALSE(nm.try_allocate({.cores = 1}));
+  EXPECT_EQ(nm.stats().rejections, 1u);
+  nm.release(a->id);
+  EXPECT_TRUE(nm.try_allocate({.cores = 1}));
+}
+
+TEST(NodeMap, ExclusiveNodesRequireEmptyNodes) {
+  NodeMap nm(4, 4, 1);
+  // Occupy one core of node 0.
+  auto partial = nm.try_allocate({.cores = 1});
+  ASSERT_TRUE(partial);
+  // Request 2 whole nodes (8 cores): nodes 1 and 2 qualify.
+  auto excl = nm.try_allocate(
+      {.cores = 8, .gpus = 0, .exclusive_nodes = true});
+  ASSERT_TRUE(excl);
+  EXPECT_EQ(excl->node_ids.size(), 2u);
+  for (int n : excl->node_ids) EXPECT_NE(n, partial->node_ids[0]);
+  EXPECT_EQ(excl->gpus, 2);  // whole-node allocations take the GPUs too
+}
+
+TEST(NodeMap, GpuAllocation) {
+  NodeMap nm(2, 4, 2);
+  auto a = nm.try_allocate({.cores = 1, .gpus = 3});
+  ASSERT_TRUE(a);
+  EXPECT_EQ(a->gpus, 3);
+  EXPECT_FALSE(nm.try_allocate({.cores = 1, .gpus = 2}));
+  nm.release(a->id);
+  EXPECT_TRUE(nm.try_allocate({.cores = 1, .gpus = 2}));
+}
+
+TEST(NodeMap, FitsCapacityDistinguishesImpossible) {
+  NodeMap nm(2, 4, 0);
+  EXPECT_TRUE(nm.fits_capacity({.cores = 8}));
+  EXPECT_FALSE(nm.fits_capacity({.cores = 9}));
+  EXPECT_FALSE(nm.fits_capacity({.cores = 1, .gpus = 1}));
+  EXPECT_TRUE(nm.fits_capacity({.cores = 8, .gpus = 0, .exclusive_nodes = true}));
+  EXPECT_FALSE(
+      nm.fits_capacity({.cores = 12, .gpus = 0, .exclusive_nodes = true}));
+}
+
+TEST(NodeMap, ReleaseUnknownIdIsNoop) {
+  NodeMap nm(1, 2, 0);
+  nm.release(999);
+  EXPECT_EQ(nm.free_cores(), 2);
+}
+
+TEST(NodeMap, UtilizationStats) {
+  NodeMap nm(2, 4, 0);
+  auto a = nm.try_allocate({.cores = 3});
+  const NodeMapStats s = nm.stats();
+  EXPECT_EQ(s.total_cores, 8);
+  EXPECT_EQ(s.used_cores, 3);
+  EXPECT_EQ(s.allocations, 1u);
+  nm.release(a->id);
+  EXPECT_EQ(nm.stats().used_cores, 0);
+}
+
+TEST(Filesystem, LinkIsMetadataOnly) {
+  FilesystemSpec spec;
+  spec.link_latency_s = 0.004;
+  SharedFilesystem fs(spec);
+  EXPECT_DOUBLE_EQ(fs.charge(FsOp::Link, 1 << 20), 0.004);
+}
+
+TEST(Filesystem, CopyChargesLatencyPlusBandwidth) {
+  FilesystemSpec spec;
+  spec.latency_s = 0.01;
+  spec.bandwidth_bps = 1e6;
+  SharedFilesystem fs(spec);
+  EXPECT_NEAR(fs.charge(FsOp::Copy, 500000), 0.01 + 0.5, 1e-9);
+}
+
+TEST(Filesystem, ContentionSlowsConcurrentOps) {
+  FilesystemSpec spec;
+  spec.latency_s = 0.0;
+  spec.bandwidth_bps = 1e6;
+  spec.contention_free_ops = 2;
+  SharedFilesystem fs(spec);
+  const double alone = fs.begin_op(FsOp::Copy, 1000000);
+  const double with_one = fs.begin_op(FsOp::Copy, 1000000);
+  const double with_two = fs.begin_op(FsOp::Copy, 1000000);
+  EXPECT_DOUBLE_EQ(alone, 1.0);
+  EXPECT_DOUBLE_EQ(with_one, 1.0);       // within contention-free budget
+  EXPECT_NEAR(with_two, 1.5, 1e-9);      // 3 active / 2 free = 1.5x
+  fs.end_op();
+  fs.end_op();
+  fs.end_op();
+  EXPECT_EQ(fs.stats().in_flight, 0);
+  EXPECT_EQ(fs.stats().max_in_flight, 3);
+  EXPECT_EQ(fs.stats().ops, 3u);
+}
+
+TEST(Failure, ZeroProbabilityNeverFails) {
+  FailureModel fm;
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(fm.should_fail(100));
+  EXPECT_EQ(fm.injected(), 0u);
+}
+
+TEST(Failure, BaseProbabilityRoughlyHonored) {
+  FailureModel fm(FailureSpec{.base_probability = 0.3, .seed = 9});
+  int failures = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (fm.should_fail(1)) ++failures;
+  }
+  EXPECT_NEAR(failures / 10000.0, 0.3, 0.03);
+}
+
+TEST(Failure, ConcurrencyThresholdSwitchesRegime) {
+  FailureSpec spec;
+  spec.concurrency_threshold = 32;
+  spec.overload_probability = 1.0;
+  FailureModel fm(spec);
+  EXPECT_FALSE(fm.should_fail(31));
+  EXPECT_TRUE(fm.should_fail(32));
+  EXPECT_FALSE(fm.should_fail(31));  // non-sticky: recovers immediately
+}
+
+TEST(Failure, StickyOverloadPersistsUntilRecovery) {
+  FailureSpec spec;
+  spec.concurrency_threshold = 32;
+  spec.overload_probability = 1.0;
+  spec.sticky = true;
+  spec.recovery_threshold = 8;
+  FailureModel fm(spec);
+  EXPECT_TRUE(fm.should_fail(32));
+  EXPECT_TRUE(fm.should_fail(20));   // still overloaded
+  EXPECT_TRUE(fm.should_fail(8));    // at recovery threshold: not below
+  EXPECT_FALSE(fm.should_fail(7));   // recovered
+  EXPECT_FALSE(fm.should_fail(20));  // stays healthy below threshold
+}
+
+TEST(Failure, DeterministicPerSeed) {
+  FailureSpec spec;
+  spec.base_probability = 0.5;
+  spec.seed = 77;
+  FailureModel a(spec), b(spec);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.should_fail(1), b.should_fail(1));
+  }
+}
+
+TEST(BatchQueue, ZeroSpecMeansNoWait) {
+  BatchQueue q(BatchQueueSpec{});
+  EXPECT_DOUBLE_EQ(q.sample_wait(1000), 0.0);
+}
+
+TEST(BatchQueue, WaitGrowsWithNodes) {
+  BatchQueueSpec spec;
+  spec.base_wait_s = 10.0;
+  spec.per_node_wait_s = 0.5;
+  BatchQueue q(spec);
+  EXPECT_DOUBLE_EQ(q.sample_wait(0), 10.0);
+  EXPECT_DOUBLE_EQ(q.sample_wait(100), 60.0);
+}
+
+TEST(BatchQueue, JitterStaysWithinBounds) {
+  BatchQueueSpec spec;
+  spec.base_wait_s = 100.0;
+  spec.jitter_frac = 0.2;
+  BatchQueue q(spec, 5);
+  for (int i = 0; i < 100; ++i) {
+    const double w = q.sample_wait(1);
+    EXPECT_GE(w, 80.0);
+    EXPECT_LE(w, 120.0);
+  }
+}
+
+TEST(Clock, ScaledClockRunsFasterThanWall) {
+  ScaledClock clock(1e-3);  // 1 virtual second costs 1 ms
+  const double v0 = clock.now();
+  const double w0 = wall_now_s();
+  clock.sleep_for(20.0);  // 20 virtual seconds = ~20 ms wall
+  const double dv = clock.now() - v0;
+  const double dw = wall_now_s() - w0;
+  EXPECT_GE(dv, 19.0);
+  EXPECT_LT(dw, 1.0);
+  EXPECT_DOUBLE_EQ(clock.scale(), 1e-3);
+}
+
+TEST(Clock, RealClockIsIdentity) {
+  RealClock clock;
+  const double t0 = clock.now();
+  clock.sleep_for(0.01);
+  EXPECT_GE(clock.now() - t0, 0.009);
+  EXPECT_DOUBLE_EQ(clock.scale(), 1.0);
+}
+
+}  // namespace
+}  // namespace entk::sim

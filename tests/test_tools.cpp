@@ -1,0 +1,116 @@
+// End-to-end tests of the entk_run CLI: JSON workflow in, execution
+// through the full stack, exit code out. The binary path is injected by
+// CMake as ENTK_RUN_BINARY.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/clock.hpp"
+
+#ifndef ENTK_RUN_BINARY
+#define ENTK_RUN_BINARY "entk_run"
+#endif
+
+namespace {
+
+std::string write_workflow(const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/wf_" +
+                           std::to_string(::getpid()) + "_" +
+                           std::to_string(entk::wall_now_us()) + ".json";
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+int run_tool(const std::string& args) {
+  const std::string cmd =
+      std::string(ENTK_RUN_BINARY) + " " + args + " > /dev/null 2>&1";
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(EntkRun, ExecutesSimulatedWorkflow) {
+  const std::string path = write_workflow(R"({
+    "resource": {"resource": "local.localhost", "cpus": 8,
+                 "clock_scale": 0.0001},
+    "pipelines": [
+      {"name": "p", "stages": [
+        {"name": "s", "tasks": [
+          {"name": "a", "executable": "sleep", "duration_s": 5},
+          {"name": "b", "executable": "sleep", "duration_s": 5}
+        ]}
+      ]}
+    ]
+  })");
+  EXPECT_EQ(run_tool(path), 0);
+}
+
+TEST(EntkRun, RealProcessesRunAndGateLaterStages) {
+  const std::string probe = ::testing::TempDir() + "/entk_run_test_probe_" +
+                            std::to_string(::getpid());
+  std::filesystem::remove(probe);
+  const std::string path = write_workflow(R"({
+    "resource": {"resource": "local.localhost", "cpus": 2,
+                 "local_processes": true},
+    "pipelines": [
+      {"name": "p", "stages": [
+        {"name": "create", "tasks": [
+          {"name": "touch", "executable": "/usr/bin/touch",
+           "arguments": [")" + probe + R"("]}
+        ]},
+        {"name": "check", "tasks": [
+          {"name": "ls", "executable": "/bin/ls",
+           "arguments": [")" + probe + R"("]}
+        ]}
+      ]}
+    ]
+  })");
+  EXPECT_EQ(run_tool(path), 0);
+  EXPECT_TRUE(std::filesystem::exists(probe));
+  std::filesystem::remove(probe);
+}
+
+TEST(EntkRun, FailingProcessYieldsNonZeroExit) {
+  const std::string path = write_workflow(R"({
+    "resource": {"resource": "local.localhost", "cpus": 2,
+                 "local_processes": true},
+    "pipelines": [
+      {"name": "p", "stages": [
+        {"name": "s", "tasks": [
+          {"name": "bad", "executable": "/bin/false"}
+        ]}
+      ]}
+    ]
+  })");
+  EXPECT_EQ(run_tool(path), 1);
+}
+
+TEST(EntkRun, RetriesFlakyProcessesPerConfig) {
+  // /bin/false always fails: with retries the tool still exits 1, but the
+  // run completes (no hang) after the budget is consumed.
+  const std::string path = write_workflow(R"({
+    "resource": {"resource": "local.localhost", "cpus": 2,
+                 "task_retry_limit": 2, "local_processes": true},
+    "pipelines": [
+      {"name": "p", "stages": [
+        {"name": "s", "tasks": [
+          {"name": "bad", "executable": "/bin/false"}
+        ]}
+      ]}
+    ]
+  })");
+  EXPECT_EQ(run_tool(path), 1);
+}
+
+TEST(EntkRun, RejectsMissingAndMalformedInput) {
+  EXPECT_EQ(run_tool("/nonexistent/wf.json"), 2);
+  EXPECT_EQ(run_tool(write_workflow("{not json")), 2);
+  EXPECT_EQ(run_tool(""), 2);  // usage
+  // Valid JSON but no pipelines key.
+  EXPECT_EQ(run_tool(write_workflow("{\"resource\": {}}")), 2);
+}
+
+}  // namespace

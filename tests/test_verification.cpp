@@ -1,0 +1,178 @@
+// Tests for the probabilistic-forecast verification metrics and their
+// application to AnEn ensembles.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "src/anen/anen.hpp"
+#include "src/anen/verification.hpp"
+#include "src/common/error.hpp"
+
+namespace entk::anen {
+namespace {
+
+TEST(Crps, SingleMemberReducesToAbsoluteError) {
+  EXPECT_DOUBLE_EQ(crps({3.0}, 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(crps({5.0}, 5.0), 0.0);
+}
+
+TEST(Crps, PerfectDeterministicEnsembleScoresZero) {
+  EXPECT_DOUBLE_EQ(crps({7.0, 7.0, 7.0}, 7.0), 0.0);
+}
+
+TEST(Crps, SpreadIsRewardedUnderUncertainty) {
+  // The observation is far from the (wrong) ensemble center: an ensemble
+  // spread toward the observation scores better than a tight wrong one.
+  const double obs = 4.0;
+  const double tight = crps({0.0, 0.1, -0.1}, obs);
+  const double spread = crps({0.0, 2.0, -2.0, 4.0, -4.0}, obs);
+  EXPECT_LT(spread, tight);
+}
+
+TEST(Crps, NonNegativeAndTranslationInvariant) {
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> ensemble;
+    for (int i = 0; i < 9; ++i) ensemble.push_back(dist(rng));
+    const double obs = dist(rng);
+    const double score = crps(ensemble, obs);
+    EXPECT_GE(score, 0.0);
+    std::vector<double> shifted = ensemble;
+    for (double& x : shifted) x += 100.0;
+    EXPECT_NEAR(crps(shifted, obs + 100.0), score, 1e-9);
+  }
+}
+
+TEST(Crps, EmptyEnsembleThrows) {
+  EXPECT_THROW(crps({}, 1.0), ValueError);
+  EXPECT_THROW(mean_crps({}, {}), ValueError);
+  EXPECT_THROW(mean_crps({{1.0}}, {1.0, 2.0}), ValueError);
+}
+
+TEST(RankHistogram, CalibratedEnsembleIsRoughlyFlat) {
+  // Observation drawn from the same distribution as the members: every
+  // rank equally likely.
+  std::mt19937_64 rng(11);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  std::vector<std::vector<double>> ensembles;
+  std::vector<double> observations;
+  constexpr int kCases = 4000;
+  constexpr int kMembers = 4;
+  for (int c = 0; c < kCases; ++c) {
+    std::vector<double> e;
+    for (int i = 0; i < kMembers; ++i) e.push_back(dist(rng));
+    ensembles.push_back(std::move(e));
+    observations.push_back(dist(rng));
+  }
+  const std::vector<int> counts = rank_histogram(ensembles, observations);
+  ASSERT_EQ(counts.size(), static_cast<std::size_t>(kMembers + 1));
+  const double expected = kCases / static_cast<double>(kMembers + 1);
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, 0.25 * expected);
+  }
+}
+
+TEST(RankHistogram, BiasedEnsemblePilesIntoOneTail) {
+  // Members systematically above the observation: observation always
+  // ranks lowest.
+  std::vector<std::vector<double>> ensembles(100, {5.0, 6.0, 7.0});
+  std::vector<double> observations(100, 1.0);
+  const std::vector<int> counts = rank_histogram(ensembles, observations);
+  EXPECT_EQ(counts[0], 100);
+  for (std::size_t r = 1; r < counts.size(); ++r) EXPECT_EQ(counts[r], 0);
+}
+
+TEST(RankHistogram, RaggedEnsemblesRejected) {
+  EXPECT_THROW(rank_histogram({{1.0, 2.0}, {1.0}}, {0.5, 0.5}), ValueError);
+}
+
+TEST(SpreadSkillTest, ReliableEnsembleHasRatioNearOne) {
+  std::mt19937_64 rng(23);
+  std::normal_distribution<double> dist(0.0, 2.0);
+  std::vector<std::vector<double>> ensembles;
+  std::vector<double> observations;
+  for (int c = 0; c < 3000; ++c) {
+    const double truth_mean = dist(rng);
+    std::vector<double> e;
+    for (int i = 0; i < 10; ++i) e.push_back(truth_mean + dist(rng));
+    ensembles.push_back(std::move(e));
+    observations.push_back(truth_mean + dist(rng));
+  }
+  const SpreadSkill ss = spread_skill(ensembles, observations);
+  EXPECT_GT(ss.mean_spread, 0.0);
+  EXPECT_GT(ss.rmse, 0.0);
+  EXPECT_NEAR(ss.ratio, 1.0, 0.15);
+}
+
+TEST(SpreadSkillTest, OverconfidentEnsembleHasLowRatio) {
+  std::mt19937_64 rng(29);
+  std::normal_distribution<double> err(0.0, 2.0);
+  std::normal_distribution<double> tiny(0.0, 0.1);
+  std::vector<std::vector<double>> ensembles;
+  std::vector<double> observations;
+  for (int c = 0; c < 500; ++c) {
+    std::vector<double> e;
+    const double center = err(rng);
+    for (int i = 0; i < 8; ++i) e.push_back(center + tiny(rng));
+    ensembles.push_back(std::move(e));
+    observations.push_back(err(rng));
+  }
+  const SpreadSkill ss = spread_skill(ensembles, observations);
+  EXPECT_LT(ss.ratio, 0.3);
+}
+
+TEST(AnEnVerification, EnsembleValuesMatchAnalogDays) {
+  DomainSpec d;
+  d.width = 48;
+  d.height = 48;
+  d.history_days = 50;
+  d.variables = 3;
+  ForecastArchive archive(d);
+  AnEnConfig cfg;
+  const AnalogPrediction p =
+      compute_analogs(archive, cfg, d.history_days, 10, 10);
+  const std::vector<double> values =
+      analog_ensemble_values(archive, p, 10, 10);
+  ASSERT_EQ(values.size(), p.analog_days.size());
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  EXPECT_NEAR(mean, p.value, 1e-9);
+}
+
+TEST(AnEnVerification, AnEnBeatsClimatologyOnCrps) {
+  // The analog ensemble's probabilistic skill, not just its mean, should
+  // beat a climatological ensemble (random historical days).
+  DomainSpec d;
+  d.width = 64;
+  d.height = 64;
+  d.history_days = 60;
+  d.variables = 3;
+  ForecastArchive archive(d);
+  AnEnConfig cfg;
+  std::mt19937_64 rng(31);
+  std::uniform_int_distribution<int> day_dist(1, d.history_days - 2);
+
+  std::vector<std::vector<double>> anen_ens, clim_ens;
+  std::vector<double> observations;
+  for (int x = 6; x < 60; x += 7) {
+    for (int y = 6; y < 60; y += 7) {
+      const AnalogPrediction p =
+          compute_analogs(archive, cfg, d.history_days, x, y);
+      anen_ens.push_back(analog_ensemble_values(archive, p, x, y));
+      std::vector<double> clim;
+      for (int i = 0; i < cfg.analogs; ++i) {
+        clim.push_back(archive.observation(day_dist(rng), x, y));
+      }
+      clim_ens.push_back(std::move(clim));
+      observations.push_back(archive.observation(d.history_days, x, y));
+    }
+  }
+  EXPECT_LT(mean_crps(anen_ens, observations),
+            mean_crps(clim_ens, observations));
+}
+
+}  // namespace
+}  // namespace entk::anen

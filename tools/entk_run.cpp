@@ -1,0 +1,173 @@
+// entk_run: execute a PST application described in a JSON file.
+//
+// The JSON schema mirrors the programmatic API one-to-one:
+//
+// {
+//   "resource": {
+//     "resource": "ornl.titan",        // CI name, or "local.localhost"
+//     "cpus": 64,                      // or "nodes": N
+//     "walltime_s": 7200,
+//     "task_retry_limit": 2,
+//     "clock_scale": 0.001,            // wall seconds per virtual second
+//     "local_processes": false         // true: run absolute-path
+//   },                                 //   executables as real processes
+//   "pipelines": [
+//     { "name": "p0",
+//       "stages": [
+//         { "name": "simulate",
+//           "tasks": [
+//             { "name": "t0",
+//               "executable": "sleep", "duration_s": 60,
+//               "cores": 1, "gpus": 0, "exclusive_nodes": false,
+//               "arguments": ["60"],
+//               "retry_limit": -1,
+//               "inputs":  [ {"source": "a", "target": "b",
+//                             "action": "copy|link|transfer",
+//                             "bytes": 1024} ],
+//               "outputs": [ ... ] } ] } ] } ]
+// }
+//
+// With "local_processes": true the workflow runs on the LocalRts thread
+// pool in real time and absolute-path executables are actually spawned;
+// otherwise it runs on the simulated pilot RTS against the named CI.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/core/app_manager.hpp"
+#include "src/rts/local_rts.hpp"
+
+namespace {
+
+using namespace entk;
+
+saga::StagingDirective parse_directive(const json::Value& v) {
+  saga::StagingDirective d;
+  d.source = v.get_string("source", "");
+  d.target = v.get_string("target", "");
+  const std::string action = v.get_string("action", "copy");
+  if (action == "link") d.action = saga::StagingAction::Link;
+  else if (action == "transfer") d.action = saga::StagingAction::Transfer;
+  d.bytes = static_cast<std::uint64_t>(v.get_int("bytes", 0));
+  return d;
+}
+
+TaskPtr parse_task(const json::Value& v) {
+  auto task = std::make_shared<Task>(v.get_string("name", "task"));
+  task->executable = v.get_string("executable", "");
+  if (v.contains("arguments")) {
+    for (const json::Value& a : v.at("arguments").as_array()) {
+      task->arguments.push_back(a.as_string());
+    }
+  }
+  task->duration_s = v.get_double("duration_s", 0.0);
+  task->cpu_reqs.processes = static_cast<int>(v.get_int("cores", 1));
+  task->gpu_reqs.processes = static_cast<int>(v.get_int("gpus", 0));
+  task->exclusive_nodes = v.get_bool("exclusive_nodes", false);
+  task->retry_limit = static_cast<int>(v.get_int("retry_limit", -1));
+  if (v.contains("inputs")) {
+    for (const json::Value& d : v.at("inputs").as_array()) {
+      task->input_staging.push_back(parse_directive(d));
+    }
+  }
+  if (v.contains("outputs")) {
+    for (const json::Value& d : v.at("outputs").as_array()) {
+      task->output_staging.push_back(parse_directive(d));
+    }
+  }
+  return task;
+}
+
+std::vector<PipelinePtr> parse_pipelines(const json::Value& doc) {
+  std::vector<PipelinePtr> pipelines;
+  for (const json::Value& pv : doc.at("pipelines").as_array()) {
+    auto pipeline = std::make_shared<Pipeline>(pv.get_string("name", "p"));
+    for (const json::Value& sv : pv.at("stages").as_array()) {
+      auto stage = std::make_shared<Stage>(sv.get_string("name", "s"));
+      for (const json::Value& tv : sv.at("tasks").as_array()) {
+        stage->add_task(parse_task(tv));
+      }
+      pipeline->add_stage(stage);
+    }
+    pipelines.push_back(std::move(pipeline));
+  }
+  return pipelines;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: entk_run <workflow.json> [--profile trace.csv]\n"
+                 "       executes the PST application described in the file;\n"
+                 "       --profile dumps the run's event trace as CSV for\n"
+                 "       post-mortem analysis (src/analytics)\n");
+    return 2;
+  }
+  std::string profile_path;
+  for (int i = 2; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--profile") profile_path = argv[i + 1];
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "entk_run: cannot read %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  try {
+    const json::Value doc = json::parse(buffer.str());
+
+    AppManagerConfig config;
+    bool local_processes = false;
+    if (doc.contains("resource")) {
+      const json::Value& r = doc.at("resource");
+      config.resource.resource = r.get_string("resource", "local.localhost");
+      config.resource.cpus = static_cast<int>(r.get_int("cpus", 8));
+      config.resource.nodes = static_cast<int>(r.get_int("nodes", 0));
+      config.resource.walltime_s = r.get_double("walltime_s", 7200.0);
+      config.task_retry_limit =
+          static_cast<int>(r.get_int("task_retry_limit", 0));
+      config.clock_scale = r.get_double("clock_scale", 1e-3);
+      local_processes = r.get_bool("local_processes", false);
+    }
+    if (local_processes) {
+      // Real-time local execution with actual process spawning.
+      auto clock = std::make_shared<RealClock>();
+      auto profiler = std::make_shared<Profiler>();
+      const int workers = config.resource.cpus;
+      config.rts_factory = [clock, profiler, workers]() -> rts::RtsPtr {
+        return std::make_shared<rts::LocalRts>(
+            rts::LocalRtsConfig{.workers = workers}, clock, profiler);
+      };
+      config.clock_scale = 1.0;
+    }
+
+    AppManager appman(config);
+    appman.add_pipelines(parse_pipelines(doc));
+    appman.run();
+
+    if (!profile_path.empty()) {
+      appman.profiler()->dump_csv(profile_path);
+      std::printf("entk_run: profile trace written to %s\n",
+                  profile_path.c_str());
+    }
+    const OverheadReport report = appman.overheads();
+    std::printf("entk_run: %zu done, %zu failed, %zu resubmissions\n",
+                report.tasks_done, report.tasks_failed, report.resubmissions);
+    std::printf("%s", report.to_table().c_str());
+    for (const PipelinePtr& p : appman.pipelines()) {
+      std::printf("pipeline %-16s %s\n", p->name.c_str(),
+                  to_string(p->state()));
+    }
+    return report.tasks_failed == 0 ? 0 : 1;
+  } catch (const json::ParseError& e) {
+    std::fprintf(stderr, "entk_run: invalid JSON: %s\n", e.what());
+    return 2;
+  } catch (const EnTKError& e) {
+    std::fprintf(stderr, "entk_run: %s\n", e.what());
+    return 2;
+  }
+}
