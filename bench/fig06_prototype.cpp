@@ -71,7 +71,7 @@ ConfigResult run_config(int n, long total_tasks, long latency_us) {
       for (long i = lo; i < hi; ++i) {
         std::this_thread::sleep_for(rtt);  // broker round trip
         mq::Message m;
-        m.body = bodies[static_cast<std::size_t>(i)];
+        m.set_body(bodies[static_cast<std::size_t>(i)]);
         broker->publish(queue, std::move(m));
       }
       if (--producers_left == 0) producers_done = wall_now_s() - t0;
@@ -86,7 +86,7 @@ ConfigResult run_config(int n, long total_tasks, long latency_us) {
         std::this_thread::sleep_for(rtt);  // broker round trip
         // Deserialize and hand to the empty RTS module.
         try {
-          (void)entk::json::parse(d->message.body);
+          (void)entk::json::parse(d->message.body());
         } catch (const entk::json::ParseError&) {
         }
         broker->ack(queue, d->delivery_tag);

@@ -33,7 +33,7 @@ static void BM_BrokerPublishConsume(benchmark::State& state) {
   Broker broker;
   broker.declare_queue("bench");
   Message msg;
-  msg.body = "{\"uid\":\"task.0001\",\"duration_s\":100}";
+  msg.set_body("{\"uid\":\"task.0001\",\"duration_s\":100}");
   for (auto _ : state) {
     broker.publish("bench", msg);
     auto d = broker.get("bench", 0.0);
@@ -49,7 +49,7 @@ static void BM_BrokerDurablePublish(benchmark::State& state) {
   Broker broker("durable", dir);
   broker.declare_queue("bench", {.durable = true});
   Message msg;
-  msg.body = "{\"uid\":\"task.0001\"}";
+  msg.set_body("{\"uid\":\"task.0001\"}");
   for (auto _ : state) {
     broker.publish("bench", msg);
     auto d = broker.get("bench", 0.0);
@@ -71,7 +71,7 @@ static void BM_BrokerFanIn(benchmark::State& state) {
   for (int p = 0; p < producers; ++p) {
     threads.emplace_back([&broker, &stop] {
       Message msg;
-      msg.body = "x";
+      msg.set_body("x");
       while (!stop.load()) {
         try {
           broker.publish("fan", msg);

@@ -1,5 +1,7 @@
 #include "src/core/app_manager.hpp"
 
+#include <algorithm>
+
 #include "src/common/error.hpp"
 #include "src/common/ids.hpp"
 #include "src/common/log.hpp"
@@ -76,8 +78,11 @@ void AppManager::run() {
       broker_, "q.states", &registry_, store_.get(), profiler_);
   synchronizer_->start();
 
+  const std::size_t batch =
+      std::max<std::size_t>(1, config_.task_batch_size);
   WfConfig wf_cfg;
   wf_cfg.default_task_retry_limit = config_.task_retry_limit;
+  wf_cfg.batch_size = batch;
   if (!config_.resume_journal.empty()) {
     StateStore previous;
     previous.recover(config_.resume_journal);
@@ -104,6 +109,13 @@ void AppManager::run() {
   ExecConfig exec_cfg;
   exec_cfg.rts_restart_limit = config_.rts_restart_limit;
   exec_cfg.heartbeat_interval_s = config_.heartbeat_interval_s;
+  exec_cfg.submit_batch = std::max(exec_cfg.submit_batch, batch);
+  if (batch > 1) {
+    // Coalesce completions on a short window so Dequeue drains bulk Done
+    // messages instead of one per unit.
+    exec_cfg.completion_flush_window_s = 0.002;
+    exec_cfg.completion_flush_max = batch;
+  }
   exec_manager_ = std::make_unique<ExecManager>(
       exec_cfg, broker_, &registry_, "q.pending", "q.completed", "q.states",
       config_.rts_factory, profiler_);

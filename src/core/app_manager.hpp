@@ -56,6 +56,14 @@ struct AppManagerConfig {
   rts::RtsFactory rts_factory;
 
   double heartbeat_interval_s = 0.02;
+
+  /// Tasks per dispatch batch through the whole pipeline: Enqueue publishes
+  /// bulk pending messages, state syncs are vectored (one confirmed
+  /// round-trip per batch), Dequeue and Emgr drain in batches, and the RTS
+  /// callback coalesces completions into bulk Done messages. 1 reproduces
+  /// the seed's strictly per-task message flow; per-task states, profiler
+  /// events and recovery semantics are identical at any setting.
+  std::size_t task_batch_size = 64;
 };
 
 class AppManager {

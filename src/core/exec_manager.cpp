@@ -22,9 +22,15 @@ ExecManager::ExecManager(ExecConfig config, mq::BrokerPtr broker,
       profiler_(std::move(profiler)) {}
 
 ExecManager::~ExecManager() {
-  stopping_ = true;
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  flush_cv_.notify_all();
   if (emgr_thread_.joinable()) emgr_thread_.join();
   if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  if (flush_thread_.joinable()) flush_thread_.join();
 }
 
 void ExecManager::acquire_resources() {
@@ -41,7 +47,8 @@ void ExecManager::acquire_resources() {
 
 void ExecManager::attach_callback() {
   // RTS Callback subcomponent: forward completions to the Done queue
-  // (paper Fig 2, message 4).
+  // (paper Fig 2, message 4). With a flush window configured, results are
+  // coalesced into bulk Done messages instead of one publish per unit.
   std::lock_guard<std::mutex> lock(rts_mutex_);
   rts_->set_completion_callback([this](const rts::UnitResult& result) {
     json::Value msg;
@@ -52,26 +59,96 @@ void ExecManager::attach_callback() {
     msg["exec_end_t"] = result.exec_end_t;
     msg["staging_in_s"] = result.staging_in_s;
     msg["staging_out_s"] = result.staging_out_s;
-    try {
-      broker_->publish(done_queue_, mq::Message::json_body(done_queue_, msg));
-    } catch (const MqError&) {
-      // AppManager broker is gone: we are shutting down.
+    bool coalesced = false;
+    if (config_.completion_flush_window_s > 0) {
+      std::vector<json::Value> overflow;
+      {
+        std::lock_guard<std::mutex> flush_lock(flush_mutex_);
+        if (flusher_running_) {
+          completion_buffer_.push_back(std::move(msg));
+          coalesced = true;
+          if (completion_buffer_.size() >= config_.completion_flush_max) {
+            overflow.swap(completion_buffer_);
+          }
+        }
+      }
+      if (!overflow.empty()) {
+        flush_completions(std::move(overflow));  // full buffer: flush inline
+      } else if (coalesced) {
+        flush_cv_.notify_one();
+      }
+    }
+    if (!coalesced) {
+      try {
+        broker_->publish(done_queue_, mq::Message::json_body(done_queue_, msg));
+      } catch (const MqError&) {
+        // AppManager broker is gone: we are shutting down.
+      }
     }
     profiler_->record("rts_callback", "unit_completed", result.uid);
   });
 }
 
+void ExecManager::flush_completions(std::vector<json::Value> buffered) {
+  if (buffered.empty()) return;
+  json::Value msg;
+  json::Array results;
+  results.reserve(buffered.size());
+  for (json::Value& r : buffered) results.push_back(std::move(r));
+  msg["results"] = std::move(results);
+  try {
+    broker_->publish(done_queue_, mq::Message::json_body(done_queue_, msg));
+  } catch (const MqError&) {
+    // AppManager broker is gone: we are shutting down.
+  }
+}
+
+void ExecManager::flush_loop() {
+  std::unique_lock<std::mutex> lock(flush_mutex_);
+  while (!stopping_.load()) {
+    flush_cv_.wait_for(
+        lock, std::chrono::duration<double>(config_.completion_flush_window_s),
+        [this] {
+          return stopping_.load() ||
+                 completion_buffer_.size() >= config_.completion_flush_max;
+        });
+    if (completion_buffer_.empty()) continue;
+    std::vector<json::Value> buffered;
+    buffered.swap(completion_buffer_);
+    lock.unlock();
+    flush_completions(std::move(buffered));
+    lock.lock();
+  }
+  // Final drain; late callbacks bypass the buffer once flusher_running_ is
+  // cleared below.
+  flusher_running_ = false;
+  std::vector<json::Value> buffered;
+  buffered.swap(completion_buffer_);
+  lock.unlock();
+  flush_completions(std::move(buffered));
+}
+
 void ExecManager::start() {
   stopping_ = false;
+  if (config_.completion_flush_window_s > 0) {
+    flusher_running_ = true;
+    flush_thread_ = std::thread(&ExecManager::flush_loop, this);
+  }
   emgr_thread_ = std::thread(&ExecManager::emgr_loop, this);
   heartbeat_thread_ = std::thread(&ExecManager::heartbeat_loop, this);
   profiler_->record("exec_manager", "emgr_start");
 }
 
 double ExecManager::stop() {
-  stopping_ = true;
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  flush_cv_.notify_all();
   if (emgr_thread_.joinable()) emgr_thread_.join();
   if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  if (flush_thread_.joinable()) flush_thread_.join();
   const double t0 = wall_now_s();
   {
     std::lock_guard<std::mutex> lock(rts_mutex_);
@@ -116,43 +193,60 @@ rts::TaskUnit ExecManager::translate(const TaskPtr& task) const {
 void ExecManager::emgr_loop() {
   SyncClient sync(broker_, "emgr", states_queue_, "q.ack.emgr");
   while (!stopping_.load()) {
-    // Batch: drain whatever is pending, up to submit_batch.
+    // Batch: drain whatever is pending, up to submit_batch, in one broker
+    // round-trip. Both wire formats are accepted: {"uid": ...} (one task
+    // per message, seed format) and {"uids": [...]} (bulk Enqueue).
+    const std::vector<mq::Delivery> deliveries = broker_->get_batch(
+        pending_queue_, config_.submit_batch, config_.poll_timeout_s);
+    if (deliveries.empty()) continue;
+    BusyScope busy(emgr_busy_);
     std::vector<rts::TaskUnit> batch;
     std::vector<std::string> uids;
-    auto first = broker_->get(pending_queue_, config_.poll_timeout_s);
-    if (!first) continue;
-    BusyScope busy(emgr_busy_);
-    auto take = [&](const mq::Delivery& delivery) {
-      json::Value msg;
-      try {
-        msg = delivery.message.body_json();
-      } catch (const json::ParseError&) {
-        return;
-      }
-      const std::string uid = msg.get_string("uid", "");
+    std::vector<std::uint64_t> tags;
+    tags.reserve(deliveries.size());
+    auto take = [&](const std::string& uid) {
       TaskPtr task = registry_->task(uid);
       if (!task) {
         ENTK_WARN("emgr") << "pending message for unknown task " << uid;
         return;
       }
-      sync.sync(uid, "task", "SCHEDULED", "SUBMITTING", false);
       batch.push_back(translate(task));
       uids.push_back(uid);
     };
-    take(*first);
-    broker_->ack(pending_queue_, first->delivery_tag);
-    while (batch.size() < config_.submit_batch) {
-      auto more = broker_->get(pending_queue_, 0.0);
-      if (!more) break;
-      take(*more);
-      broker_->ack(pending_queue_, more->delivery_tag);
+    for (const mq::Delivery& delivery : deliveries) {
+      tags.push_back(delivery.delivery_tag);
+      json::Value msg;
+      try {
+        msg = delivery.message.body_json();
+      } catch (const json::ParseError&) {
+        continue;
+      }
+      if (msg.contains("uids")) {
+        for (const json::Value& u : msg.at("uids").as_array()) {
+          take(u.as_string());
+        }
+      } else {
+        take(msg.get_string("uid", ""));
+      }
     }
+    broker_->ack_batch(pending_queue_, tags);
     if (batch.empty()) continue;
-    // Publish the Submitted transitions BEFORE handing the units to the
-    // RTS: a very short task could otherwise complete and have Dequeue's
-    // Executed transition reach the Synchronizer first.
-    for (const std::string& uid : uids) {
-      sync.sync(uid, "task", "SUBMITTING", "SUBMITTED", false);
+    if (uids.size() > 1) {
+      std::vector<Transition> submitting, submitted;
+      submitting.reserve(uids.size());
+      submitted.reserve(uids.size());
+      for (const std::string& uid : uids) {
+        submitting.push_back({uid, "task", "SCHEDULED", "SUBMITTING"});
+        submitted.push_back({uid, "task", "SUBMITTING", "SUBMITTED"});
+      }
+      sync.sync_batch(submitting, false);
+      // Publish the Submitted transitions BEFORE handing the units to the
+      // RTS: a very short task could otherwise complete and have Dequeue's
+      // Executed transition reach the Synchronizer first.
+      sync.sync_batch(submitted, false);
+    } else {
+      sync.sync(uids.front(), "task", "SCHEDULED", "SUBMITTING", false);
+      sync.sync(uids.front(), "task", "SUBMITTING", "SUBMITTED", false);
     }
     try {
       std::lock_guard<std::mutex> lock(rts_mutex_);
@@ -171,11 +265,30 @@ void ExecManager::emgr_loop() {
   }
 }
 
+void ExecManager::sample_queue_depths() {
+  // Depth gauges: ready/unacked backlog per queue, recorded in the numeric
+  // (virtual_s) field with the queue name as uid. Cheap — one shared-lock
+  // map walk plus one mutex grab per queue — so it can ride the heartbeat.
+  for (const mq::QueueDepth& d : broker_->depth_snapshot()) {
+    profiler_->record("broker", "queue_ready_depth", d.queue,
+                      static_cast<double>(d.ready));
+    profiler_->record("broker", "queue_unacked_depth", d.queue,
+                      static_cast<double>(d.unacked));
+  }
+}
+
 void ExecManager::heartbeat_loop() {
   while (!stopping_.load()) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(config_.heartbeat_interval_s));
+    {
+      // Interruptible probe interval: stop() wakes the heartbeat instead of
+      // waiting out the sleep, so teardown is not taxed a full interval.
+      std::unique_lock<std::mutex> lock(stop_mutex_);
+      stop_cv_.wait_for(
+          lock, std::chrono::duration<double>(config_.heartbeat_interval_s),
+          [this] { return stopping_.load(); });
+    }
     if (stopping_.load()) return;
+    if (config_.sample_queue_depths) sample_queue_depths();
     bool healthy;
     {
       std::lock_guard<std::mutex> lock(rts_mutex_);

@@ -11,9 +11,11 @@
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "src/common/profiler.hpp"
 #include "src/core/sync.hpp"
@@ -27,6 +29,20 @@ struct ExecConfig {
   double heartbeat_interval_s = 0.02;  ///< wall seconds between probes
   double poll_timeout_s = 0.002;
   std::size_t submit_batch = 64;     ///< max units per RTS submission
+
+  /// Completion coalescing: when > 0, the RTS callback buffers results and
+  /// a flusher publishes them as one bulk Done message ({"results": [...]})
+  /// when the buffer reaches `completion_flush_max` or after this many wall
+  /// seconds, whichever comes first. 0 = one Done message per unit (seed
+  /// behavior).
+  double completion_flush_window_s = 0.0;
+  std::size_t completion_flush_max = 256;
+
+  /// Sample ready/unacked depth of every broker queue from the heartbeat
+  /// thread into the profiler ("queue_ready_depth"/"queue_unacked_depth"
+  /// events, depth in the numeric field), so throughput runs can attribute
+  /// stalls to a specific queue.
+  bool sample_queue_depths = true;
 };
 
 class ExecManager {
@@ -66,6 +82,10 @@ class ExecManager {
   void attach_callback();
   rts::TaskUnit translate(const TaskPtr& task) const;
   void restart_rts();
+  void sample_queue_depths();
+  void flush_loop();
+  /// Publish buffered completion results as one bulk Done message.
+  void flush_completions(std::vector<json::Value> buffered);
 
   const ExecConfig config_;
   mq::BrokerPtr broker_;
@@ -85,8 +105,19 @@ class ExecManager {
   std::atomic<int> restarts_{0};
   BusyAccumulator emgr_busy_;
 
+  // Wakes the heartbeat out of its probe interval on stop().
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+
+  // Completion coalescing (used only when completion_flush_window_s > 0).
+  std::mutex flush_mutex_;
+  std::condition_variable flush_cv_;
+  std::vector<json::Value> completion_buffer_;
+  bool flusher_running_ = false;
+
   std::thread emgr_thread_;
   std::thread heartbeat_thread_;
+  std::thread flush_thread_;
 };
 
 }  // namespace entk

@@ -35,16 +35,21 @@ std::uint64_t StateStore::commit(const std::string& uid,
   t.component = component;
 
   std::function<void(const StateTransaction&)> sink;
-  {
+  const std::uint64_t seq = [&] {
     std::lock_guard<std::mutex> lock(mutex_);
     t.seq = next_seq_++;
     append_locked(t);
     latest_[uid] = to_state;
-    history_.push_back(t);
     sink = sink_;
-  }
+    if (sink) {
+      history_.push_back(t);  // t still needed for the sink call below
+    } else {
+      history_.push_back(std::move(t));
+    }
+    return history_.back().seq;
+  }();
   if (sink) sink(t);
-  return t.seq;
+  return seq;
 }
 
 void StateStore::append_locked(const StateTransaction& t) {

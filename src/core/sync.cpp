@@ -109,6 +109,81 @@ bool SyncClient::sync(const std::string& uid, const std::string& kind,
   return false;
 }
 
+bool SyncClient::sync_batch(const std::vector<Transition>& transitions,
+                            bool await_ack) {
+  if (transitions.empty()) return true;
+  if (transitions.size() == 1) {
+    // No amortization to gain; keep the single-transition wire format.
+    const Transition& t = transitions.front();
+    return sync(t.uid, t.kind, t.from_state, t.to_state, await_ack);
+  }
+  const std::uint64_t corr = next_corr_++;
+  json::Value msg;
+  // Dispatch batches are homogeneous (every entry shares kind/from/to); the
+  // compact wire format hoists those fields out and ships only the uids.
+  // Mixed batches fall back to the general per-entry form.
+  bool homogeneous = true;
+  for (const Transition& t : transitions) {
+    if (t.kind != transitions.front().kind ||
+        t.from_state != transitions.front().from_state ||
+        t.to_state != transitions.front().to_state) {
+      homogeneous = false;
+      break;
+    }
+  }
+  if (homogeneous) {
+    json::Array uids;
+    uids.reserve(transitions.size());
+    for (const Transition& t : transitions) uids.push_back(t.uid);
+    msg["uids"] = std::move(uids);
+    msg["kind"] = transitions.front().kind;
+    msg["from"] = transitions.front().from_state;
+    msg["to"] = transitions.front().to_state;
+  } else {
+    json::Array batch;
+    batch.reserve(transitions.size());
+    for (const Transition& t : transitions) {
+      json::Value entry;
+      entry["uid"] = t.uid;
+      entry["kind"] = t.kind;
+      entry["from"] = t.from_state;
+      entry["to"] = t.to_state;
+      batch.push_back(std::move(entry));
+    }
+    msg["batch"] = std::move(batch);
+  }
+  msg["component"] = component_;
+  msg["corr"] = corr;
+  if (await_ack) msg["reply_to"] = ack_queue_;
+  try {
+    broker_->publish(states_queue_, mq::Message::json_body(states_queue_, msg));
+  } catch (const MqError&) {
+    return false;  // broker shutting down
+  }
+  if (!await_ack) return true;
+  for (int spins = 0; spins < 2000; ++spins) {
+    auto delivery = broker_->get(ack_queue_, 0.005);
+    if (!delivery) {
+      if (broker_->closed()) return false;
+      continue;
+    }
+    broker_->ack(ack_queue_, delivery->delivery_tag);
+    json::Value ack;
+    try {
+      ack = delivery->message.body_json();
+    } catch (const json::ParseError&) {
+      continue;
+    }
+    if (static_cast<std::uint64_t>(ack.get_int("corr", 0)) != corr) {
+      ENTK_WARN(component_) << "out-of-order batch ack (corr "
+                            << ack.get_int("corr", 0) << ")";
+      continue;
+    }
+    return ack.get_bool("ok", false);
+  }
+  return false;
+}
+
 // ----------------------------------------------------------- Synchronizer
 
 Synchronizer::Synchronizer(mq::BrokerPtr broker, std::string states_queue,
@@ -135,17 +210,84 @@ void Synchronizer::stop() {
 void Synchronizer::loop() {
   profiler_->record("synchronizer", "sync_start");
   while (true) {
-    auto delivery = broker_->get(states_queue_, 0.002);
-    if (!delivery) {
+    // Drain vectored: one lock acquisition pulls a whole backlog, one
+    // ack_batch releases it. kDrain bounds latency for waiting requesters.
+    constexpr std::size_t kDrain = 64;
+    const std::vector<mq::Delivery> deliveries =
+        broker_->get_batch(states_queue_, kDrain, 0.002);
+    if (deliveries.empty()) {
       if (stopping_.load()) break;
       continue;
     }
     BusyScope busy(busy_);
-    json::Value msg;
-    bool ok = false;
+    std::vector<std::uint64_t> tags;
+    tags.reserve(deliveries.size());
+    for (const mq::Delivery& delivery : deliveries) {
+      tags.push_back(delivery.delivery_tag);
+      json::Value msg;
+      try {
+        msg = delivery.message.body_json();
+      } catch (const json::ParseError& e) {
+        ENTK_WARN("synchronizer") << "rejecting message: " << e.what();
+        ++rejected_;
+        continue;
+      }
+      process(msg);
+    }
+    broker_->ack_batch(states_queue_, tags);
+  }
+  profiler_->record("synchronizer", "sync_stop");
+}
+
+void Synchronizer::process(const json::Value& msg) {
+  const std::string component = msg.get_string("component", "?");
+  bool ok = false;
+  json::Value ack;
+  if (msg.contains("batch") || msg.contains("uids")) {
+    // Vectored request: the entries are applied as one uninterrupted
+    // sequence (this thread is the only state writer), each validated and
+    // committed individually, and the whole batch confirmed with one reply.
+    // Two wire forms: compact homogeneous ({"uids": [...], kind, from, to})
+    // and general per-entry ({"batch": [{uid, kind, from, to}, ...]}).
+    std::size_t applied = 0;
+    std::size_t total = 0;
+    auto apply_entry = [&](const std::string& uid, const std::string& kind,
+                           const std::string& from, const std::string& to) {
+      ++total;
+      bool entry_ok = false;
+      try {
+        entry_ok = apply(uid, kind, from, to, component);
+      } catch (const EnTKError& e) {
+        ENTK_WARN("synchronizer") << "rejecting batch entry: " << e.what();
+      }
+      if (entry_ok) {
+        ++applied;
+        ++processed_;
+      } else {
+        ++rejected_;
+      }
+    };
+    if (msg.contains("uids")) {
+      const std::string kind = msg.get_string("kind", "");
+      const std::string from = msg.get_string("from", "");
+      const std::string to = msg.get_string("to", "");
+      for (const json::Value& u : msg.at("uids").as_array()) {
+        apply_entry(u.as_string(), kind, from, to);
+      }
+    } else {
+      for (const json::Value& entry : msg.at("batch").as_array()) {
+        apply_entry(entry.get_string("uid", ""), entry.get_string("kind", ""),
+                    entry.get_string("from", ""), entry.get_string("to", ""));
+      }
+    }
+    ok = applied == total;
+    ack["corr"] = msg.get_int("corr", 0);
+    ack["applied"] = applied;
+  } else {
     try {
-      msg = delivery->message.body_json();
-      ok = apply(msg);
+      ok = apply(msg.get_string("uid", ""), msg.get_string("kind", ""),
+                 msg.get_string("from", ""), msg.get_string("to", ""),
+                 component);
     } catch (const EnTKError& e) {
       ENTK_WARN("synchronizer") << "rejecting message: " << e.what();
     }
@@ -154,30 +296,23 @@ void Synchronizer::loop() {
     } else {
       ++rejected_;
     }
-    broker_->ack(states_queue_, delivery->delivery_tag);
-    const std::string reply_to = msg.get_string("reply_to", "");
-    if (!reply_to.empty()) {
-      json::Value ack;
-      ack["uid"] = msg.get_string("uid", "");
-      ack["to"] = msg.get_string("to", "");
-      ack["ok"] = ok;
-      try {
-        broker_->publish(reply_to, mq::Message::json_body(reply_to, ack));
-      } catch (const MqError&) {
-        // Requester is gone; nothing to do.
-      }
+    ack["uid"] = msg.get_string("uid", "");
+    ack["to"] = msg.get_string("to", "");
+  }
+  const std::string reply_to = msg.get_string("reply_to", "");
+  if (!reply_to.empty()) {
+    ack["ok"] = ok;
+    try {
+      broker_->publish(reply_to, mq::Message::json_body(reply_to, ack));
+    } catch (const MqError&) {
+      // Requester is gone; nothing to do.
     }
   }
-  profiler_->record("synchronizer", "sync_stop");
 }
 
-bool Synchronizer::apply(const json::Value& msg) {
-  const std::string uid = msg.get_string("uid", "");
-  const std::string kind = msg.get_string("kind", "");
-  const std::string from = msg.get_string("from", "");
-  const std::string to = msg.get_string("to", "");
-  const std::string component = msg.get_string("component", "?");
-
+bool Synchronizer::apply(const std::string& uid, const std::string& kind,
+                         const std::string& from, const std::string& to,
+                         const std::string& component) {
   if (kind == "task") {
     TaskPtr task = registry_->task(uid);
     if (!task) return false;

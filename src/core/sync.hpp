@@ -74,7 +74,17 @@ class BusyScope {
 
 class StateStore;
 
-/// Component-side client of the sync protocol.
+/// One state transition of the vectored sync protocol.
+struct Transition {
+  std::string uid;
+  std::string kind;  ///< "task" | "stage" | "pipeline"
+  std::string from_state;
+  std::string to_state;
+};
+
+/// Component-side client of the sync protocol. Not thread-safe: each
+/// component thread owns its own client (and ack queue), like an AMQP
+/// channel.
 class SyncClient {
  public:
   /// `ack_queue` must be unique per component; it is declared on demand.
@@ -88,11 +98,20 @@ class SyncClient {
             const std::string& from_state, const std::string& to_state,
             bool await_ack = false);
 
+  /// Vectored sync: ship a whole array of transitions as ONE states-queue
+  /// message; the Synchronizer applies them as one uninterrupted sequence
+  /// and — with `await_ack` — confirms them with ONE reply, so a batch of
+  /// N transitions costs one round-trip instead of N. Returns false when
+  /// any transition was rejected or the confirmation never arrived.
+  bool sync_batch(const std::vector<Transition>& transitions,
+                  bool await_ack = false);
+
  private:
   mq::BrokerPtr broker_;
   const std::string component_;
   const std::string states_queue_;
   const std::string ack_queue_;
+  std::uint64_t next_corr_ = 1;  ///< correlates batch requests with replies
 };
 
 /// AppManager-side synchronizer thread.
@@ -112,8 +131,11 @@ class Synchronizer {
 
  private:
   void loop();
+  void process(const json::Value& msg);
   /// Apply one transition; returns false when invalid.
-  bool apply(const json::Value& msg);
+  bool apply(const std::string& uid, const std::string& kind,
+             const std::string& from, const std::string& to,
+             const std::string& component);
 
   mq::BrokerPtr broker_;
   const std::string states_queue_;

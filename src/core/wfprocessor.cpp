@@ -132,6 +132,7 @@ void WFProcessor::schedule_stage(const PipelinePtr& pipeline,
   profiler_->record("wfprocessor", "stage_schedule_start", stage->uid());
   sync.sync(stage->uid(), "stage", "DESCRIBED", "SCHEDULING", true);
   std::size_t recovered = 0;
+  std::vector<TaskPtr> chunk;
   for (const TaskPtr& task : stage->tasks()) {
     if (config_.recovered_done.count(task->uid()) > 0) {
       // Completed in a previous attempt: skip execution entirely.
@@ -140,8 +141,17 @@ void WFProcessor::schedule_stage(const PipelinePtr& pipeline,
       profiler_->record("wfprocessor", "task_recovered", task->uid());
       continue;
     }
-    enqueue_task(task, sync);
+    if (config_.batch_size <= 1) {
+      enqueue_task(task, sync);
+      continue;
+    }
+    chunk.push_back(task);
+    if (chunk.size() >= config_.batch_size) {
+      enqueue_task_batch(chunk, sync);
+      chunk.clear();
+    }
   }
+  if (!chunk.empty()) enqueue_task_batch(chunk, sync);
   sync.sync(stage->uid(), "stage", "SCHEDULING", "SCHEDULED", true);
   profiler_->record("wfprocessor", "stage_schedule_stop", stage->uid());
   if (recovered > 0) {
@@ -169,27 +179,77 @@ void WFProcessor::enqueue_task(const TaskPtr& task, SyncClient& sync) {
   profiler_->record("wfprocessor", "task_enqueued", task->uid());
 }
 
+void WFProcessor::enqueue_task_batch(const std::vector<TaskPtr>& tasks,
+                                     SyncClient& sync) {
+  std::vector<Transition> scheduling;
+  std::vector<Transition> scheduled;
+  scheduling.reserve(tasks.size());
+  scheduled.reserve(tasks.size());
+  json::Array uids;
+  uids.reserve(tasks.size());
+  for (const TaskPtr& task : tasks) {
+    scheduling.push_back({task->uid(), "task", "DESCRIBED", "SCHEDULING"});
+    scheduled.push_back({task->uid(), "task", "SCHEDULING", "SCHEDULED"});
+    uids.push_back(task->uid());
+  }
+  sync.sync_batch(scheduling, false);
+  // As in the per-task path, the Scheduled transitions are confirmed
+  // before the tasks become runnable — but with ONE round-trip for the
+  // whole batch.
+  sync.sync_batch(scheduled, true);
+  json::Value msg;
+  msg["uids"] = std::move(uids);
+  broker_->publish(pending_queue_, mq::Message::json_body(pending_queue_, msg));
+  for (const TaskPtr& task : tasks) {
+    profiler_->record("wfprocessor", "task_enqueued", task->uid());
+  }
+}
+
 // ------------------------------------------------------------- Dequeue --
 
 void WFProcessor::dequeue_loop() {
   SyncClient sync(broker_, "wfp.dequeue", states_queue_, "q.ack.wfp.deq");
+  // Drain size: at batch_size 1 pull single deliveries (the seed path);
+  // otherwise pull whole backlogs in one queue-lock acquisition.
+  const std::size_t drain = config_.batch_size <= 1 ? 1 : config_.batch_size;
   while (!stopping_.load()) {
-    auto delivery = broker_->get(done_queue_, config_.poll_timeout_s);
-    if (!delivery) continue;
+    const std::vector<mq::Delivery> deliveries =
+        broker_->get_batch(done_queue_, drain, config_.poll_timeout_s);
+    if (deliveries.empty()) continue;
     BusyScope busy(dequeue_busy_);
-    json::Value result;
-    try {
-      result = delivery->message.body_json();
-    } catch (const json::ParseError&) {
-      broker_->ack(done_queue_, delivery->delivery_tag);
-      continue;
+    std::vector<std::uint64_t> tags;
+    std::vector<json::Value> results;
+    tags.reserve(deliveries.size());
+    results.reserve(deliveries.size());
+    for (const mq::Delivery& delivery : deliveries) {
+      tags.push_back(delivery.delivery_tag);
+      json::Value body;
+      try {
+        body = delivery.message.body_json();
+      } catch (const json::ParseError&) {
+        continue;
+      }
+      if (body.contains("results")) {
+        // Coalesced completion message from the RTS callback flush window.
+        for (json::Value& r : body["results"].as_array()) {
+          results.push_back(std::move(r));
+        }
+      } else {
+        results.push_back(std::move(body));
+      }
     }
-    broker_->ack(done_queue_, delivery->delivery_tag);
-    try {
-      resolve_task(result, sync);
-    } catch (const EnTKError& e) {
-      ENTK_ERROR("wfprocessor") << "failed to resolve task result: "
-                                << e.what();
+    broker_->ack_batch(done_queue_, tags);
+    if (config_.batch_size <= 1) {
+      for (const json::Value& result : results) {
+        try {
+          resolve_task(result, sync);
+        } catch (const EnTKError& e) {
+          ENTK_ERROR("wfprocessor") << "failed to resolve task result: "
+                                    << e.what();
+        }
+      }
+    } else {
+      resolve_results(results, sync);
     }
   }
 }
@@ -256,6 +316,84 @@ void WFProcessor::resolve_task(const json::Value& result, SyncClient& sync) {
   if (!stage_complete) return;
 
   finish_stage(pipeline, stage, stage_failed, sync);
+}
+
+void WFProcessor::resolve_results(const std::vector<json::Value>& results,
+                                  SyncClient& sync) {
+  // DONE results of the drained batch share two vectored syncs (Executed
+  // unconfirmed, Done confirmed — one round-trip for the whole batch);
+  // failures and retries keep the per-task path, which owns the branching.
+  struct Resolved {
+    TaskPtr task;
+    StagePtr stage;
+    PipelinePtr pipeline;
+  };
+  std::vector<Resolved> resolved;
+  std::vector<const json::Value*> rest;
+  std::vector<Transition> executed;
+  std::vector<Transition> done;
+  for (const json::Value& result : results) {
+    if (result.get_string("outcome", "DONE") != "DONE") {
+      rest.push_back(&result);
+      continue;
+    }
+    const std::string uid = result.get_string("uid", "");
+    TaskPtr task = registry_->task(uid);
+    if (!task) {
+      ENTK_WARN("wfprocessor") << "result for unknown task " << uid;
+      continue;
+    }
+    if (canceling_.load() || task->state() == TaskState::Canceled) {
+      continue;  // unit outlived cancellation: ignore
+    }
+    StagePtr stage = registry_->stage(task->parent_stage());
+    PipelinePtr pipeline = registry_->pipeline(task->parent_pipeline());
+    if (!stage || !pipeline) {
+      ENTK_ERROR("wfprocessor") << "task " << uid << " has no registered "
+                                << "parents";
+      continue;
+    }
+    task->set_exit_code(static_cast<int>(result.get_int("exit_code", 0)));
+    executed.push_back({uid, "task", "SUBMITTED", "EXECUTED"});
+    done.push_back({uid, "task", "EXECUTED", "DONE"});
+    resolved.push_back({std::move(task), std::move(stage),
+                        std::move(pipeline)});
+  }
+
+  if (!resolved.empty()) {
+    sync.sync_batch(executed, false);
+    for (const Resolved& r : resolved) {
+      profiler_->record("wfprocessor", "task_dequeued", r.task->uid());
+    }
+    sync.sync_batch(done, true);
+    tasks_done_ += resolved.size();
+
+    // Stage bookkeeping: one lock acquisition for the whole batch, then
+    // finish whichever stages the batch completed.
+    std::vector<std::pair<const Resolved*, bool>> completions;
+    {
+      std::lock_guard<std::mutex> lock(book_mutex_);
+      for (const Resolved& r : resolved) {
+        StageBook& book = stage_books_[r.stage->uid()];
+        ++book.resolved;
+        if (book.resolved >= r.stage->task_count()) {
+          completions.emplace_back(&r, book.failed > 0);
+        }
+      }
+    }
+    for (const auto& [r, stage_failed] : completions) {
+      finish_stage(r->pipeline, r->stage, stage_failed, sync);
+    }
+  }
+
+  for (const json::Value* result : rest) {
+    try {
+      resolve_task(*result, sync);
+    } catch (const EnTKError& e) {
+      ENTK_ERROR("wfprocessor") << "failed to resolve task result: "
+                                << e.what();
+    }
+  }
 }
 
 void WFProcessor::finish_stage(const PipelinePtr& pipeline,

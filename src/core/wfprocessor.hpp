@@ -28,6 +28,14 @@ struct WfConfig {
   int default_task_retry_limit = 0;
   double poll_timeout_s = 0.002;  ///< wall s queue polls
 
+  /// Tasks per dispatch batch. 1 (the default here) preserves the seed's
+  /// one-message-per-task path exactly. > 1 switches Enqueue to bulk
+  /// `pending` messages ({"uids": [...]}) with vectored state syncs (one
+  /// confirmed round-trip per batch instead of per task) and Dequeue to
+  /// batch drains of the Done queue. Every task still passes through every
+  /// state and profiler event either way — only the message count changes.
+  std::size_t batch_size = 1;
+
   /// Tasks already DONE in a previous attempt (recovered from the state
   /// journal): they are tagged resolved without re-execution, so resumed
   /// applications only run the work that is still missing (paper §II-A:
@@ -78,7 +86,14 @@ class WFProcessor {
   void schedule_stage(const PipelinePtr& pipeline, const StagePtr& stage,
                       SyncClient& sync);
   void enqueue_task(const TaskPtr& task, SyncClient& sync);
+  /// Bulk path of schedule_stage: one pending message + two vectored syncs
+  /// per chunk of `batch_size` tasks.
+  void enqueue_task_batch(const std::vector<TaskPtr>& tasks, SyncClient& sync);
   void resolve_task(const json::Value& result, SyncClient& sync);
+  /// Bulk path of resolve: DONE results of a drained batch share vectored
+  /// Executed/Done syncs; failures fall back to the per-task path.
+  void resolve_results(const std::vector<json::Value>& results,
+                       SyncClient& sync);
   void finish_stage(const PipelinePtr& pipeline, const StagePtr& stage,
                     bool stage_failed, SyncClient& sync);
   bool all_pipelines_final() const;

@@ -195,10 +195,37 @@ bool Value::operator==(const Value& other) const {
 
 // ---------------------------------------------------------------- writer
 
+namespace {
+inline bool needs_escape(unsigned char c) {
+  return c == '"' || c == '\\' || c < 0x20;
+}
+}  // namespace
+
 std::string escape(const std::string& s) {
+  // Fast path: most strings (keys, uids, state names) contain nothing that
+  // needs escaping — return a plain copy without a per-character loop.
+  std::size_t plain = 0;
+  while (plain < s.size() &&
+         !needs_escape(static_cast<unsigned char>(s[plain]))) {
+    ++plain;
+  }
+  if (plain == s.size()) return s;
   std::string out;
   out.reserve(s.size() + 8);
-  for (const unsigned char c : s) {
+  out.append(s, 0, plain);
+  for (std::size_t i = plain; i < s.size(); ++i) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    if (!needs_escape(c)) {
+      // Bulk-append the run up to the next character needing an escape.
+      std::size_t run = i + 1;
+      while (run < s.size() &&
+             !needs_escape(static_cast<unsigned char>(s[run]))) {
+        ++run;
+      }
+      out.append(s, i, run - i);
+      i = run - 1;
+      continue;
+    }
     switch (c) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
@@ -415,6 +442,17 @@ class Parser {
     ++pos_;  // '"'
     std::string out;
     while (true) {
+      // Bulk-copy the run up to the next quote, backslash or control char —
+      // the common case is the whole string in one append.
+      std::size_t run = pos_;
+      while (run < text_.size() &&
+             !needs_escape(static_cast<unsigned char>(text_[run]))) {
+        ++run;
+      }
+      if (run > pos_) {
+        out.append(text_, pos_, run - pos_);
+        pos_ = run;
+      }
       const char c = next();
       if (c == '"') break;
       if (c == '\\') {

@@ -30,8 +30,8 @@ std::string Broker::journal_path() const {
 
 std::shared_ptr<Queue> Broker::declare_queue(const std::string& queue,
                                              QueueOptions options) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (closed_) throw MqError("broker: closed");
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (closed()) throw MqError("broker: closed");
   const auto it = queues_.find(queue);
   if (it != queues_.end()) {
     const QueueOptions& existing = it->second->options();
@@ -47,20 +47,25 @@ std::shared_ptr<Queue> Broker::declare_queue(const std::string& queue,
   return q;
 }
 
-std::shared_ptr<Queue> Broker::queue(const std::string& queue) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+std::shared_ptr<Queue> Broker::queue_or_throw(const std::string& queue) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = queues_.find(queue);
-  if (it == queues_.end()) throw MqError("broker: no such queue '" + queue + "'");
+  if (it == queues_.end())
+    throw MqError("broker: no such queue '" + queue + "'");
   return it->second;
 }
 
+std::shared_ptr<Queue> Broker::queue(const std::string& queue) const {
+  return queue_or_throw(queue);
+}
+
 bool Broker::has_queue(const std::string& queue) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return queues_.count(queue) > 0;
 }
 
 std::vector<std::string> Broker::queue_names() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(queues_.size());
   for (const auto& [name, q] : queues_) {
@@ -71,17 +76,10 @@ std::vector<std::string> Broker::queue_names() const {
 }
 
 std::uint64_t Broker::publish(const std::string& queue_name, Message msg) {
-  std::shared_ptr<Queue> q;
-  std::uint64_t seq;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_) throw MqError("broker: closed");
-    const auto it = queues_.find(queue_name);
-    if (it == queues_.end())
-      throw MqError("broker: no such queue '" + queue_name + "'");
-    q = it->second;
-    seq = next_seq_++;
-  }
+  if (closed()) throw MqError("broker: closed");
+  std::shared_ptr<Queue> q = queue_or_throw(queue_name);
+  const std::uint64_t seq =
+      next_seq_.fetch_add(1, std::memory_order_relaxed);
   msg.seq = seq;
   msg.routing_key = queue_name;
   if (q->options().durable && journal_file_ != nullptr) {
@@ -90,7 +88,7 @@ std::uint64_t Broker::publish(const std::string& queue_name, Message msg) {
     rec["q"] = queue_name;
     rec["seq"] = seq;
     rec["headers"] = msg.headers;
-    rec["body"] = msg.body;
+    rec["body"] = msg.body();
     journal_append(rec);
   }
   if (!q->publish(std::move(msg)))
@@ -98,13 +96,52 @@ std::uint64_t Broker::publish(const std::string& queue_name, Message msg) {
   return seq;
 }
 
+std::uint64_t Broker::publish_batch(const std::string& queue_name,
+                                    std::vector<Message> msgs) {
+  if (msgs.empty()) return 0;
+  if (closed()) throw MqError("broker: closed");
+  std::shared_ptr<Queue> q = queue_or_throw(queue_name);
+  // Reserve a contiguous sequence range so recovery order matches publish
+  // order even when other publishers interleave.
+  const std::uint64_t first =
+      next_seq_.fetch_add(msgs.size(), std::memory_order_relaxed);
+  std::uint64_t seq = first;
+  for (Message& msg : msgs) {
+    msg.seq = seq++;
+    msg.routing_key = queue_name;
+  }
+  if (q->options().durable && journal_file_ != nullptr) {
+    std::vector<json::Value> records;
+    records.reserve(msgs.size());
+    for (const Message& msg : msgs) {
+      json::Value rec;
+      rec["op"] = "pub";
+      rec["q"] = queue_name;
+      rec["seq"] = msg.seq;
+      rec["headers"] = msg.headers;
+      rec["body"] = msg.body();
+      records.push_back(std::move(rec));
+    }
+    journal_append_batch(records);
+  }
+  const std::size_t n = msgs.size();
+  if (q->publish_batch(std::move(msgs)) < n)
+    throw MqError("broker: queue '" + queue_name + "' closed");
+  return first;
+}
+
 std::optional<Delivery> Broker::get(const std::string& queue_name,
                                     double timeout_s) {
-  return queue(queue_name)->get(timeout_s);
+  return queue_or_throw(queue_name)->get(timeout_s);
+}
+
+std::vector<Delivery> Broker::get_batch(const std::string& queue_name,
+                                        std::size_t max_n, double timeout_s) {
+  return queue_or_throw(queue_name)->get_batch(max_n, timeout_s);
 }
 
 bool Broker::ack(const std::string& queue_name, std::uint64_t delivery_tag) {
-  auto q = queue(queue_name);
+  auto q = queue_or_throw(queue_name);
   const auto seq = q->ack(delivery_tag);
   if (!seq) return false;
   if (q->options().durable && journal_file_ != nullptr) {
@@ -117,9 +154,29 @@ bool Broker::ack(const std::string& queue_name, std::uint64_t delivery_tag) {
   return true;
 }
 
+std::size_t Broker::ack_batch(const std::string& queue_name,
+                              const std::vector<std::uint64_t>& delivery_tags) {
+  if (delivery_tags.empty()) return 0;
+  auto q = queue_or_throw(queue_name);
+  const std::vector<std::uint64_t> seqs = q->ack_batch(delivery_tags);
+  if (!seqs.empty() && q->options().durable && journal_file_ != nullptr) {
+    std::vector<json::Value> records;
+    records.reserve(seqs.size());
+    for (const std::uint64_t seq : seqs) {
+      json::Value rec;
+      rec["op"] = "ack";
+      rec["q"] = queue_name;
+      rec["seq"] = seq;
+      records.push_back(std::move(rec));
+    }
+    journal_append_batch(records);
+  }
+  return seqs.size();
+}
+
 bool Broker::nack(const std::string& queue_name, std::uint64_t delivery_tag,
                   bool requeue) {
-  auto q = queue(queue_name);
+  auto q = queue_or_throw(queue_name);
   const auto seq = q->nack(delivery_tag, requeue);
   if (!seq) return false;
   if (!requeue && q->options().durable && journal_file_ != nullptr) {
@@ -135,8 +192,8 @@ bool Broker::nack(const std::string& queue_name, std::uint64_t delivery_tag,
 
 std::shared_ptr<Exchange> Broker::declare_exchange(const std::string& name,
                                                    ExchangeType type) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (closed_) throw MqError("broker: closed");
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (closed()) throw MqError("broker: closed");
   const auto it = exchanges_.find(name);
   if (it != exchanges_.end()) {
     if (it->second->type() != type) {
@@ -151,7 +208,7 @@ std::shared_ptr<Exchange> Broker::declare_exchange(const std::string& name,
 }
 
 std::shared_ptr<Exchange> Broker::exchange(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = exchanges_.find(name);
   if (it == exchanges_.end()) {
     throw MqError("broker: no such exchange '" + name + "'");
@@ -164,7 +221,7 @@ void Broker::bind_queue(const std::string& exchange_name,
                         const std::string& binding_key) {
   auto ex = exchange(exchange_name);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::shared_lock<std::shared_mutex> lock(mutex_);
     if (queues_.count(queue_name) == 0) {
       throw MqError("broker: no such queue '" + queue_name + "'");
     }
@@ -186,7 +243,7 @@ std::size_t Broker::publish_to_exchange(const std::string& exchange_name,
 }
 
 void Broker::delete_queue(const std::string& queue_name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   const auto it = queues_.find(queue_name);
   if (it == queues_.end()) return;
   it->second->close();
@@ -194,22 +251,16 @@ void Broker::delete_queue(const std::string& queue_name) {
 }
 
 void Broker::close() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  if (closed_) return;
-  closed_ = true;
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
   for (auto& [name, q] : queues_) {
     (void)name;
     q->close();
   }
 }
 
-bool Broker::closed() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return closed_;
-}
-
 BrokerStats Broker::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   BrokerStats s;
   s.queues = queues_.size();
   for (const auto& [name, q] : queues_) {
@@ -222,12 +273,42 @@ BrokerStats Broker::stats() const {
   return s;
 }
 
+std::vector<QueueDepth> Broker::depth_snapshot() const {
+  std::vector<std::shared_ptr<Queue>> queues;
+  {
+    std::shared_lock<std::shared_mutex> lock(mutex_);
+    queues.reserve(queues_.size());
+    for (const auto& [name, q] : queues_) {
+      (void)name;
+      queues.push_back(q);
+    }
+  }
+  std::vector<QueueDepth> out;
+  out.reserve(queues.size());
+  for (const auto& q : queues) out.push_back(q->depth());
+  return out;
+}
+
 void Broker::journal_append(const json::Value& record) {
   std::lock_guard<std::mutex> lock(journal_mutex_);
   if (journal_file_ == nullptr) return;
   const std::string line = record.dump();
   std::fwrite(line.data(), 1, line.size(), journal_file_);
   std::fputc('\n', journal_file_);
+  std::fflush(journal_file_);
+}
+
+void Broker::journal_append_batch(const std::vector<json::Value>& records) {
+  // One buffered write + one flush for the whole batch: the per-message
+  // fflush was a large share of durable-queue publish cost.
+  std::string buffer;
+  for (const json::Value& record : records) {
+    buffer += record.dump();
+    buffer += '\n';
+  }
+  std::lock_guard<std::mutex> lock(journal_mutex_);
+  if (journal_file_ == nullptr) return;
+  std::fwrite(buffer.data(), 1, buffer.size(), journal_file_);
   std::fflush(journal_file_);
 }
 
@@ -256,7 +337,7 @@ std::size_t Broker::recover(const std::string& path) {
       m.seq = seq;
       m.routing_key = qname;
       if (rec.contains("headers")) m.headers = rec.at("headers");
-      m.body = rec.get_string("body", "");
+      m.set_body(rec.get_string("body", ""));
       pending[qname].emplace(seq, std::move(m));
     } else if (op == "ack") {
       auto it = pending.find(qname);
@@ -266,9 +347,10 @@ std::size_t Broker::recover(const std::string& path) {
   for (auto& [qname, msgs] : pending) {
     auto q = declare_queue(qname, QueueOptions{.durable = true});
     for (auto& [seq, msg] : msgs) {
-      {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (next_seq_ <= seq) next_seq_ = seq + 1;
+      std::uint64_t expected = next_seq_.load(std::memory_order_relaxed);
+      while (expected <= seq &&
+             !next_seq_.compare_exchange_weak(expected, seq + 1,
+                                              std::memory_order_relaxed)) {
       }
       q->publish(std::move(msg));
       ++restored;

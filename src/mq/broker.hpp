@@ -8,13 +8,19 @@
 //   (3) production and consumption are decoupled — the broker buffers.
 // This class provides all three inside one process: queues are owned by the
 // broker, looked up by name, and optionally journaled as JSONL records.
+//
+// The queue map is read-mostly (queues are declared at setup, then looked
+// up on every publish/get), so it is guarded by a shared_mutex: the hot
+// dispatch path takes shared locks and never contends with itself.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -56,13 +62,32 @@ class Broker {
   /// Returns the assigned sequence number; throws MqError on unknown queue.
   std::uint64_t publish(const std::string& queue, Message msg);
 
+  /// Publish a batch to one queue: a contiguous sequence-number range is
+  /// reserved in one step, durable messages are journaled with a single
+  /// flush, and the queue lock is taken once. Returns the first assigned
+  /// sequence number (messages get first..first+n-1 in order); throws
+  /// MqError on unknown queue or when the queue closes mid-batch.
+  std::uint64_t publish_batch(const std::string& queue,
+                              std::vector<Message> msgs);
+
   /// Consume one message (see Queue::get).
   std::optional<Delivery> get(const std::string& queue, double timeout_s);
+
+  /// Consume up to `max_n` messages in one queue-lock acquisition (see
+  /// Queue::get_batch); the batch may be partial or empty on timeout.
+  std::vector<Delivery> get_batch(const std::string& queue, std::size_t max_n,
+                                  double timeout_s);
 
   /// Ack/nack a delivery obtained from `queue`.
   bool ack(const std::string& queue, std::uint64_t delivery_tag);
   bool nack(const std::string& queue, std::uint64_t delivery_tag,
             bool requeue);
+
+  /// Ack a batch of deliveries with one queue-lock acquisition and (for
+  /// durable queues) one journal flush. Stale tags are skipped. Returns the
+  /// number of deliveries actually acked.
+  std::size_t ack_batch(const std::string& queue,
+                        const std::vector<std::uint64_t>& delivery_tags);
 
   /// Delete a queue (closing it first).
   void delete_queue(const std::string& queue);
@@ -83,9 +108,12 @@ class Broker {
 
   /// Close all queues and stop accepting publishes.
   void close();
-  bool closed() const;
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
 
   BrokerStats stats() const;
+
+  /// Per-queue ready/unacked backlog snapshot (profiler depth gauges).
+  std::vector<QueueDepth> depth_snapshot() const;
 
   /// Rebuild broker state from a journal written by a previous (durable)
   /// broker with the same name: every published-but-unacked message is
@@ -98,15 +126,17 @@ class Broker {
 
  private:
   void journal_append(const json::Value& record);
+  void journal_append_batch(const std::vector<json::Value>& records);
+  std::shared_ptr<Queue> queue_or_throw(const std::string& queue) const;
 
   const std::string name_;
   const std::string journal_dir_;
 
-  mutable std::mutex mutex_;
+  mutable std::shared_mutex mutex_;  // guards queues_/exchanges_ maps
   std::map<std::string, std::shared_ptr<Queue>> queues_;
   std::map<std::string, std::shared_ptr<Exchange>> exchanges_;
-  std::uint64_t next_seq_ = 1;
-  bool closed_ = false;
+  std::atomic<std::uint64_t> next_seq_{1};
+  std::atomic<bool> closed_{false};
 
   std::mutex journal_mutex_;
   std::FILE* journal_file_ = nullptr;

@@ -65,8 +65,15 @@ class Channel {
 
   std::uint64_t basic_publish_raw(const std::string& queue, std::string body) {
     Message m;
-    m.body = std::move(body);
+    m.set_body(std::move(body));
     return broker_->publish(queue, std::move(m));
+  }
+
+  /// Publish a batch of messages to `queue` in one broker call; returns
+  /// the first assigned sequence number (see Broker::publish_batch).
+  std::uint64_t basic_publish_batch(const std::string& queue,
+                                    std::vector<Message> msgs) {
+    return broker_->publish_batch(queue, std::move(msgs));
   }
 
   /// Blocking get with timeout; nullopt on timeout/closed queue.
@@ -75,8 +82,21 @@ class Channel {
     return broker_->get(queue, timeout_s);
   }
 
+  /// Drain up to `max_n` messages in one broker call (possibly partial).
+  std::vector<Delivery> basic_get_batch(const std::string& queue,
+                                        std::size_t max_n,
+                                        double timeout_s = 0.0) {
+    return broker_->get_batch(queue, max_n, timeout_s);
+  }
+
   bool basic_ack(const std::string& queue, std::uint64_t delivery_tag) {
     return broker_->ack(queue, delivery_tag);
+  }
+
+  /// Ack a batch of delivery tags; returns how many were actually acked.
+  std::size_t basic_ack_batch(const std::string& queue,
+                              const std::vector<std::uint64_t>& tags) {
+    return broker_->ack_batch(queue, tags);
   }
   bool basic_nack(const std::string& queue, std::uint64_t delivery_tag,
                   bool requeue = true) {

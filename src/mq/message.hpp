@@ -4,9 +4,16 @@
 // structured headers, a routing key naming the destination queue, and a
 // broker-assigned sequence number used for at-least-once delivery
 // accounting and journal recovery.
+//
+// The body is stored as a shared immutable string so that retaining a
+// delivered message for ack/requeue accounting (Queue::unacked_) costs a
+// refcount bump instead of a payload copy — batch messages carry hundreds
+// of task uids in one body, which made the old per-delivery copy the
+// dominant allocation on the dispatch hot path.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -14,11 +21,29 @@
 
 namespace entk::mq {
 
-struct Message {
+class Message {
+ public:
   std::uint64_t seq = 0;       ///< broker-assigned, unique per broker
   std::string routing_key;     ///< destination queue name
   json::Value headers;         ///< structured metadata (object or null)
-  std::string body;            ///< opaque payload (usually JSON text)
+
+  /// Opaque payload (usually JSON text); empty when never set.
+  const std::string& body() const {
+    static const std::string kEmpty;
+    return body_ ? *body_ : kEmpty;
+  }
+
+  void set_body(std::string body) {
+    body_ = std::make_shared<const std::string>(std::move(body));
+  }
+  void set_body(std::shared_ptr<const std::string> body) {
+    body_ = std::move(body);
+  }
+
+  /// Share the payload without copying (refcount bump only).
+  const std::shared_ptr<const std::string>& shared_body() const {
+    return body_;
+  }
 
   /// Convenience: build a message whose body is `payload.dump()`.
   static Message json_body(std::string routing_key, const json::Value& payload,
@@ -26,12 +51,15 @@ struct Message {
     Message m;
     m.routing_key = std::move(routing_key);
     m.headers = std::move(headers);
-    m.body = payload.dump();
+    m.set_body(payload.dump());
     return m;
   }
 
   /// Parse the body back into JSON; throws json::ParseError on garbage.
-  json::Value body_json() const { return json::parse(body); }
+  json::Value body_json() const { return json::parse(body()); }
+
+ private:
+  std::shared_ptr<const std::string> body_;
 };
 
 /// A delivered message plus the tag needed to ack/nack it.

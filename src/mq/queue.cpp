@@ -22,27 +22,95 @@ bool Queue::publish(Message msg) {
   return true;
 }
 
-std::optional<Delivery> Queue::get(double timeout_s) {
+std::size_t Queue::publish_batch(std::vector<Message> msgs) {
+  if (msgs.empty()) return 0;
   std::unique_lock<std::mutex> lock(mutex_);
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration_cast<std::chrono::nanoseconds>(
-                            std::chrono::duration<double>(timeout_s));
-  cv_ready_.wait_until(lock, deadline,
-                       [this] { return closed_ || !ready_.empty(); });
-  if (ready_.empty()) return std::nullopt;
+  std::size_t published = 0;
+  for (Message& msg : msgs) {
+    if (options_.capacity > 0) {
+      cv_capacity_.wait(lock, [this] {
+        return closed_ || ready_.size() < options_.capacity;
+      });
+    }
+    if (closed_) break;
+    ready_.push_back(std::move(msg));
+    ++published;
+  }
+  stats_.published += published;
+  stats_.ready = ready_.size();
+  if (published == 1) {
+    cv_ready_.notify_one();
+  } else if (published > 1) {
+    cv_ready_.notify_all();
+  }
+  return published;
+}
+
+Delivery Queue::pop_locked() {
   Delivery d;
   d.delivery_tag = next_tag_++;
   d.message = std::move(ready_.front());
   ready_.pop_front();
+  // Retaining the message for ack/requeue accounting copies only the small
+  // envelope; the body is shared (see Message).
   unacked_.emplace(d.delivery_tag, d.message);
   ++stats_.delivered;
+  return d;
+}
+
+std::optional<Delivery> Queue::get(double timeout_s) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (ready_.empty()) {
+    if (timeout_s <= 0.0) return std::nullopt;  // polling path: no deadline
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::duration<double>(timeout_s));
+    cv_ready_.wait_until(lock, deadline,
+                         [this] { return closed_ || !ready_.empty(); });
+    if (ready_.empty()) return std::nullopt;
+  }
+  Delivery d = pop_locked();
   stats_.ready = ready_.size();
   stats_.unacked = unacked_.size();
   cv_capacity_.notify_one();
   return d;
 }
 
-std::optional<Delivery> Queue::try_get() { return get(0.0); }
+std::vector<Delivery> Queue::get_batch(std::size_t max_n, double timeout_s) {
+  std::vector<Delivery> out;
+  if (max_n == 0) return out;
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (ready_.empty() && timeout_s > 0.0) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::duration<double>(timeout_s));
+    cv_ready_.wait_until(lock, deadline,
+                         [this] { return closed_ || !ready_.empty(); });
+  }
+  const std::size_t n = std::min(max_n, ready_.size());
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(pop_locked());
+  if (n > 0) {
+    stats_.ready = ready_.size();
+    stats_.unacked = unacked_.size();
+    if (n == 1) {
+      cv_capacity_.notify_one();
+    } else {
+      cv_capacity_.notify_all();
+    }
+  }
+  return out;
+}
+
+std::optional<Delivery> Queue::try_get() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ready_.empty()) return std::nullopt;
+  Delivery d = pop_locked();
+  stats_.ready = ready_.size();
+  stats_.unacked = unacked_.size();
+  cv_capacity_.notify_one();
+  return d;
+}
 
 std::optional<std::uint64_t> Queue::ack(std::uint64_t delivery_tag) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -55,6 +123,22 @@ std::optional<std::uint64_t> Queue::ack(std::uint64_t delivery_tag) {
   return seq;
 }
 
+std::vector<std::uint64_t> Queue::ack_batch(
+    const std::vector<std::uint64_t>& tags) {
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(tags.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::uint64_t tag : tags) {
+    const auto it = unacked_.find(tag);
+    if (it == unacked_.end()) continue;  // stale/double ack: skip
+    seqs.push_back(it->second.seq);
+    unacked_.erase(it);
+  }
+  stats_.acked += seqs.size();
+  stats_.unacked = unacked_.size();
+  return seqs;
+}
+
 std::optional<std::uint64_t> Queue::nack(std::uint64_t delivery_tag,
                                          bool requeue) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -62,6 +146,8 @@ std::optional<std::uint64_t> Queue::nack(std::uint64_t delivery_tag,
   if (it == unacked_.end()) return std::nullopt;
   const std::uint64_t seq = it->second.seq;
   if (requeue) {
+    // Redelivery is exempt from the capacity bound (see header): the
+    // message re-enters the head even when ready_ is at/above capacity.
     ready_.push_front(std::move(it->second));
     ++stats_.requeued;
     cv_ready_.notify_one();
@@ -76,7 +162,8 @@ std::size_t Queue::requeue_unacked() {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t n = unacked_.size();
   // Requeue in delivery order (map is keyed by monotonically increasing tag)
-  // so redelivery preserves the original relative order.
+  // so redelivery preserves the original relative order. Exempt from the
+  // capacity bound, like nack(requeue=true).
   for (auto it = unacked_.rbegin(); it != unacked_.rend(); ++it) {
     ready_.push_front(std::move(it->second));
   }
@@ -117,6 +204,11 @@ QueueStats Queue::stats() const {
 std::size_t Queue::ready_count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return ready_.size();
+}
+
+QueueDepth Queue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return QueueDepth{name_, ready_.size(), unacked_.size()};
 }
 
 }  // namespace entk::mq

@@ -1,6 +1,15 @@
 // A single broker queue: FIFO, optionally bounded, with unacked-message
 // tracking and requeue-on-nack semantics (the at-least-once slice of AMQP
 // the toolkit depends on).
+//
+// Capacity semantics: `options_.capacity` bounds the *ready* backlog seen
+// by publishers — publish()/publish_batch() block while ready >= capacity.
+// Redelivery is exempt: nack(requeue=true) and requeue_unacked() always
+// return messages to the head of the queue, even when that pushes ready
+// above capacity (dropping or blocking a redelivery would violate
+// at-least-once). Publishers blocked on capacity simply stay blocked until
+// consumers drain the queue back below the bound; every get/get_batch/purge
+// that frees slots wakes them.
 #pragma once
 
 #include <condition_variable>
@@ -10,6 +19,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/mq/message.hpp"
 
@@ -29,6 +39,13 @@ struct QueueStats {
   std::size_t unacked = 0;     ///< delivered but not yet acked
 };
 
+/// Point-in-time backlog of one queue (profiler depth gauges).
+struct QueueDepth {
+  std::string queue;
+  std::size_t ready = 0;
+  std::size_t unacked = 0;
+};
+
 /// Thread-safe FIFO queue. All waits honor a timeout so components can
 /// poll their shutdown flags; a closed queue wakes all waiters.
 class Queue {
@@ -42,13 +59,27 @@ class Queue {
   /// queue was closed (message dropped).
   bool publish(Message msg);
 
+  /// Enqueue a whole batch under one lock acquisition, signaling consumers
+  /// once instead of once per message. Blocks for capacity the same way
+  /// publish() does, admitting messages as slots free up. Returns how many
+  /// messages were enqueued (< msgs.size() only when the queue closes
+  /// mid-batch; the remainder is dropped).
+  std::size_t publish_batch(std::vector<Message> msgs);
+
   /// Dequeue one message, waiting up to `timeout_s` (virtual = wall here;
   /// the broker is control plane). The message stays unacked until
   /// ack()/nack() with its delivery tag. Returns nullopt on timeout or
   /// close.
   std::optional<Delivery> get(double timeout_s);
 
-  /// Non-blocking dequeue.
+  /// Dequeue up to `max_n` messages in one lock acquisition: waits up to
+  /// `timeout_s` for the first message, then drains whatever is ready
+  /// without further waiting. Returns a partial (possibly empty) batch on
+  /// timeout or close; FIFO order is preserved within the batch.
+  std::vector<Delivery> get_batch(std::size_t max_n, double timeout_s);
+
+  /// Non-blocking dequeue: one lock, one pop, no deadline arithmetic —
+  /// cheap enough to sit in a poll loop.
   std::optional<Delivery> try_get();
 
   /// Acknowledge a delivery; the message is forgotten. Returns the broker
@@ -56,12 +87,21 @@ class Queue {
   /// (double-ack).
   std::optional<std::uint64_t> ack(std::uint64_t delivery_tag);
 
+  /// Acknowledge a batch of deliveries under one lock acquisition. Stale or
+  /// unknown tags are skipped. Returns the sequence numbers of the messages
+  /// actually acked, in `tags` order (size < tags.size() reports how many
+  /// tags were stale).
+  std::vector<std::uint64_t> ack_batch(
+      const std::vector<std::uint64_t>& tags);
+
   /// Negative-acknowledge: with `requeue`, the message goes back to the
-  /// head of the queue for redelivery; otherwise it is dropped. Returns
-  /// the message's sequence number, or nullopt for unknown tags.
+  /// head of the queue for redelivery (exempt from the capacity bound; see
+  /// header comment); otherwise it is dropped. Returns the message's
+  /// sequence number, or nullopt for unknown tags.
   std::optional<std::uint64_t> nack(std::uint64_t delivery_tag, bool requeue);
 
-  /// Return all unacked messages to the queue (consumer died).
+  /// Return all unacked messages to the queue (consumer died). Exempt from
+  /// the capacity bound, like nack(requeue=true).
   std::size_t requeue_unacked();
 
   /// Drop all ready messages; returns how many were purged.
@@ -73,8 +113,13 @@ class Queue {
 
   QueueStats stats() const;
   std::size_t ready_count() const;
+  QueueDepth depth() const;
 
  private:
+  /// Pop the front ready message into a Delivery. Caller holds mutex_ and
+  /// has checked !ready_.empty().
+  Delivery pop_locked();
+
   const std::string name_;
   const QueueOptions options_;
 

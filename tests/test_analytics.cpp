@@ -106,8 +106,11 @@ TEST(RunAnalysisTest, RealRunProducesConsistentNumbers) {
   // 8 single-core tasks on 8 cores, fully concurrent.
   EXPECT_EQ(a.peak_concurrency(), 8);
   EXPECT_GE(a.makespan(), 10.0);
-  // Utilization is high: every core busy for ~the whole span.
-  EXPECT_GT(a.core_utilization(8), 0.75);
+  // Utilization is high: every core busy for most of the span. A second
+  // execution wave would cap it at 0.5, so 0.6 still proves one concurrent
+  // wave; not tighter because the span is virtual time (scale 1e-4) and a
+  // fraction of a wall millisecond of scheduler noise shifts it visibly.
+  EXPECT_GT(a.core_utilization(8), 0.6);
   // Consistent with the overhead report's exec span.
   EXPECT_NEAR(a.makespan(), amgr.overheads().task_exec_s, 1e-9);
 }

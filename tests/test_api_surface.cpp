@@ -57,7 +57,7 @@ TEST(BrokerIntrospection, QueueNamesSorted) {
 TEST(QueueStatsCounters, TrackLifecycle) {
   mq::Queue q("q", {});
   mq::Message m;
-  m.body = "x";
+  m.set_body("x");
   q.publish(m);
   q.publish(m);
   auto d = q.try_get();

@@ -8,7 +8,7 @@ namespace {
 
 Message text(const std::string& body) {
   Message m;
-  m.body = body;
+  m.set_body(body);
   return m;
 }
 
@@ -73,10 +73,10 @@ TEST(ExchangeBroker, PublishToDirectExchange) {
 
   auto d = b.get("sim", 0.0);
   ASSERT_TRUE(d);
-  EXPECT_EQ(d->message.body, "s1");
+  EXPECT_EQ(d->message.body(), "s1");
   d = b.get("ana", 0.0);
   ASSERT_TRUE(d);
-  EXPECT_EQ(d->message.body, "a1");
+  EXPECT_EQ(d->message.body(), "a1");
 }
 
 TEST(ExchangeBroker, FanoutCopiesToAllQueues) {
@@ -90,7 +90,7 @@ TEST(ExchangeBroker, FanoutCopiesToAllQueues) {
   for (const char* q : {"q1", "q2", "q3"}) {
     auto d = b.get(q, 0.0);
     ASSERT_TRUE(d);
-    EXPECT_EQ(d->message.body, "broadcast");
+    EXPECT_EQ(d->message.body(), "broadcast");
   }
 }
 

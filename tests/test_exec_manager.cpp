@@ -3,6 +3,7 @@
 // counting factory — without a WFProcessor in the loop.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <thread>
 
 #include "src/core/exec_manager.hpp"
@@ -46,10 +47,9 @@ class ExecFixture : public ::testing::Test {
     emgr_->start();
   }
 
-  /// Register a task and push its uid to the Pending queue, pre-advanced
-  /// to SCHEDULED (the WFProcessor's job).
-  TaskPtr submit_task(double duration = 0.5,
-                      std::function<int()> fn = nullptr) {
+  /// Register a task, pre-advanced to SCHEDULED (the WFProcessor's job),
+  /// without publishing it — callers pick single or bulk delivery.
+  TaskPtr make_task(double duration = 0.5, std::function<int()> fn = nullptr) {
     auto pipeline = std::make_shared<Pipeline>("p");
     auto stage = std::make_shared<Stage>("s");
     auto task = std::make_shared<Task>("t");
@@ -59,6 +59,13 @@ class ExecFixture : public ::testing::Test {
     pipeline->add_stage(stage);
     registry_.add_pipeline(pipeline);
     task->set_state(TaskState::Scheduled);
+    return task;
+  }
+
+  /// Register a task and push its uid to the Pending queue.
+  TaskPtr submit_task(double duration = 0.5,
+                      std::function<int()> fn = nullptr) {
+    TaskPtr task = make_task(duration, std::move(fn));
     json::Value msg;
     msg["uid"] = task->uid();
     broker_->publish("q.pending", mq::Message::json_body("q.pending", msg));
@@ -149,6 +156,72 @@ TEST_F(ExecFixture, FatalHandlerFiresWhenBudgetExhausted) {
   }
   EXPECT_TRUE(fatal.load());
   EXPECT_EQ(emgr_->rts_restarts(), 0);
+}
+
+TEST_F(ExecFixture, BulkPendingMessageSubmitsAllTasks) {
+  start_exec();
+  // Deliver four tasks in one {"uids": [...]} message, as the batched
+  // WFProcessor does.
+  std::vector<TaskPtr> tasks;
+  json::Array uids;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back(make_task(0.2));
+    uids.push_back(tasks.back()->uid());
+  }
+  json::Value msg;
+  msg["uids"] = std::move(uids);
+  broker_->publish("q.pending", mq::Message::json_body("q.pending", msg));
+  const auto results = collect(4);
+  ASSERT_EQ(results.size(), 4u);
+  std::set<std::string> seen;
+  for (const json::Value& r : results) {
+    seen.insert(r.get_string("uid", ""));
+    EXPECT_EQ(r.get_string("outcome", ""), "DONE");
+  }
+  for (const TaskPtr& t : tasks) {
+    EXPECT_EQ(seen.count(t->uid()), 1u);
+    EXPECT_EQ(t->state(), TaskState::Submitted);
+  }
+}
+
+TEST_F(ExecFixture, CompletionCoalescingPublishesResultsArrays) {
+  ExecConfig cfg;
+  cfg.completion_flush_window_s = 0.005;
+  cfg.completion_flush_max = 8;
+  start_exec(cfg);
+  std::vector<TaskPtr> tasks;
+  json::Array uids;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back(make_task(0.1));
+    uids.push_back(tasks.back()->uid());
+  }
+  json::Value msg;
+  msg["uids"] = std::move(uids);
+  broker_->publish("q.pending", mq::Message::json_body("q.pending", msg));
+  // Drain q.completed raw: with the flush window on, completions arrive
+  // coalesced as {"results": [...]} instead of one message per task.
+  std::set<std::string> seen;
+  bool saw_coalesced = false;
+  const double deadline = wall_now_s() + 5.0;
+  while (seen.size() < 6 && wall_now_s() < deadline) {
+    auto d = broker_->get("q.completed", 0.01);
+    if (!d) continue;
+    broker_->ack("q.completed", d->delivery_tag);
+    const json::Value body = d->message.body_json();
+    if (body.contains("results")) {
+      const json::Array& batch = body.at("results").as_array();
+      if (batch.size() > 1) saw_coalesced = true;
+      for (const json::Value& r : batch) {
+        seen.insert(r.get_string("uid", ""));
+        EXPECT_EQ(r.get_string("outcome", ""), "DONE");
+      }
+    } else {
+      seen.insert(body.get_string("uid", ""));
+    }
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_TRUE(saw_coalesced);
+  for (const TaskPtr& t : tasks) EXPECT_EQ(seen.count(t->uid()), 1u);
 }
 
 TEST_F(ExecFixture, PendingMessagesForUnknownTasksAreDropped) {

@@ -14,7 +14,7 @@ namespace {
 
 Message text_message(const std::string& body) {
   Message m;
-  m.body = body;
+  m.set_body(body);
   return m;
 }
 
@@ -32,7 +32,7 @@ TEST(Queue, FifoOrder) {
   for (int i = 0; i < 5; ++i) {
     auto d = q.try_get();
     ASSERT_TRUE(d.has_value());
-    EXPECT_EQ(d->message.body, std::to_string(i));
+    EXPECT_EQ(d->message.body(), std::to_string(i));
     EXPECT_TRUE(q.ack(d->delivery_tag).has_value());
   }
   EXPECT_FALSE(q.try_get().has_value());
@@ -56,7 +56,7 @@ TEST(Queue, AckRemovesNackRequeues) {
   EXPECT_EQ(q.stats().unacked, 0u);
   auto d2 = q.try_get();
   ASSERT_TRUE(d2);
-  EXPECT_EQ(d2->message.body, "a");
+  EXPECT_EQ(d2->message.body(), "a");
   // Double ack fails.
   EXPECT_TRUE(q.ack(d2->delivery_tag).has_value());
   EXPECT_FALSE(q.ack(d2->delivery_tag).has_value());
@@ -81,7 +81,7 @@ TEST(Queue, RequeueUnackedPreservesOrder) {
   for (int i = 0; i < 3; ++i) {
     auto d = q.try_get();
     ASSERT_TRUE(d);
-    EXPECT_EQ(d->message.body, std::to_string(i));
+    EXPECT_EQ(d->message.body(), std::to_string(i));
   }
 }
 
@@ -121,6 +121,159 @@ TEST(Queue, PurgeDropsReady) {
   for (int i = 0; i < 4; ++i) q.publish(text_message("x"));
   EXPECT_EQ(q.purge(), 4u);
   EXPECT_EQ(q.ready_count(), 0u);
+}
+
+TEST(Queue, PublishBatchGetBatchPreserveOrder) {
+  Queue q("q", {});
+  std::vector<Message> batch;
+  for (int i = 0; i < 6; ++i) batch.push_back(text_message(std::to_string(i)));
+  EXPECT_EQ(q.publish_batch(std::move(batch)), 6u);
+  const auto got = q.get_batch(4, 0.0);
+  ASSERT_EQ(got.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)].message.body(),
+              std::to_string(i));
+  }
+  const auto rest = q.get_batch(10, 0.0);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].message.body(), "4");
+  EXPECT_EQ(rest[1].message.body(), "5");
+}
+
+TEST(Queue, GetBatchPartialOnTimeout) {
+  Queue q("q", {});
+  q.publish(text_message("only"));
+  // Asks for 8 but must return what is there once the deadline passes
+  // instead of blocking for a full batch.
+  const auto got = q.get_batch(8, 0.01);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].message.body(), "only");
+  // Empty queue + elapsed timeout: empty batch, not a hang.
+  EXPECT_TRUE(q.get_batch(8, 0.0).empty());
+}
+
+TEST(Queue, AckBatchSkipsStaleTags) {
+  Queue q("q", {});
+  for (int i = 0; i < 3; ++i) q.publish(text_message(std::to_string(i)));
+  const auto got = q.get_batch(3, 0.0);
+  ASSERT_EQ(got.size(), 3u);
+  ASSERT_TRUE(q.ack(got[1].delivery_tag).has_value());  // now stale below
+  const std::vector<std::uint64_t> tags = {got[0].delivery_tag,
+                                           got[1].delivery_tag, 999999,
+                                           got[2].delivery_tag};
+  // Only the two still-unacked valid tags are acked.
+  EXPECT_EQ(q.ack_batch(tags).size(), 2u);
+  EXPECT_EQ(q.depth().unacked, 0u);
+}
+
+TEST(Queue, RequeueAfterBatchGetPreservesOrder) {
+  Queue q("q", {});
+  std::vector<Message> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(text_message(std::to_string(i)));
+  q.publish_batch(std::move(batch));
+  ASSERT_EQ(q.get_batch(4, 0.0).size(), 4u);
+  EXPECT_EQ(q.requeue_unacked(), 4u);
+  const auto again = q.get_batch(4, 0.0);
+  ASSERT_EQ(again.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(again[static_cast<std::size_t>(i)].message.body(),
+              std::to_string(i));
+  }
+}
+
+TEST(Queue, RequeueIsExemptFromCapacity) {
+  // Regression: redelivery must never deadlock against the capacity bound.
+  // With capacity 1 and one unacked message, a publisher fills the ready
+  // slot; nack(requeue) and requeue_unacked still return messages to the
+  // head immediately even though ready is already at capacity.
+  Queue q("q", QueueOptions{.durable = false, .capacity = 1});
+  q.publish(text_message("first"));
+  auto d = q.try_get();
+  ASSERT_TRUE(d);
+  q.publish(text_message("second"));  // ready back at capacity
+  EXPECT_TRUE(q.nack(d->delivery_tag, true));
+  EXPECT_EQ(q.ready_count(), 2u);  // above capacity, by design
+  auto redelivered = q.try_get();
+  ASSERT_TRUE(redelivered);
+  EXPECT_EQ(redelivered->message.body(), "first");
+
+  // Same for the bulk variant.
+  auto d2 = q.try_get();
+  ASSERT_TRUE(d2);
+  EXPECT_EQ(q.ready_count(), 0u);
+  q.publish(text_message("third"));
+  EXPECT_EQ(q.requeue_unacked(), 2u);
+  EXPECT_EQ(q.ready_count(), 3u);
+}
+
+TEST(Queue, ZeroTimeoutGetIsNonBlockingShortCircuit) {
+  Queue q("q", {});
+  EXPECT_FALSE(q.get(0.0).has_value());
+  EXPECT_FALSE(q.try_get().has_value());
+  q.publish(text_message("x"));
+  EXPECT_TRUE(q.get(0.0).has_value());
+}
+
+TEST(Broker, PublishBatchAssignsContiguousSeqs) {
+  Broker b;
+  b.declare_queue("q");
+  std::vector<Message> batch;
+  for (int i = 0; i < 5; ++i) batch.push_back(text_message(std::to_string(i)));
+  const std::uint64_t first = b.publish_batch("q", std::move(batch));
+  const auto got = b.get_batch("q", 5, 0.0);
+  ASSERT_EQ(got.size(), 5u);
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].message.seq, first + i);
+  }
+  std::vector<std::uint64_t> tags;
+  for (const Delivery& d : got) tags.push_back(d.delivery_tag);
+  EXPECT_EQ(b.ack_batch("q", tags), 5u);
+}
+
+TEST(Broker, DepthSnapshotReportsReadyAndUnacked) {
+  Broker b;
+  b.declare_queue("a");
+  b.declare_queue("b");
+  b.publish("a", text_message("1"));
+  b.publish("a", text_message("2"));
+  ASSERT_TRUE(b.get("a", 0.0).has_value());  // one unacked
+  const auto depths = b.depth_snapshot();
+  ASSERT_EQ(depths.size(), 2u);
+  for (const QueueDepth& d : depths) {
+    if (d.queue == "a") {
+      EXPECT_EQ(d.ready, 1u);
+      EXPECT_EQ(d.unacked, 1u);
+    } else {
+      EXPECT_EQ(d.queue, "b");
+      EXPECT_EQ(d.ready, 0u);
+      EXPECT_EQ(d.unacked, 0u);
+    }
+  }
+}
+
+TEST(Broker, JournalRecoversBatchPublishedMessages) {
+  const std::string dir = fresh_dir();
+  std::string journal;
+  {
+    Broker b("jbatch", dir);
+    journal = b.journal_path();
+    b.declare_queue("q", QueueOptions{.durable = true});
+    std::vector<Message> batch;
+    for (int i = 0; i < 3; ++i) {
+      batch.push_back(text_message(std::to_string(i)));
+    }
+    b.publish_batch("q", std::move(batch));
+    // Consume + batch-ack the first; the other two must survive recovery.
+    auto d = b.get("q", 0.0);
+    ASSERT_TRUE(d);
+    EXPECT_EQ(b.ack_batch("q", {d->delivery_tag}), 1u);
+  }
+  Broker recovered("jbatch2");
+  EXPECT_EQ(recovered.recover(journal), 2u);
+  const auto got = recovered.get_batch("q", 8, 0.0);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].message.body(), "1");
+  EXPECT_EQ(got[1].message.body(), "2");
 }
 
 TEST(Broker, DeclareLookupAndPublish) {
@@ -209,7 +362,7 @@ TEST(Broker, JournalRecoversUnackedMessages) {
   for (int i = 2; i < 5; ++i) {
     auto d = recovered.get("durable", 0.0);
     ASSERT_TRUE(d);
-    EXPECT_EQ(d->message.body, "d" + std::to_string(i));
+    EXPECT_EQ(d->message.body(), "d" + std::to_string(i));
   }
   EXPECT_FALSE(recovered.get("durable", 0.0).has_value());
 }
@@ -234,7 +387,7 @@ TEST(Broker, JournalSkipsTornTailRecord) {
   EXPECT_EQ(recovered.recover(journal), 1u);
   auto d = recovered.get("q", 0.0);
   ASSERT_TRUE(d);
-  EXPECT_EQ(d->message.body, "ok");
+  EXPECT_EQ(d->message.body(), "ok");
 }
 
 TEST(Broker, ConcurrentProducersConsumersLoseNothing) {
@@ -283,7 +436,7 @@ TEST(Channel, AmqpShapedFacade) {
   ch->basic_publish_raw("q", "raw-bytes");
   auto d2 = ch->basic_get("q", 0.0);
   ASSERT_TRUE(d2);
-  EXPECT_EQ(d2->message.body, "raw-bytes");
+  EXPECT_EQ(d2->message.body(), "raw-bytes");
   EXPECT_TRUE(ch->basic_nack("q", d2->delivery_tag, false));
   ch->queue_purge("q");
   ch->queue_delete("q");
@@ -297,7 +450,7 @@ TEST(Message, JsonBodyHelper) {
   EXPECT_EQ(m.routing_key, "route");
   EXPECT_EQ(m.body_json().at("x").as_int(), 1);
   Message bad;
-  bad.body = "{not json";
+  bad.set_body("{not json");
   EXPECT_THROW(bad.body_json(), json::ParseError);
 }
 

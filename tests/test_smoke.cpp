@@ -82,7 +82,10 @@ TEST(Smoke, MultiplePipelinesRunConcurrently) {
   for (const PipelinePtr& p : amgr.pipelines()) {
     EXPECT_EQ(p->state(), PipelineState::Done);
   }
-  EXPECT_LT(amgr.overheads().task_exec_s, 30.0);
+  // Full serialization of 8 x 10 v-s tasks would span 80 v-s; any bound
+  // well below that proves overlap. 50 (not lower) because the span is
+  // virtual time and inflates with scheduler latency under parallel ctest.
+  EXPECT_LT(amgr.overheads().task_exec_s, 50.0);
 }
 
 TEST(Smoke, CallableTaskRunsAndReturnsResult) {

@@ -163,7 +163,7 @@ TEST_F(WfpFixture, MalformedDoneMessageIsSkipped) {
   PipelinePtr app = make_app(1, 1);
   start_wfp();
   mq::Message junk;
-  junk.body = "{this is not json";
+  junk.set_body("{this is not json");
   broker_->publish("q.completed", std::move(junk));
   complete(pop_pending(), "DONE");
   wfp_->wait_completion();
@@ -178,6 +178,65 @@ TEST_F(WfpFixture, AbortFailsAllLivePipelines) {
   wfp_->abort("test abort");
   wfp_->wait_completion();
   EXPECT_EQ(app->state(), PipelineState::Failed);
+}
+
+TEST_F(WfpFixture, BatchedEnqueueShipsBulkPendingAndCoalescedResults) {
+  WfConfig cfg;
+  cfg.batch_size = 16;
+  PipelinePtr app = make_app(1, 16);
+  start_wfp(cfg);
+
+  // The whole stage travels as one bulk message: {"uids": [...]}.
+  auto d = broker_->get("q.pending", 1.0);
+  ASSERT_TRUE(d);
+  broker_->ack("q.pending", d->delivery_tag);
+  const json::Value msg = d->message.body_json();
+  ASSERT_TRUE(msg.contains("uids"));
+  std::vector<std::string> uids;
+  for (const json::Value& u : msg.at("uids").as_array()) {
+    uids.push_back(u.as_string());
+  }
+  ASSERT_EQ(uids.size(), 16u);
+  EXPECT_FALSE(broker_->get("q.pending", 0.0).has_value());
+  for (const TaskPtr& t : app->stage_at(0)->tasks()) {
+    EXPECT_EQ(t->state(), TaskState::Scheduled);
+  }
+
+  // Emgr side: one vectored sync per transition kind, then a single
+  // coalesced completion message covering all 16 tasks.
+  SyncClient sync(broker_, "fake_emgr", "q.states", "q.ack.fake");
+  std::vector<Transition> submitting, submitted;
+  for (const std::string& uid : uids) {
+    submitting.push_back({uid, "task", "SCHEDULED", "SUBMITTING"});
+    submitted.push_back({uid, "task", "SUBMITTING", "SUBMITTED"});
+  }
+  EXPECT_TRUE(sync.sync_batch(submitting, true));
+  EXPECT_TRUE(sync.sync_batch(submitted, true));
+  json::Array results;
+  for (const std::string& uid : uids) {
+    json::Value r;
+    r["uid"] = uid;
+    r["outcome"] = "DONE";
+    r["exit_code"] = 0;
+    results.push_back(std::move(r));
+  }
+  json::Value done;
+  done["results"] = std::move(results);
+  broker_->publish("q.completed", mq::Message::json_body("q.completed", done));
+
+  wfp_->wait_completion();
+  EXPECT_EQ(app->state(), PipelineState::Done);
+  EXPECT_EQ(wfp_->tasks_done(), 16u);
+  // Per-task journal entries are identical to the per-task path: every
+  // task still records all six transitions individually.
+  for (const std::string& uid : uids) {
+    int transitions = 0;
+    for (const StateTransaction& t : store_.history()) {
+      if (t.uid == uid) ++transitions;
+    }
+    EXPECT_EQ(transitions, 6);
+    EXPECT_EQ(store_.state_of(uid), "DONE");
+  }
 }
 
 TEST_F(WfpFixture, StateJournalSeesEveryTransition) {
