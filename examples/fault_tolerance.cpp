@@ -5,7 +5,11 @@
 //      (without restarting completed tasks) until they succeed;
 //   2. RTS-level: the runtime system is hard-killed mid-run; EnTK's
 //      heartbeat notices, tears it down, boots a fresh instance with new
-//      pilot resources, and resubmits only the lost in-flight units.
+//      pilot resources, and resubmits only the lost in-flight units;
+//   3. component-level: an EnTK component (here the WFProcessor) crashes
+//      mid-run; the AppManager's supervisor restarts it re-attached to the
+//      same queues and state store, and the run completes with no state
+//      lost.
 //
 // Build & run:  ./build/examples/fault_tolerance
 #include <atomic>
@@ -57,8 +61,8 @@ int main() {
     AppManagerConfig config;
     config.resource.resource = "local.localhost";
     config.resource.cpus = 8;
-    config.rts_restart_limit = 2;
-    config.heartbeat_interval_s = 0.01;
+    config.supervision.rts_restart_limit = 2;
+    config.supervision.heartbeat_interval_s = 0.01;
     config.clock_scale = 1e-4;
     config.resource.rts_teardown_base_s = 0.1;
 
@@ -85,6 +89,43 @@ int main() {
     std::printf("rts-level: %zu done after %d RTS restart(s); pipeline %s\n",
                 appman.tasks_done(), appman.rts_restarts(),
                 to_string(appman.pipelines()[0]->state()));
+  }
+
+  // ---- Part 3: EnTK component crash and supervised restart ------------
+  {
+    AppManagerConfig config;
+    config.resource.resource = "local.localhost";
+    config.resource.cpus = 8;
+    config.supervision.component_restart_limit = 2;
+    config.supervision.heartbeat_interval_s = 0.01;
+    config.clock_scale = 1e-4;
+    config.resource.rts_teardown_base_s = 0.1;
+
+    AppManager appman(config);
+    auto pipeline = std::make_shared<Pipeline>("supervised-ensemble");
+    auto stage = std::make_shared<Stage>("members");
+    for (int i = 0; i < 6; ++i) {
+      auto task = std::make_shared<Task>("sim-" + std::to_string(i));
+      task->executable = "simulator";
+      task->duration_s = 1500.0;
+      stage->add_task(task);
+    }
+    pipeline->add_stage(stage);
+    appman.add_pipelines({pipeline});
+
+    std::thread chaos([&appman] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(60));
+      std::printf("component-level: crashing the WFProcessor...\n");
+      appman.inject_component_fault("wfprocessor");
+    });
+    appman.run();
+    chaos.join();
+
+    std::printf(
+        "component-level: %zu done after %d component restart(s); "
+        "pipeline %s\n",
+        appman.tasks_done(), appman.component_restarts(),
+        to_string(appman.pipelines()[0]->state()));
   }
   return 0;
 }

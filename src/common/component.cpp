@@ -1,0 +1,249 @@
+#include "src/common/component.hpp"
+
+#include <chrono>
+
+#include "src/common/clock.hpp"
+#include "src/common/log.hpp"
+#include "src/common/worker.hpp"
+
+namespace entk {
+
+const char* to_string(ComponentState state) {
+  switch (state) {
+    case ComponentState::New: return "NEW";
+    case ComponentState::Starting: return "STARTING";
+    case ComponentState::Running: return "RUNNING";
+    case ComponentState::Draining: return "DRAINING";
+    case ComponentState::Stopped: return "STOPPED";
+    case ComponentState::Failed: return "FAILED";
+  }
+  return "UNKNOWN";
+}
+
+bool is_valid_transition(ComponentState from, ComponentState to) {
+  switch (from) {
+    case ComponentState::New:
+      return to == ComponentState::Starting;
+    case ComponentState::Starting:
+      return to == ComponentState::Running || to == ComponentState::Failed;
+    case ComponentState::Running:
+      return to == ComponentState::Draining || to == ComponentState::Failed;
+    case ComponentState::Draining:
+      return to == ComponentState::Stopped || to == ComponentState::Failed;
+    case ComponentState::Stopped:
+      return to == ComponentState::Starting;
+    case ComponentState::Failed:
+      return to == ComponentState::Starting;
+  }
+  return false;
+}
+
+Component::Component(std::string name, ProfilerPtr profiler)
+    : profiler_(std::move(profiler)), name_(std::move(name)) {}
+
+Component::~Component() {
+  // Subclasses must stop() in their own destructor (their overrides are
+  // gone by the time this runs); all that is left here is joining any
+  // worker threads that somehow outlived that.
+  join_workers();
+}
+
+ComponentState Component::state() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return state_;
+}
+
+std::string Component::fault_reason() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return fault_reason_;
+}
+
+void Component::start() {
+  std::lock_guard<std::mutex> control(control_mutex_);
+  ComponentState previous;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    previous = state_;
+    if (previous != ComponentState::New && previous != ComponentState::Stopped &&
+        previous != ComponentState::Failed) {
+      throw StateError("component '" + name_ + "' cannot start from state " +
+                       to_string(previous));
+    }
+    transition_locked(ComponentState::Starting);
+  }
+  // Workers of the previous generation exited (cleanly or via a fault) by
+  // the time we can be in Stopped/Failed, but their threads may not be
+  // joined yet.
+  join_workers();
+  workers_.clear();
+  stop_requested_.store(false, std::memory_order_release);
+  last_beat_us_.store(-1);
+  try {
+    if (previous == ComponentState::Failed) on_reattach();
+    on_start();
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    transition_locked(ComponentState::Failed);
+    if (fault_reason_.empty()) fault_reason_ = "on_start failed";
+    workers_.clear();
+    throw;
+  }
+  for (auto& worker : workers_) worker->launch();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    // A worker may already have faulted between launch and here; keep the
+    // Failed state it set in that case.
+    if (state_ == ComponentState::Starting)
+      transition_locked(ComponentState::Running);
+  }
+  generation_.fetch_add(1);
+}
+
+void Component::stop() {
+  std::lock_guard<std::mutex> control(control_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    switch (state_) {
+      case ComponentState::New:
+      case ComponentState::Stopped:
+        return;  // nothing running, nothing to join — idempotent
+      case ComponentState::Failed:
+        break;  // join dead workers below, stay Failed
+      case ComponentState::Running:
+        transition_locked(ComponentState::Draining);
+        break;
+      case ComponentState::Draining:
+        break;  // concurrent stop already draining; fall through to join
+      case ComponentState::Starting:
+        // Unreachable from outside: start() holds control_mutex_ for the
+        // whole Starting window.
+        break;
+    }
+  }
+  request_stop();
+  join_workers();
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (state_ == ComponentState::Draining)
+      transition_locked(ComponentState::Stopped);
+    if (state_ != ComponentState::Stopped) return;  // faulted while draining
+  }
+  on_stopped();
+}
+
+void Component::fail(const std::string& reason) {
+  std::lock_guard<std::mutex> control(control_mutex_);
+  std::function<void(Component&, const std::string&)> listener;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (state_ != ComponentState::Running &&
+        state_ != ComponentState::Draining) {
+      return;
+    }
+    transition_locked(ComponentState::Failed);
+    fault_reason_ = reason;
+    listener = fault_listener_;
+  }
+  if (profiler_) profiler_->record(name_, "component_fault", reason);
+  request_stop();
+  join_workers();
+  if (listener) listener(*this, reason);
+}
+
+void Component::inject_fault(std::string reason) {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    injected_reason_ = std::move(reason);
+  }
+  fault_armed_.store(true, std::memory_order_release);
+}
+
+void Component::set_fault_listener(
+    std::function<void(Component&, const std::string&)> listener) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  fault_listener_ = std::move(listener);
+}
+
+double Component::seconds_since_beat() const {
+  const std::int64_t beat_us = last_beat_us_.load();
+  if (beat_us < 0) return -1.0;
+  return static_cast<double>(wall_now_us() - beat_us) / 1e6;
+}
+
+std::size_t Component::worker_count() const { return workers_.size(); }
+
+void Component::add_worker(std::string name, std::function<void()> body) {
+  workers_.push_back(
+      std::make_unique<Worker>(*this, std::move(name), std::move(body)));
+}
+
+bool Component::wait_stop_for(double seconds) {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_cv_.wait_for(
+      lock, std::chrono::duration<double>(seconds),
+      [this] { return stop_requested_.load(std::memory_order_acquire); });
+  return stop_requested_.load(std::memory_order_acquire);
+}
+
+void Component::beat() {
+  last_beat_us_.store(wall_now_us());
+  if (fault_armed_.exchange(false, std::memory_order_acq_rel)) {
+    std::string reason;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      reason = injected_reason_.empty() ? "injected fault" : injected_reason_;
+      injected_reason_.clear();
+    }
+    throw InjectedFault(reason);
+  }
+}
+
+void Component::worker_failed(const std::string& worker,
+                              const std::string& what) {
+  // Called from the dying worker thread — must not take control_mutex_
+  // (a concurrent stop() holds it while joining this very thread).
+  std::function<void(Component&, const std::string&)> listener;
+  bool first = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    if (state_ == ComponentState::Starting ||
+        state_ == ComponentState::Running ||
+        state_ == ComponentState::Draining) {
+      transition_locked(ComponentState::Failed);
+      fault_reason_ = worker + ": " + what;
+      listener = fault_listener_;
+      first = true;
+    }
+  }
+  ENTK_WARN(name_) << "worker '" << worker << "' faulted: " << what;
+  if (profiler_) profiler_->record(name_, "worker_fault", worker + ": " + what);
+  if (!first) return;
+  // Bring the sibling workers down so the component is fully quiesced when
+  // the supervisor restarts it. They are joined by stop()/start() later.
+  request_stop();
+  if (listener) listener(*this, worker + ": " + what);
+}
+
+void Component::transition_locked(ComponentState to) {
+  if (!is_valid_transition(state_, to)) {
+    throw StateError("component '" + name_ + "': illegal transition " +
+                     std::string(to_string(state_)) + " -> " + to_string(to));
+  }
+  state_ = to;
+  if (profiler_) profiler_->record(name_, "component_state", to_string(to));
+}
+
+void Component::request_stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stop_requested_.store(true, std::memory_order_release);
+  }
+  stop_cv_.notify_all();
+  on_stop_requested();
+}
+
+void Component::join_workers() {
+  for (auto& worker : workers_) worker->join();
+}
+
+}  // namespace entk

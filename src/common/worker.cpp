@@ -1,0 +1,31 @@
+#include "src/common/worker.hpp"
+
+#include "src/common/component.hpp"
+#include "src/common/log.hpp"
+
+namespace entk {
+
+Worker::Worker(Component& owner, std::string name, std::function<void()> body)
+    : owner_(owner), name_(std::move(name)), body_(std::move(body)) {}
+
+Worker::~Worker() { join(); }
+
+void Worker::launch() { thread_ = std::thread(&Worker::run, this); }
+
+void Worker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Worker::run() {
+  try {
+    body_();
+  } catch (const std::exception& e) {
+    faulted_ = true;
+    owner_.worker_failed(name_, e.what());
+  } catch (...) {
+    faulted_ = true;
+    owner_.worker_failed(name_, "unknown exception");
+  }
+}
+
+}  // namespace entk

@@ -1,0 +1,52 @@
+// Supervised worker loop: the single thread-ownership primitive of the
+// component runtime (see component.hpp).
+//
+// A Worker wraps one std::thread around a component-provided body and
+// guarantees that no exception ever escapes the thread: anything the body
+// throws is caught, recorded, and reported to the owning Component as a
+// worker fault — turning what used to be std::terminate into a component
+// state transition the supervisor can react to.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace entk {
+
+class Component;
+
+class Worker {
+ public:
+  /// `owner` must outlive the worker; `body` is the worker's whole life —
+  /// it is expected to loop internally on the owner's stop/beat facilities
+  /// and return when the component drains or stops.
+  Worker(Component& owner, std::string name, std::function<void()> body);
+  ~Worker();
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Spawn the thread. Called exactly once, by Component::start().
+  void launch();
+
+  /// Join the thread (idempotent).
+  void join();
+
+  const std::string& name() const { return name_; }
+
+  /// True when the body exited via an exception.
+  bool faulted() const { return faulted_.load(); }
+
+ private:
+  void run();
+
+  Component& owner_;
+  const std::string name_;
+  std::function<void()> body_;
+  std::atomic<bool> faulted_{false};
+  std::thread thread_;
+};
+
+}  // namespace entk

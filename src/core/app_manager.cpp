@@ -107,8 +107,7 @@ void AppManager::run() {
                                                "q.states", profiler_);
 
   ExecConfig exec_cfg;
-  exec_cfg.rts_restart_limit = config_.rts_restart_limit;
-  exec_cfg.heartbeat_interval_s = config_.heartbeat_interval_s;
+  exec_cfg.supervision = config_.supervision;
   exec_cfg.submit_batch = std::max(exec_cfg.submit_batch, batch);
   if (batch > 1) {
     // Coalesce completions on a short window so Dequeue drains bulk Done
@@ -119,8 +118,23 @@ void AppManager::run() {
   exec_manager_ = std::make_unique<ExecManager>(
       exec_cfg, broker_, &registry_, "q.pending", "q.completed", "q.states",
       config_.rts_factory, profiler_);
-  exec_manager_->set_fatal_handler(
-      [this](const std::string& reason) { wfprocessor_->abort(reason); });
+  exec_manager_->set_fatal_handler([this](const std::string& reason) {
+    note_fatal("rts", reason);
+    wfprocessor_->abort(reason);
+  });
+
+  // Supervision tree (paper §II-B-4): the supervisor heartbeat-probes the
+  // sibling components and restarts any that fail, re-attached to the same
+  // queues and state store; the ExecManager supervises the RTS below it.
+  supervisor_ = std::make_unique<Supervisor>(config_.supervision, profiler_);
+  supervisor_->supervise(synchronizer_.get());
+  supervisor_->supervise(wfprocessor_.get());
+  supervisor_->supervise(exec_manager_.get());
+  supervisor_->set_fatal_handler(
+      [this](const std::string& component, const std::string& reason) {
+        note_fatal(component, reason);
+        wfprocessor_->abort(component + ": " + reason);
+      });
 
   const double setup_wall = wall_now_s() - setup_t0;
   profiler_->record("amgr", "amgr_setup_stop");
@@ -132,12 +146,16 @@ void AppManager::run() {
   profiler_->record("amgr", "amgr_run_start");
   exec_manager_->start();
   wfprocessor_->start();
+  supervisor_->start();
   wfprocessor_->wait_completion();
   profiler_->record("amgr", "amgr_run_stop");
 
   // ----------------------------------------------------------- teardown
   profiler_->record("amgr", "amgr_teardown_start");
   const double teardown_t0 = wall_now_s();
+  // Supervisor first, so an intentionally-stopping component is not
+  // mistaken for a crashed one and restarted mid-teardown.
+  supervisor_->stop();
   wfprocessor_->stop();
   const double rts_terminate_wall = exec_manager_->stop();
   synchronizer_->stop();
@@ -163,6 +181,12 @@ void AppManager::run() {
   report_.tasks_failed = wfprocessor_->tasks_failed();
   report_.resubmissions = wfprocessor_->resubmissions();
   report_.rts_restarts = exec_manager_->rts_restarts();
+  report_.component_restarts = supervisor_->total_restarts();
+  {
+    std::lock_guard<std::mutex> lock(fatal_mutex_);
+    report_.failed_component = fatal_component_;
+    report_.failure_reason = fatal_reason_;
+  }
 
   ENTK_INFO(uid_) << "run complete: " << report_.tasks_done << " done, "
                   << report_.tasks_failed << " failed, "
@@ -171,6 +195,26 @@ void AppManager::run() {
 
 void AppManager::inject_rts_failure() {
   if (exec_manager_) exec_manager_->inject_rts_failure();
+}
+
+void AppManager::inject_component_fault(const std::string& component) {
+  Component* target = nullptr;
+  if (component == "wfprocessor") target = wfprocessor_.get();
+  if (component == "synchronizer") target = synchronizer_.get();
+  if (component == "exec_manager") target = exec_manager_.get();
+  if (!target) {
+    throw ValueError(uid_, "component",
+                     "wfprocessor | synchronizer | exec_manager");
+  }
+  target->inject_fault("injected fault in " + component);
+}
+
+void AppManager::note_fatal(const std::string& component,
+                            const std::string& reason) {
+  std::lock_guard<std::mutex> lock(fatal_mutex_);
+  if (!fatal_component_.empty()) return;
+  fatal_component_ = component;
+  fatal_reason_ = reason;
 }
 
 void AppManager::cancel() {
@@ -195,6 +239,10 @@ std::size_t AppManager::tasks_recovered() const {
 
 int AppManager::rts_restarts() const {
   return exec_manager_ ? exec_manager_->rts_restarts() : 0;
+}
+
+int AppManager::component_restarts() const {
+  return supervisor_ ? supervisor_->total_restarts() : 0;
 }
 
 }  // namespace entk

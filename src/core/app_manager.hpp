@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "src/core/pipeline.hpp"
 #include "src/core/resource.hpp"
 #include "src/core/state_store.hpp"
+#include "src/core/supervisor.hpp"
 #include "src/core/sync.hpp"
 #include "src/core/wfprocessor.hpp"
 #include "src/mq/broker.hpp"
@@ -34,7 +36,11 @@ struct AppManagerConfig {
   HostModel host{.factor = -1.0};
 
   int task_retry_limit = 0;   ///< default resubmission budget per task
-  int rts_restart_limit = 1;  ///< RTS restarts per run (user-configurable)
+
+  /// One knob set for all supervision: the component supervisor's probe
+  /// interval and restart budget, and the ExecManager's RTS heartbeat and
+  /// restart budget (previously two independently-set fields).
+  SupervisionConfig supervision;
 
   /// Wall seconds per virtual second for the simulated CI (1e-3 runs
   /// simulated workloads 1000x faster than real time).
@@ -54,8 +60,6 @@ struct AppManagerConfig {
   /// Override the runtime system (default: PilotRts on `resource`). The
   /// factory is invoked again after an RTS failure.
   rts::RtsFactory rts_factory;
-
-  double heartbeat_interval_s = 0.02;
 
   /// Tasks per dispatch batch through the whole pipeline: Enqueue publishes
   /// bulk pending messages, state syncs are vectored (one confirmed
@@ -85,6 +89,12 @@ class AppManager {
   /// Inject a hard RTS failure (fault-tolerance tests/examples).
   void inject_rts_failure();
 
+  /// Inject a component fault: the named component ("wfprocessor",
+  /// "synchronizer" or "exec_manager") throws out of its next worker-loop
+  /// iteration and the supervisor takes over. Throws ValueError for an
+  /// unknown component name.
+  void inject_component_fault(const std::string& component);
+
   /// Cancel the running application from another thread: live tasks,
   /// stages and pipelines move to Canceled and run() returns after clean
   /// teardown. Results of units still executing in the RTS are discarded.
@@ -102,9 +112,12 @@ class AppManager {
   std::size_t resubmissions() const;
   std::size_t tasks_recovered() const;
   int rts_restarts() const;
+  int component_restarts() const;
 
  private:
   rts::RtsFactory default_rts_factory();
+  /// Record the first fatal failure for the report (later ones are noise).
+  void note_fatal(const std::string& component, const std::string& reason);
 
   AppManagerConfig config_;
   std::string uid_;
@@ -119,6 +132,11 @@ class AppManager {
   std::unique_ptr<Synchronizer> synchronizer_;
   std::unique_ptr<WFProcessor> wfprocessor_;
   std::unique_ptr<ExecManager> exec_manager_;
+  std::unique_ptr<Supervisor> supervisor_;
+
+  std::mutex fatal_mutex_;
+  std::string fatal_component_;
+  std::string fatal_reason_;
 
   OverheadReport report_;
   bool ran_ = false;

@@ -12,25 +12,19 @@ ExecManager::ExecManager(ExecConfig config, mq::BrokerPtr broker,
                          ObjectRegistry* registry, std::string pending_queue,
                          std::string done_queue, std::string states_queue,
                          rts::RtsFactory rts_factory, ProfilerPtr profiler)
-    : config_(config),
+    : Component("exec_manager", std::move(profiler)),
+      config_(config),
       broker_(std::move(broker)),
       registry_(registry),
       pending_queue_(std::move(pending_queue)),
       done_queue_(std::move(done_queue)),
       states_queue_(std::move(states_queue)),
-      rts_factory_(std::move(rts_factory)),
-      profiler_(std::move(profiler)) {}
+      rts_factory_(std::move(rts_factory)) {}
 
 ExecManager::~ExecManager() {
-  {
-    std::lock_guard<std::mutex> lock(stop_mutex_);
-    stopping_ = true;
-  }
-  stop_cv_.notify_all();
-  flush_cv_.notify_all();
-  if (emgr_thread_.joinable()) emgr_thread_.join();
-  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
-  if (flush_thread_.joinable()) flush_thread_.join();
+  // Joins the workers; RTS termination stays with the explicit stop() (the
+  // seed destructor likewise only joined threads).
+  Component::stop();
 }
 
 void ExecManager::acquire_resources() {
@@ -105,11 +99,11 @@ void ExecManager::flush_completions(std::vector<json::Value> buffered) {
 
 void ExecManager::flush_loop() {
   std::unique_lock<std::mutex> lock(flush_mutex_);
-  while (!stopping_.load()) {
+  while (!stop_requested()) {
     flush_cv_.wait_for(
         lock, std::chrono::duration<double>(config_.completion_flush_window_s),
         [this] {
-          return stopping_.load() ||
+          return stop_requested() ||
                  completion_buffer_.size() >= config_.completion_flush_max;
         });
     if (completion_buffer_.empty()) continue;
@@ -128,27 +122,35 @@ void ExecManager::flush_loop() {
   flush_completions(std::move(buffered));
 }
 
-void ExecManager::start() {
-  stopping_ = false;
+void ExecManager::on_start() {
   if (config_.completion_flush_window_s > 0) {
-    flusher_running_ = true;
-    flush_thread_ = std::thread(&ExecManager::flush_loop, this);
+    {
+      std::lock_guard<std::mutex> lock(flush_mutex_);
+      flusher_running_ = true;
+    }
+    add_worker("flush", [this] { flush_loop(); });
   }
-  emgr_thread_ = std::thread(&ExecManager::emgr_loop, this);
-  heartbeat_thread_ = std::thread(&ExecManager::heartbeat_loop, this);
+  add_worker("emgr", [this] { emgr_loop(); });
+  add_worker("heartbeat", [this] { heartbeat_loop(); });
   profiler_->record("exec_manager", "emgr_start");
 }
 
-double ExecManager::stop() {
-  {
-    std::lock_guard<std::mutex> lock(stop_mutex_);
-    stopping_ = true;
+void ExecManager::on_stop_requested() { flush_cv_.notify_all(); }
+
+void ExecManager::on_reattach() {
+  // Pending-queue deliveries (and sync acks) the dead emgr worker held
+  // unacked go back for the new generation to submit.
+  if (broker_->has_queue(pending_queue_)) {
+    broker_->queue(pending_queue_)->requeue_unacked();
   }
-  stop_cv_.notify_all();
-  flush_cv_.notify_all();
-  if (emgr_thread_.joinable()) emgr_thread_.join();
-  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
-  if (flush_thread_.joinable()) flush_thread_.join();
+  if (broker_->has_queue("q.ack.emgr")) {
+    broker_->queue("q.ack.emgr")->requeue_unacked();
+  }
+}
+
+double ExecManager::stop() {
+  Component::stop();  // idempotent worker join (fixes the old double-join)
+  if (rts_terminated_.exchange(true)) return 0.0;
   const double t0 = wall_now_s();
   {
     std::lock_guard<std::mutex> lock(rts_mutex_);
@@ -192,7 +194,8 @@ rts::TaskUnit ExecManager::translate(const TaskPtr& task) const {
 
 void ExecManager::emgr_loop() {
   SyncClient sync(broker_, "emgr", states_queue_, "q.ack.emgr");
-  while (!stopping_.load()) {
+  while (!stop_requested()) {
+    beat();
     // Batch: drain whatever is pending, up to submit_batch, in one broker
     // round-trip. Both wire formats are accepted: {"uid": ...} (one task
     // per message, seed format) and {"uids": [...]} (bulk Enqueue).
@@ -278,16 +281,11 @@ void ExecManager::sample_queue_depths() {
 }
 
 void ExecManager::heartbeat_loop() {
-  while (!stopping_.load()) {
-    {
-      // Interruptible probe interval: stop() wakes the heartbeat instead of
-      // waiting out the sleep, so teardown is not taxed a full interval.
-      std::unique_lock<std::mutex> lock(stop_mutex_);
-      stop_cv_.wait_for(
-          lock, std::chrono::duration<double>(config_.heartbeat_interval_s),
-          [this] { return stopping_.load(); });
-    }
-    if (stopping_.load()) return;
+  while (!stop_requested()) {
+    // Interruptible probe interval: stop() wakes the heartbeat instead of
+    // waiting out the sleep, so teardown is not taxed a full interval.
+    if (wait_stop_for(config_.supervision.heartbeat_interval_s)) return;
+    beat();
     if (config_.sample_queue_depths) sample_queue_depths();
     bool healthy;
     {
@@ -296,7 +294,7 @@ void ExecManager::heartbeat_loop() {
     }
     if (healthy) continue;
     profiler_->record("heartbeat", "rts_unhealthy");
-    if (restarts_.load() >= config_.rts_restart_limit) {
+    if (restarts_.load() >= config_.supervision.rts_restart_limit) {
       ENTK_ERROR("heartbeat") << "RTS lost and restart budget exhausted";
       if (fatal_handler_) fatal_handler_("RTS failed permanently");
       return;

@@ -14,9 +14,9 @@
 #include <condition_variable>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
+#include "src/common/component.hpp"
 #include "src/common/profiler.hpp"
 #include "src/core/sync.hpp"
 #include "src/mq/broker.hpp"
@@ -25,8 +25,9 @@
 namespace entk {
 
 struct ExecConfig {
-  int rts_restart_limit = 1;         ///< restarts of a failed RTS per run
-  double heartbeat_interval_s = 0.02;  ///< wall seconds between probes
+  /// RTS heartbeat interval and restart budget (shared knob set with the
+  /// AppManager-level component supervisor).
+  SupervisionConfig supervision;
   double poll_timeout_s = 0.002;
   std::size_t submit_batch = 64;     ///< max units per RTS submission
 
@@ -45,23 +46,26 @@ struct ExecConfig {
   bool sample_queue_depths = true;
 };
 
-class ExecManager {
+/// A supervised Component with "emgr", "heartbeat" and (with a flush
+/// window configured) "flush" workers. The RTS handle lives outside the
+/// worker lifecycle, so a crashed-and-restarted ExecManager re-attaches to
+/// the same RTS instance and the Pending queue without losing units.
+class ExecManager : public Component {
  public:
   ExecManager(ExecConfig config, mq::BrokerPtr broker,
               ObjectRegistry* registry, std::string pending_queue,
               std::string done_queue, std::string states_queue,
               rts::RtsFactory rts_factory, ProfilerPtr profiler);
-  ~ExecManager();
+  ~ExecManager() override;
 
   /// Rmgr: create the RTS and acquire resources (blocking).
   void acquire_resources();
 
-  /// Start Emgr and Heartbeat threads.
-  void start();
-
-  /// Stop threads and terminate the RTS gracefully. Returns the wall
+  /// Stop the workers (Component::stop) and terminate the RTS gracefully.
+  /// Idempotent: the second call is a no-op returning 0. Returns the wall
   /// seconds spent inside Rts::terminate (so AppManager can report EnTK
-  /// and RTS tear-down separately).
+  /// and RTS tear-down separately). Hides Component::stop(), which stops
+  /// the workers but leaves the RTS running (the supervisor's view).
   double stop();
 
   /// Fault injection for tests/examples: hard-kill the current RTS.
@@ -75,6 +79,11 @@ class ExecManager {
   rts::RtsStats rts_stats() const;
 
   BusyAccumulator& emgr_busy() { return emgr_busy_; }
+
+ protected:
+  void on_start() override;
+  void on_stop_requested() override;
+  void on_reattach() override;
 
  private:
   void emgr_loop();
@@ -94,30 +103,21 @@ class ExecManager {
   const std::string done_queue_;
   const std::string states_queue_;
   rts::RtsFactory rts_factory_;
-  ProfilerPtr profiler_;
 
   mutable std::mutex rts_mutex_;
   rts::RtsPtr rts_;
 
   std::function<void(const std::string&)> fatal_handler_;
 
-  std::atomic<bool> stopping_{false};
   std::atomic<int> restarts_{0};
+  std::atomic<bool> rts_terminated_{false};
   BusyAccumulator emgr_busy_;
-
-  // Wakes the heartbeat out of its probe interval on stop().
-  std::mutex stop_mutex_;
-  std::condition_variable stop_cv_;
 
   // Completion coalescing (used only when completion_flush_window_s > 0).
   std::mutex flush_mutex_;
   std::condition_variable flush_cv_;
   std::vector<json::Value> completion_buffer_;
   bool flusher_running_ = false;
-
-  std::thread emgr_thread_;
-  std::thread heartbeat_thread_;
-  std::thread flush_thread_;
 };
 
 }  // namespace entk

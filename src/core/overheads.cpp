@@ -141,13 +141,19 @@ std::string OverheadReport::to_table() const {
       "  RTS Tear-Down Overhead   %10.3f s\n"
       "  Data Staging Time        %10.3f s\n"
       "  Task Execution Time      %10.3f s\n"
-      "  tasks done/failed/resub  %zu/%zu/%zu  rts restarts %d\n",
+      "  tasks done/failed/resub  %zu/%zu/%zu  rts restarts %d\n"
+      "  component restarts       %d\n",
       entk_setup_s, entk_setup_measured_s, entk_setup_model_s, entk_mgmt_s,
       entk_mgmt_measured_s, entk_mgmt_model_s, entk_teardown_s,
       entk_teardown_measured_s, entk_teardown_model_s, rts_overhead_s,
       rts_teardown_s, staging_s, task_exec_s, tasks_done, tasks_failed,
-      resubmissions, rts_restarts);
-  return buf;
+      resubmissions, rts_restarts, component_restarts);
+  std::string out = buf;
+  if (!failed_component.empty()) {
+    out += "  FAILED component         " + failed_component + ": " +
+           failure_reason + "\n";
+  }
+  return out;
 }
 
 }  // namespace entk

@@ -43,6 +43,12 @@ struct OverheadReport {
   std::size_t tasks_failed = 0;
   std::size_t resubmissions = 0;
   int rts_restarts = 0;
+  int component_restarts = 0;  ///< supervisor restarts of EnTK components
+
+  // First unrecoverable component failure of the run ("" = clean run):
+  // set when a restart budget is exhausted and the run was aborted.
+  std::string failed_component;
+  std::string failure_reason;
 
   /// Render as an aligned human-readable block (used by benches).
   std::string to_table() const;

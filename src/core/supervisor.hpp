@@ -1,0 +1,74 @@
+// AppManager-level component supervisor (paper §II-B-4).
+//
+// The paper's fault model treats every EnTK component as a restartable
+// unit: the master (AppManager) heartbeats its components and re-creates
+// one that died, re-attaching it to the same queues and state store so no
+// task state is lost. This generalizes the ExecManager's RTS-restart logic
+// to every Component in the process:
+//
+//     AppManager
+//       └── Supervisor ── probes ──> { WFProcessor, ExecManager, Synchronizer }
+//                                        ExecManager ── heartbeats ──> RTS
+//
+// The Supervisor is itself a Component with a single "probe" worker. It
+// wakes every heartbeat interval — or immediately, when a supervised
+// component's fault listener kicks it — scans for Failed components, and
+// restarts each one up to `component_restart_limit` times. When a
+// component exhausts its budget the supervisor gives up and invokes the
+// fatal handler, which AppManager wires to abort the run and surface the
+// failure in the OverheadReport.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/component.hpp"
+
+namespace entk {
+
+class Supervisor : public Component {
+ public:
+  Supervisor(SupervisionConfig config, ProfilerPtr profiler);
+  ~Supervisor() override;
+
+  /// Register a component for supervision; installs its fault listener.
+  /// Call before start(); `component` must outlive the supervisor.
+  void supervise(Component* component);
+
+  /// Invoked (on the probe thread) when a component exhausts its restart
+  /// budget, with (component name, fault reason).
+  void set_fatal_handler(
+      std::function<void(const std::string&, const std::string&)> handler);
+
+  int total_restarts() const;
+  int restarts_of(const std::string& name) const;
+
+ protected:
+  void on_start() override;
+  void on_stop_requested() override;
+
+ private:
+  struct Entry {
+    Component* component;
+    int restarts = 0;
+    bool given_up = false;
+  };
+
+  void probe_loop();
+  void kick();
+
+  const SupervisionConfig config_;
+
+  mutable std::mutex entries_mutex_;
+  std::vector<Entry> entries_;
+  std::function<void(const std::string&, const std::string&)> fatal_handler_;
+
+  std::mutex kick_mutex_;
+  std::condition_variable kick_cv_;
+  bool kicked_ = false;
+};
+
+}  // namespace entk

@@ -189,34 +189,38 @@ bool SyncClient::sync_batch(const std::vector<Transition>& transitions,
 Synchronizer::Synchronizer(mq::BrokerPtr broker, std::string states_queue,
                            ObjectRegistry* registry, StateStore* store,
                            ProfilerPtr profiler)
-    : broker_(std::move(broker)),
+    : Component("synchronizer", std::move(profiler)),
+      broker_(std::move(broker)),
       states_queue_(std::move(states_queue)),
       registry_(registry),
-      store_(store),
-      profiler_(std::move(profiler)) {}
+      store_(store) {}
 
 Synchronizer::~Synchronizer() { stop(); }
 
-void Synchronizer::start() {
-  stopping_ = false;
-  thread_ = std::thread(&Synchronizer::loop, this);
+void Synchronizer::on_start() {
+  add_worker("sync", [this] { loop(); });
 }
 
-void Synchronizer::stop() {
-  stopping_ = true;
-  if (thread_.joinable()) thread_.join();
+void Synchronizer::on_reattach() {
+  // The dead worker may have died between get_batch and ack_batch; put
+  // those deliveries back so no transition is lost. Replaying an entry the
+  // old worker already applied is rejected by the transition tables.
+  if (broker_->has_queue(states_queue_)) {
+    broker_->queue(states_queue_)->requeue_unacked();
+  }
 }
 
 void Synchronizer::loop() {
   profiler_->record("synchronizer", "sync_start");
   while (true) {
+    beat();
     // Drain vectored: one lock acquisition pulls a whole backlog, one
     // ack_batch releases it. kDrain bounds latency for waiting requesters.
     constexpr std::size_t kDrain = 64;
     const std::vector<mq::Delivery> deliveries =
         broker_->get_batch(states_queue_, kDrain, 0.002);
     if (deliveries.empty()) {
-      if (stopping_.load()) break;
+      if (stop_requested()) break;
       continue;
     }
     BusyScope busy(busy_);

@@ -15,9 +15,9 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 
 #include "src/common/clock.hpp"
+#include "src/common/component.hpp"
 #include "src/common/profiler.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/mq/channel.hpp"
@@ -114,20 +114,25 @@ class SyncClient {
   std::uint64_t next_corr_ = 1;  ///< correlates batch requests with replies
 };
 
-/// AppManager-side synchronizer thread.
-class Synchronizer {
+/// AppManager-side synchronizer: a supervised Component with one "sync"
+/// worker consuming the states queue. Drains the backlog before honoring a
+/// stop request; on restart-after-fault, requeues any delivery the dead
+/// worker left unacked (already-applied transitions in it are rejected by
+/// the transition tables, so replay is idempotent).
+class Synchronizer : public Component {
  public:
   Synchronizer(mq::BrokerPtr broker, std::string states_queue,
                ObjectRegistry* registry, StateStore* store,
                ProfilerPtr profiler);
-  ~Synchronizer();
-
-  void start();
-  void stop();
+  ~Synchronizer() override;
 
   BusyAccumulator& busy() { return busy_; }
   std::size_t processed() const { return processed_.load(); }
   std::size_t rejected() const { return rejected_.load(); }
+
+ protected:
+  void on_start() override;
+  void on_reattach() override;
 
  private:
   void loop();
@@ -141,13 +146,10 @@ class Synchronizer {
   const std::string states_queue_;
   ObjectRegistry* registry_;
   StateStore* store_;
-  ProfilerPtr profiler_;
 
-  std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> processed_{0};
   std::atomic<std::size_t> rejected_{0};
   BusyAccumulator busy_;
-  std::thread thread_;
 };
 
 }  // namespace entk

@@ -9,29 +9,42 @@ WFProcessor::WFProcessor(WfConfig config, mq::BrokerPtr broker,
                          ObjectRegistry* registry, std::string pending_queue,
                          std::string done_queue, std::string states_queue,
                          ProfilerPtr profiler)
-    : config_(config),
+    : Component("wfprocessor", std::move(profiler)),
+      config_(config),
       broker_(std::move(broker)),
       registry_(registry),
       pending_queue_(std::move(pending_queue)),
       done_queue_(std::move(done_queue)),
-      states_queue_(std::move(states_queue)),
-      profiler_(std::move(profiler)) {}
+      states_queue_(std::move(states_queue)) {}
 
 WFProcessor::~WFProcessor() { stop(); }
 
-void WFProcessor::start() {
-  stopping_ = false;
+void WFProcessor::on_start() {
   profiler_->record("wfprocessor", "wfp_start");
-  enqueue_thread_ = std::thread(&WFProcessor::enqueue_loop, this);
-  dequeue_thread_ = std::thread(&WFProcessor::dequeue_loop, this);
+  {
+    // Force a full pipeline rescan on (re)start: a previous generation may
+    // have died after consuming its wake-up but before scheduling.
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    work_available_ = true;
+  }
+  add_worker("enqueue", [this] { enqueue_loop(); });
+  add_worker("dequeue", [this] { dequeue_loop(); });
 }
 
-void WFProcessor::stop() {
-  stopping_ = true;
+void WFProcessor::on_stop_requested() {
   work_cv_.notify_all();
-  if (enqueue_thread_.joinable()) enqueue_thread_.join();
-  if (dequeue_thread_.joinable()) dequeue_thread_.join();
-  profiler_->record("wfprocessor", "wfp_stop");
+  done_cv_.notify_all();
+}
+
+void WFProcessor::on_stopped() { profiler_->record("wfprocessor", "wfp_stop"); }
+
+void WFProcessor::on_reattach() {
+  // Deliveries the dead workers held unacked (Done-queue results, sync
+  // acks) go back to their queues so the new generation resolves them.
+  for (const std::string& queue :
+       {done_queue_, std::string("q.ack.wfp.enq"), std::string("q.ack.wfp.deq")}) {
+    if (broker_->has_queue(queue)) broker_->queue(queue)->requeue_unacked();
+  }
 }
 
 bool WFProcessor::all_pipelines_final() const {
@@ -92,14 +105,15 @@ void WFProcessor::cancel() {
 
 void WFProcessor::enqueue_loop() {
   SyncClient sync(broker_, "wfp.enqueue", states_queue_, "q.ack.wfp.enq");
-  while (!stopping_.load()) {
+  while (!stop_requested()) {
+    beat();
     std::deque<std::string> retries;
     {
       std::unique_lock<std::mutex> lock(work_mutex_);
       work_cv_.wait_for(lock, std::chrono::milliseconds(2), [this] {
-        return stopping_.load() || work_available_ || !retry_uids_.empty();
+        return stop_requested() || work_available_ || !retry_uids_.empty();
       });
-      if (stopping_.load()) return;
+      if (stop_requested()) return;
       work_available_ = false;
       retries.swap(retry_uids_);
     }
@@ -212,7 +226,8 @@ void WFProcessor::dequeue_loop() {
   // Drain size: at batch_size 1 pull single deliveries (the seed path);
   // otherwise pull whole backlogs in one queue-lock acquisition.
   const std::size_t drain = config_.batch_size <= 1 ? 1 : config_.batch_size;
-  while (!stopping_.load()) {
+  while (!stop_requested()) {
+    beat();
     const std::vector<mq::Delivery> deliveries =
         broker_->get_batch(done_queue_, drain, config_.poll_timeout_s);
     if (deliveries.empty()) continue;

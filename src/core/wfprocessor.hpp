@@ -16,8 +16,8 @@
 #include <memory>
 #include <mutex>
 #include <set>
-#include <thread>
 
+#include "src/common/component.hpp"
 #include "src/common/profiler.hpp"
 #include "src/core/sync.hpp"
 #include "src/mq/broker.hpp"
@@ -43,15 +43,17 @@ struct WfConfig {
   std::set<std::string> recovered_done;
 };
 
-class WFProcessor {
+/// A supervised Component with two workers ("enqueue", "dequeue"). All
+/// workflow state lives in the registry, the broker queues and the stage
+/// books, so a crashed WFProcessor can be restarted by the supervisor:
+/// on_reattach() requeues unacked Done-queue deliveries and the enqueue
+/// rescan picks up whatever was not yet scheduled.
+class WFProcessor : public Component {
  public:
   WFProcessor(WfConfig config, mq::BrokerPtr broker, ObjectRegistry* registry,
               std::string pending_queue, std::string done_queue,
               std::string states_queue, ProfilerPtr profiler);
-  ~WFProcessor();
-
-  void start();
-  void stop();
+  ~WFProcessor() override;
 
   /// Block until every pipeline reached a final state (or abort()).
   void wait_completion();
@@ -74,6 +76,12 @@ class WFProcessor {
 
   BusyAccumulator& enqueue_busy() { return enqueue_busy_; }
   BusyAccumulator& dequeue_busy() { return dequeue_busy_; }
+
+ protected:
+  void on_start() override;
+  void on_stop_requested() override;
+  void on_stopped() override;
+  void on_reattach() override;
 
  private:
   struct StageBook {
@@ -104,9 +112,7 @@ class WFProcessor {
   const std::string pending_queue_;
   const std::string done_queue_;
   const std::string states_queue_;
-  ProfilerPtr profiler_;
 
-  std::atomic<bool> stopping_{false};
   std::atomic<bool> canceling_{false};
 
   // Enqueue wake-up: new work exists (initial stages, advanced stages,
@@ -132,9 +138,6 @@ class WFProcessor {
 
   BusyAccumulator enqueue_busy_;
   BusyAccumulator dequeue_busy_;
-
-  std::thread enqueue_thread_;
-  std::thread dequeue_thread_;
 };
 
 }  // namespace entk

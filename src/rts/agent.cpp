@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "src/common/error.hpp"
 #include "src/common/log.hpp"
@@ -42,14 +43,13 @@ Agent::Agent(std::string uid, AgentConfig config, sim::NodeMap* node_map,
              ClockPtr clock, ProfilerPtr profiler, mq::BrokerPtr broker,
              std::string in_queue, std::string out_queue,
              std::shared_ptr<UnitRegistry> registry)
-    : uid_(std::move(uid)),
+    : Component(std::move(uid), std::move(profiler)),
       config_(config),
       node_map_(node_map),
       filesystem_(filesystem),
       failure_model_(failure_model),
       compute_factor_(compute_factor),
       clock_(std::move(clock)),
-      profiler_(std::move(profiler)),
       broker_(std::move(broker)),
       in_queue_(std::move(in_queue)),
       out_queue_(std::move(out_queue)),
@@ -58,26 +58,35 @@ Agent::Agent(std::string uid, AgentConfig config, sim::NodeMap* node_map,
 Agent::~Agent() { kill(); }
 
 void Agent::start() {
-  if (running_.exchange(true)) return;
+  if (state() == ComponentState::Running) return;
+  Component::start();
+}
+
+void Agent::on_start() {
   stopping_ = false;
-  killed_ = false;
   next_dispatch_v_ = clock_->now();
   stager_free_v_.assign(
       static_cast<std::size_t>(std::max(1, config_.stager_workers)),
       clock_->now());
-  profiler_->record(uid_, "agent_start", "", clock_->now());
-  threads_.emplace_back(&Agent::intake_loop, this);
-  threads_.emplace_back(&Agent::executor_loop, this);
+  profiler_->record(name(), "agent_start", "", clock_->now());
+  add_worker("intake", [this] { intake_loop(); });
+  add_worker("executor", [this] { executor_loop(); });
   for (int i = 0; i < config_.callable_workers; ++i) {
-    threads_.emplace_back(&Agent::worker_loop, this);
+    add_worker("callable-" + std::to_string(i), [this] { worker_loop(); });
   }
 }
 
+void Agent::on_stop_requested() {
+  exec_cv_.notify_all();
+  worker_cv_.notify_all();
+}
+
 void Agent::stop() {
-  if (!running_.load()) return;
+  if (state() != ComponentState::Running) return;
   stopping_ = true;
-  // Wait until everything in flight has drained or been canceled.
-  while (true) {
+  // Wait until everything in flight has drained or been canceled. Bail out
+  // if a worker faults mid-drain: nothing would empty in_flight_ anymore.
+  while (state() == ComponentState::Running) {
     {
       // Cancel units that have not been placed on cores yet.
       std::lock_guard<std::mutex> lock(exec_mutex_);
@@ -92,34 +101,21 @@ void Agent::stop() {
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  killed_ = true;  // signal threads to exit their loops
-  exec_cv_.notify_all();
-  worker_cv_.notify_all();
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
-  }
-  threads_.clear();
-  running_ = false;
-  profiler_->record(uid_, "agent_stop", "", clock_->now());
+  Component::stop();
+  profiler_->record(name(), "agent_stop", "", clock_->now());
 }
 
 void Agent::kill() {
-  if (!running_.load()) return;
-  killed_ = true;
+  const ComponentState s = state();
+  if (s != ComponentState::Running && s != ComponentState::Draining) return;
   stopping_ = true;
-  exec_cv_.notify_all();
-  worker_cv_.notify_all();
-  for (std::thread& t : threads_) {
-    if (t.joinable()) t.join();
-  }
-  threads_.clear();
+  fail("killed");
   {
     // In-flight units are lost: no results, allocations dropped.
     std::lock_guard<std::mutex> lock(flight_mutex_);
     in_flight_.clear();
   }
-  running_ = false;
-  profiler_->record(uid_, "agent_killed", "", clock_->now());
+  profiler_->record(name(), "agent_killed", "", clock_->now());
 }
 
 std::vector<std::string> Agent::in_flight() const {
@@ -156,7 +152,8 @@ void Agent::schedule_event_locked(double at_v, Phase phase, CtxPtr ctx) {
 }
 
 void Agent::intake_loop() {
-  while (!killed_.load()) {
+  while (!stop_requested()) {
+    beat();
     auto delivery = broker_->get(in_queue_, config_.poll_timeout_s);
     if (!delivery) {
       if (stopping_.load()) return;
@@ -167,7 +164,7 @@ void Agent::intake_loop() {
       wire = delivery->message.body_json();
     } catch (const json::ParseError&) {
       broker_->ack(in_queue_, delivery->delivery_tag);
-      ENTK_WARN(uid_) << "dropping malformed unit message";
+      ENTK_WARN(name()) << "dropping malformed unit message";
       continue;
     }
     const std::string uid = wire.get_string("uid", "");
@@ -177,7 +174,7 @@ void Agent::intake_loop() {
     ctx->result.name = ctx->unit.name;
     ctx->result.metadata = ctx->unit.metadata;
     ctx->result.submit_t = clock_->now();
-    profiler_->record(uid_, "unit_received", uid, ctx->result.submit_t);
+    profiler_->record(name(), "unit_received", uid, ctx->result.submit_t);
     {
       std::lock_guard<std::mutex> lock(flight_mutex_);
       in_flight_[uid] = ctx;
@@ -188,8 +185,8 @@ void Agent::intake_loop() {
     } else {
       const auto [start_v, end_v] = charge_staging(ctx->unit.input_staging);
       ctx->result.staging_in_s = end_v - start_v;
-      profiler_->record(uid_, "unit_stage_in_start", uid, start_v);
-      profiler_->record(uid_, "unit_stage_in_stop", uid, end_v);
+      profiler_->record(name(), "unit_stage_in_start", uid, start_v);
+      profiler_->record(name(), "unit_stage_in_stop", uid, end_v);
       std::lock_guard<std::mutex> lock(exec_mutex_);
       schedule_event_locked(end_v, Phase::StageInDone, std::move(ctx));
     }
@@ -237,7 +234,7 @@ void Agent::try_place_pending_locked() {
     const double duration = ctx->unit.duration_s * compute_factor_;
     const double end_v = start_v + config_.env_setup_s + duration;
     ctx->result.exec_end_t = end_v;
-    profiler_->record(uid_, "unit_exec_start", ctx->unit.uid, start_v);
+    profiler_->record(name(), "unit_exec_start", ctx->unit.uid, start_v);
 
     if (ctx->unit.callable) {
       // Real-compute units decide failure from their exit code (plus the
@@ -271,7 +268,8 @@ void Agent::try_place_pending_locked() {
 
 void Agent::executor_loop() {
   std::unique_lock<std::mutex> lock(exec_mutex_);
-  while (!killed_.load()) {
+  while (!stop_requested()) {
+    beat();
     try_place_pending_locked();
     if (events_.empty()) {
       exec_cv_.wait_for(lock, std::chrono::milliseconds(2));
@@ -312,14 +310,15 @@ void Agent::executor_loop() {
 }
 
 void Agent::worker_loop() {
-  while (!killed_.load()) {
+  while (!stop_requested()) {
+    beat();
     CtxPtr ctx;
     {
       std::unique_lock<std::mutex> lock(worker_mutex_);
       worker_cv_.wait_for(lock, std::chrono::milliseconds(2), [this] {
-        return killed_.load() || !worker_jobs_.empty();
+        return stop_requested() || !worker_jobs_.empty();
       });
-      if (killed_.load()) return;
+      if (stop_requested()) return;
       if (worker_jobs_.empty()) continue;
       ctx = std::move(worker_jobs_.front());
       worker_jobs_.pop_front();
@@ -328,7 +327,7 @@ void Agent::worker_loop() {
     try {
       exit_code = ctx->unit.callable();
     } catch (const std::exception& e) {
-      ENTK_WARN(uid_) << "unit " << ctx->unit.uid
+      ENTK_WARN(name()) << "unit " << ctx->unit.uid
                       << " callable threw: " << e.what();
       exit_code = 255;
     }
@@ -369,7 +368,7 @@ void Agent::handle_failure_check(CtxPtr ctx) {
 void Agent::handle_exec_done(CtxPtr ctx) {
   if (ctx->exec_done_fired) return;  // a failure check superseded this event
   ctx->exec_done_fired = true;
-  profiler_->record(uid_, "unit_exec_stop", ctx->unit.uid,
+  profiler_->record(name(), "unit_exec_stop", ctx->unit.uid,
                     ctx->result.exec_end_t);
   node_map_->release(ctx->alloc_id);
   {
@@ -381,8 +380,8 @@ void Agent::handle_exec_done(CtxPtr ctx) {
   if (!failed && !ctx->unit.output_staging.empty()) {
     const auto [start_v, end_v] = charge_staging(ctx->unit.output_staging);
     ctx->result.staging_out_s = end_v - start_v;
-    profiler_->record(uid_, "unit_stage_out_start", ctx->unit.uid, start_v);
-    profiler_->record(uid_, "unit_stage_out_stop", ctx->unit.uid, end_v);
+    profiler_->record(name(), "unit_stage_out_start", ctx->unit.uid, start_v);
+    profiler_->record(name(), "unit_stage_out_stop", ctx->unit.uid, end_v);
     std::lock_guard<std::mutex> lock(exec_mutex_);
     schedule_event_locked(end_v, Phase::StageOutDone, std::move(ctx));
     return;
@@ -397,7 +396,7 @@ void Agent::finalize_unit(CtxPtr ctx, UnitOutcome outcome) {
   if (outcome == UnitOutcome::Failed && ctx->result.exit_code == 0) {
     ctx->result.exit_code = 1;
   }
-  profiler_->record(uid_, "unit_done", ctx->unit.uid, ctx->result.done_t);
+  profiler_->record(name(), "unit_done", ctx->unit.uid, ctx->result.done_t);
   {
     std::lock_guard<std::mutex> lock(flight_mutex_);
     in_flight_.erase(ctx->unit.uid);

@@ -34,10 +34,10 @@
 #include <memory>
 #include <mutex>
 #include <queue>
-#include <thread>
 #include <vector>
 
 #include "src/common/clock.hpp"
+#include "src/common/component.hpp"
 #include "src/common/profiler.hpp"
 #include "src/mq/broker.hpp"
 #include "src/rts/unit.hpp"
@@ -73,7 +73,9 @@ class UnitRegistry {
   std::map<std::string, TaskUnit> units_;
 };
 
-class Agent {
+/// A supervised Component ("intake", "executor" and N "callable-i"
+/// workers); the agent uid is the component name.
+class Agent : public Component {
  public:
   /// `in_queue`/`out_queue` must already be declared on `broker`.
   Agent(std::string uid, AgentConfig config, sim::NodeMap* node_map,
@@ -81,12 +83,9 @@ class Agent {
         double compute_factor, ClockPtr clock, ProfilerPtr profiler,
         mq::BrokerPtr broker, std::string in_queue, std::string out_queue,
         std::shared_ptr<UnitRegistry> registry);
-  ~Agent();
+  ~Agent() override;
 
-  Agent(const Agent&) = delete;
-  Agent& operator=(const Agent&) = delete;
-
-  /// Spawn the intake/executor/worker threads.
+  /// Spawn the intake/executor/worker loops (idempotent while running).
   void start();
 
   /// Graceful stop: drain nothing further from the input queue, cancel
@@ -97,13 +96,17 @@ class Agent {
   /// (no results are emitted for them).
   void kill();
 
-  bool running() const { return running_.load(); }
+  bool running() const { return state() == ComponentState::Running; }
 
   /// Units accepted but not yet finalized.
   std::vector<std::string> in_flight() const;
 
   std::size_t completed() const { return completed_.load(); }
   std::size_t failed() const { return failed_.load(); }
+
+ protected:
+  void on_start() override;
+  void on_stop_requested() override;
 
  private:
   enum class Phase { StageInDone, FailureCheck, ExecDone, StageOutDone };
@@ -140,22 +143,18 @@ class Agent {
   void handle_exec_done(CtxPtr ctx);
   void finalize_unit(CtxPtr ctx, UnitOutcome outcome);
 
-  const std::string uid_;
   const AgentConfig config_;
   sim::NodeMap* node_map_;
   sim::SharedFilesystem* filesystem_;
   sim::FailureModel* failure_model_;
   const double compute_factor_;
   ClockPtr clock_;
-  ProfilerPtr profiler_;
   mq::BrokerPtr broker_;
   const std::string in_queue_;
   const std::string out_queue_;
   std::shared_ptr<UnitRegistry> registry_;
 
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};   // graceful
-  std::atomic<bool> killed_{false};     // hard
+  std::atomic<bool> stopping_{false};   // graceful drain flag
 
   // Sequential staging timelines (virtual time when each stager frees up).
   std::mutex stage_mutex_;
@@ -180,8 +179,6 @@ class Agent {
 
   std::atomic<std::size_t> completed_{0};
   std::atomic<std::size_t> failed_{0};
-
-  std::vector<std::thread> threads_;
 };
 
 }  // namespace entk::rts

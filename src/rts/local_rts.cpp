@@ -12,23 +12,28 @@
 namespace entk::rts {
 
 LocalRts::LocalRts(LocalRtsConfig config, ClockPtr clock, ProfilerPtr profiler)
-    : config_(config),
-      clock_(std::move(clock)),
-      profiler_(std::move(profiler)),
-      uid_(generate_uid("rts.local")) {}
+    : Component(generate_uid("rts.local"), std::move(profiler)),
+      config_(config),
+      clock_(std::move(clock)) {}
 
 LocalRts::~LocalRts() { kill(); }
 
 void LocalRts::initialize() {
-  profiler_->record(uid_, "rts_init_start", "", clock_->now());
-  stopping_ = false;
-  for (int i = 0; i < config_.workers; ++i) {
-    workers_.emplace_back(&LocalRts::worker_loop, this,
-                          config_.seed + static_cast<std::uint64_t>(i));
-  }
+  profiler_->record(name(), "rts_init_start", "", clock_->now());
+  Component::start();
   healthy_ = true;
-  profiler_->record(uid_, "rts_init_stop", "", clock_->now());
+  profiler_->record(name(), "rts_init_stop", "", clock_->now());
 }
+
+void LocalRts::on_start() {
+  for (int i = 0; i < config_.workers; ++i) {
+    const std::uint64_t seed = config_.seed + static_cast<std::uint64_t>(i);
+    add_worker("worker-" + std::to_string(i),
+               [this, seed] { worker_loop(seed); });
+  }
+}
+
+void LocalRts::on_stop_requested() { cv_.notify_all(); }
 
 void LocalRts::set_completion_callback(
     std::function<void(const UnitResult&)> callback) {
@@ -36,7 +41,7 @@ void LocalRts::set_completion_callback(
 }
 
 void LocalRts::submit(std::vector<TaskUnit> units) {
-  if (!healthy_.load()) throw RtsError(uid_ + ": submit on unhealthy RTS");
+  if (!healthy_.load()) throw RtsError(name() + ": submit on unhealthy RTS");
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (TaskUnit& u : units) {
@@ -51,32 +56,28 @@ void LocalRts::submit(std::vector<TaskUnit> units) {
 bool LocalRts::is_healthy() const { return healthy_.load(); }
 
 void LocalRts::terminate() {
-  if (!healthy_.exchange(false) && workers_.empty()) return;
-  // Drain: wait for queued units to finish before stopping workers.
-  while (true) {
+  healthy_ = false;
+  if (state() != ComponentState::Running) return;  // never started / killed
+  // Drain: wait for queued units to finish before stopping workers. Bail
+  // out if a worker faults mid-drain: nothing would empty the queue.
+  while (state() == ComponentState::Running) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (queue_.empty() && in_flight_.empty()) break;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
-  stopping_ = true;
-  cv_.notify_all();
-  for (std::thread& t : workers_) {
-    if (t.joinable()) t.join();
-  }
-  workers_.clear();
-  profiler_->record(uid_, "rts_teardown_stop", "", clock_->now());
+  Component::stop();
+  profiler_->record(name(), "rts_teardown_stop", "", clock_->now());
 }
 
 void LocalRts::kill() {
   healthy_ = false;
-  stopping_ = true;
-  cv_.notify_all();
-  for (std::thread& t : workers_) {
-    if (t.joinable()) t.join();
-  }
-  workers_.clear();
+  const ComponentState s = state();
+  if (s != ComponentState::Running && s != ComponentState::Draining) return;
+  // In-flight units deliberately stay tracked: the ExecManager heartbeat
+  // reads in_flight_units() off the dead instance to resubmit them.
+  fail("killed");
 }
 
 RtsStats LocalRts::stats() const {
@@ -98,11 +99,12 @@ void LocalRts::worker_loop(std::uint64_t worker_seed) {
   std::mt19937_64 rng(worker_seed);
   std::uniform_real_distribution<double> dist(0.0, 1.0);
   while (true) {
+    beat();
     TaskUnit unit;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_.load() || !queue_.empty(); });
-      if (stopping_.load()) return;
+      cv_.wait(lock, [this] { return stop_requested() || !queue_.empty(); });
+      if (stop_requested()) return;
       unit = std::move(queue_.front());
       queue_.pop_front();
     }
@@ -113,7 +115,7 @@ void LocalRts::worker_loop(std::uint64_t worker_seed) {
     result.submit_t = clock_->now();
     result.sched_t = result.submit_t;
     result.exec_start_t = clock_->now();
-    profiler_->record(uid_, "unit_exec_start", unit.uid, result.exec_start_t);
+    profiler_->record(name(), "unit_exec_start", unit.uid, result.exec_start_t);
 
     int exit_code = 0;
     const bool injected_failure =
@@ -125,12 +127,12 @@ void LocalRts::worker_loop(std::uint64_t worker_seed) {
       if (unit.duration_s > 0) {
         // Interruptible sleep: a kill() must not wait out long durations.
         double remaining_wall = unit.duration_s * clock_->scale();
-        while (remaining_wall > 0 && !stopping_.load()) {
+        while (remaining_wall > 0 && !stop_requested()) {
           const double slice = std::min(remaining_wall, 0.005);
           std::this_thread::sleep_for(std::chrono::duration<double>(slice));
           remaining_wall -= slice;
         }
-        if (stopping_.load()) {
+        if (stop_requested()) {
           // Hard death mid-execution: the unit is lost (stays in-flight,
           // no result) — the paper's RTS-failure semantics.
           return;
@@ -140,7 +142,7 @@ void LocalRts::worker_loop(std::uint64_t worker_seed) {
         try {
           exit_code = unit.callable();
         } catch (const std::exception& e) {
-          ENTK_WARN(uid_) << "unit " << unit.uid << " threw: " << e.what();
+          ENTK_WARN(name()) << "unit " << unit.uid << " threw: " << e.what();
           exit_code = 255;
         }
       } else if (is_spawnable(unit.executable)) {
@@ -152,7 +154,7 @@ void LocalRts::worker_loop(std::uint64_t worker_seed) {
     result.done_t = result.exec_end_t;
     result.exit_code = exit_code;
     result.outcome = exit_code == 0 ? UnitOutcome::Done : UnitOutcome::Failed;
-    profiler_->record(uid_, "unit_exec_stop", unit.uid, result.exec_end_t);
+    profiler_->record(name(), "unit_exec_stop", unit.uid, result.exec_end_t);
 
     {
       std::lock_guard<std::mutex> lock(mutex_);

@@ -12,10 +12,10 @@
 #include <deque>
 #include <mutex>
 #include <set>
-#include <thread>
 #include <vector>
 
 #include "src/common/clock.hpp"
+#include "src/common/component.hpp"
 #include "src/common/profiler.hpp"
 #include "src/rts/rts.hpp"
 
@@ -28,7 +28,11 @@ struct LocalRtsConfig {
   std::uint64_t seed = 17;
 };
 
-class LocalRts final : public Rts {
+/// Doubles as a supervised Component (N "worker-i" loops); the generated
+/// rts.local uid is the component name. kill() maps to a component fault,
+/// so the pool dies the way any crashed component does — leaving its
+/// in-flight set intact for the ExecManager to resubmit.
+class LocalRts final : public Rts, public Component {
  public:
   LocalRts(LocalRtsConfig config, ClockPtr clock, ProfilerPtr profiler);
   ~LocalRts() override;
@@ -43,23 +47,23 @@ class LocalRts final : public Rts {
   RtsStats stats() const override;
   std::vector<std::string> in_flight_units() const override;
 
+ protected:
+  void on_start() override;
+  void on_stop_requested() override;
+
  private:
   void worker_loop(std::uint64_t worker_seed);
 
   LocalRtsConfig config_;
   ClockPtr clock_;
-  ProfilerPtr profiler_;
-  std::string uid_;
 
   std::function<void(const UnitResult&)> callback_;
   std::atomic<bool> healthy_{false};
-  std::atomic<bool> stopping_{false};
 
   std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<TaskUnit> queue_;
   std::set<std::string> in_flight_;
-  std::vector<std::thread> workers_;
 
   std::atomic<std::size_t> submitted_{0};
   std::atomic<std::size_t> completed_{0};

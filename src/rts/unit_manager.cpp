@@ -8,9 +8,8 @@ UnitManager::UnitManager(std::string uid, ClockPtr clock, ProfilerPtr profiler,
                          mq::BrokerPtr broker, std::string agent_queue,
                          std::string done_queue,
                          std::shared_ptr<UnitRegistry> registry)
-    : uid_(std::move(uid)),
+    : Component(std::move(uid), std::move(profiler)),
       clock_(std::move(clock)),
-      profiler_(std::move(profiler)),
       broker_(std::move(broker)),
       agent_queue_(std::move(agent_queue)),
       done_queue_(std::move(done_queue)),
@@ -23,21 +22,17 @@ void UnitManager::set_callback(std::function<void(const UnitResult&)> cb) {
 }
 
 void UnitManager::start() {
-  if (running_.exchange(true)) return;
-  stopping_ = false;
-  thread_ = std::thread(&UnitManager::callback_loop, this);
+  if (state() == ComponentState::Running) return;
+  Component::start();
 }
 
-void UnitManager::stop() {
-  if (!running_.load()) return;
-  stopping_ = true;
-  if (thread_.joinable()) thread_.join();
-  running_ = false;
+void UnitManager::on_start() {
+  add_worker("callback", [this] { callback_loop(); });
 }
 
 void UnitManager::submit(std::vector<TaskUnit> units) {
   for (TaskUnit& unit : units) {
-    profiler_->record(uid_, "unit_submit", unit.uid, clock_->now());
+    profiler_->record(name(), "unit_submit", unit.uid, clock_->now());
     const json::Value wire = unit.to_json();
     registry_->put(std::move(unit));
     broker_->publish(agent_queue_,
@@ -47,18 +42,19 @@ void UnitManager::submit(std::vector<TaskUnit> units) {
 }
 
 void UnitManager::callback_loop() {
-  while (!stopping_.load()) {
+  while (!stop_requested()) {
+    beat();
     auto delivery = broker_->get(done_queue_, 0.002);
     if (!delivery) continue;
     UnitResult result;
     try {
       result = UnitResult::from_json(delivery->message.body_json());
     } catch (const EnTKError& e) {
-      ENTK_WARN(uid_) << "dropping malformed result: " << e.what();
+      ENTK_WARN(name()) << "dropping malformed result: " << e.what();
       broker_->ack(done_queue_, delivery->delivery_tag);
       continue;
     }
-    profiler_->record(uid_, "unit_callback", result.uid, clock_->now());
+    profiler_->record(name(), "unit_callback", result.uid, clock_->now());
     ++delivered_;
     if (callback_) callback_(result);
     broker_->ack(done_queue_, delivery->delivery_tag);

@@ -6,9 +6,9 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <thread>
 
 #include "src/common/clock.hpp"
+#include "src/common/component.hpp"
 #include "src/common/profiler.hpp"
 #include "src/mq/broker.hpp"
 #include "src/rts/agent.hpp"
@@ -16,23 +16,18 @@
 
 namespace entk::rts {
 
-class UnitManager {
+/// A supervised Component with one "callback" worker.
+class UnitManager : public Component {
  public:
   UnitManager(std::string uid, ClockPtr clock, ProfilerPtr profiler,
               mq::BrokerPtr broker, std::string agent_queue,
               std::string done_queue, std::shared_ptr<UnitRegistry> registry);
-  ~UnitManager();
-
-  UnitManager(const UnitManager&) = delete;
-  UnitManager& operator=(const UnitManager&) = delete;
+  ~UnitManager() override;
 
   void set_callback(std::function<void(const UnitResult&)> callback);
 
-  /// Start the completion-delivery thread.
+  /// Start the completion-delivery worker (idempotent while running).
   void start();
-
-  /// Stop delivering completions and join.
-  void stop();
 
   /// Submit units: park the full unit (with callable) in the registry and
   /// publish its wire form to the agent queue.
@@ -41,23 +36,21 @@ class UnitManager {
   std::size_t submitted() const { return submitted_.load(); }
   std::size_t delivered() const { return delivered_.load(); }
 
+ protected:
+  void on_start() override;
+
  private:
   void callback_loop();
 
-  const std::string uid_;
   ClockPtr clock_;
-  ProfilerPtr profiler_;
   mq::BrokerPtr broker_;
   const std::string agent_queue_;
   const std::string done_queue_;
   std::shared_ptr<UnitRegistry> registry_;
 
   std::function<void(const UnitResult&)> callback_;
-  std::atomic<bool> running_{false};
-  std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> submitted_{0};
   std::atomic<std::size_t> delivered_{0};
-  std::thread thread_;
 };
 
 }  // namespace entk::rts

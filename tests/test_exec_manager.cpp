@@ -34,7 +34,7 @@ class ExecFixture : public ::testing::Test {
   }
 
   void start_exec(ExecConfig cfg = {}) {
-    cfg.heartbeat_interval_s = 0.005;
+    cfg.supervision.heartbeat_interval_s = 0.005;
     rts::RtsFactory factory = [this]() -> rts::RtsPtr {
       ++rts_instances_;
       return std::make_shared<rts::LocalRts>(rts::LocalRtsConfig{.workers = 2},
@@ -118,7 +118,7 @@ TEST_F(ExecFixture, CallableExitCodeTravelsInCompletion) {
 
 TEST_F(ExecFixture, HeartbeatRestartsDeadRtsAndResubmits) {
   ExecConfig cfg;
-  cfg.rts_restart_limit = 1;
+  cfg.supervision.rts_restart_limit = 1;
   start_exec(cfg);
   // Long-running task: 20,000 virtual s = 2 s wall at 1e-4.
   TaskPtr task = submit_task(20000.0);
@@ -144,7 +144,7 @@ TEST_F(ExecFixture, HeartbeatRestartsDeadRtsAndResubmits) {
 
 TEST_F(ExecFixture, FatalHandlerFiresWhenBudgetExhausted) {
   ExecConfig cfg;
-  cfg.rts_restart_limit = 0;
+  cfg.supervision.rts_restart_limit = 0;
   start_exec(cfg);
   std::atomic<bool> fatal{false};
   emgr_->set_fatal_handler([&fatal](const std::string&) { fatal = true; });
@@ -222,6 +222,23 @@ TEST_F(ExecFixture, CompletionCoalescingPublishesResultsArrays) {
   EXPECT_EQ(seen.size(), 6u);
   EXPECT_TRUE(saw_coalesced);
   for (const TaskPtr& t : tasks) EXPECT_EQ(seen.count(t->uid()), 1u);
+}
+
+TEST_F(ExecFixture, DoubleStopIsIdempotent) {
+  // Regression: the pre-Component ExecManager joined heartbeat_thread_ in
+  // both stop() and the destructor, so stop() followed by destruction (or a
+  // second stop()) raced on a dead thread. The lifecycle state machine makes
+  // stop() a no-op after the first call, and RTS termination happens once.
+  start_exec();
+  TaskPtr task = submit_task(0.2);
+  ASSERT_EQ(collect(1).size(), 1u);
+  emgr_->stop();
+  EXPECT_EQ(emgr_->state(), ComponentState::Stopped);
+  EXPECT_EQ(emgr_->stop(), 0.0);  // second stop: no second RTS termination
+  emgr_->stop();
+  EXPECT_EQ(emgr_->state(), ComponentState::Stopped);
+  emgr_.reset();  // destructor after explicit stop must also be safe
+  (void)task;
 }
 
 TEST_F(ExecFixture, PendingMessagesForUnknownTasksAreDropped) {

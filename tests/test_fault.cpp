@@ -21,7 +21,7 @@ AppManagerConfig fast_config() {
   cfg.resource.rts_teardown_base_s = 0.01;
   cfg.resource.rts_teardown_per_unit_s = 0.0;
   cfg.clock_scale = 1e-4;
-  cfg.heartbeat_interval_s = 0.005;
+  cfg.supervision.heartbeat_interval_s = 0.005;
   return cfg;
 }
 
@@ -40,7 +40,7 @@ PipelinePtr long_pipeline(int tasks, double duration_s) {
 
 TEST(FaultTolerance, RtsFailureIsRecoveredAndTasksComplete) {
   AppManagerConfig cfg = fast_config();
-  cfg.rts_restart_limit = 2;
+  cfg.supervision.rts_restart_limit = 2;
   AppManager amgr(cfg);
   // Tasks long enough (in wall time) that the kill lands mid-execution:
   // 2000 virtual s at 1e-4 scale = 200 ms.
@@ -61,7 +61,7 @@ TEST(FaultTolerance, RtsFailureIsRecoveredAndTasksComplete) {
 
 TEST(FaultTolerance, RestartBudgetExhaustionAbortsWorkflow) {
   AppManagerConfig cfg = fast_config();
-  cfg.rts_restart_limit = 0;  // no restarts allowed
+  cfg.supervision.rts_restart_limit = 0;  // no restarts allowed
   AppManager amgr(cfg);
   amgr.add_pipelines({long_pipeline(2, 5000.0)});
   std::thread killer([&amgr] {
@@ -76,7 +76,7 @@ TEST(FaultTolerance, RestartBudgetExhaustionAbortsWorkflow) {
 
 TEST(FaultTolerance, DoubleFailureWithinBudgetStillCompletes) {
   AppManagerConfig cfg = fast_config();
-  cfg.rts_restart_limit = 3;
+  cfg.supervision.rts_restart_limit = 3;
   AppManager amgr(cfg);
   amgr.add_pipelines({long_pipeline(2, 1500.0)});
   std::thread killer([&amgr] {
@@ -191,7 +191,7 @@ TEST(FaultTolerance, CustomRtsFactorySupportsRestart) {
   // Demonstrate RTS-agnosticism: the same failure protocol drives the
   // thread-pool LocalRts.
   AppManagerConfig cfg = fast_config();
-  cfg.rts_restart_limit = 1;
+  cfg.supervision.rts_restart_limit = 1;
   auto clock = std::make_shared<ScaledClock>(1e-4);
   auto profiler = std::make_shared<Profiler>();
   int instances = 0;
@@ -210,6 +210,73 @@ TEST(FaultTolerance, CustomRtsFactorySupportsRestart) {
   killer.join();
   EXPECT_EQ(instances, 2);
   EXPECT_EQ(amgr.tasks_done(), 3u);
+}
+
+TEST(FaultTolerance, WfprocessorFaultIsRecoveredBySupervisor) {
+  // Crash the WFProcessor mid-run: its workers die, the supervisor restarts
+  // it re-attached to the same queues, and the run completes with every
+  // task DONE — the paper's component-level fault tolerance (§II-B-4).
+  AppManagerConfig cfg = fast_config();
+  cfg.supervision.component_restart_limit = 2;
+  AppManager amgr(cfg);
+  amgr.add_pipelines({long_pipeline(6, 2000.0)});
+  std::thread killer([&amgr] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    amgr.inject_component_fault("wfprocessor");
+  });
+  amgr.run();
+  killer.join();
+  EXPECT_EQ(amgr.tasks_done(), 6u);
+  EXPECT_EQ(amgr.tasks_failed(), 0u);
+  EXPECT_GE(amgr.component_restarts(), 1);
+  EXPECT_EQ(amgr.pipelines()[0]->state(), PipelineState::Done);
+  EXPECT_TRUE(amgr.overheads().failed_component.empty());
+}
+
+TEST(FaultTolerance, SynchronizerFaultIsRecoveredBySupervisor) {
+  AppManagerConfig cfg = fast_config();
+  cfg.supervision.component_restart_limit = 2;
+  AppManager amgr(cfg);
+  amgr.add_pipelines({long_pipeline(4, 2000.0)});
+  std::thread killer([&amgr] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    amgr.inject_component_fault("synchronizer");
+  });
+  amgr.run();
+  killer.join();
+  EXPECT_EQ(amgr.tasks_done(), 4u);
+  EXPECT_GE(amgr.component_restarts(), 1);
+  EXPECT_EQ(amgr.pipelines()[0]->state(), PipelineState::Done);
+  // Every task still reached DONE in the state store despite the crash.
+  for (const StagePtr& s : amgr.pipelines()[0]->stages()) {
+    for (const TaskPtr& t : s->tasks()) {
+      EXPECT_EQ(amgr.state_store()->state_of(t->uid()), "DONE");
+    }
+  }
+}
+
+TEST(FaultTolerance, ComponentBudgetExhaustionFailsRun) {
+  AppManagerConfig cfg = fast_config();
+  cfg.supervision.component_restart_limit = 0;  // any component crash is fatal
+  AppManager amgr(cfg);
+  amgr.add_pipelines({long_pipeline(2, 5000.0)});
+  std::thread killer([&amgr] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    amgr.inject_component_fault("wfprocessor");
+  });
+  amgr.run();  // must return (aborted), not hang
+  killer.join();
+  const OverheadReport report = amgr.overheads();
+  EXPECT_EQ(report.failed_component, "wfprocessor");
+  EXPECT_FALSE(report.failure_reason.empty());
+  EXPECT_EQ(report.component_restarts, 0);
+  EXPECT_EQ(amgr.tasks_done(), 0u);
+}
+
+TEST(FaultTolerance, UnknownComponentNameThrows) {
+  AppManagerConfig cfg = fast_config();
+  AppManager amgr(cfg);
+  EXPECT_THROW(amgr.inject_component_fault("mystery"), ValueError);
 }
 
 TEST(FaultTolerance, JournalsSurviveForPostMortem) {

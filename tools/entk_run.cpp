@@ -31,6 +31,7 @@
 // pool in real time and absolute-path executables are actually spawned;
 // otherwise it runs on the simulated pilot RTS against the named CI.
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -100,14 +101,22 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: entk_run <workflow.json> [--profile trace.csv]\n"
+                 "                [--component-restart-limit N]\n"
                  "       executes the PST application described in the file;\n"
                  "       --profile dumps the run's event trace as CSV for\n"
-                 "       post-mortem analysis (src/analytics)\n");
+                 "       post-mortem analysis (src/analytics);\n"
+                 "       --component-restart-limit caps how often the\n"
+                 "       supervisor restarts a crashed EnTK component before\n"
+                 "       failing the run (default 2)\n");
     return 2;
   }
   std::string profile_path;
+  int component_restart_limit = -1;
   for (int i = 2; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--profile") profile_path = argv[i + 1];
+    if (std::string(argv[i]) == "--component-restart-limit") {
+      component_restart_limit = std::atoi(argv[i + 1]);
+    }
   }
   std::ifstream in(argv[1]);
   if (!in) {
@@ -132,6 +141,9 @@ int main(int argc, char** argv) {
           static_cast<int>(r.get_int("task_retry_limit", 0));
       config.clock_scale = r.get_double("clock_scale", 1e-3);
       local_processes = r.get_bool("local_processes", false);
+    }
+    if (component_restart_limit >= 0) {
+      config.supervision.component_restart_limit = component_restart_limit;
     }
     if (local_processes) {
       // Real-time local execution with actual process spawning.
@@ -162,7 +174,8 @@ int main(int argc, char** argv) {
       std::printf("pipeline %-16s %s\n", p->name.c_str(),
                   to_string(p->state()));
     }
-    return report.tasks_failed == 0 ? 0 : 1;
+    return report.tasks_failed == 0 && report.failed_component.empty() ? 0
+                                                                       : 1;
   } catch (const json::ParseError& e) {
     std::fprintf(stderr, "entk_run: invalid JSON: %s\n", e.what());
     return 2;
