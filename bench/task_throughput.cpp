@@ -10,7 +10,12 @@
 // Flags: --pipelines M (default 4), --tasks N per pipeline (default 256),
 //        --reps R best-of-R runs per batch size (default 3),
 //        --check (exit nonzero unless batch=256 gives >= 3x batch=1),
-//        --profile PREFIX (dump one profiler CSV per batch size).
+//        --profile PREFIX (dump one profiler CSV per batch size),
+//        --trace-out PATH / --metrics-out PATH (observability exports of
+//        the first batch=256 run: Chrome trace JSON / metrics JSONL),
+//        --obs-check (batch=256 only: best-of-R with live metrics off vs
+//        on; exit nonzero when the instrumented run loses >= 5% tasks/s).
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -70,8 +75,15 @@ struct Sample {
   double us_per_task = 0.0;
 };
 
+struct ObsOptions {
+  bool metrics = false;
+  std::string trace_out;
+  std::string metrics_out;
+};
+
 Sample run_once(int pipelines, int tasks, std::size_t batch,
-                const char* profile_csv = nullptr) {
+                const char* profile_csv = nullptr,
+                const ObsOptions& obs = {}) {
   entk::bench::EnsembleSpec spec;
   spec.pipelines = pipelines;
   spec.stages = 1;
@@ -83,6 +95,9 @@ Sample run_once(int pipelines, int tasks, std::size_t batch,
   config.resource.cpus = 16;
   config.resource.walltime_s = 3600;
   config.task_batch_size = batch;
+  config.obs.metrics = obs.metrics;
+  config.obs.trace_out = obs.trace_out;
+  config.obs.metrics_out = obs.metrics_out;
   config.rts_factory = [] { return std::make_shared<NoopRts>(); };
 
   entk::AppManager appman(std::move(config));
@@ -126,8 +141,53 @@ int main(int argc, char** argv) {
 
   // --profile PREFIX: dump one CSV event trace per batch size.
   std::string profile_prefix;
+  ObsOptions export_obs;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--profile") profile_prefix = argv[i + 1];
+    if (std::string(argv[i]) == "--trace-out") export_obs.trace_out = argv[i + 1];
+    if (std::string(argv[i]) == "--metrics-out")
+      export_obs.metrics_out = argv[i + 1];
+  }
+  export_obs.metrics = !export_obs.trace_out.empty() ||
+                       !export_obs.metrics_out.empty();
+
+  if (entk::bench::flag_present(argc, argv, "--obs-check")) {
+    // Acceptance gate for the obs subsystem: with live metrics recording on
+    // every broker/wfp/emgr hot path, batch=256 dispatch throughput must
+    // stay within 5% of the uninstrumented run. Paired design: each rep runs
+    // off then on back to back, so machine-load drift over the sweep hits
+    // both sides of a pair equally; the median per-pair ratio discards
+    // outlier pairs entirely. Exports (file I/O) happen in one untimed run
+    // so the gate measures in-run overhead only.
+    std::vector<double> ratios;
+    Sample off_best, on_best;
+    for (long r = 0; r < reps; ++r) {
+      const Sample off = run_once(pipelines, tasks, 256);
+      const Sample on =
+          run_once(pipelines, tasks, 256, nullptr, ObsOptions{true, "", ""});
+      ratios.push_back(on.tasks_per_s / off.tasks_per_s);
+      if (off.tasks_per_s > off_best.tasks_per_s) off_best = off;
+      if (on.tasks_per_s > on_best.tasks_per_s) on_best = on;
+    }
+    if (!export_obs.trace_out.empty() || !export_obs.metrics_out.empty()) {
+      run_once(pipelines, tasks, 256, nullptr, export_obs);
+    }
+    std::sort(ratios.begin(), ratios.end());
+    const double ratio = ratios[ratios.size() / 2];
+    std::printf("%12s %10.3f %14.0f %14.1f\n", "256 (off)", off_best.wall_s,
+                off_best.tasks_per_s, off_best.us_per_task);
+    std::printf("%12s %10.3f %14.0f %14.1f\n", "256 (obs)", on_best.wall_s,
+                on_best.tasks_per_s, on_best.us_per_task);
+    std::printf("\nobs-on vs obs-off throughput (median of %zu pairs): %.3fx\n",
+                ratios.size(), ratio);
+    if (ratio < 0.95) {
+      std::fprintf(stderr,
+                   "OBS CHECK FAILED: metrics+tracing cost %.1f%% throughput "
+                   "(budget: 5%%)\n",
+                   100.0 * (1.0 - ratio));
+      return 1;
+    }
+    return 0;
   }
 
   std::vector<Sample> samples;
@@ -140,7 +200,8 @@ int main(int argc, char** argv) {
     // Best-of-R: dispatch is latency-bound, so the fastest rep is the one
     // least disturbed by scheduler noise on a shared machine.
     Sample s = run_once(pipelines, tasks, batch,
-                        csv.empty() ? nullptr : csv.c_str());
+                        csv.empty() ? nullptr : csv.c_str(),
+                        batch == 256 ? export_obs : ObsOptions{});
     for (long r = 1; r < reps; ++r) {
       const Sample again = run_once(pipelines, tasks, batch);
       if (again.tasks_per_s > s.tasks_per_s) s = again;

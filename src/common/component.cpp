@@ -158,6 +158,18 @@ void Component::inject_fault(std::string reason) {
   fault_armed_.store(true, std::memory_order_release);
 }
 
+void Component::set_metrics(obs::MetricsPtr metrics) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  metrics_ = std::move(metrics);
+  if (!metrics_) {
+    transitions_metric_ = nullptr;
+    faults_metric_ = nullptr;
+    return;
+  }
+  transitions_metric_ = &metrics_->counter("component." + name_ + ".transitions");
+  faults_metric_ = &metrics_->counter("component." + name_ + ".faults");
+}
+
 void Component::set_fault_listener(
     std::function<void(Component&, const std::string&)> listener) {
   std::lock_guard<std::mutex> lock(state_mutex_);
@@ -231,6 +243,10 @@ void Component::transition_locked(ComponentState to) {
   }
   state_ = to;
   if (profiler_) profiler_->record(name_, "component_state", to_string(to));
+  if (transitions_metric_ != nullptr) {
+    transitions_metric_->add(1);
+    if (to == ComponentState::Failed) faults_metric_->add(1);
+  }
 }
 
 void Component::request_stop() {

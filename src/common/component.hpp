@@ -42,6 +42,7 @@
 
 #include "src/common/error.hpp"
 #include "src/common/profiler.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace entk {
 
@@ -113,6 +114,10 @@ class Component {
   void set_fault_listener(
       std::function<void(Component&, const std::string&)> listener);
 
+  /// Attach a metrics registry: lifecycle transition and fault counters
+  /// ("component.*"). Attach before start(); nullptr detaches.
+  void set_metrics(obs::MetricsPtr metrics);
+
   /// Number of completed start() calls (1 after first start, +1 per
   /// restart).
   int generation() const { return generation_.load(); }
@@ -145,6 +150,11 @@ class Component {
   /// a fault is armed. Call once per loop iteration.
   void beat();
 
+  /// Attached registry for subclass-specific metrics (null when off).
+  /// Rare paths may resolve through it directly; hot paths should cache
+  /// handles when set_metrics runs.
+  obs::MetricsRegistry* metrics() const { return metrics_.get(); }
+
   ProfilerPtr profiler_;
 
  private:
@@ -176,6 +186,11 @@ class Component {
 
   std::mutex stop_mutex_;
   std::condition_variable stop_cv_;
+
+  // Pre-resolved metric handles; all null when metrics are off.
+  obs::MetricsPtr metrics_;
+  obs::Counter* transitions_metric_ = nullptr;
+  obs::Counter* faults_metric_ = nullptr;
 };
 
 }  // namespace entk

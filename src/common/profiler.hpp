@@ -13,6 +13,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace entk {
@@ -37,7 +38,9 @@ class Profiler {
   /// Number of recorded events.
   std::size_t size() const;
 
-  /// Wall time of the first/last occurrence of `event`, if any.
+  /// Wall time of the first/last occurrence of `event`, if any. Served
+  /// from a per-event-name index maintained by record(), so callers like
+  /// OverheadReport (dozens of queries per report) never rescan the log.
   std::optional<std::int64_t> first_us(const std::string& event) const;
   std::optional<std::int64_t> last_us(const std::string& event) const;
 
@@ -51,19 +54,33 @@ class Profiler {
   double paired_sum_s(const std::string& start_event,
                       const std::string& end_event) const;
 
-  /// Count occurrences of `event`.
+  /// Count occurrences of `event` (indexed, O(1)).
   std::size_t count(const std::string& event) const;
 
   /// Write all events as CSV ("wall_us,virtual_s,component,event,uid").
+  /// Fields are quoted per RFC 4180 when they contain a comma, quote or
+  /// newline, so arbitrary event/uid strings round-trip.
   void dump_csv(const std::string& path) const;
 
   void clear();
 
  private:
+  /// first/last timestamp and count per event name, updated by record().
+  struct EventIndexEntry {
+    std::int64_t first_us = 0;
+    std::int64_t last_us = 0;
+    std::size_t count = 0;
+  };
+
   mutable std::mutex mutex_;
   std::vector<ProfileEvent> events_;
+  std::unordered_map<std::string, EventIndexEntry> index_;
 };
 
 using ProfilerPtr = std::shared_ptr<Profiler>;
+
+/// Read back a CSV written by Profiler::dump_csv (RFC 4180 quoting).
+/// Throws EnTKError on unreadable file or malformed rows.
+std::vector<ProfileEvent> read_profile_csv(const std::string& path);
 
 }  // namespace entk

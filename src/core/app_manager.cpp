@@ -20,6 +20,10 @@ AppManager::AppManager(AppManagerConfig config)
         sim::cluster_by_name(config_.resource.resource).entk_host_factor;
   }
   if (!config_.rts_factory) config_.rts_factory = default_rts_factory();
+  if (config_.obs.metrics_enabled()) {
+    metrics_ = std::make_shared<obs::MetricsRegistry>();
+    metrics_->set_snapshot_interval(config_.obs.snapshot_interval_s);
+  }
 }
 
 AppManager::~AppManager() = default;
@@ -65,6 +69,7 @@ void AppManager::run() {
 
   const std::string journal_dir = config_.journal_dir;
   broker_ = std::make_shared<mq::Broker>(uid_, journal_dir);
+  if (metrics_) broker_->set_metrics(metrics_);
   broker_->declare_queue("q.pending");
   broker_->declare_queue("q.completed");
   broker_->declare_queue("q.states");
@@ -136,6 +141,13 @@ void AppManager::run() {
         wfprocessor_->abort(component + ": " + reason);
       });
 
+  if (metrics_) {
+    synchronizer_->set_metrics(metrics_);
+    wfprocessor_->set_metrics(metrics_);
+    exec_manager_->set_metrics(metrics_);
+    supervisor_->set_metrics(metrics_);
+  }
+
   const double setup_wall = wall_now_s() - setup_t0;
   profiler_->record("amgr", "amgr_setup_stop");
 
@@ -165,6 +177,19 @@ void AppManager::run() {
   profiler_->record("amgr", "amgr_teardown_stop");
 
   // ------------------------------------------------------------- report
+  // Stitch the causal trace once: the overhead report, the span
+  // histograms and the exporters all read this one model.
+  obs::TraceLinks links;
+  for (const PipelinePtr& p : pipelines_) {
+    for (const StagePtr& stage : p->stages()) {
+      links.stage_pipeline[stage->uid()] = p->uid();
+      for (const TaskPtr& task : stage->tasks()) {
+        links.task_stage[task->uid()] = stage->uid();
+      }
+    }
+  }
+  trace_ = obs::build_trace(*profiler_, links);
+
   OverheadInputs inputs;
   inputs.setup_wall_s = setup_wall;
   inputs.mgmt_wall_s = wfprocessor_->enqueue_busy().total_s() +
@@ -176,7 +201,7 @@ void AppManager::run() {
       wfprocessor_->tasks_done() + wfprocessor_->tasks_failed() +
       wfprocessor_->resubmissions();
   inputs.host = config_.host;
-  report_ = compute_overheads(*profiler_, inputs);
+  report_ = compute_overheads(trace_, inputs);
   report_.tasks_done = wfprocessor_->tasks_done();
   report_.tasks_failed = wfprocessor_->tasks_failed();
   report_.resubmissions = wfprocessor_->resubmissions();
@@ -191,6 +216,22 @@ void AppManager::run() {
   ENTK_INFO(uid_) << "run complete: " << report_.tasks_done << " done, "
                   << report_.tasks_failed << " failed, "
                   << report_.resubmissions << " resubmissions";
+
+  // ------------------------------------------------------------- exports
+  if (metrics_) obs::fill_span_histograms(trace_, *metrics_);
+  try {
+    if (!config_.obs.trace_out.empty()) {
+      obs::write_chrome_trace(trace_, config_.obs.trace_out);
+      ENTK_INFO(uid_) << "trace written to " << config_.obs.trace_out;
+    }
+    if (!config_.obs.metrics_out.empty() && metrics_) {
+      metrics_->dump_jsonl(config_.obs.metrics_out, wall_now_us());
+      ENTK_INFO(uid_) << "metrics written to " << config_.obs.metrics_out;
+    }
+  } catch (const std::exception& e) {
+    // A failed export must not turn a completed run into a failure.
+    ENTK_ERROR(uid_) << "observability export failed: " << e.what();
+  }
 }
 
 void AppManager::inject_rts_failure() {

@@ -25,6 +25,8 @@
 #include "src/core/sync.hpp"
 #include "src/core/wfprocessor.hpp"
 #include "src/mq/broker.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/rts/rts.hpp"
 
 namespace entk {
@@ -68,6 +70,12 @@ struct AppManagerConfig {
   /// the seed's strictly per-task message flow; per-task states, profiler
   /// events and recovery semantics are identical at any setting.
   std::size_t task_batch_size = 64;
+
+  /// Observability: live metrics registry (broker/component/RTS counters,
+  /// latency histograms) and post-run exports — Chrome trace_event JSON
+  /// (obs.trace_out) and metrics JSONL (obs.metrics_out). All off by
+  /// default; the hot paths then cost a single null check.
+  obs::ObsConfig obs;
 };
 
 class AppManager {
@@ -104,6 +112,10 @@ class AppManager {
   const std::string& uid() const { return uid_; }
   OverheadReport overheads() const { return report_; }
   ProfilerPtr profiler() { return profiler_; }
+  /// Metrics registry (null unless config.obs enabled metrics).
+  obs::MetricsPtr metrics() { return metrics_; }
+  /// Causal trace stitched at the end of run() (empty before).
+  const obs::Trace& trace() const { return trace_; }
   ClockPtr clock() { return clock_; }
   StateStore* state_store() { return store_.get(); }
   const std::vector<PipelinePtr>& pipelines() const { return pipelines_; }
@@ -123,6 +135,8 @@ class AppManager {
   std::string uid_;
   ClockPtr clock_;
   ProfilerPtr profiler_;
+  obs::MetricsPtr metrics_;
+  obs::Trace trace_;
 
   std::vector<PipelinePtr> pipelines_;
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <vector>
 
+#include "src/common/clock.hpp"
 #include "src/common/error.hpp"
 #include "src/common/log.hpp"
 
@@ -27,7 +28,16 @@ ExecManager::~ExecManager() {
   Component::stop();
 }
 
+void ExecManager::resolve_metrics() {
+  auto* reg = metrics();
+  if (reg == nullptr || submit_us_metric_ != nullptr) return;
+  submit_us_metric_ = &reg->histogram("rts.submit_us");
+  submitted_metric_ = &reg->counter("rts.units_submitted");
+  completed_metric_ = &reg->counter("rts.units_completed");
+}
+
 void ExecManager::acquire_resources() {
+  resolve_metrics();
   profiler_->record("rmgr", "resource_acquire_start");
   rts::RtsPtr rts = rts_factory_();
   {
@@ -80,6 +90,7 @@ void ExecManager::attach_callback() {
       }
     }
     profiler_->record("rts_callback", "unit_completed", result.uid);
+    if (completed_metric_ != nullptr) completed_metric_->add(1);
   });
 }
 
@@ -123,6 +134,7 @@ void ExecManager::flush_loop() {
 }
 
 void ExecManager::on_start() {
+  resolve_metrics();
   if (config_.completion_flush_window_s > 0) {
     {
       std::lock_guard<std::mutex> lock(flush_mutex_);
@@ -141,10 +153,10 @@ void ExecManager::on_reattach() {
   // Pending-queue deliveries (and sync acks) the dead emgr worker held
   // unacked go back for the new generation to submit.
   if (broker_->has_queue(pending_queue_)) {
-    broker_->queue(pending_queue_)->requeue_unacked();
+    broker_->requeue_unacked(pending_queue_);
   }
   if (broker_->has_queue("q.ack.emgr")) {
-    broker_->queue("q.ack.emgr")->requeue_unacked();
+    broker_->requeue_unacked("q.ack.emgr");
   }
 }
 
@@ -251,6 +263,13 @@ void ExecManager::emgr_loop() {
       sync.sync(uids.front(), "task", "SCHEDULED", "SUBMITTING", false);
       sync.sync(uids.front(), "task", "SUBMITTING", "SUBMITTED", false);
     }
+    // Recorded before the RTS sees the units so the trace's causal order
+    // holds: a very short unit could otherwise record unit_exec_start on
+    // the RTS thread before the submit timestamp exists.
+    for (const std::string& uid : uids) {
+      profiler_->record("emgr", "task_submitted", uid);
+    }
+    const std::int64_t t0 = submit_us_metric_ != nullptr ? wall_now_us() : 0;
     try {
       std::lock_guard<std::mutex> lock(rts_mutex_);
       if (!rts_ || !rts_->is_healthy()) {
@@ -262,8 +281,9 @@ void ExecManager::emgr_loop() {
       // unnecessary — units stay tracked as in flight by uid below.
       ENTK_WARN("emgr") << e.what();
     }
-    for (const std::string& uid : uids) {
-      profiler_->record("emgr", "task_submitted", uid);
+    if (submit_us_metric_ != nullptr) {
+      submit_us_metric_->observe(static_cast<double>(wall_now_us() - t0));
+      submitted_metric_->add(uids.size());
     }
   }
 }
@@ -272,11 +292,19 @@ void ExecManager::sample_queue_depths() {
   // Depth gauges: ready/unacked backlog per queue, recorded in the numeric
   // (virtual_s) field with the queue name as uid. Cheap — one shared-lock
   // map walk plus one mutex grab per queue — so it can ride the heartbeat.
+  auto* reg = metrics();
   for (const mq::QueueDepth& d : broker_->depth_snapshot()) {
     profiler_->record("broker", "queue_ready_depth", d.queue,
                       static_cast<double>(d.ready));
     profiler_->record("broker", "queue_unacked_depth", d.queue,
                       static_cast<double>(d.unacked));
+    if (reg != nullptr) {
+      // Heartbeat cadence, a handful of queues: resolving through the
+      // registry here is cheaper than a name->gauge cache would earn.
+      reg->gauge("mq.ready." + d.queue).set(static_cast<std::int64_t>(d.ready));
+      reg->gauge("mq.unacked." + d.queue)
+          .set(static_cast<std::int64_t>(d.unacked));
+    }
   }
 }
 
@@ -287,6 +315,7 @@ void ExecManager::heartbeat_loop() {
     if (wait_stop_for(config_.supervision.heartbeat_interval_s)) return;
     beat();
     if (config_.sample_queue_depths) sample_queue_depths();
+    if (auto* reg = metrics()) reg->maybe_snapshot(wall_now_us());
     bool healthy;
     {
       std::lock_guard<std::mutex> lock(rts_mutex_);

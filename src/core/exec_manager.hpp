@@ -92,6 +92,8 @@ class ExecManager : public Component {
   rts::TaskUnit translate(const TaskPtr& task) const;
   void restart_rts();
   void sample_queue_depths();
+  /// Cache "rts.*" metric handles once a registry is attached (idempotent).
+  void resolve_metrics();
   void flush_loop();
   /// Publish buffered completion results as one bulk Done message.
   void flush_completions(std::vector<json::Value> buffered);
@@ -112,6 +114,11 @@ class ExecManager : public Component {
   std::atomic<int> restarts_{0};
   std::atomic<bool> rts_terminated_{false};
   BusyAccumulator emgr_busy_;
+
+  // Pre-resolved metric handles ("rts.*"); all null when metrics are off.
+  obs::Histogram* submit_us_metric_ = nullptr;
+  obs::Counter* submitted_metric_ = nullptr;
+  obs::Counter* completed_metric_ = nullptr;
 
   // Completion coalescing (used only when completion_flush_window_s > 0).
   std::mutex flush_mutex_;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <map>
 
 namespace entk {
 namespace {
@@ -19,61 +18,12 @@ struct VirtualSpans {
                                 // staging excluded
 };
 
-VirtualSpans scan(const Profiler& profiler) {
+VirtualSpans from_trace(const obs::Trace& trace) {
   VirtualSpans out;
-  double rts_init_start = -1, rts_init_stop = -1;
-  double first_stage = -1, last_stage = -1;
-  double rts_td_start = -1, rts_td_stop = -1;
-  double first_exec = -1, last_exec = -1;
-
-  struct UnitTimes {
-    double received = -1, exec_start = -1, exec_end = -1, done = -1;
-    double stage_in = 0, stage_out = 0;
-    double stage_in_start = -1, stage_out_start = -1;
-  };
-  std::map<std::string, UnitTimes> units;
-
-  for (const ProfileEvent& e : profiler.events()) {
-    const double v = e.virtual_s;
-    if (v < 0) continue;  // wall-only event
-    if (e.event == "rts_init_start" && rts_init_start < 0) rts_init_start = v;
-    else if (e.event == "rts_init_stop") rts_init_stop = v;
-    else if (e.event == "rts_teardown_start" && rts_td_start < 0) rts_td_start = v;
-    else if (e.event == "rts_teardown_stop") rts_td_stop = v;
-    else if (e.event == "unit_received") units[e.uid].received = v;
-    else if (e.event == "unit_exec_start") {
-      if (first_exec < 0 || v < first_exec) first_exec = v;
-      units[e.uid].exec_start = v;
-    } else if (e.event == "unit_exec_stop") {
-      if (v > last_exec) last_exec = v;
-      units[e.uid].exec_end = v;
-    } else if (e.event == "unit_done") {
-      units[e.uid].done = v;
-    } else if (e.event == "unit_stage_in_start") {
-      units[e.uid].stage_in_start = v;
-      if (first_stage < 0 || v < first_stage) first_stage = v;
-    } else if (e.event == "unit_stage_in_stop") {
-      UnitTimes& u = units[e.uid];
-      if (u.stage_in_start >= 0) u.stage_in += v - u.stage_in_start;
-      if (v > last_stage) last_stage = v;
-    } else if (e.event == "unit_stage_out_start") {
-      units[e.uid].stage_out_start = v;
-      if (first_stage < 0 || v < first_stage) first_stage = v;
-    } else if (e.event == "unit_stage_out_stop") {
-      UnitTimes& u = units[e.uid];
-      if (u.stage_out_start >= 0) u.stage_out += v - u.stage_out_start;
-      if (v > last_stage) last_stage = v;
-    }
-  }
-
-  if (rts_init_start >= 0 && rts_init_stop >= rts_init_start)
-    out.rts_init = rts_init_stop - rts_init_start;
-  if (rts_td_start >= 0 && rts_td_stop >= rts_td_start)
-    out.rts_teardown = rts_td_stop - rts_td_start;
-  if (first_exec >= 0 && last_exec >= first_exec)
-    out.exec_span = last_exec - first_exec;
-  if (first_stage >= 0 && last_stage >= first_stage)
-    out.staging_span = last_stage - first_stage;
+  out.rts_init = trace.rts_init_s();
+  out.rts_teardown = trace.rts_teardown_s();
+  out.exec_span = trace.exec_span_s();
+  out.staging_span = trace.staging_span_s();
 
   // Lead-in uses the FIRST unit only: later units may legitimately queue
   // for cores (strong scaling runs multiple generations), and that wait is
@@ -81,8 +31,9 @@ VirtualSpans scan(const Profiler& profiler) {
   double first_received = -1;
   double lead_out_sum = 0;
   std::size_t n_out = 0;
-  for (const auto& [uid, u] : units) {
+  for (const auto& [uid, task] : trace.tasks) {
     (void)uid;
+    const obs::UnitVirtualTimes& u = task.vt;
     out.staging_total += u.stage_in + u.stage_out;
     if (u.received >= 0 && u.exec_start >= u.received &&
         (first_received < 0 || u.received < first_received)) {
@@ -102,8 +53,13 @@ VirtualSpans scan(const Profiler& profiler) {
 
 OverheadReport compute_overheads(const Profiler& profiler,
                                  const OverheadInputs& in) {
+  return compute_overheads(obs::build_trace(profiler), in);
+}
+
+OverheadReport compute_overheads(const obs::Trace& trace,
+                                 const OverheadInputs& in) {
   OverheadReport r;
-  const VirtualSpans v = scan(profiler);
+  const VirtualSpans v = from_trace(trace);
 
   r.entk_setup_measured_s = in.setup_wall_s;
   r.entk_mgmt_measured_s = in.mgmt_wall_s;

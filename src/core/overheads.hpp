@@ -15,6 +15,7 @@
 
 #include "src/common/profiler.hpp"
 #include "src/core/resource.hpp"
+#include "src/obs/trace.hpp"
 
 namespace entk {
 
@@ -62,9 +63,16 @@ struct OverheadInputs {
   HostModel host;
 };
 
-/// Compute the report. `profiler` supplies virtual-time events recorded by
-/// the RTS ("rts_init_start/stop", "rts_teardown_start/stop",
-/// "unit_exec_start/stop", "unit_stage_*", "unit_received", "unit_done").
+/// Compute the report from a stitched trace (obs::build_trace): the seven
+/// paper categories derive from the trace's virtual-time aggregates and
+/// per-unit spans rather than raw event-name scans.
+OverheadReport compute_overheads(const obs::Trace& trace,
+                                 const OverheadInputs& inputs);
+
+/// Compatibility wrapper: stitch a trace from the raw profiler events
+/// ("rts_init_start/stop", "rts_teardown_start/stop", "unit_exec_start/
+/// stop", "unit_stage_*", "unit_received", "unit_done") and compute from
+/// that.
 OverheadReport compute_overheads(const Profiler& profiler,
                                  const OverheadInputs& inputs);
 

@@ -94,6 +94,8 @@ void Supervisor::probe_loop() {
       if (profiler_) {
         profiler_->record("supervisor", "component_restart", component->name());
       }
+      // Restarts are rare; resolving through the registry here is fine.
+      if (auto* reg = metrics()) reg->counter("supervisor.restarts").add(1);
       ENTK_WARN("supervisor")
           << "restarting failed component '" << component->name() << "' ("
           << component->fault_reason() << ")";

@@ -206,7 +206,7 @@ void Synchronizer::on_reattach() {
   // those deliveries back so no transition is lost. Replaying an entry the
   // old worker already applied is rejected by the transition tables.
   if (broker_->has_queue(states_queue_)) {
-    broker_->queue(states_queue_)->requeue_unacked();
+    broker_->requeue_unacked(states_queue_);
   }
 }
 

@@ -21,6 +21,12 @@ WFProcessor::~WFProcessor() { stop(); }
 
 void WFProcessor::on_start() {
   profiler_->record("wfprocessor", "wfp_start");
+  if (auto* reg = metrics()) {
+    enqueued_metric_ = &reg->counter("wfp.tasks_enqueued");
+    done_metric_ = &reg->counter("wfp.tasks_done");
+    failed_metric_ = &reg->counter("wfp.tasks_failed");
+    resubmit_metric_ = &reg->counter("wfp.resubmissions");
+  }
   {
     // Force a full pipeline rescan on (re)start: a previous generation may
     // have died after consuming its wake-up but before scheduling.
@@ -43,7 +49,7 @@ void WFProcessor::on_reattach() {
   // acks) go back to their queues so the new generation resolves them.
   for (const std::string& queue :
        {done_queue_, std::string("q.ack.wfp.enq"), std::string("q.ack.wfp.deq")}) {
-    if (broker_->has_queue(queue)) broker_->queue(queue)->requeue_unacked();
+    if (broker_->has_queue(queue)) broker_->requeue_unacked(queue);
   }
 }
 
@@ -189,8 +195,11 @@ void WFProcessor::enqueue_task(const TaskPtr& task, SyncClient& sync) {
   sync.sync(task->uid(), "task", "SCHEDULING", "SCHEDULED", true);
   json::Value msg;
   msg["uid"] = task->uid();
-  broker_->publish(pending_queue_, mq::Message::json_body(pending_queue_, msg));
+  // Recorded before the publish so the trace's causal order holds even
+  // when the consumer records task_submitted on another thread first.
   profiler_->record("wfprocessor", "task_enqueued", task->uid());
+  if (enqueued_metric_ != nullptr) enqueued_metric_->add(1);
+  broker_->publish(pending_queue_, mq::Message::json_body(pending_queue_, msg));
 }
 
 void WFProcessor::enqueue_task_batch(const std::vector<TaskPtr>& tasks,
@@ -213,10 +222,12 @@ void WFProcessor::enqueue_task_batch(const std::vector<TaskPtr>& tasks,
   sync.sync_batch(scheduled, true);
   json::Value msg;
   msg["uids"] = std::move(uids);
-  broker_->publish(pending_queue_, mq::Message::json_body(pending_queue_, msg));
+  // As in enqueue_task: record before the publish for causal trace order.
   for (const TaskPtr& task : tasks) {
     profiler_->record("wfprocessor", "task_enqueued", task->uid());
   }
+  if (enqueued_metric_ != nullptr) enqueued_metric_->add(tasks.size());
+  broker_->publish(pending_queue_, mq::Message::json_body(pending_queue_, msg));
 }
 
 // ------------------------------------------------------------- Dequeue --
@@ -310,12 +321,17 @@ void WFProcessor::resolve_task(const json::Value& result, SyncClient& sync) {
         retry_uids_.push_back(uid);
       }
       work_cv_.notify_all();
+      if (resubmit_metric_ != nullptr) resubmit_metric_->add(1);
       return;
     }
     ++tasks_failed_;
+    profiler_->record("wfprocessor", "task_failed", uid);
+    if (failed_metric_ != nullptr) failed_metric_->add(1);
   } else {
     sync.sync(uid, "task", "EXECUTED", "DONE", true);
     ++tasks_done_;
+    profiler_->record("wfprocessor", "task_done", uid);
+    if (done_metric_ != nullptr) done_metric_->add(1);
   }
 
   bool stage_complete = false;
@@ -382,6 +398,10 @@ void WFProcessor::resolve_results(const std::vector<json::Value>& results,
     }
     sync.sync_batch(done, true);
     tasks_done_ += resolved.size();
+    for (const Resolved& r : resolved) {
+      profiler_->record("wfprocessor", "task_done", r.task->uid());
+    }
+    if (done_metric_ != nullptr) done_metric_->add(resolved.size());
 
     // Stage bookkeeping: one lock acquisition for the whole batch, then
     // finish whichever stages the batch completed.

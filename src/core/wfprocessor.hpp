@@ -138,6 +138,13 @@ class WFProcessor : public Component {
 
   BusyAccumulator enqueue_busy_;
   BusyAccumulator dequeue_busy_;
+
+  // Pre-resolved metric handles ("wfp.*"), cached in on_start(); all null
+  // when metrics are off.
+  obs::Counter* enqueued_metric_ = nullptr;
+  obs::Counter* done_metric_ = nullptr;
+  obs::Counter* failed_metric_ = nullptr;
+  obs::Counter* resubmit_metric_ = nullptr;
 };
 
 }  // namespace entk

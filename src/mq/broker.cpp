@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "src/common/clock.hpp"
 #include "src/common/error.hpp"
 #include "src/common/log.hpp"
 
@@ -21,6 +22,22 @@ Broker::Broker(std::string name, std::string journal_dir)
 Broker::~Broker() {
   close();
   if (journal_file_ != nullptr) std::fclose(journal_file_);
+}
+
+void Broker::set_metrics(obs::MetricsPtr metrics) {
+  metrics_ = std::move(metrics);
+  if (!metrics_) {
+    m_ = {};
+    return;
+  }
+  m_.published = &metrics_->counter("mq.published");
+  m_.delivered = &metrics_->counter("mq.delivered");
+  m_.acked = &metrics_->counter("mq.acked");
+  m_.requeued = &metrics_->counter("mq.requeued");
+  m_.get_empty = &metrics_->counter("mq.get_empty");
+  m_.publish_us = &metrics_->histogram("mq.publish_us");
+  m_.get_us = &metrics_->histogram("mq.get_us");
+  m_.ack_us = &metrics_->histogram("mq.ack_us");
 }
 
 std::string Broker::journal_path() const {
@@ -77,6 +94,7 @@ std::vector<std::string> Broker::queue_names() const {
 
 std::uint64_t Broker::publish(const std::string& queue_name, Message msg) {
   if (closed()) throw MqError("broker: closed");
+  const std::int64_t t0 = m_.publish_us != nullptr ? wall_now_us() : 0;
   std::shared_ptr<Queue> q = queue_or_throw(queue_name);
   const std::uint64_t seq =
       next_seq_.fetch_add(1, std::memory_order_relaxed);
@@ -93,6 +111,10 @@ std::uint64_t Broker::publish(const std::string& queue_name, Message msg) {
   }
   if (!q->publish(std::move(msg)))
     throw MqError("broker: queue '" + queue_name + "' closed");
+  if (m_.publish_us != nullptr) {
+    m_.published->add(1);
+    m_.publish_us->observe(static_cast<double>(wall_now_us() - t0));
+  }
   return seq;
 }
 
@@ -100,6 +122,7 @@ std::uint64_t Broker::publish_batch(const std::string& queue_name,
                                     std::vector<Message> msgs) {
   if (msgs.empty()) return 0;
   if (closed()) throw MqError("broker: closed");
+  const std::int64_t t0 = m_.publish_us != nullptr ? wall_now_us() : 0;
   std::shared_ptr<Queue> q = queue_or_throw(queue_name);
   // Reserve a contiguous sequence range so recovery order matches publish
   // order even when other publishers interleave.
@@ -127,20 +150,48 @@ std::uint64_t Broker::publish_batch(const std::string& queue_name,
   const std::size_t n = msgs.size();
   if (q->publish_batch(std::move(msgs)) < n)
     throw MqError("broker: queue '" + queue_name + "' closed");
+  if (m_.publish_us != nullptr) {
+    m_.published->add(n);
+    m_.publish_us->observe(static_cast<double>(wall_now_us() - t0));
+  }
   return first;
 }
 
 std::optional<Delivery> Broker::get(const std::string& queue_name,
                                     double timeout_s) {
-  return queue_or_throw(queue_name)->get(timeout_s);
+  if (m_.get_us == nullptr) return queue_or_throw(queue_name)->get(timeout_s);
+  const std::int64_t t0 = wall_now_us();
+  std::optional<Delivery> d = queue_or_throw(queue_name)->get(timeout_s);
+  if (d) {
+    // Only successful gets feed the latency histogram; empty polls would
+    // just measure the timeout.
+    m_.delivered->add(1);
+    m_.get_us->observe(static_cast<double>(wall_now_us() - t0));
+  } else {
+    m_.get_empty->add(1);
+  }
+  return d;
 }
 
 std::vector<Delivery> Broker::get_batch(const std::string& queue_name,
                                         std::size_t max_n, double timeout_s) {
-  return queue_or_throw(queue_name)->get_batch(max_n, timeout_s);
+  if (m_.get_us == nullptr) {
+    return queue_or_throw(queue_name)->get_batch(max_n, timeout_s);
+  }
+  const std::int64_t t0 = wall_now_us();
+  std::vector<Delivery> out =
+      queue_or_throw(queue_name)->get_batch(max_n, timeout_s);
+  if (!out.empty()) {
+    m_.delivered->add(out.size());
+    m_.get_us->observe(static_cast<double>(wall_now_us() - t0));
+  } else {
+    m_.get_empty->add(1);
+  }
+  return out;
 }
 
 bool Broker::ack(const std::string& queue_name, std::uint64_t delivery_tag) {
+  const std::int64_t t0 = m_.ack_us != nullptr ? wall_now_us() : 0;
   auto q = queue_or_throw(queue_name);
   const auto seq = q->ack(delivery_tag);
   if (!seq) return false;
@@ -151,12 +202,17 @@ bool Broker::ack(const std::string& queue_name, std::uint64_t delivery_tag) {
     rec["seq"] = *seq;
     journal_append(rec);
   }
+  if (m_.ack_us != nullptr) {
+    m_.acked->add(1);
+    m_.ack_us->observe(static_cast<double>(wall_now_us() - t0));
+  }
   return true;
 }
 
 std::size_t Broker::ack_batch(const std::string& queue_name,
                               const std::vector<std::uint64_t>& delivery_tags) {
   if (delivery_tags.empty()) return 0;
+  const std::int64_t t0 = m_.ack_us != nullptr ? wall_now_us() : 0;
   auto q = queue_or_throw(queue_name);
   const std::vector<std::uint64_t> seqs = q->ack_batch(delivery_tags);
   if (!seqs.empty() && q->options().durable && journal_file_ != nullptr) {
@@ -170,6 +226,10 @@ std::size_t Broker::ack_batch(const std::string& queue_name,
       records.push_back(std::move(rec));
     }
     journal_append_batch(records);
+  }
+  if (m_.ack_us != nullptr && !seqs.empty()) {
+    m_.acked->add(seqs.size());
+    m_.ack_us->observe(static_cast<double>(wall_now_us() - t0));
   }
   return seqs.size();
 }
@@ -187,7 +247,14 @@ bool Broker::nack(const std::string& queue_name, std::uint64_t delivery_tag,
     rec["seq"] = *seq;
     journal_append(rec);
   }
+  if (requeue && m_.requeued != nullptr) m_.requeued->add(1);
   return true;
+}
+
+std::size_t Broker::requeue_unacked(const std::string& queue_name) {
+  const std::size_t n = queue_or_throw(queue_name)->requeue_unacked();
+  if (n > 0 && m_.requeued != nullptr) m_.requeued->add(n);
+  return n;
 }
 
 std::shared_ptr<Exchange> Broker::declare_exchange(const std::string& name,

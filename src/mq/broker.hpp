@@ -26,6 +26,7 @@
 
 #include "src/mq/exchange.hpp"
 #include "src/mq/queue.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace entk::mq {
 
@@ -47,6 +48,13 @@ class Broker {
   Broker& operator=(const Broker&) = delete;
 
   const std::string& name() const { return name_; }
+
+  /// Attach a metrics registry: publish/get/ack latency histograms, message
+  /// counters and requeue counts ("mq.*"). Handles are resolved once here,
+  /// so the per-operation cost is a null check plus a few relaxed atomics.
+  /// Not thread-safe against in-flight operations — attach before the run
+  /// starts. nullptr detaches.
+  void set_metrics(obs::MetricsPtr metrics);
 
   /// Idempotent declare; re-declaring with different options is an error.
   std::shared_ptr<Queue> declare_queue(const std::string& queue,
@@ -88,6 +96,11 @@ class Broker {
   /// number of deliveries actually acked.
   std::size_t ack_batch(const std::string& queue,
                         const std::vector<std::uint64_t>& delivery_tags);
+
+  /// Requeue every unacked delivery of `queue` (component-restart path:
+  /// messages orphaned by dead workers go back for the next generation).
+  /// Returns the number requeued; counted into "mq.requeued".
+  std::size_t requeue_unacked(const std::string& queue);
 
   /// Delete a queue (closing it first).
   void delete_queue(const std::string& queue);
@@ -140,6 +153,19 @@ class Broker {
 
   std::mutex journal_mutex_;
   std::FILE* journal_file_ = nullptr;
+
+  // Pre-resolved metric handles; all null when metrics are off.
+  obs::MetricsPtr metrics_;
+  struct {
+    obs::Counter* published = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* acked = nullptr;
+    obs::Counter* requeued = nullptr;
+    obs::Counter* get_empty = nullptr;
+    obs::Histogram* publish_us = nullptr;
+    obs::Histogram* get_us = nullptr;
+    obs::Histogram* ack_us = nullptr;
+  } m_;
 };
 
 using BrokerPtr = std::shared_ptr<Broker>;

@@ -197,6 +197,60 @@ TEST(ProfilerTest, CsvDump) {
   EXPECT_EQ(p.size(), 0u);
 }
 
+TEST(ProfilerTest, CsvRoundTripsRfc4180SpecialCharacters) {
+  Profiler p;
+  // Commas, quotes, and an embedded newline must all survive the CSV.
+  p.record("comp,with,commas", "event \"quoted\"", "uid\nnewline", 2.5);
+  p.record("plain", "e", "u");
+  const std::string path = ::testing::TempDir() + "/prof_rfc4180_" +
+                           std::to_string(::getpid()) + ".csv";
+  p.dump_csv(path);
+  const std::vector<ProfileEvent> back = read_profile_csv(path);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].component, "comp,with,commas");
+  EXPECT_EQ(back[0].event, "event \"quoted\"");
+  EXPECT_EQ(back[0].uid, "uid\nnewline");
+  EXPECT_DOUBLE_EQ(back[0].virtual_s, 2.5);
+  EXPECT_EQ(back[0].wall_us, p.events()[0].wall_us);
+  EXPECT_EQ(back[1].component, "plain");
+  EXPECT_DOUBLE_EQ(back[1].virtual_s, -1.0);
+}
+
+TEST(ProfilerTest, ReadProfileCsvRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/prof_bad_" +
+                           std::to_string(::getpid()) + ".csv";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("wall_us,virtual_s,component,event,uid\nnot_a_number,1,c,e,u\n",
+             f);
+  std::fclose(f);
+  EXPECT_THROW(read_profile_csv(path), EnTKError);
+  EXPECT_THROW(read_profile_csv("/no/such/file.csv"), EnTKError);
+}
+
+TEST(ProfilerTest, IndexSurvivesClearAndHeavyLoad) {
+  Profiler p;
+  // The first/last/count index must agree with a full scan of the log.
+  for (int i = 0; i < 1000; ++i) {
+    p.record("c", i % 2 == 0 ? "even" : "odd", "u" + std::to_string(i));
+  }
+  EXPECT_EQ(p.count("even"), 500u);
+  EXPECT_EQ(p.count("odd"), 500u);
+  const auto events = p.events();
+  std::int64_t first_even = 0, last_even = 0;
+  bool seen = false;
+  for (const ProfileEvent& e : events) {
+    if (e.event != "even") continue;
+    if (!seen) first_even = e.wall_us;
+    last_even = e.wall_us;
+    seen = true;
+  }
+  EXPECT_EQ(*p.first_us("even"), first_even);
+  EXPECT_EQ(*p.last_us("even"), last_even);
+  p.clear();
+  EXPECT_EQ(p.count("even"), 0u);
+  EXPECT_FALSE(p.first_us("even").has_value());
+}
+
 TEST(Logging, LevelParsingAndGate) {
   EXPECT_EQ(log_level_from_string("debug"), LogLevel::Debug);
   EXPECT_EQ(log_level_from_string("off"), LogLevel::Off);

@@ -255,6 +255,58 @@ TEST(FaultTolerance, SynchronizerFaultIsRecoveredBySupervisor) {
   }
 }
 
+TEST(FaultTolerance, OverheadReportAndTraceSurviveComponentRestart) {
+  // A supervisor-driven WFProcessor restart mid-run must leave the overhead
+  // report derivable from the causal trace: restart counts recorded, every
+  // completed task still carrying a monotone span chain ending in DONE.
+  AppManagerConfig cfg = fast_config();
+  cfg.supervision.component_restart_limit = 2;
+  cfg.obs.metrics = true;
+  AppManager amgr(cfg);
+  amgr.add_pipelines({long_pipeline(6, 2000.0)});
+  std::thread killer([&amgr] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    amgr.inject_component_fault("wfprocessor");
+  });
+  amgr.run();
+  killer.join();
+  ASSERT_EQ(amgr.tasks_done(), 6u);
+
+  const OverheadReport report = amgr.overheads();
+  EXPECT_GE(report.component_restarts, 1);
+  EXPECT_TRUE(report.failed_component.empty());  // recovered, not failed
+  EXPECT_GT(report.task_exec_s, 0.0);
+
+  // The supervisor's restart shows up in the live metrics...
+  ASSERT_NE(amgr.metrics(), nullptr);
+  EXPECT_GE(amgr.metrics()->counter("supervisor.restarts").value(), 1u);
+  bool saw_wfp_fault = false;
+  for (const obs::MetricSnapshot& m : amgr.metrics()->snapshot()) {
+    if (m.name == "component.wfprocessor.faults" && m.value >= 1.0) {
+      saw_wfp_fault = true;
+    }
+  }
+  EXPECT_TRUE(saw_wfp_fault);
+
+  // ...and the trace keeps a resolved, monotone chain for every task.
+  const obs::Trace& trace = amgr.trace();
+  for (const StagePtr& s : amgr.pipelines()[0]->stages()) {
+    for (const TaskPtr& t : s->tasks()) {
+      ASSERT_TRUE(trace.tasks.count(t->uid()));
+      const obs::TaskTrace& tt = trace.tasks.at(t->uid());
+      EXPECT_TRUE(tt.resolved_done);
+      EXPECT_GE(tt.attempts, 1);
+      ASSERT_FALSE(tt.spans.empty());
+      std::int64_t prev = tt.spans.front().start_us;
+      for (const obs::TaskSpan& span : tt.spans) {
+        EXPECT_EQ(span.start_us, prev);
+        EXPECT_GE(span.end_us, span.start_us);
+        prev = span.end_us;
+      }
+    }
+  }
+}
+
 TEST(FaultTolerance, ComponentBudgetExhaustionFailsRun) {
   AppManagerConfig cfg = fast_config();
   cfg.supervision.component_restart_limit = 0;  // any component crash is fatal

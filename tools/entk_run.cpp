@@ -102,18 +102,29 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: entk_run <workflow.json> [--profile trace.csv]\n"
                  "                [--component-restart-limit N]\n"
+                 "                [--trace-out trace.json]\n"
+                 "                [--metrics-out metrics.jsonl]\n"
                  "       executes the PST application described in the file;\n"
                  "       --profile dumps the run's event trace as CSV for\n"
                  "       post-mortem analysis (src/analytics);\n"
                  "       --component-restart-limit caps how often the\n"
                  "       supervisor restarts a crashed EnTK component before\n"
-                 "       failing the run (default 2)\n");
+                 "       failing the run (default 2);\n"
+                 "       --trace-out writes the causal task trace as Chrome\n"
+                 "       trace_event JSON (chrome://tracing / Perfetto);\n"
+                 "       --metrics-out writes the metrics registry (broker,\n"
+                 "       component, RTS counters and latency histograms) as\n"
+                 "       JSONL and enables live metrics for the run\n");
     return 2;
   }
   std::string profile_path;
+  std::string trace_out;
+  std::string metrics_out;
   int component_restart_limit = -1;
   for (int i = 2; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--profile") profile_path = argv[i + 1];
+    if (std::string(argv[i]) == "--trace-out") trace_out = argv[i + 1];
+    if (std::string(argv[i]) == "--metrics-out") metrics_out = argv[i + 1];
     if (std::string(argv[i]) == "--component-restart-limit") {
       component_restart_limit = std::atoi(argv[i + 1]);
     }
@@ -145,6 +156,8 @@ int main(int argc, char** argv) {
     if (component_restart_limit >= 0) {
       config.supervision.component_restart_limit = component_restart_limit;
     }
+    config.obs.trace_out = trace_out;
+    config.obs.metrics_out = metrics_out;
     if (local_processes) {
       // Real-time local execution with actual process spawning.
       auto clock = std::make_shared<RealClock>();
