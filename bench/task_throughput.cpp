@@ -14,14 +14,31 @@
 //        --trace-out PATH / --metrics-out PATH (observability exports of
 //        the first batch=256 run: Chrome trace JSON / metrics JSONL),
 //        --obs-check (batch=256 only: best-of-R with live metrics off vs
-//        on; exit nonzero when the instrumented run loses >= 5% tasks/s).
+//        on; exit nonzero when the instrumented run loses >= 5% tasks/s),
+//        --payload-sweep (64 B / 4 KiB / 64 KiB payloads through 3 broker
+//        hops, eager serialize-per-hop vs zero-copy shared payloads, plus
+//        an end-to-end 4 KiB A/B; writes BENCH_dispatch.json),
+//        --zero-copy-check (payload sweep + exit nonzero unless zero-copy
+//        gives >= 1.5x eager msgs/s at 4 KiB),
+//        --journal-bench (durable publish latency, per-record flush vs
+//        group commit; writes BENCH_dispatch.json),
+//        --journal-check (journal bench + exit nonzero unless group commit
+//        improves durable publish p95),
+//        --json-out PATH (where the sweep/journal results JSON goes;
+//        default BENCH_dispatch.json).
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "bench/util.hpp"
+#include "src/mq/broker.hpp"
 #include "src/rts/rts.hpp"
 
 namespace {
@@ -52,6 +69,7 @@ class NoopRts final : public Rts {
       result.name = unit.name;
       result.outcome = UnitOutcome::Done;
       result.exit_code = 0;
+      result.metadata = unit.metadata;  // echo payload through the done queue
       callback_(result);
       ++stats_.units_completed;
     }
@@ -83,7 +101,8 @@ struct ObsOptions {
 
 Sample run_once(int pipelines, int tasks, std::size_t batch,
                 const char* profile_csv = nullptr,
-                const ObsOptions& obs = {}) {
+                const ObsOptions& obs = {},
+                std::size_t payload_bytes = 0) {
   entk::bench::EnsembleSpec spec;
   spec.pipelines = pipelines;
   spec.stages = 1;
@@ -101,7 +120,22 @@ Sample run_once(int pipelines, int tasks, std::size_t batch,
   config.rts_factory = [] { return std::make_shared<NoopRts>(); };
 
   entk::AppManager appman(std::move(config));
-  appman.add_pipelines(entk::bench::make_ensemble(spec));
+  std::vector<entk::PipelinePtr> ensemble = entk::bench::make_ensemble(spec);
+  if (payload_bytes > 0) {
+    // Give every task a metadata payload; NoopRts echoes it into the unit
+    // result, so the bytes ride q.pending out and q.completed back.
+    const std::string data(payload_bytes, 'x');
+    for (const entk::PipelinePtr& p : ensemble) {
+      for (const entk::StagePtr& stage : p->stages()) {
+        for (const entk::TaskPtr& task : stage->tasks()) {
+          entk::json::Value meta;
+          meta["data"] = data;
+          task->metadata = std::move(meta);
+        }
+      }
+    }
+  }
+  appman.add_pipelines(std::move(ensemble));
 
   const auto t0 = std::chrono::steady_clock::now();
   appman.run();
@@ -124,6 +158,167 @@ Sample run_once(int pipelines, int tasks, std::size_t batch,
   return s;
 }
 
+// ------------------------------------------------------- payload hop sweep
+
+struct HopSample {
+  std::size_t payload_bytes = 0;
+  double wall_s = 0.0;
+  double msgs_per_s = 0.0;
+  double mb_per_s = 0.0;
+};
+
+// Push `messages` structured payloads of `payload_bytes` through three
+// in-process broker hops (publish -> consume -> re-publish), mirroring the
+// q.pending -> agent -> q.completed chain a task payload crosses. Zero-copy
+// mode forwards the shared parsed value (a refcount bump per hop); eager
+// mode re-renders the bytes at every publish and re-parses at every consume,
+// which is what the seed's json_body()/body_json() pair did.
+HopSample run_hops_once(std::size_t payload_bytes, int messages, bool eager) {
+  constexpr int kHops = 3;
+  constexpr std::size_t kBatch = 64;
+  entk::mq::set_eager_serialization(eager);
+  entk::mq::Broker broker("bench_hops");
+  for (int h = 0; h <= kHops; ++h) {
+    broker.declare_queue("hop" + std::to_string(h));
+  }
+  const std::string data(payload_bytes, 'x');
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {  // Producer: structured payloads in, batched like the WFProcessor.
+    std::vector<entk::mq::Message> out;
+    out.reserve(kBatch);
+    for (int i = 0; i < messages; ++i) {
+      entk::json::Value payload;
+      payload["uid"] = i;
+      payload["data"] = data;
+      out.push_back(entk::mq::Message::json_body("hop0", std::move(payload)));
+      if (out.size() == kBatch || i + 1 == messages) {
+        broker.publish_batch("hop0", std::move(out));
+        out.clear();
+        out.reserve(kBatch);
+      }
+    }
+  }
+  for (int h = 0; h < kHops; ++h) {  // Relay hops: consume and forward.
+    const std::string from = "hop" + std::to_string(h);
+    const std::string to = "hop" + std::to_string(h + 1);
+    int consumed = 0;
+    while (consumed < messages) {
+      std::vector<entk::mq::Delivery> ds = broker.get_batch(from, kBatch, 1.0);
+      std::vector<entk::mq::Message> fwd;
+      std::vector<std::uint64_t> tags;
+      fwd.reserve(ds.size());
+      tags.reserve(ds.size());
+      for (entk::mq::Delivery& d : ds) {
+        std::shared_ptr<const entk::json::Value> payload = d.message.payload();
+        entk::mq::Message m;
+        m.routing_key = to;
+        if (eager) {
+          m.set_body(payload->dump());  // seed: serialize again per hop
+        } else {
+          m.set_payload(std::move(payload));  // refcount bump only
+        }
+        fwd.push_back(std::move(m));
+        tags.push_back(d.delivery_tag);
+      }
+      consumed += static_cast<int>(ds.size());
+      broker.publish_batch(to, std::move(fwd));
+      broker.ack_batch(from, tags);
+    }
+  }
+  std::size_t checksum = 0;
+  {  // Final consumer: read the payload the way a component would.
+    const std::string last = "hop" + std::to_string(kHops);
+    int consumed = 0;
+    while (consumed < messages) {
+      std::vector<entk::mq::Delivery> ds = broker.get_batch(last, kBatch, 1.0);
+      std::vector<std::uint64_t> tags;
+      tags.reserve(ds.size());
+      for (entk::mq::Delivery& d : ds) {
+        checksum += d.message.payload()->at("data").as_string().size();
+        tags.push_back(d.delivery_tag);
+      }
+      consumed += static_cast<int>(ds.size());
+      broker.ack_batch(last, tags);
+    }
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  entk::mq::set_eager_serialization(false);
+
+  if (checksum != payload_bytes * static_cast<std::size_t>(messages)) {
+    std::fprintf(stderr, "FATAL: hop sweep lost payload bytes\n");
+    std::exit(2);
+  }
+  HopSample s;
+  s.payload_bytes = payload_bytes;
+  s.wall_s = wall_s;
+  s.msgs_per_s = static_cast<double>(messages) / wall_s;
+  s.mb_per_s = s.msgs_per_s * static_cast<double>(payload_bytes) / 1e6;
+  return s;
+}
+
+// -------------------------------------------------- durable publish latency
+
+struct JournalSample {
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+};
+
+// Durable publish latency distribution: every publish appends a journal
+// record, either flushed per record (the seed's fflush-per-publish) or
+// handed to the group-commit flusher (size-or-deadline batches).
+JournalSample run_journal_once(bool sync_every_append, int publishes,
+                               std::size_t payload_bytes) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("entk_bench_journal_" + std::to_string(::getpid()) +
+       (sync_every_append ? "_sync" : "_gc"));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  std::vector<double> lat_us;
+  lat_us.reserve(static_cast<std::size_t>(publishes));
+  {
+    entk::mq::JournalConfig cfg;
+    cfg.sync_every_append = sync_every_append;
+    entk::mq::Broker broker("bench_journal", dir.string(), cfg);
+    entk::mq::QueueOptions opts;
+    opts.durable = true;
+    broker.declare_queue("durable", opts);
+    const std::string data(payload_bytes, 'x');
+    for (int i = 0; i < publishes; ++i) {
+      entk::json::Value payload;
+      payload["uid"] = i;
+      payload["data"] = data;
+      entk::mq::Message msg =
+          entk::mq::Message::json_body("durable", std::move(payload));
+      const auto t0 = std::chrono::steady_clock::now();
+      broker.publish("durable", std::move(msg));
+      lat_us.push_back(1e6 * std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count());
+    }
+    broker.close();  // durability barrier: drain the final segment
+  }
+  fs::remove_all(dir);
+
+  std::sort(lat_us.begin(), lat_us.end());
+  auto pct = [&lat_us](double p) {
+    const std::size_t i = std::min(
+        lat_us.size() - 1, static_cast<std::size_t>(p * lat_us.size()));
+    return lat_us[i];
+  };
+  JournalSample s;
+  s.p50_us = pct(0.50);
+  s.p95_us = pct(0.95);
+  s.p99_us = pct(0.99);
+  return s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -136,20 +331,150 @@ int main(int argc, char** argv) {
 
   std::printf("task_throughput: %d pipeline(s) x %d task(s), no-op RTS\n\n",
               pipelines, tasks);
-  std::printf("%12s %10s %14s %14s\n", "batch_size", "wall (s)", "tasks/s",
-              "us/task");
 
   // --profile PREFIX: dump one CSV event trace per batch size.
   std::string profile_prefix;
+  std::string json_out = "BENCH_dispatch.json";
   ObsOptions export_obs;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--profile") profile_prefix = argv[i + 1];
     if (std::string(argv[i]) == "--trace-out") export_obs.trace_out = argv[i + 1];
     if (std::string(argv[i]) == "--metrics-out")
       export_obs.metrics_out = argv[i + 1];
+    if (std::string(argv[i]) == "--json-out") json_out = argv[i + 1];
   }
   export_obs.metrics = !export_obs.trace_out.empty() ||
                        !export_obs.metrics_out.empty();
+
+  const bool zero_copy_check =
+      entk::bench::flag_present(argc, argv, "--zero-copy-check");
+  const bool payload_sweep =
+      zero_copy_check || entk::bench::flag_present(argc, argv, "--payload-sweep");
+  const bool journal_check =
+      entk::bench::flag_present(argc, argv, "--journal-check");
+  const bool journal_bench =
+      journal_check || entk::bench::flag_present(argc, argv, "--journal-bench");
+
+  if (payload_sweep || journal_bench) {
+    entk::json::Value doc;
+    doc["bench"] = "dispatch";
+    bool failed = false;
+
+    if (payload_sweep) {
+      std::printf("payload sweep: 3 broker hops, eager vs zero-copy\n");
+      std::printf("%14s %14s %14s %10s %12s\n", "payload", "eager msg/s",
+                  "zerocopy msg/s", "speedup", "zc MB/s");
+      entk::json::Array rows;
+      double speedup_4k = 0.0;
+      for (std::size_t bytes :
+           {std::size_t{64}, std::size_t{4096}, std::size_t{65536}}) {
+        // Scale the message count down with payload size so every row costs
+        // roughly the same wall time.
+        const int messages = bytes <= 64 ? 8192 : bytes <= 4096 ? 2048 : 512;
+        HopSample eager, zero;
+        for (long r = 0; r < reps; ++r) {  // best-of-R, paired per rep
+          const HopSample e = run_hops_once(bytes, messages, true);
+          const HopSample z = run_hops_once(bytes, messages, false);
+          if (e.msgs_per_s > eager.msgs_per_s) eager = e;
+          if (z.msgs_per_s > zero.msgs_per_s) zero = z;
+        }
+        const double speedup = zero.msgs_per_s / eager.msgs_per_s;
+        if (bytes == 4096) speedup_4k = speedup;
+        std::printf("%14zu %14.0f %14.0f %9.2fx %12.1f\n", bytes,
+                    eager.msgs_per_s, zero.msgs_per_s, speedup, zero.mb_per_s);
+        entk::json::Value row;
+        row["payload_bytes"] = static_cast<std::int64_t>(bytes);
+        row["messages"] = messages;
+        row["hops"] = 3;
+        row["eager_msgs_per_s"] = eager.msgs_per_s;
+        row["zero_copy_msgs_per_s"] = zero.msgs_per_s;
+        row["zero_copy_mb_per_s"] = zero.mb_per_s;
+        row["speedup"] = speedup;
+        rows.push_back(std::move(row));
+      }
+      doc["hop_sweep"] = std::move(rows);
+
+      // End-to-end A/B at 4 KiB: the same knob flipped under a full
+      // AppManager run (batch=256, no-op RTS, payload echoed through the
+      // done queue). Recorded as supporting evidence, not gated — the
+      // end-to-end number dilutes the message path with scheduling work.
+      Sample e2e_eager, e2e_zero;
+      for (long r = 0; r < reps; ++r) {
+        entk::mq::set_eager_serialization(true);
+        const Sample e = run_once(pipelines, tasks, 256, nullptr, {}, 4096);
+        entk::mq::set_eager_serialization(false);
+        const Sample z = run_once(pipelines, tasks, 256, nullptr, {}, 4096);
+        if (e.tasks_per_s > e2e_eager.tasks_per_s) e2e_eager = e;
+        if (z.tasks_per_s > e2e_zero.tasks_per_s) e2e_zero = z;
+      }
+      const double e2e_speedup = e2e_zero.tasks_per_s / e2e_eager.tasks_per_s;
+      std::printf("\nend-to-end 4 KiB payloads (batch=256): eager %.0f "
+                  "tasks/s, zero-copy %.0f tasks/s (%.2fx)\n",
+                  e2e_eager.tasks_per_s, e2e_zero.tasks_per_s, e2e_speedup);
+      entk::json::Value e2e;
+      e2e["payload_bytes"] = 4096;
+      e2e["eager_tasks_per_s"] = e2e_eager.tasks_per_s;
+      e2e["zero_copy_tasks_per_s"] = e2e_zero.tasks_per_s;
+      e2e["speedup"] = e2e_speedup;
+      doc["end_to_end"] = std::move(e2e);
+
+      if (zero_copy_check && speedup_4k < 1.5) {
+        std::fprintf(stderr,
+                     "ZERO-COPY CHECK FAILED: expected >= 1.5x at 4 KiB, "
+                     "got %.2fx\n",
+                     speedup_4k);
+        failed = true;
+      }
+    }
+
+    if (journal_bench) {
+      // Small records: the per-record policy's fixed flush syscall dominates
+      // the publish, which is exactly the cost group commit amortizes.
+      const int publishes = 4000;
+      const std::size_t bytes = 512;
+      JournalSample sync, gc;
+      bool first = true;
+      for (long r = 0; r < reps; ++r) {  // best (lowest p95) of R
+        const JournalSample s = run_journal_once(true, publishes, bytes);
+        const JournalSample g = run_journal_once(false, publishes, bytes);
+        if (first || s.p95_us < sync.p95_us) sync = s;
+        if (first || g.p95_us < gc.p95_us) gc = g;
+        first = false;
+      }
+      std::printf("\ndurable publish latency, %d x %zu B records:\n",
+                  publishes, bytes);
+      std::printf("%18s %10s %10s %10s\n", "flush policy", "p50 (us)",
+                  "p95 (us)", "p99 (us)");
+      std::printf("%18s %10.1f %10.1f %10.1f\n", "per-record", sync.p50_us,
+                  sync.p95_us, sync.p99_us);
+      std::printf("%18s %10.1f %10.1f %10.1f\n", "group-commit", gc.p50_us,
+                  gc.p95_us, gc.p99_us);
+      entk::json::Value j;
+      j["publishes"] = publishes;
+      j["payload_bytes"] = static_cast<std::int64_t>(bytes);
+      j["per_record_p50_us"] = sync.p50_us;
+      j["per_record_p95_us"] = sync.p95_us;
+      j["per_record_p99_us"] = sync.p99_us;
+      j["group_commit_p50_us"] = gc.p50_us;
+      j["group_commit_p95_us"] = gc.p95_us;
+      j["group_commit_p99_us"] = gc.p99_us;
+      j["p95_speedup"] = sync.p95_us / gc.p95_us;
+      doc["journal"] = std::move(j);
+
+      if (journal_check && !(gc.p95_us < sync.p95_us)) {
+        std::fprintf(stderr,
+                     "JOURNAL CHECK FAILED: group-commit p95 %.1f us is not "
+                     "better than per-record %.1f us\n",
+                     gc.p95_us, sync.p95_us);
+        failed = true;
+      }
+    }
+
+    std::ofstream out(json_out);
+    out << doc.dump() << "\n";
+    std::printf("\nresults written to %s\n", json_out.c_str());
+    return failed ? 1 : 0;
+  }
 
   if (entk::bench::flag_present(argc, argv, "--obs-check")) {
     // Acceptance gate for the obs subsystem: with live metrics recording on
@@ -174,6 +499,8 @@ int main(int argc, char** argv) {
     }
     std::sort(ratios.begin(), ratios.end());
     const double ratio = ratios[ratios.size() / 2];
+    std::printf("%12s %10s %14s %14s\n", "batch_size", "wall (s)", "tasks/s",
+                "us/task");
     std::printf("%12s %10.3f %14.0f %14.1f\n", "256 (off)", off_best.wall_s,
                 off_best.tasks_per_s, off_best.us_per_task);
     std::printf("%12s %10.3f %14.0f %14.1f\n", "256 (obs)", on_best.wall_s,
@@ -191,6 +518,8 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Sample> samples;
+  std::printf("%12s %10s %14s %14s\n", "batch_size", "wall (s)", "tasks/s",
+              "us/task");
   for (std::size_t batch : {std::size_t{1}, std::size_t{16},
                             std::size_t{256}}) {
     const std::string csv =

@@ -68,11 +68,15 @@ void AppManager::run() {
   const double setup_t0 = wall_now_s();
 
   const std::string journal_dir = config_.journal_dir;
-  broker_ = std::make_shared<mq::Broker>(uid_, journal_dir);
+  broker_ = std::make_shared<mq::Broker>(uid_, journal_dir, config_.journal);
   if (metrics_) broker_->set_metrics(metrics_);
-  broker_->declare_queue("q.pending");
-  broker_->declare_queue("q.completed");
-  broker_->declare_queue("q.states");
+  // With a journal directory the component queues are durable: every
+  // publish/ack lands in the broker's group-commit journal, so a post-
+  // mortem (or Broker::recover) can replay the in-flight backlog.
+  const mq::QueueOptions queue_opts{.durable = !journal_dir.empty()};
+  broker_->declare_queue("q.pending", queue_opts);
+  broker_->declare_queue("q.completed", queue_opts);
+  broker_->declare_queue("q.states", queue_opts);
 
   store_ = std::make_unique<StateStore>(
       journal_dir.empty() ? "" : journal_dir + "/" + uid_ + ".states");

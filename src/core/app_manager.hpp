@@ -52,6 +52,10 @@ struct AppManagerConfig {
   /// ("" = in-memory only).
   std::string journal_dir;
 
+  /// Group-commit policy of the broker journal (flush batch size, commit
+  /// window, optional per-append sync). Ignored when journal_dir is "".
+  mq::JournalConfig journal;
+
   /// Path to the state journal of a previous attempt of the SAME
   /// application description (matching uids). Tasks whose last committed
   /// state is DONE are recovered and not re-executed: the paper's restart

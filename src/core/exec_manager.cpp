@@ -63,6 +63,7 @@ void ExecManager::attach_callback() {
     msg["exec_end_t"] = result.exec_end_t;
     msg["staging_in_s"] = result.staging_in_s;
     msg["staging_out_s"] = result.staging_out_s;
+    if (!result.metadata.is_null()) msg["metadata"] = result.metadata;
     bool coalesced = false;
     if (config_.completion_flush_window_s > 0) {
       std::vector<json::Value> overflow;
@@ -84,7 +85,8 @@ void ExecManager::attach_callback() {
     }
     if (!coalesced) {
       try {
-        broker_->publish(done_queue_, mq::Message::json_body(done_queue_, msg));
+        broker_->publish(done_queue_,
+                         mq::Message::json_body(done_queue_, std::move(msg)));
       } catch (const MqError&) {
         // AppManager broker is gone: we are shutting down.
       }
@@ -102,7 +104,8 @@ void ExecManager::flush_completions(std::vector<json::Value> buffered) {
   for (json::Value& r : buffered) results.push_back(std::move(r));
   msg["results"] = std::move(results);
   try {
-    broker_->publish(done_queue_, mq::Message::json_body(done_queue_, msg));
+    broker_->publish(done_queue_,
+                     mq::Message::json_body(done_queue_, std::move(msg)));
   } catch (const MqError&) {
     // AppManager broker is gone: we are shutting down.
   }
@@ -230,18 +233,18 @@ void ExecManager::emgr_loop() {
     };
     for (const mq::Delivery& delivery : deliveries) {
       tags.push_back(delivery.delivery_tag);
-      json::Value msg;
+      std::shared_ptr<const json::Value> msg;
       try {
-        msg = delivery.message.body_json();
+        msg = delivery.message.payload();  // shared, zero-copy in-process
       } catch (const json::ParseError&) {
         continue;
       }
-      if (msg.contains("uids")) {
-        for (const json::Value& u : msg.at("uids").as_array()) {
+      if (msg->contains("uids")) {
+        for (const json::Value& u : msg->at("uids").as_array()) {
           take(u.as_string());
         }
       } else {
-        take(msg.get_string("uid", ""));
+        take(msg->get_string("uid", ""));
       }
     }
     broker_->ack_batch(pending_queue_, tags);

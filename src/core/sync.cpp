@@ -9,7 +9,7 @@ namespace entk {
 // --------------------------------------------------------- ObjectRegistry
 
 void ObjectRegistry::add_pipeline(const PipelinePtr& pipeline) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   pipelines_[pipeline->uid()] = pipeline;
   for (const StagePtr& stage : pipeline->stages()) {
     stages_[stage->uid()] = stage;
@@ -18,36 +18,36 @@ void ObjectRegistry::add_pipeline(const PipelinePtr& pipeline) {
 }
 
 void ObjectRegistry::add_stage(const StagePtr& stage) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   stages_[stage->uid()] = stage;
   for (const TaskPtr& task : stage->tasks()) tasks_[task->uid()] = task;
 }
 
 TaskPtr ObjectRegistry::task(const std::string& uid) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = tasks_.find(uid);
   return it == tasks_.end() ? nullptr : it->second;
 }
 
 StagePtr ObjectRegistry::stage(const std::string& uid) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = stages_.find(uid);
   return it == stages_.end() ? nullptr : it->second;
 }
 
 PipelinePtr ObjectRegistry::pipeline(const std::string& uid) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   const auto it = pipelines_.find(uid);
   return it == pipelines_.end() ? nullptr : it->second;
 }
 
 std::size_t ObjectRegistry::task_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return tasks_.size();
 }
 
 std::vector<PipelinePtr> ObjectRegistry::pipelines() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<PipelinePtr> out;
   out.reserve(pipelines_.size());
   for (const auto& [uid, p] : pipelines_) {
@@ -79,7 +79,8 @@ bool SyncClient::sync(const std::string& uid, const std::string& kind,
   msg["component"] = component_;
   if (await_ack) msg["reply_to"] = ack_queue_;
   try {
-    broker_->publish(states_queue_, mq::Message::json_body(states_queue_, msg));
+    broker_->publish(states_queue_,
+                     mq::Message::json_body(states_queue_, std::move(msg)));
   } catch (const MqError&) {
     return false;  // broker shutting down
   }
@@ -93,18 +94,19 @@ bool SyncClient::sync(const std::string& uid, const std::string& kind,
       continue;
     }
     broker_->ack(ack_queue_, delivery->delivery_tag);
-    json::Value ack;
+    std::shared_ptr<const json::Value> ack;
     try {
-      ack = delivery->message.body_json();
+      ack = delivery->message.payload();  // shared, no copy/parse in-process
     } catch (const json::ParseError&) {
       continue;
     }
-    if (ack.get_string("uid", "") != uid ||
-        ack.get_string("to", "") != to_state) {
-      ENTK_WARN(component_) << "out-of-order ack for " << ack.get_string("uid", "?");
+    if (ack->get_string("uid", "") != uid ||
+        ack->get_string("to", "") != to_state) {
+      ENTK_WARN(component_) << "out-of-order ack for "
+                            << ack->get_string("uid", "?");
       continue;
     }
-    return ack.get_bool("ok", false);
+    return ack->get_bool("ok", false);
   }
   return false;
 }
@@ -156,7 +158,8 @@ bool SyncClient::sync_batch(const std::vector<Transition>& transitions,
   msg["corr"] = corr;
   if (await_ack) msg["reply_to"] = ack_queue_;
   try {
-    broker_->publish(states_queue_, mq::Message::json_body(states_queue_, msg));
+    broker_->publish(states_queue_,
+                     mq::Message::json_body(states_queue_, std::move(msg)));
   } catch (const MqError&) {
     return false;  // broker shutting down
   }
@@ -168,18 +171,18 @@ bool SyncClient::sync_batch(const std::vector<Transition>& transitions,
       continue;
     }
     broker_->ack(ack_queue_, delivery->delivery_tag);
-    json::Value ack;
+    std::shared_ptr<const json::Value> ack;
     try {
-      ack = delivery->message.body_json();
+      ack = delivery->message.payload();
     } catch (const json::ParseError&) {
       continue;
     }
-    if (static_cast<std::uint64_t>(ack.get_int("corr", 0)) != corr) {
+    if (static_cast<std::uint64_t>(ack->get_int("corr", 0)) != corr) {
       ENTK_WARN(component_) << "out-of-order batch ack (corr "
-                            << ack.get_int("corr", 0) << ")";
+                            << ack->get_int("corr", 0) << ")";
       continue;
     }
-    return ack.get_bool("ok", false);
+    return ack->get_bool("ok", false);
   }
   return false;
 }
@@ -228,15 +231,15 @@ void Synchronizer::loop() {
     tags.reserve(deliveries.size());
     for (const mq::Delivery& delivery : deliveries) {
       tags.push_back(delivery.delivery_tag);
-      json::Value msg;
       try {
-        msg = delivery.message.body_json();
+        // Shared structured payload: in-process transitions arrive without
+        // any serialization; only recovered/raw messages parse here (once).
+        process(*delivery.message.payload());
       } catch (const json::ParseError& e) {
         ENTK_WARN("synchronizer") << "rejecting message: " << e.what();
         ++rejected_;
         continue;
       }
-      process(msg);
     }
     broker_->ack_batch(states_queue_, tags);
   }
@@ -307,7 +310,8 @@ void Synchronizer::process(const json::Value& msg) {
   if (!reply_to.empty()) {
     ack["ok"] = ok;
     try {
-      broker_->publish(reply_to, mq::Message::json_body(reply_to, ack));
+      broker_->publish(reply_to,
+                       mq::Message::json_body(reply_to, std::move(ack)));
     } catch (const MqError&) {
       // Requester is gone; nothing to do.
     }

@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "src/common/clock.hpp"
@@ -25,6 +26,9 @@
 namespace entk {
 
 /// uid -> live object maps; owned by AppManager, shared with components.
+/// Read-mostly after setup (lookups on every transition, inserts only at
+/// pipeline/stage registration), so reads take shared locks and never
+/// contend with each other.
 class ObjectRegistry {
  public:
   void add_pipeline(const PipelinePtr& pipeline);
@@ -40,7 +44,7 @@ class ObjectRegistry {
   void add_stage(const StagePtr& stage);
 
  private:
-  mutable std::mutex mutex_;
+  mutable std::shared_mutex mutex_;
   std::map<std::string, TaskPtr> tasks_;
   std::map<std::string, StagePtr> stages_;
   std::map<std::string, PipelinePtr> pipelines_;

@@ -199,7 +199,8 @@ void WFProcessor::enqueue_task(const TaskPtr& task, SyncClient& sync) {
   // when the consumer records task_submitted on another thread first.
   profiler_->record("wfprocessor", "task_enqueued", task->uid());
   if (enqueued_metric_ != nullptr) enqueued_metric_->add(1);
-  broker_->publish(pending_queue_, mq::Message::json_body(pending_queue_, msg));
+  broker_->publish(pending_queue_,
+                   mq::Message::json_body(pending_queue_, std::move(msg)));
 }
 
 void WFProcessor::enqueue_task_batch(const std::vector<TaskPtr>& tasks,
@@ -227,7 +228,8 @@ void WFProcessor::enqueue_task_batch(const std::vector<TaskPtr>& tasks,
     profiler_->record("wfprocessor", "task_enqueued", task->uid());
   }
   if (enqueued_metric_ != nullptr) enqueued_metric_->add(tasks.size());
-  broker_->publish(pending_queue_, mq::Message::json_body(pending_queue_, msg));
+  broker_->publish(pending_queue_,
+                   mq::Message::json_body(pending_queue_, std::move(msg)));
 }
 
 // ------------------------------------------------------------- Dequeue --
@@ -244,31 +246,37 @@ void WFProcessor::dequeue_loop() {
     if (deliveries.empty()) continue;
     BusyScope busy(dequeue_busy_);
     std::vector<std::uint64_t> tags;
-    std::vector<json::Value> results;
+    // The shared payloads are read in place (zero-copy); `payloads` keeps
+    // them alive while `results` points at individual completion records
+    // inside them.
+    std::vector<std::shared_ptr<const json::Value>> payloads;
+    std::vector<const json::Value*> results;
     tags.reserve(deliveries.size());
+    payloads.reserve(deliveries.size());
     results.reserve(deliveries.size());
     for (const mq::Delivery& delivery : deliveries) {
       tags.push_back(delivery.delivery_tag);
-      json::Value body;
+      std::shared_ptr<const json::Value> body;
       try {
-        body = delivery.message.body_json();
+        body = delivery.message.payload();
       } catch (const json::ParseError&) {
         continue;
       }
-      if (body.contains("results")) {
+      if (body->contains("results")) {
         // Coalesced completion message from the RTS callback flush window.
-        for (json::Value& r : body["results"].as_array()) {
-          results.push_back(std::move(r));
+        for (const json::Value& r : body->at("results").as_array()) {
+          results.push_back(&r);
         }
       } else {
-        results.push_back(std::move(body));
+        results.push_back(body.get());
       }
+      payloads.push_back(std::move(body));
     }
     broker_->ack_batch(done_queue_, tags);
     if (config_.batch_size <= 1) {
-      for (const json::Value& result : results) {
+      for (const json::Value* result : results) {
         try {
-          resolve_task(result, sync);
+          resolve_task(*result, sync);
         } catch (const EnTKError& e) {
           ENTK_ERROR("wfprocessor") << "failed to resolve task result: "
                                     << e.what();
@@ -349,7 +357,7 @@ void WFProcessor::resolve_task(const json::Value& result, SyncClient& sync) {
   finish_stage(pipeline, stage, stage_failed, sync);
 }
 
-void WFProcessor::resolve_results(const std::vector<json::Value>& results,
+void WFProcessor::resolve_results(const std::vector<const json::Value*>& results,
                                   SyncClient& sync) {
   // DONE results of the drained batch share two vectored syncs (Executed
   // unconfirmed, Done confirmed — one round-trip for the whole batch);
@@ -363,7 +371,8 @@ void WFProcessor::resolve_results(const std::vector<json::Value>& results,
   std::vector<const json::Value*> rest;
   std::vector<Transition> executed;
   std::vector<Transition> done;
-  for (const json::Value& result : results) {
+  for (const json::Value* result_ptr : results) {
+    const json::Value& result = *result_ptr;
     if (result.get_string("outcome", "DONE") != "DONE") {
       rest.push_back(&result);
       continue;

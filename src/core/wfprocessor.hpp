@@ -99,8 +99,10 @@ class WFProcessor : public Component {
   void enqueue_task_batch(const std::vector<TaskPtr>& tasks, SyncClient& sync);
   void resolve_task(const json::Value& result, SyncClient& sync);
   /// Bulk path of resolve: DONE results of a drained batch share vectored
-  /// Executed/Done syncs; failures fall back to the per-task path.
-  void resolve_results(const std::vector<json::Value>& results,
+  /// Executed/Done syncs; failures fall back to the per-task path. The
+  /// pointers alias completion records inside shared message payloads the
+  /// caller keeps alive (zero-copy dequeue).
+  void resolve_results(const std::vector<const json::Value*>& results,
                        SyncClient& sync);
   void finish_stage(const PipelinePtr& pipeline, const StagePtr& stage,
                     bool stage_failed, SyncClient& sync);

@@ -1,5 +1,6 @@
 #include "src/json/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -251,6 +252,32 @@ namespace {
 
 void dump_value(const Value& v, std::string& out, int indent, int depth);
 
+/// Lower-bound estimate of the compact dump size: one cheap traversal (no
+/// formatting) that lets dump() reserve once instead of growing the output
+/// through repeated reallocation on large payloads.
+std::size_t estimate_size(const Value& v) {
+  switch (v.type()) {
+    case Type::Null: return 4;
+    case Type::Bool: return 5;
+    case Type::Int: return 12;
+    case Type::Double: return 16;
+    case Type::String: return v.as_string().size() + 2;
+    case Type::Array: {
+      std::size_t n = 2;
+      for (const Value& item : v.as_array()) n += estimate_size(item) + 1;
+      return n;
+    }
+    case Type::Object: {
+      std::size_t n = 2;
+      for (const auto& [k, item] : v.as_object()) {
+        n += k.size() + 4 + estimate_size(item);
+      }
+      return n;
+    }
+  }
+  return 0;
+}
+
 void newline_indent(std::string& out, int indent, int depth) {
   if (indent < 0) return;
   out += '\n';
@@ -266,10 +293,11 @@ void dump_value(const Value& v, std::string& out, int indent, int depth) {
       out += v.as_bool() ? "true" : "false";
       break;
     case Type::Int: {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "%lld",
-                    static_cast<long long>(v.as_int()));
-      out += buf;
+      char buf[24];
+      const auto [ptr, ec] =
+          std::to_chars(buf, buf + sizeof(buf), v.as_int());
+      (void)ec;  // 24 chars always fit an int64
+      out.append(buf, ptr);
       break;
     }
     case Type::Double: {
@@ -282,9 +310,12 @@ void dump_value(const Value& v, std::string& out, int indent, int depth) {
         out += d > 0 ? "1e999" : "-1e999";
         break;
       }
-      char buf[40];
-      std::snprintf(buf, sizeof(buf), "%.17g", d);
-      out += buf;
+      // Shortest representation that round-trips exactly — both faster to
+      // format and fewer bytes on the wire than the old "%.17g".
+      char buf[32];
+      const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+      (void)ec;  // 32 chars always fit a shortest-round-trip double
+      out.append(buf, ptr);
       break;
     }
     case Type::String:
@@ -338,6 +369,7 @@ void dump_value(const Value& v, std::string& out, int indent, int depth) {
 
 std::string Value::dump(int indent) const {
   std::string out;
+  out.reserve(estimate_size(*this));
   dump_value(*this, out, indent, 0);
   return out;
 }

@@ -9,25 +9,31 @@
 
 namespace entk::mq {
 
-Broker::Broker(std::string name, std::string journal_dir)
-    : name_(std::move(name)), journal_dir_(std::move(journal_dir)) {
+Broker::Broker(std::string name, std::string journal_dir,
+               JournalConfig journal)
+    : name_(std::move(name)),
+      journal_dir_(std::move(journal_dir)),
+      journal_config_(journal) {
   if (!journal_dir_.empty()) {
-    const std::string path = journal_path();
-    journal_file_ = std::fopen(path.c_str(), "a");
-    if (journal_file_ == nullptr)
-      throw MqError("broker: cannot open journal " + path);
+    journal_ = std::make_unique<JournalWriter>(journal_path(),
+                                               journal_config_);
   }
 }
 
 Broker::~Broker() {
-  close();
-  if (journal_file_ != nullptr) std::fclose(journal_file_);
+  try {
+    close();
+  } catch (const MqError&) {
+    // A sticky journal I/O error surfaces on explicit close()/append calls;
+    // the destructor must stay noexcept.
+  }
 }
 
 void Broker::set_metrics(obs::MetricsPtr metrics) {
   metrics_ = std::move(metrics);
   if (!metrics_) {
     m_ = {};
+    if (journal_ != nullptr) journal_->set_batch_size_metric(nullptr);
     return;
   }
   m_.published = &metrics_->counter("mq.published");
@@ -35,9 +41,17 @@ void Broker::set_metrics(obs::MetricsPtr metrics) {
   m_.acked = &metrics_->counter("mq.acked");
   m_.requeued = &metrics_->counter("mq.requeued");
   m_.get_empty = &metrics_->counter("mq.get_empty");
+  m_.serialize_avoided = &metrics_->counter("mq.serialize_avoided");
   m_.publish_us = &metrics_->histogram("mq.publish_us");
   m_.get_us = &metrics_->histogram("mq.get_us");
   m_.ack_us = &metrics_->histogram("mq.ack_us");
+  if (journal_ != nullptr) {
+    // Record-count bounds, not latency: each observation is the number of
+    // journal records one group-commit flush wrote.
+    journal_->set_batch_size_metric(&metrics_->histogram(
+        "mq.journal_batch_size",
+        {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}));
+  }
 }
 
 std::string Broker::journal_path() const {
@@ -100,7 +114,7 @@ std::uint64_t Broker::publish(const std::string& queue_name, Message msg) {
       next_seq_.fetch_add(1, std::memory_order_relaxed);
   msg.seq = seq;
   msg.routing_key = queue_name;
-  if (q->options().durable && journal_file_ != nullptr) {
+  if (q->options().durable && journal_ != nullptr) {
     json::Value rec;
     rec["op"] = "pub";
     rec["q"] = queue_name;
@@ -133,7 +147,7 @@ std::uint64_t Broker::publish_batch(const std::string& queue_name,
     msg.seq = seq++;
     msg.routing_key = queue_name;
   }
-  if (q->options().durable && journal_file_ != nullptr) {
+  if (q->options().durable && journal_ != nullptr) {
     std::vector<json::Value> records;
     records.reserve(msgs.size());
     for (const Message& msg : msgs) {
@@ -166,6 +180,11 @@ std::optional<Delivery> Broker::get(const std::string& queue_name,
     // Only successful gets feed the latency histogram; empty polls would
     // just measure the timeout.
     m_.delivered->add(1);
+    // A structured payload delivered without rendered bytes crossed every
+    // hop by refcount bump: the dump+parse pair the seed paid was avoided.
+    if (d->message.has_payload() && !d->message.has_rendered_body()) {
+      m_.serialize_avoided->add(1);
+    }
     m_.get_us->observe(static_cast<double>(wall_now_us() - t0));
   } else {
     m_.get_empty->add(1);
@@ -183,6 +202,12 @@ std::vector<Delivery> Broker::get_batch(const std::string& queue_name,
       queue_or_throw(queue_name)->get_batch(max_n, timeout_s);
   if (!out.empty()) {
     m_.delivered->add(out.size());
+    std::size_t avoided = 0;
+    for (const Delivery& d : out) {
+      if (d.message.has_payload() && !d.message.has_rendered_body())
+        ++avoided;
+    }
+    if (avoided > 0) m_.serialize_avoided->add(avoided);
     m_.get_us->observe(static_cast<double>(wall_now_us() - t0));
   } else {
     m_.get_empty->add(1);
@@ -195,7 +220,7 @@ bool Broker::ack(const std::string& queue_name, std::uint64_t delivery_tag) {
   auto q = queue_or_throw(queue_name);
   const auto seq = q->ack(delivery_tag);
   if (!seq) return false;
-  if (q->options().durable && journal_file_ != nullptr) {
+  if (q->options().durable && journal_ != nullptr) {
     json::Value rec;
     rec["op"] = "ack";
     rec["q"] = queue_name;
@@ -215,7 +240,7 @@ std::size_t Broker::ack_batch(const std::string& queue_name,
   const std::int64_t t0 = m_.ack_us != nullptr ? wall_now_us() : 0;
   auto q = queue_or_throw(queue_name);
   const std::vector<std::uint64_t> seqs = q->ack_batch(delivery_tags);
-  if (!seqs.empty() && q->options().durable && journal_file_ != nullptr) {
+  if (!seqs.empty() && q->options().durable && journal_ != nullptr) {
     std::vector<json::Value> records;
     records.reserve(seqs.size());
     for (const std::uint64_t seq : seqs) {
@@ -239,7 +264,7 @@ bool Broker::nack(const std::string& queue_name, std::uint64_t delivery_tag,
   auto q = queue_or_throw(queue_name);
   const auto seq = q->nack(delivery_tag, requeue);
   if (!seq) return false;
-  if (!requeue && q->options().durable && journal_file_ != nullptr) {
+  if (!requeue && q->options().durable && journal_ != nullptr) {
     // A dropped message is final, like an ack, for recovery purposes.
     json::Value rec;
     rec["op"] = "ack";
@@ -318,12 +343,18 @@ void Broker::delete_queue(const std::string& queue_name) {
 }
 
 void Broker::close() {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
-  for (auto& [name, q] : queues_) {
-    (void)name;
-    q->close();
+  {
+    std::unique_lock<std::shared_mutex> lock(mutex_);
+    if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+    for (auto& [name, q] : queues_) {
+      (void)name;
+      q->close();
+    }
   }
+  // Final journal drain: a cleanly closed broker leaves every journaled
+  // record on disk. Throws MqError when the drain (or any earlier flush)
+  // failed, so callers learn their durable backlog may be incomplete.
+  if (journal_ != nullptr) journal_->close();
 }
 
 BrokerStats Broker::stats() const {
@@ -357,26 +388,24 @@ std::vector<QueueDepth> Broker::depth_snapshot() const {
 }
 
 void Broker::journal_append(const json::Value& record) {
-  std::lock_guard<std::mutex> lock(journal_mutex_);
-  if (journal_file_ == nullptr) return;
-  const std::string line = record.dump();
-  std::fwrite(line.data(), 1, line.size(), journal_file_);
-  std::fputc('\n', journal_file_);
-  std::fflush(journal_file_);
+  if (journal_ == nullptr) return;
+  // JournalWriter::append throws MqError on short writes / flush failures,
+  // so a failing disk surfaces to the publisher instead of being dropped.
+  journal_->append(record.dump());
 }
 
 void Broker::journal_append_batch(const std::vector<json::Value>& records) {
-  // One buffered write + one flush for the whole batch: the per-message
-  // fflush was a large share of durable-queue publish cost.
+  if (journal_ == nullptr) return;
+  // The records land in one commit segment; the group-commit flusher pays
+  // one fwrite + one fflush for the whole batch (or more, merged with
+  // concurrent publishers' records).
   std::string buffer;
   for (const json::Value& record : records) {
     buffer += record.dump();
     buffer += '\n';
   }
-  std::lock_guard<std::mutex> lock(journal_mutex_);
-  if (journal_file_ == nullptr) return;
-  std::fwrite(buffer.data(), 1, buffer.size(), journal_file_);
-  std::fflush(journal_file_);
+  if (!buffer.empty()) buffer.pop_back();  // append() adds the newline
+  journal_->append(buffer, records.size());
 }
 
 std::size_t Broker::recover(const std::string& path) {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/mq/exchange.hpp"
+#include "src/mq/journal.hpp"
 #include "src/mq/queue.hpp"
 #include "src/obs/metrics.hpp"
 
@@ -40,8 +41,10 @@ struct BrokerStats {
 class Broker {
  public:
   /// `journal_dir`: when non-empty, durable queues append their operations
-  /// to "<journal_dir>/<broker_name>.journal".
-  explicit Broker(std::string name = "broker", std::string journal_dir = "");
+  /// to "<journal_dir>/<broker_name>.journal". `journal` tunes the
+  /// group-commit flush policy (see JournalConfig).
+  explicit Broker(std::string name = "broker", std::string journal_dir = "",
+                  JournalConfig journal = {});
   ~Broker();
 
   Broker(const Broker&) = delete;
@@ -137,6 +140,11 @@ class Broker {
   /// Path of the journal this broker writes ("" when journaling is off).
   std::string journal_path() const;
 
+  /// The group-commit journal writer (nullptr when journaling is off).
+  /// Exposed for tests and for callers that need an explicit durability
+  /// barrier (JournalWriter::flush) or crash injection.
+  JournalWriter* journal_writer() { return journal_.get(); }
+
  private:
   void journal_append(const json::Value& record);
   void journal_append_batch(const std::vector<json::Value>& records);
@@ -144,6 +152,7 @@ class Broker {
 
   const std::string name_;
   const std::string journal_dir_;
+  const JournalConfig journal_config_;
 
   mutable std::shared_mutex mutex_;  // guards queues_/exchanges_ maps
   std::map<std::string, std::shared_ptr<Queue>> queues_;
@@ -151,8 +160,7 @@ class Broker {
   std::atomic<std::uint64_t> next_seq_{1};
   std::atomic<bool> closed_{false};
 
-  std::mutex journal_mutex_;
-  std::FILE* journal_file_ = nullptr;
+  std::unique_ptr<JournalWriter> journal_;
 
   // Pre-resolved metric handles; all null when metrics are off.
   obs::MetricsPtr metrics_;
@@ -162,6 +170,7 @@ class Broker {
     obs::Counter* acked = nullptr;
     obs::Counter* requeued = nullptr;
     obs::Counter* get_empty = nullptr;
+    obs::Counter* serialize_avoided = nullptr;
     obs::Histogram* publish_us = nullptr;
     obs::Histogram* get_us = nullptr;
     obs::Histogram* ack_us = nullptr;

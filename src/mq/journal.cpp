@@ -1,0 +1,174 @@
+#include "src/mq/journal.hpp"
+
+#include "src/common/error.hpp"
+
+namespace entk::mq {
+
+JournalWriter::JournalWriter(std::string path, JournalConfig config)
+    : path_(std::move(path)), config_(config) {
+  file_ = std::fopen(path_.c_str(), "a");
+  if (file_ == nullptr)
+    throw MqError("journal: cannot open " + path_);
+  if (!config_.sync_every_append) {
+    flusher_ = std::thread([this] { flusher_loop(); });
+  }
+}
+
+JournalWriter::~JournalWriter() {
+  try {
+    close();
+  } catch (const MqError&) {
+    // Destructor must not throw; the sticky error already surfaced to (or
+    // was ignored by) the last explicit append/flush caller.
+  }
+}
+
+void JournalWriter::throw_if_error_locked() const {
+  if (!error_.empty()) throw MqError(error_);
+}
+
+void JournalWriter::append(std::string_view line, std::size_t records) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) throw MqError("journal: closed (" + path_ + ")");
+  throw_if_error_locked();
+  if (!config_.sync_every_append && segment_.size() >= hard_cap()) {
+    // Bounded segment: backpressure instead of unbounded memory when the
+    // disk cannot keep up with the publish rate.
+    cv_capacity_.wait(lock, [this] {
+      return stopping_ || !error_.empty() || segment_.size() < hard_cap();
+    });
+    throw_if_error_locked();
+  }
+  const bool was_empty = segment_.empty();
+  if (was_empty) oldest_append_ = std::chrono::steady_clock::now();
+  segment_.append(line);
+  segment_ += '\n';
+  segment_records_ += records;
+  appended_records_ += records;
+  if (config_.sync_every_append) {
+    flush_segment_locked(lock);
+    throw_if_error_locked();
+    return;
+  }
+  // Wake the flusher when the segment fills — and on the first record of a
+  // new segment, so it arms the max_delay deadline instead of sleeping in
+  // its untimed wait-for-work past it.
+  if (was_empty || segment_.size() >= config_.max_batch_bytes) {
+    cv_work_.notify_one();
+  }
+}
+
+void JournalWriter::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  flush_segment_locked(lock);
+  throw_if_error_locked();
+}
+
+void JournalWriter::flush_segment_locked(std::unique_lock<std::mutex>& lock) {
+  // Wait out a write already in flight: when it completes, anything this
+  // caller appended earlier is either on disk or still in segment_ (and
+  // handled below) — either way the barrier holds.
+  while (flushing_) cv_flushed_.wait(lock);
+  if (segment_.empty() || file_ == nullptr || !error_.empty()) return;
+  std::string batch;
+  batch.swap(segment_);
+  const std::size_t records = segment_records_;
+  segment_records_ = 0;
+  flushing_ = true;
+  lock.unlock();
+  // I/O outside the lock: appenders keep landing records in the (now
+  // empty) segment while this batch is written.
+  const bool ok =
+      std::fwrite(batch.data(), 1, batch.size(), file_) == batch.size() &&
+      std::fflush(file_) == 0;
+  lock.lock();
+  flushing_ = false;
+  if (ok) {
+    flushed_records_ += records;
+    ++flushes_;
+    if (batch_size_hist_ != nullptr) {
+      batch_size_hist_->observe(static_cast<double>(records));
+    }
+  } else if (error_.empty()) {
+    error_ = "journal: short write to " + path_;
+  }
+  cv_flushed_.notify_all();
+  cv_capacity_.notify_all();
+}
+
+void JournalWriter::flusher_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    cv_work_.wait(lock, [this] { return stopping_ || !segment_.empty(); });
+    if (stopping_) return;  // close()/simulate_crash() owns the remainder
+    // Group commit: sit on the segment until it fills or the oldest record
+    // has waited out the commit window, then write it in one go.
+    const auto deadline =
+        oldest_append_ + std::chrono::duration_cast<
+                             std::chrono::steady_clock::duration>(
+                             std::chrono::duration<double>(config_.max_delay_s));
+    cv_work_.wait_until(lock, deadline, [this] {
+      return stopping_ || segment_.size() >= config_.max_batch_bytes;
+    });
+    if (stopping_) return;
+    flush_segment_locked(lock);
+    if (!error_.empty()) return;  // sticky failure: nothing left to do here
+  }
+}
+
+void JournalWriter::stop_flusher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  cv_capacity_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+}
+
+void JournalWriter::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return;
+  }
+  stop_flusher();
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) return;
+  closed_ = true;
+  flush_segment_locked(lock);  // final drain: no acked record left behind
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  throw_if_error_locked();
+}
+
+void JournalWriter::simulate_crash() {
+  stop_flusher();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  closed_ = true;
+  segment_.clear();  // the unflushed tail dies with the "process"
+  segment_records_ = 0;
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+std::uint64_t JournalWriter::appended_records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_records_;
+}
+
+std::uint64_t JournalWriter::flushed_records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flushed_records_;
+}
+
+std::uint64_t JournalWriter::flushes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return flushes_;
+}
+
+}  // namespace entk::mq

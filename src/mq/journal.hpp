@@ -1,0 +1,125 @@
+// Group-commit journal writer for durable broker queues.
+//
+// The seed journal paid one fwrite + one fflush per durable publish/ack,
+// which made the flush syscall the dominant cost of durable dispatch. The
+// JournalWriter decouples appending from flushing: append() lands the
+// record in a bounded in-memory segment and returns; a background flusher
+// writes the segment to disk when it reaches `max_batch_bytes` or when the
+// oldest unflushed record has waited `max_delay_s` (size-or-deadline group
+// commit), paying one fwrite + one fflush for the whole batch.
+//
+// Durability contract:
+//   * close()/flush() returns only after every appended record is on disk
+//     — a cleanly shut down broker loses nothing;
+//   * on a hard crash, at most the unflushed tail (bounded by
+//     max_batch_bytes / max_delay_s) is lost, and a record torn mid-write
+//     is skipped by recovery — everything before it replays exactly once;
+//   * appends never reorder: segments are swapped out and written by a
+//     single flusher in append order.
+// sync_every_append = true restores the seed per-record flush (append
+// blocks until its record is on disk) — kept for the latency A/B bench and
+// for callers that need zero-loss durability.
+//
+// I/O errors (short fwrite, failed fflush) are sticky: the first failure
+// is recorded and every subsequent append()/flush()/close() throws MqError,
+// so a broker on a full or failing disk cannot silently ack un-journaled
+// durable publishes.
+#pragma once
+
+#include <condition_variable>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "src/obs/metrics.hpp"
+
+namespace entk::mq {
+
+struct JournalConfig {
+  /// Flush the pending segment when it reaches this many bytes...
+  std::size_t max_batch_bytes = 256 * 1024;
+  /// ...or when the oldest unflushed append has waited this long (seconds).
+  double max_delay_s = 0.002;
+  /// Restore the seed behavior: every append flushes synchronously before
+  /// returning (no flusher thread, no commit window).
+  bool sync_every_append = false;
+};
+
+class JournalWriter {
+ public:
+  /// Opens `path` for appending; throws MqError when it cannot be opened.
+  JournalWriter(std::string path, JournalConfig config);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Append one JSONL chunk (without trailing newline) counting `records`
+  /// journal records — pre-joined batches pass their record count so the
+  /// batch-size histogram stays truthful. Returns once the chunk is in the
+  /// commit segment (on disk, in sync_every_append mode). Blocks briefly
+  /// only when the segment is at hard capacity (4x max_batch_bytes) with
+  /// the flusher behind. Throws MqError after any I/O error and when the
+  /// writer is closed.
+  void append(std::string_view line, std::size_t records = 1);
+
+  /// Synchronous barrier: returns once everything appended so far is on
+  /// disk. Throws MqError on I/O failure.
+  void flush();
+
+  /// Final flush + fclose; idempotent. Throws MqError when the final flush
+  /// hits an I/O error (earlier sticky errors also surface here).
+  void close();
+
+  /// Simulate a hard crash: the flusher is stopped, the pending segment is
+  /// DISCARDED and the file handle dropped without a final flush. On-disk
+  /// state is whatever previous flushes wrote — exactly what a recovery
+  /// after SIGKILL would see. Test hook; never called in production paths.
+  void simulate_crash();
+
+  const std::string& path() const { return path_; }
+  std::uint64_t appended_records() const;
+  std::uint64_t flushed_records() const;
+  std::uint64_t flushes() const;
+
+  /// Histogram receiving the record count of each flushed batch
+  /// ("mq.journal_batch_size"). Not thread-safe against in-flight appends;
+  /// set before the writer is shared. nullptr detaches.
+  void set_batch_size_metric(obs::Histogram* hist) { batch_size_hist_ = hist; }
+
+ private:
+  std::size_t hard_cap() const { return config_.max_batch_bytes * 4; }
+  /// Write out the current segment; caller holds `lock`. Waits out a flush
+  /// already in progress first, so callers observe a true barrier.
+  void flush_segment_locked(std::unique_lock<std::mutex>& lock);
+  void throw_if_error_locked() const;
+  void flusher_loop();
+  void stop_flusher();
+
+  const std::string path_;
+  const JournalConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;      // flusher waits for records/stop
+  std::condition_variable cv_flushed_;   // barriers wait for write-out
+  std::condition_variable cv_capacity_;  // appenders wait at hard capacity
+  std::FILE* file_ = nullptr;
+  std::string segment_;                  // pending (unflushed) records
+  std::size_t segment_records_ = 0;
+  std::chrono::steady_clock::time_point oldest_append_{};
+  bool flushing_ = false;   // a swapped-out segment is being written
+  bool stopping_ = false;
+  bool closed_ = false;
+  std::string error_;       // first I/O failure; sticky
+  std::uint64_t appended_records_ = 0;
+  std::uint64_t flushed_records_ = 0;
+  std::uint64_t flushes_ = 0;
+
+  obs::Histogram* batch_size_hist_ = nullptr;
+  std::thread flusher_;
+};
+
+}  // namespace entk::mq

@@ -1,0 +1,53 @@
+#include "src/mq/message.hpp"
+
+#include <atomic>
+
+namespace entk::mq {
+
+namespace {
+std::atomic<bool> g_eager_serialization{false};
+}  // namespace
+
+void set_eager_serialization(bool on) {
+  g_eager_serialization.store(on, std::memory_order_relaxed);
+}
+
+bool eager_serialization() {
+  return g_eager_serialization.load(std::memory_order_relaxed);
+}
+
+const std::string& Message::body() const {
+  if (body_ == nullptr) {
+    if (payload_ != nullptr) {
+      body_ = std::make_shared<const std::string>(payload_->dump());
+    } else {
+      static const std::string kEmpty;
+      return kEmpty;
+    }
+  }
+  return *body_;
+}
+
+const std::shared_ptr<const json::Value>& Message::payload() const {
+  if (payload_ == nullptr) {
+    // Parses the rendered bytes; an empty body (neither representation
+    // ever set) throws ParseError, matching the old body_json() contract.
+    payload_ = std::make_shared<const json::Value>(json::parse(body()));
+  }
+  return payload_;
+}
+
+Message Message::json_body(std::string routing_key, json::Value payload,
+                           json::Value headers) {
+  Message m;
+  m.routing_key = std::move(routing_key);
+  m.headers = std::move(headers);
+  if (eager_serialization()) {
+    m.set_body(payload.dump());
+  } else {
+    m.set_payload(std::move(payload));
+  }
+  return m;
+}
+
+}  // namespace entk::mq

@@ -5,11 +5,23 @@
 // broker-assigned sequence number used for at-least-once delivery
 // accounting and journal recovery.
 //
-// The body is stored as a shared immutable string so that retaining a
-// delivered message for ack/requeue accounting (Queue::unacked_) costs a
-// refcount bump instead of a payload copy — batch messages carry hundreds
-// of task uids in one body, which made the old per-delivery copy the
-// dominant allocation on the dispatch hot path.
+// Zero-copy structured messaging: a message can carry its payload in two
+// interchangeable representations —
+//   * a structured payload: an immutable, shared json::Value. In-process
+//     hops (publish, queue retention for ack accounting, delivery) pass it
+//     by refcount bump with ZERO serialization;
+//   * a byte body: the serialized JSON text. Needed only at the process
+//     boundary — durable-queue journaling, wire dumps, raw-body publishes.
+// Each representation is materialized lazily from the other on first
+// access and memoized on the message, so the journal and any later
+// observability dump never serialize the same message twice, and a
+// consumer of a recovered (bytes-only) message parses at most once.
+//
+// Thread-safety: the *shared* payload/body objects are immutable and safe
+// to read from any number of threads. The lazy memoization mutates the
+// Message object itself, so one Message instance must not be accessed
+// concurrently — the same contract as AMQP client messages. Copies are
+// independent (they share the representations but memoize separately).
 #pragma once
 
 #include <cstdint>
@@ -21,45 +33,78 @@
 
 namespace entk::mq {
 
+/// Benchmark/ablation knob: when on, Message::json_body() renders the byte
+/// body eagerly at construction and drops the structured payload, restoring
+/// the seed's serialize-per-hop behavior (consumers then re-parse). Global,
+/// not per-broker: it exists to A/B the dispatch path, not for production.
+void set_eager_serialization(bool on);
+bool eager_serialization();
+
 class Message {
  public:
   std::uint64_t seq = 0;       ///< broker-assigned, unique per broker
   std::string routing_key;     ///< destination queue name
   json::Value headers;         ///< structured metadata (object or null)
 
-  /// Opaque payload (usually JSON text); empty when never set.
-  const std::string& body() const {
-    static const std::string kEmpty;
-    return body_ ? *body_ : kEmpty;
-  }
+  /// Serialized payload bytes; renders (and memoizes) the structured
+  /// payload on first access. Empty when the message carries neither
+  /// representation.
+  const std::string& body() const;
+
+  /// True when the byte body is already materialized — i.e. accessing
+  /// body() costs nothing and the message has crossed (or will cross) a
+  /// serialization boundary.
+  bool has_rendered_body() const { return body_ != nullptr; }
 
   void set_body(std::string body) {
-    body_ = std::make_shared<const std::string>(std::move(body));
+    set_body(std::make_shared<const std::string>(std::move(body)));
   }
   void set_body(std::shared_ptr<const std::string> body) {
     body_ = std::move(body);
+    payload_.reset();
   }
 
-  /// Share the payload without copying (refcount bump only).
+  /// Share the byte payload without copying (refcount bump only). Null when
+  /// the bytes were never set nor rendered.
   const std::shared_ptr<const std::string>& shared_body() const {
     return body_;
   }
 
-  /// Convenience: build a message whose body is `payload.dump()`.
-  static Message json_body(std::string routing_key, const json::Value& payload,
-                           json::Value headers = json::Value()) {
-    Message m;
-    m.routing_key = std::move(routing_key);
-    m.headers = std::move(headers);
-    m.set_body(payload.dump());
-    return m;
+  /// Structured payload: the shared parsed value. Parses (and memoizes)
+  /// the byte body on first access, so broker-delivered structured
+  /// messages cost a refcount bump and recovered bytes-only messages cost
+  /// exactly one parse. Throws json::ParseError when the message carries
+  /// no payload or a garbage body.
+  const std::shared_ptr<const json::Value>& payload() const;
+
+  /// True when the structured payload is present without parsing —
+  /// consuming this message performs no deserialization.
+  bool has_payload() const { return payload_ != nullptr; }
+
+  void set_payload(json::Value payload) {
+    set_payload(std::make_shared<const json::Value>(std::move(payload)));
+  }
+  void set_payload(std::shared_ptr<const json::Value> payload) {
+    payload_ = std::move(payload);
+    body_.reset();
   }
 
-  /// Parse the body back into JSON; throws json::ParseError on garbage.
-  json::Value body_json() const { return json::parse(body()); }
+  /// Build a message carrying `payload` as a structured value: no
+  /// serialization happens unless the message crosses a byte boundary
+  /// (durable journal, wire dump). Under set_eager_serialization(true)
+  /// the payload is rendered to bytes immediately instead (seed behavior).
+  static Message json_body(std::string routing_key, json::Value payload,
+                           json::Value headers = json::Value());
+
+  /// Compat shim: a deep copy of the structured payload. Prefer payload()
+  /// — it shares instead of copying. Throws json::ParseError like payload().
+  json::Value body_json() const { return *payload(); }
 
  private:
-  std::shared_ptr<const std::string> body_;
+  // Lazily materialized, mutually-memoizing representations (see header
+  // comment for the thread-safety contract).
+  mutable std::shared_ptr<const std::string> body_;
+  mutable std::shared_ptr<const json::Value> payload_;
 };
 
 /// A delivered message plus the tag needed to ack/nack it.

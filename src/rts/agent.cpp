@@ -159,17 +159,17 @@ void Agent::intake_loop() {
       if (stopping_.load()) return;
       continue;
     }
-    json::Value wire;
+    std::shared_ptr<const json::Value> wire;
     try {
-      wire = delivery->message.body_json();
+      wire = delivery->message.payload();  // shared, zero-copy in-process
     } catch (const json::ParseError&) {
       broker_->ack(in_queue_, delivery->delivery_tag);
       ENTK_WARN(name()) << "dropping malformed unit message";
       continue;
     }
-    const std::string uid = wire.get_string("uid", "");
+    const std::string uid = wire->get_string("uid", "");
     auto ctx = std::make_shared<UnitCtx>();
-    ctx->unit = registry_->take(uid, wire);
+    ctx->unit = registry_->take(uid, *wire);
     ctx->result.uid = ctx->unit.uid;
     ctx->result.name = ctx->unit.name;
     ctx->result.metadata = ctx->unit.metadata;

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,10 @@ struct TaskUnit {
   /// survive serialization; in-process submission preserves them).
   json::Value to_json() const;
   static TaskUnit from_json(const json::Value& v);
+  /// Zero-copy variant: reads a shared message payload in place.
+  static TaskUnit from_json(const std::shared_ptr<const json::Value>& v) {
+    return from_json(*v);
+  }
 };
 
 enum class UnitOutcome { Done, Failed, Canceled, Lost };
@@ -71,6 +76,10 @@ struct UnitResult {
 
   json::Value to_json() const;
   static UnitResult from_json(const json::Value& v);
+  /// Zero-copy variant: reads a shared message payload in place.
+  static UnitResult from_json(const std::shared_ptr<const json::Value>& v) {
+    return from_json(*v);
+  }
 };
 
 }  // namespace entk::rts

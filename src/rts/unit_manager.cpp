@@ -33,10 +33,10 @@ void UnitManager::on_start() {
 void UnitManager::submit(std::vector<TaskUnit> units) {
   for (TaskUnit& unit : units) {
     profiler_->record(name(), "unit_submit", unit.uid, clock_->now());
-    const json::Value wire = unit.to_json();
+    json::Value wire = unit.to_json();
     registry_->put(std::move(unit));
     broker_->publish(agent_queue_,
-                     mq::Message::json_body(agent_queue_, wire));
+                     mq::Message::json_body(agent_queue_, std::move(wire)));
     ++submitted_;
   }
 }
@@ -48,7 +48,7 @@ void UnitManager::callback_loop() {
     if (!delivery) continue;
     UnitResult result;
     try {
-      result = UnitResult::from_json(delivery->message.body_json());
+      result = UnitResult::from_json(delivery->message.payload());
     } catch (const EnTKError& e) {
       ENTK_WARN(name()) << "dropping malformed result: " << e.what();
       broker_->ack(done_queue_, delivery->delivery_tag);

@@ -202,5 +202,106 @@ TEST_P(JsonRoundTrip, DumpParseIdentity) {
 
 INSTANTIATE_TEST_SUITE_P(Generated, JsonRoundTrip, ::testing::Range(1, 60));
 
+// Targeted round-trip properties: the generated family above cannot hit
+// every encoder edge, so escapes, unicode and numeric extremes get their
+// own cases (the dump side now uses std::to_chars shortest formatting).
+
+TEST(JsonRoundTrip, EscapeEdgeCases) {
+  const std::string cases[] = {
+      "",                                  // empty string
+      std::string(1, '\0'),                // embedded NUL
+      "\"quoted\" and \\back\\slash\\",
+      "line\nfeed\rreturn\ttab\bbs\ffeed",
+      std::string("\x01\x02\x03\x1e\x1f"),  // full control range edges
+      "ends with backslash \\",
+      "/solidus needs no escape/",
+  };
+  for (const std::string& s : cases) {
+    const Value v(s);
+    EXPECT_EQ(parse(v.dump()), v) << v.dump();
+    EXPECT_EQ(parse(v.dump()).as_string(), s);
+  }
+}
+
+TEST(JsonRoundTrip, UnicodePassesThroughUtf8) {
+  const std::string cases[] = {
+      "caf\xc3\xa9",                        // 2-byte UTF-8 (é)
+      "\xe6\xbc\xa2\xe5\xad\x97",           // 3-byte (漢字)
+      "\xf0\x9f\x9a\x80 rocket",            // 4-byte (emoji)
+      "mixed \xc2\xb5 and ascii",
+  };
+  for (const std::string& s : cases) {
+    const Value v(s);
+    EXPECT_EQ(parse(v.dump()).as_string(), s);
+  }
+  // \uXXXX escapes decode to UTF-8 and then round-trip as raw bytes.
+  const Value parsed = parse("\"\\u00e9\"");
+  EXPECT_EQ(parsed.as_string(), "\xc3\xa9");
+  EXPECT_EQ(parse(parsed.dump()), parsed);
+}
+
+TEST(JsonRoundTrip, IntegerExtremes) {
+  const std::int64_t cases[] = {
+      0,
+      -1,
+      std::numeric_limits<std::int64_t>::max(),
+      std::numeric_limits<std::int64_t>::min(),
+      4611686018427387904LL,   // 2^62
+      -4611686018427387905LL,
+  };
+  for (const std::int64_t i : cases) {
+    const Value v(i);
+    EXPECT_EQ(parse(v.dump()), v) << i;
+    EXPECT_EQ(parse(v.dump()).as_int(), i);
+  }
+}
+
+TEST(JsonRoundTrip, DoubleExtremesSurviveExactly) {
+  const double cases[] = {
+      0.1,
+      1.0 / 3.0,
+      -0.0,
+      5e-324,                                     // smallest denormal
+      std::numeric_limits<double>::min(),         // smallest normal
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::epsilon(),
+      1e22,                                       // exponent formatting
+      -2.2250738585072011e-308,                   // near-denormal boundary
+      3.141592653589793,
+  };
+  for (const double d : cases) {
+    const Value round = parse(Value(d).dump());
+    // Bit-exact: shortest-round-trip formatting must reproduce the double
+    // (whole-valued doubles may come back as Int; Value equality and the
+    // numeric comparison both accept that).
+    ASSERT_EQ(round, Value(d)) << d;
+    EXPECT_EQ(round.as_double(), d) << d;
+  }
+}
+
+TEST(JsonDump, ShortestDoubleFormatting) {
+  // std::to_chars emits the shortest text that round-trips, not %.17g's
+  // padded form — 0.1 must dump as "0.1", not "0.10000000000000001".
+  EXPECT_EQ(Value(0.1).dump(), "0.1");
+  EXPECT_EQ(Value(2.5).dump(), "2.5");
+}
+
+TEST(JsonDump, LargePayloadDumpsWithReservedCapacity) {
+  // Functional guard for the reserve() fast path: a payload much larger
+  // than any growth increment still dumps and re-parses identically.
+  Value big;
+  for (int i = 0; i < 200; ++i) {
+    Value row;
+    row["id"] = i;
+    row["name"] = "task-" + std::to_string(i);
+    row["data"] = std::string(64, 'x');
+    row["f"] = i * 0.125;
+    big["rows"].push_back(std::move(row));
+  }
+  const std::string text = big.dump();
+  EXPECT_GT(text.size(), 10000u);
+  EXPECT_EQ(parse(text), big);
+}
+
 }  // namespace
 }  // namespace entk::json

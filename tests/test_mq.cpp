@@ -4,10 +4,13 @@
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "src/common/clock.hpp"
 #include "src/mq/channel.hpp"
+#include "src/mq/journal.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace entk::mq {
 namespace {
@@ -452,6 +455,294 @@ TEST(Message, JsonBodyHelper) {
   Message bad;
   bad.set_body("{not json");
   EXPECT_THROW(bad.body_json(), json::ParseError);
+}
+
+// ------------------------------------------------- zero-copy messaging --
+
+TEST(Message, JsonBodyCarriesStructuredPayloadWithoutSerializing) {
+  json::Value payload;
+  payload["x"] = 42;
+  Message m = Message::json_body("route", std::move(payload));
+  EXPECT_TRUE(m.has_payload());
+  EXPECT_FALSE(m.has_rendered_body());  // nothing serialized yet
+  EXPECT_EQ(m.payload()->at("x").as_int(), 42);
+  EXPECT_FALSE(m.has_rendered_body());  // reading the payload never renders
+}
+
+TEST(Message, BodyRendersLazilyAndMemoizes) {
+  json::Value payload;
+  payload["k"] = "v";
+  Message m = Message::json_body("route", std::move(payload));
+  const std::string& first = m.body();
+  EXPECT_TRUE(m.has_rendered_body());
+  EXPECT_EQ(first, "{\"k\":\"v\"}");
+  // Memoized: same bytes object on every access.
+  EXPECT_EQ(&m.body(), &first);
+  EXPECT_EQ(m.shared_body().use_count(), 1);
+}
+
+TEST(Message, PayloadParsesLazilyFromBytesAndMemoizes) {
+  Message m;
+  m.set_body("{\"n\":7}");
+  EXPECT_FALSE(m.has_payload());
+  const auto& p1 = m.payload();
+  EXPECT_TRUE(m.has_payload());
+  EXPECT_EQ(p1->at("n").as_int(), 7);
+  EXPECT_EQ(m.payload().get(), p1.get());  // parsed once
+}
+
+TEST(Message, CopiesShareRepresentationsByRefcount) {
+  json::Value payload;
+  payload["big"] = std::string(1024, 'x');
+  Message a = Message::json_body("route", std::move(payload));
+  Message b = a;  // broker hop: queue retention / delivery copy
+  EXPECT_EQ(a.payload().get(), b.payload().get());  // same shared value
+  b.body();                       // rendering on the copy...
+  EXPECT_FALSE(a.has_rendered_body());  // ...does not mutate the original
+}
+
+TEST(Message, SettersResetTheOtherRepresentation) {
+  json::Value payload;
+  payload["a"] = 1;
+  Message m = Message::json_body("route", std::move(payload));
+  m.body();
+  m.set_body("{\"b\":2}");  // new bytes invalidate the memoized payload
+  EXPECT_FALSE(m.has_payload());
+  EXPECT_EQ(m.payload()->at("b").as_int(), 2);
+  json::Value other;
+  other["c"] = 3;
+  m.set_payload(std::move(other));  // new payload invalidates the bytes
+  EXPECT_FALSE(m.has_rendered_body());
+  EXPECT_EQ(m.body(), "{\"c\":3}");
+}
+
+TEST(Message, EmptyMessageBodyEmptyPayloadThrows) {
+  Message m;
+  EXPECT_EQ(m.body(), "");
+  EXPECT_THROW(m.payload(), json::ParseError);
+}
+
+TEST(Message, EagerSerializationKnobRestoresSeedBehavior) {
+  set_eager_serialization(true);
+  json::Value payload;
+  payload["x"] = 1;
+  Message m = Message::json_body("route", std::move(payload));
+  set_eager_serialization(false);
+  EXPECT_TRUE(m.has_rendered_body());   // rendered at construction
+  EXPECT_FALSE(m.has_payload());        // consumers must re-parse
+  EXPECT_EQ(m.payload()->at("x").as_int(), 1);
+}
+
+TEST(Broker, DeliveryAvoidsSerializationEndToEnd) {
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+  Broker b;
+  b.set_metrics(metrics);
+  b.declare_queue("q");
+  json::Value payload;
+  payload["uid"] = "t1";
+  b.publish("q", Message::json_body("q", std::move(payload)));
+  auto d = b.get("q", 0.0);
+  ASSERT_TRUE(d);
+  // The whole hop crossed by refcount bump: the payload is present, no
+  // byte body was ever rendered, and the broker counted the avoided pair.
+  EXPECT_TRUE(d->message.has_payload());
+  EXPECT_FALSE(d->message.has_rendered_body());
+  EXPECT_EQ(d->message.payload()->get_string("uid", ""), "t1");
+  EXPECT_EQ(metrics->counter("mq.serialize_avoided").value(), 1u);
+}
+
+TEST(Broker, DurablePublishRendersOnceAndIsNotCountedAvoided) {
+  const std::string dir = fresh_dir();
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+  Broker b("dur1", dir);
+  b.set_metrics(metrics);
+  b.declare_queue("q", {.durable = true});
+  json::Value payload;
+  payload["uid"] = "t1";
+  b.publish("q", Message::json_body("q", std::move(payload)));
+  auto d = b.get("q", 0.0);
+  ASSERT_TRUE(d);
+  // Journaling forced one render; the delivery carries both representations
+  // and honestly does not count as serialize-avoided.
+  EXPECT_TRUE(d->message.has_rendered_body());
+  EXPECT_EQ(metrics->counter("mq.serialize_avoided").value(), 0u);
+}
+
+// ------------------------------------------------- group-commit journal --
+
+TEST(Journal, SizeTriggerFlushesFullBatches) {
+  const std::string path = fresh_dir() + "/j.journal";
+  JournalWriter w(path, {.max_batch_bytes = 64, .max_delay_s = 30.0});
+  const std::string rec(31, 'a');  // two records cross the 64-byte trigger
+  w.append(rec);
+  w.append(rec);
+  w.append(rec);
+  w.flush();  // barrier: everything appended is on disk afterwards
+  EXPECT_EQ(w.appended_records(), 3u);
+  EXPECT_EQ(w.flushed_records(), 3u);
+  w.close();
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 3u);
+}
+
+TEST(Journal, DeadlineTriggerFlushesWithoutReachingSize) {
+  const std::string path = fresh_dir() + "/j.journal";
+  // Huge size trigger: only the 5ms commit window can cause the flush.
+  JournalWriter w(path, {.max_batch_bytes = 1 << 20, .max_delay_s = 0.005});
+  w.append("r1");
+  for (int spin = 0; spin < 400 && w.flushed_records() == 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(w.flushed_records(), 1u);
+  EXPECT_GE(w.flushes(), 1u);
+  w.close();
+}
+
+TEST(Journal, CloseDrainsPendingSegment) {
+  const std::string path = fresh_dir() + "/j.journal";
+  {
+    // Neither trigger can fire during the test; only close() flushes.
+    JournalWriter w(path, {.max_batch_bytes = 1 << 20, .max_delay_s = 60.0});
+    w.append("alpha");
+    w.append("beta");
+    w.close();
+    EXPECT_EQ(w.flushed_records(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "alpha");
+  std::getline(in, line);
+  EXPECT_EQ(line, "beta");
+}
+
+TEST(Journal, SyncEveryAppendRestoresPerRecordFlush) {
+  const std::string path = fresh_dir() + "/j.journal";
+  JournalWriter w(path, {.sync_every_append = true});
+  w.append("r1");
+  EXPECT_EQ(w.flushed_records(), 1u);  // on disk before append returned
+  w.append("r2");
+  EXPECT_EQ(w.flushed_records(), 2u);
+  EXPECT_EQ(w.flushes(), 2u);
+  w.close();
+}
+
+TEST(Journal, AppendAfterCloseThrows) {
+  const std::string path = fresh_dir() + "/j.journal";
+  JournalWriter w(path, {});
+  w.append("r1");
+  w.close();
+  EXPECT_THROW(w.append("r2"), MqError);
+  w.close();  // idempotent
+}
+
+TEST(Journal, UnopenablePathThrowsOnConstruction) {
+  EXPECT_THROW(
+      JournalWriter("/nonexistent-entk-dir/x.journal", JournalConfig{}),
+      MqError);
+}
+
+TEST(Journal, WriteFailureSurfacesAsStickyMqError) {
+  // /dev/full accepts the fopen but fails every flush with ENOSPC —
+  // exactly the short-write path a full disk would produce. (A read-only
+  // directory cannot be used here: tests may run as root, which bypasses
+  // permission checks.)
+  if (!std::filesystem::exists("/dev/full")) GTEST_SKIP();
+  JournalWriter w("/dev/full", {.sync_every_append = true});
+  EXPECT_THROW(w.append("r1"), MqError);
+  EXPECT_THROW(w.append("r2"), MqError);  // sticky: still failing
+  EXPECT_THROW(w.flush(), MqError);
+  EXPECT_THROW(w.close(), MqError);       // the error surfaces at close too
+}
+
+TEST(Broker, JournalErrorPropagatesToDurablePublish) {
+  EXPECT_THROW(Broker("b", "/nonexistent-entk-dir"), MqError);
+}
+
+TEST(Broker, GroupCommitCleanCloseLosesNothing) {
+  const std::string dir = fresh_dir();
+  std::string journal;
+  {
+    // Triggers never fire during the run: only the close-time drain can
+    // put the records on disk.
+    Broker b("gc1", dir,
+             {.max_batch_bytes = 1 << 20, .max_delay_s = 60.0});
+    journal = b.journal_path();
+    b.declare_queue("q", {.durable = true});
+    for (int i = 0; i < 8; ++i) {
+      b.publish("q", text_message("m" + std::to_string(i)));
+    }
+    auto d = b.get("q", 0.0);
+    ASSERT_TRUE(d);
+    b.ack("q", d->delivery_tag);
+  }  // destructor closes the broker, draining the journal
+  Broker recovered("gc1b");
+  EXPECT_EQ(recovered.recover(journal), 7u);
+  for (int i = 1; i < 8; ++i) {
+    auto d = recovered.get("q", 0.0);
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->message.body(), "m" + std::to_string(i));
+  }
+}
+
+TEST(Broker, CrashMidBatchReplaysFlushedRecordsExactlyOnce) {
+  const std::string dir = fresh_dir();
+  Broker b("gc2", dir, {.max_batch_bytes = 1 << 20, .max_delay_s = 60.0});
+  const std::string journal = b.journal_path();
+  b.declare_queue("q", {.durable = true});
+  // Five publishes reach disk through an explicit barrier...
+  for (int i = 0; i < 5; ++i) {
+    b.publish("q", text_message("m" + std::to_string(i)));
+  }
+  ASSERT_NE(b.journal_writer(), nullptr);
+  b.journal_writer()->flush();
+  // ...two acks reach disk through a second barrier...
+  for (int i = 0; i < 2; ++i) {
+    auto d = b.get("q", 0.0);
+    ASSERT_TRUE(d);
+    b.ack("q", d->delivery_tag);
+  }
+  b.journal_writer()->flush();
+  // ...and two more publishes stay in the in-memory segment when the
+  // broker dies hard (bounded-loss tail of the durability contract).
+  b.publish("q", text_message("lost1"));
+  b.publish("q", text_message("lost2"));
+  b.journal_writer()->simulate_crash();
+  // A record torn mid-write trails the journal, as after a real SIGKILL.
+  {
+    std::FILE* f = std::fopen(journal.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fputs("{\"op\":\"pub\",\"q\":\"q\",\"se", f);
+    std::fclose(f);
+  }
+  Broker recovered("gc2b");
+  // Exactly the flushed, unacked records come back — each once: no
+  // duplicate of the acked m0/m1, no resurrected unflushed tail.
+  EXPECT_EQ(recovered.recover(journal), 3u);
+  for (int i = 2; i < 5; ++i) {
+    auto d = recovered.get("q", 0.0);
+    ASSERT_TRUE(d);
+    EXPECT_EQ(d->message.body(), "m" + std::to_string(i));
+  }
+  EXPECT_FALSE(recovered.get("q", 0.0).has_value());
+}
+
+TEST(Broker, JournalBatchSizeHistogramObservesFlushes) {
+  const std::string dir = fresh_dir();
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
+  Broker b("gc3", dir, {.max_batch_bytes = 1 << 20, .max_delay_s = 60.0});
+  b.set_metrics(metrics);
+  b.declare_queue("q", {.durable = true});
+  std::vector<Message> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(text_message("x"));
+  b.publish_batch("q", std::move(batch));
+  b.journal_writer()->flush();
+  auto& hist = metrics->histogram("mq.journal_batch_size");
+  EXPECT_EQ(hist.count(), 1u);         // one group-commit flush...
+  EXPECT_EQ(hist.sum(), 4.0);          // ...carrying all four records
 }
 
 }  // namespace

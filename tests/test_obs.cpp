@@ -484,6 +484,28 @@ TEST(ObsIntegration, EveryCompletedTaskHasFullChainInExportedTrace) {
   EXPECT_GT(lines, 0u);
 }
 
+TEST(ObsIntegration, NonDurableRunAvoidsAllPayloadSerialization) {
+  // Zero-copy acceptance check: without a journal (no byte boundary),
+  // every structured message delivered by the broker must arrive with its
+  // shared payload and without a rendered byte body — i.e. the run
+  // performs ZERO dump/parse pairs on broker-delivered payloads. The
+  // broker counts exactly those deliveries in mq.serialize_avoided, so
+  // avoided == delivered is the machine-checkable form of the claim.
+  AppManagerConfig cfg = fast_config();
+  cfg.obs.metrics = true;
+  AppManager amgr(cfg);
+  amgr.add_pipelines({make_pipeline("p0", 2, 4)});
+  amgr.run();
+  ASSERT_EQ(amgr.tasks_done(), 8u);
+
+  const obs::MetricsPtr reg = amgr.metrics();
+  ASSERT_NE(reg, nullptr);
+  const std::uint64_t delivered = reg->counter("mq.delivered").value();
+  const std::uint64_t avoided = reg->counter("mq.serialize_avoided").value();
+  EXPECT_GT(delivered, 0u);
+  EXPECT_EQ(avoided, delivered);
+}
+
 TEST(ObsIntegration, ObsDisabledLeavesNoRegistryAndWritesNothing) {
   AppManagerConfig cfg = fast_config();
   AppManager amgr(cfg);

@@ -104,6 +104,9 @@ int main(int argc, char** argv) {
                  "                [--component-restart-limit N]\n"
                  "                [--trace-out trace.json]\n"
                  "                [--metrics-out metrics.jsonl]\n"
+                 "                [--journal-dir DIR]\n"
+                 "                [--journal-batch-bytes N]\n"
+                 "                [--journal-max-delay-ms MS]\n"
                  "       executes the PST application described in the file;\n"
                  "       --profile dumps the run's event trace as CSV for\n"
                  "       post-mortem analysis (src/analytics);\n"
@@ -114,17 +117,32 @@ int main(int argc, char** argv) {
                  "       trace_event JSON (chrome://tracing / Perfetto);\n"
                  "       --metrics-out writes the metrics registry (broker,\n"
                  "       component, RTS counters and latency histograms) as\n"
-                 "       JSONL and enables live metrics for the run\n");
+                 "       JSONL and enables live metrics for the run;\n"
+                 "       --journal-dir makes broker queues durable, writing\n"
+                 "       the group-commit journal to DIR; the flush policy\n"
+                 "       is tuned with --journal-batch-bytes (default 256k)\n"
+                 "       and --journal-max-delay-ms (default 2, 0 = sync\n"
+                 "       every append)\n");
     return 2;
   }
   std::string profile_path;
   std::string trace_out;
   std::string metrics_out;
+  std::string journal_dir;
+  long journal_batch_bytes = -1;
+  double journal_max_delay_ms = -1.0;
   int component_restart_limit = -1;
   for (int i = 2; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--profile") profile_path = argv[i + 1];
     if (std::string(argv[i]) == "--trace-out") trace_out = argv[i + 1];
     if (std::string(argv[i]) == "--metrics-out") metrics_out = argv[i + 1];
+    if (std::string(argv[i]) == "--journal-dir") journal_dir = argv[i + 1];
+    if (std::string(argv[i]) == "--journal-batch-bytes") {
+      journal_batch_bytes = std::atol(argv[i + 1]);
+    }
+    if (std::string(argv[i]) == "--journal-max-delay-ms") {
+      journal_max_delay_ms = std::atof(argv[i + 1]);
+    }
     if (std::string(argv[i]) == "--component-restart-limit") {
       component_restart_limit = std::atoi(argv[i + 1]);
     }
@@ -158,6 +176,16 @@ int main(int argc, char** argv) {
     }
     config.obs.trace_out = trace_out;
     config.obs.metrics_out = metrics_out;
+    config.journal_dir = journal_dir;
+    if (journal_batch_bytes >= 0) {
+      config.journal.max_batch_bytes =
+          static_cast<std::size_t>(journal_batch_bytes);
+    }
+    if (journal_max_delay_ms == 0.0) {
+      config.journal.sync_every_append = true;  // 0 = flush on every append
+    } else if (journal_max_delay_ms > 0.0) {
+      config.journal.max_delay_s = journal_max_delay_ms * 1e-3;
+    }
     if (local_processes) {
       // Real-time local execution with actual process spawning.
       auto clock = std::make_shared<RealClock>();
