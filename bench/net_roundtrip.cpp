@@ -1,0 +1,170 @@
+// net_roundtrip: loopback throughput of the framed TCP broker transport.
+//
+// Spins up a net::BrokerServer on an ephemeral loopback port, connects a
+// net::RemoteBroker, and pushes messages through a publish -> get -> ack
+// cycle two ways:
+//
+//   unbatched:  one frame roundtrip per message per operation
+//   batched:    publish_batch / get_batch / ack_batch, B messages per frame
+//
+// Over loopback the per-frame syscall + wakeup cost dominates small
+// messages, so batching is where the wire transport earns its keep — the
+// same amortization argument as the in-process bulk dispatch path, now
+// applied to TCP roundtrips. The acceptance gate (--check) requires the
+// batched cycle to move >= 3x the messages/s of the unbatched cycle.
+//
+// Flags: --messages N (default 2000), --batch B (default 64),
+//        --payload-bytes N (default 256), --reps R (best-of, default 3),
+//        --check (enforce the 3x gate), --json-out PATH (default
+//        BENCH_net.json).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/util.hpp"
+#include "src/common/profiler.hpp"
+#include "src/json/json.hpp"
+#include "src/mq/broker.hpp"
+#include "src/net/broker_server.hpp"
+#include "src/net/remote_broker.hpp"
+
+namespace {
+
+using namespace entk;
+
+mq::Message make_message(const std::string& queue, int i,
+                         const std::string& padding) {
+  json::Value payload;
+  payload["i"] = static_cast<std::int64_t>(i);
+  payload["pad"] = padding;
+  return mq::Message::json_body(queue, std::move(payload));
+}
+
+struct Sample {
+  double msgs_per_s = 0.0;
+  double elapsed_s = 0.0;
+};
+
+/// One full cycle: publish all messages, then drain them with get+ack.
+Sample run_cycle(net::RemoteBroker& client, const std::string& queue,
+                 int messages, int batch, const std::string& padding) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (batch <= 1) {
+    for (int i = 0; i < messages; ++i) {
+      client.publish(queue, make_message(queue, i, padding));
+    }
+    int drained = 0;
+    while (drained < messages) {
+      auto delivery = client.get(queue, 1.0);
+      if (!delivery) throw MqError("bench get timed out");
+      client.ack(queue, delivery->delivery_tag);
+      ++drained;
+    }
+  } else {
+    for (int i = 0; i < messages; i += batch) {
+      std::vector<mq::Message> chunk;
+      chunk.reserve(static_cast<std::size_t>(batch));
+      for (int j = i; j < i + batch && j < messages; ++j) {
+        chunk.push_back(make_message(queue, j, padding));
+      }
+      client.publish_batch(queue, std::move(chunk));
+    }
+    int drained = 0;
+    while (drained < messages) {
+      auto deliveries =
+          client.get_batch(queue, static_cast<std::size_t>(batch), 1.0);
+      if (deliveries.empty()) throw MqError("bench get_batch timed out");
+      std::vector<std::uint64_t> tags;
+      tags.reserve(deliveries.size());
+      for (const auto& d : deliveries) tags.push_back(d.delivery_tag);
+      client.ack_batch(queue, tags);
+      drained += static_cast<int>(deliveries.size());
+    }
+  }
+  Sample s;
+  s.elapsed_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              t0)
+                    .count();
+  s.msgs_per_s = messages / s.elapsed_s;
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int messages =
+      static_cast<int>(bench::flag_int(argc, argv, "--messages", 2000));
+  const int batch =
+      static_cast<int>(bench::flag_int(argc, argv, "--batch", 64));
+  const int payload_bytes =
+      static_cast<int>(bench::flag_int(argc, argv, "--payload-bytes", 256));
+  const long reps = bench::flag_int(argc, argv, "--reps", 3);
+  const bool check = bench::flag_present(argc, argv, "--check");
+  std::string json_out = "BENCH_net.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json-out") json_out = argv[i + 1];
+  }
+
+  const std::string padding(static_cast<std::size_t>(payload_bytes), 'x');
+  const std::string queue = "q.bench";
+
+  auto broker = std::make_shared<mq::Broker>("bench_broker");
+  broker->declare_queue(queue, {});
+  net::BrokerServer server(broker, {}, std::make_shared<Profiler>());
+  server.start();
+
+  net::RemoteBrokerConfig client_cfg;
+  client_cfg.endpoint = server.endpoint();
+  net::RemoteBroker client(client_cfg);
+  client.declare_queue(queue, {});
+
+  std::printf("loopback broker at %s: %d messages x %d B payload, "
+              "batch=%d, best of %ld\n",
+              server.endpoint().c_str(), messages, payload_bytes, batch,
+              reps);
+
+  Sample unbatched, batched;
+  for (long r = 0; r < reps; ++r) {  // best-of-R each side
+    const Sample u = run_cycle(client, queue, messages, 1, padding);
+    const Sample b = run_cycle(client, queue, messages, batch, padding);
+    if (u.msgs_per_s > unbatched.msgs_per_s) unbatched = u;
+    if (b.msgs_per_s > batched.msgs_per_s) batched = b;
+  }
+  const double speedup = batched.msgs_per_s / unbatched.msgs_per_s;
+
+  std::printf("%14s %14s %14s %9s\n", "cycle", "msgs/s", "elapsed (s)",
+              "speedup");
+  std::printf("%14s %14.0f %14.3f %9s\n", "unbatched", unbatched.msgs_per_s,
+              unbatched.elapsed_s, "1.00x");
+  std::printf("%14s %14.0f %14.3f %8.2fx\n", "batched", batched.msgs_per_s,
+              batched.elapsed_s, speedup);
+
+  client.close();
+  server.stop();
+  broker->close();
+
+  json::Value doc;
+  doc["bench"] = "net_roundtrip";
+  doc["endpoint"] = "loopback";
+  doc["messages"] = messages;
+  doc["payload_bytes"] = payload_bytes;
+  doc["batch"] = batch;
+  doc["reps"] = static_cast<std::int64_t>(reps);
+  doc["unbatched_msgs_per_s"] = unbatched.msgs_per_s;
+  doc["batched_msgs_per_s"] = batched.msgs_per_s;
+  doc["speedup"] = speedup;
+  std::ofstream out(json_out);
+  out << doc.dump() << "\n";
+  std::printf("results written to %s\n", json_out.c_str());
+
+  if (check && speedup < 3.0) {
+    std::fprintf(stderr,
+                 "NET CHECK FAILED: expected batched >= 3x unbatched over "
+                 "loopback, got %.2fx\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

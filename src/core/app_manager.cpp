@@ -5,6 +5,7 @@
 #include "src/common/error.hpp"
 #include "src/common/ids.hpp"
 #include "src/common/log.hpp"
+#include "src/net/remote_broker.hpp"
 #include "src/rts/pilot_rts.hpp"
 #include "src/sim/cluster.hpp"
 
@@ -68,18 +69,55 @@ void AppManager::run() {
   const double setup_t0 = wall_now_s();
 
   const std::string journal_dir = config_.journal_dir;
-  broker_ = std::make_shared<mq::Broker>(uid_, journal_dir, config_.journal);
-  if (metrics_) broker_->set_metrics(metrics_);
+  if (!config_.broker_endpoint.empty()) {
+    if (!config_.recover_broker_journal.empty()) {
+      throw ValueError(uid_, "recover_broker_journal",
+                       "empty when broker_endpoint is set (a daemon "
+                       "recovers its own journal via --recover)");
+    }
+    net::RemoteBrokerConfig remote_cfg;
+    remote_cfg.endpoint = config_.broker_endpoint;
+    auto remote = std::make_shared<net::RemoteBroker>(remote_cfg);
+    if (metrics_) remote->set_metrics(metrics_);
+    broker_ = remote;
+    ENTK_INFO(uid_) << "using broker daemon at " << config_.broker_endpoint;
+  } else {
+    local_broker_ =
+        std::make_shared<mq::Broker>(uid_, journal_dir, config_.journal);
+    if (metrics_) local_broker_->set_metrics(metrics_);
+    broker_ = local_broker_;
+  }
+  if (!config_.recover_broker_journal.empty()) {
+    const std::size_t restored =
+        local_broker_->recover(config_.recover_broker_journal);
+    // Replay proved the backlog survived, but in an AppManager-driven run
+    // the WFProcessor re-publishes outstanding work from the workflow +
+    // state journal — keeping the replayed messages would double-dispatch
+    // them (and resurrect tasks a resume_journal marks DONE). A daemon
+    // serving remote clients mid-run keeps its backlog instead
+    // (entk_broker --recover).
+    std::size_t purged = 0;
+    for (const std::string& queue : local_broker_->queue_names()) {
+      purged += local_broker_->queue(queue)->purge();
+    }
+    ENTK_INFO(uid_) << "broker recovery: replayed " << restored
+                    << " message(s) from " << config_.recover_broker_journal
+                    << ", purged " << purged
+                    << " (WFProcessor re-publishes outstanding work)";
+  }
   // With a journal directory the component queues are durable: every
   // publish/ack lands in the broker's group-commit journal, so a post-
-  // mortem (or Broker::recover) can replay the in-flight backlog.
+  // mortem (or Broker::recover) can replay the in-flight backlog. Queues
+  // that already exist (broker recovery) keep their recovered options.
   const mq::QueueOptions queue_opts{.durable = !journal_dir.empty()};
-  broker_->declare_queue("q.pending", queue_opts);
-  broker_->declare_queue("q.completed", queue_opts);
-  broker_->declare_queue("q.states", queue_opts);
+  for (const char* queue : {"q.pending", "q.completed", "q.states"}) {
+    if (local_broker_ && local_broker_->has_queue(queue)) continue;
+    broker_->declare_queue(queue, queue_opts);
+  }
 
   store_ = std::make_unique<StateStore>(
-      journal_dir.empty() ? "" : journal_dir + "/" + uid_ + ".states");
+      journal_dir.empty() ? "" : journal_dir + "/" + uid_ + ".states",
+      config_.journal);
 
   for (const PipelinePtr& p : pipelines_) registry_.add_pipeline(p);
 
@@ -144,6 +182,10 @@ void AppManager::run() {
         note_fatal(component, reason);
         wfprocessor_->abort(component + ": " + reason);
       });
+  // Sticky broker durability failures (journal-flusher I/O errors —
+  // local or forwarded from the daemon on heartbeats) surface through the
+  // same fatal path.
+  supervisor_->watch_broker(broker_);
 
   if (metrics_) {
     synchronizer_->set_metrics(metrics_);
@@ -175,6 +217,9 @@ void AppManager::run() {
   wfprocessor_->stop();
   const double rts_terminate_wall = exec_manager_->stop();
   synchronizer_->stop();
+  // Durability barrier before the run is declared over: group-committed
+  // state records must be readable by whoever inspects the journal next.
+  store_->flush();
   broker_->close();
   const double teardown_wall =
       wall_now_s() - teardown_t0 - rts_terminate_wall;

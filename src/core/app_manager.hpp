@@ -52,9 +52,30 @@ struct AppManagerConfig {
   /// ("" = in-memory only).
   std::string journal_dir;
 
-  /// Group-commit policy of the broker journal (flush batch size, commit
-  /// window, optional per-append sync). Ignored when journal_dir is "".
+  /// Group-commit policy of the broker journal AND the state journal
+  /// (flush batch size, commit window, optional per-append sync). Ignored
+  /// when journal_dir is "".
   mq::JournalConfig journal;
+
+  /// Endpoint ("host:port") of an entk_broker daemon. Empty (default) =
+  /// in-process broker, which keeps the zero-copy fast path. When set,
+  /// every component talks to the daemon through a net::RemoteBroker over
+  /// the framed TCP protocol; broker durability is then the daemon's
+  /// responsibility (its --journal-dir) and journal_dir here governs only
+  /// the local state journal.
+  std::string broker_endpoint;
+
+  /// Path to the journal of a previous (crashed) durable broker: replayed
+  /// into the in-process broker before the run (Broker::recover), then the
+  /// recovered queue backlog is purged — in an AppManager-driven run, the
+  /// WFProcessor is the scheduling authority and re-publishes everything
+  /// the state journal says is still outstanding; replayed messages would
+  /// only duplicate it (recovered-DONE tasks must not reappear at all).
+  /// The broker-journal replay is what carries durable *broker* state
+  /// (queue set + durability) across the crash; pair it with
+  /// resume_journal to also skip completed tasks. Requires an empty
+  /// broker_endpoint (a daemon recovers its own journal via --recover).
+  std::string recover_broker_journal;
 
   /// Path to the state journal of a previous attempt of the SAME
   /// application description (matching uids). Tasks whose last committed
@@ -122,6 +143,12 @@ class AppManager {
   const obs::Trace& trace() const { return trace_; }
   ClockPtr clock() { return clock_; }
   StateStore* state_store() { return store_.get(); }
+  /// Journal path of this run's in-process durable broker ("" when the run
+  /// was not durable or used a daemon): what a resumed run passes as
+  /// recover_broker_journal.
+  std::string broker_journal_path() const {
+    return local_broker_ ? local_broker_->journal_path() : "";
+  }
   const std::vector<PipelinePtr>& pipelines() const { return pipelines_; }
   std::size_t tasks_done() const;
   std::size_t tasks_failed() const;
@@ -144,7 +171,11 @@ class AppManager {
 
   std::vector<PipelinePtr> pipelines_;
 
-  mq::BrokerPtr broker_;
+  /// What the components see: either the in-process broker or a
+  /// net::RemoteBroker, behind the same BrokerHandle surface.
+  mq::BrokerHandlePtr broker_;
+  /// Set only on the in-process path (local recovery, metrics, tests).
+  mq::BrokerPtr local_broker_;
   std::unique_ptr<StateStore> store_;
   ObjectRegistry registry_;
   std::unique_ptr<Synchronizer> synchronizer_;

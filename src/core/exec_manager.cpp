@@ -9,7 +9,7 @@
 
 namespace entk {
 
-ExecManager::ExecManager(ExecConfig config, mq::BrokerPtr broker,
+ExecManager::ExecManager(ExecConfig config, mq::BrokerHandlePtr broker,
                          ObjectRegistry* registry, std::string pending_queue,
                          std::string done_queue, std::string states_queue,
                          rts::RtsFactory rts_factory, ProfilerPtr profiler)

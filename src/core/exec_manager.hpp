@@ -52,7 +52,7 @@ struct ExecConfig {
 /// the same RTS instance and the Pending queue without losing units.
 class ExecManager : public Component {
  public:
-  ExecManager(ExecConfig config, mq::BrokerPtr broker,
+  ExecManager(ExecConfig config, mq::BrokerHandlePtr broker,
               ObjectRegistry* registry, std::string pending_queue,
               std::string done_queue, std::string states_queue,
               rts::RtsFactory rts_factory, ProfilerPtr profiler);
@@ -99,7 +99,7 @@ class ExecManager : public Component {
   void flush_completions(std::vector<json::Value> buffered);
 
   const ExecConfig config_;
-  mq::BrokerPtr broker_;
+  mq::BrokerHandlePtr broker_;
   ObjectRegistry* registry_;
   const std::string pending_queue_;
   const std::string done_queue_;

@@ -8,18 +8,14 @@
 
 namespace entk {
 
-StateStore::StateStore(std::string journal_path)
+StateStore::StateStore(std::string journal_path, mq::JournalConfig journal)
     : journal_path_(std::move(journal_path)) {
   if (!journal_path_.empty()) {
-    file_ = std::fopen(journal_path_.c_str(), "a");
-    if (file_ == nullptr)
-      throw EnTKError("StateStore: cannot open " + journal_path_);
+    writer_ = std::make_unique<mq::JournalWriter>(journal_path_, journal);
   }
 }
 
-StateStore::~StateStore() {
-  if (file_ != nullptr) std::fclose(file_);
-}
+StateStore::~StateStore() = default;  // writer close() flushes the tail
 
 std::uint64_t StateStore::commit(const std::string& uid,
                                  const std::string& kind,
@@ -53,7 +49,7 @@ std::uint64_t StateStore::commit(const std::string& uid,
 }
 
 void StateStore::append_locked(const StateTransaction& t) {
-  if (file_ == nullptr) return;
+  if (writer_ == nullptr) return;
   json::Value v;
   v["seq"] = t.seq;
   v["wall_s"] = t.wall_s;
@@ -62,10 +58,12 @@ void StateStore::append_locked(const StateTransaction& t) {
   v["from"] = t.from_state;
   v["to"] = t.to_state;
   v["component"] = t.component;
-  const std::string line = v.dump();
-  std::fwrite(line.data(), 1, line.size(), file_);
-  std::fputc('\n', file_);
-  std::fflush(file_);
+  writer_->append(v.dump());
+}
+
+void StateStore::flush() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (writer_ != nullptr) writer_->flush();
 }
 
 std::string StateStore::state_of(const std::string& uid) const {

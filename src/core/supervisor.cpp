@@ -22,6 +22,10 @@ void Supervisor::supervise(Component* component) {
       [this](Component&, const std::string&) { kick(); });
 }
 
+void Supervisor::watch_broker(mq::BrokerHandlePtr broker) {
+  watched_broker_ = std::move(broker);
+}
+
 void Supervisor::set_fatal_handler(
     std::function<void(const std::string&, const std::string&)> handler) {
   std::lock_guard<std::mutex> lock(entries_mutex_);
@@ -105,6 +109,16 @@ void Supervisor::probe_loop() {
         // Still Failed; the next probe retries until the budget runs out.
         ENTK_WARN("supervisor") << "restart of '" << component->name()
                                 << "' failed: " << e.what();
+      }
+    }
+    if (watched_broker_ && !broker_fatal_reported_) {
+      // "" = healthy. Anything else is a sticky durability failure (e.g.
+      // the journal flusher hit a full disk): not restartable, so it goes
+      // straight to the fatal path instead of a restart budget.
+      const std::string health = watched_broker_->health();
+      if (!health.empty()) {
+        broker_fatal_reported_ = true;
+        fatals.emplace_back("broker", health);
       }
     }
     std::function<void(const std::string&, const std::string&)> handler;

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/common/component.hpp"
+#include "src/mq/broker_handle.hpp"
 
 namespace entk {
 
@@ -42,6 +43,13 @@ class Supervisor : public Component {
   /// budget, with (component name, fault reason).
   void set_fatal_handler(
       std::function<void(const std::string&, const std::string&)> handler);
+
+  /// Probe `broker`'s durability health on every heartbeat. A broker is
+  /// not restartable the way a component is — a sticky journal-flusher
+  /// I/O error means durability is already lost — so a non-empty health
+  /// string goes straight to the fatal handler (as component "broker",
+  /// reported once). Call before start().
+  void watch_broker(mq::BrokerHandlePtr broker);
 
   int total_restarts() const;
   int restarts_of(const std::string& name) const;
@@ -61,6 +69,9 @@ class Supervisor : public Component {
   void kick();
 
   const SupervisionConfig config_;
+
+  mq::BrokerHandlePtr watched_broker_;
+  bool broker_fatal_reported_ = false;  ///< probe-thread only
 
   mutable std::mutex entries_mutex_;
   std::vector<Entry> entries_;

@@ -59,7 +59,7 @@ std::vector<PipelinePtr> ObjectRegistry::pipelines() const {
 
 // ------------------------------------------------------------- SyncClient
 
-SyncClient::SyncClient(mq::BrokerPtr broker, std::string component,
+SyncClient::SyncClient(mq::BrokerHandlePtr broker, std::string component,
                        std::string states_queue, std::string ack_queue)
     : broker_(std::move(broker)),
       component_(std::move(component)),
@@ -189,7 +189,7 @@ bool SyncClient::sync_batch(const std::vector<Transition>& transitions,
 
 // ----------------------------------------------------------- Synchronizer
 
-Synchronizer::Synchronizer(mq::BrokerPtr broker, std::string states_queue,
+Synchronizer::Synchronizer(mq::BrokerHandlePtr broker, std::string states_queue,
                            ObjectRegistry* registry, StateStore* store,
                            ProfilerPtr profiler)
     : Component("synchronizer", std::move(profiler)),

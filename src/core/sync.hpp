@@ -92,7 +92,7 @@ struct Transition {
 class SyncClient {
  public:
   /// `ack_queue` must be unique per component; it is declared on demand.
-  SyncClient(mq::BrokerPtr broker, std::string component,
+  SyncClient(mq::BrokerHandlePtr broker, std::string component,
              std::string states_queue, std::string ack_queue);
 
   /// Request a transition. With `await_ack`, blocks until the Synchronizer
@@ -111,7 +111,7 @@ class SyncClient {
                   bool await_ack = false);
 
  private:
-  mq::BrokerPtr broker_;
+  mq::BrokerHandlePtr broker_;
   const std::string component_;
   const std::string states_queue_;
   const std::string ack_queue_;
@@ -125,7 +125,7 @@ class SyncClient {
 /// the transition tables, so replay is idempotent).
 class Synchronizer : public Component {
  public:
-  Synchronizer(mq::BrokerPtr broker, std::string states_queue,
+  Synchronizer(mq::BrokerHandlePtr broker, std::string states_queue,
                ObjectRegistry* registry, StateStore* store,
                ProfilerPtr profiler);
   ~Synchronizer() override;
@@ -146,7 +146,7 @@ class Synchronizer : public Component {
              const std::string& from, const std::string& to,
              const std::string& component);
 
-  mq::BrokerPtr broker_;
+  mq::BrokerHandlePtr broker_;
   const std::string states_queue_;
   ObjectRegistry* registry_;
   StateStore* store_;

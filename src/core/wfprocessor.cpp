@@ -5,7 +5,7 @@
 
 namespace entk {
 
-WFProcessor::WFProcessor(WfConfig config, mq::BrokerPtr broker,
+WFProcessor::WFProcessor(WfConfig config, mq::BrokerHandlePtr broker,
                          ObjectRegistry* registry, std::string pending_queue,
                          std::string done_queue, std::string states_queue,
                          ProfilerPtr profiler)

@@ -50,7 +50,7 @@ struct WfConfig {
 /// rescan picks up whatever was not yet scheduled.
 class WFProcessor : public Component {
  public:
-  WFProcessor(WfConfig config, mq::BrokerPtr broker, ObjectRegistry* registry,
+  WFProcessor(WfConfig config, mq::BrokerHandlePtr broker, ObjectRegistry* registry,
               std::string pending_queue, std::string done_queue,
               std::string states_queue, ProfilerPtr profiler);
   ~WFProcessor() override;
@@ -109,7 +109,7 @@ class WFProcessor : public Component {
   bool all_pipelines_final() const;
 
   const WfConfig config_;
-  mq::BrokerPtr broker_;
+  mq::BrokerHandlePtr broker_;
   ObjectRegistry* registry_;
   const std::string pending_queue_;
   const std::string done_queue_;

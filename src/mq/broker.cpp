@@ -357,6 +357,11 @@ void Broker::close() {
   if (journal_ != nullptr) journal_->close();
 }
 
+std::string Broker::health() const {
+  if (journal_ == nullptr) return "";
+  return journal_->error();
+}
+
 BrokerStats Broker::stats() const {
   std::shared_lock<std::shared_mutex> lock(mutex_);
   BrokerStats s;

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/mq/broker_handle.hpp"
 #include "src/mq/exchange.hpp"
 #include "src/mq/journal.hpp"
 #include "src/mq/queue.hpp"
@@ -38,14 +39,14 @@ struct BrokerStats {
   std::size_t acked = 0;
 };
 
-class Broker {
+class Broker : public BrokerHandle {
  public:
   /// `journal_dir`: when non-empty, durable queues append their operations
   /// to "<journal_dir>/<broker_name>.journal". `journal` tunes the
   /// group-commit flush policy (see JournalConfig).
   explicit Broker(std::string name = "broker", std::string journal_dir = "",
                   JournalConfig journal = {});
-  ~Broker();
+  ~Broker() override;
 
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
@@ -61,17 +62,17 @@ class Broker {
 
   /// Idempotent declare; re-declaring with different options is an error.
   std::shared_ptr<Queue> declare_queue(const std::string& queue,
-                                       QueueOptions options = {});
+                                       QueueOptions options = {}) override;
 
   /// Lookup; throws MqError when the queue does not exist.
   std::shared_ptr<Queue> queue(const std::string& queue) const;
-  bool has_queue(const std::string& queue) const;
+  bool has_queue(const std::string& queue) const override;
   std::vector<std::string> queue_names() const;
 
   /// Publish to a declared queue. Assigns the broker sequence number and,
   /// for durable queues, journals the message before it becomes visible.
   /// Returns the assigned sequence number; throws MqError on unknown queue.
-  std::uint64_t publish(const std::string& queue, Message msg);
+  std::uint64_t publish(const std::string& queue, Message msg) override;
 
   /// Publish a batch to one queue: a contiguous sequence-number range is
   /// reserved in one step, durable messages are journaled with a single
@@ -79,31 +80,33 @@ class Broker {
   /// sequence number (messages get first..first+n-1 in order); throws
   /// MqError on unknown queue or when the queue closes mid-batch.
   std::uint64_t publish_batch(const std::string& queue,
-                              std::vector<Message> msgs);
+                              std::vector<Message> msgs) override;
 
   /// Consume one message (see Queue::get).
-  std::optional<Delivery> get(const std::string& queue, double timeout_s);
+  std::optional<Delivery> get(const std::string& queue,
+                              double timeout_s) override;
 
   /// Consume up to `max_n` messages in one queue-lock acquisition (see
   /// Queue::get_batch); the batch may be partial or empty on timeout.
   std::vector<Delivery> get_batch(const std::string& queue, std::size_t max_n,
-                                  double timeout_s);
+                                  double timeout_s) override;
 
   /// Ack/nack a delivery obtained from `queue`.
-  bool ack(const std::string& queue, std::uint64_t delivery_tag);
+  bool ack(const std::string& queue, std::uint64_t delivery_tag) override;
   bool nack(const std::string& queue, std::uint64_t delivery_tag,
-            bool requeue);
+            bool requeue) override;
 
   /// Ack a batch of deliveries with one queue-lock acquisition and (for
   /// durable queues) one journal flush. Stale tags are skipped. Returns the
   /// number of deliveries actually acked.
-  std::size_t ack_batch(const std::string& queue,
-                        const std::vector<std::uint64_t>& delivery_tags);
+  std::size_t ack_batch(
+      const std::string& queue,
+      const std::vector<std::uint64_t>& delivery_tags) override;
 
   /// Requeue every unacked delivery of `queue` (component-restart path:
   /// messages orphaned by dead workers go back for the next generation).
   /// Returns the number requeued; counted into "mq.requeued".
-  std::size_t requeue_unacked(const std::string& queue);
+  std::size_t requeue_unacked(const std::string& queue) override;
 
   /// Delete a queue (closing it first).
   void delete_queue(const std::string& queue);
@@ -123,13 +126,21 @@ class Broker {
                                   const std::string& routing_key, Message msg);
 
   /// Close all queues and stop accepting publishes.
-  void close();
-  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  void close() override;
+  bool closed() const override {
+    return closed_.load(std::memory_order_acquire);
+  }
+
+  /// "" when durable; the sticky journal-flusher error otherwise. Probed
+  /// by the Supervisor heartbeat so a broker that can no longer persist
+  /// (full/failing disk) aborts the run instead of silently dropping
+  /// durability until close().
+  std::string health() const override;
 
   BrokerStats stats() const;
 
   /// Per-queue ready/unacked backlog snapshot (profiler depth gauges).
-  std::vector<QueueDepth> depth_snapshot() const;
+  std::vector<QueueDepth> depth_snapshot() const override;
 
   /// Rebuild broker state from a journal written by a previous (durable)
   /// broker with the same name: every published-but-unacked message is

@@ -156,6 +156,22 @@ void JournalWriter::simulate_crash() {
   }
 }
 
+std::string JournalWriter::error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return error_;
+}
+
+void JournalWriter::inject_io_error(std::string what) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!error_.empty()) return;  // first failure wins, like a real one
+    error_ = std::move(what);
+  }
+  cv_flushed_.notify_all();
+  cv_capacity_.notify_all();
+  cv_work_.notify_all();
+}
+
 std::uint64_t JournalWriter::appended_records() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return appended_records_;

@@ -80,6 +80,17 @@ class JournalWriter {
   /// after SIGKILL would see. Test hook; never called in production paths.
   void simulate_crash();
 
+  /// The sticky I/O failure ("" while healthy). Non-throwing counterpart
+  /// of the MqError append()/flush() raise — lets the broker health probe
+  /// (Supervisor heartbeat) observe a flusher that failed in the
+  /// background before any appender tripped over it.
+  std::string error() const;
+
+  /// Arm the sticky error state as if a flush had failed (wakes blocked
+  /// appenders/barriers). Test hook driving the same propagation path a
+  /// short write or failed fflush would.
+  void inject_io_error(std::string what);
+
   const std::string& path() const { return path_; }
   std::uint64_t appended_records() const;
   std::uint64_t flushed_records() const;

@@ -1,0 +1,536 @@
+#include "src/net/broker_server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "src/net/socket.hpp"
+
+namespace entk::net {
+
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+constexpr int kIdlePollMs = 20;
+
+double us_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+}  // namespace
+
+BrokerServer::BrokerServer(mq::BrokerPtr broker, BrokerServerConfig config,
+                           ProfilerPtr profiler)
+    : Component("broker_server", std::move(profiler)),
+      broker_(std::move(broker)),
+      config_(std::move(config)) {
+  listen_fd_ = listen_tcp(config_.bind_address, config_.port);
+  set_nonblocking(listen_fd_, true);
+  port_ = local_port(listen_fd_);
+  if (::pipe(wake_pipe_) != 0) {
+    close_fd(listen_fd_);
+    listen_fd_ = -1;
+    throw NetError("net: wake pipe: " + std::string(strerror(errno)));
+  }
+  set_nonblocking(wake_pipe_[0], true);
+  set_nonblocking(wake_pipe_[1], true);
+}
+
+BrokerServer::~BrokerServer() {
+  stop();
+  close_fd(listen_fd_);
+  close_fd(wake_pipe_[0]);
+  close_fd(wake_pipe_[1]);
+  for (auto& [fd, conn] : conns_) close_fd(fd);
+  conns_.clear();
+}
+
+std::string BrokerServer::endpoint() const {
+  return config_.bind_address + ":" + std::to_string(port_);
+}
+
+void BrokerServer::set_metrics(obs::MetricsPtr metrics) {
+  Component::set_metrics(metrics);
+  net_metrics_ = std::move(metrics);
+  if (net_metrics_ == nullptr) {
+    frames_in_ = frames_out_ = bytes_in_ = bytes_out_ = nullptr;
+    requeued_on_disconnect_ = nullptr;
+    connections_ = nullptr;
+    op_us_ = nullptr;
+    return;
+  }
+  frames_in_ = &net_metrics_->counter("net.server.frames_in");
+  frames_out_ = &net_metrics_->counter("net.server.frames_out");
+  bytes_in_ = &net_metrics_->counter("net.server.bytes_in");
+  bytes_out_ = &net_metrics_->counter("net.server.bytes_out");
+  requeued_on_disconnect_ =
+      &net_metrics_->counter("net.server.requeued_on_disconnect");
+  connections_ = &net_metrics_->gauge("net.server.connections");
+  op_us_ = &net_metrics_->histogram("net.server.op_us");
+}
+
+void BrokerServer::on_start() {
+  if (listen_fd_ < 0) {
+    // Restart after a stop/failure: rebind the same port (SO_REUSEADDR
+    // makes the rebind immediate).
+    listen_fd_ = listen_tcp(config_.bind_address, port_);
+    set_nonblocking(listen_fd_, true);
+  }
+  add_worker("poll", [this] { poll_loop(); });
+}
+
+void BrokerServer::on_stop_requested() {
+  // Kick the worker out of poll(2) immediately.
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'w';
+    (void)::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void BrokerServer::on_stopped() {
+  close_fd(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void BrokerServer::poll_loop() {
+  std::vector<pollfd> pfds;
+  while (!stop_requested()) {
+    beat();
+
+    pfds.clear();
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    pfds.push_back({wake_pipe_[0], POLLIN, 0});
+    for (auto& [fd, conn] : conns_) {
+      short events = POLLIN;
+      if (!conn.wbuf.empty()) events |= POLLOUT;
+      pfds.push_back({fd, events, 0});
+    }
+
+    int timeout_ms = kIdlePollMs;
+    if (!parked_.empty()) {
+      const auto now = Clock::now();
+      for (const ParkedGet& p : parked_) {
+        const auto wait_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(p.deadline -
+                                                                  now)
+                .count();
+        timeout_ms = std::clamp<int>(static_cast<int>(wait_ms), 1, timeout_ms);
+      }
+    }
+
+    const int ready = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      throw NetError("net: poll(): " + std::string(strerror(errno)));
+    }
+
+    if (pfds[0].revents & POLLIN) accept_clients();
+    if (pfds[1].revents & POLLIN) {
+      char sink[64];
+      while (::read(wake_pipe_[0], sink, sizeof(sink)) > 0) {
+      }
+    }
+
+    std::vector<int> dead;
+    for (std::size_t i = 2; i < pfds.size(); ++i) {
+      auto it = conns_.find(pfds[i].fd);
+      if (it == conns_.end()) continue;
+      Conn& conn = it->second;
+      bool alive = true;
+      if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) alive = false;
+      if (alive && (pfds[i].revents & POLLIN)) {
+        alive = read_input(conn);
+        if (alive) {
+          try {
+            process_frames(conn);
+          } catch (const MqError&) {
+            // Framing violation: the stream is unrecoverable — drop the
+            // client, requeue what it held.
+            alive = false;
+          }
+        }
+      }
+      if (alive && !conn.wbuf.empty()) alive = flush_writes(conn);
+      if (alive && conn.closing && conn.wbuf.empty()) alive = false;
+      if (!alive) dead.push_back(pfds[i].fd);
+    }
+    for (int fd : dead) drop_conn(fd, /*requeue_unacked=*/true);
+
+    // Every publish entered through this thread, so parked long-polls can
+    // only be satisfiable now (or expired).
+    service_parked();
+  }
+
+  drain_connections();
+}
+
+void BrokerServer::accept_clients() {
+  while (true) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: next poll pass
+    set_nonblocking(fd, true);
+    set_nodelay(fd);
+    Conn conn;
+    conn.fd = fd;
+    conns_.emplace(fd, std::move(conn));
+    conn_count_.store(conns_.size(), std::memory_order_relaxed);
+    if (connections_ != nullptr) {
+      connections_->set(static_cast<std::int64_t>(conns_.size()));
+    }
+  }
+}
+
+bool BrokerServer::read_input(Conn& conn) {
+  char chunk[kReadChunk];
+  while (true) {
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.rbuf.append(chunk, static_cast<std::size_t>(n));
+      if (bytes_in_ != nullptr) bytes_in_->add(static_cast<std::uint64_t>(n));
+      continue;
+    }
+    if (n == 0) return false;  // orderly shutdown from the peer
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+void BrokerServer::process_frames(Conn& conn) {
+  while (true) {
+    std::optional<Frame> frame = decode_frame(conn.rbuf, conn.rbuf_off);
+    if (!frame.has_value()) break;
+    if (frames_in_ != nullptr) frames_in_->add();
+    handle_frame(conn, std::move(*frame));
+  }
+  if (conn.rbuf_off > 0) {
+    conn.rbuf.erase(0, conn.rbuf_off);
+    conn.rbuf_off = 0;
+  }
+}
+
+void BrokerServer::handle_frame(Conn& conn, Frame&& req) {
+  const auto started = Clock::now();
+  Frame resp;
+  resp.op = Op::kOk;
+  resp.corr = req.corr;
+  try {
+    switch (req.op) {
+      case Op::kDeclare: {
+        // Idempotent across the wire: an existing queue satisfies any
+        // re-declare (clients re-declare blindly after reconnecting, and
+        // may disagree with the daemon about durability). Durability is
+        // the daemon's decision — it is on whichever side owns a journal.
+        if (!broker_->has_queue(req.queue)) {
+          mq::QueueOptions options;
+          options.durable = !broker_->journal_path().empty();
+          broker_->declare_queue(req.queue, options);
+        }
+        break;
+      }
+      case Op::kHasQueue:
+        if (broker_->has_queue(req.queue)) resp.flags |= kFlagTrue;
+        break;
+      case Op::kPublish: {
+        std::size_t off = 0;
+        mq::Message msg = decode_message(req.body, off);
+        resp.arg = broker_->publish(req.queue, std::move(msg));
+        break;
+      }
+      case Op::kPublishBatch: {
+        std::size_t off = 0;
+        const std::uint32_t count = get_u32(req.body, off);
+        std::vector<mq::Message> msgs;
+        msgs.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          msgs.push_back(decode_message(req.body, off));
+        }
+        resp.arg = broker_->publish_batch(req.queue, std::move(msgs));
+        break;
+      }
+      case Op::kGet:
+      case Op::kGetBatch: {
+        std::size_t off = 0;
+        const std::uint64_t timeout_us = get_u64(req.body, off);
+        const bool batch = req.op == Op::kGetBatch;
+        const std::size_t max_n =
+            batch ? static_cast<std::size_t>(req.arg) : 1;
+        if (try_answer_get(conn, req.corr, req.queue, max_n, batch)) {
+          record_op_us(started);
+          return;  // try_answer_get sent the response
+        }
+        if (timeout_us > 0) {
+          ParkedGet parked;
+          parked.fd = conn.fd;
+          parked.corr = req.corr;
+          parked.queue = req.queue;
+          parked.max_n = max_n;
+          parked.batch = batch;
+          parked.deadline =
+              Clock::now() + std::chrono::microseconds(timeout_us);
+          parked_.push_back(std::move(parked));
+          record_op_us(started);
+          return;  // response deferred until satisfied or expired
+        }
+        resp.flags |= kFlagEmpty;
+        break;
+      }
+      case Op::kAck: {
+        if (broker_->ack(req.queue, req.arg)) resp.flags |= kFlagTrue;
+        auto& unacked = conn.unacked;
+        unacked.erase(std::remove(unacked.begin(), unacked.end(),
+                                  std::make_pair(req.queue, req.arg)),
+                      unacked.end());
+        break;
+      }
+      case Op::kAckBatch: {
+        std::size_t off = 0;
+        const std::uint32_t count = get_u32(req.body, off);
+        std::vector<std::uint64_t> tags;
+        tags.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i) {
+          tags.push_back(get_u64(req.body, off));
+        }
+        resp.arg = broker_->ack_batch(req.queue, tags);
+        auto& unacked = conn.unacked;
+        for (std::uint64_t tag : tags) {
+          unacked.erase(std::remove(unacked.begin(), unacked.end(),
+                                    std::make_pair(req.queue, tag)),
+                        unacked.end());
+        }
+        break;
+      }
+      case Op::kNack: {
+        const bool requeue = (req.flags & kFlagRequeue) != 0;
+        if (broker_->nack(req.queue, req.arg, requeue)) {
+          resp.flags |= kFlagTrue;
+        }
+        auto& unacked = conn.unacked;
+        unacked.erase(std::remove(unacked.begin(), unacked.end(),
+                                  std::make_pair(req.queue, req.arg)),
+                      unacked.end());
+        break;
+      }
+      case Op::kRequeue: {
+        resp.arg = broker_->requeue_unacked(req.queue);
+        // Those deliveries are back in the queue: no connection should
+        // requeue them a second time on disconnect.
+        forget_unacked(req.queue);
+        break;
+      }
+      case Op::kDepth: {
+        const std::vector<mq::QueueDepth> depths = broker_->depth_snapshot();
+        resp.op = Op::kDepthReport;
+        put_u32(resp.body, static_cast<std::uint32_t>(depths.size()));
+        for (const mq::QueueDepth& d : depths) {
+          put_u16(resp.body, static_cast<std::uint16_t>(d.queue.size()));
+          resp.body.append(d.queue);
+          put_u64(resp.body, d.ready);
+          put_u64(resp.body, d.unacked);
+        }
+        break;
+      }
+      case Op::kHeartbeat:
+        resp.op = Op::kHeartbeat;
+        resp.body = broker_->health();
+        break;
+      case Op::kClose: {
+        for (const auto& [queue, tag] : conn.unacked) {
+          broker_->nack(queue, tag, /*requeue=*/true);
+        }
+        conn.unacked.clear();
+        conn.closing = true;
+        break;
+      }
+      default:
+        resp.op = Op::kError;
+        resp.body = "net: unknown op " +
+                    std::to_string(static_cast<int>(req.op));
+        break;
+    }
+  } catch (const MqError& e) {
+    resp = Frame{};
+    resp.op = Op::kError;
+    resp.corr = req.corr;
+    resp.body = e.what();
+  }
+  respond(conn, resp);
+  record_op_us(started);
+}
+
+bool BrokerServer::try_answer_get(Conn& conn, std::uint64_t corr,
+                                  const std::string& queue, std::size_t max_n,
+                                  bool batch) {
+  Frame resp;
+  resp.corr = corr;
+  if (batch) {
+    std::vector<mq::Delivery> deliveries =
+        broker_->get_batch(queue, max_n, 0.0);
+    if (deliveries.empty()) return false;
+    resp.op = Op::kDeliveryBatch;
+    put_u32(resp.body, static_cast<std::uint32_t>(deliveries.size()));
+    for (const mq::Delivery& d : deliveries) {
+      put_u64(resp.body, d.delivery_tag);
+      append_message(resp.body, d.message);
+      conn.unacked.emplace_back(queue, d.delivery_tag);
+    }
+  } else {
+    std::optional<mq::Delivery> delivery = broker_->get(queue, 0.0);
+    if (!delivery.has_value()) return false;
+    resp.op = Op::kDelivery;
+    resp.arg = delivery->delivery_tag;
+    append_message(resp.body, delivery->message);
+    conn.unacked.emplace_back(queue, delivery->delivery_tag);
+  }
+  respond(conn, resp);
+  return true;
+}
+
+void BrokerServer::respond(Conn& conn, const Frame& resp) {
+  append_frame(conn.wbuf, resp);
+  if (frames_out_ != nullptr) frames_out_->add();
+}
+
+bool BrokerServer::flush_writes(Conn& conn) {
+  while (!conn.wbuf.empty()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.wbuf.data(), conn.wbuf.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      if (bytes_out_ != nullptr) bytes_out_->add(static_cast<std::uint64_t>(n));
+      conn.wbuf.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // POLLOUT later
+    if (errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+void BrokerServer::service_parked() {
+  if (parked_.empty()) return;
+  const auto now = Clock::now();
+  std::vector<ParkedGet> still_parked;
+  still_parked.reserve(parked_.size());
+  for (ParkedGet& p : parked_) {
+    auto it = conns_.find(p.fd);
+    if (it == conns_.end()) continue;  // client gone; nothing to answer
+    Conn& conn = it->second;
+    bool answered = false;
+    try {
+      answered = try_answer_get(conn, p.corr, p.queue, p.max_n, p.batch);
+    } catch (const MqError& e) {
+      Frame resp;
+      resp.op = Op::kError;
+      resp.corr = p.corr;
+      resp.body = e.what();
+      respond(conn, resp);
+      answered = true;
+    }
+    if (answered) continue;
+    if (now >= p.deadline) {
+      Frame resp;
+      resp.op = Op::kOk;
+      resp.corr = p.corr;
+      resp.flags = kFlagEmpty;
+      respond(conn, resp);
+      continue;
+    }
+    still_parked.push_back(std::move(p));
+  }
+  parked_.swap(still_parked);
+}
+
+void BrokerServer::drop_conn(int fd, bool requeue_unacked) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (requeue_unacked) {
+    for (const auto& [queue, tag] : it->second.unacked) {
+      try {
+        broker_->nack(queue, tag, /*requeue=*/true);
+        if (requeued_on_disconnect_ != nullptr) requeued_on_disconnect_->add();
+      } catch (const MqError&) {
+        // Queue deleted since delivery: nothing left to requeue into.
+      }
+    }
+  }
+  close_fd(fd);
+  conns_.erase(it);
+  parked_.erase(std::remove_if(parked_.begin(), parked_.end(),
+                               [fd](const ParkedGet& p) { return p.fd == fd; }),
+                parked_.end());
+  conn_count_.store(conns_.size(), std::memory_order_relaxed);
+  if (connections_ != nullptr) {
+    connections_->set(static_cast<std::int64_t>(conns_.size()));
+  }
+}
+
+void BrokerServer::forget_unacked(const std::string& queue) {
+  for (auto& [fd, conn] : conns_) {
+    auto& unacked = conn.unacked;
+    unacked.erase(
+        std::remove_if(unacked.begin(), unacked.end(),
+                       [&queue](const std::pair<std::string, std::uint64_t>& e) {
+                         return e.first == queue;
+                       }),
+        unacked.end());
+  }
+}
+
+void BrokerServer::drain_connections() {
+  // Answer every parked long-poll empty so no client blocks on a response
+  // that will never come, then flush write buffers within the drain budget.
+  for (const ParkedGet& p : parked_) {
+    auto it = conns_.find(p.fd);
+    if (it == conns_.end()) continue;
+    Frame resp;
+    resp.op = Op::kOk;
+    resp.corr = p.corr;
+    resp.flags = kFlagEmpty;
+    respond(it->second, resp);
+  }
+  parked_.clear();
+
+  const auto deadline =
+      Clock::now() +
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double>(config_.drain_timeout_s));
+  while (Clock::now() < deadline) {
+    bool pending = false;
+    std::vector<int> dead;
+    for (auto& [fd, conn] : conns_) {
+      if (conn.wbuf.empty()) continue;
+      if (!flush_writes(conn)) {
+        dead.push_back(fd);
+      } else if (!conn.wbuf.empty()) {
+        pending = true;
+      }
+    }
+    for (int fd : dead) drop_conn(fd, /*requeue_unacked=*/true);
+    if (!pending) break;
+    pollfd pfd{-1, POLLOUT, 0};
+    std::vector<pollfd> pfds;
+    for (auto& [fd, conn] : conns_) {
+      if (!conn.wbuf.empty()) {
+        pfd.fd = fd;
+        pfds.push_back(pfd);
+      }
+    }
+    ::poll(pfds.data(), pfds.size(), 10);
+  }
+
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (auto& [fd, conn] : conns_) fds.push_back(fd);
+  for (int fd : fds) drop_conn(fd, /*requeue_unacked=*/true);
+}
+
+void BrokerServer::record_op_us(Clock::time_point started) {
+  if (op_us_ != nullptr) op_us_->observe(us_between(started, Clock::now()));
+}
+
+}  // namespace entk::net

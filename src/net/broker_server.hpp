@@ -1,0 +1,147 @@
+// BrokerServer: the network front end of the in-process mq::Broker.
+//
+// One poll(2)-driven worker thread owns every connection: it accepts
+// clients, decodes request frames from per-connection read buffers,
+// executes them against the broker, and appends response frames to
+// per-connection write buffers (flushed under POLLOUT backpressure). All
+// broker calls happen on that one thread, so connection state needs no
+// locking.
+//
+// Blocking semantics are translated, not forwarded: a kGet/kGetBatch with
+// a timeout is *parked* instead of blocking the event loop, and the parked
+// slot is re-tried after every input-processing pass (every publish enters
+// through the same thread) or answered empty when its deadline passes —
+// a cooperative long-poll.
+//
+// Delivery accounting: the server records (queue, delivery_tag) for every
+// message it hands a client. When that client disconnects — crash, kill,
+// or kClose — the orphaned deliveries are nack-requeued so another
+// consumer (or the same one after reconnecting) sees them again:
+// at-least-once across the wire, same contract as in-process.
+//
+// The server is a supervised Component: the AppManager-level Supervisor
+// can probe and restart it like any other; the listening socket is bound
+// in the constructor so port() is valid (and the ephemeral port resolved)
+// before start().
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/component.hpp"
+#include "src/mq/broker.hpp"
+#include "src/net/frame.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace entk::net {
+
+struct BrokerServerConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;        ///< 0 = ephemeral, resolved via port()
+  double drain_timeout_s = 2.0;  ///< bound on flushing write buffers at stop
+};
+
+class BrokerServer : public Component {
+ public:
+  /// Binds and listens immediately (throws NetError on failure); the event
+  /// loop starts serving on start().
+  BrokerServer(mq::BrokerPtr broker, BrokerServerConfig config,
+               ProfilerPtr profiler);
+  ~BrokerServer() override;
+
+  /// The bound port (stable across restarts of this instance).
+  std::uint16_t port() const { return port_; }
+
+  /// Endpoint string clients can dial ("host:port").
+  std::string endpoint() const;
+
+  /// Attach metrics: frame/byte counters, connection gauge and a per-op
+  /// service-time histogram under "net.server.*" (plus the base
+  /// component.* lifecycle counters). Attach before start().
+  void set_metrics(obs::MetricsPtr metrics);
+
+  std::size_t connection_count() const {
+    return conn_count_.load(std::memory_order_relaxed);
+  }
+
+ protected:
+  void on_start() override;
+  void on_stop_requested() override;
+  void on_stopped() override;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Conn {
+    int fd = -1;
+    std::string rbuf;
+    std::size_t rbuf_off = 0;
+    std::string wbuf;
+    /// Deliveries handed to this client and not yet acked/nacked:
+    /// requeued on disconnect.
+    std::vector<std::pair<std::string, std::uint64_t>> unacked;
+    bool closing = false;  ///< kClose received: drop once wbuf drains
+  };
+
+  /// A long-poll get waiting for a message or its deadline.
+  struct ParkedGet {
+    int fd = -1;
+    std::uint64_t corr = 0;
+    std::string queue;
+    std::size_t max_n = 1;
+    bool batch = false;
+    Clock::time_point deadline;
+  };
+
+  void poll_loop();
+  void accept_clients();
+  /// Read what the socket has; returns false when the peer is gone.
+  bool read_input(Conn& conn);
+  /// Decode and execute every complete frame in the read buffer.
+  void process_frames(Conn& conn);
+  void handle_frame(Conn& conn, Frame&& req);
+  void respond(Conn& conn, const Frame& resp);
+  /// Flush the write buffer; returns false on a dead socket.
+  bool flush_writes(Conn& conn);
+  /// Retry every parked get; answer expired ones empty.
+  void service_parked();
+  /// Answer one get against the broker right now. Returns false when the
+  /// queue is empty (caller parks or answers empty).
+  bool try_answer_get(Conn& conn, std::uint64_t corr, const std::string& queue,
+                      std::size_t max_n, bool batch);
+  void drop_conn(int fd, bool requeue_unacked);
+  void forget_unacked(const std::string& queue);
+  /// Best-effort flush of pending responses at stop, bounded by
+  /// drain_timeout_s.
+  void drain_connections();
+  void record_op_us(Clock::time_point started);
+
+  mq::BrokerPtr broker_;
+  const BrokerServerConfig config_;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  int wake_pipe_[2] = {-1, -1};
+
+  // Owned by the poll worker; touched outside it only between start/stop.
+  std::map<int, Conn> conns_;
+  std::vector<ParkedGet> parked_;
+
+  std::atomic<std::size_t> conn_count_{0};
+
+  // Pre-resolved "net.server.*" handles; all null when metrics are off.
+  obs::MetricsPtr net_metrics_;
+  obs::Counter* frames_in_ = nullptr;
+  obs::Counter* frames_out_ = nullptr;
+  obs::Counter* bytes_in_ = nullptr;
+  obs::Counter* bytes_out_ = nullptr;
+  obs::Counter* requeued_on_disconnect_ = nullptr;
+  obs::Gauge* connections_ = nullptr;
+  obs::Histogram* op_us_ = nullptr;
+};
+
+}  // namespace entk::net

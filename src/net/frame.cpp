@@ -1,0 +1,168 @@
+#include "src/net/frame.hpp"
+
+#include "src/json/json.hpp"
+
+namespace entk::net {
+
+namespace {
+
+// Fixed header bytes after the u32 length prefix: op(1) + corr(8) + arg(8)
+// + flags(4) + queue_len(2).
+constexpr std::size_t kHeaderBytes = 1 + 8 + 8 + 4 + 2;
+
+void need(std::string_view buf, std::size_t offset, std::size_t n) {
+  if (buf.size() - offset < n) {
+    throw NetError("net: truncated payload (need " + std::to_string(n) +
+                   " bytes, have " + std::to_string(buf.size() - offset) +
+                   ")");
+  }
+}
+
+}  // namespace
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+std::uint16_t get_u16(std::string_view buf, std::size_t& offset) {
+  need(buf, offset, 2);
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v |= static_cast<std::uint16_t>(
+        static_cast<unsigned char>(buf[offset + i]) << (8 * i));
+  }
+  offset += 2;
+  return v;
+}
+
+std::uint32_t get_u32(std::string_view buf, std::size_t& offset) {
+  need(buf, offset, 4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(buf[offset + i]))
+         << (8 * i);
+  }
+  offset += 4;
+  return v;
+}
+
+std::uint64_t get_u64(std::string_view buf, std::size_t& offset) {
+  need(buf, offset, 8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(buf[offset + i]))
+         << (8 * i);
+  }
+  offset += 8;
+  return v;
+}
+
+void append_frame(std::string& out, const Frame& frame) {
+  if (frame.queue.size() > 0xffff) {
+    throw NetError("net: queue name too long (" +
+                   std::to_string(frame.queue.size()) + " bytes)");
+  }
+  const std::size_t length =
+      kHeaderBytes + frame.queue.size() + frame.body.size();
+  if (length > kMaxFrameBytes) {
+    throw NetError("net: frame too large (" + std::to_string(length) +
+                   " bytes)");
+  }
+  out.reserve(out.size() + 4 + length);
+  put_u32(out, static_cast<std::uint32_t>(length));
+  out.push_back(static_cast<char>(frame.op));
+  put_u64(out, frame.corr);
+  put_u64(out, frame.arg);
+  put_u32(out, frame.flags);
+  put_u16(out, static_cast<std::uint16_t>(frame.queue.size()));
+  out.append(frame.queue);
+  out.append(frame.body);
+}
+
+std::string encode_frame(const Frame& frame) {
+  std::string out;
+  append_frame(out, frame);
+  return out;
+}
+
+std::optional<Frame> decode_frame(std::string_view buf, std::size_t& offset) {
+  if (buf.size() - offset < 4) return std::nullopt;
+  std::size_t cursor = offset;
+  const std::uint32_t length = get_u32(buf, cursor);
+  if (length > kMaxFrameBytes) {
+    throw NetError("net: oversized frame (" + std::to_string(length) +
+                   " bytes; limit " + std::to_string(kMaxFrameBytes) + ")");
+  }
+  if (length < kHeaderBytes) {
+    throw NetError("net: short frame header (" + std::to_string(length) +
+                   " bytes)");
+  }
+  if (buf.size() - cursor < length) return std::nullopt;  // partial frame
+  const std::size_t frame_end = cursor + length;
+
+  Frame frame;
+  frame.op = static_cast<Op>(static_cast<unsigned char>(buf[cursor++]));
+  frame.corr = get_u64(buf, cursor);
+  frame.arg = get_u64(buf, cursor);
+  frame.flags = get_u32(buf, cursor);
+  const std::uint16_t queue_len = get_u16(buf, cursor);
+  if (frame_end - cursor < queue_len) {
+    throw NetError("net: queue name overruns frame");
+  }
+  frame.queue.assign(buf.substr(cursor, queue_len));
+  cursor += queue_len;
+  frame.body.assign(buf.substr(cursor, frame_end - cursor));
+  offset = frame_end;
+  return frame;
+}
+
+void append_message(std::string& out, const mq::Message& msg) {
+  if (msg.headers.is_null()) {
+    put_u32(out, 0);
+  } else {
+    const std::string headers = msg.headers.dump();
+    put_u32(out, static_cast<std::uint32_t>(headers.size()));
+    out.append(headers);
+  }
+  put_u64(out, msg.seq);
+  // The byte boundary: renders (and memoizes) the structured payload.
+  // A message with neither representation ships an empty body.
+  const std::string& body = msg.body();
+  put_u32(out, static_cast<std::uint32_t>(body.size()));
+  out.append(body);
+}
+
+mq::Message decode_message(std::string_view buf, std::size_t& offset) {
+  mq::Message msg;
+  const std::uint32_t headers_len = get_u32(buf, offset);
+  if (headers_len > 0) {
+    need(buf, offset, headers_len);
+    msg.headers = json::parse(std::string(buf.substr(offset, headers_len)));
+    offset += headers_len;
+  }
+  msg.seq = get_u64(buf, offset);
+  const std::uint32_t body_len = get_u32(buf, offset);
+  need(buf, offset, body_len);
+  // Arrives as bytes; the consumer's first payload() access parses once
+  // and memoizes (recovered-message contract of the lazy Message).
+  msg.set_body(std::string(buf.substr(offset, body_len)));
+  offset += body_len;
+  return msg;
+}
+
+}  // namespace entk::net

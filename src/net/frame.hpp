@@ -1,0 +1,116 @@
+// Framed binary wire protocol of the networked broker transport.
+//
+// RabbitMQ puts a real TCP wire between the workflow manager and the HPC
+// resource (paper §II-C); this header defines our equivalent: a
+// length-prefixed binary frame carrying one broker operation or response.
+// Layout (all integers little-endian):
+//
+//   u32  length      bytes after this prefix (capped at kMaxFrameBytes)
+//   u8   op          Op code below
+//   u64  corr        correlation id (responses echo the request's)
+//   u64  arg         op-specific scalar: delivery tag, seq, max_n, count
+//   u32  flags       kFlag* bits
+//   u16  queue_len   + that many queue-name bytes
+//   ...  body        op-specific payload (rest of the frame)
+//
+// Messages cross the wire as (headers-JSON, seq, body-bytes) triples —
+// this is the serialization boundary the PR-4 lazy Message was built for:
+// Message::body() renders exactly here, and the in-process fast path never
+// pays it.
+//
+// decode_frame is incremental: feed it a receive buffer and an offset; it
+// returns nullopt while the buffer holds only a partial frame and throws
+// NetError on a malformed or oversized one (a corrupt length prefix must
+// kill the connection, not allocate 4 GiB).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "src/common/error.hpp"
+#include "src/mq/message.hpp"
+
+namespace entk::net {
+
+/// Transport-layer failure (framing violation, socket error, lost
+/// connection). Subtype of MqError so existing broker-error handling in
+/// the components applies unchanged.
+class NetError : public MqError {
+ public:
+  explicit NetError(const std::string& what) : MqError(what) {}
+};
+
+enum class Op : std::uint8_t {
+  // requests (client -> server)
+  kDeclare = 1,
+  kHasQueue = 2,
+  kPublish = 3,
+  kPublishBatch = 4,
+  kGet = 5,        ///< arg unused; body = u64 timeout_us (server long-poll)
+  kGetBatch = 6,   ///< arg = max_n; body = u64 timeout_us
+  kAck = 7,        ///< arg = delivery tag
+  kAckBatch = 8,   ///< body = u32 count + count * u64 tags
+  kNack = 9,       ///< arg = delivery tag; kFlagRequeue selects redelivery
+  kRequeue = 10,   ///< requeue_unacked(queue)
+  kDepth = 11,
+  kHeartbeat = 12, ///< server echoes with broker health in the body
+  kClose = 13,     ///< client going away; server requeues its unacked
+
+  // responses (server -> client)
+  kOk = 64,           ///< arg = op-specific count/seq; kFlagEmpty on dry get
+  kError = 65,        ///< body = error text (client rethrows MqError)
+  kDelivery = 66,     ///< arg = delivery tag; body = one encoded message
+  kDeliveryBatch = 67,///< body = u32 count + count * (u64 tag, message)
+  kDepthReport = 68,  ///< body = u32 count + count * (queue, ready, unacked)
+};
+
+inline constexpr std::uint32_t kFlagDurable = 1u << 0;  ///< kDeclare
+inline constexpr std::uint32_t kFlagRequeue = 1u << 1;  ///< kNack
+inline constexpr std::uint32_t kFlagEmpty = 1u << 2;    ///< kOk: empty get
+inline constexpr std::uint32_t kFlagTrue = 1u << 3;     ///< kOk: bool result
+
+/// Upper bound on one frame (prefix excluded): large enough for any
+/// realistic dispatch batch, small enough that a corrupt prefix fails fast.
+inline constexpr std::size_t kMaxFrameBytes = 64u << 20;
+
+struct Frame {
+  Op op = Op::kHeartbeat;
+  std::uint64_t corr = 0;
+  std::uint64_t arg = 0;
+  std::uint32_t flags = 0;
+  std::string queue;
+  std::string body;
+
+  bool operator==(const Frame& other) const = default;
+};
+
+// --- scalar codec (exposed for op-payload building and tests) ------------
+void put_u16(std::string& out, std::uint16_t v);
+void put_u32(std::string& out, std::uint32_t v);
+void put_u64(std::string& out, std::uint64_t v);
+/// Read little-endian scalars at `offset`, advancing it; throw NetError
+/// when the buffer is too short (a framing violation — the frame length
+/// promised more payload than the op encoding provides).
+std::uint16_t get_u16(std::string_view buf, std::size_t& offset);
+std::uint32_t get_u32(std::string_view buf, std::size_t& offset);
+std::uint64_t get_u64(std::string_view buf, std::size_t& offset);
+
+// --- frame codec ----------------------------------------------------------
+void append_frame(std::string& out, const Frame& frame);
+std::string encode_frame(const Frame& frame);
+
+/// Decode one frame from `buf` starting at `offset`; on success advances
+/// `offset` past it. Returns nullopt for a partial frame. Throws NetError
+/// for an oversized or truncated-inside-header frame.
+std::optional<Frame> decode_frame(std::string_view buf, std::size_t& offset);
+
+// --- message codec --------------------------------------------------------
+/// Wire form of one mq::Message: u32 headers_len (0 = null headers) +
+/// headers JSON text, u64 seq, u32 body_len + body bytes. Rendering the
+/// byte body here IS the process boundary of the zero-copy design.
+void append_message(std::string& out, const mq::Message& msg);
+mq::Message decode_message(std::string_view buf, std::size_t& offset);
+
+}  // namespace entk::net

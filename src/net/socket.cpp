@@ -1,0 +1,141 @@
+#include "src/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/net/frame.hpp"
+
+namespace entk::net {
+
+bool split_endpoint(const std::string& endpoint, std::string& host,
+                    std::uint16_t& port) {
+  const std::size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= endpoint.size()) {
+    return false;
+  }
+  const std::string port_str = endpoint.substr(colon + 1);
+  char* end = nullptr;
+  const long value = std::strtol(port_str.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value <= 0 || value > 0xffff) {
+    return false;
+  }
+  host = endpoint.substr(0, colon);
+  port = static_cast<std::uint16_t>(value);
+  return true;
+}
+
+namespace {
+
+bool resolve_ipv4(const std::string& host, in_addr* out) {
+  if (::inet_pton(AF_INET, host.c_str(), out) == 1) return true;
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(host.c_str(), nullptr, &hints, &res) != 0 ||
+      res == nullptr) {
+    return false;
+  }
+  *out = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  ::freeaddrinfo(res);
+  return true;
+}
+
+}  // namespace
+
+int listen_tcp(const std::string& address, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (!resolve_ipv4(address, &addr.sin_addr)) {
+    throw NetError("net: cannot resolve bind address '" + address + "'");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw NetError("net: socket(): " + std::string(strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string what = strerror(errno);
+    ::close(fd);
+    throw NetError("net: bind " + address + ":" + std::to_string(port) +
+                   ": " + what);
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string what = strerror(errno);
+    ::close(fd);
+    throw NetError("net: listen: " + what);
+  }
+  return fd;
+}
+
+std::uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port,
+                double timeout_s) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (!resolve_ipv4(host, &addr.sin_addr)) return -1;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  set_nonblocking(fd, true);
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return -1;
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout_ms = static_cast<int>(timeout_s * 1e3);
+    if (::poll(&pfd, 1, timeout_ms) <= 0) {
+      ::close(fd);
+      return -1;
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  set_nonblocking(fd, false);
+  set_nodelay(fd);
+  return fd;
+}
+
+void set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return;
+  ::fcntl(fd, F_SETFL, on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
+
+void set_nodelay(int fd) {
+  // The protocol is request/response with small frames: Nagle would add a
+  // full RTT of batching delay to every operation.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace entk::net

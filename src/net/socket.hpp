@@ -1,0 +1,34 @@
+// Thin POSIX TCP helpers shared by the broker server, the RemoteBroker
+// client and the loopback bench. Error reporting is by NetError (listen
+// setup) or by sentinel return (connect attempts, which the reconnect
+// loop retries); SIGPIPE is avoided with MSG_NOSIGNAL at the send sites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace entk::net {
+
+/// Parse "host:port". Returns false on a malformed endpoint.
+bool split_endpoint(const std::string& endpoint, std::string& host,
+                    std::uint16_t& port);
+
+/// Bind + listen on `address:port` (port 0 = ephemeral; SO_REUSEADDR set
+/// so a restarted daemon rebinds immediately). Returns the listening fd.
+/// Throws NetError when the socket cannot be bound.
+int listen_tcp(const std::string& address, std::uint16_t port);
+
+/// The locally bound port of a socket (resolves an ephemeral bind).
+std::uint16_t local_port(int fd);
+
+/// Connect to host:port with a bounded wait (non-blocking connect + poll).
+/// Returns the connected fd, or -1 on failure/timeout (reconnect loops
+/// treat that as one failed attempt).
+int connect_tcp(const std::string& host, std::uint16_t port,
+                double timeout_s);
+
+void set_nonblocking(int fd, bool on);
+void set_nodelay(int fd);
+void close_fd(int fd);
+
+}  // namespace entk::net

@@ -159,6 +159,36 @@ TEST(StateStoreTest, RecoveryStopsAtTornRecord) {
   EXPECT_EQ(recovered.state_of("a"), "SCHEDULING");
 }
 
+TEST(StateStoreTest, GroupCommitCrashLosesOnlyUnflushedTail) {
+  const std::string path = fresh_dir() + "/crash.jsonl";
+  mq::JournalConfig journal;
+  journal.max_batch_bytes = 1 << 20;
+  journal.max_delay_s = 60.0;  // background flusher never fires in-test
+  StateStore store(path, journal);
+  store.commit("a", "task", "DESCRIBED", "SCHEDULING", "c");
+  store.commit("a", "task", "SCHEDULING", "SCHEDULED", "c");
+  store.flush();  // durability barrier: the first two records are on disk
+  store.commit("a", "task", "SCHEDULED", "SUBMITTED", "c");
+  // Hard crash: the unflushed tail is gone, exactly what SIGKILL leaves.
+  store.journal_writer()->simulate_crash();
+  StateStore recovered;
+  EXPECT_EQ(recovered.recover(path), 2u);
+  EXPECT_EQ(recovered.state_of("a"), "SCHEDULED");
+}
+
+TEST(StateStoreTest, SyncEveryAppendCommitsAreCrashDurable) {
+  const std::string path = fresh_dir() + "/sync.jsonl";
+  mq::JournalConfig journal;
+  journal.sync_every_append = true;  // the --journal-max-delay-ms 0 policy
+  StateStore store(path, journal);
+  store.commit("a", "task", "DESCRIBED", "SCHEDULING", "c");
+  store.commit("a", "task", "SCHEDULING", "SCHEDULED", "c");
+  store.journal_writer()->simulate_crash();  // no barrier needed
+  StateStore recovered;
+  EXPECT_EQ(recovered.recover(path), 2u);
+  EXPECT_EQ(recovered.state_of("a"), "SCHEDULED");
+}
+
 TEST(StateStoreTest, ExternalSinkInvoked) {
   StateStore store;
   std::vector<std::string> sunk;

@@ -146,6 +146,83 @@ TEST(Resume, FullyCompletedStageIsSkippedEntirely) {
   EXPECT_EQ(stage1_runs->load(), 3);  // nothing re-ran
 }
 
+TEST(Resume, CombinedBrokerAndStateRecoveryDoesNotReexecuteDoneTasks) {
+  // Combined crash recovery: a resumed run replays BOTH journals — the
+  // state journal (resume_journal) that marks tasks DONE, and a crashed
+  // broker's journal (recover_broker_journal) that still holds one of
+  // those DONE tasks published-but-unacked in q.pending. The recovered
+  // backlog must be purged (the WFProcessor is the scheduling authority),
+  // so the DONE task is neither re-published nor re-executed.
+  const std::string dir = fresh_dir();
+  auto first_runs = std::make_shared<std::atomic<int>>(0);
+  auto second_runs = std::make_shared<std::atomic<int>>(0);
+  auto pipeline = std::make_shared<Pipeline>("p");
+  auto s1 = std::make_shared<Stage>("s1");
+  auto first = std::make_shared<Task>("first");
+  first->duration_s = 0.2;
+  first->function = [first_runs] {
+    ++*first_runs;
+    return 0;
+  };
+  s1->add_task(first);
+  pipeline->add_stage(s1);
+  auto s2 = std::make_shared<Stage>("s2");
+  auto second = std::make_shared<Task>("second");
+  second->duration_s = 0.2;
+  second->function = [second_runs] {
+    ++*second_runs;
+    return 0;
+  };
+  s2->add_task(second);
+  pipeline->add_stage(s2);
+
+  // Attempt 1: durable, completes fully.
+  std::string state_journal;
+  {
+    AppManagerConfig cfg = fast_config();
+    cfg.journal_dir = dir;
+    AppManager amgr(cfg);
+    amgr.add_pipelines({pipeline});
+    amgr.run();
+    ASSERT_EQ(amgr.tasks_done(), 2u);
+    state_journal = amgr.state_store()->journal_path();
+    EXPECT_TRUE(std::filesystem::exists(amgr.broker_journal_path()));
+  }
+
+  // A crashed broker's journal: the DONE task's dispatch message sits in
+  // q.pending, published but never acked (the crash hit before the
+  // ExecManager consumed it).
+  const std::string crash_dir = fresh_dir();
+  std::string crashed_journal;
+  {
+    mq::Broker crashed("crashed", crash_dir);
+    crashed.declare_queue("q.pending", mq::QueueOptions{.durable = true});
+    json::Value msg;
+    msg["uid"] = first->uid();
+    crashed.publish("q.pending", mq::Message::json_body("q.pending", msg));
+    crashed_journal = crashed.journal_path();
+    crashed.close();
+  }
+
+  pipeline->reset_for_resume();
+  {
+    AppManagerConfig cfg = fast_config();
+    cfg.resume_journal = state_journal;
+    cfg.recover_broker_journal = crashed_journal;
+    AppManager amgr(cfg);
+    amgr.add_pipelines({pipeline});
+    amgr.run();
+    EXPECT_EQ(amgr.tasks_recovered(), 2u);
+    EXPECT_EQ(amgr.tasks_done(), 0u);
+    EXPECT_EQ(pipeline->state(), PipelineState::Done);
+    EXPECT_TRUE(amgr.overheads().failed_component.empty());
+  }
+  // The replayed q.pending backlog was purged: the recovered-DONE task did
+  // not run again.
+  EXPECT_EQ(first_runs->load(), 1);
+  EXPECT_EQ(second_runs->load(), 1);
+}
+
 TEST(Resume, ResetForResumeRestoresDescribedStates) {
   auto pipeline = std::make_shared<Pipeline>("p");
   auto stage = std::make_shared<Stage>("s");

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <filesystem>
+#include <mutex>
+#include <thread>
 
 #include "src/core/app_manager.hpp"
 #include "src/rts/local_rts.hpp"
@@ -365,6 +368,50 @@ TEST(FaultTolerance, JournalsSurviveForPostMortem) {
   EXPECT_TRUE(saw_failed);
   EXPECT_TRUE(saw_redescribed);
   EXPECT_EQ(recovered.state_of(flaky->uid()), "DONE");
+}
+
+TEST(FaultTolerance, StickyJournalErrorSurfacesAsBrokerFatal) {
+  // A broker whose journal flusher hit an I/O error has already lost
+  // durability: the Supervisor's broker watch must report it through the
+  // fatal handler (component "broker"), not try to restart anything.
+  const std::string dir = ::testing::TempDir() + "/entk_fault_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(wall_now_us());
+  std::filesystem::create_directories(dir);
+  auto broker = std::make_shared<mq::Broker>("b", dir);
+  broker->declare_queue("q", mq::QueueOptions{.durable = true});
+
+  Supervisor supervisor(SupervisionConfig{.heartbeat_interval_s = 0.005},
+                        std::make_shared<Profiler>());
+  std::mutex mutex;
+  std::string failed_component, failed_reason;
+  std::atomic<bool> fatal{false};
+  supervisor.set_fatal_handler(
+      [&](const std::string& component, const std::string& reason) {
+        std::lock_guard<std::mutex> lock(mutex);
+        failed_component = component;
+        failed_reason = reason;
+        fatal.store(true);
+      });
+  supervisor.watch_broker(broker);
+  supervisor.start();
+
+  // Arm the sticky failure the way a full disk would: the next probe must
+  // see non-empty broker health.
+  broker->journal_writer()->inject_io_error("journal flush: disk full");
+  for (int spins = 0; spins < 1000 && !fatal.load(); ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  supervisor.stop();
+  ASSERT_TRUE(fatal.load());
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_EQ(failed_component, "broker");
+    EXPECT_NE(failed_reason.find("disk full"), std::string::npos);
+  }
+  // The same sticky error surfaces on close: the durable backlog may be
+  // incomplete and callers must learn it.
+  EXPECT_THROW(broker->close(), MqError);
 }
 
 }  // namespace

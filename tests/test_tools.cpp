@@ -1,10 +1,14 @@
 // End-to-end tests of the entk_run CLI: JSON workflow in, execution
-// through the full stack, exit code out. The binary path is injected by
-// CMake as ENTK_RUN_BINARY.
+// through the full stack, exit code out. The binary paths are injected by
+// CMake as ENTK_RUN_BINARY / ENTK_BROKER_BINARY.
 #include <gtest/gtest.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 
@@ -12,6 +16,9 @@
 
 #ifndef ENTK_RUN_BINARY
 #define ENTK_RUN_BINARY "entk_run"
+#endif
+#ifndef ENTK_BROKER_BINARY
+#define ENTK_BROKER_BINARY "entk_broker"
 #endif
 
 namespace {
@@ -103,6 +110,79 @@ TEST(EntkRun, RetriesFlakyProcessesPerConfig) {
     ]
   })");
   EXPECT_EQ(run_tool(path), 1);
+}
+
+// Forks the entk_broker daemon with its stdout on a pipe; parses the
+// "listening on HOST:PORT" line for the ephemeral port.
+class BrokerDaemon {
+ public:
+  BrokerDaemon() {
+    int out[2];
+    if (::pipe(out) != 0) return;
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::dup2(out[1], STDOUT_FILENO);
+      ::close(out[0]);
+      ::close(out[1]);
+      ::execl(ENTK_BROKER_BINARY, "entk_broker", "--port", "0",
+              static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    ::close(out[1]);
+    stdout_ = ::fdopen(out[0], "r");
+    char line[256] = {0};
+    if (stdout_ != nullptr && std::fgets(line, sizeof line, stdout_)) {
+      const char* colon = std::strrchr(line, ':');
+      if (colon != nullptr) port_ = std::atoi(colon + 1);
+    }
+  }
+
+  ~BrokerDaemon() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, nullptr, 0);
+    }
+    if (stdout_ != nullptr) std::fclose(stdout_);
+  }
+
+  int port() const { return port_; }
+
+  /// SIGTERM the daemon and return its exit code (-1 on abnormal exit).
+  int terminate() {
+    if (pid_ <= 0) return -1;
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+ private:
+  pid_t pid_ = -1;
+  std::FILE* stdout_ = nullptr;
+  int port_ = 0;
+};
+
+TEST(EntkBroker, ServesWorkflowOverTcpAndShutsDownGracefully) {
+  BrokerDaemon daemon;
+  ASSERT_GT(daemon.port(), 0) << "daemon did not report a listening port";
+
+  const std::string path = write_workflow(R"({
+    "resource": {"resource": "local.localhost", "cpus": 8,
+                 "clock_scale": 0.0001},
+    "pipelines": [
+      {"name": "p", "stages": [
+        {"name": "s", "tasks": [
+          {"name": "a", "executable": "sleep", "duration_s": 5},
+          {"name": "b", "executable": "sleep", "duration_s": 5}
+        ]}
+      ]}
+    ]
+  })");
+  EXPECT_EQ(
+      run_tool(path + " --broker 127.0.0.1:" + std::to_string(daemon.port())),
+      0);
+  EXPECT_EQ(daemon.terminate(), 0);  // graceful drain on SIGTERM
 }
 
 TEST(EntkRun, RejectsMissingAndMalformedInput) {

@@ -1,0 +1,136 @@
+// entk_broker: the standalone broker daemon of the networked deployment.
+//
+// Runs one mq::Broker behind a net::BrokerServer and serves any number of
+// entk_run clients over the framed TCP protocol — the paper's deployment
+// topology, where the RabbitMQ server runs apart from the workflow
+// manager. With --journal-dir the queues are durable (group-commit
+// journal); after a crash, restarting with --recover <journal> replays the
+// published-but-unacked backlog so reconnecting clients resume where they
+// left off. SIGINT/SIGTERM drain gracefully: pending responses are
+// flushed, unacked deliveries are requeued (journaled), then the broker
+// closes.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+
+#include "src/common/profiler.hpp"
+#include "src/mq/broker.hpp"
+#include "src/net/broker_server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: entk_broker [--port N] [--bind ADDR]\n"
+      "                   [--journal-dir DIR]\n"
+      "                   [--journal-batch-bytes N]\n"
+      "                   [--journal-max-delay-ms MS]\n"
+      "                   [--recover JOURNAL]\n"
+      "       serves broker queues to entk_run --broker clients over TCP;\n"
+      "       --port 0 (default) picks an ephemeral port, printed on the\n"
+      "       'listening' line; --journal-dir makes every queue durable\n"
+      "       via the group-commit journal (flush policy tuned like\n"
+      "       entk_run); --recover replays a previous daemon's journal,\n"
+      "       restoring the unacked backlog before serving (point it at\n"
+      "       the same DIR/entk_broker.journal to resume after a crash).\n"
+      "       SIGINT/SIGTERM shut down gracefully.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace entk;
+
+  std::string bind_address = "127.0.0.1";
+  long port = 0;
+  std::string journal_dir;
+  std::string recover_path;
+  mq::JournalConfig journal;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") return usage();
+    if (i + 1 >= argc) return usage();  // every flag takes a value
+    const char* value = argv[i + 1];
+    if (flag == "--port") {
+      port = std::atol(value);
+      if (port < 0 || port > 0xffff) return usage();
+    } else if (flag == "--bind") {
+      bind_address = value;
+    } else if (flag == "--journal-dir") {
+      journal_dir = value;
+    } else if (flag == "--journal-batch-bytes") {
+      journal.max_batch_bytes = static_cast<std::size_t>(std::atol(value));
+    } else if (flag == "--journal-max-delay-ms") {
+      const double ms = std::atof(value);
+      if (ms == 0.0) {
+        journal.sync_every_append = true;
+      } else {
+        journal.max_delay_s = ms * 1e-3;
+      }
+    } else if (flag == "--recover") {
+      recover_path = value;
+    } else {
+      return usage();
+    }
+    ++i;
+  }
+
+  try {
+    // A fixed broker name keeps the journal path stable
+    // (DIR/entk_broker.journal) across daemon restarts, so --recover of
+    // that same path continues the journal it replays: recovery publishes
+    // straight into the queues without re-journaling, and later acks
+    // append to the records already on disk.
+    auto broker =
+        std::make_shared<mq::Broker>("entk_broker", journal_dir, journal);
+    if (!recover_path.empty()) {
+      const std::size_t restored = broker->recover(recover_path);
+      std::printf("entk_broker: recovered %zu message(s) from %s\n", restored,
+                  recover_path.c_str());
+    }
+
+    net::BrokerServerConfig server_cfg;
+    server_cfg.bind_address = bind_address;
+    server_cfg.port = static_cast<std::uint16_t>(port);
+    net::BrokerServer server(broker, server_cfg,
+                             std::make_shared<Profiler>());
+    server.start();
+
+    // Parsed by spawning tests/scripts to learn the ephemeral port: keep
+    // the format stable and flush before blocking.
+    std::printf("entk_broker: listening on %s:%u\n", bind_address.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    while (g_stop == 0) {
+      if (server.state() == ComponentState::Failed) {
+        std::fprintf(stderr, "entk_broker: server failed: %s\n",
+                     server.fault_reason().c_str());
+        broker->close();
+        return 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    std::printf("entk_broker: draining\n");
+    std::fflush(stdout);
+    server.stop();   // flushes responses, requeues orphaned deliveries
+    broker->close(); // final journal flush
+    return 0;
+  } catch (const EnTKError& e) {
+    std::fprintf(stderr, "entk_broker: %s\n", e.what());
+    return 2;
+  }
+}

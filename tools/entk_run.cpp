@@ -107,6 +107,7 @@ int main(int argc, char** argv) {
                  "                [--journal-dir DIR]\n"
                  "                [--journal-batch-bytes N]\n"
                  "                [--journal-max-delay-ms MS]\n"
+                 "                [--broker HOST:PORT]\n"
                  "       executes the PST application described in the file;\n"
                  "       --profile dumps the run's event trace as CSV for\n"
                  "       post-mortem analysis (src/analytics);\n"
@@ -122,13 +123,18 @@ int main(int argc, char** argv) {
                  "       the group-commit journal to DIR; the flush policy\n"
                  "       is tuned with --journal-batch-bytes (default 256k)\n"
                  "       and --journal-max-delay-ms (default 2, 0 = sync\n"
-                 "       every append)\n");
+                 "       every append);\n"
+                 "       --broker runs the workflow against an entk_broker\n"
+                 "       daemon at HOST:PORT instead of the in-process\n"
+                 "       broker (broker durability is then the daemon's\n"
+                 "       --journal-dir)\n");
     return 2;
   }
   std::string profile_path;
   std::string trace_out;
   std::string metrics_out;
   std::string journal_dir;
+  std::string broker_endpoint;
   long journal_batch_bytes = -1;
   double journal_max_delay_ms = -1.0;
   int component_restart_limit = -1;
@@ -137,6 +143,7 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--trace-out") trace_out = argv[i + 1];
     if (std::string(argv[i]) == "--metrics-out") metrics_out = argv[i + 1];
     if (std::string(argv[i]) == "--journal-dir") journal_dir = argv[i + 1];
+    if (std::string(argv[i]) == "--broker") broker_endpoint = argv[i + 1];
     if (std::string(argv[i]) == "--journal-batch-bytes") {
       journal_batch_bytes = std::atol(argv[i + 1]);
     }
@@ -177,6 +184,7 @@ int main(int argc, char** argv) {
     config.obs.trace_out = trace_out;
     config.obs.metrics_out = metrics_out;
     config.journal_dir = journal_dir;
+    config.broker_endpoint = broker_endpoint;
     if (journal_batch_bytes >= 0) {
       config.journal.max_batch_bytes =
           static_cast<std::size_t>(journal_batch_bytes);
