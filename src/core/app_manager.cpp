@@ -82,8 +82,8 @@ void AppManager::run() {
     broker_ = remote;
     ENTK_INFO(uid_) << "using broker daemon at " << config_.broker_endpoint;
   } else {
-    local_broker_ =
-        std::make_shared<mq::Broker>(uid_, journal_dir, config_.journal);
+    local_broker_ = std::make_shared<mq::Broker>(
+        uid_, journal_dir, config_.journal, config_.broker_shards);
     if (metrics_) local_broker_->set_metrics(metrics_);
     broker_ = local_broker_;
   }

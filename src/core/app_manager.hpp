@@ -57,6 +57,14 @@ struct AppManagerConfig {
   /// when journal_dir is "".
   mq::JournalConfig journal;
 
+  /// Shards of the in-process broker's queue namespace: queues hash to
+  /// independent lock + journal domains, so concurrent publishers and
+  /// consumers of different queues never contend. 0 = one shard per
+  /// hardware thread (capped — see mq::Broker::default_shards); 1 keeps
+  /// the historical single-shard broker. Ignored when broker_endpoint is
+  /// set (the daemon owns its own --shards knob).
+  std::size_t broker_shards = 1;
+
   /// Endpoint ("host:port") of an entk_broker daemon. Empty (default) =
   /// in-process broker, which keeps the zero-copy fast path. When set,
   /// every component talks to the daemon through a net::RemoteBroker over

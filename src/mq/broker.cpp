@@ -1,7 +1,10 @@
 #include "src/mq/broker.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <functional>
+#include <thread>
 
 #include "src/common/clock.hpp"
 #include "src/common/error.hpp"
@@ -9,14 +12,29 @@
 
 namespace entk::mq {
 
+std::size_t Broker::default_shards() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw, 1, 16);
+}
+
 Broker::Broker(std::string name, std::string journal_dir,
-               JournalConfig journal)
+               JournalConfig journal, std::size_t shards)
     : name_(std::move(name)),
       journal_dir_(std::move(journal_dir)),
       journal_config_(journal) {
-  if (!journal_dir_.empty()) {
-    journal_ = std::make_unique<JournalWriter>(journal_path(),
-                                               journal_config_);
+  if (shards == 0) shards = default_shards();
+  shards_.reserve(shards);
+  for (std::size_t k = 0; k < shards; ++k) {
+    auto shard = std::make_unique<Shard>();
+    shard->snapshot.store(std::make_shared<const QueueMap>(),
+                          std::memory_order_release);
+    if (!journal_dir_.empty()) {
+      // Eager so an unwritable journal dir fails construction, not the
+      // first durable publish.
+      shard->journal =
+          std::make_unique<JournalWriter>(journal_path(k), journal_config_);
+    }
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -29,11 +47,21 @@ Broker::~Broker() {
   }
 }
 
+std::size_t Broker::shard_of(const std::string& queue) const {
+  if (shards_.size() == 1) return 0;
+  return std::hash<std::string>{}(queue) % shards_.size();
+}
+
 void Broker::set_metrics(obs::MetricsPtr metrics) {
   metrics_ = std::move(metrics);
   if (!metrics_) {
     m_ = {};
-    if (journal_ != nullptr) journal_->set_batch_size_metric(nullptr);
+    for (auto& shard : shards_) {
+      shard->published = nullptr;
+      if (shard->journal != nullptr) {
+        shard->journal->set_batch_size_metric(nullptr);
+      }
+    }
     return;
   }
   m_.published = &metrics_->counter("mq.published");
@@ -45,26 +73,65 @@ void Broker::set_metrics(obs::MetricsPtr metrics) {
   m_.publish_us = &metrics_->histogram("mq.publish_us");
   m_.get_us = &metrics_->histogram("mq.get_us");
   m_.ack_us = &metrics_->histogram("mq.ack_us");
-  if (journal_ != nullptr) {
-    // Record-count bounds, not latency: each observation is the number of
-    // journal records one group-commit flush wrote.
-    journal_->set_batch_size_metric(&metrics_->histogram(
-        "mq.journal_batch_size",
-        {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}));
+  // Record-count bounds, not latency: each observation is the number of
+  // journal records one group-commit flush wrote. The histogram is
+  // thread-safe, so every shard journal shares it.
+  obs::Histogram* batch_size =
+      journal_dir_.empty()
+          ? nullptr
+          : &metrics_->histogram("mq.journal_batch_size",
+                                 {1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                  1024});
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    if (shards_[k]->journal != nullptr) {
+      shards_[k]->journal->set_batch_size_metric(batch_size);
+    }
+    // Per-shard balance counters only make sense (and only appear) when
+    // sharding is actually on, keeping the shards=1 metric surface
+    // identical to the historical broker.
+    shards_[k]->published =
+        shards_.size() > 1
+            ? &metrics_->counter("mq.shard" + std::to_string(k) +
+                                 ".published")
+            : nullptr;
   }
 }
 
-std::string Broker::journal_path() const {
+std::string Broker::journal_path(std::size_t shard) const {
   if (journal_dir_.empty()) return "";
-  return journal_dir_ + "/" + name_ + ".journal";
+  std::string path = journal_dir_ + "/" + name_ + ".journal";
+  if (shard > 0) path += "." + std::to_string(shard);
+  return path;
+}
+
+JournalWriter* Broker::journal_writer(std::size_t shard) {
+  return shard < shards_.size() ? shards_[shard]->journal.get() : nullptr;
+}
+
+std::shared_ptr<Queue> Broker::find_queue(const std::string& queue,
+                                          std::size_t shard) const {
+  const std::shared_ptr<const QueueMap> map =
+      shards_[shard]->snapshot.load(std::memory_order_acquire);
+  const auto it = map->find(queue);
+  return it != map->end() ? it->second : nullptr;
+}
+
+std::shared_ptr<Queue> Broker::queue_or_throw(const std::string& queue,
+                                              std::size_t shard) const {
+  std::shared_ptr<Queue> q = find_queue(queue, shard);
+  if (q == nullptr) throw MqError("broker: no such queue '" + queue + "'");
+  return q;
 }
 
 std::shared_ptr<Queue> Broker::declare_queue(const std::string& queue,
                                              QueueOptions options) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  Shard& shard = *shards_[shard_of(queue)];
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
   if (closed()) throw MqError("broker: closed");
-  const auto it = queues_.find(queue);
-  if (it != queues_.end()) {
+  const std::shared_ptr<const QueueMap> map =
+      shard.snapshot.load(std::memory_order_acquire);
+  const auto it = map->find(queue);
+  if (it != map->end()) {
     const QueueOptions& existing = it->second->options();
     if (existing.durable != options.durable ||
         existing.capacity != options.capacity) {
@@ -74,57 +141,58 @@ std::shared_ptr<Queue> Broker::declare_queue(const std::string& queue,
     return it->second;
   }
   auto q = std::make_shared<Queue>(queue, options);
-  queues_.emplace(queue, q);
+  // Copy-on-write: readers keep the old snapshot; the new map becomes
+  // visible with one atomic store. Declares are rare, lookups are hot.
+  auto next = std::make_shared<QueueMap>(*map);
+  next->emplace(queue, q);
+  shard.snapshot.store(std::shared_ptr<const QueueMap>(std::move(next)),
+                       std::memory_order_release);
   return q;
 }
 
-std::shared_ptr<Queue> Broker::queue_or_throw(const std::string& queue) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  const auto it = queues_.find(queue);
-  if (it == queues_.end())
-    throw MqError("broker: no such queue '" + queue + "'");
-  return it->second;
-}
-
 std::shared_ptr<Queue> Broker::queue(const std::string& queue) const {
-  return queue_or_throw(queue);
+  return queue_or_throw(queue, shard_of(queue));
 }
 
 bool Broker::has_queue(const std::string& queue) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
-  return queues_.count(queue) > 0;
+  return find_queue(queue, shard_of(queue)) != nullptr;
 }
 
 std::vector<std::string> Broker::queue_names() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<std::string> out;
-  out.reserve(queues_.size());
-  for (const auto& [name, q] : queues_) {
-    (void)q;
-    out.push_back(name);
+  for (const auto& shard : shards_) {
+    const std::shared_ptr<const QueueMap> map =
+        shard->snapshot.load(std::memory_order_acquire);
+    for (const auto& [name, q] : *map) {
+      (void)q;
+      out.push_back(name);
+    }
   }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::uint64_t Broker::publish(const std::string& queue_name, Message msg) {
   if (closed()) throw MqError("broker: closed");
   const std::int64_t t0 = m_.publish_us != nullptr ? wall_now_us() : 0;
-  std::shared_ptr<Queue> q = queue_or_throw(queue_name);
+  const std::size_t shard = shard_of(queue_name);
+  std::shared_ptr<Queue> q = queue_or_throw(queue_name, shard);
   const std::uint64_t seq =
       next_seq_.fetch_add(1, std::memory_order_relaxed);
   msg.seq = seq;
   msg.routing_key = queue_name;
-  if (q->options().durable && journal_ != nullptr) {
+  if (q->options().durable && shards_[shard]->journal != nullptr) {
     json::Value rec;
     rec["op"] = "pub";
     rec["q"] = queue_name;
     rec["seq"] = seq;
     rec["headers"] = msg.headers;
     rec["body"] = msg.body();
-    journal_append(rec);
+    journal_append(shard, rec);
   }
   if (!q->publish(std::move(msg)))
     throw MqError("broker: queue '" + queue_name + "' closed");
+  if (shards_[shard]->published != nullptr) shards_[shard]->published->add(1);
   if (m_.publish_us != nullptr) {
     m_.published->add(1);
     m_.publish_us->observe(static_cast<double>(wall_now_us() - t0));
@@ -137,7 +205,8 @@ std::uint64_t Broker::publish_batch(const std::string& queue_name,
   if (msgs.empty()) return 0;
   if (closed()) throw MqError("broker: closed");
   const std::int64_t t0 = m_.publish_us != nullptr ? wall_now_us() : 0;
-  std::shared_ptr<Queue> q = queue_or_throw(queue_name);
+  const std::size_t shard = shard_of(queue_name);
+  std::shared_ptr<Queue> q = queue_or_throw(queue_name, shard);
   // Reserve a contiguous sequence range so recovery order matches publish
   // order even when other publishers interleave.
   const std::uint64_t first =
@@ -147,7 +216,7 @@ std::uint64_t Broker::publish_batch(const std::string& queue_name,
     msg.seq = seq++;
     msg.routing_key = queue_name;
   }
-  if (q->options().durable && journal_ != nullptr) {
+  if (q->options().durable && shards_[shard]->journal != nullptr) {
     std::vector<json::Value> records;
     records.reserve(msgs.size());
     for (const Message& msg : msgs) {
@@ -159,11 +228,12 @@ std::uint64_t Broker::publish_batch(const std::string& queue_name,
       rec["body"] = msg.body();
       records.push_back(std::move(rec));
     }
-    journal_append_batch(records);
+    journal_append_batch(shard, records);
   }
   const std::size_t n = msgs.size();
   if (q->publish_batch(std::move(msgs)) < n)
     throw MqError("broker: queue '" + queue_name + "' closed");
+  if (shards_[shard]->published != nullptr) shards_[shard]->published->add(n);
   if (m_.publish_us != nullptr) {
     m_.published->add(n);
     m_.publish_us->observe(static_cast<double>(wall_now_us() - t0));
@@ -173,9 +243,12 @@ std::uint64_t Broker::publish_batch(const std::string& queue_name,
 
 std::optional<Delivery> Broker::get(const std::string& queue_name,
                                     double timeout_s) {
-  if (m_.get_us == nullptr) return queue_or_throw(queue_name)->get(timeout_s);
+  const std::size_t shard = shard_of(queue_name);
+  if (m_.get_us == nullptr) {
+    return queue_or_throw(queue_name, shard)->get(timeout_s);
+  }
   const std::int64_t t0 = wall_now_us();
-  std::optional<Delivery> d = queue_or_throw(queue_name)->get(timeout_s);
+  std::optional<Delivery> d = queue_or_throw(queue_name, shard)->get(timeout_s);
   if (d) {
     // Only successful gets feed the latency histogram; empty polls would
     // just measure the timeout.
@@ -194,12 +267,13 @@ std::optional<Delivery> Broker::get(const std::string& queue_name,
 
 std::vector<Delivery> Broker::get_batch(const std::string& queue_name,
                                         std::size_t max_n, double timeout_s) {
+  const std::size_t shard = shard_of(queue_name);
   if (m_.get_us == nullptr) {
-    return queue_or_throw(queue_name)->get_batch(max_n, timeout_s);
+    return queue_or_throw(queue_name, shard)->get_batch(max_n, timeout_s);
   }
   const std::int64_t t0 = wall_now_us();
   std::vector<Delivery> out =
-      queue_or_throw(queue_name)->get_batch(max_n, timeout_s);
+      queue_or_throw(queue_name, shard)->get_batch(max_n, timeout_s);
   if (!out.empty()) {
     m_.delivered->add(out.size());
     std::size_t avoided = 0;
@@ -217,15 +291,16 @@ std::vector<Delivery> Broker::get_batch(const std::string& queue_name,
 
 bool Broker::ack(const std::string& queue_name, std::uint64_t delivery_tag) {
   const std::int64_t t0 = m_.ack_us != nullptr ? wall_now_us() : 0;
-  auto q = queue_or_throw(queue_name);
+  const std::size_t shard = shard_of(queue_name);
+  auto q = queue_or_throw(queue_name, shard);
   const auto seq = q->ack(delivery_tag);
   if (!seq) return false;
-  if (q->options().durable && journal_ != nullptr) {
+  if (q->options().durable && shards_[shard]->journal != nullptr) {
     json::Value rec;
     rec["op"] = "ack";
     rec["q"] = queue_name;
     rec["seq"] = *seq;
-    journal_append(rec);
+    journal_append(shard, rec);
   }
   if (m_.ack_us != nullptr) {
     m_.acked->add(1);
@@ -238,9 +313,11 @@ std::size_t Broker::ack_batch(const std::string& queue_name,
                               const std::vector<std::uint64_t>& delivery_tags) {
   if (delivery_tags.empty()) return 0;
   const std::int64_t t0 = m_.ack_us != nullptr ? wall_now_us() : 0;
-  auto q = queue_or_throw(queue_name);
+  const std::size_t shard = shard_of(queue_name);
+  auto q = queue_or_throw(queue_name, shard);
   const std::vector<std::uint64_t> seqs = q->ack_batch(delivery_tags);
-  if (!seqs.empty() && q->options().durable && journal_ != nullptr) {
+  if (!seqs.empty() && q->options().durable &&
+      shards_[shard]->journal != nullptr) {
     std::vector<json::Value> records;
     records.reserve(seqs.size());
     for (const std::uint64_t seq : seqs) {
@@ -250,7 +327,7 @@ std::size_t Broker::ack_batch(const std::string& queue_name,
       rec["seq"] = seq;
       records.push_back(std::move(rec));
     }
-    journal_append_batch(records);
+    journal_append_batch(shard, records);
   }
   if (m_.ack_us != nullptr && !seqs.empty()) {
     m_.acked->add(seqs.size());
@@ -261,30 +338,32 @@ std::size_t Broker::ack_batch(const std::string& queue_name,
 
 bool Broker::nack(const std::string& queue_name, std::uint64_t delivery_tag,
                   bool requeue) {
-  auto q = queue_or_throw(queue_name);
+  const std::size_t shard = shard_of(queue_name);
+  auto q = queue_or_throw(queue_name, shard);
   const auto seq = q->nack(delivery_tag, requeue);
   if (!seq) return false;
-  if (!requeue && q->options().durable && journal_ != nullptr) {
+  if (!requeue && q->options().durable && shards_[shard]->journal != nullptr) {
     // A dropped message is final, like an ack, for recovery purposes.
     json::Value rec;
     rec["op"] = "ack";
     rec["q"] = queue_name;
     rec["seq"] = *seq;
-    journal_append(rec);
+    journal_append(shard, rec);
   }
   if (requeue && m_.requeued != nullptr) m_.requeued->add(1);
   return true;
 }
 
 std::size_t Broker::requeue_unacked(const std::string& queue_name) {
-  const std::size_t n = queue_or_throw(queue_name)->requeue_unacked();
+  const std::size_t n =
+      queue_or_throw(queue_name, shard_of(queue_name))->requeue_unacked();
   if (n > 0 && m_.requeued != nullptr) m_.requeued->add(n);
   return n;
 }
 
 std::shared_ptr<Exchange> Broker::declare_exchange(const std::string& name,
                                                    ExchangeType type) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(exchange_mutex_);
   if (closed()) throw MqError("broker: closed");
   const auto it = exchanges_.find(name);
   if (it != exchanges_.end()) {
@@ -300,7 +379,7 @@ std::shared_ptr<Exchange> Broker::declare_exchange(const std::string& name,
 }
 
 std::shared_ptr<Exchange> Broker::exchange(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(exchange_mutex_);
   const auto it = exchanges_.find(name);
   if (it == exchanges_.end()) {
     throw MqError("broker: no such exchange '" + name + "'");
@@ -312,11 +391,8 @@ void Broker::bind_queue(const std::string& exchange_name,
                         const std::string& queue_name,
                         const std::string& binding_key) {
   auto ex = exchange(exchange_name);
-  {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    if (queues_.count(queue_name) == 0) {
-      throw MqError("broker: no such queue '" + queue_name + "'");
-    }
+  if (!has_queue(queue_name)) {
+    throw MqError("broker: no such queue '" + queue_name + "'");
   }
   ex->bind(queue_name, binding_key);
 }
@@ -335,53 +411,78 @@ std::size_t Broker::publish_to_exchange(const std::string& exchange_name,
 }
 
 void Broker::delete_queue(const std::string& queue_name) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
-  const auto it = queues_.find(queue_name);
-  if (it == queues_.end()) return;
+  Shard& shard = *shards_[shard_of(queue_name)];
+  std::unique_lock<std::shared_mutex> lock(shard.mutex);
+  const std::shared_ptr<const QueueMap> map =
+      shard.snapshot.load(std::memory_order_acquire);
+  const auto it = map->find(queue_name);
+  if (it == map->end()) return;
   it->second->close();
-  queues_.erase(it);
+  auto next = std::make_shared<QueueMap>(*map);
+  next->erase(queue_name);
+  shard.snapshot.store(std::shared_ptr<const QueueMap>(std::move(next)),
+                       std::memory_order_release);
 }
 
 void Broker::close() {
-  {
-    std::unique_lock<std::shared_mutex> lock(mutex_);
-    if (closed_.exchange(true, std::memory_order_acq_rel)) return;
-    for (auto& [name, q] : queues_) {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  for (auto& shard : shards_) {
+    std::unique_lock<std::shared_mutex> lock(shard->mutex);
+    const std::shared_ptr<const QueueMap> map =
+        shard->snapshot.load(std::memory_order_acquire);
+    for (const auto& [name, q] : *map) {
       (void)name;
       q->close();
     }
   }
   // Final journal drain: a cleanly closed broker leaves every journaled
-  // record on disk. Throws MqError when the drain (or any earlier flush)
-  // failed, so callers learn their durable backlog may be incomplete.
-  if (journal_ != nullptr) journal_->close();
+  // record on disk. Throws MqError when any shard's drain (or an earlier
+  // flush) failed, so callers learn their durable backlog may be
+  // incomplete; all shards are closed before the first error is rethrown.
+  std::string first_error;
+  for (auto& shard : shards_) {
+    if (shard->journal == nullptr) continue;
+    try {
+      shard->journal->close();
+    } catch (const MqError& e) {
+      if (first_error.empty()) first_error = e.what();
+    }
+  }
+  if (!first_error.empty()) throw MqError(first_error);
 }
 
 std::string Broker::health() const {
-  if (journal_ == nullptr) return "";
-  return journal_->error();
+  for (const auto& shard : shards_) {
+    if (shard->journal == nullptr) continue;
+    const std::string err = shard->journal->error();
+    if (!err.empty()) return err;
+  }
+  return "";
 }
 
 BrokerStats Broker::stats() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
   BrokerStats s;
-  s.queues = queues_.size();
-  for (const auto& [name, q] : queues_) {
-    (void)name;
-    const QueueStats qs = q->stats();
-    s.published += qs.published;
-    s.delivered += qs.delivered;
-    s.acked += qs.acked;
+  for (const auto& shard : shards_) {
+    const std::shared_ptr<const QueueMap> map =
+        shard->snapshot.load(std::memory_order_acquire);
+    s.queues += map->size();
+    for (const auto& [name, q] : *map) {
+      (void)name;
+      const QueueStats qs = q->stats();
+      s.published += qs.published;
+      s.delivered += qs.delivered;
+      s.acked += qs.acked;
+    }
   }
   return s;
 }
 
 std::vector<QueueDepth> Broker::depth_snapshot() const {
   std::vector<std::shared_ptr<Queue>> queues;
-  {
-    std::shared_lock<std::shared_mutex> lock(mutex_);
-    queues.reserve(queues_.size());
-    for (const auto& [name, q] : queues_) {
+  for (const auto& shard : shards_) {
+    const std::shared_ptr<const QueueMap> map =
+        shard->snapshot.load(std::memory_order_acquire);
+    for (const auto& [name, q] : *map) {
       (void)name;
       queues.push_back(q);
     }
@@ -389,18 +490,23 @@ std::vector<QueueDepth> Broker::depth_snapshot() const {
   std::vector<QueueDepth> out;
   out.reserve(queues.size());
   for (const auto& q : queues) out.push_back(q->depth());
+  // Name order, not shard order: the snapshot is identical at every shard
+  // count (parity with the historical single-map iteration order).
+  std::sort(out.begin(), out.end(),
+            [](const QueueDepth& a, const QueueDepth& b) {
+              return a.queue < b.queue;
+            });
   return out;
 }
 
-void Broker::journal_append(const json::Value& record) {
-  if (journal_ == nullptr) return;
+void Broker::journal_append(std::size_t shard, const json::Value& record) {
   // JournalWriter::append throws MqError on short writes / flush failures,
   // so a failing disk surfaces to the publisher instead of being dropped.
-  journal_->append(record.dump());
+  shards_[shard]->journal->append(record.dump());
 }
 
-void Broker::journal_append_batch(const std::vector<json::Value>& records) {
-  if (journal_ == nullptr) return;
+void Broker::journal_append_batch(std::size_t shard,
+                                  const std::vector<json::Value>& records) {
   // The records land in one commit segment; the group-commit flusher pays
   // one fwrite + one fflush for the whole batch (or more, merged with
   // concurrent publishers' records).
@@ -410,41 +516,59 @@ void Broker::journal_append_batch(const std::vector<json::Value>& records) {
     buffer += '\n';
   }
   if (!buffer.empty()) buffer.pop_back();  // append() adds the newline
-  journal_->append(buffer, records.size());
+  shards_[shard]->journal->append(buffer, records.size());
 }
 
 std::size_t Broker::recover(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw MqError("broker: cannot read journal " + path);
-  std::size_t restored = 0;
-  std::string line;
-  // First pass happens inline: maintain per-queue pending maps.
+  // The journal is a file *set*: `path` (shard 0) plus any "<path>.K"
+  // siblings a multi-shard writer left behind. A queue's pub and its ack
+  // can live in different files when the shard count changed between
+  // restarts, so replay is two-phase: gather every pub and every ack
+  // across all files first, subtract, then restore.
   std::map<std::string, std::map<std::uint64_t, Message>> pending;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    json::Value rec;
-    try {
-      rec = json::parse(line);
-    } catch (const json::ParseError&) {
-      // A torn final line (crash mid-write) is expected; stop there.
-      ENTK_WARN("broker") << "journal: skipping torn record";
-      break;
+  std::vector<std::pair<std::string, std::uint64_t>> acked;
+  bool first_opened = false;
+  for (std::size_t k = 0;; ++k) {
+    const std::string file = k == 0 ? path : path + "." + std::to_string(k);
+    std::ifstream in(file);
+    if (!in) {
+      if (k == 0) throw MqError("broker: cannot read journal " + path);
+      break;  // contiguous numbering: first missing sibling ends the set
     }
-    const std::string op = rec.get_string("op", "");
-    const std::string qname = rec.get_string("q", "");
-    const auto seq = static_cast<std::uint64_t>(rec.get_int("seq", 0));
-    if (op == "pub") {
-      Message m;
-      m.seq = seq;
-      m.routing_key = qname;
-      if (rec.contains("headers")) m.headers = rec.at("headers");
-      m.set_body(rec.get_string("body", ""));
-      pending[qname].emplace(seq, std::move(m));
-    } else if (op == "ack") {
-      auto it = pending.find(qname);
-      if (it != pending.end()) it->second.erase(seq);
+    first_opened = true;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      json::Value rec;
+      try {
+        rec = json::parse(line);
+      } catch (const json::ParseError&) {
+        // A torn final line (crash mid-write) is expected; stop reading
+        // this shard file — siblings tore (or not) independently.
+        ENTK_WARN("broker") << "journal: skipping torn record in " << file;
+        break;
+      }
+      const std::string op = rec.get_string("op", "");
+      const std::string qname = rec.get_string("q", "");
+      const auto seq = static_cast<std::uint64_t>(rec.get_int("seq", 0));
+      if (op == "pub") {
+        Message m;
+        m.seq = seq;
+        m.routing_key = qname;
+        if (rec.contains("headers")) m.headers = rec.at("headers");
+        m.set_body(rec.get_string("body", ""));
+        pending[qname].emplace(seq, std::move(m));
+      } else if (op == "ack") {
+        acked.emplace_back(qname, seq);
+      }
     }
   }
+  (void)first_opened;
+  for (const auto& [qname, seq] : acked) {
+    auto it = pending.find(qname);
+    if (it != pending.end()) it->second.erase(seq);
+  }
+  std::size_t restored = 0;
   for (auto& [qname, msgs] : pending) {
     auto q = declare_queue(qname, QueueOptions{.durable = true});
     for (auto& [seq, msg] : msgs) {

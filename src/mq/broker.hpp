@@ -9,9 +9,17 @@
 // This class provides all three inside one process: queues are owned by the
 // broker, looked up by name, and optionally journaled as JSONL records.
 //
-// The queue map is read-mostly (queues are declared at setup, then looked
-// up on every publish/get), so it is guarded by a shared_mutex: the hot
-// dispatch path takes shared locks and never contends with itself.
+// Scalability: the broker is sharded by queue name. Each shard owns an
+// independent slice of the queue map (its own writer lock and copy-on-write
+// read snapshot) and, when journaling is on, its own group-commit
+// JournalWriter — so publishers and consumers of queues in different shards
+// share NO locks and no flusher, and the dispatch hot path scales with
+// cores instead of serializing on one global mutex. The hot-path queue
+// lookup is lock-free: it loads the shard's immutable map snapshot with one
+// atomic shared_ptr load; only topology changes (declare/delete/close) take
+// the shard's mutex and publish a new snapshot. A broker constructed with
+// shards=1 is behaviorally identical to the historical single-mutex broker
+// (one queue map, one journal file, same journal path).
 #pragma once
 
 #include <atomic>
@@ -42,10 +50,12 @@ struct BrokerStats {
 class Broker : public BrokerHandle {
  public:
   /// `journal_dir`: when non-empty, durable queues append their operations
-  /// to "<journal_dir>/<broker_name>.journal". `journal` tunes the
-  /// group-commit flush policy (see JournalConfig).
+  /// to per-shard journals under it (see journal_path). `journal` tunes the
+  /// group-commit flush policy (see JournalConfig). `shards`: number of
+  /// independent queue shards; 1 (the default) reproduces the unsharded
+  /// broker exactly, 0 derives a count from hardware_concurrency.
   explicit Broker(std::string name = "broker", std::string journal_dir = "",
-                  JournalConfig journal = {});
+                  JournalConfig journal = {}, std::size_t shards = 1);
   ~Broker() override;
 
   Broker(const Broker&) = delete;
@@ -53,11 +63,21 @@ class Broker : public BrokerHandle {
 
   const std::string& name() const { return name_; }
 
+  /// Hardware-derived shard count (what `shards = 0` resolves to):
+  /// hardware_concurrency clamped to [1, 16].
+  static std::size_t default_shards();
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Index of the shard owning `queue` (stable hash of the queue name).
+  std::size_t shard_of(const std::string& queue) const;
+
   /// Attach a metrics registry: publish/get/ack latency histograms, message
-  /// counters and requeue counts ("mq.*"). Handles are resolved once here,
-  /// so the per-operation cost is a null check plus a few relaxed atomics.
-  /// Not thread-safe against in-flight operations — attach before the run
-  /// starts. nullptr detaches.
+  /// counters and requeue counts ("mq.*"). With shards > 1, per-shard
+  /// publish counters ("mq.shard<K>.published") expose shard balance.
+  /// Handles are resolved once here, so the per-operation cost is a null
+  /// check plus a few relaxed atomics. Not thread-safe against in-flight
+  /// operations — attach before the run starts. nullptr detaches.
   void set_metrics(obs::MetricsPtr metrics);
 
   /// Idempotent declare; re-declaring with different options is an error.
@@ -131,47 +151,70 @@ class Broker : public BrokerHandle {
     return closed_.load(std::memory_order_acquire);
   }
 
-  /// "" when durable; the sticky journal-flusher error otherwise. Probed
-  /// by the Supervisor heartbeat so a broker that can no longer persist
-  /// (full/failing disk) aborts the run instead of silently dropping
-  /// durability until close().
+  /// "" when durable; the sticky journal-flusher error otherwise (first
+  /// failing shard wins). Probed by the Supervisor heartbeat so a broker
+  /// that can no longer persist (full/failing disk) aborts the run instead
+  /// of silently dropping durability until close().
   std::string health() const override;
 
   BrokerStats stats() const;
 
-  /// Per-queue ready/unacked backlog snapshot (profiler depth gauges).
+  /// Per-queue ready/unacked backlog snapshot (profiler depth gauges),
+  /// sorted by queue name — identical at every shard count.
   std::vector<QueueDepth> depth_snapshot() const override;
 
-  /// Rebuild broker state from a journal written by a previous (durable)
-  /// broker with the same name: every published-but-unacked message is
-  /// restored to its queue, preserving order. Queues are re-declared as
+  /// Rebuild broker state from the journal set written by a previous
+  /// (durable) broker with the same name: `journal_path` names the shard-0
+  /// file; sibling shard files ("<path>.1", "<path>.2", ...) are replayed
+  /// too when present, so recovery works across restarts that changed the
+  /// shard count. Every published-but-unacked message is restored to its
+  /// queue, preserving per-queue seq order. Queues are re-declared as
   /// durable. Returns the number of restored messages.
   std::size_t recover(const std::string& journal_path);
 
-  /// Path of the journal this broker writes ("" when journaling is off).
-  std::string journal_path() const;
+  /// Path of the journal shard `shard` writes ("" when journaling is off).
+  /// Shard 0 keeps the historical "<dir>/<name>.journal" path; shard K > 0
+  /// appends ".K" — so a shards=1 broker writes exactly the old file.
+  std::string journal_path(std::size_t shard) const;
+  std::string journal_path() const { return journal_path(0); }
 
-  /// The group-commit journal writer (nullptr when journaling is off).
-  /// Exposed for tests and for callers that need an explicit durability
-  /// barrier (JournalWriter::flush) or crash injection.
-  JournalWriter* journal_writer() { return journal_.get(); }
+  /// The group-commit journal writer of one shard (nullptr when journaling
+  /// is off). Exposed for tests and for callers that need an explicit
+  /// durability barrier (JournalWriter::flush) or crash injection.
+  JournalWriter* journal_writer(std::size_t shard = 0);
 
  private:
-  void journal_append(const json::Value& record);
-  void journal_append_batch(const std::vector<json::Value>& records);
-  std::shared_ptr<Queue> queue_or_throw(const std::string& queue) const;
+  using QueueMap = std::map<std::string, std::shared_ptr<Queue>>;
+
+  /// One slice of the queue namespace: an independent lock + copy-on-write
+  /// snapshot of this shard's queues, and (durable brokers) a dedicated
+  /// group-commit journal so shards never serialize on one flusher.
+  struct Shard {
+    mutable std::shared_mutex mutex;  // writers: declare/delete/close
+    std::atomic<std::shared_ptr<const QueueMap>> snapshot;  // lock-free reads
+    std::unique_ptr<JournalWriter> journal;
+    obs::Counter* published = nullptr;  // per-shard balance counter
+  };
+
+  /// Lock-free hot-path lookup: one atomic snapshot load + map find.
+  std::shared_ptr<Queue> find_queue(const std::string& queue,
+                                    std::size_t shard) const;
+  std::shared_ptr<Queue> queue_or_throw(const std::string& queue,
+                                        std::size_t shard) const;
+  void journal_append(std::size_t shard, const json::Value& record);
+  void journal_append_batch(std::size_t shard,
+                            const std::vector<json::Value>& records);
 
   const std::string name_;
   const std::string journal_dir_;
   const JournalConfig journal_config_;
 
-  mutable std::shared_mutex mutex_;  // guards queues_/exchanges_ maps
-  std::map<std::string, std::shared_ptr<Queue>> queues_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  mutable std::shared_mutex exchange_mutex_;  // guards exchanges_
   std::map<std::string, std::shared_ptr<Exchange>> exchanges_;
   std::atomic<std::uint64_t> next_seq_{1};
   std::atomic<bool> closed_{false};
-
-  std::unique_ptr<JournalWriter> journal_;
 
   // Pre-resolved metric handles; all null when metrics are off.
   obs::MetricsPtr metrics_;

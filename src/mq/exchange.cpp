@@ -1,6 +1,7 @@
 #include "src/mq/exchange.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 namespace entk::mq {
 
@@ -59,7 +60,7 @@ Exchange::Exchange(std::string name, ExchangeType type)
     : name_(std::move(name)), type_(type) {}
 
 void Exchange::bind(const std::string& queue, const std::string& binding_key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   const auto entry = std::make_pair(binding_key, queue);
   if (std::find(bindings_.begin(), bindings_.end(), entry) ==
       bindings_.end()) {
@@ -69,14 +70,14 @@ void Exchange::bind(const std::string& queue, const std::string& binding_key) {
 
 void Exchange::unbind(const std::string& queue,
                       const std::string& binding_key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   const auto entry = std::make_pair(binding_key, queue);
   bindings_.erase(std::remove(bindings_.begin(), bindings_.end(), entry),
                   bindings_.end());
 }
 
 std::vector<std::string> Exchange::route(const std::string& routing_key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   std::vector<std::string> out;
   for (const auto& [key, queue] : bindings_) {
     bool match = false;
@@ -93,7 +94,7 @@ std::vector<std::string> Exchange::route(const std::string& routing_key) const {
 }
 
 std::size_t Exchange::binding_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return bindings_.size();
 }
 

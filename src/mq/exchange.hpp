@@ -11,7 +11,7 @@
 #pragma once
 
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -46,7 +46,10 @@ class Exchange {
  private:
   const std::string name_;
   const ExchangeType type_;
-  mutable std::mutex mutex_;
+  // Routing is read-hot (every publish_to_exchange routes), binding changes
+  // are rare topology edits: reader/writer lock so concurrent routes never
+  // serialize on each other.
+  mutable std::shared_mutex mutex_;
   std::vector<std::pair<std::string, std::string>> bindings_;  // (key, queue)
 };
 

@@ -6,7 +6,17 @@ namespace entk::mq {
 
 namespace {
 std::atomic<bool> g_eager_serialization{false};
+std::atomic<std::uint64_t> g_body_renders{0};
+std::atomic<TlvDecoder> g_tlv_decoder{nullptr};
 }  // namespace
+
+void set_tlv_decoder(TlvDecoder decoder) {
+  g_tlv_decoder.store(decoder, std::memory_order_release);
+}
+
+TlvDecoder tlv_decoder() {
+  return g_tlv_decoder.load(std::memory_order_acquire);
+}
 
 void set_eager_serialization(bool on) {
   g_eager_serialization.store(on, std::memory_order_relaxed);
@@ -16,9 +26,17 @@ bool eager_serialization() {
   return g_eager_serialization.load(std::memory_order_relaxed);
 }
 
+std::uint64_t body_render_count() {
+  return g_body_renders.load(std::memory_order_relaxed);
+}
+
 const std::string& Message::body() const {
   if (body_ == nullptr) {
+    if (payload_ == nullptr && tlv_ != nullptr) {
+      payload();  // materialize the structured payload from the TLV bytes
+    }
     if (payload_ != nullptr) {
+      g_body_renders.fetch_add(1, std::memory_order_relaxed);
       body_ = std::make_shared<const std::string>(payload_->dump());
     } else {
       static const std::string kEmpty;
@@ -30,9 +48,20 @@ const std::string& Message::body() const {
 
 const std::shared_ptr<const json::Value>& Message::payload() const {
   if (payload_ == nullptr) {
-    // Parses the rendered bytes; an empty body (neither representation
-    // ever set) throws ParseError, matching the old body_json() contract.
-    payload_ = std::make_shared<const json::Value>(json::parse(body()));
+    if (tlv_ != nullptr) {
+      const TlvDecoder decode = tlv_decoder();
+      if (decode == nullptr) {
+        throw json::ParseError(
+            "mq: message carries typed-value payload bytes but no TLV "
+            "decoder is installed (net library not linked?)",
+            0);
+      }
+      payload_ = std::make_shared<const json::Value>(decode(*tlv_));
+    } else {
+      // Parses the rendered bytes; an empty body (neither representation
+      // ever set) throws ParseError, matching the old body_json() contract.
+      payload_ = std::make_shared<const json::Value>(json::parse(body()));
+    }
   }
   return payload_;
 }

@@ -5,17 +5,23 @@
 // broker-assigned sequence number used for at-least-once delivery
 // accounting and journal recovery.
 //
-// Zero-copy structured messaging: a message can carry its payload in two
+// Zero-copy structured messaging: a message can carry its payload in three
 // interchangeable representations —
 //   * a structured payload: an immutable, shared json::Value. In-process
 //     hops (publish, queue retention for ack accounting, delivery) pass it
 //     by refcount bump with ZERO serialization;
 //   * a byte body: the serialized JSON text. Needed only at the process
-//     boundary — durable-queue journaling, wire dumps, raw-body publishes.
-// Each representation is materialized lazily from the other on first
+//     boundary — durable-queue journaling, wire dumps, raw-body publishes;
+//   * typed-value bytes: the binary wire codec's TLV encoding of the
+//     payload (net::append_value format). A message received over a
+//     binary-codec connection carries this form and is re-encoded onto the
+//     wire VERBATIM (memcpy) — a broker relaying between binary peers
+//     never decodes the payload at all.
+// Each representation is materialized lazily from the others on first
 // access and memoized on the message, so the journal and any later
 // observability dump never serialize the same message twice, and a
-// consumer of a recovered (bytes-only) message parses at most once.
+// consumer of a recovered (bytes-only) or wire-delivered (TLV) message
+// parses/decodes at most once.
 //
 // Thread-safety: the *shared* payload/body objects are immutable and safe
 // to read from any number of threads. The lazy memoization mutates the
@@ -40,6 +46,21 @@ namespace entk::mq {
 void set_eager_serialization(bool on);
 bool eager_serialization();
 
+/// Process-wide count of payload→JSON-text renders performed by
+/// Message::body() (i.e. the serializations the zero-copy design tries to
+/// avoid). Benches and tests snapshot it around a hot section to *prove* a
+/// path — e.g. the binary wire codec — never rendered JSON text.
+std::uint64_t body_render_count();
+
+/// Bridge to the typed-value codec, installed by the net layer at load
+/// time (src/net/frame.cpp): decodes TLV payload bytes into a json::Value.
+/// Lives behind a function pointer so mq stays independent of net; a
+/// process that never links the net library also never produces TLV-backed
+/// messages.
+using TlvDecoder = json::Value (*)(const std::string& bytes);
+void set_tlv_decoder(TlvDecoder decoder);
+TlvDecoder tlv_decoder();
+
 class Message {
  public:
   std::uint64_t seq = 0;       ///< broker-assigned, unique per broker
@@ -62,6 +83,7 @@ class Message {
   void set_body(std::shared_ptr<const std::string> body) {
     body_ = std::move(body);
     payload_.reset();
+    tlv_.reset();
   }
 
   /// Share the byte payload without copying (refcount bump only). Null when
@@ -87,6 +109,24 @@ class Message {
   void set_payload(std::shared_ptr<const json::Value> payload) {
     payload_ = std::move(payload);
     body_.reset();
+    tlv_.reset();
+  }
+
+  /// Install the payload as typed-value (TLV) wire bytes, already validated
+  /// by the caller (the net frame decoder). The structured payload decodes
+  /// lazily on first payload() access through the installed TlvDecoder;
+  /// until then the message relays across binary-codec connections as a
+  /// verbatim byte copy.
+  void set_tlv_payload(std::shared_ptr<const std::string> bytes) {
+    tlv_ = std::move(bytes);
+    payload_.reset();
+    body_.reset();
+  }
+
+  /// TLV payload bytes (null unless the message arrived over a binary
+  /// connection and was not re-materialized since).
+  const std::shared_ptr<const std::string>& shared_tlv_payload() const {
+    return tlv_;
   }
 
   /// Build a message carrying `payload` as a structured value: no
@@ -105,6 +145,7 @@ class Message {
   // comment for the thread-safety contract).
   mutable std::shared_ptr<const std::string> body_;
   mutable std::shared_ptr<const json::Value> payload_;
+  std::shared_ptr<const std::string> tlv_;
 };
 
 /// A delivered message plus the tag needed to ack/nack it.

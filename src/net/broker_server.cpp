@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -16,6 +17,9 @@ namespace {
 
 constexpr std::size_t kReadChunk = 64 * 1024;
 constexpr int kIdlePollMs = 20;
+// Buffers handed to one sendmsg. Linux caps msg_iovlen at IOV_MAX (1024);
+// 256 covers a 128-frame response burst (header + body per frame).
+constexpr std::size_t kMaxWriteIov = 256;
 
 double us_between(std::chrono::steady_clock::time_point a,
                   std::chrono::steady_clock::time_point b) {
@@ -107,7 +111,7 @@ void BrokerServer::poll_loop() {
     pfds.push_back({wake_pipe_[0], POLLIN, 0});
     for (auto& [fd, conn] : conns_) {
       short events = POLLIN;
-      if (!conn.wbuf.empty()) events |= POLLOUT;
+      if (conn.wq_bytes > 0) events |= POLLOUT;
       pfds.push_back({fd, events, 0});
     }
 
@@ -154,8 +158,8 @@ void BrokerServer::poll_loop() {
           }
         }
       }
-      if (alive && !conn.wbuf.empty()) alive = flush_writes(conn);
-      if (alive && conn.closing && conn.wbuf.empty()) alive = false;
+      if (alive && conn.wq_bytes > 0) alive = flush_writes(conn);
+      if (alive && conn.closing && conn.wq_bytes == 0) alive = false;
       if (!alive) dead.push_back(pfds[i].fd);
     }
     for (int fd : dead) drop_conn(fd, /*requeue_unacked=*/true);
@@ -185,14 +189,31 @@ void BrokerServer::accept_clients() {
 }
 
 bool BrokerServer::read_input(Conn& conn) {
-  char chunk[kReadChunk];
+  // Scatter read: the primary iovec lands directly in the connection's
+  // read buffer (no bounce copy); the stack spill vector catches bursts
+  // bigger than one chunk in the same syscall. A read that fills neither
+  // completely means the socket is drained — skip the extra syscall the
+  // old loop-until-EAGAIN paid.
+  char spill[kReadChunk];
   while (true) {
-    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    const std::size_t used = conn.rbuf.size();
+    conn.rbuf.resize(used + kReadChunk);
+    iovec iov[2];
+    iov[0] = {conn.rbuf.data() + used, kReadChunk};
+    iov[1] = {spill, sizeof spill};
+    const ssize_t n = ::readv(conn.fd, iov, 2);
     if (n > 0) {
-      conn.rbuf.append(chunk, static_cast<std::size_t>(n));
-      if (bytes_in_ != nullptr) bytes_in_->add(static_cast<std::uint64_t>(n));
+      const auto got = static_cast<std::size_t>(n);
+      if (got <= kReadChunk) {
+        conn.rbuf.resize(used + got);
+      } else {
+        conn.rbuf.append(spill, got - kReadChunk);
+      }
+      if (bytes_in_ != nullptr) bytes_in_->add(got);
+      if (got < kReadChunk + sizeof spill) return true;  // socket drained
       continue;
     }
+    conn.rbuf.resize(used);
     if (n == 0) return false;  // orderly shutdown from the peer
     if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
     if (errno == EINTR) continue;
@@ -237,17 +258,22 @@ void BrokerServer::handle_frame(Conn& conn, Frame&& req) {
         break;
       case Op::kPublish: {
         std::size_t off = 0;
-        mq::Message msg = decode_message(req.body, off);
+        // kFlagBinary is per frame: the decoder never guesses the codec.
+        mq::Message msg = (req.flags & kFlagBinary) != 0
+                              ? decode_message_binary(req.body, off)
+                              : decode_message(req.body, off);
         resp.arg = broker_->publish(req.queue, std::move(msg));
         break;
       }
       case Op::kPublishBatch: {
         std::size_t off = 0;
+        const bool binary = (req.flags & kFlagBinary) != 0;
         const std::uint32_t count = get_u32(req.body, off);
         std::vector<mq::Message> msgs;
         msgs.reserve(count);
         for (std::uint32_t i = 0; i < count; ++i) {
-          msgs.push_back(decode_message(req.body, off));
+          msgs.push_back(binary ? decode_message_binary(req.body, off)
+                                : decode_message(req.body, off));
         }
         resp.arg = broker_->publish_batch(req.queue, std::move(msgs));
         break;
@@ -338,6 +364,15 @@ void BrokerServer::handle_frame(Conn& conn, Frame&& req) {
         resp.op = Op::kHeartbeat;
         resp.body = broker_->health();
         break;
+      case Op::kHello: {
+        // Codec negotiation: meet the client at the highest codec both
+        // sides speak. Takes effect for every later delivery this
+        // connection sends; publishes are already self-describing.
+        conn.codec = std::min<std::uint64_t>(req.arg, kCodecBinary);
+        resp.op = Op::kHello;
+        resp.arg = conn.codec;
+        break;
+      }
       case Op::kClose: {
         for (const auto& [queue, tag] : conn.unacked) {
           broker_->nack(queue, tag, /*requeue=*/true);
@@ -358,7 +393,7 @@ void BrokerServer::handle_frame(Conn& conn, Frame&& req) {
     resp.corr = req.corr;
     resp.body = e.what();
   }
-  respond(conn, resp);
+  respond(conn, std::move(resp));
   record_op_us(started);
 }
 
@@ -367,6 +402,10 @@ bool BrokerServer::try_answer_get(Conn& conn, std::uint64_t corr,
                                   bool batch) {
   Frame resp;
   resp.corr = corr;
+  // Deliveries use whatever codec this connection negotiated; text-codec
+  // clients keep getting exactly the pre-binary wire format.
+  const bool binary = conn.codec == kCodecBinary;
+  if (binary) resp.flags |= kFlagBinary;
   if (batch) {
     std::vector<mq::Delivery> deliveries =
         broker_->get_batch(queue, max_n, 0.0);
@@ -375,7 +414,11 @@ bool BrokerServer::try_answer_get(Conn& conn, std::uint64_t corr,
     put_u32(resp.body, static_cast<std::uint32_t>(deliveries.size()));
     for (const mq::Delivery& d : deliveries) {
       put_u64(resp.body, d.delivery_tag);
-      append_message(resp.body, d.message);
+      if (binary) {
+        append_message_binary(resp.body, d.message);
+      } else {
+        append_message(resp.body, d.message);
+      }
       conn.unacked.emplace_back(queue, d.delivery_tag);
     }
   } else {
@@ -383,25 +426,64 @@ bool BrokerServer::try_answer_get(Conn& conn, std::uint64_t corr,
     if (!delivery.has_value()) return false;
     resp.op = Op::kDelivery;
     resp.arg = delivery->delivery_tag;
-    append_message(resp.body, delivery->message);
+    if (binary) {
+      append_message_binary(resp.body, delivery->message);
+    } else {
+      append_message(resp.body, delivery->message);
+    }
     conn.unacked.emplace_back(queue, delivery->delivery_tag);
   }
-  respond(conn, resp);
+  respond(conn, std::move(resp));
   return true;
 }
 
-void BrokerServer::respond(Conn& conn, const Frame& resp) {
-  append_frame(conn.wbuf, resp);
+void BrokerServer::respond(Conn& conn, Frame&& resp) {
+  // Header and body stay separate buffers: the body (often a multi-message
+  // delivery batch) is moved into the write queue, never copied into a
+  // contiguous frame; flush_writes gathers both into one sendmsg.
+  std::string header;
+  append_frame_header(header, resp, resp.body.size());
+  conn.wq_bytes += header.size() + resp.body.size();
+  conn.wq.push_back(std::move(header));
+  if (!resp.body.empty()) conn.wq.push_back(std::move(resp.body));
   if (frames_out_ != nullptr) frames_out_->add();
 }
 
 bool BrokerServer::flush_writes(Conn& conn) {
-  while (!conn.wbuf.empty()) {
-    const ssize_t n =
-        ::send(conn.fd, conn.wbuf.data(), conn.wbuf.size(), MSG_NOSIGNAL);
+  while (conn.wq_bytes > 0) {
+    // Gather the queued buffers into one scatter-gather write: a whole
+    // response burst (e.g. 64 parked gets answered in one pass) leaves in
+    // a single syscall.
+    iovec iov[kMaxWriteIov];
+    std::size_t niov = 0;
+    std::size_t skip = conn.wq_front_off;
+    for (const std::string& buf : conn.wq) {
+      if (niov == kMaxWriteIov) break;
+      iov[niov].iov_base = const_cast<char*>(buf.data()) + skip;
+      iov[niov].iov_len = buf.size() - skip;
+      ++niov;
+      skip = 0;
+    }
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
+    const ssize_t n = ::sendmsg(conn.fd, &mh, MSG_NOSIGNAL);
     if (n > 0) {
       if (bytes_out_ != nullptr) bytes_out_->add(static_cast<std::uint64_t>(n));
-      conn.wbuf.erase(0, static_cast<std::size_t>(n));
+      std::size_t sent = static_cast<std::size_t>(n);
+      conn.wq_bytes -= sent;
+      while (sent > 0) {
+        std::string& front = conn.wq.front();
+        const std::size_t avail = front.size() - conn.wq_front_off;
+        if (sent >= avail) {
+          sent -= avail;
+          conn.wq.pop_front();
+          conn.wq_front_off = 0;
+        } else {
+          conn.wq_front_off += sent;
+          sent = 0;
+        }
+      }
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return true;  // POLLOUT later
@@ -428,7 +510,7 @@ void BrokerServer::service_parked() {
       resp.op = Op::kError;
       resp.corr = p.corr;
       resp.body = e.what();
-      respond(conn, resp);
+      respond(conn, std::move(resp));
       answered = true;
     }
     if (answered) continue;
@@ -437,7 +519,7 @@ void BrokerServer::service_parked() {
       resp.op = Op::kOk;
       resp.corr = p.corr;
       resp.flags = kFlagEmpty;
-      respond(conn, resp);
+      respond(conn, std::move(resp));
       continue;
     }
     still_parked.push_back(std::move(p));
@@ -491,7 +573,7 @@ void BrokerServer::drain_connections() {
     resp.op = Op::kOk;
     resp.corr = p.corr;
     resp.flags = kFlagEmpty;
-    respond(it->second, resp);
+    respond(it->second, std::move(resp));
   }
   parked_.clear();
 
@@ -503,10 +585,10 @@ void BrokerServer::drain_connections() {
     bool pending = false;
     std::vector<int> dead;
     for (auto& [fd, conn] : conns_) {
-      if (conn.wbuf.empty()) continue;
+      if (conn.wq_bytes == 0) continue;
       if (!flush_writes(conn)) {
         dead.push_back(fd);
-      } else if (!conn.wbuf.empty()) {
+      } else if (conn.wq_bytes > 0) {
         pending = true;
       }
     }
@@ -515,7 +597,7 @@ void BrokerServer::drain_connections() {
     pollfd pfd{-1, POLLOUT, 0};
     std::vector<pollfd> pfds;
     for (auto& [fd, conn] : conns_) {
-      if (!conn.wbuf.empty()) {
+      if (conn.wq_bytes > 0) {
         pfd.fd = fd;
         pfds.push_back(pfd);
       }

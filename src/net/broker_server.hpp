@@ -28,6 +28,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <vector>
@@ -80,11 +81,21 @@ class BrokerServer : public Component {
     int fd = -1;
     std::string rbuf;
     std::size_t rbuf_off = 0;
-    std::string wbuf;
+    /// Pending response buffers, FIFO. A response is queued as its frame
+    /// header plus (separately) its body buffer, moved — not copied — in;
+    /// the flush hands the whole queue to one sendmsg as an iovec array,
+    /// so a get_batch of N messages leaves in a single syscall without
+    /// ever being assembled contiguously.
+    std::deque<std::string> wq;
+    std::size_t wq_front_off = 0;  ///< bytes of wq.front() already sent
+    std::size_t wq_bytes = 0;      ///< unsent bytes across the queue
+    /// Wire codec negotiated via kHello; kCodecText until then, so
+    /// pre-hello clients are served exactly as before.
+    std::uint64_t codec = kCodecText;
     /// Deliveries handed to this client and not yet acked/nacked:
     /// requeued on disconnect.
     std::vector<std::pair<std::string, std::uint64_t>> unacked;
-    bool closing = false;  ///< kClose received: drop once wbuf drains
+    bool closing = false;  ///< kClose received: drop once writes drain
   };
 
   /// A long-poll get waiting for a message or its deadline.
@@ -104,8 +115,9 @@ class BrokerServer : public Component {
   /// Decode and execute every complete frame in the read buffer.
   void process_frames(Conn& conn);
   void handle_frame(Conn& conn, Frame&& req);
-  void respond(Conn& conn, const Frame& resp);
-  /// Flush the write buffer; returns false on a dead socket.
+  void respond(Conn& conn, Frame&& resp);
+  /// Flush the write queue (scatter-gather, one sendmsg per pass); returns
+  /// false on a dead socket.
   bool flush_writes(Conn& conn);
   /// Retry every parked get; answer expired ones empty.
   void service_parked();

@@ -30,6 +30,7 @@
 #include <string_view>
 
 #include "src/common/error.hpp"
+#include "src/json/json.hpp"
 #include "src/mq/message.hpp"
 
 namespace entk::net {
@@ -57,6 +58,11 @@ enum class Op : std::uint8_t {
   kDepth = 11,
   kHeartbeat = 12, ///< server echoes with broker health in the body
   kClose = 13,     ///< client going away; server requeues its unacked
+  kHello = 14,     ///< codec negotiation: arg = highest codec the sender
+                   ///< speaks; the server echoes kHello with the negotiated
+                   ///< codec (min of both sides). A pre-hello server
+                   ///< answers kError instead — the client ignores it and
+                   ///< stays on the text codec, so old peers interoperate.
 
   // responses (server -> client)
   kOk = 64,           ///< arg = op-specific count/seq; kFlagEmpty on dry get
@@ -70,6 +76,15 @@ inline constexpr std::uint32_t kFlagDurable = 1u << 0;  ///< kDeclare
 inline constexpr std::uint32_t kFlagRequeue = 1u << 1;  ///< kNack
 inline constexpr std::uint32_t kFlagEmpty = 1u << 2;    ///< kOk: empty get
 inline constexpr std::uint32_t kFlagTrue = 1u << 3;     ///< kOk: bool result
+/// Message-bearing frame bodies use the binary typed-value codec
+/// (append_message_binary) instead of JSON text. Set per frame, so a
+/// decoder never guesses: negotiation only decides what a sender *emits*.
+inline constexpr std::uint32_t kFlagBinary = 1u << 4;
+
+/// Codec identifiers exchanged via kHello. Text is the implicit default
+/// every peer speaks; binary is the typed-value codec of this revision.
+inline constexpr std::uint64_t kCodecText = 0;
+inline constexpr std::uint64_t kCodecBinary = 1;
 
 /// Upper bound on one frame (prefix excluded): large enough for any
 /// realistic dispatch batch, small enough that a corrupt prefix fails fast.
@@ -101,16 +116,59 @@ std::uint64_t get_u64(std::string_view buf, std::size_t& offset);
 void append_frame(std::string& out, const Frame& frame);
 std::string encode_frame(const Frame& frame);
 
+/// Append only the length prefix + fixed header + queue name, declaring
+/// `body_bytes` of body to follow. The body travels as a separate buffer —
+/// the scatter-gather write path hands (header, body) to one writev
+/// instead of copying the body into a contiguous frame.
+void append_frame_header(std::string& out, const Frame& frame,
+                         std::size_t body_bytes);
+
 /// Decode one frame from `buf` starting at `offset`; on success advances
 /// `offset` past it. Returns nullopt for a partial frame. Throws NetError
 /// for an oversized or truncated-inside-header frame.
 std::optional<Frame> decode_frame(std::string_view buf, std::size_t& offset);
 
-// --- message codec --------------------------------------------------------
+// --- message codec (text, codec 0) ----------------------------------------
 /// Wire form of one mq::Message: u32 headers_len (0 = null headers) +
 /// headers JSON text, u64 seq, u32 body_len + body bytes. Rendering the
 /// byte body here IS the process boundary of the zero-copy design.
 void append_message(std::string& out, const mq::Message& msg);
 mq::Message decode_message(std::string_view buf, std::size_t& offset);
+
+// --- typed-value codec (binary, codec 1) ----------------------------------
+// Compact tag-length-value encoding of json::Value, so structured payloads
+// cross the wire without ever rendering JSON text (PR 4's
+// serialize-at-the-boundary invariant pushed through the network boundary).
+// One value is a u8 tag followed by tag-specific bytes (integers
+// little-endian, same scalar codec as the frame header):
+//
+//   tag 0  null      (nothing)
+//   tag 1  false     (nothing)
+//   tag 2  true      (nothing)
+//   tag 3  int64     u64 (two's complement bit pattern)
+//   tag 4  double    u64 (IEEE-754 bit pattern)
+//   tag 5  string    u32 byte count + UTF-8 bytes
+//   tag 6  array     u32 element count + that many values
+//   tag 7  object    u32 entry count + entries (u32 key len + key + value)
+//
+// decode_value throws NetError on an unknown tag, a truncated payload, or
+// nesting deeper than kMaxValueDepth (a hostile frame must not overflow
+// the stack).
+inline constexpr std::size_t kMaxValueDepth = 64;
+void append_value(std::string& out, const json::Value& v);
+json::Value decode_value(std::string_view buf, std::size_t& offset);
+
+/// Binary wire form of one mq::Message: headers value (TLV), u64 seq, u8
+/// payload kind + kind-specific bytes:
+///   kind 0  no payload (message carried neither representation)
+///   kind 1  raw bytes: u32 len + the already-rendered body verbatim
+///   kind 2  structured: one TLV value
+/// A message holding a structured payload ships kind 2 — append never
+/// calls Message::body(), so NO JSON text is rendered; the receiver's
+/// Message comes back with set_payload(), keeping the zero-copy chain
+/// intact across the socket. Messages that only ever had bytes (recovered
+/// journals, raw publishes) ship those bytes verbatim as kind 1.
+void append_message_binary(std::string& out, const mq::Message& msg);
+mq::Message decode_message_binary(std::string_view buf, std::size_t& offset);
 
 }  // namespace entk::net

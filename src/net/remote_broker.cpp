@@ -2,6 +2,7 @@
 
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -42,6 +43,16 @@ RemoteBroker::RemoteBroker(RemoteBrokerConfig config)
     throw NetError("net: cannot connect to " + config_.endpoint);
   }
   fd_ = fd;
+  if (config_.binary_codec) {
+    // Offer the binary codec; until the ack lands (handled by the io
+    // thread) every frame this client emits stays text, which any server
+    // understands — so the offer costs nothing against old daemons.
+    Frame hello;
+    hello.op = Op::kHello;
+    hello.corr = 0;
+    hello.arg = kCodecBinary;
+    send_frame(hello);
+  }
   last_pong_us_.store(now_us(), std::memory_order_relaxed);
   connected_.store(true, std::memory_order_release);
   io_thread_ = std::thread([this] { io_loop(); });
@@ -97,6 +108,15 @@ void RemoteBroker::io_loop() {
       }
       reconnects_.fetch_add(1, std::memory_order_relaxed);
       if (reconnects_metric_ != nullptr) reconnects_metric_->add();
+      if (config_.binary_codec) {
+        // Re-offer the codec: the new connection (possibly to a restarted,
+        // older daemon) starts from text like every connection does.
+        Frame hello;
+        hello.op = Op::kHello;
+        hello.corr = 0;
+        hello.arg = kCodecBinary;
+        send_frame(hello);
+      }
       // Re-declare before announcing connected: TCP ordering then puts
       // the declares ahead of any operation retried by a caller thread.
       {
@@ -118,6 +138,7 @@ void RemoteBroker::io_loop() {
     serve_connection(fd);
 
     connected_.store(false, std::memory_order_release);
+    codec_.store(kCodecText, std::memory_order_release);
     {
       std::lock_guard<std::mutex> lk(write_mutex_);
       if (fd_ >= 0) {
@@ -194,10 +215,14 @@ void RemoteBroker::dispatch(Frame&& resp) {
   last_pong_us_.store(now_us(), std::memory_order_relaxed);
   if (resp.corr == 0) {
     // io-thread-originated traffic: heartbeat echoes carry broker health;
-    // re-declare kOk responses need no handling.
+    // re-declare kOk responses need no handling. A kError here is an old
+    // server rejecting our hello — ignored, the codec stays text.
     if (resp.op == Op::kHeartbeat) {
       std::lock_guard<std::mutex> lk(health_mutex_);
       last_health_ = std::move(resp.body);
+    } else if (resp.op == Op::kHello) {
+      codec_.store(std::min(resp.arg, kCodecBinary),
+                   std::memory_order_release);
     }
     return;
   }
@@ -222,13 +247,26 @@ void RemoteBroker::fail_pending(const std::string& why) {
 // --- request path ----------------------------------------------------------
 
 bool RemoteBroker::send_frame(const Frame& frame) const {
-  const std::string bytes = encode_frame(frame);
+  // Scatter-gather write: only the small fixed header is materialized; the
+  // body — a whole publish_batch, potentially megabytes — goes to the
+  // socket straight from the frame, so a batch costs one sendmsg and zero
+  // body copies.
+  std::string header;
+  append_frame_header(header, frame, frame.body.size());
+  iovec iov[2];
+  iov[0] = {header.data(), header.size()};
+  iov[1] = {const_cast<char*>(frame.body.data()), frame.body.size()};
+  const std::size_t total = header.size() + frame.body.size();
+
   std::lock_guard<std::mutex> lk(write_mutex_);
   if (fd_ < 0) return false;
   std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
+  std::size_t idx = 0;
+  while (sent < total) {
+    msghdr mh{};
+    mh.msg_iov = iov + idx;
+    mh.msg_iovlen = 2 - idx;
+    const ssize_t n = ::sendmsg(fd_, &mh, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       // Half-dead socket: shut it down so the io thread's poll wakes and
@@ -237,9 +275,18 @@ bool RemoteBroker::send_frame(const Frame& frame) const {
       return false;
     }
     sent += static_cast<std::size_t>(n);
+    std::size_t advance = static_cast<std::size_t>(n);
+    while (idx < 2 && advance >= iov[idx].iov_len) {
+      advance -= iov[idx].iov_len;
+      ++idx;
+    }
+    if (idx < 2 && advance > 0) {
+      iov[idx].iov_base = static_cast<char*>(iov[idx].iov_base) + advance;
+      iov[idx].iov_len -= advance;
+    }
   }
   if (frames_out_ != nullptr) frames_out_->add();
-  if (bytes_out_ != nullptr) bytes_out_->add(bytes.size());
+  if (bytes_out_ != nullptr) bytes_out_->add(total);
   return true;
 }
 
@@ -356,7 +403,12 @@ std::uint64_t RemoteBroker::publish(const std::string& queue,
   Frame req;
   req.op = Op::kPublish;
   req.queue = queue;
-  append_message(req.body, msg);
+  if (codec_.load(std::memory_order_acquire) == kCodecBinary) {
+    req.flags |= kFlagBinary;
+    append_message_binary(req.body, msg);
+  } else {
+    append_message(req.body, msg);
+  }
   const Frame resp = roundtrip_retry(req, "publish");
   observe_op(publish_us_, started);
   return resp.arg;
@@ -369,7 +421,12 @@ std::uint64_t RemoteBroker::publish_batch(const std::string& queue,
   req.op = Op::kPublishBatch;
   req.queue = queue;
   put_u32(req.body, static_cast<std::uint32_t>(msgs.size()));
-  for (const mq::Message& msg : msgs) append_message(req.body, msg);
+  if (codec_.load(std::memory_order_acquire) == kCodecBinary) {
+    req.flags |= kFlagBinary;
+    for (const mq::Message& msg : msgs) append_message_binary(req.body, msg);
+  } else {
+    for (const mq::Message& msg : msgs) append_message(req.body, msg);
+  }
   const Frame resp = roundtrip_retry(req, "publish_batch");
   observe_op(publish_batch_us_, started);
   return resp.arg;
@@ -391,7 +448,11 @@ std::optional<mq::Delivery> RemoteBroker::get(const std::string& queue,
   std::size_t off = 0;
   mq::Delivery delivery;
   delivery.delivery_tag = resp->arg;
-  delivery.message = decode_message(resp->body, off);
+  // kFlagBinary is per frame, so deliveries decode correctly even across
+  // the hello handshake race on a fresh connection.
+  delivery.message = (resp->flags & kFlagBinary) != 0
+                         ? decode_message_binary(resp->body, off)
+                         : decode_message(resp->body, off);
   return delivery;
 }
 
@@ -411,13 +472,15 @@ std::vector<mq::Delivery> RemoteBroker::get_batch(const std::string& queue,
   observe_op(get_batch_us_, started);
   if (!resp.has_value() || resp->op != Op::kDeliveryBatch) return {};
   std::size_t off = 0;
+  const bool binary = (resp->flags & kFlagBinary) != 0;
   const std::uint32_t count = get_u32(resp->body, off);
   std::vector<mq::Delivery> deliveries;
   deliveries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     mq::Delivery delivery;
     delivery.delivery_tag = get_u64(resp->body, off);
-    delivery.message = decode_message(resp->body, off);
+    delivery.message = binary ? decode_message_binary(resp->body, off)
+                              : decode_message(resp->body, off);
     deliveries.push_back(std::move(delivery));
   }
   return deliveries;

@@ -58,6 +58,10 @@ struct RemoteBrokerConfig {
   double retry_deadline_s = 30.0;  ///< bound on retried operations
   double heartbeat_interval_s = 0.25;
   double response_grace_s = 5.0;   ///< response wait beyond the op timeout
+  /// Offer the binary typed-value codec via kHello on every (re)connect.
+  /// Publishes switch to binary only after the server's hello ack, so a
+  /// pre-hello daemon keeps this client on the text codec transparently.
+  bool binary_codec = true;
 };
 
 class RemoteBroker : public mq::BrokerHandle {
@@ -108,6 +112,11 @@ class RemoteBroker : public mq::BrokerHandle {
   std::uint64_t reconnects() const {
     return reconnects_.load(std::memory_order_relaxed);
   }
+  /// Codec this connection negotiated (kCodecText until the hello ack
+  /// lands; resets on every disconnect).
+  std::uint64_t negotiated_codec() const {
+    return codec_.load(std::memory_order_acquire);
+  }
 
  private:
   struct PendingSlot {
@@ -149,6 +158,9 @@ class RemoteBroker : public mq::BrokerHandle {
   int fd_ = -1;
   std::atomic<bool> connected_{false};
   std::atomic<bool> closed_{false};
+  /// Negotiated wire codec; written by the io thread (hello ack /
+  /// disconnect), read by publisher threads deciding what to emit.
+  std::atomic<std::uint64_t> codec_{kCodecText};
   mutable std::mutex conn_mutex_;
   mutable std::condition_variable conn_cv_;
 

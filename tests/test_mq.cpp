@@ -5,6 +5,7 @@
 
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <thread>
 
 #include "src/common/clock.hpp"
@@ -743,6 +744,233 @@ TEST(Broker, JournalBatchSizeHistogramObservesFlushes) {
   auto& hist = metrics->histogram("mq.journal_batch_size");
   EXPECT_EQ(hist.count(), 1u);         // one group-commit flush...
   EXPECT_EQ(hist.sum(), 4.0);          // ...carrying all four records
+}
+
+// ------------------------------------------------------- sharded broker
+//
+// The same broker surface at every shard count: the suite runs each
+// behavioral test at shards=1 (the historical single-shard broker) and
+// shards=4, and separately asserts cross-shard aggregation parity.
+
+class ShardedBroker : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShardedBroker, ShardOfIsStableAndInRange) {
+  Broker b("sh", "", {}, GetParam());
+  EXPECT_EQ(b.shard_count(), GetParam());
+  for (int q = 0; q < 64; ++q) {
+    const std::string name = "queue" + std::to_string(q);
+    const std::size_t shard = b.shard_of(name);
+    EXPECT_LT(shard, b.shard_count());
+    EXPECT_EQ(b.shard_of(name), shard);  // deterministic
+  }
+}
+
+TEST_P(ShardedBroker, PublishGetAckAcrossManyQueues) {
+  Broker b("sh", "", {}, GetParam());
+  constexpr int kQueues = 16;
+  for (int q = 0; q < kQueues; ++q) {
+    b.declare_queue("q" + std::to_string(q));
+  }
+  for (int q = 0; q < kQueues; ++q) {
+    for (int i = 0; i <= q; ++i) {
+      b.publish("q" + std::to_string(q),
+                text_message(std::to_string(q) + ":" + std::to_string(i)));
+    }
+  }
+  for (int q = 0; q < kQueues; ++q) {
+    const std::string name = "q" + std::to_string(q);
+    for (int i = 0; i <= q; ++i) {
+      auto d = b.get(name, 0.0);
+      ASSERT_TRUE(d);
+      EXPECT_EQ(d->message.body(),
+                std::to_string(q) + ":" + std::to_string(i));
+      b.ack(name, d->delivery_tag);
+    }
+    EXPECT_FALSE(b.get(name, 0.0).has_value());
+  }
+  const BrokerStats stats = b.stats();
+  EXPECT_EQ(stats.published, std::size_t{kQueues * (kQueues + 1) / 2});
+  EXPECT_EQ(stats.acked, stats.published);
+}
+
+TEST_P(ShardedBroker, SequenceNumbersUniqueAcrossShards) {
+  Broker b("sh", "", {}, GetParam());
+  std::set<std::uint64_t> seqs;
+  for (int q = 0; q < 8; ++q) {
+    const std::string name = "q" + std::to_string(q);
+    b.declare_queue(name);
+    for (int i = 0; i < 8; ++i) b.publish(name, text_message("x"));
+    while (auto d = b.get(name, 0.0)) {
+      EXPECT_TRUE(seqs.insert(d->message.seq).second)
+          << "duplicate seq " << d->message.seq;
+      b.ack(name, d->delivery_tag);
+    }
+  }
+  EXPECT_EQ(seqs.size(), 64u);
+}
+
+TEST_P(ShardedBroker, ConcurrentTrafficAcrossShardsLosesNothing) {
+  Broker b("sh", "", {}, GetParam());
+  constexpr int kQueues = 4;
+  constexpr int kPerQueue = 300;
+  for (int q = 0; q < kQueues; ++q) b.declare_queue("w" + std::to_string(q));
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> threads;
+  for (int q = 0; q < kQueues; ++q) {
+    threads.emplace_back([&b, q] {
+      const std::string name = "w" + std::to_string(q);
+      for (int i = 0; i < kPerQueue; ++i) b.publish(name, text_message("m"));
+    });
+    threads.emplace_back([&b, &consumed, q] {
+      const std::string name = "w" + std::to_string(q);
+      int got = 0;
+      while (got < kPerQueue) {
+        auto d = b.get(name, 0.001);
+        if (d) {
+          b.ack(name, d->delivery_tag);
+          ++got;
+          ++consumed;
+        }
+      }
+    });
+  }
+  // Topology churn while traffic flows: per-shard copy-on-write snapshots
+  // must never disturb established queues.
+  threads.emplace_back([&b] {
+    for (int i = 0; i < 50; ++i) {
+      const std::string name = "churn" + std::to_string(i);
+      b.declare_queue(name);
+      b.delete_queue(name);
+    }
+  });
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(consumed.load(), kQueues * kPerQueue);
+  EXPECT_EQ(b.stats().acked, std::size_t{kQueues * kPerQueue});
+}
+
+TEST_P(ShardedBroker, DepthSnapshotParityWithSingleShard) {
+  // Identical traffic into a 1-shard and an N-shard broker must aggregate
+  // to identical snapshots, stats, and queue name sets.
+  Broker single("one", "", {}, 1);
+  Broker sharded("many", "", {}, GetParam());
+  for (Broker* b : {&single, &sharded}) {
+    for (int q = 0; q < 12; ++q) {
+      const std::string name = "p" + std::to_string(q);
+      b->declare_queue(name);
+      for (int i = 0; i < q; ++i) b->publish(name, text_message("x"));
+    }
+    // Leave p3 with one unacked delivery.
+    auto d = b->get("p3", 0.0);
+    ASSERT_TRUE(d);
+  }
+  EXPECT_EQ(single.queue_names(), sharded.queue_names());
+  const auto s1 = single.depth_snapshot();
+  const auto sn = sharded.depth_snapshot();
+  ASSERT_EQ(s1.size(), sn.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].queue, sn[i].queue);
+    EXPECT_EQ(s1[i].ready, sn[i].ready) << "queue " << s1[i].queue;
+    EXPECT_EQ(s1[i].unacked, sn[i].unacked) << "queue " << s1[i].queue;
+  }
+  const BrokerStats b1 = single.stats();
+  const BrokerStats bn = sharded.stats();
+  EXPECT_EQ(b1.published, bn.published);
+  EXPECT_EQ(b1.delivered, bn.delivered);
+  EXPECT_EQ(b1.acked, bn.acked);
+  EXPECT_EQ(b1.queues, bn.queues);
+}
+
+TEST_P(ShardedBroker, JournalFilePerShardAndRecoveryAcrossLayouts) {
+  const std::string dir = fresh_dir();
+  std::string journal;
+  constexpr int kQueues = 6;
+  {
+    Broker b("shj", dir, {}, GetParam());
+    journal = b.journal_path();
+    // Shard 0 keeps the historical journal path; shard K appends ".K".
+    for (std::size_t s = 0; s < b.shard_count(); ++s) {
+      const std::string path = b.journal_path(s);
+      EXPECT_EQ(path, s == 0 ? journal
+                             : journal + "." + std::to_string(s));
+      EXPECT_TRUE(std::filesystem::exists(path));
+    }
+    for (int q = 0; q < kQueues; ++q) {
+      const std::string name = "d" + std::to_string(q);
+      b.declare_queue(name, {.durable = true});
+      for (int i = 0; i < 3; ++i) {
+        b.publish(name, text_message(name + ":" + std::to_string(i)));
+      }
+      // Ack one message per queue; two per queue must survive.
+      auto d = b.get(name, 0.0);
+      ASSERT_TRUE(d);
+      b.ack(name, d->delivery_tag);
+    }
+    // Broker "dies" here without close(): group-commit journals flush on
+    // destruction like a clean close would.
+  }
+  // Recover into a broker with a DIFFERENT shard count: the journal file
+  // set describes queue traffic, not shard layout, so the restored state
+  // must not depend on either broker's sharding.
+  Broker recovered("shj2", "", {}, 2);
+  EXPECT_EQ(recovered.recover(journal), std::size_t{kQueues * 2});
+  for (int q = 0; q < kQueues; ++q) {
+    const std::string name = "d" + std::to_string(q);
+    for (int i = 1; i < 3; ++i) {
+      auto d = recovered.get(name, 0.0);
+      ASSERT_TRUE(d) << name;
+      EXPECT_EQ(d->message.body(), name + ":" + std::to_string(i));
+    }
+    EXPECT_FALSE(recovered.get(name, 0.0).has_value());
+  }
+}
+
+TEST_P(ShardedBroker, CloseClosesEveryShardJournal) {
+  const std::string dir = fresh_dir();
+  Broker b("shc", dir, {}, GetParam());
+  b.declare_queue("q", {.durable = true});
+  b.publish("q", text_message("x"));
+  b.close();
+  EXPECT_THROW(b.publish("q", text_message("y")), MqError);
+  for (std::size_t s = 0; s < b.shard_count(); ++s) {
+    EXPECT_TRUE(std::filesystem::exists(b.journal_path(s)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, ShardedBroker,
+                         ::testing::Values(std::size_t{1}, std::size_t{4}),
+                         [](const auto& info) {
+                           return "shards" + std::to_string(info.param);
+                         });
+
+TEST(Broker, DefaultShardsBoundedByHardware) {
+  const std::size_t n = Broker::default_shards();
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 16u);
+  // shards=0 resolves to the hardware-derived default.
+  Broker b("auto", "", {}, 0);
+  EXPECT_EQ(b.shard_count(), n);
+}
+
+TEST(Broker, PerShardPublishCountersOnlyCountWhenSharded) {
+  // A single-shard broker keeps the historical metric surface: no
+  // mq.shardK.* counters move.
+  auto metrics1 = std::make_shared<obs::MetricsRegistry>();
+  Broker single("m1", "", {}, 1);
+  single.set_metrics(metrics1);
+  single.declare_queue("q");
+  single.publish("q", text_message("x"));
+  EXPECT_EQ(metrics1->counter("mq.shard0.published").value(), 0u);
+
+  auto metrics4 = std::make_shared<obs::MetricsRegistry>();
+  Broker sharded("m4", "", {}, 4);
+  sharded.set_metrics(metrics4);
+  sharded.declare_queue("q");
+  sharded.publish("q", text_message("x"));
+  const std::size_t shard = sharded.shard_of("q");
+  EXPECT_EQ(metrics4
+                ->counter("mq.shard" + std::to_string(shard) + ".published")
+                .value(),
+            1u);
 }
 
 }  // namespace

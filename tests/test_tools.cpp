@@ -11,8 +11,12 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "src/common/clock.hpp"
+#include "src/net/remote_broker.hpp"
 
 #ifndef ENTK_RUN_BINARY
 #define ENTK_RUN_BINARY "entk_run"
@@ -113,10 +117,11 @@ TEST(EntkRun, RetriesFlakyProcessesPerConfig) {
 }
 
 // Forks the entk_broker daemon with its stdout on a pipe; parses the
-// "listening on HOST:PORT" line for the ephemeral port.
+// "listening on HOST:PORT" line for the ephemeral port. Extra flags
+// (sharding, journal, recovery) are appended after "--port 0".
 class BrokerDaemon {
  public:
-  BrokerDaemon() {
+  explicit BrokerDaemon(std::vector<std::string> extra_args = {}) {
     int out[2];
     if (::pipe(out) != 0) return;
     pid_ = ::fork();
@@ -124,26 +129,29 @@ class BrokerDaemon {
       ::dup2(out[1], STDOUT_FILENO);
       ::close(out[0]);
       ::close(out[1]);
-      ::execl(ENTK_BROKER_BINARY, "entk_broker", "--port", "0",
-              static_cast<char*>(nullptr));
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>("entk_broker"));
+      argv.push_back(const_cast<char*>("--port"));
+      argv.push_back(const_cast<char*>("0"));
+      for (auto& arg : extra_args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(ENTK_BROKER_BINARY, argv.data());
       ::_exit(127);
     }
     ::close(out[1]);
     stdout_ = ::fdopen(out[0], "r");
+    // A recovering daemon reports the replay before the listening line, so
+    // scan until the line that carries the port.
     char line[256] = {0};
-    if (stdout_ != nullptr && std::fgets(line, sizeof line, stdout_)) {
+    while (stdout_ != nullptr && std::fgets(line, sizeof line, stdout_)) {
+      if (std::strstr(line, "listening on") == nullptr) continue;
       const char* colon = std::strrchr(line, ':');
       if (colon != nullptr) port_ = std::atoi(colon + 1);
+      break;
     }
   }
 
-  ~BrokerDaemon() {
-    if (pid_ > 0) {
-      ::kill(pid_, SIGKILL);
-      ::waitpid(pid_, nullptr, 0);
-    }
-    if (stdout_ != nullptr) std::fclose(stdout_);
-  }
+  ~BrokerDaemon() { kill_hard(); }
 
   int port() const { return port_; }
 
@@ -155,6 +163,19 @@ class BrokerDaemon {
     ::waitpid(pid_, &status, 0);
     pid_ = -1;
     return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  /// SIGKILL: simulates a crash — no drain, no final journal flush.
+  void kill_hard() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, nullptr, 0);
+      pid_ = -1;
+    }
+    if (stdout_ != nullptr) {
+      std::fclose(stdout_);
+      stdout_ = nullptr;
+    }
   }
 
  private:
@@ -183,6 +204,75 @@ TEST(EntkBroker, ServesWorkflowOverTcpAndShutsDownGracefully) {
       run_tool(path + " --broker 127.0.0.1:" + std::to_string(daemon.port())),
       0);
   EXPECT_EQ(daemon.terminate(), 0);  // graceful drain on SIGTERM
+}
+
+TEST(EntkBroker, ShardedDaemonRecoversJournal) {
+  // Crash/recover e2e across the sharded daemon: a --shards 3 daemon
+  // journals durable queues into one file per shard; after a SIGKILL a
+  // fresh daemon pointed at the shard-0 journal path must replay every
+  // sibling shard file and hand the unacked backlog to a reconnecting
+  // client, in FIFO order per queue.
+  const std::string dir = ::testing::TempDir() + "/entk_broker_shards_" +
+                          std::to_string(::getpid()) + "_" +
+                          std::to_string(entk::wall_now_us());
+  std::filesystem::create_directories(dir);
+  constexpr int kQueues = 6;
+  constexpr int kPerQueue = 3;
+
+  {
+    BrokerDaemon daemon({"--shards", "3", "--journal-dir", dir,
+                         "--journal-max-delay-ms", "0"});
+    ASSERT_GT(daemon.port(), 0) << "daemon did not report a listening port";
+
+    entk::net::RemoteBrokerConfig cfg;
+    cfg.endpoint = "127.0.0.1:" + std::to_string(daemon.port());
+    entk::net::RemoteBroker client(cfg);
+    for (int q = 0; q < kQueues; ++q) {
+      const std::string queue = "shardq" + std::to_string(q);
+      client.declare_queue(queue, {.durable = true});
+      for (int i = 0; i < kPerQueue; ++i) {
+        entk::mq::Message m;
+        m.set_body(queue + "#" + std::to_string(i));
+        ASSERT_GT(client.publish(queue, std::move(m)), 0u);
+      }
+      // Ack the head of each queue: the replay must skip it.
+      auto d = client.get(queue, 1.0);
+      ASSERT_TRUE(d);
+      EXPECT_EQ(d->message.body(), queue + "#0");
+      EXPECT_TRUE(client.ack(queue, d->delivery_tag));
+    }
+    client.close();
+    daemon.kill_hard();  // crash: unacked backlog only survives on disk
+  }
+
+  // Shard 0 journals at the historical single-file path; shards 1..N-1
+  // add a ".K" suffix. The crash must have left more than one behind.
+  const std::string journal = dir + "/entk_broker.journal";
+  ASSERT_TRUE(std::filesystem::exists(journal));
+  EXPECT_TRUE(std::filesystem::exists(journal + ".1"));
+  EXPECT_TRUE(std::filesystem::exists(journal + ".2"));
+
+  BrokerDaemon daemon({"--shards", "3", "--journal-dir", dir,
+                       "--journal-max-delay-ms", "0", "--recover", journal});
+  ASSERT_GT(daemon.port(), 0) << "recovered daemon did not report a port";
+
+  entk::net::RemoteBrokerConfig cfg;
+  cfg.endpoint = "127.0.0.1:" + std::to_string(daemon.port());
+  entk::net::RemoteBroker client(cfg);
+  for (int q = 0; q < kQueues; ++q) {
+    const std::string queue = "shardq" + std::to_string(q);
+    EXPECT_TRUE(client.has_queue(queue));
+    auto batch = client.get_batch(queue, kPerQueue + 1, 1.0);
+    ASSERT_EQ(batch.size(), std::size_t{kPerQueue - 1}) << queue;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ(batch[i].message.body(),
+                queue + "#" + std::to_string(i + 1));
+      EXPECT_TRUE(client.ack(queue, batch[i].delivery_tag));
+    }
+  }
+  client.close();
+  EXPECT_EQ(daemon.terminate(), 0);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(EntkRun, RejectsMissingAndMalformedInput) {

@@ -29,13 +29,17 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: entk_broker [--port N] [--bind ADDR]\n"
+      "                   [--shards N]\n"
       "                   [--journal-dir DIR]\n"
       "                   [--journal-batch-bytes N]\n"
       "                   [--journal-max-delay-ms MS]\n"
       "                   [--recover JOURNAL]\n"
       "       serves broker queues to entk_run --broker clients over TCP;\n"
       "       --port 0 (default) picks an ephemeral port, printed on the\n"
-      "       'listening' line; --journal-dir makes every queue durable\n"
+      "       'listening' line; --shards N splits the queue namespace\n"
+      "       across N independent broker shards (0 = one per hardware\n"
+      "       thread, capped; default 1); --journal-dir makes every queue\n"
+      "       durable\n"
       "       via the group-commit journal (flush policy tuned like\n"
       "       entk_run); --recover replays a previous daemon's journal,\n"
       "       restoring the unacked backlog before serving (point it at\n"
@@ -54,6 +58,7 @@ int main(int argc, char** argv) {
   std::string journal_dir;
   std::string recover_path;
   mq::JournalConfig journal;
+  long shards = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -65,6 +70,9 @@ int main(int argc, char** argv) {
       if (port < 0 || port > 0xffff) return usage();
     } else if (flag == "--bind") {
       bind_address = value;
+    } else if (flag == "--shards") {
+      shards = std::atol(value);
+      if (shards < 0) return usage();
     } else if (flag == "--journal-dir") {
       journal_dir = value;
     } else if (flag == "--journal-batch-bytes") {
@@ -90,8 +98,9 @@ int main(int argc, char** argv) {
     // that same path continues the journal it replays: recovery publishes
     // straight into the queues without re-journaling, and later acks
     // append to the records already on disk.
-    auto broker =
-        std::make_shared<mq::Broker>("entk_broker", journal_dir, journal);
+    auto broker = std::make_shared<mq::Broker>(
+        "entk_broker", journal_dir, journal,
+        static_cast<std::size_t>(shards));
     if (!recover_path.empty()) {
       const std::size_t restored = broker->recover(recover_path);
       std::printf("entk_broker: recovered %zu message(s) from %s\n", restored,
