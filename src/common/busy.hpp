@@ -1,0 +1,41 @@
+// Busy-time accounting shared by every message-driven component.
+//
+// The paper's overhead model (§IV) attributes management cost to the wall
+// time each component actually spends processing, not to the lifetime of
+// its threads; these helpers accumulate exactly that.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "src/common/clock.hpp"
+
+namespace entk {
+
+/// Wall-clock busy-time accumulator (nanoseconds), used to measure the
+/// management overhead each component actually spends processing.
+class BusyAccumulator {
+ public:
+  void add_s(double seconds) {
+    ns_.fetch_add(static_cast<std::int64_t>(seconds * 1e9));
+  }
+  double total_s() const { return static_cast<double>(ns_.load()) * 1e-9; }
+
+ private:
+  std::atomic<std::int64_t> ns_{0};
+};
+
+/// RAII busy-time scope.
+class BusyScope {
+ public:
+  explicit BusyScope(BusyAccumulator& acc) : acc_(acc), start_(wall_now_us()) {}
+  ~BusyScope() {
+    acc_.add_s(static_cast<double>(wall_now_us() - start_) * 1e-6);
+  }
+
+ private:
+  BusyAccumulator& acc_;
+  std::int64_t start_;
+};
+
+}  // namespace entk

@@ -68,6 +68,28 @@ void AppManager::run() {
   profiler_->record("amgr", "amgr_setup_start");
   const double setup_t0 = wall_now_s();
 
+  if (config_.remote_workers) {
+    if (config_.broker_endpoint.empty()) {
+      throw ValueError(uid_, "broker_endpoint",
+                       "an entk_broker endpoint when remote_workers is set "
+                       "(workers rendezvous through the daemon)");
+    }
+    // Callables cannot cross a process boundary; reject them up front
+    // instead of letting a worker fail the unit at execution time.
+    for (const PipelinePtr& p : pipelines_) {
+      for (const StagePtr& stage : p->stages()) {
+        for (const TaskPtr& task : stage->tasks()) {
+          if (task->function) {
+            throw ValueError(
+                uid_, "task " + task->uid(),
+                "no callable in remote_workers mode (functions do not "
+                "survive serialization to a worker process)");
+          }
+        }
+      }
+    }
+  }
+
   const std::string journal_dir = config_.journal_dir;
   if (!config_.broker_endpoint.empty()) {
     if (!config_.recover_broker_journal.empty()) {
@@ -130,6 +152,7 @@ void AppManager::run() {
   WfConfig wf_cfg;
   wf_cfg.default_task_retry_limit = config_.task_retry_limit;
   wf_cfg.batch_size = batch;
+  wf_cfg.inline_units = config_.remote_workers;
   if (!config_.resume_journal.empty()) {
     StateStore previous;
     previous.recover(config_.resume_journal);
@@ -153,22 +176,29 @@ void AppManager::run() {
                                                "q.pending", "q.completed",
                                                "q.states", profiler_);
 
-  ExecConfig exec_cfg;
-  exec_cfg.supervision = config_.supervision;
-  exec_cfg.submit_batch = std::max(exec_cfg.submit_batch, batch);
-  if (batch > 1) {
-    // Coalesce completions on a short window so Dequeue drains bulk Done
-    // messages instead of one per unit.
-    exec_cfg.completion_flush_window_s = 0.002;
-    exec_cfg.completion_flush_max = batch;
+  if (config_.remote_workers) {
+    // The execution stack lives in entk_worker processes; this side only
+    // tracks who is out there.
+    worker_directory_ = std::make_unique<worker::WorkerDirectory>(
+        broker_, config_.worker_ttl_s, profiler_);
+  } else {
+    ExecConfig exec_cfg;
+    exec_cfg.supervision = config_.supervision;
+    exec_cfg.submit_batch = std::max(exec_cfg.submit_batch, batch);
+    if (batch > 1) {
+      // Coalesce completions on a short window so Dequeue drains bulk Done
+      // messages instead of one per unit.
+      exec_cfg.completion_flush_window_s = 0.002;
+      exec_cfg.completion_flush_max = batch;
+    }
+    exec_manager_ = std::make_unique<ExecManager>(
+        exec_cfg, broker_, &registry_, "q.pending", "q.completed",
+        "q.states", config_.rts_factory, profiler_);
+    exec_manager_->set_fatal_handler([this](const std::string& reason) {
+      note_fatal("rts", reason);
+      wfprocessor_->abort(reason);
+    });
   }
-  exec_manager_ = std::make_unique<ExecManager>(
-      exec_cfg, broker_, &registry_, "q.pending", "q.completed", "q.states",
-      config_.rts_factory, profiler_);
-  exec_manager_->set_fatal_handler([this](const std::string& reason) {
-    note_fatal("rts", reason);
-    wfprocessor_->abort(reason);
-  });
 
   // Supervision tree (paper §II-B-4): the supervisor heartbeat-probes the
   // sibling components and restarts any that fail, re-attached to the same
@@ -176,7 +206,8 @@ void AppManager::run() {
   supervisor_ = std::make_unique<Supervisor>(config_.supervision, profiler_);
   supervisor_->supervise(synchronizer_.get());
   supervisor_->supervise(wfprocessor_.get());
-  supervisor_->supervise(exec_manager_.get());
+  if (exec_manager_) supervisor_->supervise(exec_manager_.get());
+  if (worker_directory_) supervisor_->supervise(worker_directory_.get());
   supervisor_->set_fatal_handler(
       [this](const std::string& component, const std::string& reason) {
         note_fatal(component, reason);
@@ -190,7 +221,8 @@ void AppManager::run() {
   if (metrics_) {
     synchronizer_->set_metrics(metrics_);
     wfprocessor_->set_metrics(metrics_);
-    exec_manager_->set_metrics(metrics_);
+    if (exec_manager_) exec_manager_->set_metrics(metrics_);
+    if (worker_directory_) worker_directory_->set_metrics(metrics_);
     supervisor_->set_metrics(metrics_);
   }
 
@@ -198,11 +230,12 @@ void AppManager::run() {
   profiler_->record("amgr", "amgr_setup_stop");
 
   // ----------------------------------------------- resource acquisition
-  exec_manager_->acquire_resources();
+  if (exec_manager_) exec_manager_->acquire_resources();
 
   // ------------------------------------------------------------ execute
   profiler_->record("amgr", "amgr_run_start");
-  exec_manager_->start();
+  if (exec_manager_) exec_manager_->start();
+  if (worker_directory_) worker_directory_->start();
   wfprocessor_->start();
   supervisor_->start();
   wfprocessor_->wait_completion();
@@ -215,7 +248,9 @@ void AppManager::run() {
   // mistaken for a crashed one and restarted mid-teardown.
   supervisor_->stop();
   wfprocessor_->stop();
-  const double rts_terminate_wall = exec_manager_->stop();
+  const double rts_terminate_wall =
+      exec_manager_ ? exec_manager_->stop() : 0.0;
+  if (worker_directory_) worker_directory_->stop();
   synchronizer_->stop();
   // Durability barrier before the run is declared over: group-committed
   // state records must be readable by whoever inspects the journal next.
@@ -241,10 +276,11 @@ void AppManager::run() {
 
   OverheadInputs inputs;
   inputs.setup_wall_s = setup_wall;
-  inputs.mgmt_wall_s = wfprocessor_->enqueue_busy().total_s() +
-                       wfprocessor_->dequeue_busy().total_s() +
-                       exec_manager_->emgr_busy().total_s() +
-                       synchronizer_->busy().total_s();
+  inputs.mgmt_wall_s =
+      wfprocessor_->enqueue_busy().total_s() +
+      wfprocessor_->dequeue_busy().total_s() +
+      (exec_manager_ ? exec_manager_->emgr_busy().total_s() : 0.0) +
+      synchronizer_->busy().total_s();
   inputs.teardown_wall_s = teardown_wall;
   inputs.tasks_processed =
       wfprocessor_->tasks_done() + wfprocessor_->tasks_failed() +
@@ -254,7 +290,7 @@ void AppManager::run() {
   report_.tasks_done = wfprocessor_->tasks_done();
   report_.tasks_failed = wfprocessor_->tasks_failed();
   report_.resubmissions = wfprocessor_->resubmissions();
-  report_.rts_restarts = exec_manager_->rts_restarts();
+  report_.rts_restarts = exec_manager_ ? exec_manager_->rts_restarts() : 0;
   report_.component_restarts = supervisor_->total_restarts();
   {
     std::lock_guard<std::mutex> lock(fatal_mutex_);

@@ -28,6 +28,7 @@
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/rts/rts.hpp"
+#include "src/worker/registration.hpp"
 
 namespace entk {
 
@@ -109,6 +110,21 @@ struct AppManagerConfig {
   /// (obs.trace_out) and metrics JSONL (obs.metrics_out). All off by
   /// default; the hot paths then cost a single null check.
   obs::ObsConfig obs;
+
+  /// Distributed execution plane: this process runs no ExecManager.
+  /// Instead the WFProcessor publishes self-contained units
+  /// ({"units": [...]}) on the Pending queue of the broker daemon at
+  /// broker_endpoint (required), entk_worker daemons drain and execute
+  /// them, and a WorkerDirectory consumes their registration/heartbeat
+  /// events. Tasks must not carry callables (they cannot cross a process
+  /// boundary); run() rejects them. Everything else — states, recovery,
+  /// retries, reporting — is unchanged.
+  bool remote_workers = false;
+
+  /// Liveness TTL of the WorkerDirectory view (remote_workers mode):
+  /// workers silent longer than this stop counting as live. Gauge-level
+  /// only; requeue correctness is the broker daemon's worker TTL.
+  double worker_ttl_s = 5.0;
 };
 
 class AppManager {
@@ -158,6 +174,10 @@ class AppManager {
     return local_broker_ ? local_broker_->journal_path() : "";
   }
   const std::vector<PipelinePtr>& pipelines() const { return pipelines_; }
+  /// Directory of announced remote workers (null unless remote_workers).
+  worker::WorkerDirectory* worker_directory() {
+    return worker_directory_.get();
+  }
   std::size_t tasks_done() const;
   std::size_t tasks_failed() const;
   std::size_t resubmissions() const;
@@ -188,7 +208,8 @@ class AppManager {
   ObjectRegistry registry_;
   std::unique_ptr<Synchronizer> synchronizer_;
   std::unique_ptr<WFProcessor> wfprocessor_;
-  std::unique_ptr<ExecManager> exec_manager_;
+  std::unique_ptr<ExecManager> exec_manager_;     ///< null in remote mode
+  std::unique_ptr<worker::WorkerDirectory> worker_directory_;
   std::unique_ptr<Supervisor> supervisor_;
 
   std::mutex fatal_mutex_;

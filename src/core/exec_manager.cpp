@@ -1,370 +1,20 @@
 #include "src/core/exec_manager.hpp"
 
-#include <chrono>
-#include <vector>
-
-#include "src/common/clock.hpp"
-#include "src/common/error.hpp"
-#include "src/common/log.hpp"
-
 namespace entk {
 
 ExecManager::ExecManager(ExecConfig config, mq::BrokerHandlePtr broker,
                          ObjectRegistry* registry, std::string pending_queue,
                          std::string done_queue, std::string states_queue,
                          rts::RtsFactory rts_factory, ProfilerPtr profiler)
-    : Component("exec_manager", std::move(profiler)),
-      config_(config),
-      broker_(std::move(broker)),
-      registry_(registry),
-      pending_queue_(std::move(pending_queue)),
-      done_queue_(std::move(done_queue)),
-      states_queue_(std::move(states_queue)),
-      rts_factory_(std::move(rts_factory)) {}
-
-ExecManager::~ExecManager() {
-  // Joins the workers; RTS termination stays with the explicit stop() (the
-  // seed destructor likewise only joined threads).
-  Component::stop();
-}
-
-void ExecManager::resolve_metrics() {
-  auto* reg = metrics();
-  if (reg == nullptr || submit_us_metric_ != nullptr) return;
-  submit_us_metric_ = &reg->histogram("rts.submit_us");
-  submitted_metric_ = &reg->counter("rts.units_submitted");
-  completed_metric_ = &reg->counter("rts.units_completed");
-}
-
-void ExecManager::acquire_resources() {
-  resolve_metrics();
-  profiler_->record("rmgr", "resource_acquire_start");
-  rts::RtsPtr rts = rts_factory_();
-  {
-    std::lock_guard<std::mutex> lock(rts_mutex_);
-    rts_ = std::move(rts);
-  }
-  attach_callback();
-  rts_->initialize();
-  profiler_->record("rmgr", "resource_acquire_stop");
-}
-
-void ExecManager::attach_callback() {
-  // RTS Callback subcomponent: forward completions to the Done queue
-  // (paper Fig 2, message 4). With a flush window configured, results are
-  // coalesced into bulk Done messages instead of one publish per unit.
-  std::lock_guard<std::mutex> lock(rts_mutex_);
-  rts_->set_completion_callback([this](const rts::UnitResult& result) {
-    json::Value msg;
-    msg["uid"] = result.uid;
-    msg["outcome"] = rts::to_string(result.outcome);
-    msg["exit_code"] = result.exit_code;
-    msg["exec_start_t"] = result.exec_start_t;
-    msg["exec_end_t"] = result.exec_end_t;
-    msg["staging_in_s"] = result.staging_in_s;
-    msg["staging_out_s"] = result.staging_out_s;
-    if (!result.metadata.is_null()) msg["metadata"] = result.metadata;
-    bool coalesced = false;
-    if (config_.completion_flush_window_s > 0) {
-      std::vector<json::Value> overflow;
-      {
-        std::lock_guard<std::mutex> flush_lock(flush_mutex_);
-        if (flusher_running_) {
-          completion_buffer_.push_back(std::move(msg));
-          coalesced = true;
-          if (completion_buffer_.size() >= config_.completion_flush_max) {
-            overflow.swap(completion_buffer_);
-          }
-        }
-      }
-      if (!overflow.empty()) {
-        flush_completions(std::move(overflow));  // full buffer: flush inline
-      } else if (coalesced) {
-        flush_cv_.notify_one();
-      }
-    }
-    if (!coalesced) {
-      try {
-        broker_->publish(done_queue_,
-                         mq::Message::json_body(done_queue_, std::move(msg)));
-      } catch (const MqError&) {
-        // AppManager broker is gone: we are shutting down.
-      }
-    }
-    profiler_->record("rts_callback", "unit_completed", result.uid);
-    if (completed_metric_ != nullptr) completed_metric_->add(1);
-  });
-}
-
-void ExecManager::flush_completions(std::vector<json::Value> buffered) {
-  if (buffered.empty()) return;
-  json::Value msg;
-  json::Array results;
-  results.reserve(buffered.size());
-  for (json::Value& r : buffered) results.push_back(std::move(r));
-  msg["results"] = std::move(results);
-  try {
-    broker_->publish(done_queue_,
-                     mq::Message::json_body(done_queue_, std::move(msg)));
-  } catch (const MqError&) {
-    // AppManager broker is gone: we are shutting down.
-  }
-}
-
-void ExecManager::flush_loop() {
-  std::unique_lock<std::mutex> lock(flush_mutex_);
-  while (!stop_requested()) {
-    flush_cv_.wait_for(
-        lock, std::chrono::duration<double>(config_.completion_flush_window_s),
-        [this] {
-          return stop_requested() ||
-                 completion_buffer_.size() >= config_.completion_flush_max;
-        });
-    if (completion_buffer_.empty()) continue;
-    std::vector<json::Value> buffered;
-    buffered.swap(completion_buffer_);
-    lock.unlock();
-    flush_completions(std::move(buffered));
-    lock.lock();
-  }
-  // Final drain; late callbacks bypass the buffer once flusher_running_ is
-  // cleared below.
-  flusher_running_ = false;
-  std::vector<json::Value> buffered;
-  buffered.swap(completion_buffer_);
-  lock.unlock();
-  flush_completions(std::move(buffered));
-}
-
-void ExecManager::on_start() {
-  resolve_metrics();
-  if (config_.completion_flush_window_s > 0) {
-    {
-      std::lock_guard<std::mutex> lock(flush_mutex_);
-      flusher_running_ = true;
-    }
-    add_worker("flush", [this] { flush_loop(); });
-  }
-  add_worker("emgr", [this] { emgr_loop(); });
-  add_worker("heartbeat", [this] { heartbeat_loop(); });
-  profiler_->record("exec_manager", "emgr_start");
-}
-
-void ExecManager::on_stop_requested() { flush_cv_.notify_all(); }
-
-void ExecManager::on_reattach() {
-  // Pending-queue deliveries (and sync acks) the dead emgr worker held
-  // unacked go back for the new generation to submit.
-  if (broker_->has_queue(pending_queue_)) {
-    broker_->requeue_unacked(pending_queue_);
-  }
-  if (broker_->has_queue("q.ack.emgr")) {
-    broker_->requeue_unacked("q.ack.emgr");
-  }
-}
-
-double ExecManager::stop() {
-  Component::stop();  // idempotent worker join (fixes the old double-join)
-  if (rts_terminated_.exchange(true)) return 0.0;
-  const double t0 = wall_now_s();
-  {
-    std::lock_guard<std::mutex> lock(rts_mutex_);
-    if (rts_) rts_->terminate();
-  }
-  profiler_->record("exec_manager", "emgr_stop");
-  return wall_now_s() - t0;
-}
-
-void ExecManager::inject_rts_failure() {
-  std::lock_guard<std::mutex> lock(rts_mutex_);
-  if (rts_) rts_->kill();
-}
-
-void ExecManager::set_fatal_handler(
-    std::function<void(const std::string&)> handler) {
-  fatal_handler_ = std::move(handler);
-}
-
-rts::RtsStats ExecManager::rts_stats() const {
-  std::lock_guard<std::mutex> lock(rts_mutex_);
-  return rts_ ? rts_->stats() : rts::RtsStats{};
-}
-
-rts::TaskUnit ExecManager::translate(const TaskPtr& task) const {
-  rts::TaskUnit unit;
-  unit.uid = task->uid();
-  unit.name = task->name;
-  unit.executable = task->executable;
-  unit.arguments = task->arguments;
-  unit.cores = task->cpu_reqs.total();
-  unit.gpus = task->gpu_reqs.total();
-  unit.exclusive_nodes = task->exclusive_nodes;
-  unit.duration_s = task->duration_s;
-  unit.callable = task->function;
-  unit.input_staging = task->input_staging;
-  unit.output_staging = task->output_staging;
-  unit.metadata = task->metadata;
-  return unit;
-}
-
-void ExecManager::emgr_loop() {
-  SyncClient sync(broker_, "emgr", states_queue_, "q.ack.emgr");
-  while (!stop_requested()) {
-    beat();
-    // Batch: drain whatever is pending, up to submit_batch, in one broker
-    // round-trip. Both wire formats are accepted: {"uid": ...} (one task
-    // per message, seed format) and {"uids": [...]} (bulk Enqueue).
-    const std::vector<mq::Delivery> deliveries = broker_->get_batch(
-        pending_queue_, config_.submit_batch, config_.poll_timeout_s);
-    if (deliveries.empty()) continue;
-    BusyScope busy(emgr_busy_);
-    std::vector<rts::TaskUnit> batch;
-    std::vector<std::string> uids;
-    std::vector<std::uint64_t> tags;
-    tags.reserve(deliveries.size());
-    auto take = [&](const std::string& uid) {
-      TaskPtr task = registry_->task(uid);
-      if (!task) {
-        ENTK_WARN("emgr") << "pending message for unknown task " << uid;
-        return;
-      }
-      batch.push_back(translate(task));
-      uids.push_back(uid);
-    };
-    for (const mq::Delivery& delivery : deliveries) {
-      tags.push_back(delivery.delivery_tag);
-      std::shared_ptr<const json::Value> msg;
-      try {
-        msg = delivery.message.payload();  // shared, zero-copy in-process
-      } catch (const json::ParseError&) {
-        continue;
-      }
-      if (msg->contains("uids")) {
-        for (const json::Value& u : msg->at("uids").as_array()) {
-          take(u.as_string());
-        }
-      } else {
-        take(msg->get_string("uid", ""));
-      }
-    }
-    broker_->ack_batch(pending_queue_, tags);
-    if (batch.empty()) continue;
-    if (uids.size() > 1) {
-      std::vector<Transition> submitting, submitted;
-      submitting.reserve(uids.size());
-      submitted.reserve(uids.size());
-      for (const std::string& uid : uids) {
-        submitting.push_back({uid, "task", "SCHEDULED", "SUBMITTING"});
-        submitted.push_back({uid, "task", "SUBMITTING", "SUBMITTED"});
-      }
-      sync.sync_batch(submitting, false);
-      // Publish the Submitted transitions BEFORE handing the units to the
-      // RTS: a very short task could otherwise complete and have Dequeue's
-      // Executed transition reach the Synchronizer first.
-      sync.sync_batch(submitted, false);
-    } else {
-      sync.sync(uids.front(), "task", "SCHEDULED", "SUBMITTING", false);
-      sync.sync(uids.front(), "task", "SUBMITTING", "SUBMITTED", false);
-    }
-    // Recorded before the RTS sees the units so the trace's causal order
-    // holds: a very short unit could otherwise record unit_exec_start on
-    // the RTS thread before the submit timestamp exists.
-    for (const std::string& uid : uids) {
-      profiler_->record("emgr", "task_submitted", uid);
-    }
-    const std::int64_t t0 = submit_us_metric_ != nullptr ? wall_now_us() : 0;
-    try {
-      std::lock_guard<std::mutex> lock(rts_mutex_);
-      if (!rts_ || !rts_->is_healthy()) {
-        throw RtsError("emgr: no healthy RTS");
-      }
-      rts_->submit(std::move(batch));
-    } catch (const RtsError& e) {
-      // The heartbeat will deal with the RTS; requeue by re-describing is
-      // unnecessary — units stay tracked as in flight by uid below.
-      ENTK_WARN("emgr") << e.what();
-    }
-    if (submit_us_metric_ != nullptr) {
-      submit_us_metric_->observe(static_cast<double>(wall_now_us() - t0));
-      submitted_metric_->add(uids.size());
-    }
-  }
-}
-
-void ExecManager::sample_queue_depths() {
-  // Depth gauges: ready/unacked backlog per queue, recorded in the numeric
-  // (virtual_s) field with the queue name as uid. Cheap — one shared-lock
-  // map walk plus one mutex grab per queue — so it can ride the heartbeat.
-  auto* reg = metrics();
-  for (const mq::QueueDepth& d : broker_->depth_snapshot()) {
-    profiler_->record("broker", "queue_ready_depth", d.queue,
-                      static_cast<double>(d.ready));
-    profiler_->record("broker", "queue_unacked_depth", d.queue,
-                      static_cast<double>(d.unacked));
-    if (reg != nullptr) {
-      // Heartbeat cadence, a handful of queues: resolving through the
-      // registry here is cheaper than a name->gauge cache would earn.
-      reg->gauge("mq.ready." + d.queue).set(static_cast<std::int64_t>(d.ready));
-      reg->gauge("mq.unacked." + d.queue)
-          .set(static_cast<std::int64_t>(d.unacked));
-    }
-  }
-}
-
-void ExecManager::heartbeat_loop() {
-  while (!stop_requested()) {
-    // Interruptible probe interval: stop() wakes the heartbeat instead of
-    // waiting out the sleep, so teardown is not taxed a full interval.
-    if (wait_stop_for(config_.supervision.heartbeat_interval_s)) return;
-    beat();
-    if (config_.sample_queue_depths) sample_queue_depths();
-    if (auto* reg = metrics()) reg->maybe_snapshot(wall_now_us());
-    bool healthy;
-    {
-      std::lock_guard<std::mutex> lock(rts_mutex_);
-      healthy = rts_ && rts_->is_healthy();
-    }
-    if (healthy) continue;
-    profiler_->record("heartbeat", "rts_unhealthy");
-    if (restarts_.load() >= config_.supervision.rts_restart_limit) {
-      ENTK_ERROR("heartbeat") << "RTS lost and restart budget exhausted";
-      if (fatal_handler_) fatal_handler_("RTS failed permanently");
-      return;
-    }
-    restart_rts();
-  }
-}
-
-void ExecManager::restart_rts() {
-  ++restarts_;
-  ENTK_WARN("heartbeat") << "restarting failed RTS (attempt "
-                         << restarts_.load() << ")";
-  profiler_->record("heartbeat", "rts_restart_start");
-
-  // Units in execution at the time of the failure are lost (paper
-  // §II-B-4); capture them from the dead instance for resubmission.
-  std::vector<std::string> lost;
-  {
-    std::lock_guard<std::mutex> lock(rts_mutex_);
-    if (rts_) lost = rts_->in_flight_units();
-    rts_ = rts_factory_();
-  }
-  attach_callback();
-  rts_->initialize();
-
-  std::vector<rts::TaskUnit> units;
-  units.reserve(lost.size());
-  for (const std::string& uid : lost) {
-    TaskPtr task = registry_->task(uid);
-    if (task) units.push_back(translate(task));
-  }
-  if (!units.empty()) {
-    ENTK_WARN("heartbeat") << "resubmitting " << units.size()
-                           << " lost units";
-    std::lock_guard<std::mutex> lock(rts_mutex_);
-    rts_->submit(std::move(units));
-  }
-  profiler_->record("heartbeat", "rts_restart_stop");
-}
+    : worker::WorkerRuntime(
+          "exec_manager", std::move(config), std::move(broker),
+          [registry](const std::string& uid) -> std::optional<rts::TaskUnit> {
+            TaskPtr task = registry->task(uid);
+            if (!task) return std::nullopt;
+            return to_unit(*task);
+          },
+          std::move(pending_queue), std::move(done_queue),
+          std::move(states_queue), std::move(rts_factory),
+          std::move(profiler)) {}
 
 }  // namespace entk

@@ -1,130 +1,35 @@
 // ExecManager (paper Fig 2): the workload-management component.
 //
-// Rmgr acquires resources through the RTS (pilot submission); Emgr pulls
-// tasks from the Pending queue (message 2), translates them into
-// RTS-specific units and submits them for execution (message 3); the RTS
-// Callback subcomponent pushes completed units to the Done queue
-// (message 4); Heartbeat monitors RTS health and — because the RTS is a
-// black box — handles full RTS failure by tearing it down, starting a new
-// instance with fresh pilot resources, and resubmitting only the units
-// that were in flight at the time of failure (paper §II-B-4).
+// Since the distributed-execution refactor this is a thin, registry-backed
+// deployment of worker::WorkerRuntime — the reusable Rmgr/Emgr/RtsCallback
+// stack in src/worker — embedded in the AppManager process. The wrapper
+// resolves pending-queue uids through the live ObjectRegistry (so task
+// callables survive translation) and keeps the historical component name,
+// queue bindings and config shape, so in-process behaviour is unchanged.
+// The same runtime, constructed against a RemoteBroker with inline units,
+// is the entk_worker daemon (src/worker/worker_daemon.hpp).
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
-#include <memory>
-#include <mutex>
-#include <vector>
-
-#include "src/common/component.hpp"
-#include "src/common/profiler.hpp"
 #include "src/core/sync.hpp"
-#include "src/mq/broker.hpp"
-#include "src/rts/rts.hpp"
+#include "src/core/task.hpp"
+#include "src/worker/worker_runtime.hpp"
 
 namespace entk {
 
-struct ExecConfig {
-  /// RTS heartbeat interval and restart budget (shared knob set with the
-  /// AppManager-level component supervisor).
-  SupervisionConfig supervision;
-  double poll_timeout_s = 0.002;
-  std::size_t submit_batch = 64;     ///< max units per RTS submission
-
-  /// Completion coalescing: when > 0, the RTS callback buffers results and
-  /// a flusher publishes them as one bulk Done message ({"results": [...]})
-  /// when the buffer reaches `completion_flush_max` or after this many wall
-  /// seconds, whichever comes first. 0 = one Done message per unit (seed
-  /// behavior).
-  double completion_flush_window_s = 0.0;
-  std::size_t completion_flush_max = 256;
-
-  /// Sample ready/unacked depth of every broker queue from the heartbeat
-  /// thread into the profiler ("queue_ready_depth"/"queue_unacked_depth"
-  /// events, depth in the numeric field), so throughput runs can attribute
-  /// stalls to a specific queue.
-  bool sample_queue_depths = true;
-};
+/// Historical name: the embedded deployment's config is exactly the
+/// runtime's (defaults preserve seed behaviour).
+using ExecConfig = worker::WorkerRuntimeConfig;
 
 /// A supervised Component with "emgr", "heartbeat" and (with a flush
 /// window configured) "flush" workers. The RTS handle lives outside the
 /// worker lifecycle, so a crashed-and-restarted ExecManager re-attaches to
 /// the same RTS instance and the Pending queue without losing units.
-class ExecManager : public Component {
+class ExecManager : public worker::WorkerRuntime {
  public:
   ExecManager(ExecConfig config, mq::BrokerHandlePtr broker,
               ObjectRegistry* registry, std::string pending_queue,
               std::string done_queue, std::string states_queue,
               rts::RtsFactory rts_factory, ProfilerPtr profiler);
-  ~ExecManager() override;
-
-  /// Rmgr: create the RTS and acquire resources (blocking).
-  void acquire_resources();
-
-  /// Stop the workers (Component::stop) and terminate the RTS gracefully.
-  /// Idempotent: the second call is a no-op returning 0. Returns the wall
-  /// seconds spent inside Rts::terminate (so AppManager can report EnTK
-  /// and RTS tear-down separately). Hides Component::stop(), which stops
-  /// the workers but leaves the RTS running (the supervisor's view).
-  double stop();
-
-  /// Fault injection for tests/examples: hard-kill the current RTS.
-  void inject_rts_failure();
-
-  /// Set the handler invoked when the RTS is lost and the restart budget
-  /// is exhausted.
-  void set_fatal_handler(std::function<void(const std::string&)> handler);
-
-  int rts_restarts() const { return restarts_.load(); }
-  rts::RtsStats rts_stats() const;
-
-  BusyAccumulator& emgr_busy() { return emgr_busy_; }
-
- protected:
-  void on_start() override;
-  void on_stop_requested() override;
-  void on_reattach() override;
-
- private:
-  void emgr_loop();
-  void heartbeat_loop();
-  void attach_callback();
-  rts::TaskUnit translate(const TaskPtr& task) const;
-  void restart_rts();
-  void sample_queue_depths();
-  /// Cache "rts.*" metric handles once a registry is attached (idempotent).
-  void resolve_metrics();
-  void flush_loop();
-  /// Publish buffered completion results as one bulk Done message.
-  void flush_completions(std::vector<json::Value> buffered);
-
-  const ExecConfig config_;
-  mq::BrokerHandlePtr broker_;
-  ObjectRegistry* registry_;
-  const std::string pending_queue_;
-  const std::string done_queue_;
-  const std::string states_queue_;
-  rts::RtsFactory rts_factory_;
-
-  mutable std::mutex rts_mutex_;
-  rts::RtsPtr rts_;
-
-  std::function<void(const std::string&)> fatal_handler_;
-
-  std::atomic<int> restarts_{0};
-  std::atomic<bool> rts_terminated_{false};
-  BusyAccumulator emgr_busy_;
-
-  // Pre-resolved metric handles ("rts.*"); all null when metrics are off.
-  obs::Histogram* submit_us_metric_ = nullptr;
-  obs::Counter* submitted_metric_ = nullptr;
-  obs::Counter* completed_metric_ = nullptr;
-
-  // Completion coalescing (used only when completion_flush_window_s > 0).
-  std::mutex flush_mutex_;
-  std::condition_variable flush_cv_;
-  std::vector<json::Value> completion_buffer_;
-  bool flusher_running_ = false;
 };
 
 }  // namespace entk

@@ -17,11 +17,13 @@
 #include <shared_mutex>
 #include <string>
 
+#include "src/common/busy.hpp"
 #include "src/common/clock.hpp"
 #include "src/common/component.hpp"
 #include "src/common/profiler.hpp"
 #include "src/core/pipeline.hpp"
 #include "src/mq/channel.hpp"
+#include "src/worker/sync_client.hpp"
 
 namespace entk {
 
@@ -50,73 +52,12 @@ class ObjectRegistry {
   std::map<std::string, PipelinePtr> pipelines_;
 };
 
-/// Wall-clock busy-time accumulator (nanoseconds), used to measure the
-/// management overhead each component actually spends processing.
-class BusyAccumulator {
- public:
-  void add_s(double seconds) {
-    ns_.fetch_add(static_cast<std::int64_t>(seconds * 1e9));
-  }
-  double total_s() const { return static_cast<double>(ns_.load()) * 1e-9; }
-
- private:
-  std::atomic<std::int64_t> ns_{0};
-};
-
-/// RAII busy-time scope.
-class BusyScope {
- public:
-  explicit BusyScope(BusyAccumulator& acc) : acc_(acc), start_(wall_now_us()) {}
-  ~BusyScope() {
-    acc_.add_s(static_cast<double>(wall_now_us() - start_) * 1e-6);
-  }
-
- private:
-  BusyAccumulator& acc_;
-  std::int64_t start_;
-};
+// BusyAccumulator/BusyScope now live in src/common/busy.hpp and the
+// component-side SyncClient (with Transition) in src/worker/sync_client.hpp
+// — both are re-exported through the includes above so existing call sites
+// compile unchanged. Only the AppManager-side pieces remain here.
 
 class StateStore;
-
-/// One state transition of the vectored sync protocol.
-struct Transition {
-  std::string uid;
-  std::string kind;  ///< "task" | "stage" | "pipeline"
-  std::string from_state;
-  std::string to_state;
-};
-
-/// Component-side client of the sync protocol. Not thread-safe: each
-/// component thread owns its own client (and ack queue), like an AMQP
-/// channel.
-class SyncClient {
- public:
-  /// `ack_queue` must be unique per component; it is declared on demand.
-  SyncClient(mq::BrokerHandlePtr broker, std::string component,
-             std::string states_queue, std::string ack_queue);
-
-  /// Request a transition. With `await_ack`, blocks until the Synchronizer
-  /// confirms the commit (or the broker closes); returns false when the
-  /// transition was rejected or the confirmation never arrived.
-  bool sync(const std::string& uid, const std::string& kind,
-            const std::string& from_state, const std::string& to_state,
-            bool await_ack = false);
-
-  /// Vectored sync: ship a whole array of transitions as ONE states-queue
-  /// message; the Synchronizer applies them as one uninterrupted sequence
-  /// and — with `await_ack` — confirms them with ONE reply, so a batch of
-  /// N transitions costs one round-trip instead of N. Returns false when
-  /// any transition was rejected or the confirmation never arrived.
-  bool sync_batch(const std::vector<Transition>& transitions,
-                  bool await_ack = false);
-
- private:
-  mq::BrokerHandlePtr broker_;
-  const std::string component_;
-  const std::string states_queue_;
-  const std::string ack_queue_;
-  std::uint64_t next_corr_ = 1;  ///< correlates batch requests with replies
-};
 
 /// AppManager-side synchronizer: a supervised Component with one "sync"
 /// worker consuming the states queue. Drains the backlog before honoring a

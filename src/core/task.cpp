@@ -58,4 +58,21 @@ json::Value Task::to_json() const {
   return v;
 }
 
+rts::TaskUnit to_unit(const Task& task) {
+  rts::TaskUnit unit;
+  unit.uid = task.uid();
+  unit.name = task.name;
+  unit.executable = task.executable;
+  unit.arguments = task.arguments;
+  unit.cores = task.cpu_reqs.total();
+  unit.gpus = task.gpu_reqs.total();
+  unit.exclusive_nodes = task.exclusive_nodes;
+  unit.duration_s = task.duration_s;
+  unit.callable = task.function;
+  unit.input_staging = task.input_staging;
+  unit.output_staging = task.output_staging;
+  unit.metadata = task.metadata;
+  return unit;
+}
+
 }  // namespace entk

@@ -15,6 +15,7 @@
 
 #include "src/common/states.hpp"
 #include "src/json/json.hpp"
+#include "src/rts/unit.hpp"
 #include "src/saga/stager.hpp"
 
 namespace entk {
@@ -94,5 +95,10 @@ class Task {
 };
 
 using TaskPtr = std::shared_ptr<Task>;
+
+/// Translate a Task into an RTS-specific unit (paper §II-B-3). Shared by
+/// the embedded ExecManager's registry resolver and the WFProcessor's
+/// inline-units enqueue path (remote-worker mode).
+rts::TaskUnit to_unit(const Task& task);
 
 }  // namespace entk

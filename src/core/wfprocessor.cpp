@@ -26,6 +26,7 @@ void WFProcessor::on_start() {
     done_metric_ = &reg->counter("wfp.tasks_done");
     failed_metric_ = &reg->counter("wfp.tasks_failed");
     resubmit_metric_ = &reg->counter("wfp.resubmissions");
+    duplicate_metric_ = &reg->counter("wfp.duplicate_results");
   }
   {
     // Force a full pipeline rescan on (re)start: a previous generation may
@@ -194,7 +195,14 @@ void WFProcessor::enqueue_task(const TaskPtr& task, SyncClient& sync) {
   // the state store must know about the task before the RTS can see it.
   sync.sync(task->uid(), "task", "SCHEDULING", "SCHEDULED", true);
   json::Value msg;
-  msg["uid"] = task->uid();
+  if (config_.inline_units) {
+    // Remote workers have no registry: ship the full unit description.
+    json::Array units;
+    units.push_back(to_unit(*task).to_json());
+    msg["units"] = std::move(units);
+  } else {
+    msg["uid"] = task->uid();
+  }
   // Recorded before the publish so the trace's causal order holds even
   // when the consumer records task_submitted on another thread first.
   profiler_->record("wfprocessor", "task_enqueued", task->uid());
@@ -210,26 +218,49 @@ void WFProcessor::enqueue_task_batch(const std::vector<TaskPtr>& tasks,
   scheduling.reserve(tasks.size());
   scheduled.reserve(tasks.size());
   json::Array uids;
+  json::Array units;
   uids.reserve(tasks.size());
   for (const TaskPtr& task : tasks) {
     scheduling.push_back({task->uid(), "task", "DESCRIBED", "SCHEDULING"});
     scheduled.push_back({task->uid(), "task", "SCHEDULING", "SCHEDULED"});
-    uids.push_back(task->uid());
+    if (config_.inline_units) {
+      units.push_back(to_unit(*task).to_json());
+    } else {
+      uids.push_back(task->uid());
+    }
   }
   sync.sync_batch(scheduling, false);
   // As in the per-task path, the Scheduled transitions are confirmed
   // before the tasks become runnable — but with ONE round-trip for the
   // whole batch.
   sync.sync_batch(scheduled, true);
-  json::Value msg;
-  msg["uids"] = std::move(uids);
   // As in enqueue_task: record before the publish for causal trace order.
   for (const TaskPtr& task : tasks) {
     profiler_->record("wfprocessor", "task_enqueued", task->uid());
   }
   if (enqueued_metric_ != nullptr) enqueued_metric_->add(tasks.size());
-  broker_->publish(pending_queue_,
-                   mq::Message::json_body(pending_queue_, std::move(msg)));
+  if (config_.inline_units) {
+    // One message PER task, published in one vectored broker call: the
+    // syncs above still amortize across the batch, but the work-sharing
+    // granule on the Pending queue stays a single task — N workers split
+    // a burst instead of one worker's batch get swallowing it whole, and
+    // a killed worker's requeue returns only what it actually held.
+    std::vector<mq::Message> msgs;
+    msgs.reserve(units.size());
+    for (json::Value& unit : units) {
+      json::Value msg;
+      json::Array one;
+      one.push_back(std::move(unit));
+      msg["units"] = std::move(one);
+      msgs.push_back(mq::Message::json_body(pending_queue_, std::move(msg)));
+    }
+    broker_->publish_batch(pending_queue_, std::move(msgs));
+  } else {
+    json::Value msg;
+    msg["uids"] = std::move(uids);
+    broker_->publish(pending_queue_,
+                     mq::Message::json_body(pending_queue_, std::move(msg)));
+  }
 }
 
 // ------------------------------------------------------------- Dequeue --
@@ -297,6 +328,18 @@ void WFProcessor::resolve_task(const json::Value& result, SyncClient& sync) {
   }
   if (canceling_.load() || task->state() == TaskState::Canceled) {
     // Result of a unit that outlived cancellation: ignore it.
+    return;
+  }
+  if (task->state() == TaskState::Done || task->state() == TaskState::Failed) {
+    // At-least-once redelivery: a worker lost its connection after
+    // executing but before acking, a survivor re-executed, and both
+    // results arrived. The first resolution already advanced the stage
+    // book and the state store; dropping the duplicate keeps "DONE exactly
+    // once" true for the workflow even though execution was at-least-once.
+    ENTK_WARN("wfprocessor") << "duplicate result for " << uid
+                             << " ignored (task already "
+                             << to_string(task->state()) << ")";
+    if (duplicate_metric_ != nullptr) duplicate_metric_->add(1);
     return;
   }
   const std::string outcome = result.get_string("outcome", "DONE");
@@ -385,6 +428,16 @@ void WFProcessor::resolve_results(const std::vector<const json::Value*>& results
     }
     if (canceling_.load() || task->state() == TaskState::Canceled) {
       continue;  // unit outlived cancellation: ignore
+    }
+    if (task->state() == TaskState::Done ||
+        task->state() == TaskState::Failed) {
+      // Duplicate of an already-resolved task (at-least-once redelivery):
+      // see resolve_task for the rationale.
+      ENTK_WARN("wfprocessor") << "duplicate result for " << uid
+                               << " ignored (task already "
+                               << to_string(task->state()) << ")";
+      if (duplicate_metric_ != nullptr) duplicate_metric_->add(1);
+      continue;
     }
     StagePtr stage = registry_->stage(task->parent_stage());
     PipelinePtr pipeline = registry_->pipeline(task->parent_pipeline());

@@ -41,6 +41,14 @@ struct WfConfig {
   /// applications only run the work that is still missing (paper §II-A:
   /// "executed on multiple attempts, without restarting completed tasks").
   std::set<std::string> recovered_done;
+
+  /// Remote-worker mode: publish self-contained units ({"units": [...]})
+  /// on the Pending queue instead of registry uids, so registry-less
+  /// entk_worker daemons can translate and execute them. Tasks must not
+  /// carry callables (they do not survive serialization; AppManager
+  /// validates). State flow, profiler events and bookkeeping are
+  /// unchanged — only the pending wire form differs.
+  bool inline_units = false;
 };
 
 /// A supervised Component with two workers ("enqueue", "dequeue"). All
@@ -147,6 +155,7 @@ class WFProcessor : public Component {
   obs::Counter* done_metric_ = nullptr;
   obs::Counter* failed_metric_ = nullptr;
   obs::Counter* resubmit_metric_ = nullptr;
+  obs::Counter* duplicate_metric_ = nullptr;
 };
 
 }  // namespace entk

@@ -8,7 +8,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <map>
 
+#include "src/common/log.hpp"
 #include "src/net/socket.hpp"
 
 namespace entk::net {
@@ -164,6 +166,8 @@ void BrokerServer::poll_loop() {
     }
     for (int fd : dead) drop_conn(fd, /*requeue_unacked=*/true);
 
+    expire_workers();
+
     // Every publish entered through this thread, so parked long-polls can
     // only be satisfiable now (or expired).
     service_parked();
@@ -180,6 +184,7 @@ void BrokerServer::accept_clients() {
     set_nodelay(fd);
     Conn conn;
     conn.fd = fd;
+    conn.last_activity = Clock::now();
     conns_.emplace(fd, std::move(conn));
     conn_count_.store(conns_.size(), std::memory_order_relaxed);
     if (connections_ != nullptr) {
@@ -210,6 +215,7 @@ bool BrokerServer::read_input(Conn& conn) {
         conn.rbuf.append(spill, got - kReadChunk);
       }
       if (bytes_in_ != nullptr) bytes_in_->add(got);
+      conn.last_activity = Clock::now();
       if (got < kReadChunk + sizeof spill) return true;  // socket drained
       continue;
     }
@@ -373,6 +379,13 @@ void BrokerServer::handle_frame(Conn& conn, Frame&& req) {
         resp.arg = conn.codec;
         break;
       }
+      case Op::kWorkerHello: {
+        conn.worker_id = req.body;
+        ENTK_INFO("broker_server")
+            << "connection fd=" << conn.fd << " identified as worker '"
+            << conn.worker_id << "'";
+        break;
+      }
       case Op::kClose: {
         for (const auto& [queue, tag] : conn.unacked) {
           broker_->nack(queue, tag, /*requeue=*/true);
@@ -527,17 +540,55 @@ void BrokerServer::service_parked() {
   parked_.swap(still_parked);
 }
 
+void BrokerServer::expire_workers() {
+  if (config_.worker_ttl_s <= 0) return;
+  const auto now = Clock::now();
+  const auto ttl = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(config_.worker_ttl_s));
+  std::vector<int> expired;
+  for (const auto& [fd, conn] : conns_) {
+    if (conn.worker_id.empty()) continue;
+    if (now - conn.last_activity > ttl) expired.push_back(fd);
+  }
+  for (int fd : expired) {
+    ENTK_WARN("broker_server")
+        << "worker '" << conns_[fd].worker_id << "' silent for more than "
+        << config_.worker_ttl_s << "s: dropping its connection";
+    drop_conn(fd, /*requeue_unacked=*/true);
+  }
+}
+
 void BrokerServer::drop_conn(int fd, bool requeue_unacked) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
-  if (requeue_unacked) {
+  if (requeue_unacked && !it->second.unacked.empty()) {
+    // Per-queue tally for the warn log: requeue-on-disconnect is the
+    // at-least-once recovery path firing, which an operator wants to see.
+    std::map<std::string, std::size_t> per_queue;
+    std::uint64_t requeued = 0;
     for (const auto& [queue, tag] : it->second.unacked) {
       try {
         broker_->nack(queue, tag, /*requeue=*/true);
+        ++requeued;
+        ++per_queue[queue];
         if (requeued_on_disconnect_ != nullptr) requeued_on_disconnect_->add();
       } catch (const MqError&) {
         // Queue deleted since delivery: nothing left to requeue into.
       }
+    }
+    if (requeued > 0) {
+      requeued_total_.fetch_add(requeued, std::memory_order_relaxed);
+      std::string detail;
+      for (const auto& [queue, count] : per_queue) {
+        if (!detail.empty()) detail += ", ";
+        detail += queue + "=" + std::to_string(count);
+      }
+      ENTK_WARN("broker_server")
+          << "requeued " << requeued << " unacked delivery(ies) from "
+          << (it->second.worker_id.empty()
+                  ? std::string("client fd=") + std::to_string(fd)
+                  : "worker '" + it->second.worker_id + "'")
+          << " on disconnect: " << detail;
     }
   }
   close_fd(fd);

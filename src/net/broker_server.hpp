@@ -44,6 +44,13 @@ struct BrokerServerConfig {
   std::string bind_address = "127.0.0.1";
   std::uint16_t port = 0;        ///< 0 = ephemeral, resolved via port()
   double drain_timeout_s = 2.0;  ///< bound on flushing write buffers at stop
+  /// Liveness TTL for connections that announced a worker identity
+  /// (kWorkerHello): a worker silent for longer than this is presumed
+  /// dead — its connection is dropped and every delivery it held is
+  /// nack-requeued so another worker re-executes the tasks. Workers
+  /// heartbeat every RemoteBrokerConfig::heartbeat_interval_s (0.25 s
+  /// default), so 5 s tolerates ~20 missed beats. <= 0 disables the scan.
+  double worker_ttl_s = 5.0;
 };
 
 class BrokerServer : public Component {
@@ -67,6 +74,13 @@ class BrokerServer : public Component {
 
   std::size_t connection_count() const {
     return conn_count_.load(std::memory_order_relaxed);
+  }
+
+  /// Deliveries nack-requeued because their consumer disconnected (or a
+  /// worker's TTL expired). Always counted, metrics attached or not — the
+  /// daemon's periodic stats line reports it.
+  std::uint64_t requeued_on_disconnect() const {
+    return requeued_total_.load(std::memory_order_relaxed);
   }
 
  protected:
@@ -96,6 +110,11 @@ class BrokerServer : public Component {
     /// requeued on disconnect.
     std::vector<std::pair<std::string, std::uint64_t>> unacked;
     bool closing = false;  ///< kClose received: drop once writes drain
+    /// Worker identity announced via kWorkerHello; empty for ordinary
+    /// clients. Identified workers are subject to worker_ttl_s.
+    std::string worker_id;
+    /// Last time any bytes arrived from this peer (heartbeats count).
+    Clock::time_point last_activity;
   };
 
   /// A long-poll get waiting for a message or its deadline.
@@ -125,6 +144,9 @@ class BrokerServer : public Component {
   /// queue is empty (caller parks or answers empty).
   bool try_answer_get(Conn& conn, std::uint64_t corr, const std::string& queue,
                       std::size_t max_n, bool batch);
+  /// Drop connections whose announced worker identity has been silent
+  /// beyond worker_ttl_s (their unacked deliveries requeue via drop_conn).
+  void expire_workers();
   void drop_conn(int fd, bool requeue_unacked);
   void forget_unacked(const std::string& queue);
   /// Best-effort flush of pending responses at stop, bounded by
@@ -144,6 +166,9 @@ class BrokerServer : public Component {
   std::vector<ParkedGet> parked_;
 
   std::atomic<std::size_t> conn_count_{0};
+  /// Always-on requeue accounting (the obs counter below mirrors it when
+  /// metrics are attached).
+  std::atomic<std::uint64_t> requeued_total_{0};
 
   // Pre-resolved "net.server.*" handles; all null when metrics are off.
   obs::MetricsPtr net_metrics_;

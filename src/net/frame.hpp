@@ -63,6 +63,12 @@ enum class Op : std::uint8_t {
                    ///< codec (min of both sides). A pre-hello server
                    ///< answers kError instead — the client ignores it and
                    ///< stays on the text codec, so old peers interoperate.
+  kWorkerHello = 15, ///< worker identity: body = worker id. Marks this
+                     ///< connection as an execution worker, subject to the
+                     ///< server's worker liveness TTL (a silent worker's
+                     ///< connection is dropped and its unacked deliveries
+                     ///< requeued). A pre-worker server answers kError,
+                     ///< which identity-announcing clients ignore.
 
   // responses (server -> client)
   kOk = 64,           ///< arg = op-specific count/seq; kFlagEmpty on dry get

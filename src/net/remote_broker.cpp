@@ -53,6 +53,7 @@ RemoteBroker::RemoteBroker(RemoteBrokerConfig config)
     hello.arg = kCodecBinary;
     send_frame(hello);
   }
+  announce_worker();
   last_pong_us_.store(now_us(), std::memory_order_relaxed);
   connected_.store(true, std::memory_order_release);
   io_thread_ = std::thread([this] { io_loop(); });
@@ -117,6 +118,7 @@ void RemoteBroker::io_loop() {
         hello.arg = kCodecBinary;
         send_frame(hello);
       }
+      announce_worker();
       // Re-declare before announcing connected: TCP ordering then puts
       // the declares ahead of any operation retried by a caller thread.
       {
@@ -242,6 +244,17 @@ void RemoteBroker::fail_pending(const std::string& why) {
     slot.error = why;
   }
   pending_cv_.notify_all();
+}
+
+void RemoteBroker::announce_worker() {
+  if (config_.worker_id.empty()) return;
+  // Fire-and-forget like the codec hello: a pre-worker daemon answers
+  // kError with corr 0, which dispatch() ignores.
+  Frame hello;
+  hello.op = Op::kWorkerHello;
+  hello.corr = 0;
+  hello.body = config_.worker_id;
+  send_frame(hello);
 }
 
 // --- request path ----------------------------------------------------------

@@ -62,6 +62,12 @@ struct RemoteBrokerConfig {
   /// Publishes switch to binary only after the server's hello ack, so a
   /// pre-hello daemon keeps this client on the text codec transparently.
   bool binary_codec = true;
+  /// When non-empty, announce this connection as an execution worker
+  /// (kWorkerHello on every (re)connect): the server then applies its
+  /// worker liveness TTL, dropping the connection — and requeuing its
+  /// unacked deliveries — if the worker falls silent. A pre-worker daemon
+  /// answers kError, which is ignored.
+  std::string worker_id;
 };
 
 class RemoteBroker : public mq::BrokerHandle {
@@ -127,6 +133,9 @@ class RemoteBroker : public mq::BrokerHandle {
   };
 
   void io_loop();
+  /// Fire-and-forget kWorkerHello when config_.worker_id is set (run on
+  /// every (re)connect, like the codec hello).
+  void announce_worker();
   /// Read/dispatch/heartbeat until the connection dies or close() runs.
   void serve_connection(int fd);
   void dispatch(Frame&& resp);

@@ -1,0 +1,160 @@
+#include "src/worker/registration.hpp"
+
+#include "src/common/clock.hpp"
+#include "src/common/error.hpp"
+#include "src/common/log.hpp"
+
+namespace entk::worker {
+
+// -------------------------------------------------------- WorkerAnnouncer
+
+WorkerAnnouncer::WorkerAnnouncer(mq::BrokerHandlePtr broker,
+                                 std::string worker_id, int cores)
+    : broker_(std::move(broker)),
+      worker_id_(std::move(worker_id)),
+      cores_(cores) {
+  broker_->declare_queue(kWorkersControlQueue);
+}
+
+void WorkerAnnouncer::publish(const char* event, std::size_t tasks_done,
+                              std::size_t in_flight) {
+  json::Value msg;
+  msg["worker"] = worker_id_;
+  msg["event"] = event;
+  msg["cores"] = cores_;
+  msg["tasks_done"] = tasks_done;
+  msg["in_flight"] = in_flight;
+  msg["wall_us"] = wall_now_us();
+  try {
+    broker_->publish(
+        kWorkersControlQueue,
+        mq::Message::json_body(kWorkersControlQueue, std::move(msg)));
+  } catch (const MqError&) {
+    // Broker unreachable mid-shutdown: the transport-level TTL covers us.
+  }
+}
+
+void WorkerAnnouncer::announce_register() { publish("register", 0, 0); }
+
+void WorkerAnnouncer::heartbeat(std::size_t tasks_done,
+                                std::size_t in_flight) {
+  publish("heartbeat", tasks_done, in_flight);
+}
+
+void WorkerAnnouncer::announce_deregister(std::size_t tasks_done) {
+  publish("deregister", tasks_done, 0);
+}
+
+// -------------------------------------------------------- WorkerDirectory
+
+WorkerDirectory::WorkerDirectory(mq::BrokerHandlePtr broker, double ttl_s,
+                                 ProfilerPtr profiler)
+    : Component("worker_directory", std::move(profiler)),
+      broker_(std::move(broker)),
+      ttl_s_(ttl_s) {
+  broker_->declare_queue(kWorkersControlQueue);
+}
+
+WorkerDirectory::~WorkerDirectory() { stop(); }
+
+void WorkerDirectory::on_start() {
+  add_worker("directory", [this] { loop(); });
+}
+
+void WorkerDirectory::on_reattach() {
+  if (broker_->has_queue(kWorkersControlQueue)) {
+    broker_->requeue_unacked(kWorkersControlQueue);
+  }
+}
+
+void WorkerDirectory::loop() {
+  profiler_->record("worker_directory", "directory_start");
+  while (!stop_requested()) {
+    beat();
+    const std::vector<mq::Delivery> deliveries =
+        broker_->get_batch(kWorkersControlQueue, 64, 0.02);
+    if (deliveries.empty()) {
+      refresh_gauges();  // TTL expiry shows up even with no traffic
+      continue;
+    }
+    std::vector<std::uint64_t> tags;
+    tags.reserve(deliveries.size());
+    for (const mq::Delivery& delivery : deliveries) {
+      tags.push_back(delivery.delivery_tag);
+      try {
+        apply(*delivery.message.payload());
+      } catch (const json::ParseError& e) {
+        ENTK_WARN("worker_directory") << "rejecting event: " << e.what();
+      }
+    }
+    broker_->ack_batch(kWorkersControlQueue, tags);
+    refresh_gauges();
+  }
+  profiler_->record("worker_directory", "directory_stop");
+}
+
+void WorkerDirectory::apply(const json::Value& msg) {
+  const std::string id = msg.get_string("worker", "");
+  if (id.empty()) return;
+  const std::string event = msg.get_string("event", "heartbeat");
+  std::lock_guard<std::mutex> lock(mutex_);
+  WorkerInfo& info = workers_[id];
+  const bool known = !info.worker_id.empty();
+  info.worker_id = id;
+  info.cores = static_cast<int>(msg.get_int("cores", info.cores));
+  info.tasks_done = static_cast<std::size_t>(
+      msg.get_int("tasks_done", static_cast<std::int64_t>(info.tasks_done)));
+  info.in_flight = static_cast<std::size_t>(
+      msg.get_int("in_flight", static_cast<std::int64_t>(info.in_flight)));
+  info.last_seen_s = wall_now_s();
+  if (event == "register") {
+    info.deregistered = false;
+    if (!known) ++registered_total_;
+    ENTK_INFO("worker_directory")
+        << "worker " << id << " registered (" << info.cores << " cores)";
+    profiler_->record("worker_directory", "worker_register", id);
+  } else if (event == "deregister") {
+    info.deregistered = true;
+    ENTK_INFO("worker_directory")
+        << "worker " << id << " deregistered after " << info.tasks_done
+        << " task(s)";
+    profiler_->record("worker_directory", "worker_deregister", id);
+  }
+}
+
+void WorkerDirectory::refresh_gauges() {
+  auto* reg = metrics();
+  if (reg == nullptr) return;
+  reg->gauge("workers.live").set(static_cast<std::int64_t>(live_workers()));
+  reg->gauge("workers.registered")
+      .set(static_cast<std::int64_t>(registered_workers()));
+}
+
+std::vector<WorkerInfo> WorkerDirectory::workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<WorkerInfo> out;
+  out.reserve(workers_.size());
+  for (const auto& [id, info] : workers_) {
+    (void)id;
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::size_t WorkerDirectory::live_workers() const {
+  const double now = wall_now_s();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t live = 0;
+  for (const auto& [id, info] : workers_) {
+    (void)id;
+    if (!info.deregistered && now - info.last_seen_s <= ttl_s_) ++live;
+  }
+  return live;
+}
+
+std::size_t WorkerDirectory::registered_workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return registered_total_;
+}
+
+}  // namespace entk::worker

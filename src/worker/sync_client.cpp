@@ -1,0 +1,136 @@
+#include "src/worker/sync_client.hpp"
+
+#include "src/common/error.hpp"
+#include "src/common/log.hpp"
+
+namespace entk {
+
+SyncClient::SyncClient(mq::BrokerHandlePtr broker, std::string component,
+                       std::string states_queue, std::string ack_queue)
+    : broker_(std::move(broker)),
+      component_(std::move(component)),
+      states_queue_(std::move(states_queue)),
+      ack_queue_(std::move(ack_queue)) {
+  broker_->declare_queue(ack_queue_);
+}
+
+bool SyncClient::sync(const std::string& uid, const std::string& kind,
+                      const std::string& from_state,
+                      const std::string& to_state, bool await_ack) {
+  json::Value msg;
+  msg["uid"] = uid;
+  msg["kind"] = kind;
+  msg["from"] = from_state;
+  msg["to"] = to_state;
+  msg["component"] = component_;
+  if (await_ack) msg["reply_to"] = ack_queue_;
+  try {
+    broker_->publish(states_queue_,
+                     mq::Message::json_body(states_queue_, std::move(msg)));
+  } catch (const MqError&) {
+    return false;  // broker shutting down
+  }
+  if (!await_ack) return true;
+  // Acks for this component arrive in request order (single synchronizer,
+  // single blocked requester per ack queue).
+  for (int spins = 0; spins < 2000; ++spins) {
+    auto delivery = broker_->get(ack_queue_, 0.005);
+    if (!delivery) {
+      if (broker_->closed()) return false;
+      continue;
+    }
+    broker_->ack(ack_queue_, delivery->delivery_tag);
+    std::shared_ptr<const json::Value> ack;
+    try {
+      ack = delivery->message.payload();  // shared, no copy/parse in-process
+    } catch (const json::ParseError&) {
+      continue;
+    }
+    if (ack->get_string("uid", "") != uid ||
+        ack->get_string("to", "") != to_state) {
+      ENTK_WARN(component_) << "out-of-order ack for "
+                            << ack->get_string("uid", "?");
+      continue;
+    }
+    return ack->get_bool("ok", false);
+  }
+  return false;
+}
+
+bool SyncClient::sync_batch(const std::vector<Transition>& transitions,
+                            bool await_ack) {
+  if (transitions.empty()) return true;
+  if (transitions.size() == 1) {
+    // No amortization to gain; keep the single-transition wire format.
+    const Transition& t = transitions.front();
+    return sync(t.uid, t.kind, t.from_state, t.to_state, await_ack);
+  }
+  const std::uint64_t corr = next_corr_++;
+  json::Value msg;
+  // Dispatch batches are homogeneous (every entry shares kind/from/to); the
+  // compact wire format hoists those fields out and ships only the uids.
+  // Mixed batches fall back to the general per-entry form.
+  bool homogeneous = true;
+  for (const Transition& t : transitions) {
+    if (t.kind != transitions.front().kind ||
+        t.from_state != transitions.front().from_state ||
+        t.to_state != transitions.front().to_state) {
+      homogeneous = false;
+      break;
+    }
+  }
+  if (homogeneous) {
+    json::Array uids;
+    uids.reserve(transitions.size());
+    for (const Transition& t : transitions) uids.push_back(t.uid);
+    msg["uids"] = std::move(uids);
+    msg["kind"] = transitions.front().kind;
+    msg["from"] = transitions.front().from_state;
+    msg["to"] = transitions.front().to_state;
+  } else {
+    json::Array batch;
+    batch.reserve(transitions.size());
+    for (const Transition& t : transitions) {
+      json::Value entry;
+      entry["uid"] = t.uid;
+      entry["kind"] = t.kind;
+      entry["from"] = t.from_state;
+      entry["to"] = t.to_state;
+      batch.push_back(std::move(entry));
+    }
+    msg["batch"] = std::move(batch);
+  }
+  msg["component"] = component_;
+  msg["corr"] = corr;
+  if (await_ack) msg["reply_to"] = ack_queue_;
+  try {
+    broker_->publish(states_queue_,
+                     mq::Message::json_body(states_queue_, std::move(msg)));
+  } catch (const MqError&) {
+    return false;  // broker shutting down
+  }
+  if (!await_ack) return true;
+  for (int spins = 0; spins < 2000; ++spins) {
+    auto delivery = broker_->get(ack_queue_, 0.005);
+    if (!delivery) {
+      if (broker_->closed()) return false;
+      continue;
+    }
+    broker_->ack(ack_queue_, delivery->delivery_tag);
+    std::shared_ptr<const json::Value> ack;
+    try {
+      ack = delivery->message.payload();
+    } catch (const json::ParseError&) {
+      continue;
+    }
+    if (static_cast<std::uint64_t>(ack->get_int("corr", 0)) != corr) {
+      ENTK_WARN(component_) << "out-of-order batch ack (corr "
+                            << ack->get_int("corr", 0) << ")";
+      continue;
+    }
+    return ack->get_bool("ok", false);
+  }
+  return false;
+}
+
+}  // namespace entk

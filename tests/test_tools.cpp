@@ -2,9 +2,13 @@
 // through the full stack, exit code out. The binary paths are injected by
 // CMake as ENTK_RUN_BINARY / ENTK_BROKER_BINARY.
 #include <gtest/gtest.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -12,7 +16,10 @@
 #include <filesystem>
 #include <fstream>
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/clock.hpp"
@@ -273,6 +280,70 @@ TEST(EntkBroker, ShardedDaemonRecoversJournal) {
   client.close();
   EXPECT_EQ(daemon.terminate(), 0);
   std::filesystem::remove_all(dir);
+}
+
+TEST(EntkBroker, ParkedGetFailsFastOnDisconnectAndWorksAfterReconnect) {
+  // A long-poll get_batch parked on the server when the daemon dies must
+  // fail its pending correlation slot single-shot — returning empty
+  // promptly instead of hanging out its full timeout — and the SAME
+  // client must serve gets again once a daemon is back on that port.
+  const int port = [] {
+    // Grab an ephemeral port, then free it for the daemon.
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    socklen_t len = sizeof addr;
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    ::close(fd);
+    return static_cast<int>(ntohs(addr.sin_port));
+  }();
+  ASSERT_GT(port, 0);
+  const std::string port_s = std::to_string(port);
+
+  auto daemon = std::make_unique<BrokerDaemon>(
+      std::vector<std::string>{"--port", port_s});
+  ASSERT_EQ(daemon->port(), port);
+
+  entk::net::RemoteBrokerConfig cfg;
+  cfg.endpoint = "127.0.0.1:" + port_s;
+  entk::net::RemoteBroker client(cfg);
+  client.declare_queue("parked");
+
+  std::atomic<double> parked_wall{0.0};
+  std::thread parked([&] {
+    const double t0 = entk::wall_now_s();
+    // 30 s long poll on an empty queue: parks server-side.
+    const auto batch = client.get_batch("parked", 4, 30.0);
+    parked_wall = entk::wall_now_s() - t0;
+    EXPECT_TRUE(batch.empty());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  daemon->kill_hard();  // connection reset while the get is outstanding
+  parked.join();
+  // Fail-fast, not timeout: well under the 30 s poll window.
+  EXPECT_LT(parked_wall.load(), 10.0);
+
+  // New daemon on the same port; the client reconnects, re-declares its
+  // queues, and the next publish/get round-trip succeeds.
+  daemon = std::make_unique<BrokerDaemon>(
+      std::vector<std::string>{"--port", port_s});
+  ASSERT_EQ(daemon->port(), port);
+  entk::mq::Message m;
+  m.set_body("after-reconnect");
+  ASSERT_GT(client.publish("parked", std::move(m)), 0u);
+  std::optional<entk::mq::Delivery> d;
+  const double deadline = entk::wall_now_s() + 10.0;
+  while (!d && entk::wall_now_s() < deadline) {
+    d = client.get("parked", 0.5);
+  }
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->message.body(), "after-reconnect");
+  EXPECT_TRUE(client.ack("parked", d->delivery_tag));
+  client.close();
+  EXPECT_EQ(daemon->terminate(), 0);
 }
 
 TEST(EntkRun, RejectsMissingAndMalformedInput) {

@@ -1,0 +1,309 @@
+// End-to-end tests of the distributed execution plane: an entk_broker
+// daemon, N entk_worker daemons and an entk_run --workers client, all real
+// processes wired over TCP. The centerpiece is the kill/recovery run:
+// SIGKILL one of three workers mid-execution and prove the ensemble still
+// completes with every task DONE exactly once in the state store
+// (at-least-once delivery + manager-side dedup). Binary paths are injected
+// by CMake as ENTK_RUN_BINARY / ENTK_BROKER_BINARY / ENTK_WORKER_BINARY.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/clock.hpp"
+#include "src/core/state_store.hpp"
+
+#ifndef ENTK_RUN_BINARY
+#define ENTK_RUN_BINARY "entk_run"
+#endif
+#ifndef ENTK_BROKER_BINARY
+#define ENTK_BROKER_BINARY "entk_broker"
+#endif
+#ifndef ENTK_WORKER_BINARY
+#define ENTK_WORKER_BINARY "entk_worker"
+#endif
+
+namespace {
+
+std::string write_workflow(const std::string& body) {
+  const std::string path = ::testing::TempDir() + "/wf_worker_" +
+                           std::to_string(::getpid()) + "_" +
+                           std::to_string(entk::wall_now_us()) + ".json";
+  std::ofstream out(path);
+  out << body;
+  return path;
+}
+
+/// Run entk_run, capturing stdout (stderr discarded). Returns the exit
+/// code, -1 on abnormal termination.
+int run_tool_capture(const std::string& args, std::string* output) {
+  const std::string cmd = std::string(ENTK_RUN_BINARY) + " " + args + " 2>/dev/null";
+  std::FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buf[512];
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) *output += buf;
+  const int status = ::pclose(pipe);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+/// Forks a daemon binary with its stdout on a pipe and scans for a marker
+/// line before returning (the daemons print a stable "listening on" /
+/// "serving" line once ready).
+class DaemonProc {
+ public:
+  DaemonProc(const char* binary, std::vector<std::string> args,
+             const char* ready_marker) {
+    int out[2];
+    if (::pipe(out) != 0) return;
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      ::dup2(out[1], STDOUT_FILENO);
+      ::close(out[0]);
+      ::close(out[1]);
+      std::vector<char*> argv;
+      argv.push_back(const_cast<char*>(binary));
+      for (auto& arg : args) argv.push_back(arg.data());
+      argv.push_back(nullptr);
+      ::execv(binary, argv.data());
+      ::_exit(127);
+    }
+    ::close(out[1]);
+    stdout_ = ::fdopen(out[0], "r");
+    char line[256] = {0};
+    while (stdout_ != nullptr && std::fgets(line, sizeof line, stdout_)) {
+      ready_line_ = line;
+      if (std::strstr(line, ready_marker) != nullptr) break;
+    }
+  }
+
+  ~DaemonProc() { kill_hard(); }
+
+  const std::string& ready_line() const { return ready_line_; }
+
+  /// SIGTERM (graceful drain) and return the exit code, -1 on signals.
+  int terminate() {
+    if (pid_ <= 0) return -1;
+    ::kill(pid_, SIGTERM);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  /// SIGKILL: a crash — no drain, in-flight deliveries die with the
+  /// process and only the broker's disconnect-requeue can save them.
+  void kill_hard() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      ::waitpid(pid_, nullptr, 0);
+      pid_ = -1;
+    }
+    if (stdout_ != nullptr) {
+      std::fclose(stdout_);
+      stdout_ = nullptr;
+    }
+  }
+
+ private:
+  pid_t pid_ = -1;
+  std::FILE* stdout_ = nullptr;
+  std::string ready_line_;
+};
+
+/// entk_broker on an ephemeral port.
+class BrokerDaemon : public DaemonProc {
+ public:
+  explicit BrokerDaemon(std::vector<std::string> extra = {})
+      : DaemonProc(ENTK_BROKER_BINARY, build_args(std::move(extra)),
+                   "listening on") {
+    const char* colon = std::strrchr(ready_line().c_str(), ':');
+    if (colon != nullptr) port_ = std::atoi(colon + 1);
+  }
+
+  int port() const { return port_; }
+  std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(port_);
+  }
+
+ private:
+  static std::vector<std::string> build_args(std::vector<std::string> extra) {
+    std::vector<std::string> args = {"--port", "0"};
+    for (auto& e : extra) args.push_back(std::move(e));
+    return args;
+  }
+
+  int port_ = 0;
+};
+
+/// entk_worker connected to a broker endpoint.
+class WorkerDaemon : public DaemonProc {
+ public:
+  WorkerDaemon(const std::string& endpoint, const std::string& worker_id,
+               std::vector<std::string> extra = {})
+      : DaemonProc(ENTK_WORKER_BINARY,
+                   build_args(endpoint, worker_id, std::move(extra)),
+                   "serving") {}
+
+ private:
+  static std::vector<std::string> build_args(const std::string& endpoint,
+                                             const std::string& worker_id,
+                                             std::vector<std::string> extra) {
+    std::vector<std::string> args = {"--broker", endpoint,  //
+                                     "--worker-id", worker_id};
+    for (auto& e : extra) args.push_back(std::move(e));
+    return args;
+  }
+};
+
+std::string sleep_stage_workflow(int tasks, double duration_virtual_s) {
+  std::string tasks_json;
+  for (int i = 0; i < tasks; ++i) {
+    if (i > 0) tasks_json += ",";
+    tasks_json += R"({"name": "t)" + std::to_string(i) +
+                  R"(", "executable": "sleep", "duration_s": )" +
+                  std::to_string(duration_virtual_s) + "}";
+  }
+  return R"({
+    "resource": {"resource": "local.localhost", "cpus": 8,
+                 "clock_scale": 0.001},
+    "pipelines": [
+      {"name": "p", "stages": [{"name": "s", "tasks": [)" +
+         tasks_json + R"(]}]}
+    ]
+  })";
+}
+
+TEST(WorkerE2e, SingleWorkerDrainsEnsembleAndExitsOnSigterm) {
+  BrokerDaemon broker;
+  ASSERT_GT(broker.port(), 0) << "broker did not report a listening port";
+  WorkerDaemon worker(broker.endpoint(), "w_solo",
+                      {"--cores", "2", "--clock-scale", "0.001"});
+  ASSERT_NE(worker.ready_line().find("w_solo"), std::string::npos)
+      << "worker did not come up: " << worker.ready_line();
+
+  const std::string path =
+      write_workflow(sleep_stage_workflow(4, /*duration_virtual_s=*/50));
+  std::string output;
+  const int code = run_tool_capture(
+      path + " --broker " + broker.endpoint() + " --workers", &output);
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("4 done, 0 failed"), std::string::npos) << output;
+  EXPECT_NE(output.find("DONE"), std::string::npos) << output;
+
+  EXPECT_EQ(worker.terminate(), 0);  // graceful drain on SIGTERM
+  EXPECT_EQ(broker.terminate(), 0);
+}
+
+TEST(WorkerE2e, SigkilledWorkerLosesNoTasksAcrossThreeWorkers) {
+  // The ISSUE's proof scenario: three workers drain one ensemble; one is
+  // SIGKILLed while its units are mid-execution. Its unacked Pending
+  // deliveries ride the broker's disconnect-requeue to the survivors, and
+  // the run still completes every task exactly once.
+  const std::string journal_dir = ::testing::TempDir() + "/worker_e2e_" +
+                                  std::to_string(::getpid()) + "_" +
+                                  std::to_string(entk::wall_now_us());
+  std::filesystem::create_directories(journal_dir);
+
+  BrokerDaemon broker;
+  ASSERT_GT(broker.port(), 0) << "broker did not report a listening port";
+  const std::vector<std::string> worker_flags = {
+      "--cores", "2", "--clock-scale", "0.001", "--max-in-flight", "2"};
+  WorkerDaemon w1(broker.endpoint(), "w1", worker_flags);
+  WorkerDaemon w2(broker.endpoint(), "w2", worker_flags);
+  WorkerDaemon w3(broker.endpoint(), "w3", worker_flags);
+  ASSERT_NE(w1.ready_line().find("serving"), std::string::npos);
+  ASSERT_NE(w2.ready_line().find("serving"), std::string::npos);
+  ASSERT_NE(w3.ready_line().find("serving"), std::string::npos);
+
+  // 12 tasks x 2000 virtual s = 2 s wall each at clock-scale 1e-3: long
+  // enough that the kill below lands mid-execution, with w2 holding
+  // unacked claims.
+  const std::string path =
+      write_workflow(sleep_stage_workflow(12, /*duration_virtual_s=*/2000));
+
+  std::string output;
+  int code = -1;
+  std::thread run([&] {
+    code = run_tool_capture(path + " --broker " + broker.endpoint() +
+                                " --workers --journal-dir " + journal_dir,
+                            &output);
+  });
+  // Let the first wave of units land on the workers, then crash one.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1500));
+  w2.kill_hard();
+  run.join();
+
+  EXPECT_EQ(code, 0) << output;
+  EXPECT_NE(output.find("12 done, 0 failed"), std::string::npos) << output;
+  EXPECT_NE(output.find("DONE"), std::string::npos) << output;
+
+  // Exactly-once in the transactional state store: replay the run's
+  // journal and count task DONE transitions — one per task, no more, even
+  // though execution was at-least-once.
+  std::string states_journal;
+  for (const auto& entry : std::filesystem::directory_iterator(journal_dir)) {
+    if (entry.path().extension() == ".states") {
+      states_journal = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(states_journal.empty())
+      << "no state-store journal in " << journal_dir;
+  entk::StateStore replay;
+  ASSERT_GT(replay.recover(states_journal), 0u);
+  std::map<std::string, int> done_per_task;
+  for (const entk::StateTransaction& tx : replay.history()) {
+    if (tx.kind == "task" && tx.to_state == "DONE") ++done_per_task[tx.uid];
+  }
+  EXPECT_EQ(done_per_task.size(), 12u);
+  for (const auto& [uid, count] : done_per_task) {
+    EXPECT_EQ(count, 1) << uid << " reached DONE " << count << " times";
+  }
+
+  EXPECT_EQ(w1.terminate(), 0);
+  EXPECT_EQ(w3.terminate(), 0);
+  EXPECT_EQ(broker.terminate(), 0);
+  std::filesystem::remove_all(journal_dir);
+}
+
+TEST(WorkerE2e, WorkerFlagValidationRejectsGarbage) {
+  // Strict numeric parsing: garbage or negative values must fail fast
+  // with usage (exit 2), not be silently read as 0.
+  const std::vector<std::string> bad = {
+      "--broker 127.0.0.1:1 --cores x4",
+      "--broker 127.0.0.1:1 --cores -2",
+      "--broker 127.0.0.1:1 --clock-scale abc",
+      "--broker 127.0.0.1:1 --max-in-flight -1",
+      "--broker 127.0.0.1:1 --batch 0",
+      "",  // --broker is required
+  };
+  for (const std::string& args : bad) {
+    const std::string cmd =
+        std::string(ENTK_WORKER_BINARY) + " " + args + " > /dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    EXPECT_EQ(code, 2) << "entk_worker " << args;
+  }
+  const std::vector<std::string> bad_broker = {
+      "--shards x4", "--shards -1", "--port 99999",
+      "--worker-ttl -1", "--stats-interval nope",
+  };
+  for (const std::string& args : bad_broker) {
+    const std::string cmd =
+        std::string(ENTK_BROKER_BINARY) + " " + args + " > /dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    const int code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    EXPECT_EQ(code, 2) << "entk_broker " << args;
+  }
+}
+
+}  // namespace

@@ -9,6 +9,8 @@
 // left off. SIGINT/SIGTERM drain gracefully: pending responses are
 // flushed, unacked deliveries are requeued (journaled), then the broker
 // closes.
+#include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -34,18 +36,50 @@ int usage() {
       "                   [--journal-batch-bytes N]\n"
       "                   [--journal-max-delay-ms MS]\n"
       "                   [--recover JOURNAL]\n"
-      "       serves broker queues to entk_run --broker clients over TCP;\n"
+      "                   [--worker-ttl S]\n"
+      "                   [--stats-interval S]\n"
+      "       serves broker queues to entk_run --broker clients and\n"
+      "       entk_worker daemons over TCP.\n"
       "       --port 0 (default) picks an ephemeral port, printed on the\n"
-      "       'listening' line; --shards N splits the queue namespace\n"
-      "       across N independent broker shards (0 = one per hardware\n"
-      "       thread, capped; default 1); --journal-dir makes every queue\n"
-      "       durable\n"
-      "       via the group-commit journal (flush policy tuned like\n"
-      "       entk_run); --recover replays a previous daemon's journal,\n"
-      "       restoring the unacked backlog before serving (point it at\n"
-      "       the same DIR/entk_broker.journal to resume after a crash).\n"
+      "       'listening' line.\n"
+      "       --shards N splits the queue namespace across N independent\n"
+      "       broker shards; --shards 0 means one shard per hardware\n"
+      "       thread (capped by the core count); default 1 keeps the\n"
+      "       single-shard broker.\n"
+      "       --journal-dir makes every queue durable via the group-commit\n"
+      "       journal (flush policy tuned like entk_run); --recover\n"
+      "       replays a previous daemon's journal, restoring the unacked\n"
+      "       backlog before serving (point it at the same\n"
+      "       DIR/entk_broker.journal to resume after a crash).\n"
+      "       --worker-ttl S drops connections of identified workers\n"
+      "       silent for S seconds, requeueing their unacked deliveries\n"
+      "       (0 disables; default 5).\n"
+      "       --stats-interval S prints a periodic stats line (conns,\n"
+      "       requeued_on_disconnect, queue depths) every S seconds\n"
+      "       (0 disables; default 30).\n"
       "       SIGINT/SIGTERM shut down gracefully.\n");
   return 2;
+}
+
+// Strict numeric parsers: the whole token must be a number (atol/atof
+// silently read garbage as 0, turning a typo like "--shards x4" into a
+// very different daemon).
+bool parse_long(const char* s, long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double(const char* s, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace
@@ -59,6 +93,8 @@ int main(int argc, char** argv) {
   std::string recover_path;
   mq::JournalConfig journal;
   long shards = 1;
+  double worker_ttl_s = 5.0;
+  double stats_interval_s = 30.0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -66,19 +102,22 @@ int main(int argc, char** argv) {
     if (i + 1 >= argc) return usage();  // every flag takes a value
     const char* value = argv[i + 1];
     if (flag == "--port") {
-      port = std::atol(value);
-      if (port < 0 || port > 0xffff) return usage();
+      if (!parse_long(value, &port) || port < 0 || port > 0xffff) {
+        return usage();
+      }
     } else if (flag == "--bind") {
       bind_address = value;
     } else if (flag == "--shards") {
-      shards = std::atol(value);
-      if (shards < 0) return usage();
+      if (!parse_long(value, &shards) || shards < 0) return usage();
     } else if (flag == "--journal-dir") {
       journal_dir = value;
     } else if (flag == "--journal-batch-bytes") {
-      journal.max_batch_bytes = static_cast<std::size_t>(std::atol(value));
+      long bytes = 0;
+      if (!parse_long(value, &bytes) || bytes < 0) return usage();
+      journal.max_batch_bytes = static_cast<std::size_t>(bytes);
     } else if (flag == "--journal-max-delay-ms") {
-      const double ms = std::atof(value);
+      double ms = 0.0;
+      if (!parse_double(value, &ms) || ms < 0.0) return usage();
       if (ms == 0.0) {
         journal.sync_every_append = true;
       } else {
@@ -86,6 +125,14 @@ int main(int argc, char** argv) {
       }
     } else if (flag == "--recover") {
       recover_path = value;
+    } else if (flag == "--worker-ttl") {
+      if (!parse_double(value, &worker_ttl_s) || worker_ttl_s < 0.0) {
+        return usage();
+      }
+    } else if (flag == "--stats-interval") {
+      if (!parse_double(value, &stats_interval_s) || stats_interval_s < 0.0) {
+        return usage();
+      }
     } else {
       return usage();
     }
@@ -107,9 +154,16 @@ int main(int argc, char** argv) {
                   recover_path.c_str());
     }
 
+    // Installed before the 'listening' line goes out: a supervisor that
+    // reacts to that line may signal us immediately, and the default
+    // disposition would kill the daemon without a drain.
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
     net::BrokerServerConfig server_cfg;
     server_cfg.bind_address = bind_address;
     server_cfg.port = static_cast<std::uint16_t>(port);
+    server_cfg.worker_ttl_s = worker_ttl_s;
     net::BrokerServer server(broker, server_cfg,
                              std::make_shared<Profiler>());
     server.start();
@@ -120,15 +174,38 @@ int main(int argc, char** argv) {
                 static_cast<unsigned>(server.port()));
     std::fflush(stdout);
 
-    std::signal(SIGINT, handle_signal);
-    std::signal(SIGTERM, handle_signal);
-
+    auto next_stats = std::chrono::steady_clock::now();
+    if (stats_interval_s > 0) {
+      next_stats += std::chrono::duration_cast<
+          std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(stats_interval_s));
+    }
     while (g_stop == 0) {
       if (server.state() == ComponentState::Failed) {
         std::fprintf(stderr, "entk_broker: server failed: %s\n",
                      server.fault_reason().c_str());
         broker->close();
         return 1;
+      }
+      if (stats_interval_s > 0 &&
+          std::chrono::steady_clock::now() >= next_stats) {
+        std::size_t ready = 0, unacked = 0, queues = 0;
+        for (const mq::QueueDepth& d : broker->depth_snapshot()) {
+          ++queues;
+          ready += d.ready;
+          unacked += d.unacked;
+        }
+        std::printf(
+            "entk_broker: stats conns=%zu "
+            "net.server.requeued_on_disconnect=%llu queues=%zu ready=%zu "
+            "unacked=%zu\n",
+            server.connection_count(),
+            static_cast<unsigned long long>(server.requeued_on_disconnect()),
+            queues, ready, unacked);
+        std::fflush(stdout);
+        next_stats += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(stats_interval_s));
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }

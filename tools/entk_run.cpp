@@ -107,7 +107,7 @@ int main(int argc, char** argv) {
                  "                [--journal-dir DIR]\n"
                  "                [--journal-batch-bytes N]\n"
                  "                [--journal-max-delay-ms MS]\n"
-                 "                [--broker HOST:PORT]\n"
+                 "                [--broker HOST:PORT] [--workers]\n"
                  "       executes the PST application described in the file;\n"
                  "       --profile dumps the run's event trace as CSV for\n"
                  "       post-mortem analysis (src/analytics);\n"
@@ -127,7 +127,11 @@ int main(int argc, char** argv) {
                  "       --broker runs the workflow against an entk_broker\n"
                  "       daemon at HOST:PORT instead of the in-process\n"
                  "       broker (broker durability is then the daemon's\n"
-                 "       --journal-dir)\n");
+                 "       --journal-dir);\n"
+                 "       --workers (requires --broker) runs no local\n"
+                 "       execution stack: tasks are published as\n"
+                 "       self-contained units and executed by entk_worker\n"
+                 "       daemons connected to the same broker\n");
     return 2;
   }
   std::string profile_path;
@@ -138,6 +142,11 @@ int main(int argc, char** argv) {
   long journal_batch_bytes = -1;
   double journal_max_delay_ms = -1.0;
   int component_restart_limit = -1;
+  bool remote_workers = false;
+  // Valueless flags first (the value-taking loop below stops one short).
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--workers") remote_workers = true;
+  }
   for (int i = 2; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--profile") profile_path = argv[i + 1];
     if (std::string(argv[i]) == "--trace-out") trace_out = argv[i + 1];
@@ -185,6 +194,7 @@ int main(int argc, char** argv) {
     config.obs.metrics_out = metrics_out;
     config.journal_dir = journal_dir;
     config.broker_endpoint = broker_endpoint;
+    config.remote_workers = remote_workers;
     if (journal_batch_bytes >= 0) {
       config.journal.max_batch_bytes =
           static_cast<std::size_t>(journal_batch_bytes);
