@@ -99,11 +99,21 @@ void AppManager::run() {
     }
     net::RemoteBrokerConfig remote_cfg;
     remote_cfg.endpoint = config_.broker_endpoint;
+    remote_cfg.tenant = config_.tenant;
     auto remote = std::make_shared<net::RemoteBroker>(remote_cfg);
     if (metrics_) remote->set_metrics(metrics_);
     broker_ = remote;
-    ENTK_INFO(uid_) << "using broker daemon at " << config_.broker_endpoint;
+    ENTK_INFO(uid_) << "using broker daemon at " << config_.broker_endpoint
+                    << (config_.tenant.empty()
+                            ? std::string()
+                            : " as tenant '" + config_.tenant + "'");
   } else {
+    if (!config_.tenant.empty()) {
+      throw ValueError(uid_, "tenant",
+                       "a broker_endpoint when tenant is set (tenancy is a "
+                       "shared-daemon concept; the in-process broker is "
+                       "single-application by construction)");
+    }
     local_broker_ = std::make_shared<mq::Broker>(
         uid_, journal_dir, config_.journal, config_.broker_shards);
     if (metrics_) local_broker_->set_metrics(metrics_);

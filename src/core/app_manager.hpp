@@ -74,6 +74,14 @@ struct AppManagerConfig {
   /// the local state journal.
   std::string broker_endpoint;
 
+  /// Tenant namespace on the broker daemon (requires broker_endpoint).
+  /// Every queue this application declares lives inside the tenant, so
+  /// many ensembles share one daemon without their identically-named
+  /// queues colliding, and the daemon's per-tenant quotas/fair scheduling
+  /// apply. Empty (default) = the daemon's default tenant — exact
+  /// single-tenant behavior.
+  std::string tenant;
+
   /// Path to the journal of a previous (crashed) durable broker: replayed
   /// into the in-process broker before the run (Broker::recover), then the
   /// recovered queue backlog is purged — in an AppManager-driven run, the

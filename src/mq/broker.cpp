@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <functional>
 #include <thread>
@@ -9,6 +10,7 @@
 #include "src/common/clock.hpp"
 #include "src/common/error.hpp"
 #include "src/common/log.hpp"
+#include "src/mq/tenant.hpp"
 
 namespace entk::mq {
 
@@ -36,6 +38,8 @@ Broker::Broker(std::string name, std::string journal_dir,
     }
     shards_.push_back(std::move(shard));
   }
+  partitions_.store(std::make_shared<const PartitionMap>(),
+                    std::memory_order_release);
 }
 
 Broker::~Broker() {
@@ -56,10 +60,19 @@ void Broker::set_metrics(obs::MetricsPtr metrics) {
   metrics_ = std::move(metrics);
   if (!metrics_) {
     m_ = {};
+    journal_batch_size_ = nullptr;
     for (auto& shard : shards_) {
       shard->published = nullptr;
       if (shard->journal != nullptr) {
         shard->journal->set_batch_size_metric(nullptr);
+      }
+    }
+    const std::shared_ptr<const PartitionMap> parts =
+        partitions_.load(std::memory_order_acquire);
+    for (const auto& [tenant, part] : *parts) {
+      (void)tenant;
+      for (auto& writer : part->writers) {
+        writer->set_batch_size_metric(nullptr);
       }
     }
     return;
@@ -82,6 +95,17 @@ void Broker::set_metrics(obs::MetricsPtr metrics) {
           : &metrics_->histogram("mq.journal_batch_size",
                                  {1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
                                   1024});
+  journal_batch_size_ = batch_size;  // applied to future tenant partitions
+  {
+    const std::shared_ptr<const PartitionMap> parts =
+        partitions_.load(std::memory_order_acquire);
+    for (const auto& [tenant, part] : *parts) {
+      (void)tenant;
+      for (auto& writer : part->writers) {
+        writer->set_batch_size_metric(batch_size);
+      }
+    }
+  }
   for (std::size_t k = 0; k < shards_.size(); ++k) {
     if (shards_[k]->journal != nullptr) {
       shards_[k]->journal->set_batch_size_metric(batch_size);
@@ -108,6 +132,56 @@ JournalWriter* Broker::journal_writer(std::size_t shard) {
   return shard < shards_.size() ? shards_[shard]->journal.get() : nullptr;
 }
 
+std::string Broker::partition_journal_path(const std::string& tenant,
+                                           std::size_t shard) const {
+  if (journal_dir_.empty() || tenant.empty()) return "";
+  std::string path = journal_dir_ + "/" + tenant + "/" + name_ + ".journal";
+  if (shard > 0) path += "." + std::to_string(shard);
+  return path;
+}
+
+JournalWriter* Broker::journal_writer_for(std::size_t shard,
+                                          const std::string& queue) const {
+  const std::string tenant = tenant_of_queue(queue);
+  if (tenant.empty()) return shards_[shard]->journal.get();
+  const std::shared_ptr<const PartitionMap> parts =
+      partitions_.load(std::memory_order_acquire);
+  const auto it = parts->find(tenant);
+  return it != parts->end() ? it->second->writers[shard].get() : nullptr;
+}
+
+void Broker::ensure_partition(const std::string& tenant) {
+  if (journal_dir_.empty() || tenant.empty()) return;
+  {
+    const std::shared_ptr<const PartitionMap> parts =
+        partitions_.load(std::memory_order_acquire);
+    if (parts->count(tenant) > 0) return;
+  }
+  std::lock_guard<std::mutex> lock(partitions_mutex_);
+  const std::shared_ptr<const PartitionMap> parts =
+      partitions_.load(std::memory_order_acquire);
+  if (parts->count(tenant) > 0) return;  // lost the race: already created
+  const std::string dir = journal_dir_ + "/" + tenant;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    throw MqError("broker: cannot create journal partition " + dir + ": " +
+                  ec.message());
+  }
+  auto part = std::make_shared<Partition>();
+  part->writers.reserve(shards_.size());
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    auto writer = std::make_unique<JournalWriter>(
+        partition_journal_path(tenant, k), journal_config_);
+    writer->set_batch_size_metric(journal_batch_size_);
+    part->writers.push_back(std::move(writer));
+  }
+  auto next = std::make_shared<PartitionMap>(*parts);
+  next->emplace(tenant, std::move(part));
+  partitions_.store(std::shared_ptr<const PartitionMap>(std::move(next)),
+                    std::memory_order_release);
+}
+
 std::shared_ptr<Queue> Broker::find_queue(const std::string& queue,
                                           std::size_t shard) const {
   const std::shared_ptr<const QueueMap> map =
@@ -125,6 +199,10 @@ std::shared_ptr<Queue> Broker::queue_or_throw(const std::string& queue,
 
 std::shared_ptr<Queue> Broker::declare_queue(const std::string& queue,
                                              QueueOptions options) {
+  // A durable tenant-qualified queue journals into its tenant's partition;
+  // create it before the queue becomes visible so the first publish finds
+  // its writer. Outside the shard lock: partition creation does I/O.
+  if (options.durable) ensure_partition(tenant_of_queue(queue));
   Shard& shard = *shards_[shard_of(queue)];
   std::unique_lock<std::shared_mutex> lock(shard.mutex);
   if (closed()) throw MqError("broker: closed");
@@ -181,14 +259,17 @@ std::uint64_t Broker::publish(const std::string& queue_name, Message msg) {
       next_seq_.fetch_add(1, std::memory_order_relaxed);
   msg.seq = seq;
   msg.routing_key = queue_name;
-  if (q->options().durable && shards_[shard]->journal != nullptr) {
-    json::Value rec;
-    rec["op"] = "pub";
-    rec["q"] = queue_name;
-    rec["seq"] = seq;
-    rec["headers"] = msg.headers;
-    rec["body"] = msg.body();
-    journal_append(shard, rec);
+  if (q->options().durable) {
+    JournalWriter* writer = journal_writer_for(shard, queue_name);
+    if (writer != nullptr) {
+      json::Value rec;
+      rec["op"] = "pub";
+      rec["q"] = queue_name;
+      rec["seq"] = seq;
+      rec["headers"] = msg.headers;
+      rec["body"] = msg.body();
+      journal_append(writer, rec);
+    }
   }
   if (!q->publish(std::move(msg)))
     throw MqError("broker: queue '" + queue_name + "' closed");
@@ -216,19 +297,22 @@ std::uint64_t Broker::publish_batch(const std::string& queue_name,
     msg.seq = seq++;
     msg.routing_key = queue_name;
   }
-  if (q->options().durable && shards_[shard]->journal != nullptr) {
-    std::vector<json::Value> records;
-    records.reserve(msgs.size());
-    for (const Message& msg : msgs) {
-      json::Value rec;
-      rec["op"] = "pub";
-      rec["q"] = queue_name;
-      rec["seq"] = msg.seq;
-      rec["headers"] = msg.headers;
-      rec["body"] = msg.body();
-      records.push_back(std::move(rec));
+  if (q->options().durable) {
+    JournalWriter* writer = journal_writer_for(shard, queue_name);
+    if (writer != nullptr) {
+      std::vector<json::Value> records;
+      records.reserve(msgs.size());
+      for (const Message& msg : msgs) {
+        json::Value rec;
+        rec["op"] = "pub";
+        rec["q"] = queue_name;
+        rec["seq"] = msg.seq;
+        rec["headers"] = msg.headers;
+        rec["body"] = msg.body();
+        records.push_back(std::move(rec));
+      }
+      journal_append_batch(writer, records);
     }
-    journal_append_batch(shard, records);
   }
   const std::size_t n = msgs.size();
   if (q->publish_batch(std::move(msgs)) < n)
@@ -295,12 +379,15 @@ bool Broker::ack(const std::string& queue_name, std::uint64_t delivery_tag) {
   auto q = queue_or_throw(queue_name, shard);
   const auto seq = q->ack(delivery_tag);
   if (!seq) return false;
-  if (q->options().durable && shards_[shard]->journal != nullptr) {
-    json::Value rec;
-    rec["op"] = "ack";
-    rec["q"] = queue_name;
-    rec["seq"] = *seq;
-    journal_append(shard, rec);
+  if (q->options().durable) {
+    JournalWriter* writer = journal_writer_for(shard, queue_name);
+    if (writer != nullptr) {
+      json::Value rec;
+      rec["op"] = "ack";
+      rec["q"] = queue_name;
+      rec["seq"] = *seq;
+      journal_append(writer, rec);
+    }
   }
   if (m_.ack_us != nullptr) {
     m_.acked->add(1);
@@ -316,18 +403,20 @@ std::size_t Broker::ack_batch(const std::string& queue_name,
   const std::size_t shard = shard_of(queue_name);
   auto q = queue_or_throw(queue_name, shard);
   const std::vector<std::uint64_t> seqs = q->ack_batch(delivery_tags);
-  if (!seqs.empty() && q->options().durable &&
-      shards_[shard]->journal != nullptr) {
-    std::vector<json::Value> records;
-    records.reserve(seqs.size());
-    for (const std::uint64_t seq : seqs) {
-      json::Value rec;
-      rec["op"] = "ack";
-      rec["q"] = queue_name;
-      rec["seq"] = seq;
-      records.push_back(std::move(rec));
+  if (!seqs.empty() && q->options().durable) {
+    JournalWriter* writer = journal_writer_for(shard, queue_name);
+    if (writer != nullptr) {
+      std::vector<json::Value> records;
+      records.reserve(seqs.size());
+      for (const std::uint64_t seq : seqs) {
+        json::Value rec;
+        rec["op"] = "ack";
+        rec["q"] = queue_name;
+        rec["seq"] = seq;
+        records.push_back(std::move(rec));
+      }
+      journal_append_batch(writer, records);
     }
-    journal_append_batch(shard, records);
   }
   if (m_.ack_us != nullptr && !seqs.empty()) {
     m_.acked->add(seqs.size());
@@ -342,13 +431,16 @@ bool Broker::nack(const std::string& queue_name, std::uint64_t delivery_tag,
   auto q = queue_or_throw(queue_name, shard);
   const auto seq = q->nack(delivery_tag, requeue);
   if (!seq) return false;
-  if (!requeue && q->options().durable && shards_[shard]->journal != nullptr) {
-    // A dropped message is final, like an ack, for recovery purposes.
-    json::Value rec;
-    rec["op"] = "ack";
-    rec["q"] = queue_name;
-    rec["seq"] = *seq;
-    journal_append(shard, rec);
+  if (!requeue && q->options().durable) {
+    JournalWriter* writer = journal_writer_for(shard, queue_name);
+    if (writer != nullptr) {
+      // A dropped message is final, like an ack, for recovery purposes.
+      json::Value rec;
+      rec["op"] = "ack";
+      rec["q"] = queue_name;
+      rec["seq"] = *seq;
+      journal_append(writer, rec);
+    }
   }
   if (requeue && m_.requeued != nullptr) m_.requeued->add(1);
   return true;
@@ -448,6 +540,18 @@ void Broker::close() {
       if (first_error.empty()) first_error = e.what();
     }
   }
+  const std::shared_ptr<const PartitionMap> parts =
+      partitions_.load(std::memory_order_acquire);
+  for (const auto& [tenant, part] : *parts) {
+    (void)tenant;
+    for (auto& writer : part->writers) {
+      try {
+        writer->close();
+      } catch (const MqError& e) {
+        if (first_error.empty()) first_error = e.what();
+      }
+    }
+  }
   if (!first_error.empty()) throw MqError(first_error);
 }
 
@@ -456,6 +560,15 @@ std::string Broker::health() const {
     if (shard->journal == nullptr) continue;
     const std::string err = shard->journal->error();
     if (!err.empty()) return err;
+  }
+  const std::shared_ptr<const PartitionMap> parts =
+      partitions_.load(std::memory_order_acquire);
+  for (const auto& [tenant, part] : *parts) {
+    (void)tenant;
+    for (const auto& writer : part->writers) {
+      const std::string err = writer->error();
+      if (!err.empty()) return err;
+    }
   }
   return "";
 }
@@ -499,13 +612,40 @@ std::vector<QueueDepth> Broker::depth_snapshot() const {
   return out;
 }
 
-void Broker::journal_append(std::size_t shard, const json::Value& record) {
-  // JournalWriter::append throws MqError on short writes / flush failures,
-  // so a failing disk surfaces to the publisher instead of being dropped.
-  shards_[shard]->journal->append(record.dump());
+std::vector<QueueDepth> Broker::depth_snapshot(
+    const std::string& prefix) const {
+  if (prefix.empty()) return depth_snapshot();
+  std::vector<std::shared_ptr<Queue>> queues;
+  for (const auto& shard : shards_) {
+    const std::shared_ptr<const QueueMap> map =
+        shard->snapshot.load(std::memory_order_acquire);
+    // Each shard map is name-ordered: jump to the first candidate and stop
+    // at the first non-match, so only the matching range is walked.
+    for (auto it = map->lower_bound(prefix);
+         it != map->end() &&
+         it->first.compare(0, prefix.size(), prefix) == 0;
+         ++it) {
+      queues.push_back(it->second);
+    }
+  }
+  std::vector<QueueDepth> out;
+  out.reserve(queues.size());
+  for (const auto& q : queues) out.push_back(q->depth());
+  std::sort(out.begin(), out.end(),
+            [](const QueueDepth& a, const QueueDepth& b) {
+              return a.queue < b.queue;
+            });
+  return out;
 }
 
-void Broker::journal_append_batch(std::size_t shard,
+void Broker::journal_append(JournalWriter* writer,
+                            const json::Value& record) {
+  // JournalWriter::append throws MqError on short writes / flush failures,
+  // so a failing disk surfaces to the publisher instead of being dropped.
+  writer->append(record.dump());
+}
+
+void Broker::journal_append_batch(JournalWriter* writer,
                                   const std::vector<json::Value>& records) {
   // The records land in one commit segment; the group-commit flusher pays
   // one fwrite + one fflush for the whole batch (or more, merged with
@@ -516,54 +656,87 @@ void Broker::journal_append_batch(std::size_t shard,
     buffer += '\n';
   }
   if (!buffer.empty()) buffer.pop_back();  // append() adds the newline
-  shards_[shard]->journal->append(buffer, records.size());
+  writer->append(buffer, records.size());
 }
 
 std::size_t Broker::recover(const std::string& path) {
   // The journal is a file *set*: `path` (shard 0) plus any "<path>.K"
-  // siblings a multi-shard writer left behind. A queue's pub and its ack
-  // can live in different files when the shard count changed between
-  // restarts, so replay is two-phase: gather every pub and every ack
-  // across all files first, subtract, then restore.
+  // siblings a multi-shard writer left behind, plus — layout-aware — any
+  // tenant partition "<dirname>/<tenant>/<basename>[.K]" a multi-tenant
+  // daemon wrote. A queue's pub and its ack can live in different files
+  // when the shard count changed between restarts, so replay is
+  // two-phase: gather every pub and every ack across all files first,
+  // subtract, then restore.
   std::map<std::string, std::map<std::uint64_t, Message>> pending;
   std::vector<std::pair<std::string, std::uint64_t>> acked;
-  bool first_opened = false;
-  for (std::size_t k = 0;; ++k) {
-    const std::string file = k == 0 ? path : path + "." + std::to_string(k);
-    std::ifstream in(file);
-    if (!in) {
-      if (k == 0) throw MqError("broker: cannot read journal " + path);
-      break;  // contiguous numbering: first missing sibling ends the set
+  bool any_opened = false;
+  const auto replay_set = [&](const std::string& base) {
+    for (std::size_t k = 0;; ++k) {
+      const std::string file =
+          k == 0 ? base : base + "." + std::to_string(k);
+      std::ifstream in(file);
+      if (!in) break;  // contiguous numbering: first missing ends the set
+      any_opened = true;
+      std::string line;
+      while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        json::Value rec;
+        try {
+          rec = json::parse(line);
+        } catch (const json::ParseError&) {
+          // A torn final line (crash mid-write) is expected; stop reading
+          // this shard file — siblings tore (or not) independently.
+          ENTK_WARN("broker") << "journal: skipping torn record in " << file;
+          break;
+        }
+        const std::string op = rec.get_string("op", "");
+        const std::string qname = rec.get_string("q", "");
+        const auto seq = static_cast<std::uint64_t>(rec.get_int("seq", 0));
+        if (op == "pub") {
+          Message m;
+          m.seq = seq;
+          m.routing_key = qname;
+          if (rec.contains("headers")) m.headers = rec.at("headers");
+          m.set_body(rec.get_string("body", ""));
+          pending[qname].emplace(seq, std::move(m));
+        } else if (op == "ack") {
+          acked.emplace_back(qname, seq);
+        }
+      }
     }
-    first_opened = true;
-    std::string line;
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      json::Value rec;
-      try {
-        rec = json::parse(line);
-      } catch (const json::ParseError&) {
-        // A torn final line (crash mid-write) is expected; stop reading
-        // this shard file — siblings tore (or not) independently.
-        ENTK_WARN("broker") << "journal: skipping torn record in " << file;
-        break;
+  };
+  replay_set(path);
+  // Tenant partitions: subdirectories of dirname(path) holding a journal
+  // with the same basename. Queue names inside are already
+  // tenant-qualified, so replaying them into the shared two-phase pass
+  // restores each tenant's backlog under its own namespace.
+  {
+    namespace fs = std::filesystem;
+    const fs::path base(path);
+    const fs::path dir =
+        base.has_parent_path() ? base.parent_path() : fs::path(".");
+    std::error_code ec;
+    std::vector<fs::path> partition_files;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      std::error_code type_ec;
+      if (!it->is_directory(type_ec) || type_ec) continue;
+      const fs::path candidate = it->path() / base.filename();
+      std::error_code exists_ec;
+      if (fs::exists(candidate, exists_ec) && !exists_ec) {
+        partition_files.push_back(candidate);
       }
-      const std::string op = rec.get_string("op", "");
-      const std::string qname = rec.get_string("q", "");
-      const auto seq = static_cast<std::uint64_t>(rec.get_int("seq", 0));
-      if (op == "pub") {
-        Message m;
-        m.seq = seq;
-        m.routing_key = qname;
-        if (rec.contains("headers")) m.headers = rec.at("headers");
-        m.set_body(rec.get_string("body", ""));
-        pending[qname].emplace(seq, std::move(m));
-      } else if (op == "ack") {
-        acked.emplace_back(qname, seq);
-      }
+    }
+    // Directory iteration order is unspecified; sort so recovery is
+    // deterministic across filesystems.
+    std::sort(partition_files.begin(), partition_files.end());
+    for (const fs::path& file : partition_files) {
+      replay_set(file.string());
     }
   }
-  (void)first_opened;
+  if (!any_opened) {
+    throw MqError("broker: cannot read journal " + path);
+  }
   for (const auto& [qname, seq] : acked) {
     auto it = pending.find(qname);
     if (it != pending.end()) it->second.erase(seq);

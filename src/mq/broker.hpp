@@ -163,11 +163,23 @@ class Broker : public BrokerHandle {
   /// sorted by queue name — identical at every shard count.
   std::vector<QueueDepth> depth_snapshot() const override;
 
+  /// Prefix-filtered backlog snapshot: only queues whose name starts with
+  /// `prefix`, sorted by name. Each shard map is ordered, so this walks
+  /// just the matching range per shard (lower_bound) instead of scanning
+  /// every queue — per-tenant depth gauges on a daemon hosting many
+  /// tenants stay O(queues-of-that-tenant). An empty prefix matches all.
+  std::vector<QueueDepth> depth_snapshot(const std::string& prefix) const;
+
   /// Rebuild broker state from the journal set written by a previous
   /// (durable) broker with the same name: `journal_path` names the shard-0
   /// file; sibling shard files ("<path>.1", "<path>.2", ...) are replayed
   /// too when present, so recovery works across restarts that changed the
-  /// shard count. Every published-but-unacked message is restored to its
+  /// shard count. The replay is also layout-aware for tenant partitions:
+  /// any subdirectory of dirname(journal_path) holding a file with the
+  /// same basename is a per-tenant partition ("<dir>/<tenant>/<name>.
+  /// journal[.K]") and is replayed into the same two-phase pass — queue
+  /// names inside are already tenant-qualified, so isolation survives the
+  /// restart. Every published-but-unacked message is restored to its
   /// queue, preserving per-queue seq order. Queues are re-declared as
   /// durable. Returns the number of restored messages.
   std::size_t recover(const std::string& journal_path);
@@ -183,6 +195,14 @@ class Broker : public BrokerHandle {
   /// durability barrier (JournalWriter::flush) or crash injection.
   JournalWriter* journal_writer(std::size_t shard = 0);
 
+  /// Path of the journal shard `shard` of tenant partition `tenant` writes
+  /// ("<dir>/<tenant>/<name>.journal[.K]"; "" when journaling is off).
+  /// Journals of tenant-qualified durable queues land here instead of the
+  /// default files, so one tenant's churn never rewrites another's
+  /// partition and an operator can archive/drop a tenant by directory.
+  std::string partition_journal_path(const std::string& tenant,
+                                     std::size_t shard = 0) const;
+
  private:
   using QueueMap = std::map<std::string, std::shared_ptr<Queue>>;
 
@@ -196,20 +216,42 @@ class Broker : public BrokerHandle {
     obs::Counter* published = nullptr;  // per-shard balance counter
   };
 
+  /// One tenant's journal partition: a per-shard writer set rooted at
+  /// "<dir>/<tenant>/". Owned via shared_ptr inside a copy-on-write map so
+  /// the publish hot path resolves its writer with one atomic load.
+  struct Partition {
+    std::vector<std::unique_ptr<JournalWriter>> writers;  // one per shard
+  };
+  using PartitionMap = std::map<std::string, std::shared_ptr<Partition>>;
+
   /// Lock-free hot-path lookup: one atomic snapshot load + map find.
   std::shared_ptr<Queue> find_queue(const std::string& queue,
                                     std::size_t shard) const;
   std::shared_ptr<Queue> queue_or_throw(const std::string& queue,
                                         std::size_t shard) const;
-  void journal_append(std::size_t shard, const json::Value& record);
-  void journal_append_batch(std::size_t shard,
-                            const std::vector<json::Value>& records);
+  /// Journal writer for `queue` on `shard`: the shard's default writer for
+  /// unqualified names, the tenant partition's writer otherwise (nullptr
+  /// when journaling is off or the partition was never created).
+  JournalWriter* journal_writer_for(std::size_t shard,
+                                    const std::string& queue) const;
+  /// Create (idempotently) the journal partition of `tenant`, including
+  /// its directory. No-op when journaling is off.
+  void ensure_partition(const std::string& tenant);
+  static void journal_append(JournalWriter* writer, const json::Value& record);
+  static void journal_append_batch(JournalWriter* writer,
+                                   const std::vector<json::Value>& records);
 
   const std::string name_;
   const std::string journal_dir_;
   const JournalConfig journal_config_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Tenant journal partitions: copy-on-write like the queue maps (creates
+  // are rare — once per tenant — and writer lookup sits on the publish hot
+  // path). Guarded by partitions_mutex_ for writers only.
+  std::mutex partitions_mutex_;
+  std::atomic<std::shared_ptr<const PartitionMap>> partitions_;
 
   mutable std::shared_mutex exchange_mutex_;  // guards exchanges_
   std::map<std::string, std::shared_ptr<Exchange>> exchanges_;
@@ -218,6 +260,7 @@ class Broker : public BrokerHandle {
 
   // Pre-resolved metric handles; all null when metrics are off.
   obs::MetricsPtr metrics_;
+  obs::Histogram* journal_batch_size_ = nullptr;  // shared by all writers
   struct {
     obs::Counter* published = nullptr;
     obs::Counter* delivered = nullptr;

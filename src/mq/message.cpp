@@ -66,6 +66,36 @@ const std::shared_ptr<const json::Value>& Message::payload() const {
   return payload_;
 }
 
+namespace {
+
+// Structural size estimate of a json value: string/number/punctuation
+// budgets roughly matching the dumped form, without rendering anything.
+std::size_t approx_json_size(const json::Value& v) {
+  if (v.is_string()) return v.as_string().size() + 2;
+  if (v.is_array()) {
+    std::size_t n = 2;
+    for (const json::Value& e : v.as_array()) n += approx_json_size(e) + 1;
+    return n;
+  }
+  if (v.is_object()) {
+    std::size_t n = 2;
+    for (const auto& [key, val] : v.as_object()) {
+      n += key.size() + 4 + approx_json_size(val);
+    }
+    return n;
+  }
+  return 8;  // null / bool / number
+}
+
+}  // namespace
+
+std::size_t Message::approx_size() const {
+  if (body_ != nullptr) return body_->size();
+  if (tlv_ != nullptr) return tlv_->size();
+  if (payload_ != nullptr) return approx_json_size(*payload_);
+  return 0;
+}
+
 Message Message::json_body(std::string routing_key, json::Value payload,
                            json::Value headers) {
   Message m;

@@ -140,6 +140,12 @@ class Message {
   /// — it shares instead of copying. Throws json::ParseError like payload().
   json::Value body_json() const { return *payload(); }
 
+  /// Approximate payload size in bytes, for quota accounting. O(1) when a
+  /// byte representation exists (rendered body or TLV — always the case
+  /// for wire-delivered messages); otherwise a cheap structural walk of
+  /// the json payload that never serializes. Zero for empty messages.
+  std::size_t approx_size() const;
+
  private:
   // Lazily materialized, mutually-memoizing representations (see header
   // comment for the thread-safety contract).

@@ -1,5 +1,6 @@
 #include "src/mq/queue.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 namespace entk::mq {
@@ -15,6 +16,7 @@ bool Queue::publish(Message msg) {
     });
   }
   if (closed_) return false;
+  bytes_ready_ += msg.approx_size();
   ready_.push_back(std::move(msg));
   ++stats_.published;
   stats_.ready = ready_.size();
@@ -33,6 +35,7 @@ std::size_t Queue::publish_batch(std::vector<Message> msgs) {
       });
     }
     if (closed_) break;
+    bytes_ready_ += msg.approx_size();
     ready_.push_back(std::move(msg));
     ++published;
   }
@@ -49,6 +52,9 @@ std::size_t Queue::publish_batch(std::vector<Message> msgs) {
 Delivery Queue::pop_locked() {
   Delivery d;
   d.delivery_tag = next_tag_++;
+  const std::size_t sz = ready_.front().approx_size();
+  bytes_ready_ -= std::min(bytes_ready_, sz);
+  bytes_unacked_ += sz;
   d.message = std::move(ready_.front());
   ready_.pop_front();
   // Retaining the message for ack/requeue accounting copies only the small
@@ -117,6 +123,7 @@ std::optional<std::uint64_t> Queue::ack(std::uint64_t delivery_tag) {
   const auto it = unacked_.find(delivery_tag);
   if (it == unacked_.end()) return std::nullopt;
   const std::uint64_t seq = it->second.seq;
+  bytes_unacked_ -= std::min(bytes_unacked_, it->second.approx_size());
   unacked_.erase(it);
   ++stats_.acked;
   stats_.unacked = unacked_.size();
@@ -132,6 +139,7 @@ std::vector<std::uint64_t> Queue::ack_batch(
     const auto it = unacked_.find(tag);
     if (it == unacked_.end()) continue;  // stale/double ack: skip
     seqs.push_back(it->second.seq);
+    bytes_unacked_ -= std::min(bytes_unacked_, it->second.approx_size());
     unacked_.erase(it);
   }
   stats_.acked += seqs.size();
@@ -145,9 +153,12 @@ std::optional<std::uint64_t> Queue::nack(std::uint64_t delivery_tag,
   const auto it = unacked_.find(delivery_tag);
   if (it == unacked_.end()) return std::nullopt;
   const std::uint64_t seq = it->second.seq;
+  const std::size_t sz = it->second.approx_size();
+  bytes_unacked_ -= std::min(bytes_unacked_, sz);
   if (requeue) {
     // Redelivery is exempt from the capacity bound (see header): the
     // message re-enters the head even when ready_ is at/above capacity.
+    bytes_ready_ += sz;
     ready_.push_front(std::move(it->second));
     ++stats_.requeued;
     cv_ready_.notify_one();
@@ -168,6 +179,8 @@ std::size_t Queue::requeue_unacked() {
     ready_.push_front(std::move(it->second));
   }
   unacked_.clear();
+  bytes_ready_ += bytes_unacked_;
+  bytes_unacked_ = 0;
   stats_.requeued += n;
   stats_.ready = ready_.size();
   stats_.unacked = 0;
@@ -179,6 +192,7 @@ std::size_t Queue::purge() {
   std::lock_guard<std::mutex> lock(mutex_);
   const std::size_t n = ready_.size();
   ready_.clear();
+  bytes_ready_ = 0;
   stats_.ready = 0;
   cv_capacity_.notify_all();
   return n;
@@ -208,7 +222,8 @@ std::size_t Queue::ready_count() const {
 
 QueueDepth Queue::depth() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return QueueDepth{name_, ready_.size(), unacked_.size()};
+  return QueueDepth{name_, ready_.size(), unacked_.size(),
+                    bytes_ready_ + bytes_unacked_};
 }
 
 }  // namespace entk::mq

@@ -39,11 +39,13 @@ struct QueueStats {
   std::size_t unacked = 0;     ///< delivered but not yet acked
 };
 
-/// Point-in-time backlog of one queue (profiler depth gauges).
+/// Point-in-time backlog of one queue (profiler depth gauges, tenant
+/// quota accounting).
 struct QueueDepth {
   std::string queue;
   std::size_t ready = 0;
   std::size_t unacked = 0;
+  std::size_t bytes = 0;  ///< approx payload bytes across ready + unacked
 };
 
 /// Thread-safe FIFO queue. All waits honor a timeout so components can
@@ -128,6 +130,12 @@ class Queue {
   std::condition_variable cv_capacity_;  // publishers wait here
   std::deque<Message> ready_;
   std::map<std::uint64_t, Message> unacked_;
+  // Approximate payload bytes held (tenant byte quotas). Sizes are
+  // recomputed via Message::approx_size() on each transition — safe
+  // because queue-held messages are never touched between transitions, so
+  // their lazy representations (and thus sizes) cannot change.
+  std::size_t bytes_ready_ = 0;
+  std::size_t bytes_unacked_ = 0;
   std::uint64_t next_tag_ = 1;
   bool closed_ = false;
   QueueStats stats_;

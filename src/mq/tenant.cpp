@@ -1,0 +1,201 @@
+#include "src/mq/tenant.hpp"
+
+#include <algorithm>
+
+namespace entk::mq {
+
+namespace {
+
+constexpr std::size_t kMaxTenantIdLen = 64;
+constexpr const char* kPrefixHead = "t.";
+
+bool valid_tenant_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+}
+
+}  // namespace
+
+bool valid_tenant_id(const std::string& id) {
+  if (id.empty()) return true;  // the default tenant
+  if (id.size() > kMaxTenantIdLen) return false;
+  return std::all_of(id.begin(), id.end(), valid_tenant_char);
+}
+
+std::string tenant_queue_prefix(const std::string& tenant) {
+  if (tenant.empty()) return "";
+  return std::string(kPrefixHead) + tenant + "/";
+}
+
+std::string qualify_queue(const std::string& tenant,
+                          const std::string& queue) {
+  if (tenant.empty()) return queue;
+  return tenant_queue_prefix(tenant) + queue;
+}
+
+std::string tenant_of_queue(const std::string& physical_queue) {
+  if (physical_queue.compare(0, 2, kPrefixHead) != 0) return "";
+  const std::size_t slash = physical_queue.find('/', 2);
+  if (slash == std::string::npos) return "";
+  return physical_queue.substr(2, slash - 2);
+}
+
+std::string unqualify_queue(const std::string& physical_queue) {
+  if (physical_queue.compare(0, 2, kPrefixHead) != 0) return physical_queue;
+  const std::size_t slash = physical_queue.find('/', 2);
+  if (slash == std::string::npos) return physical_queue;
+  return physical_queue.substr(slash + 1);
+}
+
+// --- Tenant ----------------------------------------------------------------
+
+Tenant::Tenant(std::string id, TenantQuota quota)
+    : id_(std::move(id)),
+      quota_(quota),
+      prefix_(tenant_queue_prefix(id_)),
+      last_refill_(std::chrono::steady_clock::now()) {
+  // Start with a full bucket so a tenant's first burst (up to `burst`
+  // messages) is admitted immediately; sustained load is what the rate
+  // bounds.
+  if (quota_.publish_rate > 0.0) {
+    tokens_ = quota_.burst > 0.0 ? quota_.burst : quota_.publish_rate;
+  }
+}
+
+bool Tenant::try_acquire_rate(std::size_t n, double* retry_after_s) {
+  if (quota_.publish_rate <= 0.0) return true;
+  const double cap =
+      quota_.burst > 0.0 ? quota_.burst : quota_.publish_rate;
+  std::lock_guard<std::mutex> lock(bucket_mutex_);
+  const auto now = std::chrono::steady_clock::now();
+  const double elapsed =
+      std::chrono::duration<double>(now - last_refill_).count();
+  last_refill_ = now;
+  tokens_ = std::min(cap, tokens_ + elapsed * quota_.publish_rate);
+  const double need = static_cast<double>(n);
+  // A batch larger than the bucket can ever hold (need > cap) is admitted
+  // once the bucket is full, driving the balance negative — token debt,
+  // paid off by refill before anything else is admitted. Without the
+  // overdraw such a batch could never be admitted at all; with it the
+  // sustained rate still holds exactly.
+  const double attainable = std::min(need, cap);
+  if (tokens_ >= attainable) {
+    tokens_ -= need;
+    return true;
+  }
+  if (retry_after_s != nullptr) {
+    *retry_after_s = (attainable - tokens_) / quota_.publish_rate;
+  }
+  return false;
+}
+
+void Tenant::observe_backlog(std::size_t depth, std::size_t bytes) {
+  depth_.store(depth, std::memory_order_relaxed);
+  bytes_.store(bytes, std::memory_order_relaxed);
+  if (depth_metric_ != nullptr) {
+    depth_metric_->set(static_cast<double>(depth));
+  }
+  if (bytes_metric_ != nullptr) {
+    bytes_metric_->set(static_cast<double>(bytes));
+  }
+}
+
+void Tenant::observe_publish_rate(double rate) {
+  rate_.store(rate, std::memory_order_relaxed);
+  if (rate_metric_ != nullptr) rate_metric_->set(rate);
+}
+
+TenantStats Tenant::stats() const {
+  TenantStats s;
+  s.id = id_;
+  s.published = published_.load(std::memory_order_relaxed);
+  s.throttled = throttled_.load(std::memory_order_relaxed);
+  s.depth = depth_.load(std::memory_order_relaxed);
+  s.bytes = bytes_.load(std::memory_order_relaxed);
+  s.publish_rate = rate_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Tenant::set_metrics(obs::MetricsPtr metrics) {
+  metrics_ = std::move(metrics);
+  if (!metrics_) {
+    published_metric_ = nullptr;
+    throttled_metric_ = nullptr;
+    depth_metric_ = nullptr;
+    bytes_metric_ = nullptr;
+    rate_metric_ = nullptr;
+    return;
+  }
+  const std::string base = "tenant." + (id_.empty() ? "default" : id_);
+  published_metric_ = &metrics_->counter(base + ".published");
+  throttled_metric_ = &metrics_->counter(base + ".throttled");
+  depth_metric_ = &metrics_->gauge(base + ".depth");
+  bytes_metric_ = &metrics_->gauge(base + ".bytes");
+  rate_metric_ = &metrics_->gauge(base + ".publish_rate");
+}
+
+// --- TenantRegistry --------------------------------------------------------
+
+TenantRegistry::TenantRegistry(TenantRegistryConfig config)
+    : config_(config) {
+  // The default tenant always exists and is never quota-bound: its
+  // behavior is the tenancy-free broker.
+  tenants_.emplace("", std::make_shared<Tenant>("", TenantQuota{}));
+}
+
+void TenantRegistry::register_tenant(const std::string& id,
+                                     TenantQuota quota) {
+  if (!valid_tenant_id(id)) {
+    throw ValueError("invalid tenant id '" + id + "'");
+  }
+  if (id.empty()) {
+    throw ValueError("the default tenant cannot carry a quota");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(id);
+  if (it != tenants_.end()) {
+    if (it->second->published() > 0 || it->second->throttled() > 0) {
+      throw StateError("tenant '" + id +
+                       "' already active; cannot replace its quota");
+    }
+    tenants_.erase(it);
+  }
+  auto tenant = std::make_shared<Tenant>(id, quota);
+  if (metrics_) tenant->set_metrics(metrics_);
+  tenants_.emplace(id, std::move(tenant));
+}
+
+std::shared_ptr<Tenant> TenantRegistry::bind(const std::string& id) {
+  if (!valid_tenant_id(id)) return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(id);
+  if (it != tenants_.end()) return it->second;
+  if (!config_.auto_register) return nullptr;
+  auto tenant = std::make_shared<Tenant>(id, config_.default_quota);
+  if (metrics_) tenant->set_metrics(metrics_);
+  tenants_.emplace(id, tenant);
+  return tenant;
+}
+
+std::shared_ptr<Tenant> TenantRegistry::find(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<Tenant>> TenantRegistry::tenants() const {
+  std::vector<std::shared_ptr<Tenant>> out;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, tenant] : tenants_) {
+    if (!id.empty()) out.push_back(tenant);
+  }
+  return out;  // std::map iteration is already id-sorted
+}
+
+void TenantRegistry::set_metrics(obs::MetricsPtr metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_ = std::move(metrics);
+  for (auto& [id, tenant] : tenants_) tenant->set_metrics(metrics_);
+}
+
+}  // namespace entk::mq

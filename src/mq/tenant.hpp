@@ -1,0 +1,226 @@
+// Tenancy subsystem of the shared broker daemon.
+//
+// The paper positions EnTK as middleware *shared* by many ensemble
+// applications (RADICAL-Cybertools' "building block serving many
+// applications concurrently"). One entk_broker daemon therefore has to
+// host many ensembles at once without letting them collide or starve each
+// other. This header is that contract:
+//
+//   * Namespacing — every connection is bound to a tenant id (carried in
+//     the kHello handshake). Queue names a tenant-bound client uses are
+//     transparently qualified to "t.<tenant>/<queue>" on the daemon, so
+//     two ensembles both declaring "q.pending" never touch each other's
+//     messages. The default tenant ("") maps to the *unqualified* name —
+//     a tenant-less client sees exactly the PR 5–7 wire behavior.
+//
+//   * Quotas — a TenantQuota bounds one tenant's footprint: total backlog
+//     depth (ready + unacked messages across its queues), total backlog
+//     bytes, and publish rate (token bucket). Exceeding a quota turns
+//     into *per-tenant backpressure*: the server answers kErrQuota and
+//     the client retries with backoff — instead of one tenant's flood
+//     consuming global capacity until every tenant fails.
+//
+//   * Accounting — per-tenant counters (published/throttled) and gauges
+//     (depth/bytes/publish rate) registered as "tenant.<id>.*" metrics,
+//     surfaced in the daemon's periodic stats line.
+//
+// Fair scheduling across tenants (deficit round robin over the server's
+// input pass) lives in net::BrokerServer; this layer only owns identity,
+// namespacing and quota state, so mq stays independent of net.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace entk::mq {
+
+/// A publish rejected by a per-tenant quota after the client's bounded
+/// retry budget ran out. Subtype of MqError so legacy error handling still
+/// applies, but distinguishable: quota exhaustion is the *tenant's*
+/// overload, not a broker failure.
+class QuotaError : public MqError {
+ public:
+  explicit QuotaError(const std::string& what) : MqError(what) {}
+};
+
+// --- tenant id + queue namespacing ----------------------------------------
+
+/// Tenant ids are path-safe tokens: [A-Za-z0-9._-], 1..64 chars (they name
+/// journal subdirectories and metric components). "" is the default tenant
+/// and is always valid.
+bool valid_tenant_id(const std::string& id);
+
+/// Physical queue-name prefix of a tenant: "" for the default tenant,
+/// "t.<id>/" otherwise. The '/' cannot appear in a tenant id, so prefixes
+/// never alias across tenants.
+std::string tenant_queue_prefix(const std::string& tenant);
+
+/// Qualify a client-visible queue name into the tenant's namespace.
+/// Default tenant: identity (exact backward compat).
+std::string qualify_queue(const std::string& tenant, const std::string& queue);
+
+/// Tenant id owning a physical queue name ("" for unqualified names —
+/// i.e. the default tenant). Inverse of the prefix applied by
+/// qualify_queue; also the broker's journal partition key.
+std::string tenant_of_queue(const std::string& physical_queue);
+
+/// Strip the tenant prefix off a physical queue name, returning the
+/// client-visible name. Unqualified names pass through.
+std::string unqualify_queue(const std::string& physical_queue);
+
+// --- quotas ----------------------------------------------------------------
+
+/// Per-tenant resource bounds. 0 = unlimited for every field, so a
+/// default-constructed quota changes nothing.
+struct TenantQuota {
+  /// Max ready+unacked messages across all of the tenant's queues.
+  std::size_t max_queue_depth = 0;
+  /// Max ready+unacked payload bytes across all of the tenant's queues.
+  std::size_t max_bytes = 0;
+  /// Sustained publish rate (messages/second), enforced as a token bucket.
+  double publish_rate = 0.0;
+  /// Token-bucket burst capacity in messages; 0 = one second's worth of
+  /// publish_rate (so short bursts at batch granularity are admitted).
+  double burst = 0.0;
+};
+
+/// Point-in-time accounting snapshot of one tenant (daemon stats line).
+struct TenantStats {
+  std::string id;
+  std::uint64_t published = 0;  ///< messages admitted
+  std::uint64_t throttled = 0;  ///< publishes rejected by any quota
+  std::size_t depth = 0;        ///< last observed ready+unacked messages
+  std::size_t bytes = 0;        ///< last observed ready+unacked bytes
+  double publish_rate = 0.0;    ///< last computed admitted msgs/s
+};
+
+/// One tenant's live state: quota, token bucket and counters. Created and
+/// owned by the TenantRegistry; the server's poll thread is the only
+/// writer of the bucket, but counters/gauges are atomics so the daemon's
+/// stats thread reads them without locks.
+class Tenant {
+ public:
+  Tenant(std::string id, TenantQuota quota);
+
+  const std::string& id() const { return id_; }
+  const TenantQuota& quota() const { return quota_; }
+  const std::string& queue_prefix() const { return prefix_; }
+
+  /// Take `n` messages' worth of publish-rate tokens. Returns true when
+  /// admitted; false when the bucket lacks tokens, with *retry_after_s set
+  /// to the time until admission becomes possible. A batch larger than
+  /// the bucket's capacity is admitted (once the bucket is full) by
+  /// driving the balance negative — token debt repaid by refill — so
+  /// oversized batches throttle the tenant afterwards instead of being
+  /// unadmittable forever. No-op (always true) without a rate quota.
+  bool try_acquire_rate(std::size_t n, double* retry_after_s);
+
+  void count_published(std::size_t n) {
+    published_.fetch_add(n, std::memory_order_relaxed);
+    if (published_metric_ != nullptr) published_metric_->add(n);
+  }
+  void count_throttled() {
+    throttled_.fetch_add(1, std::memory_order_relaxed);
+    if (throttled_metric_ != nullptr) throttled_metric_->add();
+  }
+  /// Record the depth/bytes gauges observed by the latest accounting pass
+  /// (quota checks and the stats line share these observations).
+  void observe_backlog(std::size_t depth, std::size_t bytes);
+
+  std::uint64_t published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t throttled() const {
+    return throttled_.load(std::memory_order_relaxed);
+  }
+
+  TenantStats stats() const;
+
+  /// Resolve "tenant.<id>.*" metric handles (nullptr registry detaches).
+  void set_metrics(obs::MetricsPtr metrics);
+  /// Update the admitted-rate gauge (stats pass; msgs/s since last call).
+  void observe_publish_rate(double rate);
+
+ private:
+  const std::string id_;
+  const TenantQuota quota_;
+  const std::string prefix_;
+
+  // Token bucket; touched only under bucket_mutex_.
+  std::mutex bucket_mutex_;
+  double tokens_ = 0.0;
+  std::chrono::steady_clock::time_point last_refill_;
+
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> throttled_{0};
+  std::atomic<std::size_t> depth_{0};
+  std::atomic<std::size_t> bytes_{0};
+  std::atomic<double> rate_{0.0};
+
+  obs::Counter* published_metric_ = nullptr;
+  obs::Counter* throttled_metric_ = nullptr;
+  obs::Gauge* depth_metric_ = nullptr;
+  obs::Gauge* bytes_metric_ = nullptr;
+  obs::Gauge* rate_metric_ = nullptr;
+  obs::MetricsPtr metrics_;
+};
+
+// --- registry ---------------------------------------------------------------
+
+struct TenantRegistryConfig {
+  /// Accept hellos for tenants never seen before, registering them with
+  /// `default_quota`. Off = only pre-registered tenants may bind (a
+  /// closed deployment); unknown ids are rejected like invalid ones.
+  bool auto_register = true;
+  /// Quota applied to auto-registered tenants (default: unlimited).
+  TenantQuota default_quota;
+};
+
+/// Thread-safe tenant table of one broker daemon. The default tenant ""
+/// always exists and never has a quota (its behavior is the tenancy-free
+/// broker, verbatim).
+class TenantRegistry {
+ public:
+  explicit TenantRegistry(TenantRegistryConfig config = {});
+
+  /// Pre-register `id` with a quota (entk_broker --tenant-quota). Throws
+  /// ValueError on an invalid id; re-registering replaces the quota only
+  /// if the tenant saw no traffic yet (otherwise throws).
+  void register_tenant(const std::string& id, TenantQuota quota);
+
+  /// Resolve a hello's tenant id to its Tenant. Returns nullptr when the
+  /// id is invalid, or unknown with auto_register off — the caller (the
+  /// server) must then reject the connection rather than silently serving
+  /// it as the default tenant.
+  std::shared_ptr<Tenant> bind(const std::string& id);
+
+  /// Lookup without registering (nullptr when absent).
+  std::shared_ptr<Tenant> find(const std::string& id) const;
+
+  bool has_tenant(const std::string& id) const { return find(id) != nullptr; }
+
+  /// Every non-default tenant, sorted by id (stats line, tests).
+  std::vector<std::shared_ptr<Tenant>> tenants() const;
+
+  /// Attach "tenant.<id>.*" metrics for current and future tenants.
+  void set_metrics(obs::MetricsPtr metrics);
+
+ private:
+  const TenantRegistryConfig config_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<Tenant>> tenants_;
+  obs::MetricsPtr metrics_;
+};
+
+using TenantRegistryPtr = std::shared_ptr<TenantRegistry>;
+
+}  // namespace entk::mq

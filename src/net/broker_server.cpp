@@ -35,6 +35,12 @@ BrokerServer::BrokerServer(mq::BrokerPtr broker, BrokerServerConfig config,
     : Component("broker_server", std::move(profiler)),
       broker_(std::move(broker)),
       config_(std::move(config)) {
+  // No registry supplied: a private auto-registering one with no quotas,
+  // so a pre-tenancy deployment behaves exactly as before.
+  tenants_ = config_.tenants != nullptr
+                 ? config_.tenants
+                 : std::make_shared<mq::TenantRegistry>();
+  default_tenant_ = tenants_->bind("");
   listen_fd_ = listen_tcp(config_.bind_address, config_.port);
   set_nonblocking(listen_fd_, true);
   port_ = local_port(listen_fd_);
@@ -66,8 +72,10 @@ void BrokerServer::set_metrics(obs::MetricsPtr metrics) {
   if (net_metrics_ == nullptr) {
     frames_in_ = frames_out_ = bytes_in_ = bytes_out_ = nullptr;
     requeued_on_disconnect_ = nullptr;
+    quota_rejections_metric_ = rejected_at_capacity_metric_ = nullptr;
     connections_ = nullptr;
     op_us_ = nullptr;
+    tenants_->set_metrics(nullptr);
     return;
   }
   frames_in_ = &net_metrics_->counter("net.server.frames_in");
@@ -76,8 +84,14 @@ void BrokerServer::set_metrics(obs::MetricsPtr metrics) {
   bytes_out_ = &net_metrics_->counter("net.server.bytes_out");
   requeued_on_disconnect_ =
       &net_metrics_->counter("net.server.requeued_on_disconnect");
+  quota_rejections_metric_ =
+      &net_metrics_->counter("net.server.quota_rejections");
+  rejected_at_capacity_metric_ =
+      &net_metrics_->counter("net.server.rejected_at_capacity");
   connections_ = &net_metrics_->gauge("net.server.connections");
   op_us_ = &net_metrics_->histogram("net.server.op_us");
+  // "tenant.<id>.*" counters/gauges for every current and future tenant.
+  tenants_->set_metrics(net_metrics_);
 }
 
 void BrokerServer::on_start() {
@@ -141,28 +155,31 @@ void BrokerServer::poll_loop() {
       }
     }
 
+    // Input pass in two phases: read every ready socket first, then
+    // process the buffered frames — fair-scheduled across tenants. With
+    // per-connection processing a flooding client's whole burst executed
+    // before the next fd was even read; splitting the phases gives the
+    // deficit-round-robin scheduler all tenants' frames to arbitrate.
     std::vector<int> dead;
     for (std::size_t i = 2; i < pfds.size(); ++i) {
       auto it = conns_.find(pfds[i].fd);
       if (it == conns_.end()) continue;
       Conn& conn = it->second;
-      bool alive = true;
-      if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) alive = false;
-      if (alive && (pfds[i].revents & POLLIN)) {
-        alive = read_input(conn);
-        if (alive) {
-          try {
-            process_frames(conn);
-          } catch (const MqError&) {
-            // Framing violation: the stream is unrecoverable — drop the
-            // client, requeue what it held.
-            alive = false;
-          }
-        }
+      if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        dead.push_back(pfds[i].fd);
+        continue;
       }
-      if (alive && conn.wq_bytes > 0) alive = flush_writes(conn);
+      if ((pfds[i].revents & POLLIN) && !read_input(conn)) {
+        dead.push_back(pfds[i].fd);
+      }
+    }
+    process_frames_fair(dead);
+    for (auto& [fd, conn] : conns_) {
+      if (std::find(dead.begin(), dead.end(), fd) != dead.end()) continue;
+      bool alive = true;
+      if (conn.wq_bytes > 0) alive = flush_writes(conn);
       if (alive && conn.closing && conn.wq_bytes == 0) alive = false;
-      if (!alive) dead.push_back(pfds[i].fd);
+      if (!alive) dead.push_back(fd);
     }
     for (int fd : dead) drop_conn(fd, /*requeue_unacked=*/true);
 
@@ -180,11 +197,33 @@ void BrokerServer::accept_clients() {
   while (true) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) return;  // EAGAIN or transient error: next poll pass
+    if (config_.max_connections > 0 &&
+        conns_.size() >= config_.max_connections) {
+      // Refuse cleanly: a best-effort error frame tells the client *why*
+      // before the close, instead of letting the fd table grow without
+      // bound until accept() itself starts failing with EMFILE.
+      Frame resp;
+      resp.op = Op::kError;
+      resp.body = "net: server at connection capacity (" +
+                  std::to_string(config_.max_connections) + ")";
+      const std::string encoded = encode_frame(resp);
+      (void)::send(fd, encoded.data(), encoded.size(), MSG_NOSIGNAL);
+      close_fd(fd);
+      rejected_at_capacity_.fetch_add(1, std::memory_order_relaxed);
+      if (rejected_at_capacity_metric_ != nullptr) {
+        rejected_at_capacity_metric_->add();
+      }
+      ENTK_WARN("broker_server")
+          << "refused connection: at capacity (" << config_.max_connections
+          << ")";
+      continue;
+    }
     set_nonblocking(fd, true);
     set_nodelay(fd);
     Conn conn;
     conn.fd = fd;
     conn.last_activity = Clock::now();
+    conn.tenant = default_tenant_;
     conns_.emplace(fd, std::move(conn));
     conn_count_.store(conns_.size(), std::memory_order_relaxed);
     if (connections_ != nullptr) {
@@ -227,12 +266,23 @@ bool BrokerServer::read_input(Conn& conn) {
   }
 }
 
+bool BrokerServer::process_one_frame(Conn& conn, std::size_t* cost) {
+  const std::size_t before = conn.rbuf_off;
+  std::optional<Frame> frame = decode_frame(conn.rbuf, conn.rbuf_off);
+  if (!frame.has_value()) return false;
+  if (frames_in_ != nullptr) frames_in_->add();
+  if (cost != nullptr) *cost = conn.rbuf_off - before;
+  // A closing connection's remaining frames are consumed but not served:
+  // after a refused hello (invalid/unknown tenant), requests the client
+  // pipelined behind the hello must NOT execute in the default tenant —
+  // that would be exactly the silent misaddressing the refusal prevents.
+  // (After kClose this is equally right: the client said goodbye.)
+  if (!conn.closing) handle_frame(conn, std::move(*frame));
+  return true;
+}
+
 void BrokerServer::process_frames(Conn& conn) {
-  while (true) {
-    std::optional<Frame> frame = decode_frame(conn.rbuf, conn.rbuf_off);
-    if (!frame.has_value()) break;
-    if (frames_in_ != nullptr) frames_in_->add();
-    handle_frame(conn, std::move(*frame));
+  while (process_one_frame(conn, nullptr)) {
   }
   if (conn.rbuf_off > 0) {
     conn.rbuf.erase(0, conn.rbuf_off);
@@ -240,8 +290,109 @@ void BrokerServer::process_frames(Conn& conn) {
   }
 }
 
+void BrokerServer::process_frames_fair(std::vector<int>& dead) {
+  // Group connections holding buffered input by bound tenant.
+  struct Group {
+    std::vector<Conn*> conns;
+    std::size_t next = 0;       ///< round-robin cursor within the tenant
+    std::int64_t deficit = 0;   ///< DRR byte credit
+  };
+  std::map<std::string, Group> groups;
+  for (auto& [fd, conn] : conns_) {
+    if (conn.rbuf.size() <= conn.rbuf_off) continue;
+    if (std::find(dead.begin(), dead.end(), fd) != dead.end()) continue;
+    groups[conn.tenant != nullptr ? conn.tenant->id() : std::string()]
+        .conns.push_back(&conn);
+  }
+  const auto compact = [](Conn& conn) {
+    if (conn.rbuf_off > 0) {
+      conn.rbuf.erase(0, conn.rbuf_off);
+      conn.rbuf_off = 0;
+    }
+  };
+  if (groups.size() <= 1) {
+    // Zero or one tenant with input: plain FIFO drain, no scheduling
+    // overhead — the single-ensemble hot path is untouched.
+    for (auto& [id, group] : groups) {
+      (void)id;
+      for (Conn* conn : group.conns) {
+        try {
+          while (process_one_frame(*conn, nullptr)) {
+          }
+        } catch (const MqError&) {
+          // Framing violation: the stream is unrecoverable — drop the
+          // client, requeue what it held.
+          dead.push_back(conn->fd);
+        }
+        compact(*conn);
+      }
+    }
+    return;
+  }
+  // Deficit round robin across tenants, costed in wire bytes: each round
+  // every tenant earns one quantum of credit and spends it on its own
+  // frames (round-robin over its connections); a tenant whose burst
+  // outruns its credit waits for the next round while the others drain.
+  // One oversized frame may overdraw the credit (classic DRR) — the debt
+  // carries into later rounds, so amortized fairness holds.
+  const auto quantum =
+      static_cast<std::int64_t>(std::max<std::size_t>(
+          config_.fair_quantum_bytes, 1));
+  std::vector<Conn*> violators;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& [id, group] : groups) {
+      (void)id;
+      group.deficit += quantum;
+      bool any = true;
+      while (group.deficit > 0 && any) {
+        any = false;
+        for (std::size_t i = 0;
+             i < group.conns.size() && group.deficit > 0; ++i) {
+          Conn* conn = group.conns[group.next % group.conns.size()];
+          ++group.next;
+          if (std::find(violators.begin(), violators.end(), conn) !=
+              violators.end()) {
+            continue;
+          }
+          std::size_t cost = 0;
+          bool processed = false;
+          try {
+            processed = process_one_frame(*conn, &cost);
+          } catch (const MqError&) {
+            dead.push_back(conn->fd);
+            violators.push_back(conn);
+            continue;
+          }
+          if (processed) {
+            group.deficit -= static_cast<std::int64_t>(cost);
+            any = true;
+            progress = true;
+          }
+        }
+      }
+      // An idle tenant banks no credit: fairness bounds bursts, it does
+      // not reward past silence.
+      if (!any) group.deficit = 0;
+    }
+  }
+  for (auto& [id, group] : groups) {
+    (void)id;
+    for (Conn* conn : group.conns) compact(*conn);
+  }
+}
+
 void BrokerServer::handle_frame(Conn& conn, Frame&& req) {
   const auto started = Clock::now();
+  // Transparent namespacing: a tenant-bound connection's queue names are
+  // qualified into its namespace before they touch the broker, so two
+  // ensembles both using "q.pending" land on disjoint physical queues.
+  // The default tenant's prefix is empty — byte-identical legacy behavior.
+  if (conn.tenant != nullptr && !req.queue.empty() &&
+      !conn.tenant->queue_prefix().empty()) {
+    req.queue = conn.tenant->queue_prefix() + req.queue;
+  }
   Frame resp;
   resp.op = Op::kOk;
   resp.corr = req.corr;
@@ -263,18 +414,29 @@ void BrokerServer::handle_frame(Conn& conn, Frame&& req) {
         if (broker_->has_queue(req.queue)) resp.flags |= kFlagTrue;
         break;
       case Op::kPublish: {
+        if (!admit_publish(conn, req.corr, 1)) {
+          record_op_us(started);
+          return;  // admit_publish answered kErrQuota
+        }
         std::size_t off = 0;
         // kFlagBinary is per frame: the decoder never guesses the codec.
         mq::Message msg = (req.flags & kFlagBinary) != 0
                               ? decode_message_binary(req.body, off)
                               : decode_message(req.body, off);
         resp.arg = broker_->publish(req.queue, std::move(msg));
+        conn.tenant->count_published(1);
         break;
       }
       case Op::kPublishBatch: {
         std::size_t off = 0;
         const bool binary = (req.flags & kFlagBinary) != 0;
         const std::uint32_t count = get_u32(req.body, off);
+        // Admission happens before any message decodes: a throttled batch
+        // costs the server a header read, not a full deserialization.
+        if (!admit_publish(conn, req.corr, count)) {
+          record_op_us(started);
+          return;
+        }
         std::vector<mq::Message> msgs;
         msgs.reserve(count);
         for (std::uint32_t i = 0; i < count; ++i) {
@@ -282,6 +444,7 @@ void BrokerServer::handle_frame(Conn& conn, Frame&& req) {
                                 : decode_message(req.body, off));
         }
         resp.arg = broker_->publish_batch(req.queue, std::move(msgs));
+        conn.tenant->count_published(count);
         break;
       }
       case Op::kGet:
@@ -355,7 +518,26 @@ void BrokerServer::handle_frame(Conn& conn, Frame&& req) {
         break;
       }
       case Op::kDepth: {
-        const std::vector<mq::QueueDepth> depths = broker_->depth_snapshot();
+        // Each tenant sees its own namespace, with client-visible (un-
+        // qualified) names. The default tenant sees the unqualified queues
+        // only — a tenant-less client on a shared daemon is not shown
+        // other ensembles' backlogs.
+        std::vector<mq::QueueDepth> depths;
+        const std::string prefix =
+            conn.tenant != nullptr ? conn.tenant->queue_prefix()
+                                   : std::string();
+        if (prefix.empty()) {
+          for (mq::QueueDepth& d : broker_->depth_snapshot()) {
+            if (mq::tenant_of_queue(d.queue).empty()) {
+              depths.push_back(std::move(d));
+            }
+          }
+        } else {
+          depths = broker_->depth_snapshot(prefix);
+          for (mq::QueueDepth& d : depths) {
+            d.queue.erase(0, prefix.size());
+          }
+        }
         resp.op = Op::kDepthReport;
         put_u32(resp.body, static_cast<std::uint32_t>(depths.size()));
         for (const mq::QueueDepth& d : depths) {
@@ -375,6 +557,37 @@ void BrokerServer::handle_frame(Conn& conn, Frame&& req) {
         // sides speak. Takes effect for every later delivery this
         // connection sends; publishes are already self-describing.
         conn.codec = std::min<std::uint64_t>(req.arg, kCodecBinary);
+        // Tenant binding: the hello body names the tenant (empty = the
+        // default — exactly what pre-tenancy clients send). Re-hello with
+        // the same id is idempotent (reconnect paths re-send); naming a
+        // *different* id is an error and leaves the binding unchanged.
+        const std::string& tenant_id = req.body;
+        if (conn.hello_seen && conn.tenant != nullptr &&
+            tenant_id != conn.tenant->id()) {
+          resp.op = Op::kError;
+          resp.body = "net: connection already bound to tenant '" +
+                      conn.tenant->id() + "'; cannot rebind to '" +
+                      tenant_id + "'";
+          break;
+        }
+        std::shared_ptr<mq::Tenant> tenant = tenants_->bind(tenant_id);
+        if (tenant == nullptr) {
+          // Invalid id, or unknown with auto-register off. Refuse AND
+          // drop: serving this client as the default tenant would silently
+          // put a misaddressed ensemble in the wrong namespace.
+          resp.op = Op::kError;
+          resp.body = "net: unknown or invalid tenant id '" + tenant_id +
+                      "'";
+          conn.closing = true;  // error frame flushes, then the drop
+          break;
+        }
+        conn.tenant = std::move(tenant);
+        conn.hello_seen = true;
+        if (!conn.tenant->id().empty()) {
+          ENTK_INFO("broker_server")
+              << "connection fd=" << conn.fd << " bound to tenant '"
+              << conn.tenant->id() << "'";
+        }
         resp.op = Op::kHello;
         resp.arg = conn.codec;
         break;
@@ -408,6 +621,54 @@ void BrokerServer::handle_frame(Conn& conn, Frame&& req) {
   }
   respond(conn, std::move(resp));
   record_op_us(started);
+}
+
+bool BrokerServer::admit_publish(Conn& conn, std::uint64_t corr,
+                                 std::size_t n) {
+  mq::Tenant* tenant = conn.tenant.get();
+  if (tenant == nullptr) return true;
+  const mq::TenantQuota& quota = tenant->quota();
+  std::string reason;
+  double retry_after_s = 0.0;
+  // Backlog quotas first (exact, via the prefix-filtered snapshot), THEN
+  // the rate bucket — a backlog-blocked publish must not burn rate tokens
+  // it never used.
+  if (quota.max_queue_depth > 0 || quota.max_bytes > 0) {
+    std::size_t depth = 0, bytes = 0;
+    for (const mq::QueueDepth& d :
+         broker_->depth_snapshot(tenant->queue_prefix())) {
+      depth += d.ready + d.unacked;
+      bytes += d.bytes;
+    }
+    tenant->observe_backlog(depth, bytes);
+    if (quota.max_queue_depth > 0 && depth + n > quota.max_queue_depth) {
+      reason = "tenant '" + tenant->id() + "' backlog depth quota (" +
+               std::to_string(quota.max_queue_depth) + ") exceeded";
+      // No analytic hint: backlog drains at the consumers' pace. A short
+      // fixed hint keeps the client's retry cadence snappy.
+      retry_after_s = 0.02;
+    } else if (quota.max_bytes > 0 && bytes >= quota.max_bytes) {
+      reason = "tenant '" + tenant->id() + "' backlog byte quota (" +
+               std::to_string(quota.max_bytes) + ") exceeded";
+      retry_after_s = 0.02;
+    }
+  }
+  if (reason.empty() && !tenant->try_acquire_rate(n, &retry_after_s)) {
+    reason = "tenant '" + tenant->id() + "' publish rate quota (" +
+             std::to_string(quota.publish_rate) + "/s) exceeded";
+  }
+  if (reason.empty()) return true;
+  tenant->count_throttled();
+  quota_rejections_.fetch_add(1, std::memory_order_relaxed);
+  if (quota_rejections_metric_ != nullptr) quota_rejections_metric_->add();
+  Frame resp;
+  resp.op = Op::kErrQuota;
+  resp.corr = corr;
+  resp.arg = static_cast<std::uint64_t>(
+      std::max(retry_after_s, 0.0) * 1e6);  // retry-after hint, µs
+  resp.body = std::move(reason);
+  respond(conn, std::move(resp));
+  return false;
 }
 
 bool BrokerServer::try_answer_get(Conn& conn, std::uint64_t corr,

@@ -35,6 +35,7 @@
 
 #include "src/common/component.hpp"
 #include "src/mq/broker.hpp"
+#include "src/mq/tenant.hpp"
 #include "src/net/frame.hpp"
 #include "src/obs/metrics.hpp"
 
@@ -51,6 +52,20 @@ struct BrokerServerConfig {
   /// heartbeat every RemoteBrokerConfig::heartbeat_interval_s (0.25 s
   /// default), so 5 s tolerates ~20 missed beats. <= 0 disables the scan.
   double worker_ttl_s = 5.0;
+  /// Tenant table the server binds kHello tenant ids against. When null
+  /// the server creates a private auto-registering registry with no
+  /// quotas — every pre-tenancy deployment keeps its exact behavior.
+  mq::TenantRegistryPtr tenants;
+  /// Accept cap: connections past this limit are refused with a clean
+  /// kError frame instead of growing the fd table without bound.
+  /// 0 = unlimited.
+  std::size_t max_connections = 0;
+  /// Deficit-round-robin quantum of the fair input pass: bytes of request
+  /// frames one tenant may process per scheduling round while other
+  /// tenants have frames waiting. Only engaged when connections of two or
+  /// more distinct tenants hold buffered input — a single-tenant daemon
+  /// never pays the scheduling overhead.
+  std::size_t fair_quantum_bytes = 64 * 1024;
 };
 
 class BrokerServer : public Component {
@@ -82,6 +97,21 @@ class BrokerServer : public Component {
   std::uint64_t requeued_on_disconnect() const {
     return requeued_total_.load(std::memory_order_relaxed);
   }
+
+  /// Connections refused at the max_connections cap (always counted).
+  std::uint64_t rejected_at_capacity() const {
+    return rejected_at_capacity_.load(std::memory_order_relaxed);
+  }
+
+  /// Publishes rejected by a tenant quota, across all tenants (always
+  /// counted; per-tenant splits live on the TenantRegistry).
+  std::uint64_t quota_rejections() const {
+    return quota_rejections_.load(std::memory_order_relaxed);
+  }
+
+  /// The tenant table this server binds connections against (the config's,
+  /// or the private default registry when none was supplied).
+  const mq::TenantRegistryPtr& tenants() const { return tenants_; }
 
  protected:
   void on_start() override;
@@ -115,6 +145,11 @@ class BrokerServer : public Component {
     std::string worker_id;
     /// Last time any bytes arrived from this peer (heartbeats count).
     Clock::time_point last_activity;
+    /// Tenant this connection is bound to (the default tenant until a
+    /// kHello names another). Queue names in request frames are qualified
+    /// into its namespace; publishes are admitted against its quota.
+    std::shared_ptr<mq::Tenant> tenant;
+    bool hello_seen = false;  ///< a kHello bound this connection already
   };
 
   /// A long-poll get waiting for a message or its deadline.
@@ -131,9 +166,24 @@ class BrokerServer : public Component {
   void accept_clients();
   /// Read what the socket has; returns false when the peer is gone.
   bool read_input(Conn& conn);
+  /// Decode and execute one complete frame from the read buffer. Returns
+  /// false when only a partial frame is buffered; sets *cost to the wire
+  /// bytes the frame consumed (the DRR accounting unit). Throws on a
+  /// framing violation.
+  bool process_one_frame(Conn& conn, std::size_t* cost);
   /// Decode and execute every complete frame in the read buffer.
   void process_frames(Conn& conn);
+  /// Fair input pass: process buffered frames across all live connections,
+  /// deficit-round-robin by tenant when more than one tenant has input
+  /// pending, so a flooding tenant's burst cannot starve the others'
+  /// requests within a pass. Appends connections that hit framing
+  /// violations to `dead` (already-listed fds are skipped).
+  void process_frames_fair(std::vector<int>& dead);
   void handle_frame(Conn& conn, Frame&& req);
+  /// Admit `n` published messages against the connection's tenant quota.
+  /// On rejection answers kErrQuota (with a retry-after hint) and returns
+  /// false.
+  bool admit_publish(Conn& conn, std::uint64_t corr, std::size_t n);
   void respond(Conn& conn, Frame&& resp);
   /// Flush the write queue (scatter-gather, one sendmsg per pass); returns
   /// false on a dead socket.
@@ -156,6 +206,8 @@ class BrokerServer : public Component {
 
   mq::BrokerPtr broker_;
   const BrokerServerConfig config_;
+  mq::TenantRegistryPtr tenants_;
+  std::shared_ptr<mq::Tenant> default_tenant_;
 
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
@@ -169,6 +221,8 @@ class BrokerServer : public Component {
   /// Always-on requeue accounting (the obs counter below mirrors it when
   /// metrics are attached).
   std::atomic<std::uint64_t> requeued_total_{0};
+  std::atomic<std::uint64_t> rejected_at_capacity_{0};
+  std::atomic<std::uint64_t> quota_rejections_{0};
 
   // Pre-resolved "net.server.*" handles; all null when metrics are off.
   obs::MetricsPtr net_metrics_;
@@ -177,6 +231,8 @@ class BrokerServer : public Component {
   obs::Counter* bytes_in_ = nullptr;
   obs::Counter* bytes_out_ = nullptr;
   obs::Counter* requeued_on_disconnect_ = nullptr;
+  obs::Counter* quota_rejections_metric_ = nullptr;
+  obs::Counter* rejected_at_capacity_metric_ = nullptr;
   obs::Gauge* connections_ = nullptr;
   obs::Histogram* op_us_ = nullptr;
 };

@@ -58,11 +58,19 @@ enum class Op : std::uint8_t {
   kDepth = 11,
   kHeartbeat = 12, ///< server echoes with broker health in the body
   kClose = 13,     ///< client going away; server requeues its unacked
-  kHello = 14,     ///< codec negotiation: arg = highest codec the sender
-                   ///< speaks; the server echoes kHello with the negotiated
-                   ///< codec (min of both sides). A pre-hello server
-                   ///< answers kError instead — the client ignores it and
-                   ///< stays on the text codec, so old peers interoperate.
+  kHello = 14,     ///< codec + tenant negotiation: arg = highest codec the
+                   ///< sender speaks; body = tenant id (empty/absent = the
+                   ///< default tenant, i.e. tenant-less wire behavior —
+                   ///< old clients never send a body here and land there
+                   ///< automatically). The server echoes kHello with the
+                   ///< negotiated codec (min of both sides) and binds the
+                   ///< connection to the tenant; an invalid or unknown
+                   ///< (auto-register off) tenant id gets kError and the
+                   ///< connection is dropped — a misaddressed ensemble
+                   ///< must not silently run in the default namespace. A
+                   ///< pre-hello server answers kError instead — the
+                   ///< client ignores it and stays on the text codec, so
+                   ///< old peers interoperate.
   kWorkerHello = 15, ///< worker identity: body = worker id. Marks this
                      ///< connection as an execution worker, subject to the
                      ///< server's worker liveness TTL (a silent worker's
@@ -76,6 +84,11 @@ enum class Op : std::uint8_t {
   kDelivery = 66,     ///< arg = delivery tag; body = one encoded message
   kDeliveryBatch = 67,///< body = u32 count + count * (u64 tag, message)
   kDepthReport = 68,  ///< body = u32 count + count * (queue, ready, unacked)
+  kErrQuota = 69,     ///< publish rejected by a tenant quota: body = reason
+                      ///< text, arg = suggested retry-after in microseconds.
+                      ///< Unlike kError this is transient per-tenant
+                      ///< backpressure — the client retries with bounded
+                      ///< backoff instead of failing the operation.
 };
 
 inline constexpr std::uint32_t kFlagDurable = 1u << 0;  ///< kDeclare

@@ -9,7 +9,9 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
+#include "src/mq/tenant.hpp"
 #include "src/net/socket.hpp"
 
 namespace entk::net {
@@ -43,16 +45,7 @@ RemoteBroker::RemoteBroker(RemoteBrokerConfig config)
     throw NetError("net: cannot connect to " + config_.endpoint);
   }
   fd_ = fd;
-  if (config_.binary_codec) {
-    // Offer the binary codec; until the ack lands (handled by the io
-    // thread) every frame this client emits stays text, which any server
-    // understands — so the offer costs nothing against old daemons.
-    Frame hello;
-    hello.op = Op::kHello;
-    hello.corr = 0;
-    hello.arg = kCodecBinary;
-    send_frame(hello);
-  }
+  send_hello();
   announce_worker();
   last_pong_us_.store(now_us(), std::memory_order_relaxed);
   connected_.store(true, std::memory_order_release);
@@ -65,7 +58,7 @@ void RemoteBroker::set_metrics(obs::MetricsPtr metrics) {
   metrics_ = std::move(metrics);
   if (metrics_ == nullptr) {
     frames_in_ = frames_out_ = bytes_in_ = bytes_out_ = nullptr;
-    reconnects_metric_ = nullptr;
+    reconnects_metric_ = quota_throttled_metric_ = nullptr;
     publish_us_ = publish_batch_us_ = get_us_ = get_batch_us_ = ack_us_ =
         ack_batch_us_ = nullptr;
     return;
@@ -75,6 +68,7 @@ void RemoteBroker::set_metrics(obs::MetricsPtr metrics) {
   bytes_in_ = &metrics_->counter("net.client.bytes_in");
   bytes_out_ = &metrics_->counter("net.client.bytes_out");
   reconnects_metric_ = &metrics_->counter("net.client.reconnects");
+  quota_throttled_metric_ = &metrics_->counter("net.client.quota_throttled");
   publish_us_ = &metrics_->histogram("net.client.publish_us");
   publish_batch_us_ = &metrics_->histogram("net.client.publish_batch_us");
   get_us_ = &metrics_->histogram("net.client.get_us");
@@ -109,15 +103,10 @@ void RemoteBroker::io_loop() {
       }
       reconnects_.fetch_add(1, std::memory_order_relaxed);
       if (reconnects_metric_ != nullptr) reconnects_metric_->add();
-      if (config_.binary_codec) {
-        // Re-offer the codec: the new connection (possibly to a restarted,
-        // older daemon) starts from text like every connection does.
-        Frame hello;
-        hello.op = Op::kHello;
-        hello.corr = 0;
-        hello.arg = kCodecBinary;
-        send_frame(hello);
-      }
+      // Re-hello: the new connection (possibly to a restarted, older
+      // daemon) starts from text and the default tenant like every
+      // connection does.
+      send_hello();
       announce_worker();
       // Re-declare before announcing connected: TCP ordering then puts
       // the declares ahead of any operation retried by a caller thread.
@@ -246,6 +235,20 @@ void RemoteBroker::fail_pending(const std::string& why) {
   pending_cv_.notify_all();
 }
 
+void RemoteBroker::send_hello() {
+  if (!config_.binary_codec && config_.tenant.empty()) return;
+  // Offer the codec and name the tenant; until the ack lands (handled by
+  // the io thread) every frame this client emits stays text, which any
+  // server understands — so the offer costs nothing against old daemons.
+  // A pre-tenancy daemon ignores the body entirely.
+  Frame hello;
+  hello.op = Op::kHello;
+  hello.corr = 0;
+  hello.arg = config_.binary_codec ? kCodecBinary : kCodecText;
+  hello.body = config_.tenant;
+  send_frame(hello);
+}
+
 void RemoteBroker::announce_worker() {
   if (config_.worker_id.empty()) return;
   // Fire-and-forget like the codec hello: a pre-worker daemon answers
@@ -354,6 +357,7 @@ Frame RemoteBroker::roundtrip_retry(const Frame& req,
                                     const char* op_name) const {
   const auto deadline = Clock::now() + secs(config_.retry_deadline_s);
   std::string why = "not connected";
+  bool throttled = false;
   double slice = std::max(config_.initial_backoff_s, 0.01);
   while (true) {
     if (closed_.load(std::memory_order_acquire)) {
@@ -363,15 +367,34 @@ Frame RemoteBroker::roundtrip_retry(const Frame& req,
       std::string err;
       std::optional<Frame> resp =
           roundtrip(req, config_.response_grace_s, &err);
-      if (resp.has_value()) return std::move(*resp);
-      why = err;
+      if (resp.has_value()) {
+        if (resp->op != Op::kErrQuota) return std::move(*resp);
+        // Per-tenant backpressure, not a failure: honor the server's
+        // retry-after hint (bounded — a large hint must not overshoot the
+        // deadline, a zero hint must not busy-spin) and try again.
+        throttled = true;
+        why = resp->body.empty() ? "tenant quota exceeded" : resp->body;
+        quota_throttled_.fetch_add(1, std::memory_order_relaxed);
+        if (quota_throttled_metric_ != nullptr) quota_throttled_metric_->add();
+        const double remaining =
+            std::chrono::duration<double>(deadline - Clock::now()).count();
+        const double pause = std::clamp(
+            std::min(static_cast<double>(resp->arg) * 1e-6, remaining),
+            0.001, 0.2);
+        std::this_thread::sleep_for(secs(pause));
+      } else {
+        throttled = false;
+        why = err;
+      }
     }
     slice = std::min(slice * 2, config_.max_backoff_s);
     if (Clock::now() >= deadline) {
-      throw NetError(std::string("net: ") + op_name + " to " +
-                     config_.endpoint + " failed after " +
-                     std::to_string(config_.retry_deadline_s) +
-                     "s of retries: " + why);
+      const std::string detail = std::string("net: ") + op_name + " to " +
+                                 config_.endpoint + " failed after " +
+                                 std::to_string(config_.retry_deadline_s) +
+                                 "s of retries: " + why;
+      if (throttled) throw mq::QuotaError(detail);
+      throw NetError(detail);
     }
   }
 }

@@ -62,6 +62,13 @@ struct RemoteBrokerConfig {
   /// Publishes switch to binary only after the server's hello ack, so a
   /// pre-hello daemon keeps this client on the text codec transparently.
   bool binary_codec = true;
+  /// Tenant namespace this client binds via kHello (the hello body carries
+  /// the id on every (re)connect). Empty = the default tenant, i.e. exact
+  /// tenant-less wire behavior against every daemon generation. A
+  /// tenant-enabled daemon rejects an unknown/invalid id with kError and
+  /// drops the connection — the retried operation then fails with MqError
+  /// instead of silently running in the wrong namespace.
+  std::string tenant;
   /// When non-empty, announce this connection as an execution worker
   /// (kWorkerHello on every (re)connect): the server then applies its
   /// worker liveness TTL, dropping the connection — and requeuing its
@@ -118,6 +125,11 @@ class RemoteBroker : public mq::BrokerHandle {
   std::uint64_t reconnects() const {
     return reconnects_.load(std::memory_order_relaxed);
   }
+  /// kErrQuota responses absorbed by the retry loop (per-tenant
+  /// backpressure events; each one cost a retry-after sleep).
+  std::uint64_t quota_throttled() const {
+    return quota_throttled_.load(std::memory_order_relaxed);
+  }
   /// Codec this connection negotiated (kCodecText until the hello ack
   /// lands; resets on every disconnect).
   std::uint64_t negotiated_codec() const {
@@ -133,6 +145,10 @@ class RemoteBroker : public mq::BrokerHandle {
   };
 
   void io_loop();
+  /// Fire-and-forget kHello carrying the codec offer and the tenant id
+  /// (run on every (re)connect; skipped when neither is configured, i.e.
+  /// a text-codec default-tenant client stays byte-identical to PR 5).
+  void send_hello();
   /// Fire-and-forget kWorkerHello when config_.worker_id is set (run on
   /// every (re)connect, like the codec hello).
   void announce_worker();
@@ -189,6 +205,9 @@ class RemoteBroker : public mq::BrokerHandle {
   std::atomic<std::int64_t> last_pong_us_{0};
 
   std::atomic<std::uint64_t> reconnects_{0};
+  /// Mutable: throttles are absorbed inside const request paths
+  /// (publish goes through the const roundtrip_retry).
+  mutable std::atomic<std::uint64_t> quota_throttled_{0};
   std::thread io_thread_;
 
   // Pre-resolved "net.client.*" handles; all null when metrics are off.
@@ -198,6 +217,7 @@ class RemoteBroker : public mq::BrokerHandle {
   obs::Counter* bytes_in_ = nullptr;
   obs::Counter* bytes_out_ = nullptr;
   obs::Counter* reconnects_metric_ = nullptr;
+  obs::Counter* quota_throttled_metric_ = nullptr;
   obs::Histogram* publish_us_ = nullptr;
   obs::Histogram* publish_batch_us_ = nullptr;
   obs::Histogram* get_us_ = nullptr;

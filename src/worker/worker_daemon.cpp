@@ -37,6 +37,7 @@ WorkerDaemon::WorkerDaemon(WorkerDaemonConfig config)
   net::RemoteBrokerConfig remote_cfg;
   remote_cfg.endpoint = config_.endpoint;
   remote_cfg.worker_id = worker_id_;
+  remote_cfg.tenant = config_.tenant;
   broker_ = std::make_shared<net::RemoteBroker>(remote_cfg);
   if (config_.metrics) broker_->set_metrics(config_.metrics);
 

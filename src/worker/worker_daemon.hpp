@@ -41,6 +41,10 @@ namespace entk::worker {
 struct WorkerDaemonConfig {
   std::string endpoint;     ///< entk_broker "host:port" (required)
   std::string worker_id;    ///< "" = generated ("w<pid>")
+  /// Tenant namespace to drain (must match the AppManager's tenant — a
+  /// worker only sees queues inside its own tenant). Empty = default
+  /// tenant, i.e. the pre-tenancy shared namespace.
+  std::string tenant;
   int cores = 4;            ///< pilot cores this worker contributes
   /// Simulated CI profile the default pilot RTS runs on (--sim-ci).
   std::string resource = "local.localhost";

@@ -15,10 +15,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <thread>
+#include <vector>
 
 #include "src/common/profiler.hpp"
 #include "src/mq/broker.hpp"
+#include "src/mq/tenant.hpp"
 #include "src/net/broker_server.hpp"
 
 namespace {
@@ -38,6 +41,8 @@ int usage() {
       "                   [--recover JOURNAL]\n"
       "                   [--worker-ttl S]\n"
       "                   [--stats-interval S]\n"
+      "                   [--tenant-quota ID:DEPTH:BYTES:RATE]\n"
+      "                   [--max-conns N]\n"
       "       serves broker queues to entk_run --broker clients and\n"
       "       entk_worker daemons over TCP.\n"
       "       --port 0 (default) picks an ephemeral port, printed on the\n"
@@ -56,7 +61,16 @@ int usage() {
       "       (0 disables; default 5).\n"
       "       --stats-interval S prints a periodic stats line (conns,\n"
       "       requeued_on_disconnect, queue depths) every S seconds\n"
-      "       (0 disables; default 30).\n"
+      "       (0 disables; default 30). With tenants bound, each interval\n"
+      "       also prints one 'tenant' line per non-default tenant.\n"
+      "       --tenant-quota ID:DEPTH:BYTES:RATE (repeatable) caps tenant\n"
+      "       ID at DEPTH ready+unacked messages, BYTES backlog bytes and\n"
+      "       RATE publishes/second (0 = unlimited for any field);\n"
+      "       over-quota publishes get a retry-after kErrQuota instead of\n"
+      "       consuming global capacity. Tenants not named here are\n"
+      "       auto-registered unlimited on first hello.\n"
+      "       --max-conns N refuses connections past N with a clean error\n"
+      "       frame (0 = unlimited; default 0).\n"
       "       SIGINT/SIGTERM shut down gracefully.\n");
   return 2;
 }
@@ -82,6 +96,36 @@ bool parse_double(const char* s, double* out) {
   return true;
 }
 
+/// "ID:DEPTH:BYTES:RATE" -> (id, quota). Field validation (id charset)
+/// happens at register_tenant; this only owns the numeric split.
+bool parse_tenant_quota(const std::string& spec, std::string* id,
+                        entk::mq::TenantQuota* quota) {
+  const std::size_t c1 = spec.find(':');
+  if (c1 == std::string::npos) return false;
+  const std::size_t c2 = spec.find(':', c1 + 1);
+  if (c2 == std::string::npos) return false;
+  const std::size_t c3 = spec.find(':', c2 + 1);
+  if (c3 == std::string::npos) return false;
+  *id = spec.substr(0, c1);
+  long depth = 0, bytes = 0;
+  double rate = 0.0;
+  if (!parse_long(spec.substr(c1 + 1, c2 - c1 - 1).c_str(), &depth) ||
+      depth < 0) {
+    return false;
+  }
+  if (!parse_long(spec.substr(c2 + 1, c3 - c2 - 1).c_str(), &bytes) ||
+      bytes < 0) {
+    return false;
+  }
+  if (!parse_double(spec.substr(c3 + 1).c_str(), &rate) || rate < 0.0) {
+    return false;
+  }
+  quota->max_queue_depth = static_cast<std::size_t>(depth);
+  quota->max_bytes = static_cast<std::size_t>(bytes);
+  quota->publish_rate = rate;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -95,6 +139,8 @@ int main(int argc, char** argv) {
   long shards = 1;
   double worker_ttl_s = 5.0;
   double stats_interval_s = 30.0;
+  long max_conns = 0;
+  std::vector<std::pair<std::string, mq::TenantQuota>> tenant_quotas;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -133,6 +179,13 @@ int main(int argc, char** argv) {
       if (!parse_double(value, &stats_interval_s) || stats_interval_s < 0.0) {
         return usage();
       }
+    } else if (flag == "--tenant-quota") {
+      std::string id;
+      mq::TenantQuota quota;
+      if (!parse_tenant_quota(value, &id, &quota)) return usage();
+      tenant_quotas.emplace_back(std::move(id), quota);
+    } else if (flag == "--max-conns") {
+      if (!parse_long(value, &max_conns) || max_conns < 0) return usage();
     } else {
       return usage();
     }
@@ -160,10 +213,21 @@ int main(int argc, char** argv) {
     std::signal(SIGINT, handle_signal);
     std::signal(SIGTERM, handle_signal);
 
+    auto tenants = std::make_shared<mq::TenantRegistry>();
+    for (const auto& [id, quota] : tenant_quotas) {
+      tenants->register_tenant(id, quota);
+      std::printf(
+          "entk_broker: tenant %s quota depth=%zu bytes=%zu rate=%.1f/s\n",
+          id.c_str(), quota.max_queue_depth, quota.max_bytes,
+          quota.publish_rate);
+    }
+
     net::BrokerServerConfig server_cfg;
     server_cfg.bind_address = bind_address;
     server_cfg.port = static_cast<std::uint16_t>(port);
     server_cfg.worker_ttl_s = worker_ttl_s;
+    server_cfg.tenants = tenants;
+    server_cfg.max_connections = static_cast<std::size_t>(max_conns);
     net::BrokerServer server(broker, server_cfg,
                              std::make_shared<Profiler>());
     server.start();
@@ -175,11 +239,15 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
 
     auto next_stats = std::chrono::steady_clock::now();
+    auto last_stats = next_stats;
     if (stats_interval_s > 0) {
       next_stats += std::chrono::duration_cast<
           std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(stats_interval_s));
     }
+    // published() as of the previous stats pass, per tenant: the delta
+    // over the interval is the admitted-rate gauge.
+    std::map<std::string, unsigned long long> prev_published;
     while (g_stop == 0) {
       if (server.state() == ComponentState::Failed) {
         std::fprintf(stderr, "entk_broker: server failed: %s\n",
@@ -202,6 +270,39 @@ int main(int argc, char** argv) {
             server.connection_count(),
             static_cast<unsigned long long>(server.requeued_on_disconnect()),
             queues, ready, unacked);
+        const auto now = std::chrono::steady_clock::now();
+        const double elapsed_s =
+            std::chrono::duration<double>(now - last_stats).count();
+        last_stats = now;
+        for (const auto& tenant : server.tenants()->tenants()) {
+          // Refresh the backlog gauges from a prefix-filtered snapshot
+          // (cheap: lower_bound walk, not a full-namespace scan) and
+          // derive the admitted rate from the published delta.
+          std::size_t t_depth = 0, t_bytes = 0;
+          for (const mq::QueueDepth& d :
+               broker->depth_snapshot(tenant->queue_prefix())) {
+            t_depth += d.ready + d.unacked;
+            t_bytes += d.bytes;
+          }
+          tenant->observe_backlog(t_depth, t_bytes);
+          const auto published =
+              static_cast<unsigned long long>(tenant->published());
+          const double rate =
+              elapsed_s > 0
+                  ? static_cast<double>(published -
+                                        prev_published[tenant->id()]) /
+                        elapsed_s
+                  : 0.0;
+          prev_published[tenant->id()] = published;
+          tenant->observe_publish_rate(rate);
+          const mq::TenantStats st = tenant->stats();
+          std::printf(
+              "entk_broker: tenant %s depth=%zu bytes=%zu published=%llu "
+              "throttled=%llu rate=%.1f/s\n",
+              st.id.c_str(), st.depth, st.bytes,
+              static_cast<unsigned long long>(st.published),
+              static_cast<unsigned long long>(st.throttled), st.publish_rate);
+        }
         std::fflush(stdout);
         next_stats += std::chrono::duration_cast<
             std::chrono::steady_clock::duration>(

@@ -108,6 +108,7 @@ int main(int argc, char** argv) {
                  "                [--journal-batch-bytes N]\n"
                  "                [--journal-max-delay-ms MS]\n"
                  "                [--broker HOST:PORT] [--workers]\n"
+                 "                [--tenant ID]\n"
                  "       executes the PST application described in the file;\n"
                  "       --profile dumps the run's event trace as CSV for\n"
                  "       post-mortem analysis (src/analytics);\n"
@@ -131,7 +132,11 @@ int main(int argc, char** argv) {
                  "       --workers (requires --broker) runs no local\n"
                  "       execution stack: tasks are published as\n"
                  "       self-contained units and executed by entk_worker\n"
-                 "       daemons connected to the same broker\n");
+                 "       daemons connected to the same broker;\n"
+                 "       --tenant (requires --broker) runs the workflow\n"
+                 "       inside tenant ID's namespace on a shared daemon —\n"
+                 "       queue names never collide with other ensembles',\n"
+                 "       and the daemon's per-tenant quotas apply\n");
     return 2;
   }
   std::string profile_path;
@@ -139,6 +144,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string journal_dir;
   std::string broker_endpoint;
+  std::string tenant;
   long journal_batch_bytes = -1;
   double journal_max_delay_ms = -1.0;
   int component_restart_limit = -1;
@@ -153,6 +159,7 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--metrics-out") metrics_out = argv[i + 1];
     if (std::string(argv[i]) == "--journal-dir") journal_dir = argv[i + 1];
     if (std::string(argv[i]) == "--broker") broker_endpoint = argv[i + 1];
+    if (std::string(argv[i]) == "--tenant") tenant = argv[i + 1];
     if (std::string(argv[i]) == "--journal-batch-bytes") {
       journal_batch_bytes = std::atol(argv[i + 1]);
     }
@@ -194,6 +201,11 @@ int main(int argc, char** argv) {
     config.obs.metrics_out = metrics_out;
     config.journal_dir = journal_dir;
     config.broker_endpoint = broker_endpoint;
+    if (!tenant.empty() && broker_endpoint.empty()) {
+      std::fprintf(stderr, "entk_run: --tenant requires --broker\n");
+      return 2;
+    }
+    config.tenant = tenant;
     config.remote_workers = remote_workers;
     if (journal_batch_bytes >= 0) {
       config.journal.max_batch_bytes =

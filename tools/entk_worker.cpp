@@ -31,7 +31,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: entk_worker --broker HOST:PORT\n"
-      "                   [--worker-id ID] [--cores N]\n"
+      "                   [--worker-id ID] [--tenant ID] [--cores N]\n"
       "                   [--sim-ci RESOURCE] [--clock-scale S]\n"
       "                   [--batch N] [--max-in-flight N]\n"
       "                   [--drain-timeout S] [--profile OUT.csv]\n"
@@ -46,6 +46,9 @@ int usage() {
       "       graceful-shutdown wait for in-flight work (default 10).\n"
       "       --profile dumps this worker's profiler events as CSV on\n"
       "       exit, for cross-process trace stitching.\n"
+      "       --tenant binds this worker inside tenant ID's namespace on\n"
+      "       a shared daemon — it drains that tenant's queues only (must\n"
+      "       match the ensemble's entk_run --tenant).\n"
       "       SIGINT/SIGTERM drain gracefully; unfinished deliveries\n"
       "       return to the queue for other workers.\n");
   return 2;
@@ -86,6 +89,8 @@ int main(int argc, char** argv) {
       config.endpoint = value;
     } else if (flag == "--worker-id") {
       config.worker_id = value;
+    } else if (flag == "--tenant") {
+      config.tenant = value;
     } else if (flag == "--cores") {
       long cores = 0;
       if (!parse_long(value, &cores) || cores <= 0) return usage();
