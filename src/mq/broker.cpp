@@ -721,6 +721,14 @@ std::size_t Broker::recover(const std::string& path) {
          it.increment(ec)) {
       std::error_code type_ec;
       if (!it->is_directory(type_ec) || type_ec) continue;
+      // Only directories the write side could have created as partitions
+      // (names that are valid tenant ids) are replayed — a ".backup",
+      // "snap~" or otherwise non-token-named copy of the journal sitting
+      // next to it must not reappear as phantom live messages. A stray
+      // valid-id-shaped directory is indistinguishable from a real
+      // partition; keep foreign data out of the journal tree.
+      const std::string dirname = it->path().filename().string();
+      if (dirname.empty() || !valid_tenant_id(dirname)) continue;
       const fs::path candidate = it->path() / base.filename();
       std::error_code exists_ec;
       if (fs::exists(candidate, exists_ec) && !exists_ec) {

@@ -19,6 +19,15 @@ bool valid_tenant_char(char c) {
 bool valid_tenant_id(const std::string& id) {
   if (id.empty()) return true;  // the default tenant
   if (id.size() > kMaxTenantIdLen) return false;
+  // The first character must be alphanumeric: ids name journal
+  // subdirectories, and without this rule "." and ".." would be accepted —
+  // "." aliases the default tenant's journal file (two writers, one file)
+  // and ".." escapes the journal directory entirely.
+  const char head = id.front();
+  const bool head_ok = (head >= 'a' && head <= 'z') ||
+                       (head >= 'A' && head <= 'Z') ||
+                       (head >= '0' && head <= '9');
+  if (!head_ok) return false;
   return std::all_of(id.begin(), id.end(), valid_tenant_char);
 }
 

@@ -54,8 +54,10 @@ class QuotaError : public MqError {
 
 // --- tenant id + queue namespacing ----------------------------------------
 
-/// Tenant ids are path-safe tokens: [A-Za-z0-9._-], 1..64 chars (they name
-/// journal subdirectories and metric components). "" is the default tenant
+/// Tenant ids are path-safe tokens: [A-Za-z0-9._-], 1..64 chars, first
+/// character alphanumeric (they name journal subdirectories and metric
+/// components; the leading-alnum rule keeps "." and ".." — which would
+/// alias or escape the journal directory — out). "" is the default tenant
 /// and is always valid.
 bool valid_tenant_id(const std::string& id);
 

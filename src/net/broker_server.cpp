@@ -385,6 +385,23 @@ void BrokerServer::process_frames_fair(std::vector<int>& dead) {
 
 void BrokerServer::handle_frame(Conn& conn, Frame&& req) {
   const auto started = Clock::now();
+  // Namespace integrity: "t.<id>/" is the daemon's reserved qualification
+  // prefix. A client-visible name that already parses as tenant-qualified
+  // would address another tenant's physical queues directly — from the
+  // default tenant it bypasses namespacing AND every quota (admit_publish
+  // bounds only the connection's own tenant) — so it is rejected before
+  // qualification, on every connection including the default tenant.
+  if (!req.queue.empty() && !mq::tenant_of_queue(req.queue).empty()) {
+    Frame resp;
+    resp.op = Op::kError;
+    resp.corr = req.corr;
+    resp.body = "net: queue name '" + req.queue +
+                "' is reserved (tenant-qualified names cannot be "
+                "addressed directly)";
+    respond(conn, std::move(resp));
+    record_op_us(started);
+    return;
+  }
   // Transparent namespacing: a tenant-bound connection's queue names are
   // qualified into its namespace before they touch the broker, so two
   // ensembles both using "q.pending" land on disjoint physical queues.
@@ -414,7 +431,7 @@ void BrokerServer::handle_frame(Conn& conn, Frame&& req) {
         if (broker_->has_queue(req.queue)) resp.flags |= kFlagTrue;
         break;
       case Op::kPublish: {
-        if (!admit_publish(conn, req.corr, 1)) {
+        if (!admit_publish(conn, req.corr, 1, req.body.size())) {
           record_op_us(started);
           return;  // admit_publish answered kErrQuota
         }
@@ -433,7 +450,7 @@ void BrokerServer::handle_frame(Conn& conn, Frame&& req) {
         const std::uint32_t count = get_u32(req.body, off);
         // Admission happens before any message decodes: a throttled batch
         // costs the server a header read, not a full deserialization.
-        if (!admit_publish(conn, req.corr, count)) {
+        if (!admit_publish(conn, req.corr, count, req.body.size())) {
           record_op_us(started);
           return;
         }
@@ -624,7 +641,7 @@ void BrokerServer::handle_frame(Conn& conn, Frame&& req) {
 }
 
 bool BrokerServer::admit_publish(Conn& conn, std::uint64_t corr,
-                                 std::size_t n) {
+                                 std::size_t n, std::size_t incoming_bytes) {
   mq::Tenant* tenant = conn.tenant.get();
   if (tenant == nullptr) return true;
   const mq::TenantQuota& quota = tenant->quota();
@@ -647,7 +664,15 @@ bool BrokerServer::admit_publish(Conn& conn, std::uint64_t corr,
       // No analytic hint: backlog drains at the consumers' pace. A short
       // fixed hint keeps the client's retry cadence snappy.
       retry_after_s = 0.02;
-    } else if (quota.max_bytes > 0 && bytes >= quota.max_bytes) {
+    } else if (quota.max_bytes > 0 &&
+               bytes + std::min(incoming_bytes, quota.max_bytes) >
+                   quota.max_bytes) {
+      // The incoming frame body (known before any decode) is folded into
+      // the check so a tenant sitting just under the limit cannot overshoot
+      // by one arbitrarily large batch. Clamped to the quota itself:
+      // mirroring the token bucket's debt, a single publish larger than the
+      // whole byte quota is admitted only against an empty backlog —
+      // otherwise it could never be admitted at all.
       reason = "tenant '" + tenant->id() + "' backlog byte quota (" +
                std::to_string(quota.max_bytes) + ") exceeded";
       retry_after_s = 0.02;

@@ -183,7 +183,8 @@ class BrokerServer : public Component {
   /// Admit `n` published messages against the connection's tenant quota.
   /// On rejection answers kErrQuota (with a retry-after hint) and returns
   /// false.
-  bool admit_publish(Conn& conn, std::uint64_t corr, std::size_t n);
+  bool admit_publish(Conn& conn, std::uint64_t corr, std::size_t n,
+                     std::size_t incoming_bytes);
   void respond(Conn& conn, Frame&& resp);
   /// Flush the write queue (scatter-gather, one sendmsg per pass); returns
   /// false on a dead socket.

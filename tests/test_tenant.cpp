@@ -12,6 +12,7 @@
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "src/common/clock.hpp"
@@ -71,10 +72,25 @@ TEST(TenantNamespacing, PrefixesNeverAliasAcrossTenants) {
 TEST(TenantNamespacing, IdValidation) {
   EXPECT_TRUE(mq::valid_tenant_id(""));  // the default tenant
   EXPECT_TRUE(mq::valid_tenant_id("Ensemble_42.v-1"));
+  EXPECT_TRUE(mq::valid_tenant_id("9starts-with-digit"));
   EXPECT_FALSE(mq::valid_tenant_id("has space"));
   EXPECT_FALSE(mq::valid_tenant_id("semi;colon"));
   EXPECT_FALSE(mq::valid_tenant_id(std::string(65, 'a')));
   EXPECT_TRUE(mq::valid_tenant_id(std::string(64, 'a')));
+}
+
+TEST(TenantNamespacing, IdValidationRejectsPathTraversal) {
+  // Tenant ids name journal subdirectories: "." would alias the default
+  // tenant's journal file (two writers on one file) and ".." would write
+  // outside --journal-dir entirely. The leading-alphanumeric rule keeps
+  // both — and every other dot- or dash-led name — out.
+  EXPECT_FALSE(mq::valid_tenant_id("."));
+  EXPECT_FALSE(mq::valid_tenant_id(".."));
+  EXPECT_FALSE(mq::valid_tenant_id("..."));
+  EXPECT_FALSE(mq::valid_tenant_id(".hidden"));
+  EXPECT_FALSE(mq::valid_tenant_id("-dash-led"));
+  EXPECT_FALSE(mq::valid_tenant_id("_underscore-led"));
+  EXPECT_TRUE(mq::valid_tenant_id("a..b"));  // interior dots are fine
 }
 
 // ------------------------------------------------------------ token bucket
@@ -151,6 +167,11 @@ TEST(TenantRegistry, RejectsInvalidIdsAndDefaultQuota) {
   EXPECT_THROW(registry.register_tenant("bad/id", {}), ValueError);
   EXPECT_THROW(registry.register_tenant("", {}), ValueError);
   EXPECT_EQ(registry.bind("bad/id"), nullptr);
+  // Path-traversal ids never reach ensure_partition via auto-register.
+  EXPECT_THROW(registry.register_tenant(".", {}), ValueError);
+  EXPECT_THROW(registry.register_tenant("..", {}), ValueError);
+  EXPECT_EQ(registry.bind("."), nullptr);
+  EXPECT_EQ(registry.bind(".."), nullptr);
 }
 
 TEST(TenantRegistry, QuotaReplaceableOnlyBeforeTraffic) {
@@ -436,6 +457,76 @@ TEST_F(TenantLoopbackTest, HelloRebindToDifferentTenantIsRefused) {
   EXPECT_FALSE(broker_->has_queue("t.second/q.mine"));
 }
 
+TEST_F(TenantLoopbackTest, HelloWithDotTenantIdsIsRefused) {
+  // "." and ".." are structurally invalid ids (they name journal
+  // subdirectories, where they alias or escape --journal-dir): the hello
+  // is refused even with auto-register on.
+  for (const std::string id : {".", ".."}) {
+    RawConn raw(server_->endpoint());
+    raw.send(hello_frame(id, 1));
+    auto resp = raw.recv_frame();
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->op, net::Op::kError);
+    EXPECT_NE(resp->body.find("invalid tenant"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------- namespace integrity on wire
+
+TEST_F(TenantLoopbackTest, QualifiedQueueNamesRejectedOnTheWire) {
+  // Regression for the isolation bypass: "t.<id>/" is the daemon's
+  // reserved qualification prefix, so a client sending the *physical*
+  // name of another tenant's queue would read and write that tenant's
+  // messages while every quota check still looked at its own connection's
+  // tenant. Such names are refused at the frame boundary, for every
+  // connection — including tenant-less legacy ones.
+  mq::TenantQuota quota;
+  quota.max_queue_depth = 1;
+  tenants_->register_tenant("victim", quota);
+  auto victim = Client("victim");
+  victim->declare_queue("q.pending", {});
+  victim->publish("q.pending", text_message("q.pending", "secret"));
+
+  // A legacy connection that never sends kHello (pre-tenancy wire
+  // behavior, conn.tenant unset) gets kError on every op naming the
+  // qualified queue — it can neither steal nor inject nor evade the
+  // victim's depth quota by publishing into its namespace directly.
+  net::RemoteBrokerConfig snoop_cfg;
+  snoop_cfg.endpoint = server_->endpoint();
+  snoop_cfg.binary_codec = false;
+  net::RemoteBroker snoop(snoop_cfg);
+  EXPECT_THROW(snoop.get("t.victim/q.pending", 0.0), MqError);
+  EXPECT_THROW(
+      snoop.publish("t.victim/q.pending", text_message("q.pending", "inj")),
+      MqError);
+  EXPECT_THROW(snoop.declare_queue("t.victim/q.other", {}), MqError);
+  snoop.close();
+
+  // Same refusal for a tenant-bound connection naming a foreign
+  // namespace (checked before its own prefix is applied).
+  auto intruder = Client("intruder");
+  EXPECT_THROW(intruder->declare_queue("t.victim/q.x", {}), MqError);
+  intruder->close();
+
+  // The refusal is a clean error frame naming the reservation.
+  RawConn raw(server_->endpoint());
+  net::Frame declare;
+  declare.op = net::Op::kDeclare;
+  declare.corr = 7;
+  declare.queue = "t.victim/q.pending";
+  raw.send(declare);
+  auto resp = raw.recv_frame();
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->op, net::Op::kError);
+  EXPECT_NE(resp->body.find("reserved"), std::string::npos);
+
+  // The victim's message never moved.
+  auto d = victim->get("q.pending", 1.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(text_of(*d), "secret");
+  victim->close();
+}
+
 // ------------------------------------------------------- quota over wire
 
 TEST_F(TenantLoopbackTest, RateQuotaThrottlesThenAdmits) {
@@ -514,6 +605,32 @@ TEST_F(TenantLoopbackTest, ByteQuotaCountsPayloadBytes) {
   ASSERT_TRUE(d.has_value());
   EXPECT_TRUE(client->ack("q.fat", d->delivery_tag));
   client->publish("q.fat", text_message("q.fat", "fits"));
+  client->close();
+}
+
+TEST_F(TenantLoopbackTest, ByteQuotaAccountsTheIncomingPublish) {
+  // The byte check folds the incoming frame's size in (known before any
+  // decode): a tenant sitting just under its limit cannot overshoot
+  // max_bytes by one arbitrarily large publish.
+  mq::TenantQuota quota;
+  quota.max_bytes = 4096;
+  tenants_->register_tenant("tight", quota);
+
+  auto client = Client("tight", /*retry_deadline_s=*/0.4);
+  client->declare_queue("q.t", {});
+  client->publish("q.t", text_message("q.t", std::string(512, 'a')));
+  // Backlog ~512 bytes, under the quota — but admitting another 8KiB
+  // would blow well past max_bytes, so it is rejected up front.
+  EXPECT_THROW(
+      client->publish("q.t", text_message("q.t", std::string(8192, 'b'))),
+      mq::QuotaError);
+  // Against an EMPTY backlog the oversized publish is admitted (the
+  // estimate is clamped to the quota, mirroring the token bucket's debt)
+  // — otherwise a payload larger than max_bytes could never be published.
+  auto d = client->get("q.t", 1.0);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(client->ack("q.t", d->delivery_tag));
+  client->publish("q.t", text_message("q.t", std::string(8192, 'b')));
   client->close();
 }
 
@@ -676,6 +793,36 @@ TEST(TenantJournal, PartitionPathsAreShardAware) {
   broker.close();
   // Exactly the app partition directory appeared.
   EXPECT_TRUE(std::filesystem::is_directory(dir + "/app"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(TenantJournal, RecoverySkipsNonTenantDirectories) {
+  const std::string dir = fresh_dir();
+  const std::string journal_path = dir + "/keep.journal";
+  {
+    mq::Broker broker("keep", dir, {}, 1);
+    broker.declare_queue("q.live", {.durable = true});
+    broker.publish("q.live", text_message("q.live", "live"));
+    broker.declare_queue("t.app/q.live", {.durable = true});
+    broker.publish("t.app/q.live", text_message("q.live", "app-live"));
+    broker.close();
+  }
+  // An operator's stash beside the live tree — a directory no tenant id
+  // could name (write-side partition dirs are always valid ids) holding a
+  // same-basename journal — must not replay as phantom live messages.
+  std::filesystem::create_directories(dir + "/.backup");
+  {
+    std::ofstream stash(dir + "/.backup/keep.journal");
+    stash << R"({"op":"pub","q":"q.ghost","seq":999,"body":"boo"})" << "\n";
+  }
+
+  mq::Broker recovered("r3");
+  // Only the real journal and the app partition replay: 2, not 3.
+  EXPECT_EQ(recovered.recover(journal_path), 2u);
+  EXPECT_FALSE(recovered.has_queue("q.ghost"));
+  EXPECT_TRUE(recovered.has_queue("q.live"));
+  EXPECT_TRUE(recovered.has_queue("t.app/q.live"));
+  recovered.close();
   std::filesystem::remove_all(dir);
 }
 
