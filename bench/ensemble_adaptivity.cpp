@@ -1,0 +1,224 @@
+// Adaptivity acceptance bench: generator-driven search vs static sweep.
+//
+// Both strategies minimize the same 1-D misfit to the same resolution
+// under EnTK; the figure of merit is the task budget (evaluations
+// actually executed).
+//   - static: the classic pre-enumerated parameter sweep — to guarantee a
+//     sample within `tol` of the optimum it must grid the whole domain at
+//     that resolution, and every grid point is a task.
+//   - adaptive: an ensemble::Generator brackets the minimum and submits
+//     geometrically narrowing batches; the rule engine finishes the
+//     pipeline when the target misfit is reached.
+//
+// Acceptance gate (--check): the adaptive run must reach the target with
+// <= 0.5x the static sweep's task budget. Results go to --json-out
+// (BENCH_ensemble.json).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "bench/util.hpp"
+#include "src/ensemble/controller.hpp"
+
+namespace {
+
+constexpr double kLo = 0.0;
+constexpr double kHi = 8.0;
+constexpr double kOptimum = 2.44;
+
+double misfit_of(double x) {
+  const double d = x - kOptimum;
+  return d * d;
+}
+
+entk::AppManagerConfig bench_config() {
+  entk::AppManagerConfig config;
+  config.resource.resource = "local.localhost";
+  config.resource.cpus = 32;
+  config.clock_scale = 1e-4;
+  config.resource.rts_teardown_base_s = 0.05;
+  return config;
+}
+
+struct RunResult {
+  std::size_t tasks = 0;
+  double best_misfit = std::numeric_limits<double>::infinity();
+  double wall_s = 0.0;
+};
+
+// Static sweep: grid the domain finely enough that some point is within
+// sqrt(tol) of the optimum, and run every grid point as a task.
+RunResult run_static(double tol) {
+  const double spacing = 2.0 * std::sqrt(tol);
+  const int n = static_cast<int>(std::ceil((kHi - kLo) / spacing)) + 1;
+
+  auto best = std::make_shared<double>(
+      std::numeric_limits<double>::infinity());
+  auto mutex = std::make_shared<std::mutex>();
+
+  auto pipeline = std::make_shared<entk::Pipeline>("static-sweep");
+  auto stage = std::make_shared<entk::Stage>("sweep");
+  for (int i = 0; i < n; ++i) {
+    const double x = kLo + (kHi - kLo) * i / (n - 1);
+    stage->add_task(entk::ensemble::make_task(
+        "sweep-" + std::to_string(i), "sweep",
+        [x, best, mutex](entk::json::Value& values) {
+          const double m = misfit_of(x);
+          values["misfit"] = m;
+          std::lock_guard<std::mutex> lock(*mutex);
+          *best = std::min(*best, m);
+          return 0;
+        },
+        /*duration_s=*/1.0));
+  }
+  pipeline->add_stage(stage);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  entk::AppManager appman(bench_config());
+  appman.add_pipelines({pipeline});
+  appman.run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.tasks = static_cast<std::size_t>(n);
+  r.best_misfit = *best;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+// Adaptive search: batches of `batch` points, bracket shrinks 0.4x per
+// round around the best sample; converges when the target is reached.
+RunResult run_adaptive(double tol, int batch) {
+  auto controller = entk::ensemble::Controller::create();
+
+  struct State {
+    double lo = kLo;
+    double hi = kHi;
+    int round = 0;
+  };
+  auto state = std::make_shared<State>();
+  auto generator = entk::ensemble::make_generator(
+      [state, tol, batch](entk::ensemble::ResultView& results,
+                          entk::ensemble::Ops& ops)
+          -> std::vector<entk::TaskPtr> {
+        if (state->round > 0) {
+          double best_x = 0.0;
+          double best_m = std::numeric_limits<double>::infinity();
+          for (const entk::ensemble::Event& ev : results.completed("opt")) {
+            const double m = ev.values().get_double("misfit", 1e300);
+            if (m < best_m) {
+              best_m = m;
+              best_x = ev.values().get_double("x", 0.0);
+            }
+          }
+          ops.set_param("best_misfit", best_m);
+          if (best_m <= tol || state->round >= 32) return {};
+          const double width = 0.4 * (state->hi - state->lo);
+          state->lo = best_x - width / 2.0;
+          state->hi = best_x + width / 2.0;
+        }
+        std::vector<entk::TaskPtr> tasks;
+        for (int i = 0; i < batch; ++i) {
+          const double x =
+              state->lo + (state->hi - state->lo) * i / (batch - 1);
+          tasks.push_back(entk::ensemble::make_task(
+              "opt-r" + std::to_string(state->round) + "-" +
+                  std::to_string(i),
+              "opt",
+              [x](entk::json::Value& values) {
+                values["x"] = x;
+                values["misfit"] = misfit_of(x);
+                return 0;
+              },
+              /*duration_s=*/1.0));
+        }
+        ++state->round;
+        return tasks;
+      });
+
+  auto pipeline = std::make_shared<entk::Pipeline>("adaptive-search");
+  controller->run_generator(pipeline, generator, "opt");
+
+  entk::AppManagerConfig config = bench_config();
+  controller->attach(config);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  entk::AppManager appman(config);
+  appman.add_pipelines({pipeline});
+  appman.run();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunResult r;
+  r.tasks = controller->results().total_done();
+  r.best_misfit = controller->params().get_double("best_misfit", 1e300);
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double tol = entk::bench::flag_double(argc, argv, "--tol", 1e-4);
+  const int batch =
+      static_cast<int>(entk::bench::flag_int(argc, argv, "--batch", 5));
+  const bool check = entk::bench::flag_present(argc, argv, "--check");
+  std::string json_out = "BENCH_ensemble.json";
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json-out") json_out = argv[i + 1];
+  }
+
+  std::printf("ensemble_adaptivity: target misfit <= %.0e on [%.0f, %.0f]\n\n",
+              tol, kLo, kHi);
+
+  const RunResult st = run_static(tol);
+  const RunResult ad = run_adaptive(tol, batch);
+  const double ratio =
+      st.tasks ? static_cast<double>(ad.tasks) / st.tasks : 1.0;
+
+  std::printf("%-10s %8s %14s %10s\n", "strategy", "tasks", "best misfit",
+              "wall s");
+  std::printf("%-10s %8zu %14.3e %10.3f\n", "static", st.tasks,
+              st.best_misfit, st.wall_s);
+  std::printf("%-10s %8zu %14.3e %10.3f\n", "adaptive", ad.tasks,
+              ad.best_misfit, ad.wall_s);
+  std::printf("\nadaptive used %.1f%% of the static task budget\n",
+              100.0 * ratio);
+
+  entk::json::Value doc;
+  doc["bench"] = "ensemble_adaptivity";
+  doc["tol"] = tol;
+  doc["batch"] = batch;
+  doc["static"]["tasks"] = static_cast<std::int64_t>(st.tasks);
+  doc["static"]["best_misfit"] = st.best_misfit;
+  doc["static"]["wall_s"] = st.wall_s;
+  doc["adaptive"]["tasks"] = static_cast<std::int64_t>(ad.tasks);
+  doc["adaptive"]["best_misfit"] = ad.best_misfit;
+  doc["adaptive"]["wall_s"] = ad.wall_s;
+  doc["adaptive"]["budget_ratio"] = ratio;
+  std::ofstream out(json_out);
+  out << doc.dump() << "\n";
+  std::printf("results written to %s\n", json_out.c_str());
+
+  bool failed = false;
+  if (ad.best_misfit > tol) {
+    std::fprintf(stderr,
+                 "ADAPTIVITY CHECK FAILED: adaptive run did not reach the "
+                 "target (best %.3e > %.3e)\n",
+                 ad.best_misfit, tol);
+    failed = true;
+  }
+  if (check && ratio > 0.5) {
+    std::fprintf(stderr,
+                 "ADAPTIVITY CHECK FAILED: adaptive budget %.2fx static "
+                 "(need <= 0.5x)\n",
+                 ratio);
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

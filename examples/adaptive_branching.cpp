@@ -1,10 +1,13 @@
-// Adaptive branching example (paper §II-B-1).
+// Adaptive branching example (paper §II-B-1), expressed on the ensemble
+// rule API.
 //
 // "Branching events can be specified as tasks where a decision is made
-// about the runtime flow": here a screening stage evaluates an ensemble of
-// candidate parameters, and its post-exec hook appends a refinement stage
-// containing tasks ONLY for the candidates that scored above a threshold —
-// the workflow's shape is decided by the data, at runtime.
+// about the runtime flow": a screening stage evaluates an ensemble of
+// candidate parameters and publishes each score into the completion-event
+// stream; an ensemble::Controller rule consumes those results and submits
+// a refinement stage containing tasks ONLY for the candidates that scored
+// above a threshold — the workflow's shape is decided by the data, at
+// runtime, by a supervised component instead of an ad-hoc callback.
 //
 // Build & run:  ./build/examples/adaptive_branching
 #include <cmath>
@@ -14,6 +17,7 @@
 #include <vector>
 
 #include "src/core/app_manager.hpp"
+#include "src/ensemble/controller.hpp"
 
 namespace {
 
@@ -36,55 +40,91 @@ int main() {
   }
 
   auto pipeline = std::make_shared<Pipeline>("screen-then-refine");
+  // The controller appends the refinement stage asynchronously, so the
+  // pipeline idles held-open until a rule calls finish().
+  pipeline->hold_open();
 
-  // Stage 1: cheap screening of every candidate.
+  // Stage 1: cheap screening of every candidate. Each task publishes its
+  // score (and candidate index) into the completion event.
   auto screen = std::make_shared<Stage>("screen");
   for (std::size_t i = 0; i < candidates->size(); ++i) {
-    auto task = std::make_shared<Task>("screen-" + std::to_string(i));
-    task->duration_s = 10.0;
-    task->function = [candidates, mutex, i] {
-      const double p = (*candidates)[i].parameter;
-      const double score = std::sin(p) * std::exp(-0.1 * p);  // toy objective
-      std::lock_guard<std::mutex> lock(*mutex);
-      (*candidates)[i].score = score;
-      return 0;
-    };
-    screen->add_task(task);
+    screen->add_task(ensemble::make_task(
+        "screen-" + std::to_string(i), "screen",
+        [candidates, mutex, i](json::Value& values) {
+          const double p = (*candidates)[i].parameter;
+          const double score = std::sin(p) * std::exp(-0.1 * p);  // toy
+          {
+            std::lock_guard<std::mutex> lock(*mutex);
+            (*candidates)[i].score = score;
+          }
+          values["index"] = static_cast<std::int64_t>(i);
+          values["score"] = score;
+          return 0;
+        },
+        /*duration_s=*/10.0));
   }
-
-  // Branching decision: refine only the promising candidates.
-  std::weak_ptr<Pipeline> weak_pipeline = pipeline;
-  screen->post_exec = [candidates, mutex, weak_pipeline] {
-    PipelinePtr p = weak_pipeline.lock();
-    if (!p) return;
-    auto refine = std::make_shared<Stage>("refine");
-    std::lock_guard<std::mutex> lock(*mutex);
-    for (std::size_t i = 0; i < candidates->size(); ++i) {
-      if ((*candidates)[i].score <= 0.5) continue;  // the branch
-      (*candidates)[i].promoted = true;
-      auto task = std::make_shared<Task>("refine-" + std::to_string(i));
-      task->duration_s = 50.0;  // refinement is 5x the screening cost
-      task->function = [candidates, mutex, i] {
-        double acc = 0.0;  // "expensive" refinement of the objective
-        const double param = (*candidates)[i].parameter;
-        for (int k = 1; k <= 200000; ++k) {
-          acc += std::sin(param * k * 1e-4) / k;
-        }
-        std::lock_guard<std::mutex> inner(*mutex);
-        (*candidates)[i].refined = acc;
-        return 0;
-      };
-      refine->add_task(task);
-    }
-    if (refine->task_count() > 0) p->add_stage(refine);
-  };
   pipeline->add_stage(screen);
+
+  auto controller = ensemble::Controller::create();
+  const std::string puid = pipeline->uid();
+
+  // Branching decision: when the screen stage completes, promote the
+  // candidates whose published score clears the threshold.
+  controller->add_rule({
+      .name = "promote-screened",
+      .when = ensemble::trigger::stage_done("screen"),
+      .then =
+          [candidates, mutex, puid](ensemble::Ops& ops) {
+            std::vector<TaskPtr> refine;
+            for (const ensemble::Event& ev : ops.results().completed("screen")) {
+              const double score = ev.values().get_double("score", 0.0);
+              if (score <= 0.5) continue;  // the branch
+              const auto i = static_cast<std::size_t>(
+                  ev.values().get_int("index", 0));
+              {
+                std::lock_guard<std::mutex> lock(*mutex);
+                (*candidates)[i].promoted = true;
+              }
+              refine.push_back(ensemble::make_task(
+                  "refine-" + std::to_string(i), "refine",
+                  [candidates, mutex, i](json::Value& values) {
+                    double acc = 0.0;  // "expensive" refinement
+                    const double param = (*candidates)[i].parameter;
+                    for (int k = 1; k <= 200000; ++k) {
+                      acc += std::sin(param * k * 1e-4) / k;
+                    }
+                    {
+                      std::lock_guard<std::mutex> lock(*mutex);
+                      (*candidates)[i].refined = acc;
+                    }
+                    values["refined"] = acc;
+                    return 0;
+                  },
+                  /*duration_s=*/50.0));  // refinement is 5x screening cost
+            }
+            if (refine.empty()) {
+              ops.finish(puid);  // nothing promoted: the run is over
+            } else {
+              ops.submit_tasks(puid, "refine", std::move(refine));
+            }
+          },
+      .max_fires = 1,
+  });
+
+  // Once refinement finishes, release the pipeline so the run completes.
+  controller->add_rule({
+      .name = "done-after-refine",
+      .when = ensemble::trigger::stage_done("refine"),
+      .then = ensemble::action::finish(puid),
+      .max_fires = 1,
+  });
 
   AppManagerConfig config;
   config.resource.resource = "local.localhost";
   config.resource.cpus = 16;
   config.clock_scale = 1e-3;
   config.resource.rts_teardown_base_s = 0.1;
+  controller->attach(config);
 
   AppManager appman(config);
   appman.add_pipelines({pipeline});
@@ -100,7 +140,9 @@ int main() {
     if (c.promoted) ++promoted;
   }
   std::printf("\n%d of %zu candidates were promoted to refinement;\n"
-              "the pipeline grew from 1 stage to %zu at runtime.\n",
-              promoted, candidates->size(), pipeline->stage_count());
+              "the pipeline grew from 1 stage to %zu at runtime\n"
+              "(%zu controller decisions journaled).\n",
+              promoted, candidates->size(), pipeline->stage_count(),
+              controller->decision_count());
   return 0;
 }

@@ -2,11 +2,12 @@
 //
 // Runs the Adaptive Unstructured Analog workflow under EnTK: the pipeline
 // starts with initialization and preprocessing stages and then *extends
-// itself at runtime* — each aggregate stage's post-exec hook appends the
-// next compute/aggregate pair until the point budget is reached (the
-// number of iterations is unknown before execution, exactly the situation
-// EnTK's adaptivity support targets). A random-selection baseline runs
-// with the same budget for comparison.
+// itself at runtime* — an ensemble::Controller rule consumes each
+// aggregate stage's completion event and appends the next
+// compute/aggregate pair until the point budget is reached (the number of
+// iterations is unknown before execution, exactly the situation EnTK's
+// adaptivity support targets). A random-selection baseline runs with the
+// same budget for comparison.
 //
 // Build & run:  ./build/examples/analog_forecast [budget]
 #include <cstdio>
@@ -31,8 +32,12 @@ entk::anen::AuaResult run_under_entk(const entk::anen::AuaSpec& spec,
   config.resource.rts_teardown_base_s = 0.1;
   config.clock_scale = 1e-3;
 
+  auto controller = ensemble::Controller::create();
+  auto pipeline = anen::build_aua_pipeline(runner, adaptive, controller);
+  controller->attach(config);
+
   AppManager appman(config);
-  appman.add_pipelines({anen::build_aua_pipeline(runner, adaptive)});
+  appman.add_pipelines({pipeline});
   appman.run();
   return runner->result();
 }

@@ -1,0 +1,130 @@
+// Deadline ensemble example: priority shedding under failures + node loss.
+//
+// A mixed-priority ensemble (12 "high" must-complete members, 40 "low"
+// opportunistic members) runs against a 100-virtual-second deadline while
+// the simulated platform misbehaves:
+//   - sim::failure injects random task failures (retried automatically),
+//   - an ensemble rule simulates a node outage 10 s in by shrinking the
+//     pilot two nodes (elastic resize; in-flight work drains, nothing is
+//     killed).
+// A guard rule watches progress: if the high-priority group is not done by
+// t = 25 s, it sheds the entire low-priority group (cancel_group) so the
+// remaining capacity goes to what matters. The run meets the deadline by
+// giving up work, which is exactly the point.
+//
+// Build & run:  ./build/examples/deadline_ensemble
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "src/core/app_manager.hpp"
+#include "src/ensemble/controller.hpp"
+
+int main() {
+  using namespace entk;
+
+  constexpr int kHigh = 12;
+  constexpr int kLow = 40;
+  constexpr double kDeadlineS = 100.0;
+
+  auto pipeline = std::make_shared<Pipeline>("deadline-run");
+  auto work = std::make_shared<Stage>("work");
+  // Low-priority members are added first so they soak up the initial
+  // placement wave — the interesting case is high-priority work queued
+  // behind opportunistic work when the platform degrades.
+  for (int i = 0; i < kLow; ++i) {
+    work->add_task(ensemble::make_task(
+        "low-" + std::to_string(i), "low",
+        [](json::Value& values) {
+          values["priority"] = 0;
+          return 0;
+        },
+        /*duration_s=*/20.0));
+  }
+  for (int i = 0; i < kHigh; ++i) {
+    work->add_task(ensemble::make_task(
+        "high-" + std::to_string(i), "high",
+        [](json::Value& values) {
+          values["priority"] = 1;
+          return 0;
+        },
+        /*duration_s=*/20.0));
+  }
+  pipeline->add_stage(work);
+
+  auto controller = ensemble::Controller::create(
+      {.journal_path = "deadline_ensemble.journal.jsonl"});
+
+  // 10 s in, the platform loses two nodes (simulated outage expressed as
+  // an elastic shrink: retiring nodes drain their in-flight units).
+  controller->add_rule({
+      .name = "node-outage",
+      .when = ensemble::trigger::after(10.0),
+      .then = ensemble::action::resize_pilot(-2, "simulated node outage"),
+      .max_fires = 1,
+  });
+
+  // Progress guard: past t = 25 s with high-priority members still
+  // outstanding, shed every live low-priority task.
+  controller->add_rule({
+      .name = "shed-low-priority",
+      .when =
+          [](const ensemble::TriggerContext& ctx) {
+            return ctx.now_s >= 25.0 &&
+                   ctx.results.done_count("high") < kHigh;
+          },
+      .then =
+          [](ensemble::Ops& ops) {
+            const std::size_t shed = ops.cancel_group("low");
+            ops.set_param("low_tasks_shed", static_cast<std::int64_t>(shed));
+          },
+      .max_fires = 1,
+  });
+
+  // Timestamp the moment the high-priority group completes.
+  controller->add_rule({
+      .name = "high-group-done",
+      .when = ensemble::trigger::group_done_at_least("high", kHigh),
+      .then =
+          [](ensemble::Ops& ops) {
+            ops.set_param("high_done_at_s", ops.now_s());
+          },
+      .max_fires = 1,
+  });
+
+  AppManagerConfig config;
+  config.resource.resource = "local.localhost";
+  config.resource.nodes = 4;  // 4 nodes x 8 cores
+  config.clock_scale = 1e-3;
+  config.resource.rts_teardown_base_s = 0.1;
+  config.task_retry_limit = 3;
+  config.resource.failure.base_probability = 0.08;  // flaky platform
+  config.resource.failure.seed = 7;
+  controller->attach(config);
+
+  AppManager appman(config);
+  appman.add_pipelines({pipeline});
+  appman.run();
+
+  const json::Value params = controller->params();
+  ensemble::ResultView& results = controller->results();
+  const double high_done_at = params.get_double("high_done_at_s", -1.0);
+  const bool met = high_done_at >= 0.0 && high_done_at <= kDeadlineS;
+
+  std::printf("deadline_ensemble: deadline %.0f virtual s\n", kDeadlineS);
+  std::printf("  high priority: %zu done, %zu failed (of %d)\n",
+              results.done_count("high"), results.failed_count("high"),
+              kHigh);
+  std::printf("  low priority:  %zu done, %zu canceled (of %d)\n",
+              results.done_count("low"), results.canceled_count("low"),
+              kLow);
+  std::printf("  low tasks shed by guard rule: %lld\n",
+              static_cast<long long>(params.get_int("low_tasks_shed", 0)));
+  std::printf("  high-priority group completed at t = %.1f s\n",
+              high_done_at);
+  std::printf("  %zu controller decisions journaled to "
+              "deadline_ensemble.journal.jsonl\n",
+              controller->decision_count());
+  std::printf("\nDeadline %s.\n", met ? "met" : "MISSED");
+  return met ? 0 : 1;
+}

@@ -1,0 +1,142 @@
+// Online optimization example: the generator/evaluator loop.
+//
+// A 1-D parameter sweep that steers itself (libEnsemble-style): an
+// ensemble::Generator proposes a batch of sample points, the tasks
+// evaluate the misfit function and publish (x, misfit) into the
+// completion-event stream, and the generator reads the aggregated results
+// to bracket the minimum and propose the next, narrower batch. When the
+// best misfit clears the target the generator returns an empty batch and
+// the controller finishes the pipeline — the number of stages is decided
+// by the data, not declared up front.
+//
+// A stat_below rule rides along to timestamp the moment the target was
+// first reached, demonstrating threshold triggers on the streaming stats.
+//
+// Build & run:  ./build/examples/online_optimization
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <memory>
+
+#include "src/core/app_manager.hpp"
+#include "src/ensemble/controller.hpp"
+
+namespace {
+
+// Smooth 1-D objective with a unique minimum at x* = 2.44.
+double misfit_of(double x) {
+  const double d = x - 2.44;
+  return d * d + 0.1 * (1.0 - std::cos(3.0 * d));
+}
+
+struct SearchState {
+  double lo = 0.0;
+  double hi = 8.0;
+  int round = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace entk;
+
+  constexpr int kBatch = 5;
+  constexpr int kMaxRounds = 12;
+  constexpr double kTarget = 1e-6;
+
+  auto controller = ensemble::Controller::create(
+      {.journal_path = "online_optimization.journal.jsonl"});
+
+  // Timestamp the first time the running minimum clears 1e-3 (threshold
+  // trigger on the streaming stats — fires once, then stays quiet).
+  controller->add_rule({
+      .name = "misfit-below-1e-3",
+      .when = ensemble::trigger::stat_below("opt", "misfit",
+                                            ensemble::Stat::Min, 1e-3),
+      .then =
+          [](ensemble::Ops& ops) {
+            ops.set_param("misfit_below_1e-3_at_s", ops.now_s());
+          },
+      .max_fires = 1,
+  });
+
+  // Generator: evaluate kBatch points across the bracket, then shrink the
+  // bracket around the best point seen so far. Empty batch = converged.
+  auto state = std::make_shared<SearchState>();
+  auto generator = ensemble::make_generator(
+      [state](ensemble::ResultView& results,
+              ensemble::Ops& ops) -> std::vector<TaskPtr> {
+        if (state->round > 0) {
+          // Re-center on the best sample so far and narrow the bracket.
+          double best_x = 0.0;
+          double best_m = std::numeric_limits<double>::infinity();
+          for (const ensemble::Event& ev : results.completed("opt")) {
+            const double m = ev.values().get_double("misfit", 1e300);
+            if (m < best_m) {
+              best_m = m;
+              best_x = ev.values().get_double("x", 0.0);
+            }
+          }
+          ops.set_param("best_x", best_x);
+          ops.set_param("best_misfit", best_m);
+          if (best_m < kTarget || state->round >= kMaxRounds) {
+            return {};  // converged: the controller finishes the pipeline
+          }
+          const double width = 0.4 * (state->hi - state->lo);
+          state->lo = best_x - width / 2.0;
+          state->hi = best_x + width / 2.0;
+        }
+
+        std::vector<TaskPtr> batch;
+        for (int i = 0; i < kBatch; ++i) {
+          const double x =
+              state->lo + (state->hi - state->lo) * i / (kBatch - 1);
+          batch.push_back(ensemble::make_task(
+              "opt-r" + std::to_string(state->round) + "-" +
+                  std::to_string(i),
+              "opt",
+              [x](json::Value& values) {
+                values["x"] = x;
+                values["misfit"] = misfit_of(x);
+                return 0;
+              },
+              /*duration_s=*/5.0));
+        }
+        ++state->round;
+        return batch;
+      });
+
+  auto pipeline = std::make_shared<Pipeline>("online-optimization");
+  controller->run_generator(pipeline, generator, "opt");
+
+  AppManagerConfig config;
+  config.resource.resource = "local.localhost";
+  config.resource.cpus = 8;
+  config.clock_scale = 1e-3;
+  config.resource.rts_teardown_base_s = 0.1;
+  controller->attach(config);
+
+  AppManager appman(config);
+  appman.add_pipelines({pipeline});
+  appman.run();
+
+  const json::Value params = controller->params();
+  ensemble::ResultView& results = controller->results();
+  std::printf("online_optimization: %zu evaluations over %zu stages\n",
+              results.done_count("opt"), pipeline->stage_count());
+  std::printf("  best x      = %.6f (true minimum 2.440000)\n",
+              params.get_double("best_x", 0.0));
+  std::printf("  best misfit = %.3e (target %.0e)\n",
+              params.get_double("best_misfit", 1e300), kTarget);
+  std::printf("  misfit < 1e-3 first reached at t = %.1f virtual s\n",
+              params.get_double("misfit_below_1e-3_at_s", -1.0));
+  std::printf("  mean misfit of all samples = %.4f\n",
+              results.stat("opt", "misfit", ensemble::Stat::Mean, 0.0));
+  std::printf("  %zu controller decisions journaled to "
+              "online_optimization.journal.jsonl\n",
+              controller->decision_count());
+
+  const bool converged = params.get_double("best_misfit", 1e300) < kTarget;
+  std::printf("\n%s\n", converged ? "Converged." : "Did not converge.");
+  return converged ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+// Streaming per-group statistics for adaptive ensembles.
+//
+// The ensemble Controller (src/ensemble) folds every completed-task result
+// value into one of these as it arrives; rules and generators then branch on
+// mean/median/MAD without ever re-scanning history. The estimators are
+// *exact* — observe() keeps the sample set in sorted order — so incremental
+// results are bit-identical to batch recomputation regardless of completion
+// order (tested property-style in tests/test_analytics.cpp). That exactness
+// is what lets the decision journal replay deterministically.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace entk::analytics {
+
+/// Exact incremental mean / median / MAD over a stream of doubles.
+/// Not thread-safe; owners serialize access (the Controller's event loop is
+/// single-threaded by construction).
+class StreamingStats {
+ public:
+  void observe(double x) {
+    sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), x), x);
+    sum_ += x;
+    min_ = count() == 1 ? x : std::min(min_, x);
+    max_ = count() == 1 ? x : std::max(max_, x);
+  }
+
+  std::size_t count() const { return sorted_.size(); }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  double mean() const {
+    return sorted_.empty() ? 0.0 : sum_ / static_cast<double>(sorted_.size());
+  }
+
+  double median() const { return median_of(sorted_); }
+
+  /// Median absolute deviation about the median (robust spread; what
+  /// ensemble-python's evaluators threshold on).
+  double mad() const {
+    if (sorted_.empty()) return 0.0;
+    const double med = median();
+    std::vector<double> dev;
+    dev.reserve(sorted_.size());
+    for (const double x : sorted_) dev.push_back(std::fabs(x - med));
+    std::sort(dev.begin(), dev.end());
+    return median_of(dev);
+  }
+
+ private:
+  static double median_of(const std::vector<double>& sorted) {
+    if (sorted.empty()) return 0.0;
+    const std::size_t n = sorted.size();
+    return n % 2 == 1 ? sorted[n / 2]
+                      : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  }
+
+  std::vector<double> sorted_;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace entk::analytics

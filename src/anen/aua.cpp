@@ -180,23 +180,47 @@ AuaResult run_random(const AuaSpec& spec) { return run_method(spec, false); }
 namespace {
 
 /// Shared mutable iteration state for the pipeline tasks.
-struct PipelineState {
+struct AuaState {
   std::shared_ptr<AuaRunner> runner;
   bool adaptive = true;
   std::vector<std::vector<GridPoint>> batches;  ///< per-subregion, computed
   std::mutex mutex;
 };
 
-StagePtr make_compute_and_aggregate_stages(
-    const std::shared_ptr<PipelineState>& st);
+/// One iteration's task batches: select the next locations (on the
+/// controller thread — the workflow-decision thread, so the RNG sequence
+/// matches the direct loop exactly), fan the AnEn computation out across
+/// subregion tasks, and close with the aggregate+error task.
+std::vector<TaskPtr> make_compute_tasks(const std::shared_ptr<AuaState>& st) {
+  const AuaSpec& spec = st->runner->spec();
+  std::vector<GridPoint> batch;
+  {
+    const int remaining =
+        spec.budget - static_cast<int>(st->runner->grid().point_count());
+    const int n = std::min(spec.points_per_iteration, std::max(0, remaining));
+    batch = st->adaptive ? st->runner->select_adaptive(n)
+                         : st->runner->select_random(n);
+  }
+  auto parts = AuaRunner::partition(batch, spec.subregions);
+  st->batches.assign(parts.size(), {});
+  std::vector<TaskPtr> tasks;
+  tasks.reserve(parts.size());
+  for (std::size_t m = 0; m < parts.size(); ++m) {
+    auto t = std::make_shared<Task>("compute-anen-sub" + std::to_string(m));
+    t->duration_s = 2.0;
+    auto points = std::make_shared<std::vector<GridPoint>>(std::move(parts[m]));
+    t->function = [st, points, m] {
+      st->runner->compute_points(*points);
+      std::lock_guard<std::mutex> lock(st->mutex);
+      st->batches[m] = std::move(*points);
+      return 0;
+    };
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
 
-/// Stage: "Compute AnEn for subregion m" fan-out, followed (via post_exec
-/// on the aggregate stage) by either another iteration or termination.
-/// The pipeline is held weakly: stages live inside the pipeline, so a
-/// strong capture would be a reference cycle.
-StagePtr make_aggregate_stage(const std::shared_ptr<PipelineState>& st,
-                              const std::weak_ptr<Pipeline>& pipeline) {
-  auto aggregate = std::make_shared<Stage>("aggregate-and-error");
+TaskPtr make_aggregate_task(const std::shared_ptr<AuaState>& st) {
   auto t = std::make_shared<Task>("aggregate");
   t->duration_s = 1.0;
   t->function = [st] {
@@ -208,60 +232,26 @@ StagePtr make_aggregate_stage(const std::shared_ptr<PipelineState>& st,
     st->runner->aggregate_and_error();
     return 0;
   };
-  aggregate->add_task(t);
-  // Decision diamond (Fig 5): extend the pipeline while not converged.
-  aggregate->post_exec = [st, pipeline] {
-    PipelinePtr p = pipeline.lock();
-    if (!p) return;
-    std::lock_guard<std::mutex> lock(st->mutex);
-    if (st->runner->converged()) return;
-    p->add_stage(make_compute_and_aggregate_stages(st));
-    p->add_stage(make_aggregate_stage(st, pipeline));
-  };
-  return aggregate;
-}
-
-StagePtr make_compute_and_aggregate_stages(
-    const std::shared_ptr<PipelineState>& st) {
-  const AuaSpec& spec = st->runner->spec();
-  auto compute = std::make_shared<Stage>("compute-anen-subregions");
-  // Select this iteration's locations now (on the workflow thread) and
-  // fan the AnEn computation out across subregion tasks.
-  std::vector<GridPoint> batch;
-  {
-    const int remaining =
-        spec.budget - static_cast<int>(st->runner->grid().point_count());
-    const int n = std::min(spec.points_per_iteration, std::max(0, remaining));
-    batch = st->adaptive ? st->runner->select_adaptive(n)
-                         : st->runner->select_random(n);
-  }
-  auto parts = AuaRunner::partition(batch, spec.subregions);
-  st->batches.assign(parts.size(), {});
-  for (std::size_t m = 0; m < parts.size(); ++m) {
-    auto t = std::make_shared<Task>("compute-anen-sub" + std::to_string(m));
-    t->duration_s = 2.0;
-    auto points = std::make_shared<std::vector<GridPoint>>(std::move(parts[m]));
-    t->function = [st, points, m] {
-      st->runner->compute_points(*points);
-      std::lock_guard<std::mutex> lock(st->mutex);
-      st->batches[m] = std::move(*points);
-      return 0;
-    };
-    compute->add_task(t);
-  }
-  return compute;
+  return t;
 }
 
 }  // namespace
 
 PipelinePtr build_aua_pipeline(std::shared_ptr<AuaRunner> runner,
-                               bool adaptive) {
-  auto st = std::make_shared<PipelineState>();
+                               bool adaptive,
+                               const ensemble::ControllerPtr& controller) {
+  if (!controller) {
+    throw ValueError("aua", "controller", "a non-null ensemble controller");
+  }
+  auto st = std::make_shared<AuaState>();
   st->runner = std::move(runner);
   st->adaptive = adaptive;
 
   auto pipeline = std::make_shared<Pipeline>(
       adaptive ? "aua-adaptive" : "aua-random");
+  // The controller extends the pipeline asynchronously, so it idles
+  // held-open between iterations instead of completing.
+  pipeline->hold_open();
 
   // Stage 1: initialize AnEn parameters (Fig 5 step 1).
   auto init = std::make_shared<Stage>("initialize");
@@ -287,25 +277,34 @@ PipelinePtr build_aua_pipeline(std::shared_ptr<AuaRunner> runner,
     return 0;
   };
   pre->add_task(t_pre);
-  // After preprocessing, enter the iterative step (Fig 5 step 3).
-  pre->post_exec = [st, weak = std::weak_ptr<Pipeline>(pipeline)] {
-    PipelinePtr p = weak.lock();
-    if (!p) return;
-    std::lock_guard<std::mutex> lock(st->mutex);
-    if (st->runner->converged()) return;
-    p->add_stage(make_compute_and_aggregate_stages(st));
-    p->add_stage(make_aggregate_stage(st, weak));
-  };
   pipeline->add_stage(pre);
 
-  // Final stage (always appended last by construction when the loop ends):
-  // post-process (Fig 5 step 4) — final interpolation already happened in
-  // the last aggregate; this validates and stamps the result.
-  // Note: the decision hook appends iteration stages BEFORE the pipeline
-  // advances past the aggregate stage, so a static trailing stage would
-  // run too early; post-processing therefore lives in the caller (the
-  // paper's post-processing task interpolates, which aggregate already
-  // does each iteration).
+  // The iterative step (Fig 5 step 3) as one rule: after preprocessing and
+  // after every aggregate, either append the next compute/aggregate pair
+  // or — the decision diamond — finish the pipeline when converged.
+  const std::string puid = pipeline->uid();
+  ensemble::Rule iterate;
+  iterate.name = std::string("aua-iterate-") +
+                 (adaptive ? "adaptive" : "random");
+  iterate.when = [puid](const ensemble::TriggerContext& c) {
+    return c.event && c.event->kind == ensemble::Event::Kind::Stage &&
+           c.event->done() && c.event->pipeline == puid &&
+           (c.event->name == "preprocess-and-grid" ||
+            c.event->name == "aggregate-and-error");
+  };
+  iterate.then = [st, puid](ensemble::Ops& ops) {
+    std::lock_guard<std::mutex> lock(st->mutex);
+    if (st->runner->converged()) {
+      ops.finish(puid);
+      return;
+    }
+    ops.submit_tasks(puid, "compute-anen-subregions", make_compute_tasks(st));
+    ops.submit_tasks(puid, "aggregate-and-error", {make_aggregate_task(st)});
+  };
+  controller->add_rule(std::move(iterate));
+
+  // Post-processing (Fig 5 step 4) lives in the caller: the final
+  // interpolation already happened in the last aggregate task.
   return pipeline;
 }
 

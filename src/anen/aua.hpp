@@ -14,6 +14,7 @@
 #include "src/anen/anen.hpp"
 #include "src/anen/grid.hpp"
 #include "src/core/pipeline.hpp"
+#include "src/ensemble/controller.hpp"
 
 namespace entk::anen {
 
@@ -95,10 +96,15 @@ class AuaRunner {
 AuaResult run_adaptive(const AuaSpec& spec);
 AuaResult run_random(const AuaSpec& spec);
 
-/// PST encoding of Fig 5: initialize -> preprocess -> [compute-subregions
-/// -> aggregate+error]* (extended at runtime by the post-exec hook until
-/// converged) -> postprocess. The runner must outlive the pipeline.
+/// PST encoding of Fig 5 on the ensemble rule API: initialize ->
+/// preprocess -> [compute-subregions -> aggregate+error]* . The returned
+/// pipeline is held open; a rule registered on `controller` consumes each
+/// aggregate stage's completion event, appends the next compute/aggregate
+/// pair (Fig 5's decision diamond) and finishes the pipeline once
+/// converged. Attach the controller to the AppManagerConfig before run();
+/// the runner must outlive the pipeline.
 PipelinePtr build_aua_pipeline(std::shared_ptr<AuaRunner> runner,
-                               bool adaptive);
+                               bool adaptive,
+                               const ensemble::ControllerPtr& controller);
 
 }  // namespace entk::anen

@@ -146,6 +146,16 @@ void AppManager::run() {
     if (local_broker_ && local_broker_->has_queue(queue)) continue;
     broker_->declare_queue(queue, queue_opts);
   }
+  std::string events_queue = config_.events_queue;
+  if (events_queue.empty() && config_.adaptive_factory) {
+    events_queue = "q.ensemble.events";
+  }
+  if (!events_queue.empty() &&
+      !(local_broker_ && local_broker_->has_queue(events_queue))) {
+    // The event stream is advisory (rules re-derive nothing from it that
+    // the state journal does not also hold), so it is never durable.
+    broker_->declare_queue(events_queue, mq::QueueOptions{});
+  }
 
   store_ = std::make_unique<StateStore>(
       journal_dir.empty() ? "" : journal_dir + "/" + uid_ + ".states",
@@ -163,6 +173,7 @@ void AppManager::run() {
   wf_cfg.default_task_retry_limit = config_.task_retry_limit;
   wf_cfg.batch_size = batch;
   wf_cfg.inline_units = config_.remote_workers;
+  wf_cfg.events_queue = events_queue;
   if (!config_.resume_journal.empty()) {
     StateStore previous;
     previous.recover(config_.resume_journal);
@@ -210,6 +221,21 @@ void AppManager::run() {
     });
   }
 
+  if (config_.adaptive_factory) {
+    AdaptiveWiring wiring;
+    wiring.broker = broker_;
+    wiring.events_queue = events_queue;
+    wiring.registry = &registry_;
+    wiring.wfprocessor = wfprocessor_.get();
+    wiring.clock = clock_;
+    wiring.profiler = profiler_;
+    wiring.metrics = metrics_;
+    wiring.resize = [this](const rts::ResizeRequest& request) {
+      return exec_manager_ ? exec_manager_->request_resize(request) : false;
+    };
+    adaptive_ = config_.adaptive_factory(wiring);
+  }
+
   // Supervision tree (paper §II-B-4): the supervisor heartbeat-probes the
   // sibling components and restarts any that fail, re-attached to the same
   // queues and state store; the ExecManager supervises the RTS below it.
@@ -218,6 +244,7 @@ void AppManager::run() {
   supervisor_->supervise(wfprocessor_.get());
   if (exec_manager_) supervisor_->supervise(exec_manager_.get());
   if (worker_directory_) supervisor_->supervise(worker_directory_.get());
+  if (adaptive_) supervisor_->supervise(adaptive_.get());
   supervisor_->set_fatal_handler(
       [this](const std::string& component, const std::string& reason) {
         note_fatal(component, reason);
@@ -233,6 +260,7 @@ void AppManager::run() {
     wfprocessor_->set_metrics(metrics_);
     if (exec_manager_) exec_manager_->set_metrics(metrics_);
     if (worker_directory_) worker_directory_->set_metrics(metrics_);
+    if (adaptive_) adaptive_->set_metrics(metrics_);
     supervisor_->set_metrics(metrics_);
   }
 
@@ -246,6 +274,9 @@ void AppManager::run() {
   profiler_->record("amgr", "amgr_run_start");
   if (exec_manager_) exec_manager_->start();
   if (worker_directory_) worker_directory_->start();
+  // Before the WFProcessor, so the controller observes the event stream
+  // from the first completion onward.
+  if (adaptive_) adaptive_->start();
   wfprocessor_->start();
   supervisor_->start();
   wfprocessor_->wait_completion();
@@ -257,6 +288,9 @@ void AppManager::run() {
   // Supervisor first, so an intentionally-stopping component is not
   // mistaken for a crashed one and restarted mid-teardown.
   supervisor_->stop();
+  // The controller before the WFProcessor: its actions (cancel, append,
+  // resize) route through a still-live workflow stack.
+  if (adaptive_) adaptive_->stop();
   wfprocessor_->stop();
   const double rts_terminate_wall =
       exec_manager_ ? exec_manager_->stop() : 0.0;

@@ -9,6 +9,7 @@
 // through its Synchronizer into the transactional StateStore.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -31,6 +32,29 @@
 #include "src/worker/registration.hpp"
 
 namespace entk {
+
+/// Wiring handed to an adaptive-extension factory (the ensemble
+/// Controller): everything a rule engine needs to observe and steer a run.
+/// Defined here — not in src/ensemble — so core never depends on the
+/// ensemble library; the dependency points the other way.
+struct AdaptiveWiring {
+  mq::BrokerHandlePtr broker;
+  std::string events_queue;  ///< WFProcessor completion-event stream
+  ObjectRegistry* registry = nullptr;
+  WFProcessor* wfprocessor = nullptr;
+  ClockPtr clock;
+  ProfilerPtr profiler;
+  obs::MetricsPtr metrics;  ///< null when metrics are off
+  /// Elastic-pilot hook; always callable, returns false when no local RTS
+  /// exists (remote-workers mode) or the RTS cannot resize.
+  std::function<bool(const rts::ResizeRequest&)> resize;
+};
+
+/// Invoked during run() setup once the core components exist. The returned
+/// Component is supervised, started with the core components and stopped
+/// at teardown. ensemble::Controller::attach() installs one of these.
+using AdaptiveFactory =
+    std::function<std::shared_ptr<Component>(const AdaptiveWiring&)>;
 
 struct AppManagerConfig {
   ResourceDescription resource;
@@ -133,6 +157,16 @@ struct AppManagerConfig {
   /// workers silent longer than this stop counting as live. Gauge-level
   /// only; requeue correctness is the broker daemon's worker TTL.
   double worker_ttl_s = 5.0;
+
+  /// Adaptive-workflow extension (the ensemble Controller). When set, the
+  /// WFProcessor publishes its completion-event stream to events_queue and
+  /// the factory's Component joins the supervision tree for the run.
+  AdaptiveFactory adaptive_factory;
+
+  /// Queue carrying the completion-event stream. Empty = enabled only when
+  /// adaptive_factory is set, under the default name "q.ensemble.events";
+  /// set explicitly to tap the stream without a controller.
+  std::string events_queue;
 };
 
 class AppManager {
@@ -218,6 +252,7 @@ class AppManager {
   std::unique_ptr<WFProcessor> wfprocessor_;
   std::unique_ptr<ExecManager> exec_manager_;     ///< null in remote mode
   std::unique_ptr<worker::WorkerDirectory> worker_directory_;
+  std::shared_ptr<Component> adaptive_;  ///< ensemble Controller (optional)
   std::unique_ptr<Supervisor> supervisor_;
 
   std::mutex fatal_mutex_;

@@ -69,10 +69,18 @@ StagePtr Pipeline::advance() {
   return stages_[current_];
 }
 
+StagePtr Pipeline::advance_past(const StagePtr& done) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (current_ < stages_.size() && stages_[current_] == done) ++current_;
+  if (current_ >= stages_.size()) return nullptr;
+  return stages_[current_];
+}
+
 void Pipeline::reset_for_resume() {
   std::lock_guard<std::mutex> lock(mutex_);
   state_ = PipelineState::Described;
   current_ = 0;
+  completing_ = false;
   for (const StagePtr& stage : stages_) {
     stage->set_state(StageState::Described);
     for (const TaskPtr& task : stage->tasks()) {

@@ -9,6 +9,7 @@
 // given threshold".
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -53,11 +54,31 @@ class Pipeline {
   /// AppManager's resume_journal skip what already completed.
   void reset_for_resume();
 
+  // --- adaptive hold (ensemble::Controller) -------------------------------
+  // A held-open pipeline is not marked DONE when its stages are exhausted:
+  // it idles in Scheduling so an asynchronous controller can keep appending
+  // stages (the generator loop). release_hold() lets the WFProcessor
+  // complete it on the next rescan.
+  void hold_open() { held_open_ = true; }
+  void release_hold() { held_open_ = false; }
+  bool held_open() const { return held_open_.load(); }
+
   // Internal (WFProcessor/Synchronizer).
   void set_state(PipelineState s) { state_ = s; }
   /// Move to the next stage; returns the new current stage or nullptr when
   /// the pipeline is exhausted.
   StagePtr advance();
+  /// Idempotent advance: moves past `done` only if it is still the current
+  /// stage, then returns the (possibly unchanged) current stage. Two threads
+  /// can observe the same stage DONE — the dequeue thread finishing it and
+  /// the enqueue rescan's crash-recovery branch — and both call this; only
+  /// one increments, so a stage appended concurrently by an adaptive
+  /// controller is never skipped.
+  StagePtr advance_past(const StagePtr& done);
+  /// One-shot guard for the SCHEDULING->DONE transition: the first caller
+  /// (dequeue finishing the last stage, or the enqueue rescan after a
+  /// release_hold) wins; everyone else backs off.
+  bool begin_completion() { return !completing_.exchange(true); }
 
  private:
   std::string uid_;
@@ -65,6 +86,8 @@ class Pipeline {
   mutable std::mutex mutex_;
   std::vector<StagePtr> stages_;
   std::size_t current_ = 0;
+  std::atomic<bool> held_open_{false};
+  std::atomic<bool> completing_{false};
 };
 
 using PipelinePtr = std::shared_ptr<Pipeline>;

@@ -112,8 +112,12 @@ void WFProcessor::cancel() {
 
 void WFProcessor::enqueue_loop() {
   SyncClient sync(broker_, "wfp.enqueue", states_queue_, "q.ack.wfp.enq");
+  std::uint64_t scans = 0;
   while (!stop_requested()) {
     beat();
+    if (++scans % 2048 == 0) {
+      ENTK_DEBUG("wfprocessor") << "enqueue alive, scan " << scans;
+    }
     std::deque<std::string> retries;
     {
       std::unique_lock<std::mutex> lock(work_mutex_);
@@ -142,14 +146,65 @@ void WFProcessor::enqueue_loop() {
                   true);
       }
       StagePtr stage = pipeline->current_stage();
-      if (!stage || stage->state() != StageState::Described) continue;
+      if (!stage) {
+        // Exhausted: either the controller still holds the pipeline open
+        // (a generator may append more stages) or it is ready to complete.
+        complete_pipeline(pipeline, sync);
+        continue;
+      }
+      if (stage->state() == StageState::Done) {
+        // Crash recovery: a previous generation died inside a post_exec
+        // hook after the stage committed DONE but before the pipeline
+        // advanced. Pick up where it left off — the hook itself was
+        // consumed (at-most-once) and does not re-run.
+        register_appended_stages(pipeline);
+        stage = pipeline->advance_past(stage);
+        if (!stage) {
+          complete_pipeline(pipeline, sync);
+          continue;
+        }
+      }
+      if (stage->state() != StageState::Described) continue;
       schedule_stage(pipeline, stage, sync);
     }
   }
 }
 
+void WFProcessor::notify_work() {
+  {
+    std::lock_guard<std::mutex> lock(work_mutex_);
+    work_available_ = true;
+  }
+  work_cv_.notify_all();
+}
+
+void WFProcessor::register_appended_stages(const PipelinePtr& pipeline) {
+  for (const StagePtr& s : pipeline->stages()) {
+    if (!registry_->stage(s->uid())) registry_->add_stage(s);
+  }
+}
+
+void WFProcessor::complete_pipeline(const PipelinePtr& pipeline,
+                                    SyncClient& sync) {
+  if (pipeline->state() != PipelineState::Scheduling) return;
+  if (pipeline->held_open()) return;
+  if (!pipeline->begin_completion()) return;
+  sync.sync(pipeline->uid(), "pipeline", "SCHEDULING", "DONE", true);
+  profiler_->record("wfprocessor", "pipeline_done", pipeline->uid());
+  json::Value ev;
+  ev["event"] = "pipeline";
+  ev["uid"] = pipeline->uid();
+  ev["name"] = pipeline->name;
+  ev["outcome"] = "DONE";
+  emit_event(std::move(ev));
+  done_cv_.notify_all();
+}
+
 void WFProcessor::schedule_stage(const PipelinePtr& pipeline,
                                  const StagePtr& stage, SyncClient& sync) {
+  ENTK_DEBUG("wfprocessor") << "scheduling stage " << stage->uid() << " ("
+                            << stage->task_count() << " tasks) of "
+                            << pipeline->uid();
   profiler_->record("wfprocessor", "stage_schedule_start", stage->uid());
   sync.sync(stage->uid(), "stage", "DESCRIBED", "SCHEDULING", true);
   std::size_t recovered = 0;
@@ -160,6 +215,11 @@ void WFProcessor::schedule_stage(const PipelinePtr& pipeline,
       ++recovered;
       ++tasks_recovered_;
       profiler_->record("wfprocessor", "task_recovered", task->uid());
+      continue;
+    }
+    if (task->state() == TaskState::Canceled) {
+      // Canceled before this stage was scheduled (cancel_tasks counted it
+      // as resolved in the book already): never dispatch it.
       continue;
     }
     if (config_.batch_size <= 1) {
@@ -175,17 +235,22 @@ void WFProcessor::schedule_stage(const PipelinePtr& pipeline,
   if (!chunk.empty()) enqueue_task_batch(chunk, sync);
   sync.sync(stage->uid(), "stage", "SCHEDULING", "SCHEDULED", true);
   profiler_->record("wfprocessor", "stage_schedule_stop", stage->uid());
-  if (recovered > 0) {
-    bool stage_complete = false;
-    {
-      std::lock_guard<std::mutex> lock(book_mutex_);
-      StageBook& book = stage_books_[stage->uid()];
-      book.resolved += recovered;
-      stage_complete = book.resolved >= stage->task_count();
+  // Completion check even when nothing was recovered: cancellations may
+  // have pre-resolved tasks of this stage in the book.
+  bool stage_complete = false;
+  bool stage_failed = false;
+  {
+    std::lock_guard<std::mutex> lock(book_mutex_);
+    StageBook& book = stage_books_[stage->uid()];
+    book.resolved += recovered;
+    if (book.resolved >= stage->task_count() && !book.finished) {
+      book.finished = true;
+      stage_complete = true;
     }
-    if (stage_complete) {
-      finish_stage(pipeline, stage, /*stage_failed=*/false, sync);
-    }
+    stage_failed = book.failed > 0;
+  }
+  if (stage_complete) {
+    finish_stage(pipeline, stage, stage_failed, sync);
   }
 }
 
@@ -378,11 +443,13 @@ void WFProcessor::resolve_task(const json::Value& result, SyncClient& sync) {
     ++tasks_failed_;
     profiler_->record("wfprocessor", "task_failed", uid);
     if (failed_metric_ != nullptr) failed_metric_->add(1);
+    emit_task_event(task, "FAILED");
   } else {
     sync.sync(uid, "task", "EXECUTED", "DONE", true);
     ++tasks_done_;
     profiler_->record("wfprocessor", "task_done", uid);
     if (done_metric_ != nullptr) done_metric_->add(1);
+    emit_task_event(task, "DONE");
   }
 
   bool stage_complete = false;
@@ -392,7 +459,10 @@ void WFProcessor::resolve_task(const json::Value& result, SyncClient& sync) {
     StageBook& book = stage_books_[stage->uid()];
     ++book.resolved;
     if (failed) ++book.failed;
-    stage_complete = book.resolved >= stage->task_count();
+    if (book.resolved >= stage->task_count() && !book.finished) {
+      book.finished = true;
+      stage_complete = true;
+    }
     stage_failed = book.failed > 0;
   }
   if (!stage_complete) return;
@@ -462,6 +532,7 @@ void WFProcessor::resolve_results(const std::vector<const json::Value*>& results
     tasks_done_ += resolved.size();
     for (const Resolved& r : resolved) {
       profiler_->record("wfprocessor", "task_done", r.task->uid());
+      emit_task_event(r.task, "DONE");
     }
     if (done_metric_ != nullptr) done_metric_->add(resolved.size());
 
@@ -473,7 +544,8 @@ void WFProcessor::resolve_results(const std::vector<const json::Value*>& results
       for (const Resolved& r : resolved) {
         StageBook& book = stage_books_[r.stage->uid()];
         ++book.resolved;
-        if (book.resolved >= r.stage->task_count()) {
+        if (book.resolved >= r.stage->task_count() && !book.finished) {
+          book.finished = true;
           completions.emplace_back(&r, book.failed > 0);
         }
       }
@@ -496,44 +568,151 @@ void WFProcessor::resolve_results(const std::vector<const json::Value*>& results
 void WFProcessor::finish_stage(const PipelinePtr& pipeline,
                                const StagePtr& stage, bool stage_failed,
                                SyncClient& sync) {
+  json::Value stage_ev;
+  stage_ev["event"] = "stage";
+  stage_ev["uid"] = stage->uid();
+  stage_ev["name"] = stage->name;
+  stage_ev["pipeline"] = pipeline->uid();
+
   if (stage_failed) {
     sync.sync(stage->uid(), "stage", "SCHEDULED", "FAILED", true);
     sync.sync(pipeline->uid(), "pipeline", "SCHEDULING", "FAILED", true);
     ENTK_WARN("wfprocessor") << "pipeline " << pipeline->uid()
                              << " failed at stage " << stage->uid();
+    stage_ev["outcome"] = "FAILED";
+    emit_event(std::move(stage_ev));
+    json::Value pipe_ev;
+    pipe_ev["event"] = "pipeline";
+    pipe_ev["uid"] = pipeline->uid();
+    pipe_ev["name"] = pipeline->name;
+    pipe_ev["outcome"] = "FAILED";
+    emit_event(std::move(pipe_ev));
     done_cv_.notify_all();
     return;
   }
 
   sync.sync(stage->uid(), "stage", "SCHEDULED", "DONE", true);
   profiler_->record("wfprocessor", "stage_done", stage->uid());
+  stage_ev["outcome"] = "DONE";
+  emit_event(std::move(stage_ev));
 
   // Post-execution hook: may extend the pipeline (adaptivity/branching).
+  // The hook is consumed before it runs (at-most-once): an escaping
+  // exception becomes a captured component fault — the supervisor restarts
+  // the WFProcessor and the enqueue rescan advances past this stage
+  // WITHOUT re-running user code.
   if (stage->post_exec) {
+    auto hook = std::move(stage->post_exec);
+    stage->post_exec = nullptr;
     try {
-      stage->post_exec();
+      hook();
     } catch (const std::exception& e) {
-      ENTK_ERROR("wfprocessor") << "post_exec of " << stage->uid()
-                                << " threw: " << e.what();
+      throw EnTKError("stage " + stage->uid() + " post_exec threw: " +
+                      e.what());
+    } catch (...) {
+      throw EnTKError("stage " + stage->uid() +
+                      " post_exec threw a non-standard exception");
     }
     // Register any stages the hook appended.
-    for (const StagePtr& s : pipeline->stages()) {
-      if (!registry_->stage(s->uid())) registry_->add_stage(s);
-    }
+    register_appended_stages(pipeline);
   }
 
-  StagePtr next = pipeline->advance();
+  StagePtr next = pipeline->advance_past(stage);
+  ENTK_DEBUG("wfprocessor") << "stage " << stage->uid() << " done, next="
+                            << (next ? next->uid() : "none") << " held="
+                            << (pipeline->held_open() ? "y" : "n");
   if (next) {
-    {
-      std::lock_guard<std::mutex> lock(work_mutex_);
-      work_available_ = true;
-    }
-    work_cv_.notify_all();
+    notify_work();
+  } else if (pipeline->held_open()) {
+    // The ensemble Controller owns this pipeline's lifetime: it idles in
+    // Scheduling until rules append more stages or release the hold (the
+    // enqueue rescan completes it then).
+    notify_work();
   } else {
-    sync.sync(pipeline->uid(), "pipeline", "SCHEDULING", "DONE", true);
-    profiler_->record("wfprocessor", "pipeline_done", pipeline->uid());
-    done_cv_.notify_all();
+    complete_pipeline(pipeline, sync);
   }
+}
+
+std::size_t WFProcessor::cancel_tasks(const std::vector<std::string>& uids) {
+  // Runs on the caller's thread (the ensemble Controller), so it owns a
+  // private sync channel.
+  SyncClient sync(broker_, "wfp.cancel_tasks", states_queue_,
+                  "q.ack.wfp.cancel_tasks");
+  std::size_t canceled = 0;
+  for (const std::string& uid : uids) {
+    TaskPtr task = registry_->task(uid);
+    if (!task) continue;
+    bool won = false;
+    // The current state can move under us (SCHEDULING -> SCHEDULED -> ...);
+    // re-read and retry a few times. Only winning the CANCELED transition
+    // entitles us to the stage-book credit — if a completion raced in
+    // first, resolve_task already took it.
+    for (int attempt = 0; attempt < 3 && !won; ++attempt) {
+      const TaskState st = task->state();
+      if (is_final(st)) break;
+      won = sync.sync(uid, "task", to_string(st), "CANCELED", true);
+    }
+    if (!won) continue;
+    ++canceled;
+    ++tasks_canceled_;
+    profiler_->record("wfprocessor", "task_canceled", uid);
+    emit_task_event(task, "CANCELED");
+    StagePtr stage = registry_->stage(task->parent_stage());
+    PipelinePtr pipeline = registry_->pipeline(task->parent_pipeline());
+    if (!stage || !pipeline) continue;
+    // A canceled task counts as resolved or its stage would never finish.
+    // Completion may only fire once the stage is fully dispatched
+    // (Scheduled); earlier cancellations are picked up by the completion
+    // check at the end of schedule_stage.
+    bool stage_complete = false;
+    {
+      std::lock_guard<std::mutex> lock(book_mutex_);
+      StageBook& book = stage_books_[stage->uid()];
+      ++book.resolved;
+      if (stage->state() == StageState::Scheduled &&
+          book.resolved >= stage->task_count() && !book.finished) {
+        book.finished = true;
+        stage_complete = true;
+      }
+    }
+    if (stage_complete) {
+      bool stage_failed = false;
+      {
+        std::lock_guard<std::mutex> lock(book_mutex_);
+        stage_failed = stage_books_[stage->uid()].failed > 0;
+      }
+      finish_stage(pipeline, stage, stage_failed, sync);
+    }
+  }
+  return canceled;
+}
+
+void WFProcessor::emit_event(json::Value event) {
+  if (config_.events_queue.empty()) return;
+  ENTK_DEBUG("wfprocessor") << "emit " << event.get_string("event", "?")
+                            << " " << event.get_string("uid", "?") << " "
+                            << event.get_string("outcome", "?");
+  try {
+    broker_->publish(config_.events_queue,
+                     mq::Message::json_body(config_.events_queue,
+                                            std::move(event)));
+  } catch (const std::exception&) {
+    // Broker closing during teardown: the stream consumer is gone anyway.
+  }
+}
+
+void WFProcessor::emit_task_event(const TaskPtr& task, const char* outcome) {
+  if (config_.events_queue.empty()) return;
+  json::Value ev;
+  ev["event"] = "task";
+  ev["uid"] = task->uid();
+  ev["name"] = task->name;
+  ev["outcome"] = outcome;
+  ev["exit_code"] = task->exit_code();
+  ev["stage"] = task->parent_stage();
+  ev["pipeline"] = task->parent_pipeline();
+  if (!task->metadata.is_null()) ev["metadata"] = task->metadata;
+  emit_event(std::move(ev));
 }
 
 }  // namespace entk

@@ -49,6 +49,13 @@ struct WfConfig {
   /// validates). State flow, profiler events and bookkeeping are
   /// unchanged — only the pending wire form differs.
   bool inline_units = false;
+
+  /// Non-empty: publish a completion-event stream ({"event": "task" |
+  /// "stage" | "pipeline", ...}) to this queue as results resolve — the
+  /// single source of truth the ensemble::Controller consumes. Every event
+  /// is emitted AFTER the state transition it describes committed, so a
+  /// rule acting on an event never races the transition.
+  std::string events_queue;
 };
 
 /// A supervised Component with two workers ("enqueue", "dequeue"). All
@@ -75,12 +82,25 @@ class WFProcessor : public Component {
   /// finish in the RTS but their results are ignored.
   void cancel();
 
+  /// Targeted cancellation (ensemble `cancel_group` action): move the given
+  /// live tasks to Canceled, counting them as resolved in their stage books
+  /// so stages still complete. Thread-safe — the Synchronizer arbitrates
+  /// races with in-flight results (only the winner of the CANCELED
+  /// transition updates the book, so every task resolves exactly once).
+  /// Returns how many tasks this call actually canceled.
+  std::size_t cancel_tasks(const std::vector<std::string>& uids);
+
+  /// Wake the enqueue rescan (a controller appended stages or released a
+  /// held-open pipeline).
+  void notify_work();
+
   /// Tasks resolved Done / finally Failed; total resubmission attempts;
   /// tasks skipped because a previous attempt already completed them.
   std::size_t tasks_done() const { return tasks_done_.load(); }
   std::size_t tasks_failed() const { return tasks_failed_.load(); }
   std::size_t resubmissions() const { return resubmissions_.load(); }
   std::size_t tasks_recovered() const { return tasks_recovered_.load(); }
+  std::size_t tasks_canceled() const { return tasks_canceled_.load(); }
 
   BusyAccumulator& enqueue_busy() { return enqueue_busy_; }
   BusyAccumulator& dequeue_busy() { return dequeue_busy_; }
@@ -95,6 +115,7 @@ class WFProcessor : public Component {
   struct StageBook {
     std::size_t resolved = 0;
     std::size_t failed = 0;
+    bool finished = false;  ///< finish_stage dispatched (one-shot guard)
   };
 
   void enqueue_loop();
@@ -114,7 +135,17 @@ class WFProcessor : public Component {
                        SyncClient& sync);
   void finish_stage(const PipelinePtr& pipeline, const StagePtr& stage,
                     bool stage_failed, SyncClient& sync);
+  /// Mark an exhausted, un-held pipeline DONE (one caller wins the
+  /// begin_completion guard; everyone else is a no-op).
+  void complete_pipeline(const PipelinePtr& pipeline, SyncClient& sync);
+  /// Register stages a hook/controller appended to the pipeline but that
+  /// the registry has not seen yet.
+  void register_appended_stages(const PipelinePtr& pipeline);
   bool all_pipelines_final() const;
+
+  // Completion-event stream (no-ops when events_queue is empty).
+  void emit_event(json::Value event);
+  void emit_task_event(const TaskPtr& task, const char* outcome);
 
   const WfConfig config_;
   mq::BrokerHandlePtr broker_;
@@ -145,6 +176,7 @@ class WFProcessor : public Component {
   std::atomic<std::size_t> tasks_recovered_{0};
   std::atomic<std::size_t> tasks_failed_{0};
   std::atomic<std::size_t> resubmissions_{0};
+  std::atomic<std::size_t> tasks_canceled_{0};
 
   BusyAccumulator enqueue_busy_;
   BusyAccumulator dequeue_busy_;

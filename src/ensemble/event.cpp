@@ -1,0 +1,54 @@
+#include "src/ensemble/event.hpp"
+
+namespace entk::ensemble {
+
+namespace {
+const json::Value kNull;
+}  // namespace
+
+std::string Event::group() const {
+  if (!metadata.is_object() || !metadata.contains("ensemble")) return "";
+  return metadata.at("ensemble").get_string("group", "");
+}
+
+const json::Value& Event::values() const {
+  if (!metadata.is_object() || !metadata.contains("ensemble")) return kNull;
+  const json::Value& ens = metadata.at("ensemble");
+  if (!ens.is_object() || !ens.contains("values")) return kNull;
+  return ens.at("values");
+}
+
+std::optional<Event> Event::parse(const json::Value& payload) {
+  if (!payload.is_object()) return std::nullopt;
+  const std::string kind = payload.get_string("event", "");
+  Event ev;
+  if (kind == "task") {
+    ev.kind = Kind::Task;
+  } else if (kind == "stage") {
+    ev.kind = Kind::Stage;
+  } else if (kind == "pipeline") {
+    ev.kind = Kind::Pipeline;
+  } else {
+    return std::nullopt;
+  }
+  ev.uid = payload.get_string("uid", "");
+  ev.name = payload.get_string("name", "");
+  ev.outcome = payload.get_string("outcome", "");
+  ev.stage = payload.get_string("stage", "");
+  ev.pipeline = payload.get_string("pipeline", "");
+  ev.exit_code = static_cast<int>(payload.get_int("exit_code", 0));
+  if (payload.contains("metadata")) ev.metadata = payload.at("metadata");
+  if (ev.uid.empty() || ev.outcome.empty()) return std::nullopt;
+  return ev;
+}
+
+const char* to_string(Event::Kind kind) {
+  switch (kind) {
+    case Event::Kind::Task: return "task";
+    case Event::Kind::Stage: return "stage";
+    case Event::Kind::Pipeline: return "pipeline";
+  }
+  return "?";
+}
+
+}  // namespace entk::ensemble

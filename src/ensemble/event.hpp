@@ -1,0 +1,52 @@
+// Completion events: the ensemble subsystem's view of the WFProcessor's
+// event stream (WfConfig::events_queue).
+//
+// Every event describes a state transition that has ALREADY committed
+// through the Synchronizer — the stream is a read-only shadow of the one
+// source of truth, so a rule acting on an event can never race the
+// transition it reacts to.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/json/json.hpp"
+
+namespace entk::ensemble {
+
+/// One parsed completion event. Task events additionally carry the task's
+/// metadata, which is where the ensemble conventions live:
+///   metadata["ensemble"]["group"]  — the task's group tag (rule targeting,
+///                                    per-group statistics);
+///   metadata["ensemble"]["values"] — numeric results the task body
+///                                    published (generator::make_task).
+struct Event {
+  enum class Kind { Task, Stage, Pipeline };
+
+  Kind kind = Kind::Task;
+  std::string uid;
+  std::string name;
+  std::string outcome;   ///< "DONE" | "FAILED" | "CANCELED"
+  std::string stage;     ///< parent stage uid (task events)
+  std::string pipeline;  ///< parent/own pipeline uid
+  int exit_code = 0;
+  json::Value metadata;  ///< task description metadata (task events)
+
+  bool done() const { return outcome == "DONE"; }
+  bool failed() const { return outcome == "FAILED"; }
+  bool canceled() const { return outcome == "CANCELED"; }
+
+  /// Group tag of a task event ("" when untagged or not a task event).
+  std::string group() const;
+
+  /// Published numeric values of a task event (null when none).
+  const json::Value& values() const;
+
+  /// Parse one wire event; nullopt for malformed or unknown payloads
+  /// (the controller skips them instead of faulting).
+  static std::optional<Event> parse(const json::Value& payload);
+};
+
+const char* to_string(Event::Kind kind);
+
+}  // namespace entk::ensemble

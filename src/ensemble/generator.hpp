@@ -1,0 +1,76 @@
+// Generator: the producer side of the generator/evaluator loop.
+//
+// A Generator turns the results so far (ResultView) into the next batch of
+// parameterized tasks. The Controller drives it libEnsemble-style against
+// a held-open pipeline: after every stage of that pipeline completes, the
+// generator is asked for the next batch; an empty batch means converged —
+// the controller releases the hold and the pipeline completes.
+//
+// make_task() is the conventional task shape: the body receives a mutable
+// json object, writes its numeric outputs into it, and those outputs land
+// in metadata["ensemble"]["values"] of the completion event — which is
+// exactly what ResultView aggregates and the stat triggers test.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/task.hpp"
+#include "src/ensemble/result_view.hpp"
+#include "src/ensemble/rule.hpp"
+
+namespace entk::ensemble {
+
+class Generator {
+ public:
+  virtual ~Generator() = default;
+
+  /// Produce the next task batch given the results so far. Runs on the
+  /// controller thread. An empty batch signals convergence.
+  virtual std::vector<TaskPtr> next(ResultView& results, Ops& ops) = 0;
+};
+
+using GeneratorPtr = std::shared_ptr<Generator>;
+
+/// Lambda-backed generator.
+class FnGenerator : public Generator {
+ public:
+  using Fn = std::function<std::vector<TaskPtr>(ResultView&, Ops&)>;
+  explicit FnGenerator(Fn fn) : fn_(std::move(fn)) {}
+  std::vector<TaskPtr> next(ResultView& results, Ops& ops) override {
+    return fn_(results, ops);
+  }
+
+ private:
+  Fn fn_;
+};
+
+inline GeneratorPtr make_generator(FnGenerator::Fn fn) {
+  return std::make_shared<FnGenerator>(std::move(fn));
+}
+
+/// Build a group-tagged task whose body publishes numeric values into the
+/// completion event. The body runs in the executor; the task captures
+/// itself weakly, so the write-back is a no-op if the task object is gone.
+inline TaskPtr make_task(std::string name, std::string group,
+                         std::function<int(json::Value& values)> body,
+                         double duration_s = 1.0) {
+  auto task = std::make_shared<Task>(std::move(name));
+  task->duration_s = duration_s;
+  task->metadata["ensemble"]["group"] = std::move(group);
+  std::weak_ptr<Task> weak = task;
+  task->function = [weak, body = std::move(body)]() {
+    json::Value values;
+    const int rc = body(values);
+    if (TaskPtr t = weak.lock()) {
+      t->metadata["ensemble"]["values"] = std::move(values);
+    }
+    return rc;
+  };
+  return task;
+}
+
+}  // namespace entk::ensemble

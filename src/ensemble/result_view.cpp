@@ -1,0 +1,130 @@
+#include "src/ensemble/result_view.hpp"
+
+#include <cmath>
+
+namespace entk::ensemble {
+
+void ResultView::ingest(const Event& event) {
+  if (event.kind != Event::Kind::Task) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Group& g = groups_[event.group()];
+  if (event.done()) {
+    ++g.done;
+    ++total_done_;
+    g.events.push_back(event);
+    const json::Value& values = event.values();
+    if (values.is_object()) {
+      for (const auto& [key, value] : values.as_object()) {
+        if (!value.is_number()) continue;
+        analytics::StreamingStats& s = g.stats[key];
+        s.observe(value.as_double());
+        export_gauges_locked(event.group(), key, s);
+      }
+    }
+  } else if (event.failed()) {
+    ++g.failed;
+    ++total_failed_;
+  } else if (event.canceled()) {
+    ++g.canceled;
+  }
+}
+
+std::size_t ResultView::done_count(const std::string& group) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.done;
+}
+
+std::size_t ResultView::failed_count(const std::string& group) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.failed;
+}
+
+std::size_t ResultView::canceled_count(const std::string& group) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : it->second.canceled;
+}
+
+std::size_t ResultView::total_done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_done_;
+}
+
+std::size_t ResultView::total_failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_failed_;
+}
+
+double ResultView::stat(const std::string& group, const std::string& key,
+                        Stat which, double fallback) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto git = groups_.find(group);
+  if (git == groups_.end()) return fallback;
+  const auto sit = git->second.stats.find(key);
+  if (sit == git->second.stats.end() || sit->second.count() == 0) {
+    return fallback;
+  }
+  const analytics::StreamingStats& s = sit->second;
+  switch (which) {
+    case Stat::Count: return static_cast<double>(s.count());
+    case Stat::Min: return s.min();
+    case Stat::Max: return s.max();
+    case Stat::Mean: return s.mean();
+    case Stat::Median: return s.median();
+    case Stat::Mad: return s.mad();
+    case Stat::Sum: return s.sum();
+  }
+  return fallback;
+}
+
+std::size_t ResultView::sample_count(const std::string& group,
+                                     const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto git = groups_.find(group);
+  if (git == groups_.end()) return 0;
+  const auto sit = git->second.stats.find(key);
+  return sit == git->second.stats.end() ? 0 : sit->second.count();
+}
+
+std::vector<Event> ResultView::completed(const std::string& group) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = groups_.find(group);
+  return it == groups_.end() ? std::vector<Event>{} : it->second.events;
+}
+
+std::optional<Event> ResultView::last_with_value(
+    const std::string& group, const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return std::nullopt;
+  const std::vector<Event>& events = it->second.events;
+  for (auto rit = events.rbegin(); rit != events.rend(); ++rit) {
+    const json::Value& values = rit->values();
+    if (values.is_object() && values.contains(key)) return *rit;
+  }
+  return std::nullopt;
+}
+
+void ResultView::set_metrics(obs::MetricsPtr metrics) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  metrics_ = std::move(metrics);
+}
+
+void ResultView::export_gauges_locked(const std::string& group,
+                                      const std::string& key,
+                                      const analytics::StreamingStats& s) {
+  if (!metrics_) return;
+  const std::string base =
+      "ensemble." + (group.empty() ? "untagged" : group) + "." + key;
+  const auto milli = [](double v) {
+    return static_cast<std::int64_t>(std::llround(v * 1000.0));
+  };
+  metrics_->gauge(base + ".count").set(static_cast<std::int64_t>(s.count()));
+  metrics_->gauge(base + ".mean_milli").set(milli(s.mean()));
+  metrics_->gauge(base + ".median_milli").set(milli(s.median()));
+  metrics_->gauge(base + ".mad_milli").set(milli(s.mad()));
+}
+
+}  // namespace entk::ensemble

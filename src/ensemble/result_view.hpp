@@ -1,0 +1,87 @@
+// ResultView: the evaluator side of the generator/evaluator loop.
+//
+// Accumulates the task completion stream into per-group outcome counts,
+// the full event history, and exact streaming statistics (mean / median /
+// MAD via analytics::StreamingStats) over every numeric value the tasks
+// published under metadata["ensemble"]["values"]. Generators and rule
+// triggers read this view to decide what to run next (the libEnsemble
+// loop shape: generate -> simulate -> evaluate -> generate ...).
+//
+// When a metrics registry is attached, each (group, key) series is
+// exported live as gauges
+//   ensemble.<group>.<key>.count / .mean_milli / .median_milli / .mad_milli
+// (values scaled by 1000 — the registry's gauges are integral).
+//
+// Thread-safety: fully locked. Ingest happens on the controller's worker
+// thread; tests and post-run inspection read from other threads.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/analytics/streaming.hpp"
+#include "src/ensemble/event.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace entk::ensemble {
+
+/// Statistic selector for rule triggers and stat() lookups.
+enum class Stat { Count, Min, Max, Mean, Median, Mad, Sum };
+
+class ResultView {
+ public:
+  /// Record one event (task events feed counts + stats; stage/pipeline
+  /// events feed nothing but are accepted for uniformity).
+  void ingest(const Event& event);
+
+  /// Per-group outcome counts ("" = the untagged group).
+  std::size_t done_count(const std::string& group) const;
+  std::size_t failed_count(const std::string& group) const;
+  std::size_t canceled_count(const std::string& group) const;
+
+  /// Totals across all groups.
+  std::size_t total_done() const;
+  std::size_t total_failed() const;
+
+  /// One statistic of the (group, key) series; `fallback` when the series
+  /// has no samples yet.
+  double stat(const std::string& group, const std::string& key, Stat which,
+              double fallback = 0.0) const;
+  std::size_t sample_count(const std::string& group,
+                           const std::string& key) const;
+
+  /// Copy of a group's completed (DONE) task events, in arrival order.
+  std::vector<Event> completed(const std::string& group) const;
+
+  /// The most recent DONE task event of a group carrying `key` in its
+  /// values; nullopt when none arrived yet.
+  std::optional<Event> last_with_value(const std::string& group,
+                                       const std::string& key) const;
+
+  /// Attach a metrics registry for live ensemble.<group>.* gauges
+  /// (nullptr detaches). Safe to call before ingestion starts.
+  void set_metrics(obs::MetricsPtr metrics);
+
+ private:
+  struct Group {
+    std::size_t done = 0;
+    std::size_t failed = 0;
+    std::size_t canceled = 0;
+    std::vector<Event> events;  ///< DONE task events only
+    std::map<std::string, analytics::StreamingStats> stats;
+  };
+
+  void export_gauges_locked(const std::string& group, const std::string& key,
+                            const analytics::StreamingStats& s);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Group> groups_;
+  std::size_t total_done_ = 0;
+  std::size_t total_failed_ = 0;
+  obs::MetricsPtr metrics_;
+};
+
+}  // namespace entk::ensemble

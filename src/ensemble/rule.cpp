@@ -1,0 +1,125 @@
+#include "src/ensemble/rule.hpp"
+
+namespace entk::ensemble {
+
+namespace {
+
+bool name_matches(const Event& ev, const std::string& prefix) {
+  if (prefix.empty()) return true;
+  return ev.name.rfind(prefix, 0) == 0 || ev.uid.rfind(prefix, 0) == 0;
+}
+
+Trigger outcome_trigger(Event::Kind kind, const char* outcome,
+                        std::string prefix) {
+  return [kind, outcome, prefix = std::move(prefix)](const TriggerContext& c) {
+    return c.event && c.event->kind == kind && c.event->outcome == outcome &&
+           name_matches(*c.event, prefix);
+  };
+}
+
+}  // namespace
+
+namespace trigger {
+
+Trigger task_done(std::string name_prefix) {
+  return outcome_trigger(Event::Kind::Task, "DONE", std::move(name_prefix));
+}
+
+Trigger task_failed(std::string name_prefix) {
+  return outcome_trigger(Event::Kind::Task, "FAILED", std::move(name_prefix));
+}
+
+Trigger stage_done(std::string name_prefix) {
+  return outcome_trigger(Event::Kind::Stage, "DONE", std::move(name_prefix));
+}
+
+Trigger pipeline_done(std::string name_prefix) {
+  return outcome_trigger(Event::Kind::Pipeline, "DONE",
+                         std::move(name_prefix));
+}
+
+Trigger group_done_at_least(std::string group, std::size_t n) {
+  return [group = std::move(group), n](const TriggerContext& c) {
+    return c.results.done_count(group) >= n;
+  };
+}
+
+Trigger stat_below(std::string group, std::string key, Stat which,
+                   double threshold, std::size_t min_count) {
+  return [group = std::move(group), key = std::move(key), which, threshold,
+          min_count](const TriggerContext& c) {
+    if (c.results.sample_count(group, key) < min_count) return false;
+    return c.results.stat(group, key, which) < threshold;
+  };
+}
+
+Trigger stat_above(std::string group, std::string key, Stat which,
+                   double threshold, std::size_t min_count) {
+  return [group = std::move(group), key = std::move(key), which, threshold,
+          min_count](const TriggerContext& c) {
+    if (c.results.sample_count(group, key) < min_count) return false;
+    return c.results.stat(group, key, which) > threshold;
+  };
+}
+
+Trigger every(double interval_s) {
+  // Stateful: the previous firing time rides in a shared cell so the
+  // trigger stays copyable.
+  auto last = std::make_shared<double>(-1e300);
+  return [interval_s, last](const TriggerContext& c) {
+    if (c.now_s - *last < interval_s) return false;
+    *last = c.now_s;
+    return true;
+  };
+}
+
+Trigger after(double delay_s) {
+  return [delay_s](const TriggerContext& c) { return c.now_s >= delay_s; };
+}
+
+Trigger all_of(std::vector<Trigger> triggers) {
+  return [triggers = std::move(triggers)](const TriggerContext& c) {
+    for (const Trigger& t : triggers) {
+      if (!t || !t(c)) return false;
+    }
+    return true;
+  };
+}
+
+}  // namespace trigger
+
+namespace action {
+
+Action cancel_group(std::string group) {
+  return [group = std::move(group)](Ops& ops) { ops.cancel_group(group); };
+}
+
+Action resize_pilot(int delta_nodes, std::string reason) {
+  return [delta_nodes, reason = std::move(reason)](Ops& ops) {
+    ops.resize_pilot(delta_nodes, reason);
+  };
+}
+
+Action finish(std::string pipeline_uid) {
+  return [pipeline_uid = std::move(pipeline_uid)](Ops& ops) {
+    ops.finish(pipeline_uid);
+  };
+}
+
+Action set_param(std::string key, json::Value value) {
+  return [key = std::move(key), value = std::move(value)](Ops& ops) {
+    ops.set_param(key, value);
+  };
+}
+
+Action sequence(std::vector<Action> actions) {
+  return [actions = std::move(actions)](Ops& ops) {
+    for (const Action& a : actions) {
+      if (a) a(ops);
+    }
+  };
+}
+
+}  // namespace action
+
+}  // namespace entk::ensemble

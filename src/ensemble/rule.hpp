@@ -1,0 +1,135 @@
+// Rule engine: triggers, actions and the Ops surface they act through.
+//
+// A Rule is {when, then}: the Controller evaluates `when` against every
+// completion event (and once per poll iteration with no event, which is
+// how timer triggers advance) and, when it returns true, runs `then`
+// against the Ops interface. Ops is implemented by the Controller itself;
+// every call is journaled as part of the firing decision, so an adaptive
+// run can be replayed and debugged from its decision journal alone.
+//
+// Everything here is composable plain std::function — the trigger:: and
+// action:: factories below cover the common cases (and are what the JSON
+// rule loader builds on), while applications are free to pass arbitrary
+// lambdas.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/pipeline.hpp"
+#include "src/ensemble/event.hpp"
+#include "src/ensemble/result_view.hpp"
+#include "src/json/json.hpp"
+
+namespace entk::ensemble {
+
+/// What actions operate through. Implemented by the Controller; every
+/// mutation routes through the workflow stack (WFProcessor, Synchronizer,
+/// RTS) so rules never touch shared state directly.
+class Ops {
+ public:
+  virtual ~Ops() = default;
+
+  /// Completed-result view (counts, streaming stats, event history).
+  virtual ResultView& results() = 0;
+
+  /// Virtual (scaled-clock) seconds since the controller started.
+  virtual double now_s() const = 0;
+
+  /// Shared tunable parameters (the set_param action; generators read
+  /// them to steer the next batch). A missing key reads as null.
+  virtual json::Value param(const std::string& key) const = 0;
+  virtual void set_param(const std::string& key, json::Value value) = 0;
+
+  /// Append a new stage holding `tasks` to a (typically held-open)
+  /// pipeline and wake the WFProcessor. The stage and its tasks are
+  /// registered before they become visible to the scheduler.
+  virtual void submit_tasks(const std::string& pipeline_uid,
+                            const std::string& stage_name,
+                            std::vector<TaskPtr> tasks) = 0;
+
+  /// Append a fully-built stage (post_exec hooks and all).
+  virtual void add_stage(const std::string& pipeline_uid, StagePtr stage) = 0;
+
+  /// Cancel every live task tagged with `group`
+  /// (metadata["ensemble"]["group"]). Returns how many tasks were won;
+  /// races with in-flight completions are arbitrated by the Synchronizer,
+  /// so each task resolves exactly once either way.
+  virtual std::size_t cancel_group(const std::string& group) = 0;
+
+  /// Grow (delta > 0) or shrink (delta < 0) the pilot by that many nodes.
+  /// Shrinking drains: busy nodes leave placement immediately and retire
+  /// when their units finish. Returns false when no RTS can resize.
+  virtual bool resize_pilot(int delta_nodes, const std::string& reason) = 0;
+
+  /// Release the adaptive hold of one pipeline (or of every pipeline when
+  /// `pipeline_uid` is empty) so the run can complete.
+  virtual void finish(const std::string& pipeline_uid = std::string()) = 0;
+};
+
+struct TriggerContext {
+  const Event* event;  ///< null on a timer tick (no event this iteration)
+  ResultView& results;
+  double now_s;  ///< virtual seconds since controller start
+};
+
+using Trigger = std::function<bool(const TriggerContext&)>;
+using Action = std::function<void(Ops&)>;
+
+struct Rule {
+  std::string name;
+  Trigger when;
+  Action then;
+  int max_fires = -1;  ///< < 0 = unlimited
+  int fires = 0;       ///< maintained by the controller
+};
+
+namespace trigger {
+
+/// Task completed with outcome DONE; empty prefix matches every task,
+/// otherwise the task name must start with `name_prefix`.
+Trigger task_done(std::string name_prefix = "");
+/// Task exhausted its retry budget (final FAILED).
+Trigger task_failed(std::string name_prefix = "");
+/// Stage finished (DONE).
+Trigger stage_done(std::string name_prefix = "");
+/// Pipeline reached DONE.
+Trigger pipeline_done(std::string name_prefix = "");
+
+/// results.done_count(group) reached `n` (pair with max_fires = 1: the
+/// condition stays true once reached).
+Trigger group_done_at_least(std::string group, std::size_t n);
+
+/// Statistic of the (group, key) series crossed a threshold. Fires only
+/// once at least `min_count` samples arrived.
+Trigger stat_below(std::string group, std::string key, Stat which,
+                   double threshold, std::size_t min_count = 1);
+Trigger stat_above(std::string group, std::string key, Stat which,
+                   double threshold, std::size_t min_count = 1);
+
+/// Periodic timer: fires when `interval_s` virtual seconds elapsed since
+/// the previous firing (evaluated at poll granularity).
+Trigger every(double interval_s);
+/// One-shot deadline: fires once `delay_s` virtual seconds after start
+/// (pair with max_fires = 1 unless refiring is wanted).
+Trigger after(double delay_s);
+
+/// Conjunction (evaluated left to right, short-circuit).
+Trigger all_of(std::vector<Trigger> triggers);
+
+}  // namespace trigger
+
+namespace action {
+
+Action cancel_group(std::string group);
+Action resize_pilot(int delta_nodes, std::string reason);
+Action finish(std::string pipeline_uid = "");
+Action set_param(std::string key, json::Value value);
+/// Run several actions in order.
+Action sequence(std::vector<Action> actions);
+
+}  // namespace action
+
+}  // namespace entk::ensemble

@@ -1,0 +1,122 @@
+#include "src/ensemble/rules_json.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+
+namespace entk::ensemble {
+
+namespace {
+
+Stat stat_from_string(const std::string& s) {
+  if (s == "count") return Stat::Count;
+  if (s == "min") return Stat::Min;
+  if (s == "max") return Stat::Max;
+  if (s == "mean") return Stat::Mean;
+  if (s == "median") return Stat::Median;
+  if (s == "mad") return Stat::Mad;
+  if (s == "sum") return Stat::Sum;
+  throw ValueError("rules", "stat",
+                   "count | min | max | mean | median | mad | sum");
+}
+
+Trigger trigger_from_json(const json::Value& t) {
+  if (!t.is_object()) throw ValueError("rules", "trigger", "an object");
+  const std::string type = t.get_string("type", "");
+  const std::string match = t.get_string("match", "");
+  if (type == "task_done") return trigger::task_done(match);
+  if (type == "task_failed") return trigger::task_failed(match);
+  if (type == "stage_done") return trigger::stage_done(match);
+  if (type == "pipeline_done") return trigger::pipeline_done(match);
+  if (type == "group_done") {
+    return trigger::group_done_at_least(
+        t.get_string("group", ""),
+        static_cast<std::size_t>(t.get_int("count", 1)));
+  }
+  if (type == "timer") {
+    return trigger::every(t.get_double("interval_s", 1.0));
+  }
+  if (type == "after") {
+    return trigger::after(t.get_double("delay_s", 0.0));
+  }
+  if (type == "stat_below" || type == "stat_above") {
+    const std::string group = t.get_string("group", "");
+    const std::string key = t.get_string("key", "");
+    if (key.empty()) throw ValueError("rules", "key", "a value key");
+    const Stat stat = stat_from_string(t.get_string("stat", "mean"));
+    const double threshold = t.get_double("threshold", 0.0);
+    const auto min_count =
+        static_cast<std::size_t>(t.get_int("min_count", 1));
+    return type == "stat_below"
+               ? trigger::stat_below(group, key, stat, threshold, min_count)
+               : trigger::stat_above(group, key, stat, threshold, min_count);
+  }
+  throw ValueError("rules", "trigger.type",
+                   "task_done | task_failed | stage_done | pipeline_done | "
+                   "group_done | timer | after | stat_below | stat_above");
+}
+
+Action action_from_json(const json::Value& a) {
+  if (!a.is_object()) throw ValueError("rules", "action", "an object");
+  const std::string type = a.get_string("type", "");
+  if (type == "cancel_group") {
+    const std::string group = a.get_string("group", "");
+    if (group.empty()) throw ValueError("rules", "group", "a group tag");
+    return action::cancel_group(group);
+  }
+  if (type == "resize_pilot") {
+    const int delta = static_cast<int>(a.get_int("delta_nodes", 0));
+    if (delta == 0) {
+      throw ValueError("rules", "delta_nodes", "a non-zero node delta");
+    }
+    return action::resize_pilot(delta, a.get_string("reason", "rule"));
+  }
+  if (type == "finish") {
+    return action::finish(a.get_string("pipeline", ""));
+  }
+  if (type == "set_param") {
+    const std::string key = a.get_string("key", "");
+    if (key.empty()) throw ValueError("rules", "key", "a parameter key");
+    return action::set_param(key, a.contains("value") ? a.at("value")
+                                                      : json::Value());
+  }
+  throw ValueError("rules", "action.type",
+                   "cancel_group | resize_pilot | finish | set_param");
+}
+
+}  // namespace
+
+std::vector<Rule> rules_from_json(const json::Value& doc) {
+  if (!doc.is_object() || !doc.contains("rules") ||
+      !doc.at("rules").is_array()) {
+    throw ValueError("rules", "document", "an object with a 'rules' array");
+  }
+  std::vector<Rule> out;
+  for (const json::Value& r : doc.at("rules").as_array()) {
+    if (!r.is_object()) throw ValueError("rules", "rule", "an object");
+    Rule rule;
+    rule.name = r.get_string("name", "rule-" + std::to_string(out.size()));
+    if (!r.contains("trigger")) throw ValueError("rules", "trigger", "set");
+    if (!r.contains("action")) throw ValueError("rules", "action", "set");
+    rule.when = trigger_from_json(r.at("trigger"));
+    rule.then = action_from_json(r.at("action"));
+    rule.max_fires = static_cast<int>(r.get_int("max_fires", -1));
+    out.push_back(std::move(rule));
+  }
+  return out;
+}
+
+std::vector<Rule> rules_from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw EnTKError("rules: cannot read " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return rules_from_json(json::parse(buffer.str()));
+  } catch (const json::ParseError& e) {
+    throw EnTKError("rules: " + path + ": " + e.what());
+  }
+}
+
+}  // namespace entk::ensemble

@@ -1,0 +1,41 @@
+// JSON rule loader: builds Rule objects from a declarative description so
+// tools (entk_run --rules FILE) can run adaptive policies without code.
+//
+// File shape:
+//   {"rules": [
+//     {"name": "shed-low-priority",
+//      "trigger": {"type": "task_failed", "match": "sim-"},
+//      "action":  {"type": "cancel_group", "group": "low"},
+//      "max_fires": 1},
+//     {"trigger": {"type": "timer", "interval_s": 5.0},
+//      "action":  {"type": "resize_pilot", "delta_nodes": -1,
+//                  "reason": "deadline pressure"}},
+//     {"trigger": {"type": "stat_below", "group": "opt", "key": "misfit",
+//                  "stat": "min", "threshold": 0.01, "min_count": 8},
+//      "action":  {"type": "finish"}}
+//   ]}
+//
+// Triggers: task_done | task_failed | stage_done | pipeline_done (optional
+// "match" name/uid prefix); group_done {"group", "count"}; timer
+// {"interval_s"}; after {"delay_s"}; stat_below / stat_above {"group",
+// "key", "stat": count|min|max|mean|median|mad|sum, "threshold",
+// "min_count"}.
+// Actions: cancel_group {"group"}; resize_pilot {"delta_nodes", "reason"};
+// finish {"pipeline"?}; set_param {"key", "value"}.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/ensemble/rule.hpp"
+#include "src/json/json.hpp"
+
+namespace entk::ensemble {
+
+/// Parse a rule document (throws ValueError on malformed input).
+std::vector<Rule> rules_from_json(const json::Value& doc);
+
+/// Load and parse a rule file (throws EnTKError when unreadable).
+std::vector<Rule> rules_from_file(const std::string& path);
+
+}  // namespace entk::ensemble

@@ -81,6 +81,12 @@ void Agent::on_stop_requested() {
   worker_cv_.notify_all();
 }
 
+void Agent::notify_capacity() {
+  // The executor re-runs placement at the top of every loop iteration;
+  // waking it is enough for pending units to see the resized NodeMap.
+  exec_cv_.notify_all();
+}
+
 void Agent::stop() {
   if (state() != ComponentState::Running) return;
   stopping_ = true;

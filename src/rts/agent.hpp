@@ -101,6 +101,11 @@ class Agent : public Component {
   /// Units accepted but not yet finalized.
   std::vector<std::string> in_flight() const;
 
+  /// Poke the executor after the pilot's NodeMap changed capacity (elastic
+  /// resize): pending units get a placement attempt immediately instead of
+  /// on the next poll tick.
+  void notify_capacity();
+
   std::size_t completed() const { return completed_.load(); }
   std::size_t failed() const { return failed_.load(); }
 

@@ -106,6 +106,29 @@ void MultiPilotRts::kill() {
   for (auto& member : members_) member->kill();
 }
 
+bool MultiPilotRts::resize(const ResizeRequest& request) {
+  if (!healthy_.load() || members_.empty()) return false;
+  if (request.delta_nodes == 0) return false;
+  // Grow the most-loaded pilot (least free cores) — it is the one starving;
+  // shrink the most-idle pilot so the drain finishes soonest.
+  std::size_t target = 0;
+  int target_free = -1;
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    Pilot* pilot = members_[i]->pilot();
+    if (pilot == nullptr || !members_[i]->is_healthy()) continue;
+    const int free = pilot->node_map().free_cores();
+    const bool better = target_free < 0 ||
+                        (request.delta_nodes > 0 ? free < target_free
+                                                 : free > target_free);
+    if (better) {
+      target_free = free;
+      target = i;
+    }
+  }
+  if (target_free < 0) return false;
+  return members_[target]->resize(request);
+}
+
 RtsStats MultiPilotRts::stats() const {
   RtsStats total;
   for (const auto& member : members_) {

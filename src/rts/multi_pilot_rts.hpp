@@ -33,6 +33,7 @@ class MultiPilotRts final : public Rts {
   bool is_healthy() const override;
   void terminate() override;
   void kill() override;
+  bool resize(const ResizeRequest& request) override;
   RtsStats stats() const override;
   std::vector<std::string> in_flight_units() const override;
 

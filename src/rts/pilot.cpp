@@ -1,5 +1,7 @@
 #include "src/rts/pilot.hpp"
 
+#include <algorithm>
+
 #include "src/common/error.hpp"
 #include "src/common/ids.hpp"
 
@@ -24,13 +26,14 @@ Pilot::Pilot(std::string uid, PilotDescription description,
       cluster_(std::move(cluster)),
       job_(std::move(job)),
       clock_(std::move(clock)) {
-  nodes_ = description_.nodes;
-  if (nodes_ <= 0) {
-    nodes_ = (description_.cores + cluster_.cores_per_node - 1) /
-             cluster_.cores_per_node;
+  int nodes = description_.nodes;
+  if (nodes <= 0) {
+    nodes = (description_.cores + cluster_.cores_per_node - 1) /
+            cluster_.cores_per_node;
   }
-  if (nodes_ <= 0) nodes_ = 1;
-  node_map_ = std::make_unique<sim::NodeMap>(nodes_, cluster_.cores_per_node,
+  if (nodes <= 0) nodes = 1;
+  nodes_ = nodes;
+  node_map_ = std::make_unique<sim::NodeMap>(nodes, cluster_.cores_per_node,
                                              cluster_.gpus_per_node);
   filesystem_ = std::make_unique<sim::SharedFilesystem>(cluster_.filesystem);
 }
@@ -52,13 +55,28 @@ void Pilot::wait_bootstrapped() {
   job_->wait_active();
   if (job_->state() == saga::JobState::Failed) {
     throw RtsError("pilot " + uid_ + ": job failed (requested " +
-                   std::to_string(nodes_) + " nodes on " + cluster_.name +
-                   " with " + std::to_string(cluster_.nodes) + ")");
+                   std::to_string(nodes_.load()) + " nodes on " +
+                   cluster_.name + " with " + std::to_string(cluster_.nodes) +
+                   ")");
   }
   if (!bootstrapped_) {
     clock_->sleep_for(cluster_.agent_bootstrap_s);
     bootstrapped_ = true;
   }
+}
+
+int Pilot::resize(int delta_nodes) {
+  if (delta_nodes > 0) {
+    // Growing is capped at the CI's machine size — a pilot cannot hold
+    // more nodes than the cluster has.
+    const int room = cluster_.nodes - node_map_->nodes();
+    const int grow = std::min(delta_nodes, std::max(0, room));
+    if (grow > 0) nodes_ = node_map_->add_nodes(grow);
+  } else if (delta_nodes < 0) {
+    node_map_->retire_nodes(-delta_nodes);
+    nodes_ = node_map_->nodes();
+  }
+  return nodes_.load();
 }
 
 void Pilot::cancel() {

@@ -8,6 +8,7 @@
 // width for walltime, Fig 10).
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -47,8 +48,13 @@ class Pilot {
   const sim::ClusterSpec& cluster() const { return cluster_; }
   PilotState state() const;
 
-  int nodes() const { return nodes_; }
-  int cores() const { return nodes_ * cluster_.cores_per_node; }
+  int nodes() const { return nodes_.load(); }
+  int cores() const { return nodes_.load() * cluster_.cores_per_node; }
+
+  /// Elastic resize: grow (+N, capped at the CI's machine size) or shrink
+  /// (-N, never below one node; retiring nodes drain their in-flight
+  /// units). Returns the new active node count.
+  int resize(int delta_nodes);
 
   sim::NodeMap& node_map() { return *node_map_; }
   sim::SharedFilesystem& filesystem() { return *filesystem_; }
@@ -68,7 +74,7 @@ class Pilot {
   const sim::ClusterSpec cluster_;
   saga::JobPtr job_;
   ClockPtr clock_;
-  int nodes_ = 0;
+  std::atomic<int> nodes_{0};
   bool bootstrapped_ = false;
   std::unique_ptr<sim::NodeMap> node_map_;
   std::unique_ptr<sim::SharedFilesystem> filesystem_;

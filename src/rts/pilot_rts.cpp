@@ -107,6 +107,18 @@ void PilotRts::kill() {
   if (pilot_) pilot_->cancel();
 }
 
+bool PilotRts::resize(const ResizeRequest& request) {
+  if (!healthy_.load() || !pilot_) return false;
+  if (request.delta_nodes == 0) return false;
+  const int before = pilot_->nodes();
+  const int after = pilot_->resize(request.delta_nodes);
+  profiler_->record(uid_, request.delta_nodes > 0 ? "pilot_grow"
+                                                  : "pilot_shrink",
+                    pilot_->uid(), clock_->now());
+  if (pilot_->agent() != nullptr) pilot_->agent()->notify_capacity();
+  return after != before;
+}
+
 RtsStats PilotRts::stats() const {
   RtsStats s;
   s.units_submitted = submitted_.load();

@@ -23,6 +23,15 @@ struct RtsStats {
   std::size_t units_in_flight = 0;
 };
 
+/// Elastic-pilot request: grow (+N) or shrink (-N) the allocated nodes
+/// mid-run. Shrinks drain — in-flight units finish on retiring nodes and
+/// no unit is ever killed by a resize. `reason` lands in the profiler
+/// trace and the ensemble decision journal.
+struct ResizeRequest {
+  int delta_nodes = 0;
+  std::string reason;
+};
+
 class Rts {
  public:
   virtual ~Rts() = default;
@@ -50,6 +59,14 @@ class Rts {
   /// pilot resources (paper failure model §II-B-4). After kill() the RTS is
   /// unhealthy and unusable; EnTK must create a fresh instance.
   virtual void kill() = 0;
+
+  /// Elastic resize (paper §II-B "resource-level adaptivity"). Returns
+  /// false when this RTS cannot resize (the default — fixed-size runtimes
+  /// like the local thread pool) or when the request changed nothing.
+  virtual bool resize(const ResizeRequest& request) {
+    (void)request;
+    return false;
+  }
 
   virtual RtsStats stats() const = 0;
 

@@ -1,21 +1,45 @@
 #include "src/sim/node_map.hpp"
 
+#include <algorithm>
+#include <numeric>
+
 namespace entk::sim {
 
 NodeMap::NodeMap(int nodes, int cores_per_node, int gpus_per_node)
     : cores_per_node_(cores_per_node),
       gpus_per_node_(gpus_per_node),
       free_cores_per_node_(static_cast<std::size_t>(nodes), cores_per_node),
-      free_gpus_per_node_(static_cast<std::size_t>(nodes), gpus_per_node) {
+      free_gpus_per_node_(static_cast<std::size_t>(nodes), gpus_per_node),
+      retired_(static_cast<std::size_t>(nodes), 0) {
   stats_.total_cores = nodes * cores_per_node;
   stats_.total_gpus = nodes * gpus_per_node;
 }
 
+bool NodeMap::node_fully_free(std::size_t n) const {
+  return free_cores_per_node_[n] == cores_per_node_ &&
+         free_gpus_per_node_[n] == gpus_per_node_;
+}
+
+int NodeMap::active_nodes_locked() const {
+  int active = 0;
+  for (const char r : retired_) active += r ? 0 : 1;
+  return active;
+}
+
+int NodeMap::draining_nodes_locked() const {
+  int draining = 0;
+  for (std::size_t n = 0; n < retired_.size(); ++n) {
+    if (retired_[n] && !node_fully_free(n)) ++draining;
+  }
+  return draining;
+}
+
 bool NodeMap::fits_capacity(const SlotRequest& request) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   if (request.exclusive_nodes) {
     const int nodes_needed =
         (request.cores + cores_per_node_ - 1) / cores_per_node_;
-    return nodes_needed <= nodes();
+    return nodes_needed <= active_nodes_locked();
   }
   return request.cores <= stats_.total_cores &&
          request.gpus <= stats_.total_gpus;
@@ -32,6 +56,7 @@ std::optional<Allocation> NodeMap::try_allocate(const SlotRequest& request) {
     if (nodes_needed == 0) nodes_needed = 1;
     for (std::size_t n = 0;
          n < free_cores_per_node_.size() && nodes_needed > 0; ++n) {
+      if (retired_[n]) continue;
       if (free_cores_per_node_[n] == cores_per_node_ &&
           free_gpus_per_node_[n] == gpus_per_node_) {
         held.cores_per_node.emplace_back(static_cast<int>(n), cores_per_node_);
@@ -55,6 +80,7 @@ std::optional<Allocation> NodeMap::try_allocate(const SlotRequest& request) {
     for (std::size_t n = 0;
          n < free_cores_per_node_.size() && (cores_left > 0 || gpus_left > 0);
          ++n) {
+      if (retired_[n]) continue;
       const int take_c = std::min(cores_left, free_cores_per_node_[n]);
       const int take_g = std::min(gpus_left, free_gpus_per_node_[n]);
       if (take_c > 0 || take_g > 0) {
@@ -89,20 +115,85 @@ void NodeMap::release(std::uint64_t allocation_id) {
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = held_.find(allocation_id);
   if (it == held_.end()) return;
+  // Cores on retired (draining) nodes were already removed from the stats
+  // when the node retired; returning them only restores the per-node view
+  // so the drain can be observed completing.
   for (const auto& [n, c] : it->second.cores_per_node) {
     free_cores_per_node_[static_cast<std::size_t>(n)] += c;
-    stats_.used_cores -= c;
+    if (!retired_[static_cast<std::size_t>(n)]) stats_.used_cores -= c;
   }
   for (const auto& [n, g] : it->second.gpus_per_node) {
     free_gpus_per_node_[static_cast<std::size_t>(n)] += g;
-    stats_.used_gpus -= g;
+    if (!retired_[static_cast<std::size_t>(n)]) stats_.used_gpus -= g;
   }
   held_.erase(it);
 }
 
+int NodeMap::add_nodes(int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Resurrect retired nodes first: their ids (and any still-draining
+  // allocations) return to service, so a shrink followed by a grow is
+  // cheap and loses nothing.
+  for (std::size_t n = 0; n < retired_.size() && count > 0; ++n) {
+    if (!retired_[n]) continue;
+    retired_[n] = 0;
+    stats_.total_cores += cores_per_node_;
+    stats_.total_gpus += gpus_per_node_;
+    stats_.used_cores += cores_per_node_ - free_cores_per_node_[n];
+    stats_.used_gpus += gpus_per_node_ - free_gpus_per_node_[n];
+    --count;
+  }
+  for (; count > 0; --count) {
+    free_cores_per_node_.push_back(cores_per_node_);
+    free_gpus_per_node_.push_back(gpus_per_node_);
+    retired_.push_back(0);
+    stats_.total_cores += cores_per_node_;
+    stats_.total_gpus += gpus_per_node_;
+  }
+  return active_nodes_locked();
+}
+
+int NodeMap::retire_nodes(int count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Retire the freest nodes first so the drain completes soonest; keep at
+  // least one node active or the pilot could never run anything again.
+  std::vector<std::size_t> candidates;
+  for (std::size_t n = 0; n < retired_.size(); ++n) {
+    if (!retired_[n]) candidates.push_back(n);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return free_cores_per_node_[a] > free_cores_per_node_[b];
+                   });
+  const int max_retirable = static_cast<int>(candidates.size()) - 1;
+  const int to_retire = std::min(count, std::max(0, max_retirable));
+  for (int i = 0; i < to_retire; ++i) {
+    const std::size_t n = candidates[static_cast<std::size_t>(i)];
+    retired_[n] = 1;
+    stats_.total_cores -= cores_per_node_;
+    stats_.total_gpus -= gpus_per_node_;
+    stats_.used_cores -= cores_per_node_ - free_cores_per_node_[n];
+    stats_.used_gpus -= gpus_per_node_ - free_gpus_per_node_[n];
+  }
+  return to_retire;
+}
+
+int NodeMap::draining_nodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_nodes_locked();
+}
+
+int NodeMap::nodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_nodes_locked();
+}
+
 NodeMapStats NodeMap::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  NodeMapStats out = stats_;
+  out.active_nodes = active_nodes_locked();
+  out.draining_nodes = draining_nodes_locked();
+  return out;
 }
 
 int NodeMap::free_cores() const {

@@ -35,6 +35,8 @@ struct NodeMapStats {
   int used_gpus = 0;
   std::uint64_t allocations = 0;  ///< total successful allocations ever
   std::uint64_t rejections = 0;   ///< try_allocate calls that found no room
+  int active_nodes = 0;           ///< nodes eligible for new placements
+  int draining_nodes = 0;         ///< retired nodes still running old work
 };
 
 class NodeMap {
@@ -52,11 +54,32 @@ class NodeMap {
 
   NodeMapStats stats() const;
   int free_cores() const;
-  int nodes() const { return static_cast<int>(free_cores_per_node_.size()); }
+  /// Nodes eligible for new placements (excludes retired/draining nodes).
+  int nodes() const;
   int cores_per_node() const { return cores_per_node_; }
 
-  /// Whole-machine capacity check (ignoring current occupancy).
+  /// Whole-machine capacity check (ignoring current occupancy). Considers
+  /// active nodes only — a draining node can finish work but never take new.
   bool fits_capacity(const SlotRequest& request) const;
+
+  // --- Elasticity (pilot resize) ------------------------------------------
+  //
+  // Growing first resurrects retired nodes (their ids and any still-running
+  // allocations come back as-is), then appends fresh empty nodes. Shrinking
+  // retires nodes: free nodes leave capacity immediately; busy nodes become
+  // "draining" — excluded from new placements, their in-flight allocations
+  // run to completion and release normally. Nothing is ever killed here.
+
+  /// Add `count` nodes; returns the new active node count.
+  int add_nodes(int count);
+
+  /// Retire up to `count` nodes (never below one active node), preferring
+  /// the freest nodes so the drain finishes soonest. Returns the number
+  /// actually retired.
+  int retire_nodes(int count);
+
+  /// Retired nodes still holding live allocations.
+  int draining_nodes() const;
 
  private:
   struct Held {
@@ -67,9 +90,14 @@ class NodeMap {
   const int cores_per_node_;
   const int gpus_per_node_;
 
+  int active_nodes_locked() const;
+  int draining_nodes_locked() const;
+  bool node_fully_free(std::size_t n) const;
+
   mutable std::mutex mutex_;
   std::vector<int> free_cores_per_node_;
   std::vector<int> free_gpus_per_node_;
+  std::vector<char> retired_;  ///< parallel to the per-node vectors
   std::map<std::uint64_t, Held> held_;
   std::uint64_t next_id_ = 1;
   NodeMapStats stats_;

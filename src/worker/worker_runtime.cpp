@@ -201,6 +201,11 @@ void WorkerRuntime::inject_rts_failure() {
   if (rts_) rts_->kill();
 }
 
+bool WorkerRuntime::request_resize(const rts::ResizeRequest& request) {
+  std::lock_guard<std::mutex> lock(rts_mutex_);
+  return rts_ ? rts_->resize(request) : false;
+}
+
 void WorkerRuntime::set_fatal_handler(
     std::function<void(const std::string&)> handler) {
   fatal_handler_ = std::move(handler);

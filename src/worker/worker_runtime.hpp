@@ -117,6 +117,10 @@ class WorkerRuntime : public Component {
   /// Fault injection for tests/examples: hard-kill the current RTS.
   void inject_rts_failure();
 
+  /// Elastic-pilot request from the ensemble Controller: forward to the
+  /// live RTS. Returns false when no RTS is up or it cannot resize.
+  bool request_resize(const rts::ResizeRequest& request);
+
   /// Set the handler invoked when the RTS is lost and the restart budget
   /// is exhausted.
   void set_fatal_handler(std::function<void(const std::string&)> handler);

@@ -2,7 +2,13 @@
 // utilization), both on synthetic traces and on a real AppManager run.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
 #include "src/analytics/analysis.hpp"
+#include "src/analytics/streaming.hpp"
 #include "src/core/app_manager.hpp"
 
 namespace entk::analytics {
@@ -113,6 +119,88 @@ TEST(RunAnalysisTest, RealRunProducesConsistentNumbers) {
   EXPECT_GT(a.core_utilization(8), 0.6);
   // Consistent with the overhead report's exec span.
   EXPECT_NEAR(a.makespan(), amgr.overheads().task_exec_s, 1e-9);
+}
+
+// --- StreamingStats property tests -----------------------------------------
+// The ensemble Controller folds results in completion order, which is
+// arbitrary; the contract (streaming.hpp) is that incremental estimates are
+// *exact* — identical to batch recomputation over the same multiset, for any
+// ingestion order. Checked here property-style with seeded generators.
+
+double batch_median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double batch_mad(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double med = batch_median(v);
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (const double x : v) dev.push_back(std::fabs(x - med));
+  return batch_median(dev);
+}
+
+TEST(StreamingStatsTest, EmptyIsAllZero) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.median(), 0.0);
+  EXPECT_EQ(s.mad(), 0.0);
+  EXPECT_EQ(s.sum(), 0.0);
+}
+
+TEST(StreamingStatsTest, IncrementalMatchesBatchForAnyIngestionOrder) {
+  std::mt19937 rng(42);
+  std::uniform_real_distribution<double> value(-100.0, 100.0);
+  std::uniform_int_distribution<int> size(1, 97);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> data(static_cast<std::size_t>(size(rng)));
+    for (double& x : data) x = value(rng);
+    // Duplicates are realistic (quantized metrics) — inject some.
+    if (data.size() > 3) data[1] = data[0], data[2] = data[0];
+
+    // Ingest in shuffled (out-of-order) sequence.
+    std::vector<double> shuffled = data;
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    StreamingStats s;
+    for (const double x : shuffled) s.observe(x);
+
+    ASSERT_EQ(s.count(), data.size());
+    EXPECT_DOUBLE_EQ(s.min(), *std::min_element(data.begin(), data.end()));
+    EXPECT_DOUBLE_EQ(s.max(), *std::max_element(data.begin(), data.end()));
+    // Sum/mean: same addend multiset in a different order; allow one ulp-ish
+    // tolerance since FP addition is not associative.
+    double sum = 0.0;
+    for (const double x : data) sum += x;
+    EXPECT_NEAR(s.sum(), sum, 1e-9 * data.size());
+    EXPECT_NEAR(s.mean(), sum / static_cast<double>(data.size()),
+                1e-9);
+    // Order statistics are exact: the internal sample set is sorted, so the
+    // result is bit-identical to batch recomputation.
+    EXPECT_DOUBLE_EQ(s.median(), batch_median(data));
+    EXPECT_DOUBLE_EQ(s.mad(), batch_mad(data));
+  }
+}
+
+TEST(StreamingStatsTest, PrefixEstimatesMatchBatchAtEveryStep) {
+  std::mt19937 rng(7);
+  std::normal_distribution<double> value(5.0, 2.5);
+  std::vector<double> data(64);
+  for (double& x : data) x = value(rng);
+
+  StreamingStats s;
+  std::vector<double> prefix;
+  for (const double x : data) {
+    s.observe(x);
+    prefix.push_back(x);
+    EXPECT_DOUBLE_EQ(s.median(), batch_median(prefix));
+    EXPECT_DOUBLE_EQ(s.mad(), batch_mad(prefix));
+    EXPECT_EQ(s.count(), prefix.size());
+  }
 }
 
 }  // namespace

@@ -346,8 +346,11 @@ TEST(AuaPipeline, RunsUnderEnTKToBudget) {
   cfg.resource.agent.dispatch_rate_per_s = 1000;
   cfg.resource.rts_teardown_base_s = 0.01;
   cfg.clock_scale = 1e-4;
+  auto controller = ensemble::Controller::create();
+  auto pipeline = build_aua_pipeline(runner, /*adaptive=*/true, controller);
+  controller->attach(cfg);
   AppManager amgr(cfg);
-  amgr.add_pipelines({build_aua_pipeline(runner, /*adaptive=*/true)});
+  amgr.add_pipelines({pipeline});
   amgr.run();
 
   EXPECT_EQ(amgr.pipelines()[0]->state(), PipelineState::Done);
@@ -379,8 +382,11 @@ TEST(AuaPipeline, MatchesDirectRunExactly) {
   cfg.resource.agent.dispatch_rate_per_s = 1000;
   cfg.resource.rts_teardown_base_s = 0.01;
   cfg.clock_scale = 1e-4;
+  auto controller = ensemble::Controller::create();
+  auto pipeline = build_aua_pipeline(runner, true, controller);
+  controller->attach(cfg);
   AppManager amgr(cfg);
-  amgr.add_pipelines({build_aua_pipeline(runner, true)});
+  amgr.add_pipelines({pipeline});
   amgr.run();
   const AuaResult via_entk = runner->result();
 

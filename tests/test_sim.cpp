@@ -112,6 +112,63 @@ TEST(NodeMap, UtilizationStats) {
   EXPECT_EQ(nm.stats().used_cores, 0);
 }
 
+TEST(NodeMap, AddNodesGrowsCapacityForNewPlacements) {
+  NodeMap nm(2, 4, 0);
+  EXPECT_EQ(nm.nodes(), 2);
+  EXPECT_EQ(nm.add_nodes(2), 4);
+  EXPECT_EQ(nm.free_cores(), 16);
+  // The grown capacity is immediately placeable.
+  auto a = nm.try_allocate({.cores = 16});
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->node_ids.size(), 4u);
+}
+
+TEST(NodeMap, RetireFreeNodesLeavesImmediately) {
+  NodeMap nm(4, 4, 0);
+  EXPECT_EQ(nm.retire_nodes(2), 2);
+  EXPECT_EQ(nm.nodes(), 2);
+  EXPECT_EQ(nm.draining_nodes(), 0);  // nothing was running on them
+  EXPECT_EQ(nm.free_cores(), 8);
+  // A whole-machine request now means two nodes, not four.
+  EXPECT_FALSE(nm.fits_capacity({.cores = 16}));
+  EXPECT_TRUE(nm.fits_capacity({.cores = 8}));
+}
+
+TEST(NodeMap, RetireBusyNodesDrainsInsteadOfKilling) {
+  NodeMap nm(2, 4, 0);
+  // Occupy every core so retirement cannot pick a free node.
+  auto a = nm.try_allocate({.cores = 8});
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(nm.retire_nodes(1), 1);
+  EXPECT_EQ(nm.nodes(), 1);
+  EXPECT_EQ(nm.draining_nodes(), 1);
+  // Draining node takes no new work: only the active node's cores count.
+  EXPECT_FALSE(nm.fits_capacity({.cores = 8}));
+  // The in-flight allocation still releases normally, ending the drain.
+  nm.release(a->id);
+  EXPECT_EQ(nm.draining_nodes(), 0);
+  EXPECT_EQ(nm.nodes(), 1);
+  EXPECT_EQ(nm.free_cores(), 4);
+}
+
+TEST(NodeMap, RetireNeverGoesBelowOneActiveNode) {
+  NodeMap nm(3, 4, 0);
+  EXPECT_EQ(nm.retire_nodes(99), 2);
+  EXPECT_EQ(nm.nodes(), 1);
+}
+
+TEST(NodeMap, GrowAfterShrinkResurrectsRetiredNodesFirst) {
+  NodeMap nm(4, 4, 0);
+  EXPECT_EQ(nm.retire_nodes(2), 2);
+  EXPECT_EQ(nm.nodes(), 2);
+  // Growing by one brings a retired node back rather than appending;
+  // total node count stays at the original four after full regrowth.
+  EXPECT_EQ(nm.add_nodes(1), 3);
+  EXPECT_EQ(nm.add_nodes(1), 4);
+  EXPECT_EQ(nm.free_cores(), 16);
+  EXPECT_EQ(nm.stats().total_cores, 16);
+}
+
 TEST(Filesystem, LinkIsMetadataOnly) {
   FilesystemSpec spec;
   spec.link_latency_s = 0.004;

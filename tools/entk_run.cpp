@@ -36,6 +36,8 @@
 #include <sstream>
 
 #include "src/core/app_manager.hpp"
+#include "src/ensemble/controller.hpp"
+#include "src/ensemble/rules_json.hpp"
 #include "src/rts/local_rts.hpp"
 
 namespace {
@@ -66,6 +68,8 @@ TaskPtr parse_task(const json::Value& v) {
   task->gpu_reqs.processes = static_cast<int>(v.get_int("gpus", 0));
   task->exclusive_nodes = v.get_bool("exclusive_nodes", false);
   task->retry_limit = static_cast<int>(v.get_int("retry_limit", -1));
+  const std::string group = v.get_string("group", "");
+  if (!group.empty()) task->metadata["ensemble"]["group"] = group;
   if (v.contains("inputs")) {
     for (const json::Value& d : v.at("inputs").as_array()) {
       task->input_staging.push_back(parse_directive(d));
@@ -109,6 +113,8 @@ int main(int argc, char** argv) {
                  "                [--journal-max-delay-ms MS]\n"
                  "                [--broker HOST:PORT] [--workers]\n"
                  "                [--tenant ID]\n"
+                 "                [--rules rules.json]\n"
+                 "                [--ensemble-journal decisions.jsonl]\n"
                  "       executes the PST application described in the file;\n"
                  "       --profile dumps the run's event trace as CSV for\n"
                  "       post-mortem analysis (src/analytics);\n"
@@ -136,7 +142,14 @@ int main(int argc, char** argv) {
                  "       --tenant (requires --broker) runs the workflow\n"
                  "       inside tenant ID's namespace on a shared daemon —\n"
                  "       queue names never collide with other ensembles',\n"
-                 "       and the daemon's per-tenant quotas apply\n");
+                 "       and the daemon's per-tenant quotas apply;\n"
+                 "       --rules attaches an ensemble controller evaluating\n"
+                 "       the declarative rule file (triggers on task/stage\n"
+                 "       completions, metric thresholds and timers; actions\n"
+                 "       cancel_group, resize_pilot, set_param, finish) —\n"
+                 "       tag tasks with \"group\" to target them;\n"
+                 "       --ensemble-journal appends every rule firing as a\n"
+                 "       JSONL decision record for replay/debugging\n");
     return 2;
   }
   std::string profile_path;
@@ -145,6 +158,8 @@ int main(int argc, char** argv) {
   std::string journal_dir;
   std::string broker_endpoint;
   std::string tenant;
+  std::string rules_path;
+  std::string ensemble_journal;
   long journal_batch_bytes = -1;
   double journal_max_delay_ms = -1.0;
   int component_restart_limit = -1;
@@ -160,6 +175,10 @@ int main(int argc, char** argv) {
     if (std::string(argv[i]) == "--journal-dir") journal_dir = argv[i + 1];
     if (std::string(argv[i]) == "--broker") broker_endpoint = argv[i + 1];
     if (std::string(argv[i]) == "--tenant") tenant = argv[i + 1];
+    if (std::string(argv[i]) == "--rules") rules_path = argv[i + 1];
+    if (std::string(argv[i]) == "--ensemble-journal") {
+      ensemble_journal = argv[i + 1];
+    }
     if (std::string(argv[i]) == "--journal-batch-bytes") {
       journal_batch_bytes = std::atol(argv[i + 1]);
     }
@@ -228,6 +247,20 @@ int main(int argc, char** argv) {
       config.clock_scale = 1.0;
     }
 
+    ensemble::ControllerPtr controller;
+    if (!rules_path.empty()) {
+      ensemble::ControllerConfig ens_cfg;
+      ens_cfg.journal_path = ensemble_journal;
+      controller = ensemble::Controller::create(ens_cfg);
+      for (ensemble::Rule& rule : ensemble::rules_from_file(rules_path)) {
+        controller->add_rule(std::move(rule));
+      }
+      controller->attach(config);
+    } else if (!ensemble_journal.empty()) {
+      std::fprintf(stderr, "entk_run: --ensemble-journal requires --rules\n");
+      return 2;
+    }
+
     AppManager appman(config);
     appman.add_pipelines(parse_pipelines(doc));
     appman.run();
@@ -240,6 +273,12 @@ int main(int argc, char** argv) {
     const OverheadReport report = appman.overheads();
     std::printf("entk_run: %zu done, %zu failed, %zu resubmissions\n",
                 report.tasks_done, report.tasks_failed, report.resubmissions);
+    if (controller) {
+      std::printf("entk_run: %zu ensemble decision(s)%s%s\n",
+                  controller->decision_count(),
+                  ensemble_journal.empty() ? "" : " journaled to ",
+                  ensemble_journal.c_str());
+    }
     std::printf("%s", report.to_table().c_str());
     for (const PipelinePtr& p : appman.pipelines()) {
       std::printf("pipeline %-16s %s\n", p->name.c_str(),
